@@ -1,0 +1,23 @@
+//! All-pairs shortest paths by blocked Floyd–Warshall — the *graph*
+//! member of the paper's program class ("graph algorithms where several
+//! nodes are gathered in a single basic data block and assigned to a
+//! certain processor can be considered to fall in this class, too").
+//!
+//! The distance matrix is blocked exactly like the elimination: iteration
+//! `k` closes the diagonal block (Op1-analogue: Floyd–Warshall on the
+//! block), relaxes the pivot row and column panels through it (Op2/Op3
+//! analogues: min-plus products), then relaxes every interior block
+//! against the two panels (Op4 analogue). The communication structure —
+//! and hence the trace — is the elimination's wavefront with full-block
+//! messages, so every prediction facility of the workspace applies to a
+//! completely different computational substrate (the *(min, +)* semiring).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod minplus;
+pub mod parallel;
+pub mod trace;
+
+pub use minplus::{blocked_fw_in_place, floyd_warshall_in_place, random_digraph};
+pub use trace::{generate, ApspProgram};

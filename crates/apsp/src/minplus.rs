@@ -1,0 +1,266 @@
+//! The *(min, +)* semiring kernels and the two Floyd–Warshall variants.
+//!
+//! Distances are `f64` with `f64::INFINITY` for "no path". The blocked
+//! algorithm is validated against the classical triple loop, which is in
+//! turn validated against hand-checkable graphs.
+
+use blockops::Matrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// `C[i][j] = min(C[i][j], min_k (A[i][k] + B[k][j]))` — the min-plus
+/// (tropical) matrix product, accumulated into `C`.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn minplus_acc(c: &mut Matrix, a: &Matrix, b: &Matrix) {
+    let (m, kk) = (a.rows(), a.cols());
+    let n = b.cols();
+    assert_eq!(kk, b.rows(), "inner dimension mismatch");
+    assert_eq!((c.rows(), c.cols()), (m, n), "output dimension mismatch");
+    for i in 0..m {
+        for k in 0..kk {
+            let aik = a[(i, k)];
+            if aik.is_infinite() {
+                continue;
+            }
+            for j in 0..n {
+                let cand = aik + b[(k, j)];
+                if cand < c[(i, j)] {
+                    c[(i, j)] = cand;
+                }
+            }
+        }
+    }
+}
+
+/// The min-plus product into a fresh matrix initialized to +∞.
+pub fn minplus_mul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::from_fn(a.rows(), b.cols(), |_, _| f64::INFINITY);
+    minplus_acc(&mut c, a, b);
+    c
+}
+
+/// Classical Floyd–Warshall, in place: on return `d[i][j]` is the length
+/// of the shortest `i → j` path. The diagonal is clamped to ≤ 0 paths
+/// (i.e. `d[i][i] = min(d[i][i], 0)` first), matching the usual APSP
+/// convention for non-negative weights.
+pub fn floyd_warshall_in_place(d: &mut Matrix) {
+    assert!(d.is_square(), "distance matrices are square");
+    let n = d.rows();
+    for i in 0..n {
+        if d[(i, i)] > 0.0 {
+            d[(i, i)] = 0.0;
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            let dik = d[(i, k)];
+            if dik.is_infinite() {
+                continue;
+            }
+            for j in 0..n {
+                let cand = dik + d[(k, j)];
+                if cand < d[(i, j)] {
+                    d[(i, j)] = cand;
+                }
+            }
+        }
+    }
+}
+
+/// Blocked Floyd–Warshall with `b × b` blocks, in place — the four-phase
+/// scheme whose per-iteration structure mirrors the elimination's Op1–Op4:
+///
+/// 1. close the diagonal block (local Floyd–Warshall);
+/// 2. pivot row: `D[k][j] ← min(D[k][j], D[k][k] ⊗ D[k][j])`;
+/// 3. pivot column: `D[i][k] ← min(D[i][k], D[i][k] ⊗ D[k][k])`;
+/// 4. interior: `D[i][j] ← min(D[i][j], D[i][k] ⊗ D[k][j])`.
+///
+/// # Panics
+/// Panics if `b` does not divide the matrix size.
+pub fn blocked_fw_in_place(d: &mut Matrix, b: usize) {
+    assert!(d.is_square(), "distance matrices are square");
+    let n = d.rows();
+    assert!(b > 0 && n.is_multiple_of(b), "block size {b} must divide the matrix size {n}");
+    let nb = n / b;
+    for i in 0..n {
+        if d[(i, i)] > 0.0 {
+            d[(i, i)] = 0.0;
+        }
+    }
+
+    for k in 0..nb {
+        // Phase 1: closure of the diagonal block.
+        let mut diag = d.block(k * b, k * b, b, b);
+        floyd_warshall_in_place(&mut diag);
+        d.set_block(k * b, k * b, &diag);
+
+        // Phase 2: pivot row through the closed diagonal.
+        for j in 0..nb {
+            if j == k {
+                continue;
+            }
+            let mut blk = d.block(k * b, j * b, b, b);
+            minplus_acc(&mut blk, &diag, &d.block(k * b, j * b, b, b));
+            d.set_block(k * b, j * b, &blk);
+        }
+        // Phase 3: pivot column.
+        for i in 0..nb {
+            if i == k {
+                continue;
+            }
+            let mut blk = d.block(i * b, k * b, b, b);
+            minplus_acc(&mut blk, &d.block(i * b, k * b, b, b), &diag);
+            d.set_block(i * b, k * b, &blk);
+        }
+        // Phase 4: interior relaxations.
+        for i in 0..nb {
+            if i == k {
+                continue;
+            }
+            let dik = d.block(i * b, k * b, b, b);
+            for j in 0..nb {
+                if j == k {
+                    continue;
+                }
+                let dkj = d.block(k * b, j * b, b, b);
+                let mut blk = d.block(i * b, j * b, b, b);
+                minplus_acc(&mut blk, &dik, &dkj);
+                d.set_block(i * b, j * b, &blk);
+            }
+        }
+    }
+}
+
+/// A random weighted digraph as a dense distance matrix: each ordered pair
+/// gets an edge with probability `density`, with weight in `(0, 10)`;
+/// absent edges are +∞; the diagonal is 0. Deterministic per seed.
+pub fn random_digraph(n: usize, density: f64, seed: u64) -> Matrix {
+    assert!((0.0..=1.0).contains(&density), "density is a probability");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            0.0
+        } else if rng.gen_bool(density) {
+            rng.gen_range(0.1..10.0)
+        } else {
+            f64::INFINITY
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const INF: f64 = f64::INFINITY;
+
+    #[test]
+    fn minplus_small_example() {
+        // Path lengths through a 2-node relay.
+        let a = Matrix::from_rows(2, 2, &[0.0, 1.0, INF, 0.0]);
+        let b = Matrix::from_rows(2, 2, &[0.0, 5.0, 2.0, 0.0]);
+        let c = minplus_mul(&a, &b);
+        // c[i][j] = min_k a[i][k] + b[k][j]
+        assert_eq!(c[(0, 0)], 0.0); // a00 + b00
+        assert_eq!(c[(0, 1)], 1.0); // a01 + b11 beats a00 + b01 = 5
+        assert_eq!(c[(1, 0)], 2.0); // a11 + b10
+        assert_eq!(c[(1, 1)], 0.0);
+    }
+
+    #[test]
+    fn minplus_acc_keeps_better_paths() {
+        let a = Matrix::from_rows(1, 1, &[7.0]);
+        let b = Matrix::from_rows(1, 1, &[8.0]);
+        let mut c = Matrix::from_rows(1, 1, &[3.0]);
+        minplus_acc(&mut c, &a, &b);
+        assert_eq!(c[(0, 0)], 3.0); // 15 does not beat 3
+    }
+
+    #[test]
+    fn infinity_is_absorbing() {
+        let a = Matrix::from_rows(1, 2, &[INF, INF]);
+        let b = Matrix::from_rows(2, 1, &[INF, 1.0]);
+        let c = minplus_mul(&a, &b);
+        assert_eq!(c[(0, 0)], INF);
+    }
+
+    #[test]
+    fn fw_hand_checked_graph() {
+        // 0 -> 1 (1), 1 -> 2 (2), 0 -> 2 (10): shortest 0->2 is 3.
+        let mut d = Matrix::from_rows(
+            3,
+            3,
+            &[0.0, 1.0, 10.0, INF, 0.0, 2.0, INF, INF, 0.0],
+        );
+        floyd_warshall_in_place(&mut d);
+        assert_eq!(d[(0, 2)], 3.0);
+        assert_eq!(d[(1, 2)], 2.0);
+        assert_eq!(d[(2, 0)], INF);
+    }
+
+    #[test]
+    fn blocked_matches_classical() {
+        let n = 24;
+        for b in [1, 2, 3, 4, 6, 8, 12, 24] {
+            for seed in [1, 2] {
+                let g = random_digraph(n, 0.15, seed);
+                let mut blocked = g.clone();
+                blocked_fw_in_place(&mut blocked, b);
+                let mut classical = g.clone();
+                floyd_warshall_in_place(&mut classical);
+                // Exact equality: both compute min-plus sums of the same
+                // weights, just in different orders; min is exact on f64
+                // and the addition chains are identical per path.
+                for i in 0..n {
+                    for j in 0..n {
+                        let (x, y) = (blocked[(i, j)], classical[(i, j)]);
+                        assert!(
+                            (x.is_infinite() && y.is_infinite()) || (x - y).abs() < 1e-9,
+                            "b={b} seed={seed} ({i},{j}): {x} vs {y}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let mut d = random_digraph(16, 0.3, 9);
+        floyd_warshall_in_place(&mut d);
+        for i in 0..16 {
+            for j in 0..16 {
+                for k in 0..16 {
+                    assert!(
+                        d[(i, j)] <= d[(i, k)] + d[(k, j)] + 1e-9,
+                        "({i},{j}) via {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_is_zero_after_closure() {
+        let mut d = random_digraph(10, 0.5, 3);
+        blocked_fw_in_place(&mut d, 5);
+        for i in 0..10 {
+            assert_eq!(d[(i, i)], 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn blocked_checks_block_size() {
+        let mut d = random_digraph(10, 0.2, 1);
+        blocked_fw_in_place(&mut d, 3);
+    }
+
+    #[test]
+    fn random_digraph_deterministic() {
+        assert_eq!(random_digraph(8, 0.3, 5), random_digraph(8, 0.3, 5));
+        assert_ne!(random_digraph(8, 0.3, 5), random_digraph(8, 0.3, 6));
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests: the tropical semiring laws and shortest-path
+//! invariants that blocked Floyd–Warshall must preserve.
+
+use apsp::minplus::{blocked_fw_in_place, floyd_warshall_in_place, minplus_mul, random_digraph};
+use blockops::Matrix;
+use proptest::prelude::*;
+
+fn inf_eq(a: f64, b: f64) -> bool {
+    (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9
+}
+
+fn mat_eq(a: &Matrix, b: &Matrix) -> bool {
+    (0..a.rows()).all(|i| (0..a.cols()).all(|j| inf_eq(a[(i, j)], b[(i, j)])))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Min-plus multiplication is associative.
+    #[test]
+    fn minplus_associative(n in 1usize..7, s in any::<u64>()) {
+        let a = random_digraph(n, 0.4, s);
+        let b = random_digraph(n, 0.4, s.wrapping_add(1));
+        let c = random_digraph(n, 0.4, s.wrapping_add(2));
+        let left = minplus_mul(&minplus_mul(&a, &b), &c);
+        let right = minplus_mul(&a, &minplus_mul(&b, &c));
+        prop_assert!(mat_eq(&left, &right));
+    }
+
+    /// The min-plus identity (0 diagonal, ∞ elsewhere) is neutral.
+    #[test]
+    fn minplus_identity(n in 1usize..8, s in any::<u64>()) {
+        let a = random_digraph(n, 0.4, s);
+        let id = Matrix::from_fn(n, n, |i, j| if i == j { 0.0 } else { f64::INFINITY });
+        prop_assert!(mat_eq(&minplus_mul(&a, &id), &a));
+        prop_assert!(mat_eq(&minplus_mul(&id, &a), &a));
+    }
+
+    /// Closure is idempotent: running Floyd–Warshall twice changes nothing.
+    #[test]
+    fn closure_idempotent(n in 1usize..12, s in any::<u64>()) {
+        let mut d = random_digraph(n, 0.3, s);
+        floyd_warshall_in_place(&mut d);
+        let once = d.clone();
+        floyd_warshall_in_place(&mut d);
+        prop_assert!(mat_eq(&once, &d));
+    }
+
+    /// Closed distances never exceed the original edge weights and satisfy
+    /// the triangle inequality.
+    #[test]
+    fn closure_shrinks_and_triangulates(n in 2usize..10, s in any::<u64>()) {
+        let g = random_digraph(n, 0.3, s);
+        let mut d = g.clone();
+        floyd_warshall_in_place(&mut d);
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!(d[(i, j)] <= g[(i, j)] + 1e-12);
+                for k in 0..n {
+                    prop_assert!(d[(i, j)] <= d[(i, k)] + d[(k, j)] + 1e-9);
+                }
+            }
+        }
+    }
+
+    /// Blocked and classical closures agree for every dividing block size.
+    #[test]
+    fn blocked_equals_classical(nb in 1usize..5, b in 1usize..5, s in any::<u64>()) {
+        let n = nb * b;
+        let g = random_digraph(n, 0.25, s);
+        let mut blocked = g.clone();
+        blocked_fw_in_place(&mut blocked, b);
+        let mut classical = g.clone();
+        floyd_warshall_in_place(&mut classical);
+        prop_assert!(mat_eq(&blocked, &classical));
+    }
+
+    /// Adding edges can only shorten distances (monotonicity).
+    #[test]
+    fn more_edges_never_lengthen(n in 2usize..9, s in any::<u64>()) {
+        let sparse = random_digraph(n, 0.2, s);
+        // Densify: overlay extra edges.
+        let extra = random_digraph(n, 0.4, s.wrapping_add(7));
+        let dense = Matrix::from_fn(n, n, |i, j| sparse[(i, j)].min(extra[(i, j)]));
+        let mut ds = sparse.clone();
+        floyd_warshall_in_place(&mut ds);
+        let mut dd = dense.clone();
+        floyd_warshall_in_place(&mut dd);
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!(dd[(i, j)] <= ds[(i, j)] + 1e-9);
+            }
+        }
+    }
+}

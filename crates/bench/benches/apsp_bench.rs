@@ -1,0 +1,57 @@
+//! Min-plus kernel and closure throughput for the APSP application.
+
+use apsp::minplus::{blocked_fw_in_place, floyd_warshall_in_place, minplus_mul, random_digraph};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_minplus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minplus_mul");
+    for n in [16usize, 48, 96] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let x = random_digraph(n, 0.3, 1);
+            let y = random_digraph(n, 0.3, 2);
+            b.iter(|| black_box(minplus_mul(&x, &y)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apsp_closure");
+    let n = 96;
+    group.bench_function("classical_n96", |b| {
+        let g = random_digraph(n, 0.2, 3);
+        b.iter(|| {
+            let mut d = g.clone();
+            floyd_warshall_in_place(&mut d);
+            black_box(d)
+        });
+    });
+    for blk in [8usize, 24, 48] {
+        group.bench_with_input(BenchmarkId::new("blocked_n96", blk), &blk, |b, &blk| {
+            let g = random_digraph(n, 0.2, 3);
+            b.iter(|| {
+                let mut d = g.clone();
+                blocked_fw_in_place(&mut d, blk);
+                black_box(d)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn fast() -> Criterion {
+    // Keep `cargo bench --workspace` affordable: benches here are for
+    // regression *shape*, not publication-grade statistics.
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group!{
+    name = benches;
+    config = fast();
+    targets = bench_minplus, bench_closure
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Cache-simulator throughput: accesses per second for hitting and
+//! thrashing address streams (the emulator's hot loop at small block
+//! sizes).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use machine::Cache;
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_sim");
+    let accesses = 16_384u64;
+    group.throughput(Throughput::Elements(accesses));
+
+    group.bench_function("resident_sweep", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(128 * 1024, 64, 4);
+            for _ in 0..(accesses / 1024) {
+                black_box(cache.touch_range(0, 64 * 1024));
+            }
+            cache.stats()
+        })
+    });
+
+    group.bench_function("thrashing_sweep", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(128 * 1024, 64, 4);
+            for _ in 0..(accesses / 8192) {
+                black_box(cache.touch_range(0, 512 * 1024));
+            }
+            cache.stats()
+        })
+    });
+
+    group.bench_function("random_blocks", |b| {
+        let blocks: Vec<u64> = (0..256).map(|i| (i * 2654435761u64) % 1024).collect();
+        b.iter(|| {
+            let mut cache = Cache::new(128 * 1024, 64, 4);
+            for &blk in &blocks {
+                black_box(cache.touch_range(blk * 800, 800));
+            }
+            cache.stats()
+        })
+    });
+    group.finish();
+}
+
+fn fast() -> Criterion {
+    // Keep `cargo bench --workspace` affordable: benches here are for
+    // regression *shape*, not publication-grade statistics.
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group!{
+    name = benches;
+    config = fast();
+    targets = bench_cache
+}
+criterion_main!(benches);

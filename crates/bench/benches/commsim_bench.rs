@@ -1,0 +1,70 @@
+//! Throughput of the communication-step simulators themselves: how fast
+//! the predictor chews through patterns of growing size (simulation speed
+//! is what makes sweep-based optimization practical — the paper's pitch
+//! against explicit-formula derivations).
+
+use commsim::{patterns, standard, worstcase, SimConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use loggp::presets;
+use std::hint::black_box;
+
+fn bench_standard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("standard_algorithm");
+    for n in [8usize, 16, 32, 64] {
+        let pattern = patterns::all_to_all(n, 1024);
+        group.throughput(Throughput::Elements(pattern.len() as u64));
+        let cfg = SimConfig::new(presets::meiko_cs2(n));
+        group.bench_with_input(BenchmarkId::new("all_to_all", n), &pattern, |b, p| {
+            b.iter(|| black_box(standard::simulate(p, &cfg)))
+        });
+    }
+    for msgs in [100usize, 1000] {
+        let pattern = patterns::random(32, msgs, 4096, 7);
+        group.throughput(Throughput::Elements(pattern.len() as u64));
+        let cfg = SimConfig::new(presets::meiko_cs2(32));
+        group.bench_with_input(BenchmarkId::new("random32", msgs), &pattern, |b, p| {
+            b.iter(|| black_box(standard::simulate(p, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_worstcase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("worstcase_algorithm");
+    for n in [8usize, 16, 32] {
+        let pattern = patterns::all_to_all(n, 1024); // cyclic: exercises deadlock breaking
+        group.throughput(Throughput::Elements(pattern.len() as u64));
+        let cfg = SimConfig::new(presets::meiko_cs2(n));
+        group.bench_with_input(BenchmarkId::new("all_to_all", n), &pattern, |b, p| {
+            b.iter(|| black_box(worstcase::simulate(p, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_figure3(c: &mut Criterion) {
+    let pattern = patterns::figure3();
+    let cfg = SimConfig::new(presets::meiko_cs2(10));
+    c.bench_function("figure3_standard", |b| {
+        b.iter(|| black_box(standard::simulate(&pattern, &cfg)))
+    });
+    c.bench_function("figure3_worstcase", |b| {
+        b.iter(|| black_box(worstcase::simulate(&pattern, &cfg)))
+    });
+}
+
+fn fast() -> Criterion {
+    // Keep `cargo bench --workspace` affordable: benches here are for
+    // regression *shape*, not publication-grade statistics.
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group!{
+    name = benches;
+    config = fast();
+    targets = bench_standard, bench_worstcase, bench_figure3
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! End-to-end prediction cost for blocked Gaussian elimination: trace
+//! generation, whole-program simulation (both algorithms) and emulation —
+//! the per-candidate cost of a sweep-based optimizer.
+
+use bench::ge::trace_for;
+use commsim::SimConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loggp::presets;
+use machine::{emulate, EmulatorConfig};
+use predsim_core::{simulate_program, Diagonal, SimOptions};
+use std::hint::black_box;
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ge_trace_generation");
+    let layout = Diagonal::new(8);
+    for b in [24usize, 48, 96] {
+        group.bench_with_input(BenchmarkId::new("n960", b), &b, |bench, &b| {
+            bench.iter(|| black_box(trace_for(960, b, &layout)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ge_whole_program_simulation");
+    let layout = Diagonal::new(8);
+    let cfg = SimConfig::new(presets::meiko_cs2(8));
+    for b in [24usize, 96] {
+        let trace = trace_for(960, b, &layout);
+        group.bench_with_input(BenchmarkId::new("standard_n960", b), &trace, |bench, t| {
+            bench.iter(|| black_box(simulate_program(&t.program, &SimOptions::new(cfg))))
+        });
+        group.bench_with_input(BenchmarkId::new("worstcase_n960", b), &trace, |bench, t| {
+            bench.iter(|| {
+                black_box(simulate_program(&t.program, &SimOptions::new(cfg).worst_case()))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_emulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ge_emulation");
+    let layout = Diagonal::new(8);
+    let cfg = SimConfig::new(presets::meiko_cs2(8));
+    for b in [48usize, 96] {
+        let trace = trace_for(480, b, &layout);
+        let ecfg = EmulatorConfig::meiko_like(cfg);
+        group.bench_with_input(BenchmarkId::new("with_cache_n480", b), &trace, |bench, t| {
+            bench.iter(|| black_box(emulate(&t.program, &t.loads, &ecfg)))
+        });
+    }
+    group.finish();
+}
+
+fn fast() -> Criterion {
+    // Keep `cargo bench --workspace` affordable: benches here are for
+    // regression *shape*, not publication-grade statistics.
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group!{
+    name = benches;
+    config = fast();
+    targets = bench_trace_generation, bench_simulation, bench_emulation
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion companion to Figure 6: host timings of the four basic block
+//! operations at representative block sizes, plus the blocked LU built
+//! from them.
+
+use blockops::ops::{op1_diagonal, op2_row_panel, op3_col_panel, op4_interior};
+use blockops::Matrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_basic_ops");
+    for b in [10usize, 24, 48, 96] {
+        group.bench_with_input(BenchmarkId::new("op1", b), &b, |bench, &b| {
+            let blk = Matrix::random_diag_dominant(b, 1);
+            bench.iter(|| {
+                let mut m = blk.clone();
+                black_box(op1_diagonal(&mut m).unwrap())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("op2", b), &b, |bench, &b| {
+            let mut diag = Matrix::random_diag_dominant(b, 2);
+            let f = op1_diagonal(&mut diag).unwrap();
+            let blk = Matrix::random(b, b, 3);
+            bench.iter(|| {
+                let mut m = blk.clone();
+                op2_row_panel(&mut m, &f.l_inv);
+                black_box(m)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("op3", b), &b, |bench, &b| {
+            let mut diag = Matrix::random_diag_dominant(b, 4);
+            let f = op1_diagonal(&mut diag).unwrap();
+            let blk = Matrix::random(b, b, 5);
+            bench.iter(|| {
+                let mut m = blk.clone();
+                op3_col_panel(&mut m, &f.u_inv);
+                black_box(m)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("op4", b), &b, |bench, &b| {
+            let a = Matrix::random(b, b, 6);
+            let x = Matrix::random(b, b, 7);
+            let blk = Matrix::random(b, b, 8);
+            bench.iter(|| {
+                let mut m = blk.clone();
+                op4_interior(&mut m, &a, &x);
+                black_box(m)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_blocked_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blocked_lu");
+    let n = 96;
+    for b in [8usize, 24, 48, 96] {
+        group.bench_with_input(BenchmarkId::new("n96", b), &b, |bench, &b| {
+            let a = Matrix::random_diag_dominant(n, 9);
+            bench.iter(|| {
+                let mut m = a.clone();
+                blockops::ops::blocked_lu_in_place(&mut m, b).unwrap();
+                black_box(m)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn fast() -> Criterion {
+    // Keep `cargo bench --workspace` affordable: benches here are for
+    // regression *shape*, not publication-grade statistics.
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group!{
+    name = benches;
+    config = fast();
+    targets = bench_ops, bench_blocked_lu
+}
+criterion_main!(benches);

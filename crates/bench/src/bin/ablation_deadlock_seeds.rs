@@ -1,0 +1,55 @@
+//! Ablation — the worst-case algorithm breaks deadlocks on cyclic
+//! patterns by *randomly* chosen forced transmissions (paper §4.2). How
+//! sensitive is the resulting upper bound to that randomness?
+//!
+//! Cannon's algorithm supplies naturally cyclic shift patterns.
+//!
+//! ```text
+//! cargo run -p bench --release --bin ablation_deadlock_seeds
+//! ```
+
+use blockops::AnalyticCost;
+use commsim::{worstcase, SimConfig};
+use loggp::{presets, Time};
+use predsim_core::report::{us, Table};
+
+fn main() {
+    println!("== Ablation: deadlock-breaking seeds (worst-case algorithm) ==");
+    let mut table = Table::new([
+        "pattern",
+        "min finish",
+        "max finish",
+        "spread %",
+        "forced sends (min..max)",
+    ]);
+
+    let cannon = cannon::generate(64, 4, &AnalyticCost::paper_default());
+    let shift = cannon.program.steps()[1].comm.clone();
+    let cases = vec![
+        ("cannon shift (4x4 grid)", shift),
+        ("ring(8, 2KB)", commsim::patterns::ring(8, 2048)),
+        ("all-to-all(6, 1KB)", commsim::patterns::all_to_all(6, 1024)),
+    ];
+    for (name, pattern) in cases {
+        let base = SimConfig::new(presets::meiko_cs2(pattern.procs()));
+        let mut lo = Time::MAX;
+        let mut hi = Time::ZERO;
+        let mut fmin = usize::MAX;
+        let mut fmax = 0usize;
+        for seed in 0..32 {
+            let r = worstcase::simulate(&pattern, &base.with_seed(seed));
+            lo = lo.min(r.finish);
+            hi = hi.max(r.finish);
+            fmin = fmin.min(r.forced_sends);
+            fmax = fmax.max(r.forced_sends);
+        }
+        table.row([
+            name.to_string(),
+            us(lo),
+            us(hi),
+            format!("{:.2}", (hi.as_us_f64() / lo.as_us_f64() - 1.0) * 100.0),
+            format!("{fmin}..{fmax}"),
+        ]);
+    }
+    println!("{}", table.render());
+}

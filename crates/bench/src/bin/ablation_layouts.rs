@@ -1,0 +1,46 @@
+//! Ablation — data-layout extension: beyond the paper's two layouts
+//! (row-stripped cyclic and diagonal), how do column-cyclic and 2-D
+//! block-cyclic mappings fare on the same sweep?
+//!
+//! ```text
+//! cargo run -p bench --release --bin ablation_layouts
+//! ```
+
+use bench::ge::trace_for;
+use commsim::SimConfig;
+use loggp::presets;
+use predsim_core::report::{secs, Table};
+use predsim_core::{
+    simulate_program, BlockCyclic2D, ColCyclic, Diagonal, Layout, RowCyclic, SimOptions,
+};
+
+fn main() {
+    println!("== Ablation: layouts (simulated standard, n=960, P=8) ==");
+    let cfg = SimConfig::new(presets::meiko_cs2(8));
+    let layouts: Vec<Box<dyn Layout>> = vec![
+        Box::new(RowCyclic::new(8)),
+        Box::new(ColCyclic::new(8)),
+        Box::new(Diagonal::new(8)),
+        Box::new(BlockCyclic2D::new(2, 4)),
+        Box::new(BlockCyclic2D::new(4, 2)),
+    ];
+    let blocks = [10, 20, 40, 80, 160];
+    let mut header = vec!["layout".to_string()];
+    header.extend(blocks.iter().map(|b| format!("B={b}")));
+    let mut table = Table::new(header);
+    let mut best_at_large: (String, f64) = (String::new(), f64::MAX);
+    for l in &layouts {
+        let mut row = vec![l.name()];
+        for &b in &blocks {
+            let t = simulate_program(&trace_for(960, b, l.as_ref()).program, &SimOptions::new(cfg))
+                .total;
+            if b == 160 && t.as_secs_f64() < best_at_large.1 {
+                best_at_large = (l.name(), t.as_secs_f64());
+            }
+            row.push(secs(t));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+    println!("best layout at B=160: {}", best_at_large.0);
+}

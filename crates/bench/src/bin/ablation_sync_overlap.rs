@@ -1,0 +1,46 @@
+//! Ablation — step synchronization and the overlap extension.
+//!
+//! The paper's program class alternates computation and communication
+//! without overlap, with each processor proceeding at its own pace
+//! (systolic). This ablation quantifies (a) what a BSP-style barrier
+//! between steps would cost, and (b) what the §7 future-work overlap of
+//! communication and computation would buy.
+//!
+//! ```text
+//! cargo run -p bench --release --bin ablation_sync_overlap
+//! ```
+
+use bench::ge::trace_for;
+use commsim::SimConfig;
+use loggp::presets;
+use predsim_core::report::{secs, Table};
+use predsim_core::{simulate_program, Diagonal, SimOptions};
+
+fn main() {
+    println!("== Ablation: synchronization & overlap (diagonal mapping, n=960, P=8) ==");
+    let cfg = SimConfig::new(presets::meiko_cs2(8));
+    let layout = Diagonal::new(8);
+    let mut table = Table::new([
+        "block",
+        "per-processor (paper)",
+        "BSP barrier",
+        "overlap (recv-only)",
+        "barrier cost %",
+        "overlap gain %",
+    ]);
+    for b in [10, 24, 48, 96, 160] {
+        let trace = trace_for(960, b, &layout);
+        let base = simulate_program(&trace.program, &SimOptions::new(cfg));
+        let barrier = simulate_program(&trace.program, &SimOptions::new(cfg).with_barrier());
+        let overlap = simulate_program(&trace.program, &SimOptions::new(cfg).with_overlap());
+        table.row([
+            b.to_string(),
+            secs(base.total),
+            secs(barrier.total),
+            secs(overlap.total),
+            format!("{:+.2}", (barrier.total.as_secs_f64() / base.total.as_secs_f64() - 1.0) * 100.0),
+            format!("{:+.2}", (overlap.total.as_secs_f64() / base.total.as_secs_f64() - 1.0) * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+}

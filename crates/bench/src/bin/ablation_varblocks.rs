@@ -1,0 +1,62 @@
+//! Extension (§7 future work): variable-sized blocks. Does grading the
+//! block widths — small blocks while the trailing submatrix is large and
+//! parallelism plentiful, larger blocks as it shrinks (or the reverse) —
+//! beat the best uniform block size?
+//!
+//! ```text
+//! cargo run -p bench --release --bin ablation_varblocks
+//! ```
+
+use blockops::AnalyticCost;
+use commsim::SimConfig;
+use gauss::varblock::{generate_var, graded_partition, uniform_partition};
+use loggp::{presets, Time};
+use predsim_core::report::{secs, Table};
+use predsim_core::{simulate_program, Diagonal, SimOptions};
+
+fn main() {
+    let n = 960;
+    let procs = 8;
+    let layout = Diagonal::new(procs);
+    let cost = AnalyticCost::paper_default();
+    let cfg = SimConfig::new(presets::meiko_cs2(procs));
+
+    println!("== Variable-sized blocks, n={n}, diagonal layout, P={procs} ==");
+    let mut table = Table::new(["partition", "blocks", "predicted (s)"]);
+
+    let mut best_uniform = (0usize, Time::MAX);
+    for b in [20usize, 24, 30, 40] {
+        let part = uniform_partition(b, n / b);
+        let g = generate_var(n, &part, &layout, &cost);
+        let t = simulate_program(&g.program, &SimOptions::new(cfg)).total;
+        if t < best_uniform.1 {
+            best_uniform = (b, t);
+        }
+        table.row([format!("uniform B={b}"), part.len().to_string(), secs(t)]);
+    }
+
+    let candidates: Vec<(String, Vec<usize>)> = vec![
+        ("graded 12 -> x1.15 (grow)".into(), graded_partition(n, 12, 1.15, 12)),
+        ("graded 16 -> x1.10 (grow)".into(), graded_partition(n, 16, 1.10, 16)),
+        ("graded 48 -> x0.95, floor 20".into(), graded_partition(n, 48, 0.95, 20)),
+        ("graded 64 -> x0.90, floor 24".into(), graded_partition(n, 64, 0.90, 24)),
+    ];
+    let mut best_var = (String::new(), Time::MAX);
+    for (name, part) in candidates {
+        let g = generate_var(n, &part, &layout, &cost);
+        let t = simulate_program(&g.program, &SimOptions::new(cfg)).total;
+        if t < best_var.1 {
+            best_var = (name.clone(), t);
+        }
+        table.row([name, part.len().to_string(), secs(t)]);
+    }
+    println!("{}", table.render());
+    println!(
+        "best uniform: B={} at {} s; best graded: {} at {} s ({:+.2}% vs uniform)",
+        best_uniform.0,
+        secs(best_uniform.1),
+        best_var.0,
+        secs(best_var.1),
+        (best_var.1.as_secs_f64() / best_uniform.1.as_secs_f64() - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,68 @@
+//! Baseline — BSP vs. LogGP simulation vs. emulated machine on the
+//! paper's workload. The paper's §1 motivates LogGP simulation over
+//! coarser analytical models; this bench quantifies the claim: the BSP
+//! superstep formula misses per-message gap serialization and imposes
+//! barriers, so its error against the emulated "measured" times is larger
+//! and less stable than the simulation's.
+//!
+//! ```text
+//! cargo run -p bench --release --bin baseline_bsp
+//! ```
+
+use bench::ge::trace_for;
+use commsim::SimConfig;
+use loggp::presets;
+use machine::{emulate, EmulatorConfig};
+use predsim_core::bsp::{predict as bsp_predict, BspParams};
+use predsim_core::report::{secs, Table};
+use predsim_core::{simulate_program, Diagonal, Layout, RowCyclic, SimOptions};
+
+fn panel(layout: &dyn Layout) {
+    let procs = layout.procs();
+    let cfg = SimConfig::new(presets::meiko_cs2(procs));
+    let bsp_params = BspParams::from_loggp(&cfg.params);
+    println!("== {} mapping, n=960, P={procs} ==", layout.name());
+    let mut table = Table::new([
+        "block",
+        "emulated (s)",
+        "LogGP sim (s)",
+        "sim err %",
+        "BSP (s)",
+        "BSP err %",
+    ]);
+    let mut sim_errs = Vec::new();
+    let mut bsp_errs = Vec::new();
+    for b in [10usize, 16, 24, 40, 60, 96, 160] {
+        let trace = trace_for(960, b, layout);
+        let meas = emulate(&trace.program, &trace.loads, &EmulatorConfig::meiko_like(cfg))
+            .prediction
+            .total;
+        let sim = simulate_program(&trace.program, &SimOptions::new(cfg)).total;
+        let bsp = bsp_predict(&trace.program, &bsp_params).total;
+        let sim_err = (sim.as_secs_f64() / meas.as_secs_f64() - 1.0) * 100.0;
+        let bsp_err = (bsp.as_secs_f64() / meas.as_secs_f64() - 1.0) * 100.0;
+        sim_errs.push(sim_err.abs());
+        bsp_errs.push(bsp_err.abs());
+        table.row([
+            b.to_string(),
+            secs(meas),
+            secs(sim),
+            format!("{sim_err:+.1}"),
+            secs(bsp),
+            format!("{bsp_err:+.1}"),
+        ]);
+    }
+    println!("{}", table.render());
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "mean |error| vs emulated machine: LogGP simulation {:.1}%, BSP formula {:.1}%\n",
+        mean(&sim_errs),
+        mean(&bsp_errs)
+    );
+}
+
+fn main() {
+    println!("== Baseline: BSP superstep formula vs. trace-driven LogGP simulation ==");
+    panel(&Diagonal::new(8));
+    panel(&RowCyclic::new(8));
+}

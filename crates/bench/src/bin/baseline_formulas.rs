@@ -1,0 +1,84 @@
+//! Baseline — explicit LogGP formulas for regular patterns (the prior-work
+//! approach the paper replaces) checked against the simulator, plus the
+//! *irregular* patterns where no such formula exists and the simulation is
+//! the only option — the paper's core argument made quantitative.
+//!
+//! ```text
+//! cargo run -p bench --release --bin baseline_formulas
+//! ```
+
+use commsim::formulas;
+use commsim::{patterns, standard, stats, SimConfig};
+use loggp::presets;
+use predsim_core::report::{us, Table};
+
+fn main() {
+    let params = presets::meiko_cs2(16);
+    println!("== Regular patterns: explicit formulas vs simulation ({params}) ==");
+    let mut table = Table::new(["pattern", "formula (us)", "simulated (us)", "match"]);
+    let cases: Vec<(String, loggp::Time, commsim::CommPattern)> = vec![
+        (
+            "point-to-point 1100B".into(),
+            formulas::point_to_point(&params, 1100),
+            {
+                let mut p = commsim::CommPattern::new(2);
+                p.add(0, 1, 1100);
+                p
+            },
+        ),
+        (
+            "linear broadcast p=16, 64B".into(),
+            formulas::linear_broadcast(&params, 16, 64),
+            patterns::linear_broadcast(16, 0, 64),
+        ),
+        (
+            "gather p=16, 4KB".into(),
+            formulas::gather(&params, 16, 4096),
+            patterns::gather(16, 0, 4096),
+        ),
+        ("shift p=16, 2KB".into(), formulas::shift(&params, 2048), patterns::shift(16, 1, 2048)),
+    ];
+    for (name, formula, pattern) in cases {
+        let sim = formulas::simulated(&params, &pattern);
+        table.row([
+            name,
+            us(formula),
+            us(sim),
+            if formula == sim { "exact".into() } else { "DIFFERS".to_string() },
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!("== Irregular patterns: no closed form; simulation vs crude lower bound ==");
+    let mut table = Table::new(["pattern", "lower bound (us)", "simulated (us)", "slack %"]);
+    for (name, pattern) in [
+        ("figure3 (GE wave)", patterns::figure3()),
+        ("random(12, 40 msgs)", patterns::random(12, 40, 4096, 3)),
+        ("random dag(12, 40)", patterns::random_dag(12, 40, 4096, 4)),
+        ("all-to-all(12, 1KB)", patterns::all_to_all(12, 1024)),
+    ] {
+        let lb = formulas::lower_bound(&params, &pattern);
+        let sim = formulas::simulated(&params, &pattern);
+        table.row([
+            name.to_string(),
+            us(lb),
+            us(sim),
+            format!("{:+.1}", (sim.as_us_f64() / lb.as_us_f64() - 1.0) * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("the slack between bound and simulation is queueing/contention no formula captures;");
+
+    // Show the queueing decomposition the simulator provides for one case.
+    let pattern = patterns::figure3();
+    let cfg = SimConfig::new(presets::meiko_cs2(pattern.procs()));
+    let run = standard::simulate(&pattern, &cfg);
+    let st = stats::analyze(&pattern, &cfg, &run.timeline);
+    println!(
+        "figure3 decomposition: completion {}, total queueing {}, max queueing {}, mean port utilization {:.0}%",
+        st.completion,
+        st.total_queueing(),
+        st.max_queueing(),
+        st.mean_utilization() * 100.0
+    );
+}

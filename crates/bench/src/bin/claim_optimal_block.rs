@@ -1,0 +1,65 @@
+//! In-text claim (§6.3 + §7): the predicted optimal block size, fed back
+//! into the real system, yields a running time close to the true optimum —
+//! and the search for it can be automated (the paper's future work,
+//! implemented in `predsim_core::search`).
+//!
+//! ```text
+//! cargo run -p bench --release --bin claim_optimal_block
+//! ```
+
+use bench::ge::{sweep, trace_for, SweepConfig};
+use loggp::presets;
+use predsim_core::report::secs;
+use predsim_core::search::{hill_climb, sweep as search_sweep};
+use predsim_core::{simulate_program, Diagonal, Layout, RowCyclic, SimOptions};
+
+fn panel(layout: &dyn Layout, cfg: &SweepConfig) {
+    println!("-- {} mapping --", layout.name());
+    let rows = sweep(layout, cfg);
+
+    // Ground truth on the emulated machine (with caches).
+    let best_real =
+        rows.iter().min_by_key(|r| r.meas_cache.prediction.total).expect("rows");
+    // Prediction-driven choices.
+    let best_pred_std = rows.iter().min_by_key(|r| r.sim_std.total).unwrap();
+    let best_pred_wc = rows.iter().min_by_key(|r| r.sim_wc.total).unwrap();
+
+    let real = |b: usize| rows.iter().find(|r| r.b == b).unwrap().meas_cache.prediction.total;
+    for (name, pick) in [("standard", best_pred_std.b), ("worst-case", best_pred_wc.b)] {
+        let t = real(pick);
+        println!(
+            "predicted optimum ({name}): B={pick}; real time there {} s vs true optimum {} s at B={} ({:+.2}%)",
+            secs(t),
+            secs(best_real.meas_cache.prediction.total),
+            best_real.b,
+            (t.as_secs_f64() / best_real.meas_cache.prediction.total.as_secs_f64() - 1.0) * 100.0
+        );
+    }
+
+    // Automated search (§7 future work): hill-climb over the candidate
+    // list, each evaluation being one full program prediction.
+    let sim_cfg = commsim::SimConfig::new(presets::meiko_cs2(cfg.procs));
+    let mut evals_full = 0usize;
+    let full = search_sweep(&cfg.blocks, |b| {
+        evals_full += 1;
+        simulate_program(&trace_for(cfg.n, b, layout).program, &SimOptions::new(sim_cfg)).total
+    });
+    let hc = hill_climb(&cfg.blocks, 4, |b| {
+        simulate_program(&trace_for(cfg.n, b, layout).program, &SimOptions::new(sim_cfg)).total
+    });
+    println!(
+        "automatic search: exhaustive B={} ({} evals) vs hill-climb B={} ({} evals, {:+.2}% time)\n",
+        full.best,
+        full.evals(),
+        hc.best,
+        hc.evals(),
+        (hc.best_time.as_secs_f64() / full.best_time.as_secs_f64() - 1.0) * 100.0
+    );
+}
+
+fn main() {
+    println!("== Claim: predicted optima land near the true optimum ==");
+    let cfg = SweepConfig::default();
+    panel(&Diagonal::new(cfg.procs), &cfg);
+    panel(&RowCyclic::new(cfg.procs), &cfg);
+}

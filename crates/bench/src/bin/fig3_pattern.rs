@@ -1,0 +1,28 @@
+//! Figure 3 — the sample communication pattern (reconstructed; see
+//! `commsim::patterns::figure3` docs and EXPERIMENTS.md).
+//!
+//! Prints the message list, per-processor degrees and the Graphviz DOT
+//! form of the pattern.
+//!
+//! ```text
+//! cargo run -p bench --release --bin fig3_pattern
+//! ```
+
+use commsim::patterns;
+use predsim_core::report::Table;
+
+fn main() {
+    let p = patterns::figure3();
+    println!("== Figure 3: sample GE communication pattern ==");
+    print!("{p}");
+    println!();
+
+    let mut table = Table::new(["proc", "sends", "receives"]);
+    let (s, r) = (p.send_counts(), p.recv_counts());
+    for proc in p.active_procs() {
+        table.row([format!("P{proc}"), s[proc].to_string(), r[proc].to_string()]);
+    }
+    println!("{}", table.render());
+    println!("acyclic: {}", !p.has_cycle());
+    println!("\nGraphviz:\n{}", p.to_dot());
+}

@@ -1,0 +1,31 @@
+//! Figure 4 — the send/receive sequence the *standard* algorithm derives
+//! for the Figure 3 pattern on Meiko CS-2 parameters.
+//!
+//! The paper reports the step completing ~76 µs after its start, with
+//! processor 7 (1-indexed) terminating last, and processor 6 handling its
+//! two receives before its second send (receive priority). Our
+//! reconstruction reproduces all three observations (0-indexed: P6 last,
+//! P5 receives twice before its second send).
+//!
+//! ```text
+//! cargo run -p bench --release --bin fig4_standard_timeline
+//! ```
+
+use commsim::{gantt, patterns, standard, SimConfig};
+use loggp::presets;
+
+fn main() {
+    let pattern = patterns::figure3();
+    let cfg = SimConfig::new(presets::meiko_cs2(pattern.procs()));
+    let r = standard::simulate(&pattern, &cfg);
+
+    println!("== Figure 4: standard algorithm on the Figure 3 pattern ==");
+    println!("machine: {}", cfg.params);
+    println!("message length: {} bytes\n", patterns::FIGURE3_BYTES);
+    print!("{}", gantt::render(&r.timeline, 100));
+    println!(
+        "\nlast processor(s): {:?} (paper: processor 7, 1-indexed)",
+        r.timeline.critical_procs().iter().map(|p| format!("P{p}")).collect::<Vec<_>>()
+    );
+    println!("\nevent table:\n{}", gantt::event_table(&r.timeline));
+}

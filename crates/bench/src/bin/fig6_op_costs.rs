@@ -1,0 +1,52 @@
+//! Figure 6 — running time of the four basic block operations vs. block
+//! size: nonlinear curves whose order *flips* (Op1 dearest for small
+//! blocks, the multiply-update dearest for large ones).
+//!
+//! Two tables are printed: the deterministic analytic model used by the
+//! predictions, and real host measurements of the Rust implementations
+//! (the paper's own methodology — absolute values are host-specific, the
+//! crossing shape is what matters).
+//!
+//! ```text
+//! cargo run -p bench --release --bin fig6_op_costs
+//! ```
+
+use blockops::{AnalyticCost, CostModel, MeasuredCost, OpClass};
+use predsim_core::report::{us, Table};
+
+fn print_model(name: &str, model: &dyn CostModel, blocks: &[usize]) {
+    println!("== Figure 6 ({name}): basic-operation running time (us) ==");
+    let mut table = Table::new(["block", "Op1", "Op2", "Op3", "Op4", "most expensive"]);
+    for &b in blocks {
+        let costs: Vec<_> = OpClass::ALL.iter().map(|&op| model.op_cost(op, b)).collect();
+        let dearest = OpClass::ALL
+            .iter()
+            .zip(&costs)
+            .max_by_key(|(_, c)| **c)
+            .map(|(op, _)| op.name())
+            .unwrap();
+        table.row([
+            b.to_string(),
+            us(costs[0]),
+            us(costs[1]),
+            us(costs[2]),
+            us(costs[3]),
+            dearest.into(),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+fn main() {
+    let blocks = gauss::PAPER_BLOCK_SIZES;
+    print_model("analytic", &AnalyticCost::paper_default(), &blocks);
+
+    let measured = MeasuredCost::new(5);
+    measured.precalibrate(&blocks);
+    print_model("measured on this host", &measured, &blocks);
+
+    println!(
+        "paper's observations to check: Op1 dominates small blocks; the curves cross; the\n\
+         multiply-update costs ~2x Op1 at the largest block sizes."
+    );
+}

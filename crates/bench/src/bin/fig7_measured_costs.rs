@@ -1,0 +1,66 @@
+//! Figure 7 variant — the paper's *actual* methodology end to end: measure
+//! the basic-operation running times on the host (as the authors measured
+//! theirs on a CS-2 node), feed those measured costs into the trace
+//! generator, and predict. Host-dependent by design; the deterministic
+//! analytic variant lives in `fig7_total_time`.
+//!
+//! This is also where a *sawtooth* can reappear: host-measured op costs
+//! carry real cache-step nonlinearities that the smooth analytic
+//! polynomial does not.
+//!
+//! ```text
+//! cargo run -p bench --release --bin fig7_measured_costs
+//! ```
+
+use blockops::MeasuredCost;
+use commsim::SimConfig;
+use loggp::presets;
+use predsim_core::report::{secs, Table};
+use predsim_core::{simulate_program, Diagonal, Layout, RowCyclic, SimOptions};
+
+fn panel(layout: &dyn Layout, cost: &MeasuredCost, blocks: &[usize]) {
+    let procs = layout.procs();
+    let cfg = SimConfig::new(presets::meiko_cs2(procs));
+    println!("== {} mapping, n=960, host-measured op costs ==", layout.name());
+    let mut table = Table::new(["block", "predicted total (s)", "delta vs prev %"]);
+    let mut prev: Option<f64> = None;
+    let mut best = (0usize, f64::MAX);
+    let mut sign_changes = 0usize;
+    let mut last_delta = 0.0f64;
+    for &b in blocks {
+        let trace = gauss::generate(960, b, layout, cost);
+        let t = simulate_program(&trace.program, &SimOptions::new(cfg)).total.as_secs_f64();
+        let delta = prev.map(|p| (t / p - 1.0) * 100.0).unwrap_or(0.0);
+        if prev.is_some() && last_delta != 0.0 && delta.signum() != last_delta.signum() {
+            sign_changes += 1;
+        }
+        if prev.is_some() {
+            last_delta = delta;
+        }
+        if t < best.1 {
+            best = (b, t);
+        }
+        table.row([
+            b.to_string(),
+            format!("{t:.4}"),
+            if prev.is_some() { format!("{delta:+.1}") } else { "-".into() },
+        ]);
+        prev = Some(t);
+    }
+    println!("{}", table.render());
+    println!(
+        "optimal B = {} at {} s; direction changes along the sweep: {} (≥1 indicates non-monotone/sawtooth structure)\n",
+        best.0,
+        secs(loggp::Time::from_secs(best.1)),
+        sign_changes
+    );
+}
+
+fn main() {
+    let blocks = gauss::PAPER_BLOCK_SIZES;
+    println!("calibrating the four basic operations at {} block sizes on this host...", blocks.len());
+    let cost = MeasuredCost::new(5);
+    cost.precalibrate(&blocks);
+    panel(&Diagonal::new(8), &cost, &blocks);
+    panel(&RowCyclic::new(8), &cost, &blocks);
+}

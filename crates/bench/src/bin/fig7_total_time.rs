@@ -1,0 +1,59 @@
+//! Figure 7 — total running time vs. block size, for the diagonal mapping
+//! (top panel) and the row-stripped-cyclic mapping (bottom panel).
+//!
+//! Series, in the paper's legend order: measured w/o caching, measured
+//! w. caching, simulated standard, simulated worst case. Times in seconds.
+//!
+//! ```text
+//! cargo run -p bench --release --bin fig7_total_time
+//! ```
+
+use bench::ge::{argmin_b, sweep, SweepConfig};
+use predsim_core::report::{secs, Table};
+use predsim_core::{Diagonal, Layout, RowCyclic};
+
+fn panel(layout: &dyn Layout, cfg: &SweepConfig) {
+    println!("== Figure 7 ({} mapping): total running time (s), n={}, P={} ==", layout.name(), cfg.n, cfg.procs);
+    let rows = sweep(layout, cfg);
+    let mut table = Table::new([
+        "block",
+        "measured w/o caching",
+        "measured w. caching",
+        "simulated standard",
+        "simulated worst case",
+    ]);
+    for r in &rows {
+        let [m0, m1, s0, s1] = r.fig7();
+        table.row([r.b.to_string(), secs(m0), secs(m1), secs(s0), secs(s1)]);
+    }
+    println!("{}", table.render());
+    println!(
+        "optimal block size: simulated(std) B={}, simulated(worst) B={}, measured(w cache) B={}, measured(w/o cache) B={}",
+        argmin_b(&rows, |r| r.sim_std.total),
+        argmin_b(&rows, |r| r.sim_wc.total),
+        argmin_b(&rows, |r| r.meas_cache.prediction.total),
+        argmin_b(&rows, |r| r.meas_nocache.prediction.total),
+    );
+    // The paper's headline use: how far from optimal do you land if you
+    // pick the *predicted* best block size?
+    let b_pred = argmin_b(&rows, |r| r.sim_wc.total);
+    let t_at_pred = rows
+        .iter()
+        .find(|r| r.b == b_pred)
+        .map(|r| r.meas_cache.prediction.total)
+        .unwrap();
+    let t_best = rows.iter().map(|r| r.meas_cache.prediction.total).min().unwrap();
+    println!(
+        "picking the predicted B={} costs {} s vs true optimum {} s ({:+.1}%)\n",
+        b_pred,
+        secs(t_at_pred),
+        secs(t_best),
+        (t_at_pred.as_secs_f64() / t_best.as_secs_f64() - 1.0) * 100.0
+    );
+}
+
+fn main() {
+    let cfg = SweepConfig::default();
+    panel(&Diagonal::new(cfg.procs), &cfg);
+    panel(&RowCyclic::new(cfg.procs), &cfg);
+}

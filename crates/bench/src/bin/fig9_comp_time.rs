@@ -1,0 +1,49 @@
+//! Figure 9 — computation time vs. block size for both layouts.
+//!
+//! The paper's claim: predicted computation times are very close to the
+//! measured ones, with the measurement slightly higher at small block
+//! sizes because of the per-block iteration overhead the simple
+//! simulation ignores.
+//!
+//! ```text
+//! cargo run -p bench --release --bin fig9_comp_time
+//! ```
+
+use bench::ge::{sweep, SweepConfig};
+use predsim_core::report::{secs, Table};
+use predsim_core::{Diagonal, Layout, RowCyclic};
+
+fn panel(layout: &dyn Layout, cfg: &SweepConfig) {
+    println!("== Figure 9 ({} mapping): computation time (s) ==", layout.name());
+    let rows = sweep(layout, cfg);
+    let mut table = Table::new(["block", "measured", "simulated", "measured/simulated"]);
+    for r in &rows {
+        let [meas, sim] = r.fig9();
+        table.row([
+            r.b.to_string(),
+            secs(meas),
+            secs(sim),
+            format!("{:.3}", meas.as_secs_f64() / sim.as_secs_f64()),
+        ]);
+    }
+    println!("{}", table.render());
+    let small = rows.first().unwrap();
+    let large = rows.last().unwrap();
+    let ratio = |r: &bench::ge::GeRow| {
+        let [m, s] = r.fig9();
+        m.as_secs_f64() / s.as_secs_f64()
+    };
+    println!(
+        "iteration-overhead gap: {:.1}% at B={} vs {:.1}% at B={} (paper: larger for small blocks)\n",
+        (ratio(small) - 1.0) * 100.0,
+        small.b,
+        (ratio(large) - 1.0) * 100.0,
+        large.b
+    );
+}
+
+fn main() {
+    let cfg = SweepConfig::default();
+    panel(&Diagonal::new(cfg.procs), &cfg);
+    panel(&RowCyclic::new(cfg.procs), &cfg);
+}

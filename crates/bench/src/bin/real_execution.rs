@@ -1,0 +1,43 @@
+//! Host wall-clock execution of the *real* threaded blocked elimination
+//! (`gauss::parallel`) across block sizes — the closest this repo can get
+//! to the paper's physical measurement. Host-dependent and noisy by
+//! nature (OS threads on shared cores, not 8 dedicated CS-2 nodes), so
+//! nothing here is asserted; the point is that the U-shaped dependence of
+//! wall time on block size shows up on real silicon too.
+//!
+//! ```text
+//! cargo run -p bench --release --bin real_execution
+//! ```
+
+use blockops::Matrix;
+use predsim_core::report::Table;
+use predsim_core::{Diagonal, Layout, RowCyclic};
+
+fn main() {
+    let n = 480;
+    let procs = 8;
+    let reps = 3;
+    println!("== Real threaded execution, n={n}, {procs} worker threads, best of {reps} ==");
+    let a = Matrix::random_diag_dominant(n, 42);
+
+    let layouts: Vec<Box<dyn Layout>> =
+        vec![Box::new(Diagonal::new(procs)), Box::new(RowCyclic::new(procs))];
+    for layout in &layouts {
+        let mut table = Table::new(["block", "wall time (ms)"]);
+        let mut best = (0usize, f64::MAX);
+        for b in [10usize, 16, 24, 40, 60, 96, 160] {
+            let mut fastest = f64::MAX;
+            for _ in 0..reps {
+                let run = gauss::parallel::factorize(&a, b, layout.as_ref());
+                fastest = fastest.min(run.elapsed.as_secs_f64() * 1e3);
+            }
+            if fastest < best.1 {
+                best = (b, fastest);
+            }
+            table.row([b.to_string(), format!("{fastest:.2}")]);
+        }
+        println!("-- {} --\n{}", layout.name(), table.render());
+        println!("fastest on this host: B={} at {:.2} ms\n", best.0, best.1);
+    }
+    println!("(numbers are host-specific; the predictor's job is the 1996 testbed, not this CPU)");
+}

@@ -1,0 +1,70 @@
+//! Simulator performance: how many message events per second the two
+//! algorithms process — what makes sweep-based optimization cheap enough
+//! to be the paper's selling point.
+//!
+//! ```text
+//! cargo run -p bench --release --bin sim_throughput
+//! ```
+
+use commsim::{patterns, standard, worstcase, SimConfig};
+use loggp::presets;
+use predsim_core::report::Table;
+use std::time::Instant;
+
+fn rate(msgs: usize, reps: usize, f: impl Fn()) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    (msgs * reps) as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    println!("== Simulator throughput (message events / second, this host) ==");
+    let mut table = Table::new(["pattern", "messages", "standard (Mmsg/s)", "worst-case (Mmsg/s)"]);
+    let cases: Vec<(String, commsim::CommPattern)> = vec![
+        ("figure3".into(), patterns::figure3()),
+        ("all-to-all(32, 1KB)".into(), patterns::all_to_all(32, 1024)),
+        ("all-to-all(64, 1KB)".into(), patterns::all_to_all(64, 1024)),
+        ("random(64, 10k msgs)".into(), patterns::random(64, 10_000, 4096, 1)),
+        ("random(128, 50k msgs)".into(), patterns::random(128, 50_000, 4096, 2)),
+    ];
+    for (name, pattern) in cases {
+        let cfg = SimConfig::new(presets::meiko_cs2(pattern.procs()));
+        let msgs = pattern.network_messages().count();
+        let reps = (200_000 / msgs.max(1)).clamp(3, 2_000);
+        let std_rate = rate(msgs, reps, || {
+            std::hint::black_box(standard::simulate(&pattern, &cfg));
+        });
+        let wc_rate = rate(msgs, reps, || {
+            std::hint::black_box(worstcase::simulate(&pattern, &cfg));
+        });
+        table.row([
+            name,
+            msgs.to_string(),
+            format!("{:.2}", std_rate / 1e6),
+            format!("{:.2}", wc_rate / 1e6),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // Whole-program rate on the paper's workload.
+    let layout = predsim_core::Diagonal::new(8);
+    let trace = bench::ge::trace_for(960, 24, &layout);
+    let msgs = trace.program.total_messages();
+    let cfg = SimConfig::new(presets::meiko_cs2(8));
+    let t0 = Instant::now();
+    let reps = 10;
+    for _ in 0..reps {
+        std::hint::black_box(predsim_core::simulate_program(
+            &trace.program,
+            &predsim_core::SimOptions::new(cfg),
+        ));
+    }
+    let dt = t0.elapsed().as_secs_f64() / reps as f64;
+    println!(
+        "whole-program GE n=960 B=24 ({} steps, {msgs} messages): {:.1} ms per prediction — a full 14-point sweep costs well under a second",
+        trace.program.len(),
+        dt * 1e3
+    );
+}

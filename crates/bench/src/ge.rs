@@ -1,0 +1,180 @@
+//! The Gaussian-elimination block-size sweep behind Figures 7, 8 and 9.
+//!
+//! For each block size the sweep produces the four series the paper plots:
+//! simulated standard, simulated worst-case, "measured" without caching
+//! and "measured" with caching — the measured pair coming from the machine
+//! emulator (see `machine` crate docs for the substitution rationale).
+
+use blockops::AnalyticCost;
+use commsim::SimConfig;
+use gauss::trace::GeProgram;
+use loggp::{presets, Time};
+use machine::{emulate, EmulatorConfig, Measurement};
+use predsim_core::{simulate_program, Layout, Prediction, SimOptions};
+
+/// Sweep parameters.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Matrix dimension (the paper: 960).
+    pub n: usize,
+    /// Processor count (the paper: 8).
+    pub procs: usize,
+    /// Block sizes to evaluate (the paper's candidate set by default).
+    pub blocks: Vec<usize>,
+    /// RNG seed for the emulator's jitter.
+    pub seed: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            n: gauss::MATRIX_N,
+            procs: 8,
+            blocks: gauss::PAPER_BLOCK_SIZES.to_vec(),
+            seed: 0,
+        }
+    }
+}
+
+/// One row of the sweep: every series the paper's Figures 7–9 plot, for
+/// one block size.
+#[derive(Clone, Debug)]
+pub struct GeRow {
+    /// Block size.
+    pub b: usize,
+    /// Predicted totals/breakdowns, standard algorithm (Figs 7/8/9
+    /// "simulated - standard").
+    pub sim_std: Prediction,
+    /// Predicted with the worst-case algorithm ("simulated - worst case").
+    pub sim_wc: Prediction,
+    /// Emulated with the cache model disabled ("measured - w/o caching").
+    pub meas_nocache: Measurement,
+    /// Emulated with the cache model ("measured - w. caching").
+    pub meas_cache: Measurement,
+}
+
+impl GeRow {
+    /// The four total-time series of Figure 7, in the paper's legend
+    /// order: measured w/o caching, measured w. caching, simulated
+    /// standard, simulated worst case.
+    pub fn fig7(&self) -> [Time; 4] {
+        [
+            self.meas_nocache.prediction.total,
+            self.meas_cache.prediction.total,
+            self.sim_std.total,
+            self.sim_wc.total,
+        ]
+    }
+
+    /// Figure 8's communication-time series: measured, simulated standard,
+    /// simulated worst case.
+    pub fn fig8(&self) -> [Time; 3] {
+        [self.meas_nocache.prediction.comm_time, self.sim_std.comm_time, self.sim_wc.comm_time]
+    }
+
+    /// Figure 9's computation-time series: measured, simulated.
+    pub fn fig9(&self) -> [Time; 2] {
+        [self.meas_nocache.prediction.comp_time, self.sim_std.comp_time]
+    }
+}
+
+/// Generate the trace for one `(n, b, layout)` configuration with the
+/// deterministic analytic cost model.
+pub fn trace_for(n: usize, b: usize, layout: &dyn Layout) -> GeProgram {
+    gauss::generate(n, b, layout, &AnalyticCost::paper_default())
+}
+
+/// Run the full sweep for one layout with default machine parameters.
+pub fn sweep(layout: &dyn Layout, cfg: &SweepConfig) -> Vec<GeRow> {
+    sweep_with(layout, cfg, |c| c)
+}
+
+/// [`sweep`] with an emulator-configuration hook (used by ablations).
+pub fn sweep_with(
+    layout: &dyn Layout,
+    cfg: &SweepConfig,
+    tweak: impl Fn(EmulatorConfig) -> EmulatorConfig,
+) -> Vec<GeRow> {
+    assert_eq!(layout.procs(), cfg.procs, "layout and sweep processor counts differ");
+    let sim_cfg = SimConfig::new(presets::meiko_cs2(cfg.procs)).with_seed(cfg.seed);
+    cfg.blocks
+        .iter()
+        .map(|&b| {
+            let trace = trace_for(cfg.n, b, layout);
+            let sim_std = simulate_program(&trace.program, &SimOptions::new(sim_cfg));
+            let sim_wc =
+                simulate_program(&trace.program, &SimOptions::new(sim_cfg).worst_case());
+            let base = tweak(EmulatorConfig::meiko_like(sim_cfg));
+            let meas_cache = emulate(&trace.program, &trace.loads, &base);
+            let meas_nocache =
+                emulate(&trace.program, &trace.loads, &base.clone().without_cache());
+            GeRow { b, sim_std, sim_wc, meas_nocache, meas_cache }
+        })
+        .collect()
+}
+
+/// The block size with minimum value of `f` over the rows.
+pub fn argmin_b(rows: &[GeRow], f: impl Fn(&GeRow) -> Time) -> usize {
+    rows.iter().min_by_key(|r| f(r)).expect("non-empty sweep").b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predsim_core::{Diagonal, RowCyclic};
+
+    /// A reduced sweep (small matrix, few block sizes) exercising the whole
+    /// pipeline; the full-scale shapes are asserted by the integration
+    /// tests and recorded in EXPERIMENTS.md.
+    fn small_cfg() -> SweepConfig {
+        SweepConfig { n: 120, procs: 4, blocks: vec![10, 20, 40, 60], seed: 1 }
+    }
+
+    #[test]
+    fn sweep_produces_all_series() {
+        let cfg = small_cfg();
+        let rows = sweep(&Diagonal::new(4), &cfg);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.sim_std.total > Time::ZERO);
+            assert!(r.sim_wc.total >= r.sim_std.total, "b={}", r.b);
+            // Cache effects only add time.
+            assert!(r.meas_cache.prediction.total >= r.meas_nocache.prediction.total);
+            // Measured communication sits above the pure-LogGP standard
+            // prediction (contention + local copies only add).
+            let [meas, std, _wc] = r.fig8();
+            assert!(meas >= std, "b={}: meas {meas} < std {std}", r.b);
+        }
+    }
+
+    #[test]
+    fn comp_time_independent_of_layout_totals_differ() {
+        let cfg = small_cfg();
+        let diag = sweep(&Diagonal::new(4), &cfg);
+        let rows = sweep(&RowCyclic::new(4), &cfg);
+        for (d, r) in diag.iter().zip(&rows) {
+            // Same ops are executed regardless of layout; only their
+            // distribution differs, so *total* work matches while critical
+            // computation paths generally differ.
+            let d_sum: Time = d.sim_std.per_proc_comp.iter().copied().sum();
+            let r_sum: Time = r.sim_std.per_proc_comp.iter().copied().sum();
+            assert_eq!(d_sum, r_sum, "b={}", d.b);
+        }
+    }
+
+    #[test]
+    fn argmin_finds_minimum() {
+        let cfg = small_cfg();
+        let rows = sweep(&Diagonal::new(4), &cfg);
+        let b = argmin_b(&rows, |r| r.sim_std.total);
+        let min = rows.iter().map(|r| r.sim_std.total).min().unwrap();
+        assert_eq!(rows.iter().find(|r| r.b == b).unwrap().sim_std.total, min);
+    }
+
+    #[test]
+    #[should_panic(expected = "processor counts differ")]
+    fn layout_mismatch_rejected() {
+        let cfg = small_cfg();
+        let _ = sweep(&Diagonal::new(5), &cfg);
+    }
+}

@@ -1,0 +1,10 @@
+//! Shared harness code for the figure regenerators and Criterion benches.
+//!
+//! Every figure of the paper's evaluation has a binary in `src/bin/`
+//! (`cargo run -p bench --release --bin fig7_total_time`); this library
+//! holds the sweep logic they share. See `DESIGN.md` §4 for the
+//! experiment index and `EXPERIMENTS.md` for recorded results.
+
+pub mod ge;
+
+pub use ge::{sweep, sweep_with, GeRow, SweepConfig};

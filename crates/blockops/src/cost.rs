@@ -1,0 +1,453 @@
+//! Cost models: mapping `(basic operation, block size)` to simulated time.
+//!
+//! The paper's prediction pipeline measures the running time of each basic
+//! operation per block size once, then charges those costs along the
+//! simulated control flow. Three models are provided:
+//!
+//! * [`MeasuredCost`] — times the real Rust implementations on the host
+//!   (medians over repetitions), exactly the paper's methodology;
+//! * [`AnalyticCost`] — a deterministic polynomial model
+//!   `c₃·B³ + c₂·B² + c₁·B + c₀` per operation, with default coefficients
+//!   chosen to reproduce the paper's Figure 6 *shape*: for small blocks
+//!   Op1 (triangularize + invert) is the most expensive; around B ≈ 40 the
+//!   four curves meet; for large blocks the multiply-update Op4 costs about
+//!   twice Op1. Used everywhere determinism matters (tests, simulations);
+//! * [`TableCost`] — explicit per-entry costs (e.g. imported measurements).
+
+use crate::matrix::Matrix;
+use crate::ops;
+use loggp::Time;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// The four basic operations of the blocked elimination.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpClass {
+    /// Triangularize the diagonal block and invert its factors.
+    Op1,
+    /// Row-panel update with `L⁻¹`.
+    Op2,
+    /// Column-panel update with `U⁻¹`.
+    Op3,
+    /// Interior multiply-subtract update.
+    Op4,
+}
+
+impl OpClass {
+    /// All four operations, in order.
+    pub const ALL: [OpClass; 4] = [OpClass::Op1, OpClass::Op2, OpClass::Op3, OpClass::Op4];
+
+    /// Display name ("Op1" … "Op4").
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Op1 => "Op1",
+            OpClass::Op2 => "Op2",
+            OpClass::Op3 => "Op3",
+            OpClass::Op4 => "Op4",
+        }
+    }
+
+    /// Floating-point operation count of this operation on a `b × b`
+    /// block (leading terms; used by the analytic model and by
+    /// machine-balance analyses).
+    pub fn flops(self, b: usize) -> u64 {
+        let b3 = (b as u64).pow(3);
+        let b2 = (b as u64).pow(2);
+        match self {
+            // LU (≈2/3·b³) + two triangular inversions (≈2·b³/3 together).
+            OpClass::Op1 => 4 * b3 / 3 + 2 * b2,
+            // Triangular × general multiply.
+            OpClass::Op2 | OpClass::Op3 => b3 + b2,
+            // General multiply-subtract.
+            OpClass::Op4 => 2 * b3,
+        }
+    }
+}
+
+impl std::fmt::Display for OpClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A model of basic-operation running time.
+pub trait CostModel: Send + Sync {
+    /// Simulated running time of `op` on a `b × b` block.
+    fn op_cost(&self, op: OpClass, b: usize) -> Time;
+
+    /// Simulated running time of `op` on a **rectangular** operand — the
+    /// variable-sized-blocks extension (paper §7). `rows × cols` is the
+    /// target block; `inner` is the contraction dimension (for Op4 the
+    /// shared dimension of the two source panels; for Op2/Op3 the
+    /// triangular factor's order; ignored for Op1, whose block is square).
+    ///
+    /// The default maps the rectangle onto the square model at the
+    /// *cube-equivalent* edge `b_eff = ⌈(rows·cols·inner)^(1/3)⌋` — the
+    /// square block with the same cubic work volume — which keeps any
+    /// square-calibrated model usable on variable partitions. Models with
+    /// genuinely rectangular calibrations override this.
+    fn op_cost_rect(&self, op: OpClass, rows: usize, cols: usize, inner: usize) -> Time {
+        let b_eff = cube_equivalent_edge(rows, cols, inner);
+        self.op_cost(op, b_eff)
+    }
+
+    /// Human-readable model name (for reports).
+    fn model_name(&self) -> &str;
+}
+
+/// The square-block edge with the same cubic work volume as a
+/// `rows × cols × inner` operation: `round((rows·cols·inner)^(1/3))`,
+/// at least 1.
+pub fn cube_equivalent_edge(rows: usize, cols: usize, inner: usize) -> usize {
+    let volume = (rows as f64) * (cols as f64) * (inner as f64);
+    (volume.cbrt().round() as usize).max(1)
+}
+
+/// Polynomial cost per operation: `c₃·B³ + c₂·B² + c₁·B + c₀`, all
+/// coefficients in picoseconds.
+#[derive(Clone, Copy, Debug)]
+pub struct PolyCost {
+    /// Cubic coefficient (ps per element³).
+    pub c3: u64,
+    /// Quadratic coefficient (ps per element²).
+    pub c2: u64,
+    /// Linear coefficient (ps per element).
+    pub c1: u64,
+    /// Fixed per-invocation overhead (ps).
+    pub c0: u64,
+}
+
+impl PolyCost {
+    /// Evaluate at block size `b`.
+    pub fn eval(&self, b: usize) -> Time {
+        let b = b as u64;
+        Time::from_ps(self.c3 * b.pow(3) + self.c2 * b.pow(2) + self.c1 * b + self.c0)
+    }
+}
+
+/// Deterministic analytic cost model (see module docs).
+#[derive(Clone, Copy, Debug)]
+pub struct AnalyticCost {
+    coeffs: [PolyCost; 4],
+    name: &'static str,
+}
+
+/// Picoseconds per floating-point operation of the default analytic node:
+/// 25 ns/flop ≈ 40 MFLOPS, a CS-2-era SuperSPARC.
+pub const DEFAULT_PS_PER_FLOP: u64 = 25_000;
+
+impl AnalyticCost {
+    /// The default model. Coefficients (f = 25 ns/flop):
+    ///
+    /// | op | c₃ | c₂ | c₀ | rationale |
+    /// |----|----|----|----|-----------|
+    /// | Op1 | 1·f | 40·f | 20 µs | factor+invert: cubic work with a heavy per-row/call overhead that dominates small blocks |
+    /// | Op2, Op3 | 1.2·f | 8·f | 10 µs | triangular multiply, slightly worse locality |
+    /// | Op4 | 2·f | 2·f | 8 µs | plain GEMM-subtract: biggest cubic term, tiny overhead |
+    ///
+    /// Solving Op1 = Op4 gives a crossover near B ≈ 41; below it Op1 is the
+    /// most expensive operation, above it Op4 — the paper's Figure 6.
+    pub fn paper_default() -> Self {
+        let f = DEFAULT_PS_PER_FLOP;
+        AnalyticCost {
+            coeffs: [
+                PolyCost { c3: f, c2: 40 * f, c1: 0, c0: 20_000_000 }, // Op1
+                PolyCost { c3: 12 * f / 10, c2: 8 * f, c1: 0, c0: 10_000_000 }, // Op2
+                PolyCost { c3: 12 * f / 10, c2: 8 * f, c1: 0, c0: 10_000_000 }, // Op3
+                PolyCost { c3: 2 * f, c2: 2 * f, c1: 0, c0: 8_000_000 }, // Op4
+            ],
+            name: "analytic(paper-default)",
+        }
+    }
+
+    /// A model with explicit per-op polynomials (Op1..Op4 order).
+    pub fn with_coeffs(coeffs: [PolyCost; 4]) -> Self {
+        AnalyticCost { coeffs, name: "analytic(custom)" }
+    }
+
+    /// The polynomial for one operation.
+    pub fn poly(&self, op: OpClass) -> PolyCost {
+        self.coeffs[op_index(op)]
+    }
+}
+
+fn op_index(op: OpClass) -> usize {
+    match op {
+        OpClass::Op1 => 0,
+        OpClass::Op2 => 1,
+        OpClass::Op3 => 2,
+        OpClass::Op4 => 3,
+    }
+}
+
+impl CostModel for AnalyticCost {
+    fn op_cost(&self, op: OpClass, b: usize) -> Time {
+        self.coeffs[op_index(op)].eval(b)
+    }
+
+    fn model_name(&self) -> &str {
+        self.name
+    }
+}
+
+/// Explicit cost table.
+#[derive(Clone, Debug, Default)]
+pub struct TableCost {
+    map: HashMap<(OpClass, usize), Time>,
+    name: String,
+}
+
+impl TableCost {
+    /// An empty table with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TableCost { map: HashMap::new(), name: name.into() }
+    }
+
+    /// Record the cost of `(op, b)`.
+    pub fn insert(&mut self, op: OpClass, b: usize, cost: Time) {
+        self.map.insert((op, b), cost);
+    }
+
+    /// Look up a cost, if present.
+    pub fn get(&self, op: OpClass, b: usize) -> Option<Time> {
+        self.map.get(&(op, b)).copied()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True iff the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl CostModel for TableCost {
+    fn op_cost(&self, op: OpClass, b: usize) -> Time {
+        self.get(op, b)
+            .unwrap_or_else(|| panic!("TableCost '{}' has no entry for {op} at B={b}", self.name))
+    }
+
+    fn model_name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Host-measured cost model: runs the real basic operations on random
+/// diagonally dominant blocks and takes the median wall-clock time of
+/// `reps` repetitions. Results are cached per `(op, b)`, so the first call
+/// for a new pair is expensive. This is the paper's own methodology ("we
+/// implemented the basic block operations … and we measured the running
+/// time of each operation for different block sizes"), and therefore
+/// intentionally *not* deterministic across hosts.
+pub struct MeasuredCost {
+    cache: Mutex<HashMap<(OpClass, usize), Time>>,
+    reps: usize,
+}
+
+impl MeasuredCost {
+    /// A model that medians over `reps` repetitions per measurement.
+    pub fn new(reps: usize) -> Self {
+        MeasuredCost { cache: Mutex::new(HashMap::new()), reps: reps.max(1) }
+    }
+
+    /// Measure every `(op, b)` pair up front (e.g. before a sweep).
+    pub fn precalibrate(&self, block_sizes: &[usize]) {
+        for &b in block_sizes {
+            for op in OpClass::ALL {
+                let _ = self.op_cost(op, b);
+            }
+        }
+    }
+
+    fn measure(op: OpClass, b: usize, reps: usize) -> Time {
+        let mut samples = Vec::with_capacity(reps);
+        for rep in 0..reps {
+            let seed = (b as u64) << 8 | rep as u64;
+            let elapsed = match op {
+                OpClass::Op1 => {
+                    let mut blk = Matrix::random_diag_dominant(b, seed);
+                    let t0 = std::time::Instant::now();
+                    let f = ops::op1_diagonal(&mut blk).expect("diag dominant block factors");
+                    let dt = t0.elapsed();
+                    std::hint::black_box(&f);
+                    dt
+                }
+                OpClass::Op2 => {
+                    let mut diag = Matrix::random_diag_dominant(b, seed);
+                    let f = ops::op1_diagonal(&mut diag).unwrap();
+                    let mut blk = Matrix::random(b, b, seed + 1);
+                    let t0 = std::time::Instant::now();
+                    ops::op2_row_panel(&mut blk, &f.l_inv);
+                    let dt = t0.elapsed();
+                    std::hint::black_box(&blk);
+                    dt
+                }
+                OpClass::Op3 => {
+                    let mut diag = Matrix::random_diag_dominant(b, seed);
+                    let f = ops::op1_diagonal(&mut diag).unwrap();
+                    let mut blk = Matrix::random(b, b, seed + 2);
+                    let t0 = std::time::Instant::now();
+                    ops::op3_col_panel(&mut blk, &f.u_inv);
+                    let dt = t0.elapsed();
+                    std::hint::black_box(&blk);
+                    dt
+                }
+                OpClass::Op4 => {
+                    let a = Matrix::random(b, b, seed + 3);
+                    let c = Matrix::random(b, b, seed + 4);
+                    let mut blk = Matrix::random(b, b, seed + 5);
+                    let t0 = std::time::Instant::now();
+                    ops::op4_interior(&mut blk, &a, &c);
+                    let dt = t0.elapsed();
+                    std::hint::black_box(&blk);
+                    dt
+                }
+            };
+            samples.push(elapsed);
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        Time::from_ps((median.as_nanos() as u64).saturating_mul(1_000).max(1))
+    }
+}
+
+impl CostModel for MeasuredCost {
+    fn op_cost(&self, op: OpClass, b: usize) -> Time {
+        let mut cache = self.cache.lock().expect("cost cache poisoned");
+        *cache.entry((op, b)).or_insert_with(|| Self::measure(op, b, self.reps))
+    }
+
+    fn model_name(&self) -> &str {
+        "measured(host)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flops_sane() {
+        assert!(OpClass::Op4.flops(10) > OpClass::Op2.flops(10));
+        assert_eq!(OpClass::Op4.flops(10), 2_000);
+        for op in OpClass::ALL {
+            assert!(op.flops(8) > 0);
+        }
+    }
+
+    #[test]
+    fn analytic_reproduces_figure6_shape() {
+        let m = AnalyticCost::paper_default();
+        // Small blocks: Op1 strictly the most expensive.
+        for b in [10, 12, 15, 20] {
+            for op in [OpClass::Op2, OpClass::Op3, OpClass::Op4] {
+                assert!(
+                    m.op_cost(OpClass::Op1, b) > m.op_cost(op, b),
+                    "B={b}: Op1 not dominant"
+                );
+            }
+        }
+        // Large blocks: Op4 the most expensive, roughly 2x Op1.
+        for b in [96, 120, 160] {
+            assert!(m.op_cost(OpClass::Op4, b) > m.op_cost(OpClass::Op1, b));
+            let ratio =
+                m.op_cost(OpClass::Op4, b).as_us_f64() / m.op_cost(OpClass::Op1, b).as_us_f64();
+            assert!((1.4..2.4).contains(&ratio), "B={b}: ratio {ratio}");
+        }
+        // The curves cross: somewhere in 20..96 the most expensive op flips.
+        let argmax = |b: usize| {
+            OpClass::ALL
+                .into_iter()
+                .max_by_key(|&op| m.op_cost(op, b))
+                .unwrap()
+        };
+        assert_eq!(argmax(10), OpClass::Op1);
+        assert_eq!(argmax(160), OpClass::Op4);
+    }
+
+    #[test]
+    fn analytic_costs_monotone_in_b() {
+        let m = AnalyticCost::paper_default();
+        for op in OpClass::ALL {
+            let mut prev = Time::ZERO;
+            for b in [1, 2, 4, 10, 20, 40, 80, 160] {
+                let c = m.op_cost(op, b);
+                assert!(c > prev, "{op} at B={b}");
+                prev = c;
+            }
+        }
+    }
+
+    #[test]
+    fn poly_eval() {
+        let p = PolyCost { c3: 1, c2: 2, c1: 3, c0: 4 };
+        assert_eq!(p.eval(10).as_ps(), 1000 + 200 + 30 + 4);
+        let m = AnalyticCost::paper_default();
+        assert_eq!(m.poly(OpClass::Op4).eval(10), m.op_cost(OpClass::Op4, 10));
+    }
+
+    #[test]
+    fn table_cost_roundtrips_and_panics_on_miss() {
+        let mut t = TableCost::new("test");
+        assert!(t.is_empty());
+        t.insert(OpClass::Op1, 10, Time::from_us(5.0));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.op_cost(OpClass::Op1, 10), Time::from_us(5.0));
+        assert_eq!(t.get(OpClass::Op2, 10), None);
+        let result = std::panic::catch_unwind(|| t.op_cost(OpClass::Op2, 10));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn measured_cost_returns_positive_and_caches() {
+        let m = MeasuredCost::new(3);
+        let a = m.op_cost(OpClass::Op4, 8);
+        assert!(a > Time::ZERO);
+        // Second call hits the cache and returns the identical value.
+        assert_eq!(m.op_cost(OpClass::Op4, 8), a);
+    }
+
+    #[test]
+    fn measured_cost_grows_with_block_size() {
+        let m = MeasuredCost::new(3);
+        m.precalibrate(&[4, 64]);
+        // A 64x64 GEMM is reliably slower than a 4x4 one on any host.
+        assert!(m.op_cost(OpClass::Op4, 64) > m.op_cost(OpClass::Op4, 4));
+    }
+
+    #[test]
+    fn cube_equivalent_edge_sane() {
+        assert_eq!(cube_equivalent_edge(8, 8, 8), 8);
+        assert_eq!(cube_equivalent_edge(1, 1, 1), 1);
+        assert_eq!(cube_equivalent_edge(0, 5, 5), 1); // clamped
+        // 4*8*16 = 512 -> edge 8.
+        assert_eq!(cube_equivalent_edge(4, 8, 16), 8);
+    }
+
+    #[test]
+    fn rect_cost_defaults_to_cube_equivalent() {
+        let m = AnalyticCost::paper_default();
+        // A square "rectangle" equals the square cost exactly.
+        assert_eq!(m.op_cost_rect(OpClass::Op4, 12, 12, 12), m.op_cost(OpClass::Op4, 12));
+        // Same volume, different shape: same default cost.
+        assert_eq!(
+            m.op_cost_rect(OpClass::Op4, 6, 12, 24),
+            m.op_cost_rect(OpClass::Op4, 24, 12, 6)
+        );
+        // Bigger volume costs more.
+        assert!(m.op_cost_rect(OpClass::Op2, 10, 20, 10) > m.op_cost_rect(OpClass::Op2, 10, 10, 10));
+    }
+
+    #[test]
+    fn custom_coeffs_and_names() {
+        let c = PolyCost { c3: 1, c2: 0, c1: 0, c0: 0 };
+        let m = AnalyticCost::with_coeffs([c; 4]);
+        assert_eq!(m.model_name(), "analytic(custom)");
+        assert_eq!(m.op_cost(OpClass::Op1, 10).as_ps(), 1000);
+        assert_eq!(AnalyticCost::paper_default().model_name(), "analytic(paper-default)");
+        assert_eq!(MeasuredCost::new(1).model_name(), "measured(host)");
+    }
+}

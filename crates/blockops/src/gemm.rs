@@ -1,0 +1,133 @@
+//! Matrix multiplication kernels.
+//!
+//! Three routines: a reference `matmul`, an accumulating `gemm_acc`
+//! (`C += A·B`), and the subtracting `gemm_sub` (`C -= A·B`) that is the
+//! heart of Gaussian elimination's Op4 and of Cannon's algorithm. All use
+//! the cache-friendly i-k-j loop order over row-major data.
+
+use crate::matrix::Matrix;
+
+/// `A · B` into a fresh matrix.
+///
+/// # Panics
+/// Panics if `A.cols() != B.rows()`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm_acc(&mut c, a, b);
+    c
+}
+
+/// `C += A · B` (general matrix multiply-accumulate).
+///
+/// # Panics
+/// Panics on inner/outer dimension mismatch.
+pub fn gemm_acc(c: &mut Matrix, a: &Matrix, b: &Matrix) {
+    gemm(c, a, b, 1.0)
+}
+
+/// `C -= A · B` — the multiply-subtract update of the elimination's Op4.
+///
+/// # Panics
+/// Panics on inner/outer dimension mismatch.
+pub fn gemm_sub(c: &mut Matrix, a: &Matrix, b: &Matrix) {
+    gemm(c, a, b, -1.0)
+}
+
+/// `C += alpha · A · B` with the i-k-j loop order: the innermost loop walks
+/// a row of `B` and a row of `C` contiguously.
+pub fn gemm(c: &mut Matrix, a: &Matrix, b: &Matrix, alpha: f64) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    assert_eq!(k, b.rows(), "inner dimension mismatch");
+    assert_eq!((c.rows(), c.cols()), (m, n), "output dimension mismatch");
+    let bs = b.as_slice();
+    // Split borrows: read A row-wise, write C row-wise.
+    for i in 0..m {
+        for kk in 0..k {
+            let aik = alpha * a[(i, kk)];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &bs[kk * n..(kk + 1) * n];
+            let crow = &mut c.as_mut_slice()[i * n..(i + 1) * n];
+            for (cv, bv) in crow.iter_mut().zip(brow) {
+                *cv += aik * bv;
+            }
+        }
+    }
+}
+
+/// Floating-point operation count of a `b × b` GEMM (`2·b³`).
+pub fn gemm_flops(b: usize) -> u64 {
+    2 * (b as u64).pow(3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_known_product() {
+        let a = Matrix::from_rows(2, 2, &[1., 2., 3., 4.]);
+        let b = Matrix::from_rows(2, 2, &[5., 6., 7., 8.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[19., 22., 43., 50.]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::random(5, 5, 1);
+        let id = Matrix::identity(5);
+        assert!(matmul(&a, &id).approx_eq(&a, 1e-12));
+        assert!(matmul(&id, &a).approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let a = Matrix::random(3, 4, 2);
+        let b = Matrix::random(4, 2, 3);
+        let c = matmul(&a, &b);
+        assert_eq!((c.rows(), c.cols()), (3, 2));
+        // Spot-check one entry against the definition.
+        let mut want = 0.0;
+        for k in 0..4 {
+            want += a[(1, k)] * b[(k, 1)];
+        }
+        assert!((c[(1, 1)] - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sub_then_acc_roundtrips() {
+        let a = Matrix::random(4, 4, 4);
+        let b = Matrix::random(4, 4, 5);
+        let orig = Matrix::random(4, 4, 6);
+        let mut c = orig.clone();
+        gemm_sub(&mut c, &a, &b);
+        gemm_acc(&mut c, &a, &b);
+        assert!(c.approx_eq(&orig, 1e-10));
+    }
+
+    #[test]
+    fn matmul_associativity_numerically() {
+        let a = Matrix::random(3, 3, 7);
+        let b = Matrix::random(3, 3, 8);
+        let c = Matrix::random(3, 3, 9);
+        let left = matmul(&matmul(&a, &b), &c);
+        let right = matmul(&a, &matmul(&b, &c));
+        assert!(left.approx_eq(&right, 1e-10));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension")]
+    fn dimension_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn flops_cubic() {
+        assert_eq!(gemm_flops(1), 2);
+        assert_eq!(gemm_flops(10), 2_000);
+    }
+}

@@ -1,0 +1,32 @@
+//! Dense block linear algebra: the computational substrate of the paper's
+//! evaluation.
+//!
+//! The paper's restricted program class operates on equal-sized *basic
+//! blocks* with a finite set of *basic operations* "whose execution times
+//! are calculated separately". For blocked Gaussian elimination those are
+//! (paper §6.1):
+//!
+//! * **Op1** — triangularize the diagonal block and invert its factors;
+//! * **Op2** — update a row-panel block with the inverted lower factor;
+//! * **Op3** — update a column-panel block with the inverted upper factor;
+//! * **Op4** — multiply-subtract update of an interior block.
+//!
+//! This crate implements the blocks ([`Matrix`]), the operations
+//! ([`ops`]), the underlying factorizations ([`lu`], [`tri`], [`gemm`]),
+//! and the *cost models* ([`cost`]) that map `(operation, block size)` to a
+//! simulated [`loggp::Time`] — including a host-calibrated measured model
+//! and a deterministic analytic model that reproduces the paper's Figure 6
+//! shape (nonlinear curves that cross as the block size grows).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod gemm;
+pub mod lu;
+pub mod matrix;
+pub mod ops;
+pub mod tri;
+
+pub use cost::{AnalyticCost, CostModel, MeasuredCost, OpClass, TableCost};
+pub use matrix::Matrix;

@@ -1,0 +1,205 @@
+//! Gaussian elimination (LU factorization) **without pivoting** — the
+//! paper's algorithm ("we used the Gaussian Elimination algorithm without
+//! pivoting").
+//!
+//! [`lu_in_place`] factors a square matrix `A = L·U` with unit-diagonal
+//! `L`, storing both factors packed in `A` (the usual compact layout).
+//! [`split_lu`] unpacks them; [`lu_residual`] measures `‖A − L·U‖`.
+
+use crate::gemm::matmul;
+use crate::matrix::Matrix;
+
+/// Error from a failed factorization.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LuError {
+    /// The matrix is not square.
+    NotSquare,
+    /// A pivot too close to zero appeared at the given elimination step.
+    /// Gaussian elimination *without pivoting* cannot continue (the paper's
+    /// workloads avoid this by construction; random diagonally dominant
+    /// matrices always factor).
+    ZeroPivot {
+        /// Elimination step at which the pivot vanished.
+        step: usize,
+        /// The offending pivot value.
+        pivot: f64,
+    },
+}
+
+impl std::fmt::Display for LuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LuError::NotSquare => write!(f, "LU requires a square matrix"),
+            LuError::ZeroPivot { step, pivot } => {
+                write!(f, "zero pivot {pivot:e} at elimination step {step} (no pivoting)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LuError {}
+
+/// Pivot magnitudes below this abort the factorization.
+pub const PIVOT_TOL: f64 = 1e-12;
+
+/// Factor `a = L·U` in place without pivoting. On success `a` holds `U` on
+/// and above the diagonal and the sub-diagonal entries of unit-lower `L`
+/// below it.
+pub fn lu_in_place(a: &mut Matrix) -> Result<(), LuError> {
+    if !a.is_square() {
+        return Err(LuError::NotSquare);
+    }
+    let n = a.rows();
+    for k in 0..n {
+        let pivot = a[(k, k)];
+        if pivot.abs() < PIVOT_TOL {
+            return Err(LuError::ZeroPivot { step: k, pivot });
+        }
+        for i in k + 1..n {
+            let lik = a[(i, k)] / pivot;
+            a[(i, k)] = lik;
+            for j in k + 1..n {
+                let akj = a[(k, j)];
+                a[(i, j)] -= lik * akj;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Unpack a compact LU into `(L, U)` with unit-diagonal `L`.
+pub fn split_lu(packed: &Matrix) -> (Matrix, Matrix) {
+    assert!(packed.is_square());
+    let n = packed.rows();
+    let mut l = Matrix::identity(n);
+    let mut u = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            if j < i {
+                l[(i, j)] = packed[(i, j)];
+            } else {
+                u[(i, j)] = packed[(i, j)];
+            }
+        }
+    }
+    (l, u)
+}
+
+/// `max |A − L·U|` for a factorization of `original`.
+pub fn lu_residual(original: &Matrix, packed: &Matrix) -> f64 {
+    let (l, u) = split_lu(packed);
+    matmul(&l, &u).max_abs_diff(original)
+}
+
+/// Solve `A x = b` by LU factorization plus forward/backward substitution.
+/// Consumes a copy of `A`; returns `x`.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LuError> {
+    assert_eq!(a.rows(), b.len(), "rhs length mismatch");
+    let mut packed = a.clone();
+    lu_in_place(&mut packed)?;
+    let n = packed.rows();
+    // Forward: L y = b (unit diagonal).
+    let mut y = b.to_vec();
+    for i in 0..n {
+        for j in 0..i {
+            let yj = y[j];
+            y[i] -= packed[(i, j)] * yj;
+        }
+    }
+    // Backward: U x = y.
+    let mut x = y;
+    for i in (0..n).rev() {
+        for j in i + 1..n {
+            let xj = x[j];
+            x[i] -= packed[(i, j)] * xj;
+        }
+        x[i] /= packed[(i, i)];
+    }
+    Ok(x)
+}
+
+/// Floating-point operation count of an unpivoted `n × n` LU:
+/// `Σ_k (n-k-1)·(1 + 2·(n-k-1)) ≈ (2/3)n³`.
+pub fn lu_flops(n: usize) -> u64 {
+    let n = n as u64;
+    (0..n).map(|k| (n - k - 1) * (1 + 2 * (n - k - 1))).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_known_matrix() {
+        // A = [[4,3],[6,3]] -> L = [[1,0],[1.5,1]], U = [[4,3],[0,-1.5]]
+        let mut a = Matrix::from_rows(2, 2, &[4., 3., 6., 3.]);
+        lu_in_place(&mut a).unwrap();
+        assert!((a[(1, 0)] - 1.5).abs() < 1e-12);
+        assert!((a[(1, 1)] + 1.5).abs() < 1e-12);
+        assert_eq!(a[(0, 0)], 4.0);
+    }
+
+    #[test]
+    fn residual_small_for_diag_dominant() {
+        for n in [1, 2, 3, 5, 16, 33] {
+            let orig = Matrix::random_diag_dominant(n, n as u64);
+            let mut packed = orig.clone();
+            lu_in_place(&mut packed).unwrap();
+            let res = lu_residual(&orig, &packed);
+            assert!(res < 1e-9, "n={n}, residual {res}");
+        }
+    }
+
+    #[test]
+    fn split_produces_triangular_factors() {
+        let orig = Matrix::random_diag_dominant(6, 9);
+        let mut packed = orig.clone();
+        lu_in_place(&mut packed).unwrap();
+        let (l, u) = split_lu(&packed);
+        assert!(l.is_lower_triangular(0.0));
+        assert!(u.is_upper_triangular(0.0));
+        for i in 0..6 {
+            assert_eq!(l[(i, i)], 1.0, "L must be unit-diagonal");
+        }
+    }
+
+    #[test]
+    fn zero_pivot_detected() {
+        let mut a = Matrix::from_rows(2, 2, &[0., 1., 1., 0.]);
+        let err = lu_in_place(&mut a).unwrap_err();
+        assert_eq!(err, LuError::ZeroPivot { step: 0, pivot: 0.0 });
+        assert!(err.to_string().contains("step 0"));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let mut a = Matrix::zeros(2, 3);
+        assert_eq!(lu_in_place(&mut a), Err(LuError::NotSquare));
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let n = 10;
+        let a = Matrix::random_diag_dominant(n, 17);
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 4.5).collect();
+        // b = A x
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            b[i] = (0..n).map(|j| a[(i, j)] * x_true[j]).sum();
+        }
+        let x = solve(&a, &b).unwrap();
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-8, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn flops_formula_matches_asymptotics() {
+        assert_eq!(lu_flops(1), 0);
+        // (2/3) n^3 within 5% for moderately large n.
+        let n = 100;
+        let exact = lu_flops(n) as f64;
+        let approx = 2.0 / 3.0 * (n as f64).powi(3);
+        assert!((exact - approx).abs() / approx < 0.05, "{exact} vs {approx}");
+    }
+}

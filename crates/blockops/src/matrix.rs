@@ -1,0 +1,303 @@
+//! A small dense row-major `f64` matrix.
+//!
+//! Deliberately minimal: just what blocked Gaussian elimination, Cannon's
+//! algorithm and the stencil application need. No external linear-algebra
+//! dependency is used anywhere in the workspace.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// An `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from a row-major slice.
+    pub fn from_rows(rows: usize, cols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Matrix { rows, cols, data: data.to_vec() }
+    }
+
+    /// A random matrix with entries in `(-1, 1)`, deterministic per seed.
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    /// A random *diagonally dominant* square matrix — always admits an LU
+    /// factorization without pivoting, which is what the paper's Gaussian
+    /// elimination (no pivoting) requires to stay numerically sane.
+    pub fn random_diag_dominant(n: usize, seed: u64) -> Self {
+        let mut m = Matrix::random(n, n, seed);
+        for i in 0..n {
+            m[(i, i)] += n as f64; // row sum of |entries| is < n
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// True iff the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// The underlying row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Copy the `b × b` sub-block with upper-left corner `(r0, c0)` out.
+    pub fn block(&self, r0: usize, c0: usize, b_rows: usize, b_cols: usize) -> Matrix {
+        assert!(r0 + b_rows <= self.rows && c0 + b_cols <= self.cols, "block out of range");
+        Matrix::from_fn(b_rows, b_cols, |i, j| self[(r0 + i, c0 + j)])
+    }
+
+    /// Write `block` into this matrix with upper-left corner `(r0, c0)`.
+    pub fn set_block(&mut self, r0: usize, c0: usize, block: &Matrix) {
+        assert!(
+            r0 + block.rows <= self.rows && c0 + block.cols <= self.cols,
+            "block out of range"
+        );
+        for i in 0..block.rows {
+            for j in 0..block.cols {
+                self[(r0 + i, c0 + j)] = block[(i, j)];
+            }
+        }
+    }
+
+    /// `max_ij |self - other|`; panics on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// True iff `|self - other|_max <= tol`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        (self.rows, self.cols) == (other.rows, other.cols) && self.max_abs_diff(other) <= tol
+    }
+
+    /// True iff strictly-upper entries are all ≤ `tol` in magnitude.
+    pub fn is_lower_triangular(&self, tol: f64) -> bool {
+        (0..self.rows).all(|i| (i + 1..self.cols).all(|j| self[(i, j)].abs() <= tol))
+    }
+
+    /// True iff strictly-lower entries are all ≤ `tol` in magnitude.
+    pub fn is_upper_triangular(&self, tol: f64) -> bool {
+        (0..self.rows).all(|i| (0..j_lim(i, self.cols)).all(|j| self[(i, j)].abs() <= tol))
+    }
+}
+
+fn j_lim(i: usize, cols: usize) -> usize {
+    i.min(cols)
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:>10.4} ", self[(i, j)])?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "..." } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!((z.rows(), z.cols()), (2, 3));
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+        assert!(!z.is_square());
+
+        let id = Matrix::identity(3);
+        assert!(id.is_square());
+        assert_eq!(id[(1, 1)], 1.0);
+        assert_eq!(id[(0, 1)], 0.0);
+
+        let m = Matrix::from_fn(2, 2, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m[(1, 0)], 10.0);
+
+        let r = Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(r[(1, 1)], 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_rows_checks_length() {
+        Matrix::from_rows(2, 2, &[1.0]);
+    }
+
+    #[test]
+    fn random_is_seeded() {
+        let a = Matrix::random(4, 4, 1);
+        let b = Matrix::random(4, 4, 1);
+        let c = Matrix::random(4, 4, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.as_slice().iter().all(|x| x.abs() < 1.0));
+    }
+
+    #[test]
+    fn diag_dominant_diagonal_dominates() {
+        let n = 8;
+        let m = Matrix::random_diag_dominant(n, 3);
+        for i in 0..n {
+            let off: f64 = (0..n).filter(|&j| j != i).map(|j| m[(i, j)].abs()).sum();
+            assert!(m[(i, i)].abs() > off, "row {i} not dominant");
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::random(3, 5, 7);
+        let t = m.transpose();
+        assert_eq!((t.rows(), t.cols()), (5, 3));
+        assert_eq!(t.transpose(), m);
+        assert_eq!(m[(1, 4)], t[(4, 1)]);
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let m = Matrix::random(6, 6, 11);
+        let b = m.block(2, 3, 2, 3);
+        assert_eq!(b[(0, 0)], m[(2, 3)]);
+        let mut n = Matrix::zeros(6, 6);
+        n.set_block(2, 3, &b);
+        assert_eq!(n[(3, 5)], m[(3, 5)]);
+        assert_eq!(n[(0, 0)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn block_bounds_checked() {
+        Matrix::zeros(3, 3).block(2, 2, 2, 2);
+    }
+
+    #[test]
+    fn norms_and_diffs() {
+        let a = Matrix::identity(2);
+        let b = Matrix::zeros(2, 2);
+        assert_eq!(a.max_abs_diff(&b), 1.0);
+        assert!((a.frobenius() - 2f64.sqrt()).abs() < 1e-12);
+        assert!(a.approx_eq(&a, 0.0));
+        assert!(!a.approx_eq(&b, 0.5));
+        assert!(!a.approx_eq(&Matrix::zeros(2, 3), 10.0)); // shape mismatch
+    }
+
+    #[test]
+    fn triangularity_checks() {
+        let l = Matrix::from_rows(2, 2, &[1.0, 0.0, 5.0, 2.0]);
+        assert!(l.is_lower_triangular(0.0));
+        assert!(!l.is_upper_triangular(0.0));
+        let u = l.transpose();
+        assert!(u.is_upper_triangular(0.0));
+        assert!(!u.is_lower_triangular(0.0));
+        assert!(Matrix::identity(3).is_lower_triangular(0.0));
+        assert!(Matrix::identity(3).is_upper_triangular(0.0));
+    }
+
+    #[test]
+    fn row_view() {
+        let m = Matrix::from_rows(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(m.row(1), &[4., 5., 6.]);
+    }
+
+    #[test]
+    fn debug_renders() {
+        let s = format!("{:?}", Matrix::identity(2));
+        assert!(s.contains("Matrix 2x2"));
+        let big = format!("{:?}", Matrix::zeros(20, 20));
+        assert!(big.contains("..."));
+    }
+}

@@ -1,0 +1,310 @@
+//! The four basic block operations of blocked Gaussian elimination
+//! (paper §6.1) and a sequential blocked elimination built from them.
+//!
+//! "The blocked GE algorithm uses four basic operations to operate on
+//! basic blocks": with `A[k][k]` the diagonal block of elimination step
+//! `k`, `A[k][j]` a row-panel block, `A[i][k]` a column-panel block and
+//! `A[i][j]` an interior block,
+//!
+//! * **Op1**: factor `A[k][k] = L·U` (triangularization, no pivoting) and
+//!   invert both factors — the inverses are what travels to the panels;
+//! * **Op2**: `A[k][j] ← L⁻¹ · A[k][j]` (the block becomes `U[k][j]`);
+//! * **Op3**: `A[i][k] ← A[i][k] · U⁻¹` (the block becomes `L[i][k]`);
+//! * **Op4**: `A[i][j] ← A[i][j] − A[i][k] · A[k][j]` (multiply-subtract).
+//!
+//! [`blocked_lu_in_place`] runs the full elimination sequentially; the
+//! test suite checks it against the unblocked [`crate::lu::lu_in_place`],
+//! and the parallel applications check against it in turn.
+
+use crate::gemm::gemm_sub;
+use crate::lu::{lu_in_place, split_lu, LuError};
+use crate::matrix::Matrix;
+use crate::tri::{invert_unit_lower, invert_upper};
+
+/// The product of Op1: the diagonal block's inverted triangular factors.
+#[derive(Clone, Debug)]
+pub struct DiagFactors {
+    /// `L⁻¹` (unit lower) — consumed by Op2 on the pivot row.
+    pub l_inv: Matrix,
+    /// `U⁻¹` (upper) — consumed by Op3 on the pivot column.
+    pub u_inv: Matrix,
+}
+
+/// **Op1**: triangularize the diagonal block in place (packed `L\U`
+/// layout) and return the inverted factors.
+pub fn op1_diagonal(block: &mut Matrix) -> Result<DiagFactors, LuError> {
+    lu_in_place(block)?;
+    let (l, u) = split_lu(block);
+    Ok(DiagFactors { l_inv: invert_unit_lower(&l), u_inv: invert_upper(&u) })
+}
+
+/// **Op2**: row-panel update `block ← l_inv · block`.
+pub fn op2_row_panel(block: &mut Matrix, l_inv: &Matrix) {
+    let updated = crate::gemm::matmul(l_inv, block);
+    *block = updated;
+}
+
+/// **Op3**: column-panel update `block ← block · u_inv`.
+pub fn op3_col_panel(block: &mut Matrix, u_inv: &Matrix) {
+    let updated = crate::gemm::matmul(block, u_inv);
+    *block = updated;
+}
+
+/// **Op4**: interior update `block ← block − a · b`.
+pub fn op4_interior(block: &mut Matrix, a: &Matrix, b: &Matrix) {
+    gemm_sub(block, a, b);
+}
+
+/// Sequential blocked Gaussian elimination without pivoting, operating on
+/// an `n × n` matrix as a grid of `b × b` blocks with the four basic
+/// operations. On success the matrix holds the packed `L\U` factorization
+/// (identical, up to rounding, to the unblocked algorithm's output).
+///
+/// # Panics
+/// Panics if `b` does not divide `n` — the paper's program class requires
+/// "equal-sized basic blocks".
+pub fn blocked_lu_in_place(a: &mut Matrix, b: usize) -> Result<(), LuError> {
+    if !a.is_square() {
+        return Err(LuError::NotSquare);
+    }
+    let n = a.rows();
+    assert!(b > 0 && n.is_multiple_of(b), "block size {b} must divide the matrix size {n}");
+    let nb = n / b;
+
+    for k in 0..nb {
+        // Op1 on the diagonal block.
+        let mut diag = a.block(k * b, k * b, b, b);
+        let factors = op1_diagonal(&mut diag)?;
+        a.set_block(k * b, k * b, &diag);
+
+        // Op2 along the pivot row.
+        for j in k + 1..nb {
+            let mut blk = a.block(k * b, j * b, b, b);
+            op2_row_panel(&mut blk, &factors.l_inv);
+            a.set_block(k * b, j * b, &blk);
+        }
+        // Op3 down the pivot column.
+        for i in k + 1..nb {
+            let mut blk = a.block(i * b, k * b, b, b);
+            op3_col_panel(&mut blk, &factors.u_inv);
+            a.set_block(i * b, k * b, &blk);
+        }
+        // Op4 on the trailing submatrix.
+        for i in k + 1..nb {
+            let lik = a.block(i * b, k * b, b, b);
+            for j in k + 1..nb {
+                let ukj = a.block(k * b, j * b, b, b);
+                let mut blk = a.block(i * b, j * b, b, b);
+                op4_interior(&mut blk, &lik, &ukj);
+                a.set_block(i * b, j * b, &blk);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Sequential blocked Gaussian elimination over a **variable partition**
+/// (the paper's §7 "variable-sized blocks" future work): `partition[t]` is
+/// the width of the `t`-th block row/column; the widths must sum to the
+/// matrix size. Diagonal blocks stay square (`partition[k] × partition[k]`)
+/// while panels and interior blocks are rectangular — the four basic
+/// operations generalize directly because the underlying kernels are
+/// shape-generic.
+///
+/// # Panics
+/// Panics if the partition is empty, contains a zero, or does not sum to
+/// the matrix dimension.
+pub fn blocked_lu_in_place_var(a: &mut Matrix, partition: &[usize]) -> Result<(), LuError> {
+    if !a.is_square() {
+        return Err(LuError::NotSquare);
+    }
+    let n = a.rows();
+    assert!(!partition.is_empty(), "empty partition");
+    assert!(partition.iter().all(|&w| w > 0), "zero-width block");
+    assert_eq!(partition.iter().sum::<usize>(), n, "partition must sum to the matrix size");
+    let nb = partition.len();
+    // Prefix offsets of the block boundaries.
+    let mut off = Vec::with_capacity(nb + 1);
+    off.push(0usize);
+    for &w in partition {
+        off.push(off.last().unwrap() + w);
+    }
+
+    for k in 0..nb {
+        let (rk, wk) = (off[k], partition[k]);
+        let mut diag = a.block(rk, rk, wk, wk);
+        let factors = op1_diagonal(&mut diag)?;
+        a.set_block(rk, rk, &diag);
+
+        for j in k + 1..nb {
+            let mut blk = a.block(rk, off[j], wk, partition[j]);
+            op2_row_panel(&mut blk, &factors.l_inv);
+            a.set_block(rk, off[j], &blk);
+        }
+        for i in k + 1..nb {
+            let mut blk = a.block(off[i], rk, partition[i], wk);
+            op3_col_panel(&mut blk, &factors.u_inv);
+            a.set_block(off[i], rk, &blk);
+        }
+        for i in k + 1..nb {
+            let lik = a.block(off[i], rk, partition[i], wk);
+            for j in k + 1..nb {
+                let ukj = a.block(rk, off[j], wk, partition[j]);
+                let mut blk = a.block(off[i], off[j], partition[i], partition[j]);
+                op4_interior(&mut blk, &lik, &ukj);
+                a.set_block(off[i], off[j], &blk);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+    use crate::lu::lu_residual;
+
+    #[test]
+    fn op1_factors_invert_the_block() {
+        let orig = Matrix::random_diag_dominant(8, 5);
+        let mut blk = orig.clone();
+        let f = op1_diagonal(&mut blk).unwrap();
+        let (l, u) = split_lu(&blk);
+        assert!(matmul(&l, &u).approx_eq(&orig, 1e-9));
+        assert!(matmul(&f.l_inv, &l).approx_eq(&Matrix::identity(8), 1e-9));
+        assert!(matmul(&u, &f.u_inv).approx_eq(&Matrix::identity(8), 1e-8));
+    }
+
+    #[test]
+    fn op2_matches_forward_solve() {
+        let diag = Matrix::random_diag_dominant(6, 7);
+        let mut packed = diag.clone();
+        let f = op1_diagonal(&mut packed).unwrap();
+        let (l, _) = split_lu(&packed);
+        let orig = Matrix::random(6, 6, 8);
+        let mut blk = orig.clone();
+        op2_row_panel(&mut blk, &f.l_inv);
+        let oracle = crate::tri::solve_unit_lower(&l, &orig);
+        assert!(blk.approx_eq(&oracle, 1e-8));
+    }
+
+    #[test]
+    fn op3_matches_right_solve() {
+        let diag = Matrix::random_diag_dominant(6, 9);
+        let mut packed = diag.clone();
+        let f = op1_diagonal(&mut packed).unwrap();
+        let (_, u) = split_lu(&packed);
+        let orig = Matrix::random(6, 6, 10);
+        let mut blk = orig.clone();
+        op3_col_panel(&mut blk, &f.u_inv);
+        let oracle = crate::tri::solve_upper_right(&orig, &u);
+        assert!(blk.approx_eq(&oracle, 1e-8));
+    }
+
+    #[test]
+    fn op4_is_multiply_subtract() {
+        let a = Matrix::random(4, 4, 1);
+        let b = Matrix::random(4, 4, 2);
+        let orig = Matrix::random(4, 4, 3);
+        let mut blk = orig.clone();
+        op4_interior(&mut blk, &a, &b);
+        let mut want = orig.clone();
+        let prod = matmul(&a, &b);
+        for i in 0..4 {
+            for j in 0..4 {
+                want[(i, j)] -= prod[(i, j)];
+            }
+        }
+        assert!(blk.approx_eq(&want, 1e-12));
+    }
+
+    #[test]
+    fn blocked_lu_matches_unblocked() {
+        let n = 24;
+        for b in [1, 2, 3, 4, 6, 8, 12, 24] {
+            let orig = Matrix::random_diag_dominant(n, 77);
+            let mut blocked = orig.clone();
+            blocked_lu_in_place(&mut blocked, b).unwrap();
+            let mut unblocked = orig.clone();
+            lu_in_place(&mut unblocked).unwrap();
+            assert!(
+                blocked.approx_eq(&unblocked, 1e-7),
+                "b={b}, diff={}",
+                blocked.max_abs_diff(&unblocked)
+            );
+            assert!(lu_residual(&orig, &blocked) < 1e-7, "b={b}");
+        }
+    }
+
+    #[test]
+    fn variable_partition_matches_unblocked() {
+        let n = 24;
+        for partition in [
+            vec![24],
+            vec![1; 24],
+            vec![10, 14],
+            vec![3, 5, 7, 9],
+            vec![9, 7, 5, 3],
+            vec![1, 2, 3, 4, 5, 6, 2, 1],
+        ] {
+            let orig = Matrix::random_diag_dominant(n, 123);
+            let mut var = orig.clone();
+            blocked_lu_in_place_var(&mut var, &partition).unwrap();
+            let mut unblocked = orig.clone();
+            lu_in_place(&mut unblocked).unwrap();
+            assert!(
+                var.approx_eq(&unblocked, 1e-7),
+                "partition {partition:?}: diff {}",
+                var.max_abs_diff(&unblocked)
+            );
+        }
+    }
+
+    #[test]
+    fn variable_partition_uniform_equals_uniform_blocked() {
+        let n = 24;
+        let orig = Matrix::random_diag_dominant(n, 5);
+        let mut via_var = orig.clone();
+        blocked_lu_in_place_var(&mut via_var, &[6; 4]).unwrap();
+        let mut via_uniform = orig.clone();
+        blocked_lu_in_place(&mut via_uniform, 6).unwrap();
+        assert!(via_var.approx_eq(&via_uniform, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to the matrix size")]
+    fn variable_partition_checks_sum() {
+        let mut a = Matrix::random_diag_dominant(10, 1);
+        let _ = blocked_lu_in_place_var(&mut a, &[3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-width")]
+    fn variable_partition_rejects_zero() {
+        let mut a = Matrix::random_diag_dominant(4, 1);
+        let _ = blocked_lu_in_place_var(&mut a, &[0, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn blocked_lu_rejects_nondividing_block() {
+        let mut a = Matrix::random_diag_dominant(10, 1);
+        let _ = blocked_lu_in_place(&mut a, 3);
+    }
+
+    #[test]
+    fn blocked_lu_rejects_non_square() {
+        let mut a = Matrix::zeros(4, 6);
+        assert_eq!(blocked_lu_in_place(&mut a, 2), Err(LuError::NotSquare));
+    }
+
+    #[test]
+    fn blocked_lu_detects_zero_pivot() {
+        let mut a = Matrix::zeros(4, 4); // every pivot zero
+        assert!(matches!(
+            blocked_lu_in_place(&mut a, 2),
+            Err(LuError::ZeroPivot { .. })
+        ));
+    }
+}

@@ -1,0 +1,170 @@
+//! Triangular inversion and triangular multiplies — the pieces of the
+//! paper's Op1–Op3 ("requiring upper triangularization, inversion and
+//! multiplication of matrices").
+
+use crate::matrix::Matrix;
+
+/// Invert a *unit lower* triangular matrix (diagonal assumed 1, entries
+/// above the diagonal ignored). The inverse is again unit lower.
+pub fn invert_unit_lower(l: &Matrix) -> Matrix {
+    assert!(l.is_square());
+    let n = l.rows();
+    let mut inv = Matrix::identity(n);
+    // Column-by-column forward substitution: L · X = I.
+    for col in 0..n {
+        for i in col + 1..n {
+            let mut s = 0.0;
+            for k in col..i {
+                s += l[(i, k)] * inv[(k, col)];
+            }
+            inv[(i, col)] = -s;
+        }
+    }
+    inv
+}
+
+/// Invert an *upper* triangular matrix with non-zero diagonal. Entries
+/// below the diagonal are ignored.
+///
+/// # Panics
+/// Panics if a diagonal entry is smaller than [`crate::lu::PIVOT_TOL`] in
+/// magnitude.
+pub fn invert_upper(u: &Matrix) -> Matrix {
+    assert!(u.is_square());
+    let n = u.rows();
+    let mut inv = Matrix::zeros(n, n);
+    // Column-by-column backward substitution: U · X = I.
+    for col in 0..n {
+        for i in (0..=col).rev() {
+            let mut s = if i == col { 1.0 } else { 0.0 };
+            for k in i + 1..=col {
+                s -= u[(i, k)] * inv[(k, col)];
+            }
+            let d = u[(i, i)];
+            assert!(
+                d.abs() >= crate::lu::PIVOT_TOL,
+                "singular upper-triangular matrix (diagonal {d:e} at {i})"
+            );
+            inv[(i, col)] = s / d;
+        }
+    }
+    inv
+}
+
+/// `inv(L) · B` for unit-lower `L`, computed by forward substitution
+/// (cheaper and more stable than forming the inverse; used by tests as an
+/// oracle for the inverse-based basic operations).
+pub fn solve_unit_lower(l: &Matrix, b: &Matrix) -> Matrix {
+    assert!(l.is_square());
+    assert_eq!(l.rows(), b.rows());
+    let n = l.rows();
+    let mut x = b.clone();
+    for col in 0..x.cols() {
+        for i in 0..n {
+            let mut s = x[(i, col)];
+            for k in 0..i {
+                s -= l[(i, k)] * x[(k, col)];
+            }
+            x[(i, col)] = s;
+        }
+    }
+    x
+}
+
+/// `B · inv(U)` for upper `U`, computed by column-wise back substitution
+/// on the right.
+pub fn solve_upper_right(b: &Matrix, u: &Matrix) -> Matrix {
+    assert!(u.is_square());
+    assert_eq!(b.cols(), u.rows());
+    let n = u.rows();
+    let mut x = b.clone();
+    for row in 0..x.rows() {
+        for j in 0..n {
+            let mut s = x[(row, j)];
+            for k in 0..j {
+                s -= x[(row, k)] * u[(k, j)];
+            }
+            let d = u[(j, j)];
+            assert!(d.abs() >= crate::lu::PIVOT_TOL, "singular U");
+            x[(row, j)] = s / d;
+        }
+    }
+    x
+}
+
+/// Flop count of a triangular inversion (`≈ n³/3`).
+pub fn tri_inv_flops(n: usize) -> u64 {
+    (n as u64).pow(3) / 3 + (n as u64).pow(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+    use crate::lu::{lu_in_place, split_lu};
+
+    fn random_factors(n: usize, seed: u64) -> (Matrix, Matrix) {
+        let mut a = Matrix::random_diag_dominant(n, seed);
+        lu_in_place(&mut a).unwrap();
+        split_lu(&a)
+    }
+
+    #[test]
+    fn unit_lower_inverse_is_inverse() {
+        for n in [1, 2, 5, 12] {
+            let (l, _) = random_factors(n, n as u64 + 100);
+            let inv = invert_unit_lower(&l);
+            assert!(inv.is_lower_triangular(0.0));
+            assert!(matmul(&l, &inv).approx_eq(&Matrix::identity(n), 1e-9), "n={n}");
+            assert!(matmul(&inv, &l).approx_eq(&Matrix::identity(n), 1e-9), "n={n}");
+        }
+    }
+
+    #[test]
+    fn upper_inverse_is_inverse() {
+        for n in [1, 2, 5, 12] {
+            let (_, u) = random_factors(n, n as u64 + 200);
+            let inv = invert_upper(&u);
+            assert!(inv.is_upper_triangular(1e-12));
+            assert!(matmul(&u, &inv).approx_eq(&Matrix::identity(n), 1e-8), "n={n}");
+            assert!(matmul(&inv, &u).approx_eq(&Matrix::identity(n), 1e-8), "n={n}");
+        }
+    }
+
+    #[test]
+    fn solves_match_inverse_products() {
+        let n = 9;
+        let (l, u) = random_factors(n, 42);
+        let b = Matrix::random(n, 4, 43);
+        let via_solve = solve_unit_lower(&l, &b);
+        let via_inv = matmul(&invert_unit_lower(&l), &b);
+        assert!(via_solve.approx_eq(&via_inv, 1e-9));
+
+        let c = Matrix::random(4, n, 44);
+        let via_solve_r = solve_upper_right(&c, &u);
+        let via_inv_r = matmul(&c, &invert_upper(&u));
+        assert!(via_solve_r.approx_eq(&via_inv_r, 1e-8));
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_upper_panics() {
+        let u = Matrix::zeros(3, 3);
+        let _ = invert_upper(&u);
+    }
+
+    #[test]
+    fn identity_inverts_to_identity() {
+        let id = Matrix::identity(4);
+        assert!(invert_unit_lower(&id).approx_eq(&id, 0.0));
+        assert!(invert_upper(&id).approx_eq(&id, 0.0));
+    }
+
+    #[test]
+    fn flops_are_cubic_over_three() {
+        let n = 90;
+        let f = tri_inv_flops(n) as f64;
+        let approx = (n as f64).powi(3) / 3.0;
+        assert!((f - approx).abs() / approx < 0.05);
+    }
+}

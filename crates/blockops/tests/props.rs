@@ -1,0 +1,133 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use blockops::gemm::{gemm_acc, gemm_sub, matmul};
+use blockops::lu::{lu_in_place, lu_residual, solve};
+use blockops::ops::blocked_lu_in_place;
+use blockops::tri::{invert_unit_lower, invert_upper, solve_unit_lower};
+use blockops::{Matrix, OpClass};
+use proptest::prelude::*;
+
+fn divisors(n: usize) -> Vec<usize> {
+    (1..=n).filter(|b| n.is_multiple_of(*b)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// LU without pivoting factors every diagonally dominant matrix with a
+    /// small residual.
+    #[test]
+    fn lu_factors_diag_dominant(n in 1usize..24, seed in any::<u64>()) {
+        let orig = Matrix::random_diag_dominant(n, seed);
+        let mut packed = orig.clone();
+        lu_in_place(&mut packed).unwrap();
+        prop_assert!(lu_residual(&orig, &packed) < 1e-8 * n as f64);
+    }
+
+    /// Blocked elimination via Op1–Op4 agrees with the unblocked algorithm
+    /// for every block size that divides the matrix.
+    #[test]
+    fn blocked_matches_unblocked(nb in 1usize..5, b_idx in any::<prop::sample::Index>(), seed in any::<u64>()) {
+        let n = nb * 6;
+        let bs = divisors(n);
+        let b = bs[b_idx.index(bs.len())];
+        let orig = Matrix::random_diag_dominant(n, seed);
+        let mut blocked = orig.clone();
+        blocked_lu_in_place(&mut blocked, b).unwrap();
+        let mut unblocked = orig.clone();
+        lu_in_place(&mut unblocked).unwrap();
+        prop_assert!(
+            blocked.approx_eq(&unblocked, 1e-6),
+            "n={n} b={b} diff={}", blocked.max_abs_diff(&unblocked)
+        );
+    }
+
+    /// Solving A·x = b recovers x for diagonally dominant A.
+    #[test]
+    fn solve_roundtrip(n in 1usize..20, seed in any::<u64>()) {
+        let a = Matrix::random_diag_dominant(n, seed);
+        let x_true = Matrix::random(n, 1, seed ^ 0xabcd);
+        let b: Vec<f64> = (0..n)
+            .map(|i| (0..n).map(|j| a[(i, j)] * x_true[(j, 0)]).sum())
+            .collect();
+        let x = solve(&a, &b).unwrap();
+        for i in 0..n {
+            prop_assert!((x[i] - x_true[(i, 0)]).abs() < 1e-7);
+        }
+    }
+
+    /// Triangular inverses really invert.
+    #[test]
+    fn triangular_inverses(n in 1usize..16, seed in any::<u64>()) {
+        let mut a = Matrix::random_diag_dominant(n, seed);
+        lu_in_place(&mut a).unwrap();
+        let (l, u) = blockops::lu::split_lu(&a);
+        let id = Matrix::identity(n);
+        prop_assert!(matmul(&l, &invert_unit_lower(&l)).approx_eq(&id, 1e-8));
+        prop_assert!(matmul(&invert_upper(&u), &u).approx_eq(&id, 1e-7));
+    }
+
+    /// GEMM distributes over addition: (A+A')·B == A·B + A'·B.
+    #[test]
+    fn gemm_distributes(n in 1usize..10, s1 in any::<u64>(), s2 in any::<u64>()) {
+        let a1 = Matrix::random(n, n, s1);
+        let a2 = Matrix::random(n, n, s2);
+        let b = Matrix::random(n, n, s1 ^ s2);
+        let mut sum = a1.clone();
+        for i in 0..n {
+            for j in 0..n {
+                sum[(i, j)] += a2[(i, j)];
+            }
+        }
+        let lhs = matmul(&sum, &b);
+        let mut rhs = matmul(&a1, &b);
+        gemm_acc(&mut rhs, &a2, &b);
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    /// gemm_sub is the inverse of gemm_acc.
+    #[test]
+    fn sub_inverts_acc(n in 1usize..10, seed in any::<u64>()) {
+        let a = Matrix::random(n, n, seed);
+        let b = Matrix::random(n, n, seed.wrapping_add(1));
+        let orig = Matrix::random(n, n, seed.wrapping_add(2));
+        let mut c = orig.clone();
+        gemm_acc(&mut c, &a, &b);
+        gemm_sub(&mut c, &a, &b);
+        prop_assert!(c.approx_eq(&orig, 1e-9));
+    }
+
+    /// Forward solve agrees with multiplying by the inverse.
+    #[test]
+    fn solve_matches_inverse(n in 1usize..12, seed in any::<u64>()) {
+        let mut a = Matrix::random_diag_dominant(n, seed);
+        lu_in_place(&mut a).unwrap();
+        let (l, _) = blockops::lu::split_lu(&a);
+        let b = Matrix::random(n, 3, seed ^ 0x1111);
+        let by_solve = solve_unit_lower(&l, &b);
+        let by_inv = matmul(&invert_unit_lower(&l), &b);
+        prop_assert!(by_solve.approx_eq(&by_inv, 1e-8));
+    }
+
+    /// Transpose reverses products: (A·B)ᵀ == Bᵀ·Aᵀ.
+    #[test]
+    fn transpose_reverses_product(m in 1usize..8, k in 1usize..8, n in 1usize..8, seed in any::<u64>()) {
+        let a = Matrix::random(m, k, seed);
+        let b = Matrix::random(k, n, seed.wrapping_add(9));
+        let lhs = matmul(&a, &b).transpose();
+        let rhs = matmul(&b.transpose(), &a.transpose());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-10));
+    }
+
+    /// Analytic op costs are strictly positive and strictly increasing in
+    /// block size for every operation.
+    #[test]
+    fn analytic_costs_increase(b in 1usize..200) {
+        let m = blockops::AnalyticCost::paper_default();
+        use blockops::CostModel;
+        for op in OpClass::ALL {
+            prop_assert!(m.op_cost(op, b) > loggp::Time::ZERO);
+            prop_assert!(m.op_cost(op, b + 1) > m.op_cost(op, b));
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Cannon's matrix-multiplication algorithm — the second application of
+//! the paper's restricted program class ("Cannon's algorithm for matrix
+//! multiplication or the parallel Gaussian Elimination algorithm … are
+//! representative algorithms for this class").
+//!
+//! On a `q × q` processor grid each processor owns one `m × m` block of
+//! `A`, `B` and `C` (`m = n/q`). After skewing (`A` row `i` rotated left by
+//! `i`, `B` column `j` rotated up by `j`), the algorithm performs `q`
+//! rounds of *multiply-accumulate, rotate `A` left, rotate `B` up*. Every
+//! communication step is a ring shift — a **cyclic** pattern, which makes
+//! Cannon the natural stress test for the worst-case algorithm's deadlock
+//! breaking.
+//!
+//! [`trace::generate`] emits the oblivious program for the predictor;
+//! [`exec::multiply`] executes the real algorithm on block matrices and is
+//! verified against the plain product.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod trace;
+
+pub use exec::multiply;
+pub use trace::{generate, CannonProgram};

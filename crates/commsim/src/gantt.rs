@@ -1,0 +1,248 @@
+//! ASCII Gantt rendering of timelines — the paper's Figures 4 and 5.
+//!
+//! Each processor gets one row; time flows left to right. A send overhead
+//! is drawn with `S`, a receive overhead with `R` (capitalized at the
+//! column where the operation starts, with the peer's number when it
+//! fits), idle time with `.`. A scale line in microseconds is printed
+//! underneath.
+
+use crate::timeline::Timeline;
+use loggp::{OpKind, Time};
+use std::fmt::Write as _;
+
+/// Render `timeline` as an ASCII Gantt chart `width` characters wide
+/// (width counts the plot area only, not the row labels).
+pub fn render(timeline: &Timeline, width: usize) -> String {
+    let width = width.max(10);
+    let finish = timeline.completion();
+    let mut out = String::new();
+    if finish.is_zero() {
+        out.push_str("(empty timeline)\n");
+        return out;
+    }
+    let ps_per_col = (finish.as_ps() as f64 / width as f64).max(1.0);
+    let col = |t: Time| -> usize {
+        ((t.as_ps() as f64 / ps_per_col).floor() as usize).min(width - 1)
+    };
+
+    for (proc, evs) in timeline.sorted_by_proc().into_iter().enumerate() {
+        if evs.is_empty() {
+            continue;
+        }
+        let mut row = vec!['.'; width];
+        for e in &evs {
+            let c0 = col(e.start);
+            let c1 = col(e.end).max(c0);
+            let fill = match e.kind {
+                OpKind::Send => 's',
+                OpKind::Recv => 'r',
+            };
+            for cell in row.iter_mut().take(c1 + 1).skip(c0) {
+                *cell = fill;
+            }
+            // Capitalize the start and, when it fits, append the peer id.
+            row[c0] = fill.to_ascii_uppercase();
+            let peer = e.peer.to_string();
+            if c0 + peer.len() < c1 {
+                for (i, ch) in peer.chars().enumerate() {
+                    row[c0 + 1 + i] = ch;
+                }
+            }
+        }
+        let _ = writeln!(out, "P{proc:<2} |{}|", row.iter().collect::<String>());
+    }
+
+    // Time scale: a tick every ~10 columns.
+    let mut scale = vec![' '; width];
+    let mut labels = String::new();
+    let tick_every = (width / 8).max(1);
+    let mut cursor = 0usize;
+    for c in (0..width).step_by(tick_every) {
+        scale[c] = '+';
+        let t_us = (c as f64 * ps_per_col) / 1e6;
+        let label = format!("{t_us:.0}");
+        if c >= cursor {
+            while labels.len() < c {
+                labels.push(' ');
+            }
+            labels.push_str(&label);
+            cursor = c + label.len() + 1;
+        }
+    }
+    let _ = writeln!(out, "    |{}|", scale.iter().collect::<String>());
+    let _ = writeln!(out, "     {labels}  (us)");
+    let _ = writeln!(out, "completion: {finish}");
+    out
+}
+
+/// A plain event table (one line per operation, chronological per
+/// processor) — the precise companion of the chart.
+pub fn event_table(timeline: &Timeline) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<5} {:<5} {:<5} {:>8} {:>12} {:>12}", "proc", "op", "peer", "bytes", "start", "end");
+    for evs in timeline.sorted_by_proc() {
+        for e in evs {
+            let _ = writeln!(
+                out,
+                "P{:<4} {:<5} P{:<4} {:>8} {:>12} {:>12}",
+                e.proc,
+                e.kind.label(),
+                e.peer,
+                e.bytes,
+                format!("{}", e.start),
+                format!("{}", e.end),
+            );
+        }
+    }
+    out
+}
+
+/// Render `timeline` as a standalone SVG document (one row per
+/// processor, sends in one colour, receives in another, a µs axis along
+/// the bottom). Suitable for embedding figure-4/5-style charts in docs.
+pub fn render_svg(timeline: &Timeline, width_px: usize) -> String {
+    const ROW_H: usize = 22;
+    const BAR_H: usize = 16;
+    const LEFT: usize = 46;
+    const BOTTOM: usize = 30;
+    let width_px = width_px.max(120);
+    let finish = timeline.completion();
+    let procs = timeline.procs();
+    let height = procs * ROW_H + BOTTOM + 8;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{height}" font-family="monospace" font-size="11">"#,
+        w = width_px + LEFT + 8
+    );
+    let _ = writeln!(s, r#"<rect width="100%" height="100%" fill="white"/>"#);
+    if finish.is_zero() {
+        let _ = writeln!(s, r#"<text x="10" y="20">(empty timeline)</text></svg>"#);
+        return s;
+    }
+    let x_of = |t: Time| LEFT as f64 + t.as_ps() as f64 / finish.as_ps() as f64 * width_px as f64;
+
+    for (proc, evs) in timeline.sorted_by_proc().into_iter().enumerate() {
+        let y = proc * ROW_H + 4;
+        let _ = writeln!(
+            s,
+            r#"<text x="4" y="{ty}">P{proc}</text>"#,
+            ty = y + BAR_H - 3
+        );
+        for e in evs {
+            let x0 = x_of(e.start);
+            let x1 = x_of(e.end);
+            let fill = match e.kind {
+                OpKind::Send => "#4878a8",
+                OpKind::Recv => "#a85448",
+            };
+            let _ = writeln!(
+                s,
+                r#"<rect x="{x0:.1}" y="{y}" width="{w:.1}" height="{BAR_H}" fill="{fill}"><title>P{p} {kind} msg {id} ({bytes}B) {start}-{end}</title></rect>"#,
+                w = (x1 - x0).max(1.0),
+                p = e.proc,
+                kind = e.kind.label(),
+                id = e.msg_id,
+                bytes = e.bytes,
+                start = e.start,
+                end = e.end,
+            );
+        }
+    }
+    // Axis.
+    let axis_y = procs * ROW_H + 12;
+    let _ = writeln!(
+        s,
+        r#"<line x1="{LEFT}" y1="{axis_y}" x2="{x2}" y2="{axis_y}" stroke="black"/>"#,
+        x2 = LEFT + width_px
+    );
+    for i in 0..=8 {
+        let t = Time::from_ps(finish.as_ps() * i / 8);
+        let x = x_of(t);
+        let _ = writeln!(
+            s,
+            r#"<line x1="{x:.1}" y1="{axis_y}" x2="{x:.1}" y2="{y2}" stroke="black"/><text x="{x:.1}" y="{ty}" text-anchor="middle">{label:.0}</text>"#,
+            y2 = axis_y + 4,
+            ty = axis_y + 16,
+            label = t.as_us_f64(),
+        );
+    }
+    let _ = writeln!(
+        s,
+        r#"<text x="{x}" y="{y}" text-anchor="end">us</text></svg>"#,
+        x = LEFT + width_px,
+        y = axis_y + 16 + 12
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{patterns, standard, SimConfig};
+    use loggp::presets;
+
+    #[test]
+    fn renders_figure4_like_chart() {
+        let pattern = patterns::figure3();
+        let cfg = SimConfig::new(presets::meiko_cs2(10));
+        let r = standard::simulate(&pattern, &cfg);
+        let chart = render(&r.timeline, 100);
+        // Every participating processor has a row.
+        for p in pattern.active_procs() {
+            assert!(chart.contains(&format!("P{p}")), "{chart}");
+        }
+        assert!(chart.contains("completion:"));
+        assert!(chart.contains('S') && chart.contains('R'), "{chart}");
+    }
+
+    #[test]
+    fn empty_timeline_renders_placeholder() {
+        let t = Timeline::new(4);
+        assert!(render(&t, 80).contains("empty"));
+    }
+
+    #[test]
+    fn event_table_lists_all_events() {
+        let pattern = patterns::figure3();
+        let cfg = SimConfig::new(presets::meiko_cs2(10));
+        let r = standard::simulate(&pattern, &cfg);
+        let table = event_table(&r.timeline);
+        // Header + one line per event.
+        assert_eq!(table.lines().count(), 1 + r.timeline.len());
+    }
+
+    #[test]
+    fn svg_contains_rows_and_bars() {
+        let pattern = patterns::figure3();
+        let cfg = SimConfig::new(presets::meiko_cs2(10));
+        let r = standard::simulate(&pattern, &cfg);
+        let svg = render_svg(&r.timeline, 600);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One labelled row per processor, one rect per event (+background).
+        for p in 0..10 {
+            assert!(svg.contains(&format!(">P{p}</text>")), "row P{p}");
+        }
+        let rects = svg.matches("<rect").count();
+        assert_eq!(rects, 1 + r.timeline.len());
+        assert!(svg.contains("#4878a8") && svg.contains("#a85448"));
+    }
+
+    #[test]
+    fn svg_empty_timeline() {
+        let svg = render_svg(&Timeline::new(2), 300);
+        assert!(svg.contains("empty timeline"));
+        assert!(svg.ends_with("</svg>\n") || svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn narrow_width_is_clamped() {
+        let pattern = patterns::figure3();
+        let cfg = SimConfig::new(presets::meiko_cs2(10));
+        let r = standard::simulate(&pattern, &cfg);
+        // Must not panic even at absurd widths.
+        let _ = render(&r.timeline, 0);
+        let _ = render(&r.timeline, 3);
+    }
+}

@@ -1,0 +1,347 @@
+//! Communication patterns: the input of the simulation algorithms.
+//!
+//! The paper describes a communication step by "a directed graph where the
+//! nodes represent the processors involved in the communication step, the
+//! edges represent messages being transmitted and the costs of these edges
+//! represent the lengths of messages". [`CommPattern`] is exactly that — a
+//! directed *multigraph* (two processors may exchange several messages in
+//! one step), with the extra detail that the order in which a pattern's
+//! messages are added fixes each processor's program-order send queue.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Index of a message within its [`CommPattern`] (also its global send
+/// order as written in the program).
+pub type MsgId = usize;
+
+/// One message of a communication step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Message {
+    /// Identifier: the index of this message in [`CommPattern::messages`].
+    pub id: MsgId,
+    /// Sending processor.
+    pub src: usize,
+    /// Receiving processor.
+    pub dst: usize,
+    /// Message length in bytes.
+    pub bytes: usize,
+}
+
+impl Message {
+    /// True iff source and destination are the same processor. The paper's
+    /// simulation deliberately ignores such local transfers ("message
+    /// transfers from one processor to itself, which are local memory
+    /// transfers in real execution"); the machine emulator charges them a
+    /// memory-copy cost instead.
+    pub fn is_self_message(&self) -> bool {
+        self.src == self.dst
+    }
+}
+
+/// Error constructing a [`CommPattern`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PatternError {
+    /// A message references a processor outside `0..procs`.
+    ProcOutOfRange {
+        /// The offending message index.
+        msg: MsgId,
+        /// The referenced processor.
+        proc: usize,
+        /// The number of processors in the pattern.
+        procs: usize,
+    },
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::ProcOutOfRange { msg, proc, procs } => write!(
+                f,
+                "message {msg} references processor {proc}, but the pattern has {procs} processors"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+/// A communication step: `procs` processors and an ordered list of
+/// messages between them.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CommPattern {
+    procs: usize,
+    messages: Vec<Message>,
+}
+
+impl CommPattern {
+    /// An empty pattern over `procs` processors.
+    pub fn new(procs: usize) -> Self {
+        CommPattern { procs, messages: Vec::new() }
+    }
+
+    /// Append a message of `bytes` bytes from `src` to `dst`; returns its
+    /// [`MsgId`]. Messages from a processor are sent in the order they were
+    /// added (program order).
+    ///
+    /// # Panics
+    /// Panics if `src` or `dst` is out of range; use [`CommPattern::try_add`]
+    /// for a fallible version.
+    pub fn add(&mut self, src: usize, dst: usize, bytes: usize) -> MsgId {
+        self.try_add(src, dst, bytes).expect("processor out of range")
+    }
+
+    /// Fallible [`CommPattern::add`].
+    pub fn try_add(&mut self, src: usize, dst: usize, bytes: usize) -> Result<MsgId, PatternError> {
+        let id = self.messages.len();
+        for proc in [src, dst] {
+            if proc >= self.procs {
+                return Err(PatternError::ProcOutOfRange { msg: id, proc, procs: self.procs });
+            }
+        }
+        self.messages.push(Message { id, src, dst, bytes });
+        Ok(id)
+    }
+
+    /// Number of processors.
+    pub fn procs(&self) -> usize {
+        self.procs
+    }
+
+    /// All messages in program order.
+    pub fn messages(&self) -> &[Message] {
+        &self.messages
+    }
+
+    /// Number of messages (including self-messages).
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// True iff the pattern has no messages.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// Total bytes across all messages (including self-messages).
+    pub fn total_bytes(&self) -> usize {
+        self.messages.iter().map(|m| m.bytes).sum()
+    }
+
+    /// Messages that actually cross the network (excluding self-messages).
+    pub fn network_messages(&self) -> impl Iterator<Item = &Message> {
+        self.messages.iter().filter(|m| !m.is_self_message())
+    }
+
+    /// Per-processor FIFO send queues in program order, self-messages
+    /// excluded (what the LogGP simulators consume).
+    pub fn send_queues(&self) -> Vec<VecDeque<Message>> {
+        let mut queues = vec![VecDeque::new(); self.procs];
+        for m in self.network_messages() {
+            queues[m.src].push_back(*m);
+        }
+        queues
+    }
+
+    /// Number of network messages each processor will receive.
+    pub fn recv_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.procs];
+        for m in self.network_messages() {
+            counts[m.dst] += 1;
+        }
+        counts
+    }
+
+    /// Number of network messages each processor will send.
+    pub fn send_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.procs];
+        for m in self.network_messages() {
+            counts[m.src] += 1;
+        }
+        counts
+    }
+
+    /// Processors that participate in at least one network message.
+    pub fn active_procs(&self) -> Vec<usize> {
+        let mut active = vec![false; self.procs];
+        for m in self.network_messages() {
+            active[m.src] = true;
+            active[m.dst] = true;
+        }
+        (0..self.procs).filter(|&p| active[p]).collect()
+    }
+
+    /// True iff the processor-level directed graph (ignoring self-edges)
+    /// contains a cycle. Cyclic patterns deadlock the worst-case algorithm,
+    /// which then has to force transmissions (paper §4.2).
+    pub fn has_cycle(&self) -> bool {
+        // Kahn's algorithm on the processor graph.
+        let mut indeg = vec![0usize; self.procs];
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.procs];
+        for m in self.network_messages() {
+            adj[m.src].push(m.dst);
+            indeg[m.dst] += 1;
+        }
+        let mut queue: VecDeque<usize> =
+            (0..self.procs).filter(|&p| indeg[p] == 0).collect();
+        let mut seen = 0;
+        while let Some(p) = queue.pop_front() {
+            seen += 1;
+            for &q in &adj[p] {
+                indeg[q] -= 1;
+                if indeg[q] == 0 {
+                    queue.push_back(q);
+                }
+            }
+        }
+        seen < self.procs
+    }
+
+    /// Merge another pattern over the same processor count into this one,
+    /// appending its messages after ours.
+    pub fn extend_from(&mut self, other: &CommPattern) {
+        assert_eq!(self.procs, other.procs, "patterns over different machines");
+        for m in &other.messages {
+            self.add(m.src, m.dst, m.bytes);
+        }
+    }
+
+    /// Graphviz DOT rendering of the pattern (nodes = processors that
+    /// participate, edge labels = bytes), for inspection and for the
+    /// Figure 3 regenerator.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("digraph comm {\n  rankdir=LR;\n");
+        for p in self.active_procs() {
+            let _ = writeln!(s, "  p{p} [label=\"P{p}\"];");
+        }
+        for m in &self.messages {
+            let _ = writeln!(s, "  p{} -> p{} [label=\"{}B\"];", m.src, m.dst, m.bytes);
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+impl fmt::Display for CommPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CommPattern: {} procs, {} messages, {} bytes", self.procs, self.len(), self.total_bytes())?;
+        for m in &self.messages {
+            writeln!(f, "  #{:<3} P{} -> P{}  {} bytes", m.id, m.src, m.dst, m.bytes)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain3() -> CommPattern {
+        let mut p = CommPattern::new(3);
+        p.add(0, 1, 100);
+        p.add(1, 2, 200);
+        p
+    }
+
+    #[test]
+    fn add_assigns_sequential_ids() {
+        let p = chain3();
+        assert_eq!(p.messages()[0].id, 0);
+        assert_eq!(p.messages()[1].id, 1);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut p = CommPattern::new(2);
+        let err = p.try_add(0, 5, 10).unwrap_err();
+        assert_eq!(err, PatternError::ProcOutOfRange { msg: 0, proc: 5, procs: 2 });
+        assert!(err.to_string().contains("processor 5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_panics_out_of_range() {
+        CommPattern::new(1).add(0, 1, 1);
+    }
+
+    #[test]
+    fn send_queues_preserve_program_order() {
+        let mut p = CommPattern::new(3);
+        p.add(0, 1, 10);
+        p.add(0, 2, 20);
+        p.add(1, 2, 30);
+        let q = p.send_queues();
+        assert_eq!(q[0].len(), 2);
+        assert_eq!(q[0][0].dst, 1);
+        assert_eq!(q[0][1].dst, 2);
+        assert_eq!(q[1].len(), 1);
+        assert!(q[2].is_empty());
+    }
+
+    #[test]
+    fn self_messages_excluded_from_network_views() {
+        let mut p = CommPattern::new(2);
+        p.add(0, 0, 10); // self
+        p.add(0, 1, 20);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.network_messages().count(), 1);
+        assert_eq!(p.send_counts(), vec![1, 0]);
+        assert_eq!(p.recv_counts(), vec![0, 1]);
+        assert_eq!(p.total_bytes(), 30);
+        assert!(p.messages()[0].is_self_message());
+    }
+
+    #[test]
+    fn counts_and_active() {
+        let p = chain3();
+        assert_eq!(p.send_counts(), vec![1, 1, 0]);
+        assert_eq!(p.recv_counts(), vec![0, 1, 1]);
+        assert_eq!(p.active_procs(), vec![0, 1, 2]);
+        let mut q = CommPattern::new(5);
+        q.add(1, 3, 1);
+        assert_eq!(q.active_procs(), vec![1, 3]);
+    }
+
+    #[test]
+    fn cycle_detection() {
+        assert!(!chain3().has_cycle());
+        let mut ring = CommPattern::new(3);
+        ring.add(0, 1, 1);
+        ring.add(1, 2, 1);
+        ring.add(2, 0, 1);
+        assert!(ring.has_cycle());
+        // A self-message alone is not a cycle for the worst-case algorithm
+        // (it never traverses the network).
+        let mut selfy = CommPattern::new(2);
+        selfy.add(1, 1, 1);
+        assert!(!selfy.has_cycle());
+    }
+
+    #[test]
+    fn extend_from_appends() {
+        let mut p = chain3();
+        let q = chain3();
+        p.extend_from(&q);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.messages()[2].id, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different machines")]
+    fn extend_from_rejects_mismatched_procs() {
+        let mut p = CommPattern::new(2);
+        p.extend_from(&CommPattern::new(3));
+    }
+
+    #[test]
+    fn dot_and_display_render() {
+        let p = chain3();
+        let dot = p.to_dot();
+        assert!(dot.contains("p0 -> p1 [label=\"100B\"]"), "{dot}");
+        let disp = p.to_string();
+        assert!(disp.contains("P1 -> P2"), "{disp}");
+    }
+}

@@ -1,0 +1,328 @@
+//! Stock communication-pattern builders.
+//!
+//! Includes the paper's sample pattern (Figure 3) plus the collective
+//! patterns used by the applications and the test suite.
+
+use crate::pattern::CommPattern;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Message length used throughout the paper's §4 example: 11 bytes.
+///
+/// The scan reads "Messages being communicated have 11 bytes each". The
+/// small size matters: it makes the first messages arrive within the gap
+/// window (`o + L + (k−1)·G ≤ g`), which is precisely what lets the paper
+/// observe "processor 6 handles first the two receives … before sending its
+/// second message to processor 7" under the receive-priority rule, and it
+/// puts the step completion near the reported ~70–76 µs on the Meiko CS-2
+/// parameters.
+pub const FIGURE3_BYTES: usize = 11;
+
+/// The sample communication pattern of the paper's Figure 3.
+///
+/// The pattern arises in the Gaussian elimination algorithm "in which the
+/// processors on several diagonals of the matrix are involved in each
+/// communication step": a band of early processors feeds a band of later
+/// ones, which forward results further. The scan of the paper does not
+/// preserve the exact edge list, so this is a *reconstruction* with the
+/// properties the text describes (10 processors; all messages 1100 bytes;
+/// one processor receives two messages before sending its second message;
+/// several processors receive two messages; the completion time on Meiko
+/// CS-2 parameters lands near the reported ~76 µs — see EXPERIMENTS.md).
+///
+/// Edges (0-indexed processors):
+/// `0→4 0→5 1→5 1→6 2→6 2→7 3→7 3→8 4→8 5→9 5→6 6→9 7→9`
+pub fn figure3() -> CommPattern {
+    let mut p = CommPattern::new(10);
+    let b = FIGURE3_BYTES;
+    // First diagonal band: processors 0..3 each feed two of 4..8.
+    p.add(0, 4, b);
+    p.add(0, 5, b);
+    p.add(1, 5, b);
+    p.add(1, 6, b);
+    p.add(2, 6, b);
+    p.add(2, 7, b);
+    p.add(3, 7, b);
+    p.add(3, 8, b);
+    // Second band forwards along the wave.
+    p.add(4, 8, b);
+    p.add(5, 9, b);
+    p.add(5, 6, b); // P5 receives two messages before this, its 2nd send
+    p.add(6, 9, b);
+    p.add(7, 9, b);
+    p
+}
+
+/// Unidirectional ring: processor `i` sends `bytes` to `(i+1) mod n`.
+/// Cyclic — exercises the worst-case algorithm's deadlock breaking.
+pub fn ring(n: usize, bytes: usize) -> CommPattern {
+    let mut p = CommPattern::new(n);
+    for i in 0..n {
+        p.add(i, (i + 1) % n, bytes);
+    }
+    p
+}
+
+/// Every processor sends `bytes` to every other processor.
+pub fn all_to_all(n: usize, bytes: usize) -> CommPattern {
+    let mut p = CommPattern::new(n);
+    for src in 0..n {
+        for off in 1..n {
+            p.add(src, (src + off) % n, bytes);
+        }
+    }
+    p
+}
+
+/// Linear broadcast: the root sends `bytes` to every other processor, one
+/// message at a time (the naive broadcast LogP work analyses).
+pub fn linear_broadcast(n: usize, root: usize, bytes: usize) -> CommPattern {
+    let mut p = CommPattern::new(n);
+    for dst in 0..n {
+        if dst != root {
+            p.add(root, dst, bytes);
+        }
+    }
+    p
+}
+
+/// Binomial-tree broadcast from processor 0: in round r, every processor
+/// that already holds the datum forwards it to its partner `i + 2^r`.
+pub fn binomial_broadcast(n: usize, bytes: usize) -> CommPattern {
+    let mut p = CommPattern::new(n);
+    let mut round = 1usize;
+    while round < n {
+        for i in 0..round.min(n) {
+            let dst = i + round;
+            if dst < n {
+                p.add(i, dst, bytes);
+            }
+        }
+        round *= 2;
+    }
+    p
+}
+
+/// Gather: every non-root processor sends `bytes` to the root.
+pub fn gather(n: usize, root: usize, bytes: usize) -> CommPattern {
+    let mut p = CommPattern::new(n);
+    for src in 0..n {
+        if src != root {
+            p.add(src, root, bytes);
+        }
+    }
+    p
+}
+
+/// Shift (circular transpose): processor `i` sends to `(i+k) mod n`.
+pub fn shift(n: usize, k: usize, bytes: usize) -> CommPattern {
+    let mut p = CommPattern::new(n);
+    for i in 0..n {
+        let dst = (i + k) % n;
+        p.add(i, dst, bytes);
+    }
+    p
+}
+
+/// Reduction to processor 0 along the mirror of the binomial broadcast
+/// tree: in round `r` (counting down), processor `i + 2^r` sends its
+/// partial result to `i`. The pattern is the broadcast reversed, so under
+/// round-chained execution its cost equals the broadcast's.
+pub fn binomial_reduce(n: usize, bytes: usize) -> CommPattern {
+    let mut p = CommPattern::new(n);
+    let mut round = 1usize;
+    let mut rounds = Vec::new();
+    while round < n {
+        rounds.push(round);
+        round *= 2;
+    }
+    for &round in rounds.iter().rev() {
+        for i in 0..round.min(n) {
+            let src = i + round;
+            if src < n {
+                p.add(src, i, bytes);
+            }
+        }
+    }
+    p
+}
+
+/// One dimension of a hypercube exchange: every processor swaps `bytes`
+/// with its partner across bit `dim` (processors whose `dim`-th bit
+/// differs). Requires `n` to be a power of two and `dim < log2(n)`.
+pub fn hypercube_exchange(n: usize, dim: usize, bytes: usize) -> CommPattern {
+    assert!(n.is_power_of_two(), "hypercube needs a power-of-two processor count");
+    assert!(1usize << dim < n, "dimension {dim} out of range for {n} processors");
+    let mut p = CommPattern::new(n);
+    for i in 0..n {
+        p.add(i, i ^ (1 << dim), bytes);
+    }
+    p
+}
+
+/// Scatter: the root sends a *distinct* `bytes`-sized piece to every other
+/// processor (identical in shape to [`linear_broadcast`]; kept separate
+/// because applications distinguish the two semantically).
+pub fn scatter(n: usize, root: usize, bytes: usize) -> CommPattern {
+    linear_broadcast(n, root, bytes)
+}
+
+/// A random pattern: `msgs` messages with endpoints drawn uniformly (self
+/// messages allowed — they are ignored by the simulators, as in the paper)
+/// and lengths in `1..=max_bytes`. Deterministic per seed.
+pub fn random(n: usize, msgs: usize, max_bytes: usize, seed: u64) -> CommPattern {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut p = CommPattern::new(n);
+    for _ in 0..msgs {
+        let src = rng.gen_range(0..n);
+        let dst = rng.gen_range(0..n);
+        let bytes = rng.gen_range(1..=max_bytes.max(1));
+        p.add(src, dst, bytes);
+    }
+    p
+}
+
+/// A random *acyclic* pattern: messages only flow from lower- to
+/// higher-numbered processors, so the worst-case algorithm never deadlocks.
+pub fn random_dag(n: usize, msgs: usize, max_bytes: usize, seed: u64) -> CommPattern {
+    assert!(n >= 2, "need at least two processors for a DAG pattern");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut p = CommPattern::new(n);
+    for _ in 0..msgs {
+        let src = rng.gen_range(0..n - 1);
+        let dst = rng.gen_range(src + 1..n);
+        let bytes = rng.gen_range(1..=max_bytes.max(1));
+        p.add(src, dst, bytes);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_shape() {
+        let p = figure3();
+        assert_eq!(p.procs(), 10);
+        assert_eq!(p.len(), 13);
+        assert!(p.messages().iter().all(|m| m.bytes == FIGURE3_BYTES));
+        assert!(!p.has_cycle());
+        // P5 receives two messages and sends two.
+        assert_eq!(p.recv_counts()[5], 2);
+        assert_eq!(p.send_counts()[5], 2);
+        // P9 is the sink of the wave.
+        assert_eq!(p.recv_counts()[9], 3);
+        assert_eq!(p.send_counts()[9], 0);
+    }
+
+    #[test]
+    fn ring_is_cyclic_others_not() {
+        assert!(ring(4, 1).has_cycle());
+        assert!(!binomial_broadcast(8, 1).has_cycle());
+        assert!(!linear_broadcast(8, 0, 1).has_cycle());
+        assert!(!gather(8, 0, 1).has_cycle());
+        assert!(!random_dag(8, 30, 100, 3).has_cycle());
+    }
+
+    #[test]
+    fn all_to_all_counts() {
+        let p = all_to_all(5, 10);
+        assert_eq!(p.len(), 20);
+        assert_eq!(p.send_counts(), vec![4; 5]);
+        assert_eq!(p.recv_counts(), vec![4; 5]);
+    }
+
+    #[test]
+    fn binomial_broadcast_reaches_everyone() {
+        for n in 1..20 {
+            let p = binomial_broadcast(n, 8);
+            let mut has = vec![false; n];
+            if n > 0 {
+                has[0] = true;
+            }
+            for m in p.messages() {
+                assert!(has[m.src], "P{} sent before receiving (n={n})", m.src);
+                has[m.dst] = true;
+            }
+            assert!(has.iter().all(|&h| h), "n={n}");
+            if n > 1 {
+                assert_eq!(p.len(), n - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn shift_wraps() {
+        let p = shift(4, 1, 5);
+        assert_eq!(p.messages()[3].dst, 0);
+        assert!(p.has_cycle());
+    }
+
+    #[test]
+    fn binomial_reduce_mirrors_broadcast() {
+        for n in [1usize, 2, 5, 8, 13] {
+            let bcast = binomial_broadcast(n, 7);
+            let reduce = binomial_reduce(n, 7);
+            assert_eq!(bcast.len(), reduce.len(), "n={n}");
+            // Every broadcast edge appears reversed in the reduction.
+            let mut fwd: Vec<(usize, usize)> =
+                bcast.messages().iter().map(|m| (m.src, m.dst)).collect();
+            let mut rev: Vec<(usize, usize)> =
+                reduce.messages().iter().map(|m| (m.dst, m.src)).collect();
+            fwd.sort_unstable();
+            rev.sort_unstable();
+            assert_eq!(fwd, rev, "n={n}");
+        }
+        // All partials end up at processor 0.
+        let r = binomial_reduce(8, 1);
+        assert_eq!(r.recv_counts()[0], 3);
+    }
+
+    #[test]
+    fn hypercube_exchange_pairs() {
+        let p = hypercube_exchange(8, 1, 10);
+        assert_eq!(p.len(), 8);
+        for m in p.messages() {
+            assert_eq!(m.src ^ m.dst, 2);
+        }
+        assert!(p.has_cycle(), "exchanges are mutual");
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn hypercube_rejects_odd_sizes() {
+        let _ = hypercube_exchange(6, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn hypercube_rejects_big_dim() {
+        let _ = hypercube_exchange(8, 3, 1);
+    }
+
+    #[test]
+    fn scatter_is_root_fan_out() {
+        let p = scatter(5, 2, 9);
+        assert_eq!(p.send_counts()[2], 4);
+        assert_eq!(p.recv_counts()[2], 0);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let a = random(6, 20, 1000, 9);
+        let b = random(6, 20, 1000, 9);
+        let c = random(6, 20, 1000, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 20);
+    }
+
+    #[test]
+    fn random_dag_edges_go_forward() {
+        let p = random_dag(10, 50, 64, 1);
+        for m in p.messages() {
+            assert!(m.src < m.dst);
+        }
+    }
+}

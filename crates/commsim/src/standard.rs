@@ -1,0 +1,343 @@
+//! The standard communication-simulation algorithm (paper Figure 2).
+//!
+//! Given a communication pattern, determine for each processor the sequence
+//! of send and receive operations such that the resulting execution complies
+//! with the LogGP model and with three scheduling rules:
+//!
+//! 1. the (extended) gap `g` separates consecutive operations,
+//! 2. available messages are sent as soon as possible,
+//! 3. *receives have priority over sends*: whenever a processor wants to
+//!    send but a message is already waiting, the receive is performed first
+//!    (Split-C's active messages behave this way).
+//!
+//! The algorithm keeps, per processor, a FIFO queue of messages to send
+//! (program order) and a priority queue of in-flight messages ordered by
+//! arrival time. The main loop repeatedly picks the processor with minimum
+//! current simulation time among those that still want to send, and lets it
+//! perform whichever of {next send, earliest pending receive} can start
+//! first, receives winning ties. When no sends remain, every processor
+//! drains its receive queue.
+
+use crate::pattern::{CommPattern, Message};
+use crate::timeline::{CommEvent, SimResult, Timeline};
+use crate::{SimConfig, TieBreak};
+use loggp::{OpKind, ProcClock, Time};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// A message in flight, keyed by arrival time for the receive queue.
+/// Ties are broken by message id, making the heap order total and the
+/// simulation deterministic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct InFlight {
+    arrival: Time,
+    msg: Message,
+}
+
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.arrival, self.msg.id).cmp(&(other.arrival, other.msg.id))
+    }
+}
+
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Per-processor simulation state.
+struct ProcState {
+    clock: ProcClock,
+    send_queue: VecDeque<Message>,
+    recv_queue: BinaryHeap<Reverse<InFlight>>,
+}
+
+/// Simulate one communication step with the standard algorithm.
+///
+/// Self-messages in the pattern are ignored, as in the paper. The returned
+/// timeline contains one send and one receive event per network message.
+pub fn simulate(pattern: &CommPattern, cfg: &SimConfig) -> SimResult {
+    simulate_from(pattern, cfg, &vec![Time::ZERO; pattern.procs()])
+}
+
+/// Simulate one communication step where processor `p` may not start
+/// communicating before `ready[p]` (used by the whole-program simulator:
+/// a processor enters the communication step only after its computation
+/// phase ends).
+pub fn simulate_from(pattern: &CommPattern, cfg: &SimConfig, ready: &[Time]) -> SimResult {
+    let params = cfg.params;
+    simulate_hooked(pattern, cfg, ready, &mut |m, start| params.arrival_time(start, m.bytes))
+}
+
+/// [`simulate_from`] with a custom *arrival model*: `arrival(msg,
+/// send_start)` returns when the message becomes available at its
+/// destination. The default is the pure LogGP arrival
+/// `send_start + o + (k−1)·G + L`; the machine emulator plugs in jitter
+/// and link contention here. The hook must return a time
+/// `≥ send_start + o` (a message cannot arrive before its send overhead
+/// completes); this is debug-asserted.
+// Indices double as processor ids throughout.
+#[allow(clippy::needless_range_loop)]
+pub fn simulate_hooked(
+    pattern: &CommPattern,
+    cfg: &SimConfig,
+    ready: &[Time],
+    arrival_of: &mut dyn FnMut(&Message, Time) -> Time,
+) -> SimResult {
+    assert_eq!(ready.len(), pattern.procs(), "one ready time per processor");
+    let params = &cfg.params;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+    let mut procs: Vec<ProcState> = pattern
+        .send_queues()
+        .into_iter()
+        .zip(ready)
+        .map(|(send_queue, &r)| {
+            let mut clock = ProcClock::new();
+            clock.advance_to(r);
+            ProcState { clock, send_queue, recv_queue: BinaryHeap::new() }
+        })
+        .collect();
+
+    let mut timeline = Timeline::new(pattern.procs());
+
+    // Main loop: while there are processors that want to send.
+    loop {
+        // min_proc = processor with minimum ctime among those with sends left.
+        let rule = cfg.gap_rule;
+        let min_time = procs
+            .iter()
+            .filter(|p| !p.send_queue.is_empty())
+            .map(|p| p.clock.ready_at_kind(params, rule, OpKind::Send))
+            .min();
+        let Some(min_time) = min_time else { break };
+        let tied: Vec<usize> = (0..procs.len())
+            .filter(|&i| {
+                !procs[i].send_queue.is_empty()
+                    && procs[i].clock.ready_at_kind(params, rule, OpKind::Send) == min_time
+            })
+            .collect();
+        let min_proc = match cfg.tie_break {
+            TieBreak::LowestId => tied[0],
+            TieBreak::Random => tied[rng.gen_range(0..tied.len())],
+        };
+
+        // Candidate start times for the two alternatives.
+        let state = &procs[min_proc];
+        let start_send = state.clock.ready_at_kind(params, rule, OpKind::Send);
+        let start_recv = match state.recv_queue.peek() {
+            Some(Reverse(inflight)) => {
+                state.clock.earliest_start_kind(params, rule, OpKind::Recv, inflight.arrival)
+            }
+            None => Time::MAX, // paper: start_recv = infinity
+        };
+
+        if start_send < start_recv {
+            // Perform SEND: strict '<' gives receives priority on ties.
+            let msg = procs[min_proc].send_queue.pop_front().expect("send queue non-empty");
+            let end = procs[min_proc].clock.commit_kind(params, rule, OpKind::Send, start_send);
+            timeline.push(CommEvent {
+                proc: min_proc,
+                kind: OpKind::Send,
+                peer: msg.dst,
+                bytes: msg.bytes,
+                msg_id: msg.id,
+                start: start_send,
+                end,
+            });
+            let arrival = arrival_of(&msg, start_send);
+            debug_assert!(arrival >= start_send + params.overhead, "arrival precedes send");
+            procs[msg.dst].recv_queue.push(Reverse(InFlight { arrival, msg }));
+        } else {
+            // Perform RECEIVE.
+            let Reverse(inflight) =
+                procs[min_proc].recv_queue.pop().expect("receive queue non-empty");
+            let end = procs[min_proc].clock.commit_kind(params, rule, OpKind::Recv, start_recv);
+            timeline.push(CommEvent {
+                proc: min_proc,
+                kind: OpKind::Recv,
+                peer: inflight.msg.src,
+                bytes: inflight.msg.bytes,
+                msg_id: inflight.msg.id,
+                start: start_recv,
+                end,
+            });
+        }
+    }
+
+    // Final phase: all sends done; every processor drains its receives in
+    // arrival order.
+    for i in 0..procs.len() {
+        while let Some(Reverse(inflight)) = procs[i].recv_queue.pop() {
+            let start = procs[i]
+                .clock
+                .earliest_start_kind(params, cfg.gap_rule, OpKind::Recv, inflight.arrival);
+            let end = procs[i].clock.commit_kind(params, cfg.gap_rule, OpKind::Recv, start);
+            timeline.push(CommEvent {
+                proc: i,
+                kind: OpKind::Recv,
+                peer: inflight.msg.src,
+                bytes: inflight.msg.bytes,
+                msg_id: inflight.msg.id,
+                start,
+                end,
+            });
+        }
+    }
+
+    SimResult::new(timeline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+    use loggp::presets;
+
+    fn meiko_cfg(procs: usize) -> SimConfig {
+        SimConfig::new(presets::meiko_cs2(procs))
+    }
+
+    #[test]
+    fn empty_pattern_finishes_at_zero() {
+        let pattern = CommPattern::new(4);
+        let r = simulate(&pattern, &meiko_cfg(4));
+        assert_eq!(r.finish, Time::ZERO);
+        assert!(r.timeline.is_empty());
+    }
+
+    #[test]
+    fn single_message_costs_o_wire_l_o() {
+        let mut pattern = CommPattern::new(2);
+        pattern.add(0, 1, 1100);
+        let cfg = meiko_cfg(2);
+        let r = simulate(&pattern, &cfg);
+        assert_eq!(r.finish, cfg.params.message_cost(1100));
+        assert_eq!(r.timeline.len(), 2);
+        validate(&pattern, &cfg, &r.timeline).unwrap();
+    }
+
+    #[test]
+    fn sends_respect_gap() {
+        // One sender, two messages to different destinations: second send
+        // starts exactly g after the first.
+        let mut pattern = CommPattern::new(3);
+        pattern.add(0, 1, 64);
+        pattern.add(0, 2, 64);
+        let cfg = meiko_cfg(3);
+        let r = simulate(&pattern, &cfg);
+        let sends = r.timeline.events_for(0);
+        assert_eq!(sends.len(), 2);
+        assert_eq!(sends[1].start - sends[0].start, cfg.params.gap);
+        validate(&pattern, &cfg, &r.timeline).unwrap();
+    }
+
+    #[test]
+    fn receive_has_priority_over_send_on_tie() {
+        // P1 wants to send, but a message from P0 is already waiting when
+        // P1 becomes ready; the receive must win the tie.
+        let cfg = meiko_cfg(2);
+        let mut pattern = CommPattern::new(2);
+        pattern.add(0, 1, 1); // arrives at o + L = 15us
+        pattern.add(1, 0, 1);
+        // Delay P1's step entry to exactly the arrival instant so that
+        // start_send == start_recv.
+        let arrival = cfg.params.arrival_time(Time::ZERO, 1);
+        let r = simulate_from(&pattern, &cfg, &[Time::ZERO, arrival]);
+        let p1 = r.timeline.events_for(1);
+        assert_eq!(p1[0].kind, OpKind::Recv, "receive must have priority: {p1:?}");
+        assert_eq!(p1[0].start, arrival);
+        validate(&pattern, &cfg, &r.timeline).unwrap();
+    }
+
+    #[test]
+    fn send_goes_first_when_no_message_waiting() {
+        // Symmetric exchange starting at t=0: both sides send before their
+        // partner's message arrives (start_recv would be o+L > 0).
+        let mut pattern = CommPattern::new(2);
+        pattern.add(0, 1, 1);
+        pattern.add(1, 0, 1);
+        let cfg = meiko_cfg(2);
+        let r = simulate(&pattern, &cfg);
+        for p in 0..2 {
+            let evs = r.timeline.events_for(p);
+            assert_eq!(evs[0].kind, OpKind::Send);
+            assert_eq!(evs[0].start, Time::ZERO);
+            assert_eq!(evs[1].kind, OpKind::Recv);
+        }
+        validate(&pattern, &cfg, &r.timeline).unwrap();
+    }
+
+    #[test]
+    fn receives_drain_in_arrival_order() {
+        // P0 sends to P2 twice; P1 also sends to P2. Arrival order at P2:
+        // msg0 (sent at 0), msg2 (sent at 0 by P1, same length, larger id),
+        // msg1 (sent at g).
+        let mut pattern = CommPattern::new(3);
+        let a = pattern.add(0, 2, 100);
+        let b = pattern.add(0, 2, 100);
+        let c = pattern.add(1, 2, 100);
+        let cfg = meiko_cfg(3);
+        let r = simulate(&pattern, &cfg);
+        let order: Vec<usize> = r.timeline.events_for(2).iter().map(|e| e.msg_id).collect();
+        assert_eq!(order, vec![a, c, b]);
+        validate(&pattern, &cfg, &r.timeline).unwrap();
+    }
+
+    #[test]
+    fn self_messages_are_ignored() {
+        let mut pattern = CommPattern::new(2);
+        pattern.add(0, 0, 1_000_000);
+        let r = simulate(&pattern, &meiko_cfg(2));
+        assert!(r.timeline.is_empty());
+        assert_eq!(r.finish, Time::ZERO);
+    }
+
+    #[test]
+    fn ready_times_delay_participation() {
+        let mut pattern = CommPattern::new(2);
+        pattern.add(0, 1, 1);
+        let cfg = meiko_cfg(2);
+        let delay = Time::from_us(100.0);
+        let r = simulate_from(&pattern, &cfg, &[delay, Time::ZERO]);
+        let send = r.timeline.events_for(0)[0];
+        assert_eq!(send.start, delay);
+        assert_eq!(r.finish, delay + cfg.params.message_cost(1));
+    }
+
+    #[test]
+    fn random_tie_break_is_deterministic_per_seed() {
+        let mut pattern = CommPattern::new(4);
+        for s in 0..3 {
+            pattern.add(s, 3, 500);
+        }
+        let cfg = meiko_cfg(4).with_random_ties(42);
+        let a = simulate(&pattern, &cfg);
+        let b = simulate(&pattern, &cfg);
+        assert_eq!(a.timeline.events(), b.timeline.events());
+    }
+
+    #[test]
+    fn all_to_one_serializes_receives_by_gap() {
+        let n = 5;
+        let mut pattern = CommPattern::new(n);
+        for s in 1..n {
+            pattern.add(s, 0, 1);
+        }
+        let cfg = meiko_cfg(n);
+        let r = simulate(&pattern, &cfg);
+        let recvs = r.timeline.events_for(0);
+        assert_eq!(recvs.len(), n - 1);
+        for w in recvs.windows(2) {
+            assert!(w[1].start - w[0].start >= cfg.params.gap);
+        }
+        // Lower bound: first arrival + (n-2) gaps + o.
+        let first_arrival = cfg.params.arrival_time(Time::ZERO, 1);
+        let lower = first_arrival + cfg.params.gap * (n as u64 - 2) + cfg.params.overhead;
+        assert!(r.finish >= lower);
+        validate(&pattern, &cfg, &r.timeline).unwrap();
+    }
+}

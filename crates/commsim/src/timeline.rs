@@ -1,0 +1,229 @@
+//! Timelines: the output of the simulation algorithms.
+
+use loggp::{OpKind, Time};
+use std::collections::HashMap;
+
+/// One committed send or receive operation at a processor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommEvent {
+    /// Processor performing the operation.
+    pub proc: usize,
+    /// Send or receive.
+    pub kind: OpKind,
+    /// The other endpoint of the message.
+    pub peer: usize,
+    /// Message length in bytes.
+    pub bytes: usize,
+    /// Identifier of the message within the input pattern.
+    pub msg_id: usize,
+    /// When the operation starts occupying the CPU.
+    pub start: Time,
+    /// When the CPU is released (`start + o`).
+    pub end: Time,
+}
+
+/// The full schedule of send/receive operations produced by a simulation.
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    procs: usize,
+    events: Vec<CommEvent>,
+}
+
+impl Timeline {
+    /// An empty timeline over `procs` processors.
+    pub fn new(procs: usize) -> Self {
+        Timeline { procs, events: Vec::new() }
+    }
+
+    /// Append an event (events are recorded in commit order; use
+    /// [`Timeline::sorted_by_proc`] for per-processor chronological views).
+    pub fn push(&mut self, ev: CommEvent) {
+        debug_assert!(ev.proc < self.procs && ev.peer < self.procs);
+        self.events.push(ev);
+    }
+
+    /// Number of processors.
+    pub fn procs(&self) -> usize {
+        self.procs
+    }
+
+    /// All events, in the order they were committed by the simulator.
+    pub fn events(&self) -> &[CommEvent] {
+        &self.events
+    }
+
+    /// Events of one processor, chronologically.
+    pub fn events_for(&self, proc: usize) -> Vec<CommEvent> {
+        let mut evs: Vec<CommEvent> =
+            self.events.iter().filter(|e| e.proc == proc).copied().collect();
+        evs.sort_by_key(|e| (e.start, e.end, e.msg_id));
+        evs
+    }
+
+    /// All events grouped per processor, chronologically.
+    pub fn sorted_by_proc(&self) -> Vec<Vec<CommEvent>> {
+        let mut per: Vec<Vec<CommEvent>> = vec![Vec::new(); self.procs];
+        for e in &self.events {
+            per[e.proc].push(*e);
+        }
+        for evs in &mut per {
+            evs.sort_by_key(|e| (e.start, e.end, e.msg_id));
+        }
+        per
+    }
+
+    /// The time the last operation of the whole step completes — the
+    /// communication step's running time.
+    pub fn completion(&self) -> Time {
+        self.events.iter().map(|e| e.end).max().unwrap_or(Time::ZERO)
+    }
+
+    /// The time each processor finishes its last operation.
+    pub fn per_proc_completion(&self) -> Vec<Time> {
+        let mut done = vec![Time::ZERO; self.procs];
+        for e in &self.events {
+            done[e.proc] = done[e.proc].max(e.end);
+        }
+        done
+    }
+
+    /// Processors that finish *last* (the critical processors; the paper
+    /// names them when discussing Figures 4 and 5).
+    pub fn critical_procs(&self) -> Vec<usize> {
+        let finish = self.completion();
+        let per = self.per_proc_completion();
+        (0..self.procs).filter(|&p| per[p] == finish && !finish.is_zero()).collect()
+    }
+
+    /// Total CPU time processor `proc` spends inside send/receive overhead.
+    pub fn busy_time(&self, proc: usize) -> Time {
+        self.events
+            .iter()
+            .filter(|e| e.proc == proc)
+            .map(|e| e.end - e.start)
+            .sum()
+    }
+
+    /// For every message id, its `(send event, receive event)` pair, if the
+    /// timeline contains both.
+    pub fn message_pairs(&self) -> HashMap<usize, (Option<CommEvent>, Option<CommEvent>)> {
+        let mut map: HashMap<usize, (Option<CommEvent>, Option<CommEvent>)> = HashMap::new();
+        for e in &self.events {
+            let entry = map.entry(e.msg_id).or_default();
+            match e.kind {
+                OpKind::Send => entry.0 = Some(*e),
+                OpKind::Recv => entry.1 = Some(*e),
+            }
+        }
+        map
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True iff no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// A simulation result: the timeline plus its completion time.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// The committed operation schedule.
+    pub timeline: Timeline,
+    /// `timeline.completion()`, cached.
+    pub finish: Time,
+    /// Number of deadlocks the worst-case algorithm had to break by forcing
+    /// a transmission (always 0 for the standard algorithm and for acyclic
+    /// patterns).
+    pub forced_sends: usize,
+}
+
+impl SimResult {
+    /// Wrap a finished timeline.
+    pub fn new(timeline: Timeline) -> Self {
+        let finish = timeline.completion();
+        SimResult { timeline, finish, forced_sends: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(proc: usize, kind: OpKind, start_us: f64, end_us: f64, msg_id: usize) -> CommEvent {
+        CommEvent {
+            proc,
+            kind,
+            peer: 0,
+            bytes: 1,
+            msg_id,
+            start: Time::from_us(start_us),
+            end: Time::from_us(end_us),
+        }
+    }
+
+    #[test]
+    fn completion_and_critical() {
+        let mut t = Timeline::new(3);
+        t.push(ev(0, OpKind::Send, 0.0, 6.0, 0));
+        t.push(ev(1, OpKind::Recv, 40.0, 46.0, 0));
+        t.push(ev(2, OpKind::Recv, 44.0, 46.0, 1));
+        assert_eq!(t.completion(), Time::from_us(46.0));
+        assert_eq!(t.critical_procs(), vec![1, 2]);
+        assert_eq!(
+            t.per_proc_completion(),
+            vec![Time::from_us(6.0), Time::from_us(46.0), Time::from_us(46.0)]
+        );
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let t = Timeline::new(2);
+        assert_eq!(t.completion(), Time::ZERO);
+        assert!(t.critical_procs().is_empty());
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn busy_time_sums_overheads() {
+        let mut t = Timeline::new(1);
+        t.push(ev(0, OpKind::Send, 0.0, 6.0, 0));
+        t.push(ev(0, OpKind::Recv, 16.0, 22.0, 1));
+        assert_eq!(t.busy_time(0), Time::from_us(12.0));
+    }
+
+    #[test]
+    fn events_for_sorts_chronologically() {
+        let mut t = Timeline::new(1);
+        t.push(ev(0, OpKind::Recv, 16.0, 22.0, 1));
+        t.push(ev(0, OpKind::Send, 0.0, 6.0, 0));
+        let evs = t.events_for(0);
+        assert_eq!(evs[0].msg_id, 0);
+        assert_eq!(evs[1].msg_id, 1);
+    }
+
+    #[test]
+    fn message_pairs_joins_send_and_recv() {
+        let mut t = Timeline::new(2);
+        t.push(ev(0, OpKind::Send, 0.0, 6.0, 7));
+        t.push(ev(1, OpKind::Recv, 40.0, 46.0, 7));
+        let pairs = t.message_pairs();
+        let (s, r) = pairs[&7];
+        assert_eq!(s.unwrap().proc, 0);
+        assert_eq!(r.unwrap().proc, 1);
+    }
+
+    #[test]
+    fn sim_result_caches_finish() {
+        let mut t = Timeline::new(1);
+        t.push(ev(0, OpKind::Send, 0.0, 6.0, 0));
+        let r = SimResult::new(t);
+        assert_eq!(r.finish, Time::from_us(6.0));
+        assert_eq!(r.forced_sends, 0);
+    }
+}

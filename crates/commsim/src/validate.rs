@@ -1,0 +1,451 @@
+//! Independent checker of simulated timelines against the LogGP model.
+//!
+//! The simulation algorithms *construct* schedules; this module *verifies*
+//! them, re-deriving every constraint from scratch so that a bug in the
+//! simulator cannot hide in the checker. Used heavily by unit and property
+//! tests, and available to downstream users who build their own schedules.
+
+use crate::pattern::CommPattern;
+use crate::timeline::Timeline;
+use crate::SimConfig;
+use loggp::{OpKind, Time};
+use std::collections::HashMap;
+use std::fmt;
+
+/// What to check beyond the hard LogGP model rules.
+#[derive(Clone, Copy, Debug)]
+pub struct ValidateOptions {
+    /// Require each processor's *sends* to appear in program order (a
+    /// property of the standard algorithm; the worst-case algorithm
+    /// preserves it per round but the checker would need round boundaries).
+    pub check_send_program_order: bool,
+    /// Require each processor's *receives* to be ordered by message arrival
+    /// time (both algorithms produce this).
+    pub check_recv_arrival_order: bool,
+}
+
+impl Default for ValidateOptions {
+    fn default() -> Self {
+        ValidateOptions { check_send_program_order: true, check_recv_arrival_order: true }
+    }
+}
+
+/// A violated constraint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// An operation's duration differs from the overhead `o`.
+    WrongOverhead {
+        /// Processor at fault.
+        proc: usize,
+        /// Message involved.
+        msg_id: usize,
+        /// Observed duration.
+        got: Time,
+    },
+    /// Two consecutive operations at a processor start less than `g` apart.
+    GapViolated {
+        /// Processor at fault.
+        proc: usize,
+        /// Earlier message.
+        first: usize,
+        /// Later message.
+        second: usize,
+        /// Observed separation.
+        separation: Time,
+    },
+    /// Two operations at a processor overlap (single-port rule).
+    PortViolated {
+        /// Processor at fault.
+        proc: usize,
+        /// Earlier message.
+        first: usize,
+        /// Later message.
+        second: usize,
+    },
+    /// A receive starts before its message could have arrived.
+    ReceivedBeforeArrival {
+        /// Message involved.
+        msg_id: usize,
+        /// Earliest legal start.
+        arrival: Time,
+        /// Observed receive start.
+        start: Time,
+    },
+    /// The timeline's messages don't match the pattern (missing/extra/dup).
+    MessageMismatch {
+        /// Explanation.
+        detail: String,
+    },
+    /// Sends of a processor out of program order.
+    SendOrder {
+        /// Processor at fault.
+        proc: usize,
+        /// Earlier-sent message with the larger program index.
+        first: usize,
+        /// Later-sent message with the smaller program index.
+        second: usize,
+    },
+    /// Receives of a processor out of arrival order.
+    RecvOrder {
+        /// Processor at fault.
+        proc: usize,
+        /// Earlier-received message with the later arrival.
+        first: usize,
+        /// Later-received message with the earlier arrival.
+        second: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::WrongOverhead { proc, msg_id, got } => {
+                write!(f, "P{proc}: op for msg {msg_id} lasted {got}, not o")
+            }
+            Violation::GapViolated { proc, first, second, separation } => write!(
+                f,
+                "P{proc}: ops for msgs {first},{second} start only {separation} apart (< g)"
+            ),
+            Violation::PortViolated { proc, first, second } => {
+                write!(f, "P{proc}: ops for msgs {first},{second} overlap")
+            }
+            Violation::ReceivedBeforeArrival { msg_id, arrival, start } => {
+                write!(f, "msg {msg_id} received at {start}, before arrival {arrival}")
+            }
+            Violation::MessageMismatch { detail } => write!(f, "message mismatch: {detail}"),
+            Violation::SendOrder { proc, first, second } => {
+                write!(f, "P{proc}: send of msg {first} before msg {second} breaks program order")
+            }
+            Violation::RecvOrder { proc, first, second } => {
+                write!(f, "P{proc}: recv of msg {first} before msg {second} breaks arrival order")
+            }
+        }
+    }
+}
+
+/// Check `timeline` against the LogGP model for `pattern` with default
+/// options. Returns all violations found (empty ⇒ valid).
+pub fn validate(
+    pattern: &CommPattern,
+    cfg: &SimConfig,
+    timeline: &Timeline,
+) -> Result<(), Vec<Violation>> {
+    validate_opts(pattern, cfg, timeline, &ValidateOptions::default())
+}
+
+/// [`validate`] with explicit options.
+pub fn validate_opts(
+    pattern: &CommPattern,
+    cfg: &SimConfig,
+    timeline: &Timeline,
+    opts: &ValidateOptions,
+) -> Result<(), Vec<Violation>> {
+    let params = &cfg.params;
+    let mut violations = Vec::new();
+
+    // --- message accounting -------------------------------------------------
+    let expected: HashMap<usize, (usize, usize, usize)> = pattern
+        .network_messages()
+        .map(|m| (m.id, (m.src, m.dst, m.bytes)))
+        .collect();
+    let pairs = timeline.message_pairs();
+    for (&id, &(src, dst, bytes)) in &expected {
+        match pairs.get(&id) {
+            Some((Some(s), Some(r))) => {
+                if s.proc != src || r.proc != dst || s.bytes != bytes || r.bytes != bytes {
+                    violations.push(Violation::MessageMismatch {
+                        detail: format!("msg {id} endpoints/length differ from pattern"),
+                    });
+                }
+            }
+            _ => violations.push(Violation::MessageMismatch {
+                detail: format!("msg {id} missing send or receive event"),
+            }),
+        }
+    }
+    for id in pairs.keys() {
+        if !expected.contains_key(id) {
+            violations.push(Violation::MessageMismatch {
+                detail: format!("msg {id} not in pattern (self-message or phantom)"),
+            });
+        }
+    }
+    if timeline.len() != 2 * expected.len() {
+        violations.push(Violation::MessageMismatch {
+            detail: format!(
+                "expected {} events (2 per message), found {}",
+                2 * expected.len(),
+                timeline.len()
+            ),
+        });
+    }
+
+    // --- arrival rule --------------------------------------------------------
+    for (id, (send, recv)) in &pairs {
+        if let (Some(s), Some(r)) = (send, recv) {
+            let arrival = params.arrival_time(s.start, s.bytes);
+            if r.start < arrival {
+                violations.push(Violation::ReceivedBeforeArrival {
+                    msg_id: *id,
+                    arrival,
+                    start: r.start,
+                });
+            }
+        }
+    }
+
+    // --- per-processor rules -------------------------------------------------
+    for (proc, evs) in timeline.sorted_by_proc().into_iter().enumerate() {
+        for e in &evs {
+            if e.end - e.start != params.overhead {
+                violations.push(Violation::WrongOverhead {
+                    proc,
+                    msg_id: e.msg_id,
+                    got: e.end - e.start,
+                });
+            }
+        }
+        // Single-port rule between all consecutive operations.
+        for w in evs.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            if b.start < a.end {
+                violations.push(Violation::PortViolated {
+                    proc,
+                    first: a.msg_id,
+                    second: b.msg_id,
+                });
+            }
+        }
+        // Gap rule: between all pairs (extended) or per kind (classic).
+        match cfg.gap_rule {
+            loggp::GapRule::Extended => {
+                for w in evs.windows(2) {
+                    let (a, b) = (&w[0], &w[1]);
+                    let separation = b.start.saturating_sub(a.start);
+                    if separation < params.gap {
+                        violations.push(Violation::GapViolated {
+                            proc,
+                            first: a.msg_id,
+                            second: b.msg_id,
+                            separation,
+                        });
+                    }
+                }
+            }
+            loggp::GapRule::SameKindOnly => {
+                for kind in [OpKind::Send, OpKind::Recv] {
+                    let same: Vec<_> = evs.iter().filter(|e| e.kind == kind).collect();
+                    for w in same.windows(2) {
+                        let separation = w[1].start.saturating_sub(w[0].start);
+                        if separation < params.gap {
+                            violations.push(Violation::GapViolated {
+                                proc,
+                                first: w[0].msg_id,
+                                second: w[1].msg_id,
+                                separation,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        if opts.check_send_program_order {
+            let sends: Vec<_> = evs.iter().filter(|e| e.kind == OpKind::Send).collect();
+            for w in sends.windows(2) {
+                if w[0].msg_id > w[1].msg_id {
+                    violations.push(Violation::SendOrder {
+                        proc,
+                        first: w[0].msg_id,
+                        second: w[1].msg_id,
+                    });
+                }
+            }
+        }
+        if opts.check_recv_arrival_order {
+            let recvs: Vec<_> = evs.iter().filter(|e| e.kind == OpKind::Recv).collect();
+            for w in recvs.windows(2) {
+                let arr = |e: &crate::timeline::CommEvent| {
+                    pairs
+                        .get(&e.msg_id)
+                        .and_then(|(s, _)| s.as_ref())
+                        .map(|s| params.arrival_time(s.start, s.bytes))
+                };
+                if let (Some(a0), Some(a1)) = (arr(w[0]), arr(w[1])) {
+                    if a0 > a1 {
+                        violations.push(Violation::RecvOrder {
+                            proc,
+                            first: w[0].msg_id,
+                            second: w[1].msg_id,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::CommEvent;
+    use loggp::presets;
+
+    fn cfg2() -> SimConfig {
+        SimConfig::new(presets::meiko_cs2(2))
+    }
+
+    fn one_msg_pattern() -> CommPattern {
+        let mut p = CommPattern::new(2);
+        p.add(0, 1, 100);
+        p
+    }
+
+    /// A hand-built correct timeline for the one-message pattern.
+    fn good_timeline(cfg: &SimConfig) -> Timeline {
+        let o = cfg.params.overhead;
+        let mut t = Timeline::new(2);
+        t.push(CommEvent {
+            proc: 0,
+            kind: OpKind::Send,
+            peer: 1,
+            bytes: 100,
+            msg_id: 0,
+            start: Time::ZERO,
+            end: o,
+        });
+        let arrival = cfg.params.arrival_time(Time::ZERO, 100);
+        t.push(CommEvent {
+            proc: 1,
+            kind: OpKind::Recv,
+            peer: 0,
+            bytes: 100,
+            msg_id: 0,
+            start: arrival,
+            end: arrival + o,
+        });
+        t
+    }
+
+    #[test]
+    fn accepts_correct_timeline() {
+        let cfg = cfg2();
+        validate(&one_msg_pattern(), &cfg, &good_timeline(&cfg)).unwrap();
+    }
+
+    #[test]
+    fn rejects_early_receive() {
+        let cfg = cfg2();
+        let mut t = good_timeline(&cfg);
+        // Pull the receive one microsecond early.
+        let mut bad = t.events()[1];
+        bad.start -= Time::from_us(1.0);
+        bad.end -= Time::from_us(1.0);
+        let mut t2 = Timeline::new(2);
+        t2.push(t.events()[0]);
+        t2.push(bad);
+        t = t2;
+        let errs = validate(&one_msg_pattern(), &cfg, &t).unwrap_err();
+        assert!(errs.iter().any(|v| matches!(v, Violation::ReceivedBeforeArrival { .. })), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_missing_receive() {
+        let cfg = cfg2();
+        let full = good_timeline(&cfg);
+        let mut t = Timeline::new(2);
+        t.push(full.events()[0]);
+        let errs = validate(&one_msg_pattern(), &cfg, &t).unwrap_err();
+        assert!(errs.iter().any(|v| matches!(v, Violation::MessageMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_gap_violation() {
+        let cfg = cfg2();
+        let o = cfg.params.overhead;
+        let mut pattern = CommPattern::new(2);
+        pattern.add(0, 1, 1);
+        pattern.add(0, 1, 1);
+        let mut t = Timeline::new(2);
+        // Two sends back-to-back with only `o` separation (o < g).
+        for (i, start) in [(0usize, Time::ZERO), (1usize, o)] {
+            t.push(CommEvent {
+                proc: 0,
+                kind: OpKind::Send,
+                peer: 1,
+                bytes: 1,
+                msg_id: i,
+                start,
+                end: start + o,
+            });
+            let arrival = cfg.params.arrival_time(start, 1);
+            t.push(CommEvent {
+                proc: 1,
+                kind: OpKind::Recv,
+                peer: 0,
+                bytes: 1,
+                msg_id: i,
+                start: arrival + cfg.params.gap * i as u64,
+                end: arrival + cfg.params.gap * i as u64 + o,
+            });
+        }
+        let errs = validate(&pattern, &cfg, &t).unwrap_err();
+        assert!(errs.iter().any(|v| matches!(v, Violation::GapViolated { proc: 0, .. })), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_wrong_overhead_and_overlap() {
+        let cfg = cfg2();
+        let mut pattern = CommPattern::new(2);
+        pattern.add(0, 1, 1);
+        let mut t = Timeline::new(2);
+        t.push(CommEvent {
+            proc: 0,
+            kind: OpKind::Send,
+            peer: 1,
+            bytes: 1,
+            msg_id: 0,
+            start: Time::ZERO,
+            end: Time::from_us(1.0), // != o
+        });
+        let arrival = cfg.params.arrival_time(Time::ZERO, 1);
+        t.push(CommEvent {
+            proc: 1,
+            kind: OpKind::Recv,
+            peer: 0,
+            bytes: 1,
+            msg_id: 0,
+            start: arrival,
+            end: arrival + cfg.params.overhead,
+        });
+        let errs = validate(&pattern, &cfg, &t).unwrap_err();
+        assert!(errs.iter().any(|v| matches!(v, Violation::WrongOverhead { .. })));
+    }
+
+    #[test]
+    fn rejects_phantom_message() {
+        let cfg = cfg2();
+        let pattern = CommPattern::new(2); // empty!
+        let t = good_timeline(&cfg);
+        let errs = validate(&pattern, &cfg, &t).unwrap_err();
+        assert!(errs.iter().any(
+            |v| matches!(v, Violation::MessageMismatch { detail } if detail.contains("phantom") || detail.contains("not in pattern"))
+        ));
+    }
+
+    #[test]
+    fn violations_have_readable_display() {
+        let v = Violation::GapViolated {
+            proc: 3,
+            first: 1,
+            second: 2,
+            separation: Time::from_us(4.0),
+        };
+        assert!(v.to_string().contains("P3"));
+    }
+}

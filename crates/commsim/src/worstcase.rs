@@ -1,0 +1,289 @@
+//! The overestimation ("worst-case") simulation algorithm (paper §4.2).
+//!
+//! To bound the communication time from above, each processor first waits
+//! for **all** the messages it has to receive and only afterwards starts
+//! transmitting its own. The algorithm proceeds in rounds: in the first part
+//! of a round, every processor whose receive counter has reached zero sends
+//! all of its messages; in the second part, every destination performs the
+//! corresponding receive operations (in arrival order, under the gap rule).
+//!
+//! A processor inside a cycle of the pattern would wait forever, so on a
+//! round in which no processor may send and messages remain, the algorithm
+//! "performs randomly some message transmissions in order to break the
+//! deadlock": one pending message from a randomly chosen blocked processor
+//! is forced out. The number of forced transmissions is reported in
+//! [`SimResult::forced_sends`].
+//!
+//! The paper notes this schedule "cannot take place in real execution"
+//! (processors usually do not know how many messages to expect); it exists
+//! purely to overestimate.
+
+use crate::pattern::{CommPattern, Message};
+use crate::timeline::{CommEvent, SimResult, Timeline};
+use crate::SimConfig;
+use loggp::{OpKind, ProcClock, Time};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+struct ProcState {
+    clock: ProcClock,
+    send_queue: VecDeque<Message>,
+    /// Messages sent to this processor but not yet received, with arrivals.
+    inbox: Vec<(Time, Message)>,
+    /// Network messages this processor still has to *receive* before it is
+    /// allowed to send ("messages to receive" counter).
+    to_recv: usize,
+}
+
+/// Simulate one communication step with the overestimation algorithm.
+pub fn simulate(pattern: &CommPattern, cfg: &SimConfig) -> SimResult {
+    simulate_from(pattern, cfg, &vec![Time::ZERO; pattern.procs()])
+}
+
+/// [`simulate`] with per-processor earliest communication times (processors
+/// enter the step when their computation phase ends).
+pub fn simulate_from(pattern: &CommPattern, cfg: &SimConfig, ready: &[Time]) -> SimResult {
+    let params = cfg.params;
+    simulate_hooked(pattern, cfg, ready, &mut |m, start| params.arrival_time(start, m.bytes))
+}
+
+/// [`simulate_from`] with a custom arrival model (see
+/// [`crate::standard::simulate_hooked`] for the contract).
+// Indices double as processor ids throughout.
+#[allow(clippy::needless_range_loop)]
+pub fn simulate_hooked(
+    pattern: &CommPattern,
+    cfg: &SimConfig,
+    ready: &[Time],
+    arrival_of: &mut dyn FnMut(&Message, Time) -> Time,
+) -> SimResult {
+    assert_eq!(ready.len(), pattern.procs(), "one ready time per processor");
+    let params = &cfg.params;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+    let recv_counts = pattern.recv_counts();
+    let mut procs: Vec<ProcState> = pattern
+        .send_queues()
+        .into_iter()
+        .zip(ready)
+        .zip(&recv_counts)
+        .map(|((send_queue, &r), &to_recv)| {
+            let mut clock = ProcClock::new();
+            clock.advance_to(r);
+            ProcState { clock, send_queue, inbox: Vec::new(), to_recv }
+        })
+        .collect();
+
+    let mut timeline = Timeline::new(pattern.procs());
+    let mut forced_sends = 0usize;
+
+    let send_msg = |procs: &mut Vec<ProcState>,
+                        timeline: &mut Timeline,
+                        p: usize,
+                        arrival_of: &mut dyn FnMut(&Message, Time) -> Time| {
+        let msg = procs[p].send_queue.pop_front().expect("send queue non-empty");
+        let start = procs[p].clock.ready_at_kind(params, cfg.gap_rule, OpKind::Send);
+        let end = procs[p].clock.commit_kind(params, cfg.gap_rule, OpKind::Send, start);
+        timeline.push(CommEvent {
+            proc: p,
+            kind: OpKind::Send,
+            peer: msg.dst,
+            bytes: msg.bytes,
+            msg_id: msg.id,
+            start,
+            end,
+        });
+        let arrival = arrival_of(&msg, start);
+        debug_assert!(arrival >= start + params.overhead, "arrival precedes send");
+        procs[msg.dst].inbox.push((arrival, msg));
+    };
+
+    loop {
+        let sends_remain = procs.iter().any(|p| !p.send_queue.is_empty());
+        let recvs_remain = procs.iter().any(|p| !p.inbox.is_empty());
+        if !sends_remain && !recvs_remain {
+            break;
+        }
+
+        // Part 1: every processor that has received everything it expects
+        // sends all of its messages.
+        let eligible: Vec<usize> = (0..procs.len())
+            .filter(|&p| procs[p].to_recv == 0 && !procs[p].send_queue.is_empty())
+            .collect();
+
+        if !eligible.is_empty() {
+            for p in eligible {
+                while !procs[p].send_queue.is_empty() {
+                    send_msg(&mut procs, &mut timeline, p, arrival_of);
+                }
+            }
+        } else if recvs_remain {
+            // Nothing to send yet but deliveries are pending; fall through
+            // to part 2 so the waiting processors can make progress.
+        } else {
+            // Deadlock: messages remain but every would-be sender is still
+            // waiting on a cycle. Force one transmission from a randomly
+            // chosen blocked processor.
+            let blocked: Vec<usize> =
+                (0..procs.len()).filter(|&p| !procs[p].send_queue.is_empty()).collect();
+            debug_assert!(!blocked.is_empty());
+            let victim = blocked[rng.gen_range(0..blocked.len())];
+            send_msg(&mut procs, &mut timeline, victim, arrival_of);
+            forced_sends += 1;
+        }
+
+        // Part 2: every destination performs the receive operations for the
+        // messages delivered so far, in arrival order.
+        for p in 0..procs.len() {
+            if procs[p].inbox.is_empty() {
+                continue;
+            }
+            procs[p].inbox.sort_by_key(|(arrival, msg)| (*arrival, msg.id));
+            for (arrival, msg) in std::mem::take(&mut procs[p].inbox) {
+                let start =
+                    procs[p].clock.earliest_start_kind(params, cfg.gap_rule, OpKind::Recv, arrival);
+                let end = procs[p].clock.commit_kind(params, cfg.gap_rule, OpKind::Recv, start);
+                timeline.push(CommEvent {
+                    proc: p,
+                    kind: OpKind::Recv,
+                    peer: msg.src,
+                    bytes: msg.bytes,
+                    msg_id: msg.id,
+                    start,
+                    end,
+                });
+                procs[p].to_recv -= 1;
+            }
+        }
+    }
+
+    let mut result = SimResult::new(timeline);
+    result.forced_sends = forced_sends;
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::ValidateOptions;
+    use crate::{patterns, standard};
+    use loggp::presets;
+
+    fn meiko_cfg(procs: usize) -> SimConfig {
+        SimConfig::new(presets::meiko_cs2(procs))
+    }
+
+    fn check(pattern: &CommPattern, cfg: &SimConfig, r: &SimResult) {
+        // The worst-case algorithm interleaves program order across rounds,
+        // so only the model constraints are checked, not send order.
+        validate_with(pattern, cfg, r);
+    }
+
+    fn validate_with(pattern: &CommPattern, cfg: &SimConfig, r: &SimResult) {
+        // Only the hard model constraints apply to the worst-case schedule:
+        // rounds reorder sends across program order, and a message sent in a
+        // later round can arrive before one received in an earlier round.
+        crate::validate::validate_opts(
+            pattern,
+            cfg,
+            &r.timeline,
+            &ValidateOptions { check_send_program_order: false, check_recv_arrival_order: false },
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn single_message_same_as_standard() {
+        let mut pattern = CommPattern::new(2);
+        pattern.add(0, 1, 1100);
+        let cfg = meiko_cfg(2);
+        let wc = simulate(&pattern, &cfg);
+        let st = standard::simulate(&pattern, &cfg);
+        assert_eq!(wc.finish, st.finish);
+        assert_eq!(wc.forced_sends, 0);
+        check(&pattern, &cfg, &wc);
+    }
+
+    #[test]
+    fn chain_waits_for_upstream() {
+        // 0 -> 1 -> 2: processor 1 must receive before sending, so the step
+        // takes two full message times (minus no overlap at P1).
+        let mut pattern = CommPattern::new(3);
+        pattern.add(0, 1, 1);
+        pattern.add(1, 2, 1);
+        let cfg = meiko_cfg(3);
+        let wc = simulate(&pattern, &cfg);
+        let msg = cfg.params.message_cost(1);
+        // Receive at P1 ends at msg; P1's send starts >= recv.start + g,
+        // and its message needs o + L + o more.
+        let recv1_start = cfg.params.arrival_time(Time::ZERO, 1);
+        let send1_start = recv1_start + cfg.params.gap;
+        assert_eq!(wc.finish, send1_start + msg);
+        assert_eq!(wc.forced_sends, 0);
+        check(&pattern, &cfg, &wc);
+    }
+
+    #[test]
+    fn worst_case_never_faster_than_standard_on_dags() {
+        let cfg = meiko_cfg(10);
+        let pattern = patterns::figure3();
+        let wc = simulate(&pattern, &cfg);
+        let st = standard::simulate(&pattern, &cfg);
+        assert!(wc.finish >= st.finish, "wc {} < std {}", wc.finish, st.finish);
+        check(&pattern, &cfg, &wc);
+    }
+
+    #[test]
+    fn ring_deadlock_is_broken() {
+        let n = 6;
+        let pattern = patterns::ring(n, 256);
+        assert!(pattern.has_cycle());
+        let cfg = meiko_cfg(n);
+        let wc = simulate(&pattern, &cfg);
+        assert!(wc.forced_sends >= 1, "cycle must force at least one send");
+        assert_eq!(wc.timeline.len(), 2 * pattern.len());
+        check(&pattern, &cfg, &wc);
+    }
+
+    #[test]
+    fn forced_sends_deterministic_per_seed() {
+        let pattern = patterns::ring(5, 64);
+        let cfg = meiko_cfg(5).with_seed(7);
+        let a = simulate(&pattern, &cfg);
+        let b = simulate(&pattern, &cfg);
+        assert_eq!(a.timeline.events(), b.timeline.events());
+        assert_eq!(a.forced_sends, b.forced_sends);
+    }
+
+    #[test]
+    fn all_messages_accounted_for() {
+        let pattern = patterns::all_to_all(4, 128);
+        let cfg = meiko_cfg(4);
+        let wc = simulate(&pattern, &cfg);
+        // all-to-all is cyclic: every processor waits on every other.
+        assert!(wc.forced_sends > 0);
+        assert_eq!(wc.timeline.len(), 2 * pattern.network_messages().count());
+        check(&pattern, &cfg, &wc);
+    }
+
+    #[test]
+    fn ready_times_respected() {
+        let mut pattern = CommPattern::new(2);
+        pattern.add(0, 1, 1);
+        let cfg = meiko_cfg(2);
+        let delay = Time::from_us(50.0);
+        let wc = simulate_from(&pattern, &cfg, &[delay, Time::ZERO]);
+        assert_eq!(wc.timeline.events_for(0)[0].start, delay);
+        check(&pattern, &cfg, &wc);
+    }
+
+    #[test]
+    fn empty_pattern() {
+        let pattern = CommPattern::new(3);
+        let cfg = meiko_cfg(3);
+        let wc = simulate(&pattern, &cfg);
+        assert_eq!(wc.finish, Time::ZERO);
+        assert_eq!(wc.forced_sends, 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Mutation tests for the independent validator: take a *valid* schedule,
+//! break it in a specific way, and demand the validator notices. This
+//! guards the guard — a validator that accepts everything would make the
+//! simulator property tests vacuous.
+
+use commsim::validate::{validate, Violation};
+use commsim::{patterns, standard, CommEvent, CommPattern, SimConfig, Timeline};
+use loggp::{presets, OpKind, Time};
+use proptest::prelude::*;
+
+fn valid_run(seed: u64) -> (CommPattern, SimConfig, Timeline) {
+    let pattern = patterns::random_dag(6, 12, 2048, seed);
+    let cfg = SimConfig::new(presets::meiko_cs2(6));
+    let r = standard::simulate(&pattern, &cfg);
+    (pattern, cfg, r.timeline)
+}
+
+fn rebuild(timeline: &Timeline, f: impl Fn(usize, CommEvent) -> Option<CommEvent>) -> Timeline {
+    let mut out = Timeline::new(timeline.procs());
+    for (i, ev) in timeline.events().iter().enumerate() {
+        if let Some(ev) = f(i, *ev) {
+            out.push(ev);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Shifting any receive earlier than its message's arrival is caught.
+    #[test]
+    fn early_receive_detected(seed in any::<u64>(), pick in any::<prop::sample::Index>()) {
+        let (pattern, cfg, timeline) = valid_run(seed);
+        let recvs: Vec<usize> = timeline
+            .events()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.kind == OpKind::Recv)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assume!(!recvs.is_empty());
+        let victim = recvs[pick.index(recvs.len())];
+        // Move the receive to time zero-ish: before any arrival is possible.
+        let mutated = rebuild(&timeline, |i, mut ev| {
+            if i == victim {
+                ev.end -= ev.start;
+                ev.start = Time::ZERO;
+            }
+            Some(ev)
+        });
+        let errs = validate(&pattern, &cfg, &mutated).unwrap_err();
+        prop_assert!(
+            errs.iter().any(|v| matches!(
+                v,
+                Violation::ReceivedBeforeArrival { .. }
+                    | Violation::GapViolated { .. }
+                    | Violation::PortViolated { .. }
+                    | Violation::RecvOrder { .. }
+            )),
+            "mutation not detected: {errs:?}"
+        );
+    }
+
+    /// Dropping any event is caught as a message mismatch.
+    #[test]
+    fn dropped_event_detected(seed in any::<u64>(), pick in any::<prop::sample::Index>()) {
+        let (pattern, cfg, timeline) = valid_run(seed);
+        prop_assume!(!timeline.is_empty());
+        let victim = pick.index(timeline.len());
+        let mutated = rebuild(&timeline, |i, ev| (i != victim).then_some(ev));
+        let errs = validate(&pattern, &cfg, &mutated).unwrap_err();
+        prop_assert!(errs.iter().any(|v| matches!(v, Violation::MessageMismatch { .. })), "not detected: {errs:?}");
+    }
+
+    /// Stretching or shrinking any operation's duration is caught.
+    #[test]
+    fn wrong_overhead_detected(
+        seed in any::<u64>(),
+        pick in any::<prop::sample::Index>(),
+        stretch_ns in prop_oneof![Just(1u64), Just(500), Just(50_000)],
+    ) {
+        let (pattern, cfg, timeline) = valid_run(seed);
+        prop_assume!(!timeline.is_empty());
+        let victim = pick.index(timeline.len());
+        let mutated = rebuild(&timeline, |i, mut ev| {
+            if i == victim {
+                ev.end += Time::from_ns(stretch_ns);
+            }
+            Some(ev)
+        });
+        let errs = validate(&pattern, &cfg, &mutated).unwrap_err();
+        prop_assert!(errs.iter().any(|v| matches!(v, Violation::WrongOverhead { .. })), "not detected: {errs:?}");
+    }
+
+    /// Squeezing two consecutive operations of one processor together is
+    /// caught by the gap (or port) rule.
+    #[test]
+    fn gap_squeeze_detected(seed in any::<u64>(), pick in any::<prop::sample::Index>()) {
+        let (pattern, cfg, timeline) = valid_run(seed);
+        // Find a processor with at least two operations.
+        let mut candidates = Vec::new();
+        for p in 0..timeline.procs() {
+            let evs = timeline.events_for(p);
+            if evs.len() >= 2 {
+                candidates.push((p, evs[1].msg_id, evs[1].kind, evs[0].start));
+            }
+        }
+        prop_assume!(!candidates.is_empty());
+        let (proc, msg_id, kind, first_start) = candidates[pick.index(candidates.len())];
+        // Slam the second op onto the first op's start time + 1ns.
+        let mutated = rebuild(&timeline, |_, mut ev| {
+            if ev.proc == proc && ev.msg_id == msg_id && ev.kind == kind {
+                let dur = ev.end - ev.start;
+                ev.start = first_start + Time::from_ns(1);
+                ev.end = ev.start + dur;
+            }
+            Some(ev)
+        });
+        let errs = validate(&pattern, &cfg, &mutated).unwrap_err();
+        prop_assert!(
+            errs.iter().any(|v| matches!(
+                v,
+                Violation::GapViolated { .. }
+                    | Violation::PortViolated { .. }
+                    | Violation::ReceivedBeforeArrival { .. }
+                    | Violation::SendOrder { .. }
+                    | Violation::RecvOrder { .. }
+            )),
+            "mutation not detected: {errs:?}"
+        );
+    }
+
+    /// Retargeting a message to a different destination processor is
+    /// caught (the receive happens at the wrong place).
+    #[test]
+    fn retargeted_receive_detected(seed in any::<u64>(), pick in any::<prop::sample::Index>()) {
+        let (pattern, cfg, timeline) = valid_run(seed);
+        let recvs: Vec<usize> = timeline
+            .events()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.kind == OpKind::Recv)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assume!(!recvs.is_empty());
+        let victim = recvs[pick.index(recvs.len())];
+        let procs = timeline.procs();
+        let mutated = rebuild(&timeline, |i, mut ev| {
+            if i == victim {
+                ev.proc = (ev.proc + 1) % procs;
+            }
+            Some(ev)
+        });
+        let errs = validate(&pattern, &cfg, &mutated).unwrap_err();
+        prop_assert!(errs.iter().any(|v| matches!(v, Violation::MessageMismatch { .. })),
+            "mutation not detected: {errs:?}");
+    }
+}

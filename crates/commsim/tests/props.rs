@@ -1,0 +1,243 @@
+//! Property-based tests for the communication simulators.
+//!
+//! The key oracle is `commsim::validate`, an independent re-derivation of
+//! every LogGP constraint: whatever pattern and parameters are thrown at
+//! the simulators, the schedules they emit must satisfy the model.
+
+use commsim::validate::{validate, validate_opts, ValidateOptions};
+use commsim::{patterns, standard, worstcase, CommPattern, SimConfig, TieBreak};
+use loggp::{LogGpParams, Time};
+use proptest::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = LogGpParams> {
+    (
+        0u64..50_000,  // L ns
+        1u64..20_000,  // o ns
+        0u64..50_000,  // gap surplus over o, ns
+        0u64..100,     // G ns/byte
+    )
+        .prop_map(|(l, o, extra, g)| LogGpParams {
+            latency: Time::from_ns(l),
+            overhead: Time::from_ns(o),
+            gap: Time::from_ns(o + extra),
+            gap_per_byte: Time::from_ns(g),
+            procs: 0, // fixed up by caller
+        })
+}
+
+fn arb_pattern() -> impl Strategy<Value = CommPattern> {
+    (2usize..12, 0usize..40, proptest::bool::ANY, any::<u64>()).prop_map(
+        |(n, msgs, dag, seed)| {
+            if dag {
+                patterns::random_dag(n, msgs, 4096, seed)
+            } else {
+                patterns::random(n, msgs, 4096, seed)
+            }
+        },
+    )
+}
+
+fn wc_options() -> ValidateOptions {
+    ValidateOptions { check_send_program_order: false, check_recv_arrival_order: false }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The standard algorithm always emits a LogGP-valid schedule, for any
+    /// pattern (cyclic or not), parameters and tie-break policy.
+    #[test]
+    fn standard_schedules_are_valid(
+        params in arb_params(),
+        pattern in arb_pattern(),
+        random_ties in proptest::bool::ANY,
+        seed in any::<u64>(),
+    ) {
+        let params = params.with_procs(pattern.procs());
+        let mut cfg = SimConfig::new(params).with_seed(seed);
+        if random_ties {
+            cfg.tie_break = TieBreak::Random;
+        }
+        let r = standard::simulate(&pattern, &cfg);
+        if let Err(errs) = validate(&pattern, &cfg, &r.timeline) {
+            prop_assert!(false, "violations: {errs:?}");
+        }
+        // Exactly two events per network message.
+        prop_assert_eq!(r.timeline.len(), 2 * pattern.network_messages().count());
+    }
+
+    /// The worst-case algorithm always emits a LogGP-valid schedule too,
+    /// breaking deadlocks when the pattern is cyclic.
+    #[test]
+    fn worstcase_schedules_are_valid(
+        params in arb_params(),
+        pattern in arb_pattern(),
+        seed in any::<u64>(),
+    ) {
+        let params = params.with_procs(pattern.procs());
+        let cfg = SimConfig::new(params).with_seed(seed);
+        let r = worstcase::simulate(&pattern, &cfg);
+        if let Err(errs) = validate_opts(&pattern, &cfg, &r.timeline, &wc_options()) {
+            prop_assert!(false, "violations: {errs:?}");
+        }
+        prop_assert_eq!(r.timeline.len(), 2 * pattern.network_messages().count());
+        if !pattern.has_cycle() {
+            prop_assert_eq!(r.forced_sends, 0);
+        }
+    }
+
+    /// On acyclic patterns, the overestimation algorithm never finishes
+    /// before the standard one (it only ever *delays* sends) — the paper's
+    /// upper-bound claim.
+    #[test]
+    fn worstcase_upper_bounds_standard_on_dags(
+        params in arb_params(),
+        (n, msgs, seed) in (2usize..10, 0usize..30, any::<u64>()),
+    ) {
+        let pattern = patterns::random_dag(n, msgs, 2048, seed);
+        let params = params.with_procs(n);
+        let cfg = SimConfig::new(params);
+        let st = standard::simulate(&pattern, &cfg);
+        let wc = worstcase::simulate(&pattern, &cfg);
+        prop_assert!(
+            wc.finish >= st.finish,
+            "worst-case {} < standard {}", wc.finish, st.finish
+        );
+    }
+
+    /// Under the classic (same-kind-only) gap rule, schedules are still
+    /// valid against the rule-aware validator, and they never finish
+    /// *later* than the extended rule's schedule on DAG patterns... in
+    /// fact that bound is NOT sound (scheduling anomalies), so assert only
+    /// validity plus the hard lower bounds.
+    #[test]
+    fn classic_gap_rule_schedules_valid(
+        params in arb_params(),
+        pattern in arb_pattern(),
+    ) {
+        let params = params.with_procs(pattern.procs());
+        let cfg = SimConfig::new(params).with_classic_gap_rule();
+        let r = standard::simulate(&pattern, &cfg);
+        if let Err(errs) = validate(&pattern, &cfg, &r.timeline) {
+            prop_assert!(false, "violations: {errs:?}");
+        }
+        for m in pattern.network_messages() {
+            prop_assert!(r.finish >= params.message_cost(m.bytes));
+        }
+        let wc = worstcase::simulate(&pattern, &cfg);
+        if let Err(errs) = validate_opts(&pattern, &cfg, &wc.timeline, &wc_options()) {
+            prop_assert!(false, "wc violations: {errs:?}");
+        }
+    }
+
+    /// A classic-rule schedule would generally violate the extended rule
+    /// (mixed pairs squeezed to o < g) — the validator distinguishes the
+    /// two models.
+    #[test]
+    fn rules_are_actually_different(seed in any::<u64>()) {
+        // A pattern guaranteed to interleave kinds at one processor:
+        // P1 receives then sends repeatedly.
+        let mut pattern = CommPattern::new(3);
+        for _ in 0..4 {
+            pattern.add(0, 1, 1);
+            pattern.add(1, 2, 1);
+        }
+        let params = loggp::presets::meiko_cs2(3);
+        let classic = SimConfig::new(params).with_classic_gap_rule().with_seed(seed);
+        let r = standard::simulate(&pattern, &classic);
+        // Valid under classic...
+        prop_assert!(validate(&pattern, &classic, &r.timeline).is_ok());
+        // ...but the same timeline fails the extended validator.
+        let extended = SimConfig::new(params).with_seed(seed);
+        prop_assert!(validate(&pattern, &extended, &r.timeline).is_err());
+    }
+
+    /// Simulations are deterministic: same inputs, same timeline.
+    #[test]
+    fn simulations_are_deterministic(
+        params in arb_params(),
+        pattern in arb_pattern(),
+        seed in any::<u64>(),
+    ) {
+        let params = params.with_procs(pattern.procs());
+        let cfg = SimConfig::new(params).with_random_ties(seed);
+        let a = standard::simulate(&pattern, &cfg);
+        let b = standard::simulate(&pattern, &cfg);
+        prop_assert_eq!(a.timeline.events(), b.timeline.events());
+        let c = worstcase::simulate(&pattern, &cfg);
+        let d = worstcase::simulate(&pattern, &cfg);
+        prop_assert_eq!(c.timeline.events(), d.timeline.events());
+    }
+
+    /// NOTE: completion time is *not* monotone in the LogGP parameters —
+    /// greedy receive-priority scheduling exhibits Graham-type anomalies
+    /// (the paper notes a single late message "can completely change" the
+    /// schedule; proptest found a concrete instance where increasing G
+    /// shortened the step). What *does* hold are hard lower bounds:
+    /// the step can never beat the cost of its most expensive message, nor
+    /// the gap-limited operation rate of its busiest processor.
+    #[test]
+    fn completion_respects_lower_bounds(
+        params in arb_params(),
+        pattern in arb_pattern(),
+    ) {
+        let params = params.with_procs(pattern.procs());
+        let cfg = SimConfig::new(params);
+        let r = standard::simulate(&pattern, &cfg);
+        for m in pattern.network_messages() {
+            prop_assert!(r.finish >= params.message_cost(m.bytes),
+                "finish {} < message cost {}", r.finish, params.message_cost(m.bytes));
+        }
+        let sends = pattern.send_counts();
+        let recvs = pattern.recv_counts();
+        for p in 0..pattern.procs() {
+            let n = (sends[p] + recvs[p]) as u64;
+            if n > 0 {
+                let bound = params.gap * (n - 1) + params.overhead;
+                prop_assert!(r.finish >= bound,
+                    "finish {} < P{p} rate bound {}", r.finish, bound);
+            }
+        }
+    }
+
+    /// Per-processor busy time equals 2·o·(messages it handles) — every
+    /// send and receive costs exactly o, nothing more, nothing less.
+    #[test]
+    fn busy_time_accounting(params in arb_params(), pattern in arb_pattern()) {
+        let params = params.with_procs(pattern.procs());
+        let cfg = SimConfig::new(params);
+        let r = standard::simulate(&pattern, &cfg);
+        let sends = pattern.send_counts();
+        let recvs = pattern.recv_counts();
+        for p in 0..pattern.procs() {
+            let expect = params.overhead * (sends[p] + recvs[p]) as u64;
+            prop_assert_eq!(r.timeline.busy_time(p), expect);
+        }
+    }
+
+    /// Uniformly scaling all four time parameters scales every event time
+    /// by the same factor (the model has no intrinsic time scale).
+    #[test]
+    fn time_scale_invariance(
+        params in arb_params(),
+        pattern in arb_pattern(),
+        k in 2u64..5,
+    ) {
+        let params = params.with_procs(pattern.procs());
+        let scaled = LogGpParams {
+            latency: params.latency * k,
+            overhead: params.overhead * k,
+            gap: params.gap * k,
+            gap_per_byte: params.gap_per_byte * k,
+            procs: params.procs,
+        };
+        let a = standard::simulate(&pattern, &SimConfig::new(params));
+        let b = standard::simulate(&pattern, &SimConfig::new(scaled));
+        prop_assert_eq!(a.finish * k, b.finish);
+        for (ea, eb) in a.timeline.events().iter().zip(b.timeline.events()) {
+            prop_assert_eq!(ea.start * k, eb.start);
+            prop_assert_eq!(ea.msg_id, eb.msg_id);
+            prop_assert_eq!(ea.proc, eb.proc);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Multi-round collective operations as oblivious [`Program`]s.
+//!
+//! The LogP/LogGP literature the paper builds on (Karp, Sahay, Santos &
+//! Schauser: "Optimal broadcast and summation in the LogP model", the
+//! paper's citation \[9\]) analyzed collectives with explicit formulas; here the same
+//! collectives are expressed as multi-step programs — one communication
+//! step per round, the data dependence between rounds enforced by the
+//! step chaining — and predicted by simulation, so regular and irregular
+//! phases of an application compose in one trace.
+
+use crate::program::{Program, Step};
+use commsim::CommPattern;
+use loggp::Time;
+
+/// Binomial-tree broadcast from processor 0: `⌈log₂ p⌉` rounds, round `r`
+/// sending `i → i + 2^r` for every holder `i < 2^r`.
+pub fn binomial_broadcast(p: usize, bytes: usize) -> Program {
+    let mut prog = Program::new(p.max(1));
+    let mut round = 1usize;
+    while round < p {
+        let mut pat = CommPattern::new(p);
+        for i in 0..round.min(p) {
+            if i + round < p {
+                pat.add(i, i + round, bytes);
+            }
+        }
+        prog.push(Step::new(format!("bcast round {round}")).with_comm(pat));
+        round *= 2;
+    }
+    prog
+}
+
+/// Binomial-tree reduction to processor 0 (the broadcast mirrored), with
+/// `combine` time charged at each receiver per round — a reduction does
+/// real work (e.g. summing `bytes/8` doubles) between rounds.
+#[allow(clippy::needless_range_loop)]
+pub fn binomial_reduce(p: usize, bytes: usize, combine: Time) -> Program {
+    let mut prog = Program::new(p.max(1));
+    let mut rounds = Vec::new();
+    let mut round = 1usize;
+    while round < p {
+        rounds.push(round);
+        round *= 2;
+    }
+    for &round in rounds.iter().rev() {
+        let mut pat = CommPattern::new(p);
+        let mut comp = vec![Time::ZERO; p];
+        for i in 0..round.min(p) {
+            if i + round < p {
+                pat.add(i + round, i, bytes);
+                comp[i] = combine;
+            }
+        }
+        let mut step = Step::new(format!("reduce round {round}")).with_comm(pat);
+        if !combine.is_zero() {
+            // The combine happens *after* the receive, i.e. in the next
+            // step's computation phase; push it as a separate step so the
+            // alternation stays strict.
+            prog.push(step);
+            step = Step::new(format!("combine {round}")).with_comp(comp);
+        }
+        prog.push(step);
+    }
+    prog
+}
+
+/// All-reduce as reduce-to-0 followed by broadcast-from-0.
+pub fn all_reduce(p: usize, bytes: usize, combine: Time) -> Program {
+    let mut prog = binomial_reduce(p, bytes, combine);
+    for step in binomial_broadcast(p, bytes).steps() {
+        prog.push(step.clone());
+    }
+    prog
+}
+
+/// Recursive-doubling all-reduce on a power-of-two machine: `log₂ p`
+/// rounds of pairwise exchange across hypercube dimensions, each followed
+/// by a combine. Fewer rounds than reduce+broadcast at the price of
+/// bidirectional traffic every round.
+pub fn all_reduce_hypercube(p: usize, bytes: usize, combine: Time) -> Program {
+    assert!(p.is_power_of_two(), "recursive doubling needs a power-of-two machine");
+    let mut prog = Program::new(p);
+    let mut dim = 0;
+    while (1usize << dim) < p {
+        let mut pat = CommPattern::new(p);
+        for i in 0..p {
+            pat.add(i, i ^ (1 << dim), bytes);
+        }
+        prog.push(Step::new(format!("exchange dim {dim}")).with_comm(pat));
+        if !combine.is_zero() {
+            prog.push(
+                Step::new(format!("combine dim {dim}")).with_comp(vec![combine; p]),
+            );
+        }
+        dim += 1;
+    }
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::{simulate_program, SimOptions};
+    use commsim::SimConfig;
+    use loggp::presets;
+
+    fn total(prog: &Program, procs: usize) -> Time {
+        let cfg = SimConfig::new(presets::meiko_cs2(procs));
+        simulate_program(prog, &SimOptions::new(cfg)).total
+    }
+
+    #[test]
+    fn broadcast_program_matches_closed_form() {
+        for p in [2usize, 3, 8, 16, 31] {
+            let params = presets::meiko_cs2(p);
+            let prog = binomial_broadcast(p, 256);
+            assert_eq!(
+                total(&prog, p),
+                commsim::formulas::binomial_broadcast(&params, p, 256),
+                "p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn broadcast_rounds_count() {
+        assert_eq!(binomial_broadcast(1, 1).len(), 0);
+        assert_eq!(binomial_broadcast(2, 1).len(), 1);
+        assert_eq!(binomial_broadcast(8, 1).len(), 3);
+        assert_eq!(binomial_broadcast(9, 1).len(), 4);
+    }
+
+    #[test]
+    fn reduce_time_equals_broadcast_without_combine() {
+        // Mirrored trees, same chained semantics.
+        for p in [2usize, 4, 8, 13] {
+            let b = total(&binomial_broadcast(p, 128), p);
+            let r = total(&binomial_reduce(p, 128, Time::ZERO), p);
+            assert_eq!(b, r, "p={p}");
+        }
+    }
+
+    #[test]
+    fn combine_time_extends_reduction() {
+        let free = total(&binomial_reduce(8, 64, Time::ZERO), 8);
+        let busy = total(&binomial_reduce(8, 64, Time::from_us(40.0)), 8);
+        assert!(busy > free);
+        // Three rounds of combining on the critical path.
+        assert!(busy >= free + Time::from_us(3.0 * 40.0));
+    }
+
+    #[test]
+    fn all_reduce_is_reduce_plus_broadcast() {
+        let p = 8;
+        let ar = total(&all_reduce(p, 64, Time::from_us(5.0)), p);
+        let r = total(&binomial_reduce(p, 64, Time::from_us(5.0)), p);
+        let b = total(&binomial_broadcast(p, 64), p);
+        // Chained per-processor, the phases overlap a little at the root,
+        // so the sum is an upper bound within one message time.
+        assert!(ar <= r + b);
+        assert!(ar > r.max(b));
+    }
+
+    #[test]
+    fn hypercube_allreduce_beats_tree_for_small_messages() {
+        // log p exchange rounds vs 2 log p tree rounds.
+        let p = 16;
+        let tree = total(&all_reduce(p, 8, Time::ZERO), p);
+        let cube = total(&all_reduce_hypercube(p, 8, Time::ZERO), p);
+        assert!(cube < tree, "cube {cube} >= tree {tree}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn hypercube_rejects_odd_p() {
+        let _ = all_reduce_hypercube(6, 8, Time::ZERO);
+    }
+
+    #[test]
+    fn degenerate_single_processor() {
+        assert_eq!(total(&binomial_broadcast(1, 9), 1), Time::ZERO);
+        assert_eq!(total(&all_reduce(1, 9, Time::from_us(1.0)), 1), Time::ZERO);
+    }
+}

@@ -1,0 +1,232 @@
+//! The oblivious program representation.
+//!
+//! The paper restricts itself to programs whose "communication pattern does
+//! not depend on the input" and where "communication and computation steps
+//! do not overlap; they are alternating". Such a program is fully described
+//! by a finite sequence of steps, each carrying the computation time every
+//! processor spends in the step and the communication pattern that follows.
+
+use commsim::CommPattern;
+use loggp::Time;
+
+/// One alternation of the program: a computation phase (per-processor
+/// durations) followed by a communication phase (a message pattern).
+/// Either half may be absent.
+#[derive(Clone, Debug)]
+pub struct Step {
+    /// Human-readable label (e.g. `"wave 7"`), used in reports.
+    pub label: String,
+    /// Per-processor computation time of this step; an empty vector means
+    /// no computation phase.
+    pub comp: Vec<Time>,
+    /// The communication pattern that follows the computation; an empty
+    /// pattern means no communication phase.
+    pub comm: CommPattern,
+}
+
+impl Step {
+    /// An empty step with a label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Step { label: label.into(), comp: Vec::new(), comm: CommPattern::new(0) }
+    }
+
+    /// Attach a computation phase (one duration per processor).
+    pub fn with_comp(mut self, comp: Vec<Time>) -> Self {
+        self.comp = comp;
+        self
+    }
+
+    /// Attach a communication phase.
+    pub fn with_comm(mut self, comm: CommPattern) -> Self {
+        self.comm = comm;
+        self
+    }
+
+    /// Total computation time charged in this step (across processors).
+    pub fn comp_total(&self) -> Time {
+        self.comp.iter().copied().sum()
+    }
+
+    /// Largest single computation charge of the step.
+    pub fn comp_max(&self) -> Time {
+        self.comp.iter().copied().max().unwrap_or(Time::ZERO)
+    }
+
+    /// True iff this step does nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.comp.iter().all(|t| t.is_zero()) && self.comm.is_empty()
+    }
+}
+
+/// Optional per-step *work profile* metadata, produced by application trace
+/// generators alongside the [`Program`] and consumed by the machine
+/// emulator to model effects the pure LogGP prediction deliberately
+/// ignores: per-block iteration overhead and cache behaviour.
+#[derive(Clone, Debug, Default)]
+pub struct StepLoad {
+    /// Per processor: the ordered list of `(base address, length in
+    /// bytes)` memory ranges its computation phase touches in this step
+    /// (each visit feeds the cache simulator; repeats are meaningful).
+    /// Applications assign each logical block a stable address range.
+    pub touches: Vec<Vec<(u64, u32)>>,
+    /// Per processor: the number of block-loop iterations performed (each
+    /// one costs the emulator's per-visit overhead).
+    pub visits: Vec<u32>,
+}
+
+impl StepLoad {
+    /// An empty load profile for `procs` processors.
+    pub fn new(procs: usize) -> Self {
+        StepLoad { touches: vec![Vec::new(); procs], visits: vec![0; procs] }
+    }
+
+    /// Record that `proc` touches `len` bytes at `base` once.
+    pub fn touch(&mut self, proc: usize, base: u64, len: u32) {
+        self.touches[proc].push((base, len));
+    }
+
+    /// Record `n` loop iterations at `proc`.
+    pub fn add_visits(&mut self, proc: usize, n: u32) {
+        self.visits[proc] += n;
+    }
+}
+
+/// An oblivious parallel program: a processor count and a step sequence.
+#[derive(Clone, Debug)]
+pub struct Program {
+    procs: usize,
+    steps: Vec<Step>,
+}
+
+impl Program {
+    /// An empty program over `procs` processors.
+    pub fn new(procs: usize) -> Self {
+        assert!(procs > 0, "a program needs at least one processor");
+        Program { procs, steps: Vec::new() }
+    }
+
+    /// Append a step.
+    ///
+    /// # Panics
+    /// Panics if the step's computation vector or communication pattern
+    /// disagrees with the program's processor count (an empty half is
+    /// always accepted).
+    pub fn push(&mut self, step: Step) {
+        assert!(
+            step.comp.is_empty() || step.comp.len() == self.procs,
+            "step '{}' has {} computation entries for {} processors",
+            step.label,
+            step.comp.len(),
+            self.procs
+        );
+        assert!(
+            step.comm.is_empty() || step.comm.procs() == self.procs,
+            "step '{}' has a pattern over {} processors, program has {}",
+            step.label,
+            step.comm.procs(),
+            self.procs
+        );
+        self.steps.push(step);
+    }
+
+    /// Number of processors.
+    pub fn procs(&self) -> usize {
+        self.procs
+    }
+
+    /// The step sequence.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True iff the program has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Total messages across all communication phases.
+    pub fn total_messages(&self) -> usize {
+        self.steps.iter().map(|s| s.comm.network_messages().count()).sum()
+    }
+
+    /// Total bytes across all communication phases (network messages only).
+    pub fn total_network_bytes(&self) -> usize {
+        self.steps
+            .iter()
+            .flat_map(|s| s.comm.network_messages())
+            .map(|m| m.bytes)
+            .sum()
+    }
+
+    /// Per-processor sum of computation charges over the whole program —
+    /// the pure computation load balance.
+    pub fn comp_load(&self) -> Vec<Time> {
+        let mut load = vec![Time::ZERO; self.procs];
+        for s in &self.steps {
+            for (p, &t) in s.comp.iter().enumerate() {
+                load[p] += t;
+            }
+        }
+        load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_builders() {
+        let mut comm = CommPattern::new(2);
+        comm.add(0, 1, 10);
+        let s = Step::new("s")
+            .with_comp(vec![Time::from_us(1.0), Time::from_us(3.0)])
+            .with_comm(comm);
+        assert_eq!(s.comp_total(), Time::from_us(4.0));
+        assert_eq!(s.comp_max(), Time::from_us(3.0));
+        assert!(!s.is_empty());
+        assert!(Step::new("empty").is_empty());
+    }
+
+    #[test]
+    fn program_accumulates() {
+        let mut p = Program::new(2);
+        assert!(p.is_empty());
+        let mut comm = CommPattern::new(2);
+        comm.add(0, 1, 100);
+        comm.add(1, 1, 50); // self-message: not a network message
+        p.push(Step::new("a").with_comp(vec![Time::from_us(1.0); 2]));
+        p.push(Step::new("b").with_comm(comm));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.total_messages(), 1);
+        assert_eq!(p.total_network_bytes(), 100);
+        assert_eq!(p.comp_load(), vec![Time::from_us(1.0); 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "computation entries")]
+    fn comp_arity_checked() {
+        let mut p = Program::new(3);
+        p.push(Step::new("bad").with_comp(vec![Time::ZERO; 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern over")]
+    fn comm_arity_checked() {
+        let mut p = Program::new(3);
+        let mut comm = CommPattern::new(2);
+        comm.add(0, 1, 1);
+        p.push(Step::new("bad").with_comm(comm));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_proc_program_rejected() {
+        let _ = Program::new(0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Tiny plain-text table/CSV formatters used by examples, benches and
+//! EXPERIMENTS.md generation — the workspace deliberately has no
+//! serialization dependency.
+
+use loggp::Time;
+
+/// A simple column-aligned text table with a header row.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>w$}", cell, w = widths[c]));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (no quoting — callers only emit numbers/identifiers).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.header.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a [`Time`] in milliseconds with three decimals (the figures'
+/// natural unit for whole-program runs).
+pub fn ms(t: Time) -> String {
+    format!("{:.3}", t.as_ms_f64())
+}
+
+/// Format a [`Time`] in microseconds with two decimals.
+pub fn us(t: Time) -> String {
+    format!("{:.2}", t.as_us_f64())
+}
+
+/// Format a [`Time`] in seconds with four decimals (Figure 7's unit).
+pub fn secs(t: Time) -> String {
+    format!("{:.4}", t.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new(["B", "time"]);
+        t.row(["10", "1.5"]);
+        t.row(["120", "0.25"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('B') && lines[0].contains("time"));
+        assert!(lines[2].trim_start().starts_with("10"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["1", "2"]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        Table::new(["a", "b"]).row(["1"]);
+    }
+
+    #[test]
+    fn time_formatters() {
+        let t = Time::from_us(1234.5);
+        assert_eq!(us(t), "1234.50");
+        assert_eq!(ms(t), "1.234"); // rounded down (1.2345 -> 1.234/1.235 per fmt)
+        assert_eq!(secs(Time::from_secs(0.75)), "0.7500");
+    }
+}

@@ -1,0 +1,130 @@
+//! Scalability metrics over predicted running times.
+//!
+//! The paper's §1 names "analyzing the scaling behavior of parallel
+//! programs" as a use of running-time prediction; these helpers turn a
+//! `(processor count, predicted time)` series into the standard metrics:
+//! speedup, parallel efficiency, and the Karp–Flatt experimentally
+//! determined serial fraction (a sensitive scalability diagnostic).
+
+use loggp::Time;
+
+/// One point of a scaling study.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalePoint {
+    /// Processor count.
+    pub procs: usize,
+    /// Predicted (or measured) running time.
+    pub time: Time,
+}
+
+/// Derived metrics for one point, relative to the 1-processor baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleMetrics {
+    /// Processor count.
+    pub procs: usize,
+    /// `T(1) / T(p)`.
+    pub speedup: f64,
+    /// `speedup / p`.
+    pub efficiency: f64,
+    /// Karp–Flatt serial fraction `(1/speedup − 1/p) / (1 − 1/p)`;
+    /// `None` for the baseline point itself.
+    pub serial_fraction: Option<f64>,
+}
+
+/// Compute the metric series. The baseline is the entry with the smallest
+/// processor count (normally 1).
+///
+/// # Panics
+/// Panics on an empty series or non-positive baseline time.
+pub fn analyze(points: &[ScalePoint]) -> Vec<ScaleMetrics> {
+    let base = points
+        .iter()
+        .min_by_key(|p| p.procs)
+        .expect("need at least one scaling point");
+    assert!(base.time > Time::ZERO, "baseline time must be positive");
+    let t1 = base.time.as_secs_f64() * base.procs as f64; // normalize if base > 1 proc
+    points
+        .iter()
+        .map(|p| {
+            let speedup = t1 / p.time.as_secs_f64();
+            let efficiency = speedup / p.procs as f64;
+            let serial_fraction = if p.procs == base.procs {
+                None
+            } else {
+                let inv_s = 1.0 / speedup;
+                let inv_p = 1.0 / p.procs as f64;
+                Some(((inv_s - inv_p) / (1.0 - inv_p)).max(0.0))
+            };
+            ScaleMetrics { procs: p.procs, speedup, efficiency, serial_fraction }
+        })
+        .collect()
+}
+
+/// Amdahl's law: the speedup bound `1 / (f + (1−f)/p)` for serial
+/// fraction `f` on `p` processors.
+pub fn amdahl_bound(serial_fraction: f64, procs: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&serial_fraction));
+    1.0 / (serial_fraction + (1.0 - serial_fraction) / procs as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(procs: usize, us: f64) -> ScalePoint {
+        ScalePoint { procs, time: Time::from_us(us) }
+    }
+
+    #[test]
+    fn perfect_scaling_metrics() {
+        let series = [pt(1, 800.0), pt(2, 400.0), pt(4, 200.0), pt(8, 100.0)];
+        let m = analyze(&series);
+        for (i, p) in [1usize, 2, 4, 8].iter().enumerate() {
+            assert!((m[i].speedup - *p as f64).abs() < 1e-9);
+            assert!((m[i].efficiency - 1.0).abs() < 1e-9);
+            if *p > 1 {
+                assert!(m[i].serial_fraction.unwrap() < 1e-9);
+            }
+        }
+        assert!(m[0].serial_fraction.is_none());
+    }
+
+    #[test]
+    fn amdahl_limited_series_recovers_serial_fraction() {
+        // Build a series obeying Amdahl with f = 0.1 exactly.
+        let f = 0.1;
+        let t1 = 1000.0;
+        let series: Vec<ScalePoint> = [1usize, 2, 4, 8, 16]
+            .iter()
+            .map(|&p| pt(p, t1 * (f + (1.0 - f) / p as f64)))
+            .collect();
+        let m = analyze(&series);
+        for mm in m.iter().skip(1) {
+            let got = mm.serial_fraction.unwrap();
+            assert!((got - f).abs() < 1e-9, "p={}: {got}", mm.procs);
+            assert!(mm.speedup <= amdahl_bound(f, mm.procs) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn amdahl_bound_extremes() {
+        assert!((amdahl_bound(0.0, 64) - 64.0).abs() < 1e-12);
+        assert!((amdahl_bound(1.0, 64) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degrading_efficiency_shows_rising_serial_fraction() {
+        // Communication-limited scaling: time floors at 100us.
+        let series = [pt(1, 800.0), pt(2, 450.0), pt(4, 300.0), pt(8, 240.0)];
+        let m = analyze(&series);
+        let fr: Vec<f64> = m.iter().skip(1).map(|x| x.serial_fraction.unwrap()).collect();
+        assert!(fr.windows(2).all(|w| w[1] >= w[0] - 1e-12), "{fr:?}");
+        assert!(m.last().unwrap().efficiency < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_series_panics() {
+        let _ = analyze(&[]);
+    }
+}

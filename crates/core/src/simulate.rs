@@ -1,0 +1,423 @@
+//! The whole-program simulator: alternate computation charges with
+//! LogGP-simulated communication steps.
+
+use crate::program::{Program, Step};
+use commsim::{standard, worstcase, SimConfig, SimResult};
+use loggp::Time;
+
+/// Which communication-step algorithm to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommAlgo {
+    /// The paper's Figure 2 algorithm (receive priority, eager sends).
+    Standard,
+    /// The §4.2 overestimation algorithm (receive everything first).
+    WorstCase,
+}
+
+/// How processors synchronize between steps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Synchronization {
+    /// A processor starts the next step as soon as *it* has finished its
+    /// own communication operations of the current one (the systolic
+    /// behaviour of the paper's Split-C programs). Default.
+    PerProcessor,
+    /// All processors wait for the whole step to complete (BSP-style
+    /// superstep barrier); useful as an ablation and for BSP comparisons.
+    Barrier,
+}
+
+/// Whether communication may overlap the next computation phase — the
+/// paper's class forbids it ("non-overlapping"); `RecvOnly` implements the
+/// §7 future-work extension approximately.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Overlap {
+    /// No overlap: next computation starts after the processor's last
+    /// communication operation of the step (the paper's model).
+    None,
+    /// A processor may resume computing after its last *receive*; trailing
+    /// sends are charged to the communication section but do not delay the
+    /// next computation phase. Approximation: the send overhead is assumed
+    /// to be hidden under the following computation.
+    RecvOnly,
+}
+
+/// Options of the whole-program simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct SimOptions {
+    /// Machine model + seeds for the communication algorithms.
+    pub cfg: SimConfig,
+    /// Communication algorithm.
+    pub algo: CommAlgo,
+    /// Step synchronization.
+    pub sync: Synchronization,
+    /// Communication/computation overlap extension.
+    pub overlap: Overlap,
+}
+
+impl SimOptions {
+    /// Paper defaults: standard algorithm, per-processor chaining, no
+    /// overlap.
+    pub fn new(cfg: SimConfig) -> Self {
+        SimOptions { cfg, algo: CommAlgo::Standard, sync: Synchronization::PerProcessor, overlap: Overlap::None }
+    }
+
+    /// Use the worst-case communication algorithm.
+    pub fn worst_case(mut self) -> Self {
+        self.algo = CommAlgo::WorstCase;
+        self
+    }
+
+    /// Use barrier synchronization between steps.
+    pub fn with_barrier(mut self) -> Self {
+        self.sync = Synchronization::Barrier;
+        self
+    }
+
+    /// Enable the receive-only overlap extension.
+    pub fn with_overlap(mut self) -> Self {
+        self.overlap = Overlap::RecvOnly;
+        self
+    }
+}
+
+/// Timing record of one program step.
+#[derive(Clone, Debug)]
+pub struct StepRecord {
+    /// The step's label.
+    pub label: String,
+    /// When the first processor entered the step's computation phase.
+    pub start: Time,
+    /// When the last processor finished the step's computation phase.
+    pub comp_end: Time,
+    /// When the last communication operation of the step completed
+    /// (equals `comp_end` for communication-free steps).
+    pub comm_end: Time,
+    /// Forced transmissions the worst-case algorithm needed in this step.
+    pub forced_sends: usize,
+}
+
+/// The output of [`simulate_program`]: the paper's predicted quantities.
+#[derive(Clone, Debug)]
+pub struct Prediction {
+    /// Predicted total running time (Figure 7's quantity).
+    pub total: Time,
+    /// Computation time: the largest per-processor sum of computation
+    /// charges (Figure 9's quantity — what a processor would spend if
+    /// communication were free).
+    pub comp_time: Time,
+    /// Communication time: the largest per-processor sum of communication
+    /// *section* durations — the time from entering each communication
+    /// phase to finishing one's own operations in it (Figure 8's
+    /// quantity).
+    pub comm_time: Time,
+    /// Per-processor computation sums.
+    pub per_proc_comp: Vec<Time>,
+    /// Per-processor communication-section sums.
+    pub per_proc_comm: Vec<Time>,
+    /// Per-processor completion times.
+    pub per_proc_finish: Vec<Time>,
+    /// Per-step records.
+    pub steps: Vec<StepRecord>,
+    /// Total forced transmissions (worst-case algorithm on cyclic steps).
+    pub forced_sends: usize,
+}
+
+impl Prediction {
+    /// The processor that finishes last.
+    pub fn critical_proc(&self) -> usize {
+        self.per_proc_finish
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, t)| **t)
+            .map(|(p, _)| p)
+            .unwrap_or(0)
+    }
+
+    /// Idle (waiting) time of a processor: finish − computation − comm
+    /// sections can overlap slack; this reports `total − comp − comm` for
+    /// the critical processor, clamped at zero.
+    pub fn critical_idle(&self) -> Time {
+        let p = self.critical_proc();
+        self.total
+            .saturating_sub(self.per_proc_comp[p])
+            .saturating_sub(self.per_proc_comm[p])
+    }
+
+    /// One-line human summary of the prediction.
+    pub fn summary(&self) -> String {
+        format!(
+            "total {} (comp {}, comm {}, critical P{}, {} steps{})",
+            self.total,
+            self.comp_time,
+            self.comm_time,
+            self.critical_proc(),
+            self.steps.len(),
+            if self.forced_sends > 0 {
+                format!(", {} forced sends", self.forced_sends)
+            } else {
+                String::new()
+            }
+        )
+    }
+
+    /// Per-processor breakdown as a rendered text table.
+    pub fn per_proc_table(&self) -> String {
+        let mut t = crate::report::Table::new(["proc", "comp (ms)", "comm (ms)", "finish (ms)"]);
+        for p in 0..self.per_proc_comp.len() {
+            t.row([
+                format!("P{p}"),
+                crate::report::ms(self.per_proc_comp[p]),
+                crate::report::ms(self.per_proc_comm[p]),
+                crate::report::ms(self.per_proc_finish[p]),
+            ]);
+        }
+        t.render()
+    }
+
+    /// The `k` most expensive steps by communication span, as
+    /// `(label, comm duration)` — the bottleneck list.
+    pub fn slowest_comm_steps(&self, k: usize) -> Vec<(String, Time)> {
+        let mut spans: Vec<(String, Time)> = self
+            .steps
+            .iter()
+            .map(|s| (s.label.clone(), s.comm_end.saturating_sub(s.comp_end)))
+            .collect();
+        spans.sort_by_key(|s| std::cmp::Reverse(s.1));
+        spans.truncate(k);
+        spans
+    }
+}
+
+fn simulate_step_comm(step: &Step, opts: &SimOptions, ready: &[Time]) -> SimResult {
+    match opts.algo {
+        CommAlgo::Standard => standard::simulate_from(&step.comm, &opts.cfg, ready),
+        CommAlgo::WorstCase => worstcase::simulate_from(&step.comm, &opts.cfg, ready),
+    }
+}
+
+/// Simulate a whole program; see [`Prediction`] for what comes back.
+pub fn simulate_program(prog: &Program, opts: &SimOptions) -> Prediction {
+    let procs = prog.procs();
+    let mut ready = vec![Time::ZERO; procs];
+    let mut per_proc_comp = vec![Time::ZERO; procs];
+    let mut per_proc_comm = vec![Time::ZERO; procs];
+    let mut steps = Vec::with_capacity(prog.len());
+    let mut forced_sends = 0usize;
+
+    for step in prog.steps() {
+        let start = ready.iter().copied().min().unwrap_or(Time::ZERO);
+
+        // Computation phase.
+        let mut comp_end = ready.clone();
+        if !step.comp.is_empty() {
+            for p in 0..procs {
+                comp_end[p] = ready[p] + step.comp[p];
+                per_proc_comp[p] += step.comp[p];
+            }
+        }
+        let comp_end_max = comp_end.iter().copied().max().unwrap_or(Time::ZERO);
+
+        // Communication phase.
+        let (comm_end_max, next_ready) = if step.comm.is_empty() {
+            (comp_end_max, comp_end.clone())
+        } else {
+            let result = simulate_step_comm(step, opts, &comp_end);
+            forced_sends += result.forced_sends;
+
+            // Per-processor end of the communication section.
+            let mut comm_done = comp_end.clone();
+            let mut last_recv_done = comp_end.clone();
+            for ev in result.timeline.events() {
+                comm_done[ev.proc] = comm_done[ev.proc].max(ev.end);
+                if ev.kind == loggp::OpKind::Recv {
+                    last_recv_done[ev.proc] = last_recv_done[ev.proc].max(ev.end);
+                }
+            }
+            for p in 0..procs {
+                per_proc_comm[p] += comm_done[p] - comp_end[p];
+            }
+
+            let base = match opts.overlap {
+                Overlap::None => comm_done.clone(),
+                Overlap::RecvOnly => last_recv_done,
+            };
+            (comm_done.iter().copied().max().unwrap_or(comp_end_max), base)
+        };
+
+        ready = match opts.sync {
+            Synchronization::PerProcessor => next_ready,
+            Synchronization::Barrier => {
+                let max = next_ready.iter().copied().max().unwrap_or(Time::ZERO);
+                vec![max; procs]
+            }
+        };
+
+        steps.push(StepRecord {
+            label: step.label.clone(),
+            start,
+            comp_end: comp_end_max,
+            comm_end: comm_end_max,
+            forced_sends,
+        });
+    }
+
+    let total = ready.iter().copied().max().unwrap_or(Time::ZERO);
+    Prediction {
+        total,
+        comp_time: per_proc_comp.iter().copied().max().unwrap_or(Time::ZERO),
+        comm_time: per_proc_comm.iter().copied().max().unwrap_or(Time::ZERO),
+        per_proc_comp,
+        per_proc_comm,
+        per_proc_finish: ready,
+        steps,
+        forced_sends,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commsim::CommPattern;
+    use loggp::presets;
+
+    fn opts(procs: usize) -> SimOptions {
+        SimOptions::new(SimConfig::new(presets::meiko_cs2(procs)))
+    }
+
+    fn one_msg(procs: usize, src: usize, dst: usize, bytes: usize) -> CommPattern {
+        let mut c = CommPattern::new(procs);
+        c.add(src, dst, bytes);
+        c
+    }
+
+    #[test]
+    fn empty_program_is_zero() {
+        let prog = Program::new(4);
+        let pred = simulate_program(&prog, &opts(4));
+        assert_eq!(pred.total, Time::ZERO);
+        assert_eq!(pred.comp_time, Time::ZERO);
+        assert_eq!(pred.comm_time, Time::ZERO);
+    }
+
+    #[test]
+    fn computation_only_program() {
+        let mut prog = Program::new(2);
+        prog.push(Step::new("c1").with_comp(vec![Time::from_us(10.0), Time::from_us(30.0)]));
+        prog.push(Step::new("c2").with_comp(vec![Time::from_us(5.0), Time::from_us(1.0)]));
+        let pred = simulate_program(&prog, &opts(2));
+        assert_eq!(pred.total, Time::from_us(31.0));
+        assert_eq!(pred.comp_time, Time::from_us(31.0));
+        assert_eq!(pred.comm_time, Time::ZERO);
+        assert_eq!(pred.per_proc_comp, vec![Time::from_us(15.0), Time::from_us(31.0)]);
+        assert_eq!(pred.critical_proc(), 1);
+    }
+
+    #[test]
+    fn comm_follows_comp() {
+        let cfg = SimConfig::new(presets::meiko_cs2(2));
+        let mut prog = Program::new(2);
+        prog.push(
+            Step::new("s")
+                .with_comp(vec![Time::from_us(100.0), Time::from_us(20.0)])
+                .with_comm(one_msg(2, 0, 1, 1000)),
+        );
+        let pred = simulate_program(&prog, &SimOptions::new(cfg));
+        // P0 computes 100us, then the message costs o+wire+L+o.
+        let expect = Time::from_us(100.0) + cfg.params.message_cost(1000);
+        assert_eq!(pred.total, expect);
+        // P1's comm section spans from its comp end (20us) to recv end.
+        assert_eq!(pred.per_proc_comm[1], expect - Time::from_us(20.0));
+        assert_eq!(pred.comm_time, pred.per_proc_comm[1]);
+    }
+
+    #[test]
+    fn per_processor_chaining_pipelines_steps() {
+        // P0 computes long in step 1; P1 is free to finish its own step-1
+        // work and start step 2 before P0 is done.
+        let mut prog = Program::new(2);
+        prog.push(Step::new("1").with_comp(vec![Time::from_us(100.0), Time::from_us(1.0)]));
+        prog.push(Step::new("2").with_comp(vec![Time::from_us(1.0), Time::from_us(10.0)]));
+        let per_proc = simulate_program(&prog, &opts(2));
+        assert_eq!(per_proc.per_proc_finish[1], Time::from_us(11.0));
+        // Under a barrier, P1 waits for P0's step-1 computation.
+        let barrier = simulate_program(&prog, &opts(2).with_barrier());
+        assert_eq!(barrier.per_proc_finish[1], Time::from_us(110.0));
+        assert!(barrier.total >= per_proc.total);
+    }
+
+    #[test]
+    fn worst_case_never_faster_on_dag_steps() {
+        let mut prog = Program::new(3);
+        let mut c = CommPattern::new(3);
+        c.add(0, 1, 500);
+        c.add(1, 2, 500);
+        prog.push(Step::new("s").with_comp(vec![Time::from_us(5.0); 3]).with_comm(c));
+        let st = simulate_program(&prog, &opts(3));
+        let wc = simulate_program(&prog, &opts(3).worst_case());
+        assert!(wc.total >= st.total);
+        assert_eq!(wc.forced_sends, 0);
+    }
+
+    #[test]
+    fn overlap_hides_trailing_sends() {
+        // P0 sends one message, then computes again. With RecvOnly overlap
+        // its second computation starts right after its (only) send... but
+        // the send *is* its last op, so overlap lets it start at comp_end —
+        // no wait for the message flight.
+        let mut prog = Program::new(2);
+        prog.push(Step::new("send").with_comm(one_msg(2, 0, 1, 64)));
+        prog.push(Step::new("work").with_comp(vec![Time::from_us(50.0), Time::ZERO]));
+        let none = simulate_program(&prog, &opts(2));
+        let over = simulate_program(&prog, &opts(2).with_overlap());
+        assert!(over.per_proc_finish[0] <= none.per_proc_finish[0]);
+        // P0 under overlap: its send overhead can hide under computation,
+        // so it finishes at exactly 50us.
+        assert_eq!(over.per_proc_finish[0], Time::from_us(50.0));
+    }
+
+    #[test]
+    fn step_records_cover_program() {
+        let mut prog = Program::new(2);
+        prog.push(Step::new("a").with_comp(vec![Time::from_us(10.0); 2]));
+        prog.push(Step::new("b").with_comm(one_msg(2, 0, 1, 10)));
+        let pred = simulate_program(&prog, &opts(2));
+        assert_eq!(pred.steps.len(), 2);
+        assert_eq!(pred.steps[0].label, "a");
+        assert!(pred.steps[1].comm_end >= pred.steps[1].comp_end);
+        assert_eq!(pred.steps[1].comm_end, pred.total);
+    }
+
+    #[test]
+    fn summary_and_tables_render() {
+        let mut prog = Program::new(2);
+        prog.push(
+            Step::new("s")
+                .with_comp(vec![Time::from_us(40.0), Time::ZERO])
+                .with_comm(one_msg(2, 0, 1, 100)),
+        );
+        let pred = simulate_program(&prog, &opts(2));
+        let s = pred.summary();
+        assert!(s.contains("total") && s.contains("critical P"), "{s}");
+        let t = pred.per_proc_table();
+        assert!(t.contains("P0") && t.contains("P1"), "{t}");
+        let slow = pred.slowest_comm_steps(5);
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].0, "s");
+        assert!(slow[0].1 > Time::ZERO);
+    }
+
+    #[test]
+    fn critical_idle_accounts_waiting() {
+        // P1 waits for a message without computing: all its time is comm
+        // section, so idle is zero; P0 computes then sends.
+        let mut prog = Program::new(2);
+        prog.push(
+            Step::new("s")
+                .with_comp(vec![Time::from_us(40.0), Time::ZERO])
+                .with_comm(one_msg(2, 0, 1, 1)),
+        );
+        let pred = simulate_program(&prog, &opts(2));
+        assert_eq!(pred.critical_proc(), 1);
+        assert_eq!(pred.critical_idle(), Time::ZERO);
+    }
+}

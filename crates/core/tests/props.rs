@@ -1,0 +1,123 @@
+//! Property-based tests for the whole-program simulator.
+
+use commsim::{patterns, SimConfig};
+use loggp::{presets, Time};
+use predsim_core::{simulate_program, Program, SimOptions, Step};
+use proptest::prelude::*;
+
+/// A random oblivious program: alternating computation and communication.
+fn arb_program() -> impl Strategy<Value = Program> {
+    (2usize..8, 1usize..8, any::<u64>()).prop_map(|(procs, steps, seed)| {
+        let mut prog = Program::new(procs);
+        for s in 0..steps {
+            let step_seed = seed.wrapping_add(s as u64);
+            let comp: Vec<Time> = (0..procs)
+                .map(|p| Time::from_ns((step_seed.rotate_left(p as u32) % 100_000) * 10))
+                .collect();
+            let comm = patterns::random(procs, (step_seed % 8) as usize, 2048, step_seed);
+            prog.push(Step::new(format!("s{s}")).with_comp(comp).with_comm(comm));
+        }
+        prog
+    })
+}
+
+fn opts(procs: usize) -> SimOptions {
+    SimOptions::new(SimConfig::new(presets::meiko_cs2(procs)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Total time dominates the pure-computation critical path and every
+    /// per-processor finish time; the step records are monotone.
+    #[test]
+    fn totals_dominate_components(prog in arb_program()) {
+        let pred = simulate_program(&prog, &opts(prog.procs()));
+        prop_assert!(pred.total >= pred.comp_time);
+        for p in 0..prog.procs() {
+            prop_assert!(pred.per_proc_finish[p] <= pred.total);
+            prop_assert!(pred.per_proc_comp[p] <= pred.per_proc_finish[p]);
+        }
+        prop_assert_eq!(
+            pred.comp_time,
+            pred.per_proc_comp.iter().copied().max().unwrap()
+        );
+        let mut prev_end = Time::ZERO;
+        for s in &pred.steps {
+            prop_assert!(s.comm_end >= s.comp_end);
+            prop_assert!(s.comm_end >= prev_end.min(s.comm_end)); // non-negative spans
+            prev_end = s.comm_end;
+        }
+    }
+
+    /// comp_time equals the load-balance view of the program, and is
+    /// independent of the communication model.
+    #[test]
+    fn comp_time_matches_program_load(prog in arb_program()) {
+        let pred = simulate_program(&prog, &opts(prog.procs()));
+        let load = prog.comp_load();
+        prop_assert_eq!(pred.per_proc_comp, load);
+        let wc = simulate_program(&prog, &opts(prog.procs()).worst_case());
+        prop_assert_eq!(wc.comp_time, pred.comp_time);
+    }
+
+    /// The simulation is deterministic.
+    #[test]
+    fn simulation_deterministic(prog in arb_program()) {
+        let a = simulate_program(&prog, &opts(prog.procs()));
+        let b = simulate_program(&prog, &opts(prog.procs()));
+        prop_assert_eq!(a.total, b.total);
+        prop_assert_eq!(a.per_proc_finish, b.per_proc_finish);
+        prop_assert_eq!(a.per_proc_comm, b.per_proc_comm);
+    }
+
+    /// Scaling every computation charge by k scales comp_time by k (and
+    /// cannot shrink the total).
+    #[test]
+    fn comp_scaling(prog in arb_program(), k in 2u64..5) {
+        let mut scaled = Program::new(prog.procs());
+        for s in prog.steps() {
+            scaled.push(
+                Step::new(s.label.clone())
+                    .with_comp(s.comp.iter().map(|&t| t * k).collect())
+                    .with_comm(s.comm.clone()),
+            );
+        }
+        let base = simulate_program(&prog, &opts(prog.procs()));
+        let big = simulate_program(&scaled, &opts(prog.procs()));
+        prop_assert_eq!(big.comp_time, base.comp_time * k);
+        prop_assert!(big.total >= base.comp_time * k);
+    }
+
+    /// Overlap never hurts the per-processor finish times relative to
+    /// no-overlap *when each step's pattern is communication-only or
+    /// computation-only* (mixed steps can reshuffle schedules).
+    #[test]
+    fn overlap_shrinks_pure_send_chains(procs in 2usize..6, steps in 1usize..5) {
+        let mut prog = Program::new(procs);
+        for s in 0..steps {
+            let mut comm = commsim::CommPattern::new(procs);
+            comm.add(s % procs, (s + 1) % procs, 256);
+            prog.push(Step::new(format!("send{s}")).with_comm(comm));
+            prog.push(Step::new(format!("work{s}")).with_comp(vec![Time::from_us(30.0); procs]));
+        }
+        let none = simulate_program(&prog, &opts(procs));
+        let over = simulate_program(&prog, &opts(procs).with_overlap());
+        prop_assert!(over.total <= none.total);
+    }
+
+    /// An empty program stays empty under every option combination.
+    #[test]
+    fn empty_program_zero(procs in 1usize..8) {
+        let prog = Program::new(procs);
+        for o in [
+            opts(procs),
+            opts(procs).worst_case(),
+            opts(procs).with_barrier(),
+            opts(procs).with_overlap(),
+        ] {
+            let pred = simulate_program(&prog, &o);
+            prop_assert_eq!(pred.total, Time::ZERO);
+        }
+    }
+}

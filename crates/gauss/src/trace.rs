@@ -1,0 +1,381 @@
+//! Trace generation: from (matrix size, block size, layout, cost model) to
+//! the oblivious [`Program`] the predictor simulates.
+//!
+//! The generator follows the control flow of the blocked elimination
+//! exactly, as the paper prescribes, by building the dependency DAG of the
+//! basic operations and grouping them into *wavefront levels*:
+//!
+//! * `Op1(k)` depends on `Op4(k−1, k, k)`;
+//! * `Op2(k, j)` depends on `Op1(k)` and `Op4(k−1, k, j)`;
+//! * `Op3(k, i)` depends on `Op1(k)` and `Op4(k−1, i, k)`;
+//! * `Op4(k, i, j)` depends on `Op2(k, j)`, `Op3(k, i)` and
+//!   `Op4(k−1, i, j)`.
+//!
+//! `level(t) = 1 + max(level(deps))` is the diagonal wave of the paper's
+//! §5. Every level becomes one [`Step`]: its computation phase charges each
+//! processor the cost-model time of the tasks it owns; its communication
+//! phase carries one message per (produced block, consuming processor)
+//! pair — inverted factors travel to the pivot row and column, panel
+//! blocks travel into the trailing submatrix. Messages whose source and
+//! destination processor coincide are kept as *self-messages*: the LogGP
+//! predictor ignores them (as in the paper), while the machine emulator
+//! charges them as local memory copies.
+
+use blockops::{CostModel, OpClass};
+use commsim::CommPattern;
+use loggp::Time;
+use predsim_core::{Layout, Program, Step, StepLoad};
+use std::collections::BTreeSet;
+
+/// A generated blocked-elimination program plus the metadata the machine
+/// emulator needs.
+#[derive(Clone, Debug)]
+pub struct GeProgram {
+    /// The oblivious program (one step per wavefront level).
+    pub program: Program,
+    /// Work profiles parallel to `program.steps()`.
+    pub loads: Vec<StepLoad>,
+    /// Matrix dimension.
+    pub n: usize,
+    /// Block size.
+    pub block: usize,
+    /// Blocks per matrix dimension (`n / block`).
+    pub nb: usize,
+    /// Processor count.
+    pub procs: usize,
+    /// Name of the layout that was used.
+    pub layout_name: String,
+    /// Total number of Op1..Op4 instances, in order.
+    pub op_totals: [u64; 4],
+}
+
+impl GeProgram {
+    /// Bytes of a full block message (`8·B²`).
+    pub fn block_bytes(&self) -> usize {
+        8 * self.block * self.block
+    }
+}
+
+/// Bytes of a full `b × b` block of `f64`.
+pub fn full_block_bytes(b: usize) -> usize {
+    8 * b * b
+}
+
+/// Bytes of one triangular factor of a `b × b` block (half the block,
+/// diagonal included).
+pub fn factor_bytes(b: usize) -> usize {
+    8 * (b * (b + 1)) / 2
+}
+
+/// Generate the blocked-GE trace for an `n × n` matrix with `b × b` blocks
+/// under `layout`, charging computation with `cost`.
+///
+/// # Panics
+/// Panics if `b` does not divide `n` (the paper's equal-sized-block
+/// restriction) or if the layout maps onto zero processors.
+pub fn generate(n: usize, b: usize, layout: &dyn Layout, cost: &dyn CostModel) -> GeProgram {
+    assert!(b > 0 && n.is_multiple_of(b), "block size {b} must divide the matrix size {n}");
+    let nb = n / b;
+    let procs = layout.procs();
+    assert!(procs > 0);
+
+    let owner = |i: usize, j: usize| layout.owner(i, j);
+    let block_id = |i: usize, j: usize| (i * nb + j) as u64;
+
+    // Dependency levels of the previous elimination step's Op4 per block.
+    let mut lvl4_prev = vec![vec![0u32; nb]; nb];
+    let mut max_level = 0u32;
+
+    // Per-level accumulation; grown on demand.
+    let mut comp: Vec<Vec<Time>> = Vec::new();
+    let mut loads: Vec<StepLoad> = Vec::new();
+    let mut msgs: Vec<Vec<(usize, usize, usize)>> = Vec::new(); // (src, dst, bytes)
+    let mut op_totals = [0u64; 4];
+
+    let ensure_level = |lvl: u32,
+                        comp: &mut Vec<Vec<Time>>,
+                        loads: &mut Vec<StepLoad>,
+                        msgs: &mut Vec<Vec<(usize, usize, usize)>>| {
+        while comp.len() < lvl as usize {
+            comp.push(vec![Time::ZERO; procs]);
+            loads.push(StepLoad::new(procs));
+            msgs.push(Vec::new());
+        }
+    };
+
+    let mut charge = |lvl: u32,
+                      proc: usize,
+                      op: OpClass,
+                      touched: &[u64],
+                      comp: &mut Vec<Vec<Time>>,
+                      loads: &mut Vec<StepLoad>,
+                      msgs: &mut Vec<Vec<(usize, usize, usize)>>| {
+        ensure_level(lvl, comp, loads, msgs);
+        let idx = lvl as usize - 1;
+        comp[idx][proc] += cost.op_cost(op, b);
+        loads[idx].add_visits(proc, 1);
+        let block_bytes = full_block_bytes(b) as u32;
+        for &t in touched {
+            loads[idx].touch(proc, t * full_block_bytes(b) as u64, block_bytes);
+        }
+        op_totals[match op {
+            OpClass::Op1 => 0,
+            OpClass::Op2 => 1,
+            OpClass::Op3 => 2,
+            OpClass::Op4 => 3,
+        }] += 1;
+    };
+
+    for k in 0..nb {
+        // ---- Op1 on the diagonal block --------------------------------
+        let l1 = 1 + lvl4_prev[k][k];
+        let p_diag = owner(k, k);
+        charge(l1, p_diag, OpClass::Op1, &[block_id(k, k)], &mut comp, &mut loads, &mut msgs);
+        max_level = max_level.max(l1);
+
+        // Factor messages: L⁻¹ to the pivot row, U⁻¹ to the pivot column,
+        // one per destination processor.
+        {
+            let mut row_dsts: BTreeSet<usize> = BTreeSet::new();
+            let mut col_dsts: BTreeSet<usize> = BTreeSet::new();
+            for j in k + 1..nb {
+                row_dsts.insert(owner(k, j));
+                col_dsts.insert(owner(j, k));
+            }
+            let idx = l1 as usize - 1;
+            for dst in row_dsts {
+                msgs[idx].push((p_diag, dst, factor_bytes(b)));
+            }
+            for dst in col_dsts {
+                msgs[idx].push((p_diag, dst, factor_bytes(b)));
+            }
+        }
+
+        // ---- Op2 along the pivot row, Op3 down the pivot column --------
+        let mut l2 = vec![0u32; nb];
+        let mut l3 = vec![0u32; nb];
+        for j in k + 1..nb {
+            let lvl = 1 + l1.max(lvl4_prev[k][j]);
+            l2[j] = lvl;
+            max_level = max_level.max(lvl);
+            let p = owner(k, j);
+            charge(
+                lvl,
+                p,
+                OpClass::Op2,
+                &[block_id(k, j), block_id(k, k)],
+                &mut comp,
+                &mut loads,
+                &mut msgs,
+            );
+            // Result U[k][j] goes to every owner of column-j trailing blocks.
+            let dsts: BTreeSet<usize> = (k + 1..nb).map(|i| owner(i, j)).collect();
+            let idx = lvl as usize - 1;
+            for dst in dsts {
+                msgs[idx].push((p, dst, full_block_bytes(b)));
+            }
+        }
+        for i in k + 1..nb {
+            let lvl = 1 + l1.max(lvl4_prev[i][k]);
+            l3[i] = lvl;
+            max_level = max_level.max(lvl);
+            let p = owner(i, k);
+            charge(
+                lvl,
+                p,
+                OpClass::Op3,
+                &[block_id(i, k), block_id(k, k)],
+                &mut comp,
+                &mut loads,
+                &mut msgs,
+            );
+            let dsts: BTreeSet<usize> = (k + 1..nb).map(|j| owner(i, j)).collect();
+            let idx = lvl as usize - 1;
+            for dst in dsts {
+                msgs[idx].push((p, dst, full_block_bytes(b)));
+            }
+        }
+
+        // ---- Op4 over the trailing submatrix ---------------------------
+        for i in k + 1..nb {
+            for j in k + 1..nb {
+                let lvl = 1 + l2[j].max(l3[i]).max(lvl4_prev[i][j]);
+                lvl4_prev[i][j] = lvl;
+                max_level = max_level.max(lvl);
+                charge(
+                    lvl,
+                    owner(i, j),
+                    OpClass::Op4,
+                    &[block_id(i, j), block_id(i, k), block_id(k, j)],
+                    &mut comp,
+                    &mut loads,
+                    &mut msgs,
+                );
+            }
+        }
+    }
+
+    // Assemble the program.
+    let mut program = Program::new(procs);
+    for (idx, comp_lvl) in comp.into_iter().enumerate() {
+        let mut pattern = CommPattern::new(procs);
+        for &(src, dst, bytes) in &msgs[idx] {
+            pattern.add(src, dst, bytes);
+        }
+        program.push(
+            Step::new(format!("wave {}", idx + 1))
+                .with_comp(comp_lvl)
+                .with_comm(pattern),
+        );
+    }
+
+    GeProgram {
+        program,
+        loads,
+        n,
+        block: b,
+        nb,
+        procs,
+        layout_name: layout.name(),
+        op_totals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockops::AnalyticCost;
+    use predsim_core::{Diagonal, RowCyclic};
+
+    fn gen(n: usize, b: usize, procs: usize) -> GeProgram {
+        generate(n, b, &Diagonal::new(procs), &AnalyticCost::paper_default())
+    }
+
+    #[test]
+    fn op_counts_match_formulas() {
+        let nb = 6;
+        let g = gen(nb * 4, 4, 3);
+        assert_eq!(g.nb, nb);
+        let nb = nb as u64;
+        assert_eq!(g.op_totals[0], nb); // one Op1 per k
+        let panels: u64 = (0..nb).map(|k| nb - k - 1).sum();
+        assert_eq!(g.op_totals[1], panels);
+        assert_eq!(g.op_totals[2], panels);
+        let interiors: u64 = (0..nb).map(|k| (nb - k - 1).pow(2)).sum();
+        assert_eq!(g.op_totals[3], interiors);
+    }
+
+    #[test]
+    fn single_block_matrix_is_one_op1() {
+        let g = gen(8, 8, 4);
+        assert_eq!(g.op_totals, [1, 0, 0, 0]);
+        assert_eq!(g.program.len(), 1);
+        assert_eq!(g.program.total_messages(), 0);
+    }
+
+    #[test]
+    fn levels_respect_dependencies() {
+        // The last wave must contain the final Op1... in fact the final
+        // Op4 of step nb-2 then Op1 of step nb-1: total levels = 3(nb-1)+1.
+        let nb = 5;
+        let g = gen(nb * 2, 2, 4);
+        assert_eq!(g.program.len(), 3 * (nb - 1) + 1);
+    }
+
+    #[test]
+    fn computation_load_matches_op_costs() {
+        let cost = AnalyticCost::paper_default();
+        let g = gen(24, 4, 3);
+        let total_comp: Time = g.program.comp_load().iter().copied().sum();
+        use blockops::CostModel;
+        let want = cost.op_cost(OpClass::Op1, 4) * g.op_totals[0]
+            + cost.op_cost(OpClass::Op2, 4) * g.op_totals[1]
+            + cost.op_cost(OpClass::Op3, 4) * g.op_totals[2]
+            + cost.op_cost(OpClass::Op4, 4) * g.op_totals[3];
+        assert_eq!(total_comp, want);
+    }
+
+    #[test]
+    fn row_cyclic_rows_need_no_row_messages() {
+        // Under row-cyclic, Op1's L-inv factor messages to the pivot *row*
+        // are all self-messages (the row has a single owner).
+        let procs = 4;
+        let g = generate(32, 4, &RowCyclic::new(procs), &AnalyticCost::paper_default());
+        // Count factor-size network messages: only the U-inv column copies
+        // should cross the network from Op1.
+        let fb = factor_bytes(4);
+        let network_factor_msgs: usize = g
+            .program
+            .steps()
+            .iter()
+            .flat_map(|s| s.comm.network_messages())
+            .filter(|m| m.bytes == fb)
+            .count();
+        // Each k has at most procs-1 remote column destinations and zero
+        // remote row destinations... row destination is owner(k, j) = k%P
+        // for all j: the diagonal owner itself.
+        let nb = g.nb;
+        let max_col: usize = (0..nb).map(|k| (procs - 1).min(nb - k - 1)).sum();
+        assert!(network_factor_msgs <= max_col, "{network_factor_msgs} > {max_col}");
+    }
+
+    #[test]
+    fn self_messages_present_for_local_transfers() {
+        let g = gen(24, 4, 2);
+        let self_msgs: usize = g
+            .program
+            .steps()
+            .iter()
+            .flat_map(|s| s.comm.messages().iter())
+            .filter(|m| m.is_self_message())
+            .count();
+        assert!(self_msgs > 0, "local transfers must be recorded");
+    }
+
+    #[test]
+    fn loads_parallel_program_and_count_ops() {
+        let g = gen(24, 4, 3);
+        assert_eq!(g.loads.len(), g.program.len());
+        let visits: u64 = g
+            .loads
+            .iter()
+            .flat_map(|l| l.visits.iter())
+            .map(|&v| v as u64)
+            .sum();
+        assert_eq!(visits, g.op_totals.iter().sum::<u64>());
+        // Op4 touches 3 blocks, Op2/3 two, Op1 one.
+        let touches: u64 = g
+            .loads
+            .iter()
+            .flat_map(|l| l.touches.iter())
+            .map(|t| t.len() as u64)
+            .sum();
+        let want =
+            g.op_totals[0] + 2 * g.op_totals[1] + 2 * g.op_totals[2] + 3 * g.op_totals[3];
+        assert_eq!(touches, want);
+    }
+
+    #[test]
+    fn message_sizes_are_factor_or_block() {
+        let g = gen(24, 4, 3);
+        let (fb, bb) = (factor_bytes(4), full_block_bytes(4));
+        for s in g.program.steps() {
+            for m in s.comm.messages() {
+                assert!(m.bytes == fb || m.bytes == bb, "unexpected size {}", m.bytes);
+            }
+        }
+        assert_eq!(g.block_bytes(), bb);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn rejects_nondividing_block() {
+        let _ = gen(10, 3, 2);
+    }
+
+    #[test]
+    fn byte_helpers() {
+        assert_eq!(full_block_bytes(10), 800);
+        assert_eq!(factor_bytes(10), 8 * 55);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the elimination trace generator and the
+//! threaded execution.
+
+use blockops::{AnalyticCost, CostModel, Matrix, OpClass};
+use gauss::varblock::{generate_var, graded_partition};
+use loggp::Time;
+use predsim_core::{Diagonal, Layout, RowCyclic};
+use proptest::prelude::*;
+
+fn divisor_pairs(n: usize) -> Vec<usize> {
+    (1..=n).filter(|b| n.is_multiple_of(*b)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Trace invariants hold for random (n, b, layout): op counts follow
+    /// the closed formulas, loads parallel the program, message sizes are
+    /// the two legal ones.
+    #[test]
+    fn trace_invariants(
+        nb in 2usize..7,
+        b in prop_oneof![Just(2usize), Just(3), Just(5), Just(8)],
+        procs in 1usize..9,
+        diag in proptest::bool::ANY,
+    ) {
+        let n = nb * b;
+        let layout: Box<dyn Layout> = if diag {
+            Box::new(Diagonal::new(procs))
+        } else {
+            Box::new(RowCyclic::new(procs))
+        };
+        let g = gauss::generate(n, b, layout.as_ref(), &AnalyticCost::paper_default());
+        let nb64 = nb as u64;
+        prop_assert_eq!(g.op_totals[0], nb64);
+        let panels: u64 = (0..nb64).map(|k| nb64 - k - 1).sum();
+        prop_assert_eq!(g.op_totals[1], panels);
+        prop_assert_eq!(g.op_totals[2], panels);
+        prop_assert_eq!(g.loads.len(), g.program.len());
+        let (fb, bb) = (gauss::trace::factor_bytes(b), gauss::trace::full_block_bytes(b));
+        for s in g.program.steps() {
+            for m in s.comm.messages() {
+                prop_assert!(m.bytes == fb || m.bytes == bb);
+            }
+        }
+    }
+
+    /// Total charged computation is layout-invariant (the layout moves
+    /// work around, never creates or destroys it).
+    #[test]
+    fn comp_total_layout_invariant(nb in 2usize..6, procs in 1usize..8) {
+        let (n, b) = (nb * 4, 4);
+        let cost = AnalyticCost::paper_default();
+        let sum = |layout: &dyn Layout| -> Time {
+            gauss::generate(n, b, layout, &cost).program.comp_load().iter().copied().sum()
+        };
+        let d = sum(&Diagonal::new(procs));
+        let r = sum(&RowCyclic::new(procs));
+        prop_assert_eq!(d, r);
+        // And equals the op-count dot op-cost product.
+        let g = gauss::generate(n, b, &Diagonal::new(procs), &cost);
+        let want = OpClass::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &op)| cost.op_cost(op, b) * g.op_totals[i])
+            .sum::<Time>();
+        prop_assert_eq!(d, want);
+    }
+
+    /// The threaded factorization matches the sequential one for random
+    /// shapes and layouts.
+    #[test]
+    fn parallel_matches_sequential(
+        n_idx in 0usize..3,
+        b_idx in any::<prop::sample::Index>(),
+        procs in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let n = [12usize, 24, 30][n_idx];
+        let bs = divisor_pairs(n);
+        let b = bs[b_idx.index(bs.len())];
+        let a = Matrix::random_diag_dominant(n, seed);
+        let run = gauss::parallel::factorize(&a, b, &Diagonal::new(procs));
+        let mut want = a.clone();
+        blockops::lu::lu_in_place(&mut want).unwrap();
+        prop_assert!(
+            run.factored.approx_eq(&want, 1e-6),
+            "n={n} b={b} procs={procs} diff={}",
+            run.factored.max_abs_diff(&want)
+        );
+    }
+
+    /// Variable partitions: any random partition of n produces a program
+    /// whose total computation matches summing op_cost_rect over its own
+    /// task list — i.e. the generator loses no work.
+    // Indices are block coordinates, mirroring the generator's loops.
+    #[allow(clippy::needless_range_loop)]
+    #[test]
+    fn varblock_partitions_conserve_work(
+        widths in proptest::collection::vec(1usize..9, 1..8),
+        procs in 1usize..6,
+    ) {
+        let n: usize = widths.iter().sum();
+        let cost = AnalyticCost::paper_default();
+        let g = generate_var(n, &widths, &Diagonal::new(procs), &cost);
+        let total: Time = g.program.comp_load().iter().copied().sum();
+        // Recompute independently.
+        let nb = widths.len();
+        let mut want = Time::ZERO;
+        for k in 0..nb {
+            let wk = widths[k];
+            want += cost.op_cost_rect(OpClass::Op1, wk, wk, wk);
+            for j in k + 1..nb {
+                want += cost.op_cost_rect(OpClass::Op2, wk, widths[j], wk);
+            }
+            for i in k + 1..nb {
+                want += cost.op_cost_rect(OpClass::Op3, widths[i], wk, wk);
+            }
+            for i in k + 1..nb {
+                for j in k + 1..nb {
+                    want += cost.op_cost_rect(OpClass::Op4, widths[i], widths[j], wk);
+                }
+            }
+        }
+        prop_assert_eq!(total, want);
+    }
+
+    /// Graded partitions always cover n with widths >= the floor.
+    #[test]
+    fn graded_partition_well_formed(
+        n in 20usize..400,
+        first in 1usize..40,
+        ratio in 0.5f64..2.0,
+        floor in 1usize..12,
+    ) {
+        let first = first.min(n);
+        let p = graded_partition(n, first, ratio, floor);
+        prop_assert_eq!(p.iter().sum::<usize>(), n);
+        // All but possibly the final remainder block respect the floor.
+        for &w in &p[..p.len() - 1] {
+            prop_assert!(w >= floor.min(n));
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Fitting LogGP parameters from measurements — how the paper's authors
+//! (and the LogGP paper before them) obtained machine parameters: time a
+//! ping across message sizes, then read the model parameters off the
+//! regression.
+//!
+//! Under LogGP, the one-way time of a `k`-byte message between idle
+//! processors is affine in the size: `T(k) = (2o + L − G) + G·k`. A least
+//! squares line through `(k, T)` samples therefore yields `G` (slope) and
+//! the combined endpoint cost `2o + L` (intercept + slope). The gap `g` is
+//! fitted separately from a message-rate measurement (time per message of
+//! a long back-to-back burst), and `o` from a CPU-occupancy measurement;
+//! given `o`, `L` falls out of the intercept.
+
+use crate::params::LogGpParams;
+use crate::time::Time;
+
+/// The result of [`fit_point_to_point`].
+#[derive(Clone, Copy, Debug)]
+pub struct PingFit {
+    /// Fitted per-byte gap `G`.
+    pub gap_per_byte: Time,
+    /// Fitted combined endpoint cost `2o + L`.
+    pub endpoint: Time,
+    /// Root-mean-square residual of the fit.
+    pub rms_residual: Time,
+}
+
+/// Least-squares fit of one-way times `samples = [(bytes, time), …]` to
+/// the LogGP affine law `T(k) = (2o + L − G) + G·k`.
+///
+/// # Panics
+/// Panics with fewer than two distinct message sizes.
+pub fn fit_point_to_point(samples: &[(usize, Time)]) -> PingFit {
+    assert!(samples.len() >= 2, "need at least two samples");
+    let n = samples.len() as f64;
+    let xs: Vec<f64> = samples.iter().map(|&(k, _)| k as f64).collect();
+    let ys: Vec<f64> = samples.iter().map(|&(_, t)| t.as_ps() as f64).collect();
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mean_x).powi(2)).sum();
+    assert!(sxx > 0.0, "need at least two distinct message sizes");
+    let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
+    let slope = sxy / sxx; // ps per byte = G
+    let intercept = mean_y - slope * mean_x; // 2o + L - G
+
+    let rss: f64 = xs
+        .iter()
+        .zip(&ys)
+        .map(|(x, y)| (y - (intercept + slope * x)).powi(2))
+        .sum();
+    PingFit {
+        gap_per_byte: Time::from_ps(slope.max(0.0).round() as u64),
+        endpoint: Time::from_ps((intercept + slope).max(0.0).round() as u64),
+        rms_residual: Time::from_ps((rss / n).sqrt().round() as u64),
+    }
+}
+
+/// Assemble a full parameter set from the three standard micro-benchmarks:
+/// the ping fit, a measured per-message burst interval (`g`), and a
+/// measured send overhead (`o`). `L` is recovered as `endpoint − 2o`
+/// (clamped at zero).
+pub fn assemble(fit: &PingFit, gap: Time, overhead: Time, procs: usize) -> LogGpParams {
+    LogGpParams {
+        latency: fit.endpoint.saturating_sub(overhead * 2),
+        overhead,
+        gap: gap.max(overhead),
+        gap_per_byte: fit.gap_per_byte,
+        procs,
+    }
+}
+
+/// Generate the ideal one-way samples a given machine would produce —
+/// used by tests and by calibration round-trip checks.
+pub fn synthetic_samples(params: &LogGpParams, sizes: &[usize]) -> Vec<(usize, Time)> {
+    sizes.iter().map(|&k| (k, params.message_cost(k))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn roundtrip_on_noise_free_samples() {
+        for preset in presets::all(8) {
+            let p = preset.params;
+            if p.gap_per_byte.is_zero() {
+                continue; // the ideal machine has no slope to fit
+            }
+            let sizes = [16usize, 64, 256, 1024, 4096, 16384];
+            let fit = fit_point_to_point(&synthetic_samples(&p, &sizes));
+            assert_eq!(fit.gap_per_byte, p.gap_per_byte, "{}", preset.name);
+            assert_eq!(fit.endpoint, p.overhead * 2 + p.latency, "{}", preset.name);
+            assert_eq!(fit.rms_residual, Time::ZERO, "{}", preset.name);
+            let back = assemble(&fit, p.gap, p.overhead, p.procs);
+            assert_eq!(back, p, "{}", preset.name);
+        }
+    }
+
+    #[test]
+    fn tolerates_measurement_noise() {
+        let p = presets::meiko_cs2(8);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let samples: Vec<(usize, Time)> = [64usize, 256, 1024, 4096, 16384, 65536]
+            .iter()
+            .map(|&k| {
+                let exact = p.message_cost(k).as_ps() as f64;
+                let noisy = exact * rng.gen_range(0.98..1.02);
+                (k, Time::from_ps(noisy as u64))
+            })
+            .collect();
+        let fit = fit_point_to_point(&samples);
+        // G within 5%.
+        let g = fit.gap_per_byte.as_ps() as f64;
+        let want = p.gap_per_byte.as_ps() as f64;
+        assert!((g - want).abs() / want < 0.05, "G fitted {g} vs {want}");
+        assert!(fit.rms_residual > Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct")]
+    fn needs_two_sizes() {
+        let t = Time::from_us(10.0);
+        let _ = fit_point_to_point(&[(64, t), (64, t)]);
+    }
+
+    #[test]
+    fn assemble_clamps_degenerate_values() {
+        let fit = PingFit {
+            gap_per_byte: Time::from_ns(1),
+            endpoint: Time::from_us(5.0),
+            rms_residual: Time::ZERO,
+        };
+        // Overhead larger than the endpoint: latency clamps to zero, and
+        // the gap is floored at o so the params still validate.
+        let p = assemble(&fit, Time::from_us(1.0), Time::from_us(4.0), 4);
+        assert_eq!(p.latency, Time::ZERO);
+        assert_eq!(p.gap, Time::from_us(4.0));
+        p.validate().unwrap();
+    }
+}

@@ -1,0 +1,279 @@
+//! The LogGP parameter set and message-timing arithmetic.
+
+use crate::time::{Time, PS_PER_US};
+use std::fmt;
+
+/// The five LogGP parameters.
+///
+/// * `latency` (**L**) — upper bound on the network latency of a message;
+/// * `overhead` (**o**) — time a processor is engaged in the transmission or
+///   reception of each message;
+/// * `gap` (**g**) — minimum interval between consecutive message operations
+///   at a processor (extended by the paper to all four send/receive
+///   pairings, see [`crate::gap`]);
+/// * `gap_per_byte` (**G**) — time per byte for long messages;
+/// * `procs` (**P**) — number of processors.
+///
+/// The model is *single-port*: at any time a processor is engaged in at most
+/// one send or one receive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LogGpParams {
+    /// L: network latency.
+    pub latency: Time,
+    /// o: per-message CPU overhead (both send and receive side).
+    pub overhead: Time,
+    /// g: minimum interval between consecutive operation starts.
+    pub gap: Time,
+    /// G: per-byte gap for long messages (time per byte).
+    pub gap_per_byte: Time,
+    /// P: number of processors.
+    pub procs: usize,
+}
+
+/// Validation failure for a [`LogGpParams`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParamError {
+    /// P must be at least 1.
+    NoProcessors,
+    /// In LogP/LogGP the gap is defined as ≥ the overhead: a processor
+    /// cannot issue operations faster than it can execute them.
+    GapBelowOverhead {
+        /// The offending gap.
+        gap: Time,
+        /// The overhead it is below.
+        overhead: Time,
+    },
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::NoProcessors => write!(f, "LogGP machine must have at least 1 processor"),
+            ParamError::GapBelowOverhead { gap, overhead } => {
+                write!(f, "gap g = {gap} is below overhead o = {overhead}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+impl LogGpParams {
+    /// Build a parameter set from values in microseconds (the paper's unit).
+    ///
+    /// `gap_per_byte_us` is the per-byte gap G in µs/byte, e.g. `0.03` for
+    /// ~33 MB/s long-message bandwidth.
+    pub fn from_us(latency: f64, overhead: f64, gap: f64, gap_per_byte_us: f64, procs: usize) -> Self {
+        LogGpParams {
+            latency: Time::from_us(latency),
+            overhead: Time::from_us(overhead),
+            gap: Time::from_us(gap),
+            gap_per_byte: Time::from_us(gap_per_byte_us),
+            procs,
+        }
+    }
+
+    /// Check the internal consistency of the parameters.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        if self.procs == 0 {
+            return Err(ParamError::NoProcessors);
+        }
+        if self.gap < self.overhead {
+            return Err(ParamError::GapBelowOverhead {
+                gap: self.gap,
+                overhead: self.overhead,
+            });
+        }
+        Ok(())
+    }
+
+    /// Minimum separation between the *starts* of two consecutive
+    /// operations at one processor: `max(g, o)` (an operation occupies the
+    /// CPU for `o` and the gap rule demands `g`).
+    #[inline]
+    pub fn op_separation(&self) -> Time {
+        self.gap.max(self.overhead)
+    }
+
+    /// Wire time of a `k`-byte message beyond the first byte: `(k-1)·G`.
+    ///
+    /// Zero-byte (pure control) messages take no wire time.
+    #[inline]
+    pub fn wire_time(&self, bytes: usize) -> Time {
+        self.gap_per_byte.saturating_mul(bytes.saturating_sub(1) as u64)
+    }
+
+    /// Arrival time at the destination of a `k`-byte message whose send
+    /// *starts* at `send_start`: the message becomes available for reception
+    /// at `send_start + o + (k-1)·G + L`.
+    #[inline]
+    pub fn arrival_time(&self, send_start: Time, bytes: usize) -> Time {
+        send_start + self.overhead + self.wire_time(bytes) + self.latency
+    }
+
+    /// End-to-end cost of a single `k`-byte message between idle
+    /// processors: `o + (k-1)·G + L + o` (LogGP's point-to-point time).
+    #[inline]
+    pub fn message_cost(&self, bytes: usize) -> Time {
+        self.overhead + self.wire_time(bytes) + self.latency + self.overhead
+    }
+
+    /// Long-message asymptotic bandwidth in bytes per second implied by G.
+    ///
+    /// Returns `f64::INFINITY` when `G` is zero (e.g. the ideal machine).
+    pub fn bandwidth_bytes_per_sec(&self) -> f64 {
+        if self.gap_per_byte.is_zero() {
+            f64::INFINITY
+        } else {
+            PS_PER_US as f64 * 1e6 / self.gap_per_byte.as_ps() as f64
+        }
+    }
+
+    /// Small-message rate limit in messages per second implied by g.
+    pub fn messages_per_sec(&self) -> f64 {
+        if self.gap.is_zero() {
+            f64::INFINITY
+        } else {
+            1e12 / self.gap.as_ps() as f64
+        }
+    }
+
+    /// A copy of these parameters for a different processor count.
+    pub fn with_procs(mut self, procs: usize) -> Self {
+        self.procs = procs;
+        self
+    }
+
+    /// A copy with a different latency (for sensitivity sweeps).
+    pub fn with_latency(mut self, latency: Time) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// A copy with a different gap (for sensitivity sweeps).
+    pub fn with_gap(mut self, gap: Time) -> Self {
+        self.gap = gap;
+        self
+    }
+
+    /// A copy with a different overhead (for sensitivity sweeps).
+    pub fn with_overhead(mut self, overhead: Time) -> Self {
+        self.overhead = overhead;
+        self
+    }
+
+    /// A copy with a different per-byte gap (for sensitivity sweeps).
+    pub fn with_gap_per_byte(mut self, gap_per_byte: Time) -> Self {
+        self.gap_per_byte = gap_per_byte;
+        self
+    }
+}
+
+impl fmt::Display for LogGpParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LogGP(L={}, o={}, g={}, G={}/B, P={})",
+            self.latency, self.overhead, self.gap, self.gap_per_byte, self.procs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn validate_accepts_presets() {
+        for p in presets::all(8) {
+            p.params.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_zero_procs() {
+        let p = LogGpParams::from_us(1.0, 1.0, 2.0, 0.0, 0);
+        assert_eq!(p.validate(), Err(ParamError::NoProcessors));
+    }
+
+    #[test]
+    fn validate_rejects_gap_below_overhead() {
+        let p = LogGpParams::from_us(1.0, 5.0, 2.0, 0.0, 4);
+        assert!(matches!(p.validate(), Err(ParamError::GapBelowOverhead { .. })));
+    }
+
+    #[test]
+    fn wire_time_is_k_minus_one_g() {
+        let p = LogGpParams::from_us(9.0, 6.0, 16.0, 0.03, 8);
+        assert_eq!(p.wire_time(0), Time::ZERO);
+        assert_eq!(p.wire_time(1), Time::ZERO);
+        assert_eq!(p.wire_time(2), Time::from_us(0.03));
+        assert_eq!(p.wire_time(1100), Time::from_us(0.03) * 1099);
+    }
+
+    #[test]
+    fn message_cost_decomposes() {
+        let p = LogGpParams::from_us(9.0, 6.0, 16.0, 0.03, 8);
+        let k = 1100;
+        assert_eq!(
+            p.message_cost(k),
+            p.overhead + p.wire_time(k) + p.latency + p.overhead
+        );
+        // o + (k-1)G + L + o = 6 + 32.97 + 9 + 6 = 53.97 us
+        assert_eq!(p.message_cost(k), Time::from_us(53.97));
+    }
+
+    #[test]
+    fn arrival_precedes_completion_by_o() {
+        let p = LogGpParams::from_us(9.0, 6.0, 16.0, 0.03, 8);
+        let start = Time::from_us(5.0);
+        assert_eq!(
+            p.arrival_time(start, 64) + p.overhead,
+            start + p.message_cost(64)
+        );
+    }
+
+    #[test]
+    fn op_separation_is_max_g_o() {
+        let p = LogGpParams::from_us(1.0, 6.0, 16.0, 0.0, 2);
+        assert_eq!(p.op_separation(), Time::from_us(16.0));
+        let q = LogGpParams::from_us(1.0, 6.0, 6.0, 0.0, 2);
+        assert_eq!(q.op_separation(), Time::from_us(6.0));
+    }
+
+    #[test]
+    fn derived_rates() {
+        let p = LogGpParams::from_us(9.0, 6.0, 16.0, 0.03, 8);
+        // G = 0.03 us/byte -> 33.3 MB/s
+        let bw = p.bandwidth_bytes_per_sec();
+        assert!((bw - 33.33e6).abs() / 33.33e6 < 0.01, "bw = {bw}");
+        // g = 16 us -> 62500 msg/s
+        assert!((p.messages_per_sec() - 62_500.0).abs() < 1.0);
+        let ideal = LogGpParams::from_us(0.0, 0.0, 0.0, 0.0, 8);
+        assert!(ideal.bandwidth_bytes_per_sec().is_infinite());
+        assert!(ideal.messages_per_sec().is_infinite());
+    }
+
+    #[test]
+    fn with_builders() {
+        let p = presets::meiko_cs2(8)
+            .with_procs(16)
+            .with_latency(Time::from_us(1.0))
+            .with_gap(Time::from_us(20.0))
+            .with_overhead(Time::from_us(2.0))
+            .with_gap_per_byte(Time::from_ns(1));
+        assert_eq!(p.procs, 16);
+        assert_eq!(p.latency, Time::from_us(1.0));
+        assert_eq!(p.gap, Time::from_us(20.0));
+        assert_eq!(p.overhead, Time::from_us(2.0));
+        assert_eq!(p.gap_per_byte, Time::from_ns(1));
+    }
+
+    #[test]
+    fn display_contains_all_fields() {
+        let s = presets::meiko_cs2(8).to_string();
+        assert!(s.contains("L=9.000us"), "{s}");
+        assert!(s.contains("P=8"), "{s}");
+    }
+}

@@ -1,0 +1,372 @@
+//! Integer simulation time.
+//!
+//! All simulators in this workspace do their arithmetic on [`Time`], a
+//! newtype over a `u64` count of **picoseconds**. Integer time makes every
+//! simulation bit-for-bit deterministic (no float rounding, no platform
+//! variation) while picosecond resolution keeps sub-nanosecond quantities —
+//! such as the per-byte gap `G` of fast networks — exact.
+//!
+//! The paper reports times in microseconds; [`Time`]'s `Display` prints µs.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Picoseconds in one nanosecond.
+pub const PS_PER_NS: u64 = 1_000;
+/// Picoseconds in one microsecond.
+pub const PS_PER_US: u64 = 1_000_000;
+/// Picoseconds in one millisecond.
+pub const PS_PER_MS: u64 = 1_000_000_000;
+/// Picoseconds in one second.
+pub const PS_PER_SEC: u64 = 1_000_000_000_000;
+
+/// A point in (or length of) simulated time, in integer picoseconds.
+///
+/// `Time` is totally ordered and supports saturating/checked arithmetic.
+/// Subtraction panics on underflow in debug builds (like primitive
+/// integers); use [`Time::saturating_sub`] when clamping to zero is wanted.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+impl Time {
+    /// Zero time; the start of every simulation.
+    pub const ZERO: Time = Time(0);
+    /// The maximum representable time (~213 days). Used as an "infinity"
+    /// sentinel by the simulation algorithms, mirroring the paper's
+    /// `start_recv = ∞` when a processor has nothing to receive.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Construct from picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        Time(ps)
+    }
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        Time(ns * PS_PER_NS)
+    }
+
+    /// Construct from integer microseconds.
+    #[inline]
+    pub const fn from_us_int(us: u64) -> Self {
+        Time(us * PS_PER_US)
+    }
+
+    /// Construct from (possibly fractional) microseconds.
+    ///
+    /// Rounds to the nearest picosecond. Panics if `us` is negative or not
+    /// finite.
+    #[inline]
+    pub fn from_us(us: f64) -> Self {
+        assert!(us.is_finite() && us >= 0.0, "invalid duration: {us} us");
+        Time((us * PS_PER_US as f64).round() as u64)
+    }
+
+    /// Construct from (possibly fractional) milliseconds.
+    #[inline]
+    pub fn from_ms(ms: f64) -> Self {
+        Self::from_us(ms * 1_000.0)
+    }
+
+    /// Construct from (possibly fractional) seconds.
+    #[inline]
+    pub fn from_secs(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "invalid duration: {s} s");
+        Time((s * PS_PER_SEC as f64).round() as u64)
+    }
+
+    /// The raw picosecond count.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// This time as fractional nanoseconds.
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_NS as f64
+    }
+
+    /// This time as fractional microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_US as f64
+    }
+
+    /// This time as fractional milliseconds.
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_MS as f64
+    }
+
+    /// This time as fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_SEC as f64
+    }
+
+    /// Saturating subtraction: `max(self - rhs, 0)`.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating addition, clamping at [`Time::MAX`].
+    #[inline]
+    pub const fn saturating_add(self, rhs: Time) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+
+    /// Checked addition.
+    #[inline]
+    pub const fn checked_add(self, rhs: Time) -> Option<Time> {
+        match self.0.checked_add(rhs.0) {
+            Some(v) => Some(Time(v)),
+            None => None,
+        }
+    }
+
+    /// Checked subtraction.
+    #[inline]
+    pub const fn checked_sub(self, rhs: Time) -> Option<Time> {
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(Time(v)),
+            None => None,
+        }
+    }
+
+    /// The larger of two times.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two times.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// True iff this is the zero time.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiply by an integer count, saturating.
+    #[inline]
+    pub const fn saturating_mul(self, n: u64) -> Time {
+        Time(self.0.saturating_mul(n))
+    }
+
+    /// Convert a wall-clock [`std::time::Duration`] (e.g. from a host
+    /// measurement) into simulated time, saturating at [`Time::MAX`]
+    /// (≈213 days — far beyond any simulated run).
+    pub fn from_duration(d: std::time::Duration) -> Time {
+        let ns = d.as_nanos();
+        Time((ns.saturating_mul(PS_PER_NS as u128)).min(u64::MAX as u128) as u64)
+    }
+
+    /// This simulated time as a wall-clock [`std::time::Duration`]
+    /// (truncated to nanoseconds).
+    pub fn to_duration(self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.0 / PS_PER_NS)
+    }
+}
+
+impl From<std::time::Duration> for Time {
+    fn from(d: std::time::Duration) -> Time {
+        Time::from_duration(d)
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl Mul<Time> for u64 {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: Time) -> Time {
+        Time(self * rhs.0)
+    }
+}
+
+impl Div<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: u64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+impl<'a> Sum<&'a Time> for Time {
+    fn sum<I: Iterator<Item = &'a Time>>(iter: I) -> Time {
+        iter.copied().sum()
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_us_f64())
+    }
+}
+
+impl fmt::Display for Time {
+    /// Prints in microseconds, the paper's unit (e.g. `76.300us`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*}us", prec, self.as_us_f64())
+        } else {
+            write!(f, "{:.3}us", self.as_us_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Time::from_ns(1), Time::from_ps(1_000));
+        assert_eq!(Time::from_us_int(1), Time::from_ns(1_000));
+        assert_eq!(Time::from_us(1.0), Time::from_us_int(1));
+        assert_eq!(Time::from_ms(1.0), Time::from_us_int(1_000));
+        assert_eq!(Time::from_secs(1.0), Time::from_us_int(1_000_000));
+    }
+
+    #[test]
+    fn fractional_us_rounds_to_ps() {
+        assert_eq!(Time::from_us(0.03).as_ps(), 30_000);
+        assert_eq!(Time::from_us(1.5).as_ps(), 1_500_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::from_ns(10);
+        let b = Time::from_ns(4);
+        assert_eq!(a + b, Time::from_ns(14));
+        assert_eq!(a - b, Time::from_ns(6));
+        assert_eq!(a * 3, Time::from_ns(30));
+        assert_eq!(a / 2, Time::from_ns(5));
+        assert_eq!(b.saturating_sub(a), Time::ZERO);
+        assert_eq!(a.saturating_sub(b), Time::from_ns(6));
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        let a = Time::from_ns(10);
+        let b = Time::from_ns(4);
+        assert!(a > b);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+        assert_eq!(Time::ZERO.min(Time::MAX), Time::ZERO);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let v = vec![Time::from_ns(1), Time::from_ns(2), Time::from_ns(3)];
+        let s: Time = v.iter().sum();
+        assert_eq!(s, Time::from_ns(6));
+        let s2: Time = v.into_iter().sum();
+        assert_eq!(s2, Time::from_ns(6));
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(Time::MAX.saturating_add(Time::from_ns(1)), Time::MAX);
+        assert_eq!(Time::MAX.saturating_mul(2), Time::MAX);
+        assert_eq!(Time::from_ns(1).checked_add(Time::from_ns(1)), Some(Time::from_ns(2)));
+        assert_eq!(Time::MAX.checked_add(Time::from_ps(1)), None);
+        assert_eq!(Time::ZERO.checked_sub(Time::from_ps(1)), None);
+    }
+
+    #[test]
+    fn display_in_microseconds() {
+        let t = Time::from_us(76.3);
+        assert_eq!(format!("{t}"), "76.300us");
+        assert_eq!(format!("{t:.1}"), "76.3us");
+    }
+
+    #[test]
+    fn duration_interop() {
+        use std::time::Duration;
+        let d = Duration::from_micros(1500);
+        let t = Time::from_duration(d);
+        assert_eq!(t, Time::from_us(1500.0));
+        assert_eq!(t.to_duration(), d);
+        let via_from: Time = Duration::from_nanos(7).into();
+        assert_eq!(via_from, Time::from_ns(7));
+        // Sub-nanosecond residue truncates on the way back out.
+        assert_eq!(Time::from_ps(1_500).to_duration(), Duration::from_nanos(1));
+        // Gigantic durations saturate instead of overflowing.
+        assert_eq!(Time::from_duration(Duration::from_secs(u64::MAX)), Time::MAX);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_us_panics() {
+        let _ = Time::from_us(-1.0);
+    }
+
+    #[test]
+    fn as_float_accessors() {
+        let t = Time::from_us_int(2);
+        assert_eq!(t.as_ns_f64(), 2_000.0);
+        assert_eq!(t.as_us_f64(), 2.0);
+        assert_eq!(t.as_ms_f64(), 0.002);
+        assert!((t.as_secs_f64() - 2e-6).abs() < 1e-18);
+    }
+}

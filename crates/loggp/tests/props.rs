@@ -1,0 +1,110 @@
+//! Property-based tests for the LogGP model substrate.
+
+use loggp::{LogGpParams, ProcClock, Time};
+use proptest::prelude::*;
+
+/// Arbitrary valid parameter sets: g >= o, everything bounded so that the
+/// arithmetic stays far from overflow.
+fn arb_params() -> impl Strategy<Value = LogGpParams> {
+    (
+        0u64..1_000_000,  // L in ns
+        0u64..100_000,    // o in ns
+        0u64..1_000_000,  // extra gap over o, in ns
+        0u64..10_000,     // G in ps/byte
+        1usize..64,       // P
+    )
+        .prop_map(|(l, o, extra_g, g_byte, p)| LogGpParams {
+            latency: Time::from_ns(l),
+            overhead: Time::from_ns(o),
+            gap: Time::from_ns(o + extra_g),
+            gap_per_byte: Time::from_ps(g_byte),
+            procs: p,
+        })
+}
+
+proptest! {
+    #[test]
+    fn generated_params_validate(p in arb_params()) {
+        prop_assert!(p.validate().is_ok());
+    }
+
+    /// Message cost is monotone non-decreasing in the message size.
+    #[test]
+    fn message_cost_monotone_in_bytes(p in arb_params(), a in 0usize..100_000, b in 0usize..100_000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(p.message_cost(lo) <= p.message_cost(hi));
+    }
+
+    /// Arrival time is the send start plus o + (k-1)G + L exactly.
+    #[test]
+    fn arrival_decomposition(p in arb_params(), start_ns in 0u64..1_000_000_000, k in 0usize..1_000_000) {
+        let start = Time::from_ns(start_ns);
+        prop_assert_eq!(
+            p.arrival_time(start, k),
+            start + p.overhead + p.wire_time(k) + p.latency
+        );
+    }
+
+    /// A sequence of committed operations always respects both the gap rule
+    /// and the single-port (no overlap) rule, whatever availability times
+    /// are thrown at the clock.
+    #[test]
+    fn clock_sequences_respect_gap_and_port(
+        p in arb_params(),
+        avail in proptest::collection::vec(0u64..10_000_000u64, 1..40),
+    ) {
+        let mut clock = ProcClock::new();
+        let mut prev_start: Option<Time> = None;
+        let mut prev_end = Time::ZERO;
+        for a in avail {
+            let start = clock.earliest_start(&p, Time::from_ns(a));
+            let end = clock.commit(&p, start);
+            if let Some(ps) = prev_start {
+                prop_assert!(start >= ps + p.gap, "gap violated");
+            }
+            prop_assert!(start >= prev_end, "overlap");
+            prop_assert!(start >= Time::from_ns(a), "started before available");
+            prev_start = Some(start);
+            prev_end = end;
+        }
+    }
+
+    /// Operations are issued greedily: the committed start is never later
+    /// than both constraints require.
+    #[test]
+    fn clock_is_greedy(p in arb_params(), a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let mut clock = ProcClock::new();
+        let s1 = clock.earliest_start(&p, Time::from_ns(a));
+        prop_assert_eq!(s1, Time::from_ns(a));
+        clock.commit(&p, s1);
+        let s2 = clock.earliest_start(&p, Time::from_ns(b));
+        let bound = (s1 + p.gap).max(s1 + p.overhead).max(Time::from_ns(b));
+        prop_assert_eq!(s2, bound);
+    }
+
+    /// Fitting synthetic ping samples recovers G and 2o+L exactly for any
+    /// valid parameter set with a non-zero G.
+    #[test]
+    fn ping_fit_roundtrip(p in arb_params()) {
+        prop_assume!(!p.gap_per_byte.is_zero());
+        let sizes = [1usize, 17, 64, 1000, 4096, 65536];
+        let samples = loggp::fit::synthetic_samples(&p, &sizes);
+        let fit = loggp::fit::fit_point_to_point(&samples);
+        // Allow 1 ps of rounding slack from the float regression.
+        let dg = fit.gap_per_byte.as_ps().abs_diff(p.gap_per_byte.as_ps());
+        prop_assert!(dg <= 1, "G: {} vs {}", fit.gap_per_byte, p.gap_per_byte);
+        let want = p.overhead * 2 + p.latency;
+        let de = fit.endpoint.as_ps().abs_diff(want.as_ps());
+        prop_assert!(de <= 8, "endpoint: {} vs {}", fit.endpoint, want);
+    }
+
+    /// Time roundtrips through microsecond floats within rounding error.
+    #[test]
+    fn time_us_roundtrip(ps in 0u64..u64::MAX / 2) {
+        let t = Time::from_ps(ps);
+        let back = Time::from_us(t.as_us_f64());
+        // f64 has 52 bits of mantissa; tolerate relative error 1e-12.
+        let diff = if back > t { back - t } else { t - back };
+        prop_assert!(diff.as_ps() as f64 <= 1.0 + ps as f64 * 1e-12);
+    }
+}

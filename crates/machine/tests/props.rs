@@ -1,0 +1,113 @@
+//! Property-based tests for the machine emulator.
+
+use commsim::{patterns, SimConfig};
+use loggp::{presets, Time};
+use machine::{emulate, EmulatorConfig};
+use predsim_core::{simulate_program, Program, SimOptions, Step, StepLoad};
+use proptest::prelude::*;
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (2usize..7, 1usize..6, any::<u64>()).prop_map(|(procs, steps, seed)| {
+        let mut prog = Program::new(procs);
+        for s in 0..steps {
+            let step_seed = seed.wrapping_add(s as u64 * 0x9E37);
+            let comp: Vec<Time> = (0..procs)
+                .map(|p| Time::from_ns((step_seed.rotate_left(p as u32 * 7) % 50_000) * 20))
+                .collect();
+            let comm = patterns::random(procs, (step_seed % 6) as usize, 4096, step_seed);
+            prog.push(Step::new(format!("s{s}")).with_comp(comp).with_comm(comm));
+        }
+        prog
+    })
+}
+
+fn effects_off(procs: usize) -> EmulatorConfig {
+    EmulatorConfig {
+        cfg: SimConfig::new(presets::meiko_cs2(procs)),
+        jitter_pct: 0,
+        contention: false,
+        shared_bus: false,
+        self_copy_per_byte: Time::ZERO,
+        iter_overhead: Time::ZERO,
+        cache: None,
+        l2: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// With every real-machine effect switched off, the emulator *is* the
+    /// predictor — on arbitrary programs.
+    #[test]
+    fn emulator_degenerates_to_predictor(prog in arb_program()) {
+        let procs = prog.procs();
+        let m = emulate(&prog, &[], &effects_off(procs));
+        let p = simulate_program(
+            &prog,
+            &SimOptions::new(SimConfig::new(presets::meiko_cs2(procs))),
+        );
+        prop_assert_eq!(m.prediction.total, p.total);
+        prop_assert_eq!(m.prediction.per_proc_finish, p.per_proc_finish);
+        prop_assert_eq!(m.prediction.comm_time, p.comm_time);
+        prop_assert_eq!(m.prediction.comp_time, p.comp_time);
+    }
+
+    /// Full effects: deterministic per seed, and the jitter stays within
+    /// its advertised envelope relative to the jitter-free run (each
+    /// flight scaled by at most ±8% can move the total, but never below
+    /// the pure computation floor).
+    #[test]
+    fn emulator_deterministic_and_bounded(prog in arb_program(), seed in any::<u64>()) {
+        let procs = prog.procs();
+        let mut ecfg = EmulatorConfig::meiko_like(SimConfig::new(presets::meiko_cs2(procs)));
+        ecfg.cfg = ecfg.cfg.with_seed(seed);
+        let a = emulate(&prog, &[], &ecfg);
+        let b = emulate(&prog, &[], &ecfg);
+        prop_assert_eq!(a.prediction.total, b.prediction.total);
+        prop_assert_eq!(&a.prediction.per_proc_comm, &b.prediction.per_proc_comm);
+        prop_assert!(a.prediction.total >= a.prediction.comp_time);
+    }
+
+    /// Iteration overhead is linear: doubling the visit counts exactly
+    /// doubles the charged overhead.
+    #[test]
+    fn iter_overhead_linear(prog in arb_program(), visits in 1u32..20) {
+        let procs = prog.procs();
+        let mk_loads = |v: u32| -> Vec<StepLoad> {
+            prog.steps()
+                .iter()
+                .map(|_| {
+                    let mut l = StepLoad::new(procs);
+                    for p in 0..procs {
+                        l.add_visits(p, v);
+                    }
+                    l
+                })
+                .collect()
+        };
+        let mut ecfg = effects_off(procs);
+        ecfg.iter_overhead = Time::from_us(3.0);
+        let once = emulate(&prog, &mk_loads(visits), &ecfg);
+        let twice = emulate(&prog, &mk_loads(2 * visits), &ecfg);
+        prop_assert_eq!(once.iter_overhead_time * 2, twice.iter_overhead_time);
+    }
+
+    /// Self-message accounting: total self-copy time equals the per-byte
+    /// rate times the self bytes in the program.
+    #[test]
+    fn self_copy_accounting(prog in arb_program()) {
+        let procs = prog.procs();
+        let mut ecfg = effects_off(procs);
+        ecfg.self_copy_per_byte = Time::from_ns(10);
+        let m = emulate(&prog, &[], &ecfg);
+        let self_bytes: u64 = prog
+            .steps()
+            .iter()
+            .flat_map(|s| s.comm.messages().iter())
+            .filter(|msg| msg.is_self_message())
+            .map(|msg| msg.bytes as u64)
+            .sum();
+        prop_assert_eq!(m.self_copy_time, Time::from_ns(10) * self_bytes);
+    }
+}

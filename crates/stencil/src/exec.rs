@@ -1,0 +1,132 @@
+//! Real Jacobi execution: whole-grid reference and banded (distributed)
+//! variants, checked against each other by the tests.
+
+use blockops::Matrix;
+
+/// One Jacobi sweep over the whole grid: every interior cell becomes the
+/// average of its four neighbours; the boundary is held fixed.
+pub fn jacobi_reference(grid: &Matrix) -> Matrix {
+    let (rows, cols) = (grid.rows(), grid.cols());
+    let mut out = grid.clone();
+    for i in 1..rows.saturating_sub(1) {
+        for j in 1..cols.saturating_sub(1) {
+            out[(i, j)] =
+                0.25 * (grid[(i - 1, j)] + grid[(i + 1, j)] + grid[(i, j - 1)] + grid[(i, j + 1)]);
+        }
+    }
+    out
+}
+
+/// `iters` banded Jacobi sweeps: the grid is split into `procs` horizontal
+/// bands; every iteration updates each band using explicit halo rows
+/// "received" from the neighbouring bands — the same data flow as the
+/// distributed algorithm the trace generator describes.
+///
+/// # Panics
+/// Panics if `procs` is zero or exceeds the number of rows.
+pub fn jacobi_banded(grid: &Matrix, procs: usize, iters: usize) -> Matrix {
+    let n = grid.rows();
+    assert!(procs > 0 && procs <= n, "need 1..=n bands");
+    // Band boundaries.
+    let mut starts = Vec::with_capacity(procs + 1);
+    let mut acc = 0;
+    for p in 0..procs {
+        starts.push(acc);
+        acc += crate::trace::band_rows(n, procs, p);
+    }
+    starts.push(n);
+
+    let mut cur = grid.clone();
+    for _ in 0..iters {
+        // Gather halos first (synchronous exchange), then update bands.
+        let halos: Vec<(Vec<f64>, Vec<f64>)> = (0..procs)
+            .map(|p| {
+                let top = if starts[p] > 0 { cur.row(starts[p] - 1).to_vec() } else { Vec::new() };
+                let bot =
+                    if starts[p + 1] < n { cur.row(starts[p + 1]).to_vec() } else { Vec::new() };
+                (top, bot)
+            })
+            .collect();
+        let mut next = cur.clone();
+        for p in 0..procs {
+            let (r0, r1) = (starts[p], starts[p + 1]);
+            for i in r0..r1 {
+                if i == 0 || i == n - 1 {
+                    continue; // fixed boundary
+                }
+                for j in 1..cur.cols() - 1 {
+                    let up = if i == r0 { halos[p].0[j] } else { cur[(i - 1, j)] };
+                    let down = if i == r1 - 1 { halos[p].1[j] } else { cur[(i + 1, j)] };
+                    next[(i, j)] = 0.25 * (up + down + cur[(i, j - 1)] + cur[(i, j + 1)]);
+                }
+            }
+        }
+        cur = next;
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hot_plate(n: usize) -> Matrix {
+        // Top edge hot, rest cold.
+        Matrix::from_fn(n, n, |i, _| if i == 0 { 100.0 } else { 0.0 })
+    }
+
+    #[test]
+    fn banded_matches_reference() {
+        let n = 16;
+        let mut want = hot_plate(n);
+        for _ in 0..5 {
+            want = jacobi_reference(&want);
+        }
+        for procs in [1, 2, 3, 5, 16] {
+            let got = jacobi_banded(&hot_plate(n), procs, 5);
+            assert!(
+                got.approx_eq(&want, 1e-12),
+                "procs={procs} diff={}",
+                got.max_abs_diff(&want)
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_is_fixed() {
+        let g = hot_plate(8);
+        let out = jacobi_banded(&g, 2, 3);
+        for j in 0..8 {
+            assert_eq!(out[(0, j)], 100.0);
+            assert_eq!(out[(7, j)], 0.0);
+        }
+    }
+
+    #[test]
+    fn heat_diffuses_downward() {
+        let out = jacobi_banded(&hot_plate(8), 4, 10);
+        assert!(out[(1, 4)] > out[(4, 4)]);
+        assert!(out[(1, 4)] > 0.0);
+    }
+
+    #[test]
+    fn zero_iters_is_identity() {
+        let g = hot_plate(6);
+        assert!(jacobi_banded(&g, 3, 0).approx_eq(&g, 0.0));
+    }
+
+    #[test]
+    fn tiny_grids_do_not_panic() {
+        let g = Matrix::zeros(1, 1);
+        let _ = jacobi_reference(&g);
+        let _ = jacobi_banded(&g, 1, 2);
+        let g2 = Matrix::zeros(2, 2);
+        let _ = jacobi_banded(&g2, 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bands")]
+    fn too_many_bands_rejected() {
+        let _ = jacobi_banded(&Matrix::zeros(4, 4), 5, 1);
+    }
+}

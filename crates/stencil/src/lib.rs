@@ -1,0 +1,19 @@
+//! Jacobi 5-point stencil iteration — the third application, a systolic
+//! member of the paper's program class (input-independent halo-exchange
+//! communication, strictly alternating computation and communication).
+//!
+//! The grid is decomposed into horizontal bands, one per processor; each
+//! iteration is one program step: update your band (4 flops per interior
+//! cell), then exchange boundary rows with the neighbours.
+//!
+//! [`trace::generate`] emits the oblivious program; [`exec`] provides the
+//! real banded execution validated against a whole-grid reference sweep.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod trace;
+
+pub use exec::{jacobi_banded, jacobi_reference};
+pub use trace::{generate, StencilProgram};

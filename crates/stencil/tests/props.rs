@@ -1,0 +1,66 @@
+//! Property-based tests for the stencil application.
+
+use blockops::Matrix;
+use proptest::prelude::*;
+use stencil::{jacobi_banded, jacobi_reference, trace};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Banded execution equals the reference for any band count and
+    /// iteration count.
+    #[test]
+    fn banded_equals_reference(
+        n in 3usize..20,
+        procs_idx in any::<prop::sample::Index>(),
+        iters in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        let procs = 1 + procs_idx.index(n);
+        let grid = Matrix::random(n, n, seed);
+        let mut want = grid.clone();
+        for _ in 0..iters {
+            want = jacobi_reference(&want);
+        }
+        let got = jacobi_banded(&grid, procs, iters);
+        prop_assert!(got.approx_eq(&want, 1e-12), "n={n} procs={procs} iters={iters}");
+    }
+
+    /// Jacobi is a contraction toward the boundary values: the interior
+    /// max never exceeds the global max of the previous grid.
+    #[test]
+    fn max_principle(n in 3usize..16, seed in any::<u64>()) {
+        let grid = Matrix::random(n, n, seed);
+        let out = jacobi_reference(&grid);
+        let max_in = grid.as_slice().iter().cloned().fold(f64::MIN, f64::max);
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                prop_assert!(out[(i, j)] <= max_in + 1e-12);
+            }
+        }
+    }
+
+    /// Trace invariants: per-iteration comp load is proportional to band
+    /// rows, and halos are exactly `8n` bytes.
+    #[test]
+    fn trace_invariants(n in 4usize..40, procs in 1usize..8, iters in 1usize..4) {
+        let procs = procs.min(n);
+        let g = trace::generate(n, procs, iters, 25_000);
+        prop_assert_eq!(g.program.len(), iters);
+        for s in g.program.steps() {
+            for m in s.comm.messages() {
+                prop_assert_eq!(m.bytes, 8 * n);
+            }
+            // Comp entries proportional to rows: ratio check between the
+            // largest and smallest band.
+            let max = s.comp.iter().max().unwrap();
+            let min = s.comp.iter().min().unwrap();
+            let rows_max = (0..procs).map(|p| trace::band_rows(n, procs, p)).max().unwrap();
+            let rows_min = (0..procs).map(|p| trace::band_rows(n, procs, p)).min().unwrap();
+            prop_assert_eq!(
+                max.as_ps() * rows_min as u64,
+                min.as_ps() * rows_max as u64
+            );
+        }
+    }
+}

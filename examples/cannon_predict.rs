@@ -1,0 +1,59 @@
+//! Predict Cannon's matrix multiplication across processor-grid sizes and
+//! check the algorithm's numerics against a plain matrix product.
+//!
+//! Cannon's shifts are *cyclic* communication patterns, so this example
+//! also shows the worst-case algorithm's deadlock breaking at work.
+//!
+//! ```text
+//! cargo run --release --example cannon_predict
+//! ```
+
+use predsim::predsim_core::report::{ms, Table};
+use predsim::prelude::*;
+
+fn main() {
+    let n = 240;
+    let cost = AnalyticCost::paper_default();
+
+    println!("== Cannon's algorithm, n={n} ==");
+    let mut table = Table::new([
+        "grid",
+        "procs",
+        "block",
+        "predicted (ms)",
+        "worst-case (ms)",
+        "forced sends",
+        "speedup vs q=1",
+    ]);
+    let mut t1 = Time::ZERO;
+    for q in [1usize, 2, 3, 4, 6, 8] {
+        let trace = cannon::generate(n, q, &cost);
+        let cfg = SimConfig::new(presets::meiko_cs2(q * q));
+        let pred = simulate_program(&trace.program, &SimOptions::new(cfg));
+        let wc = simulate_program(&trace.program, &SimOptions::new(cfg).worst_case());
+        if q == 1 {
+            t1 = pred.total;
+        }
+        table.row([
+            format!("{q}x{q}"),
+            (q * q).to_string(),
+            trace.m.to_string(),
+            ms(pred.total),
+            ms(wc.total),
+            wc.forced_sends.to_string(),
+            format!("{:.2}", t1.as_secs_f64() / pred.total.as_secs_f64()),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // Numerical validation of the real algorithm.
+    let a = Matrix::random(60, 60, 1);
+    let b = Matrix::random(60, 60, 2);
+    let got = cannon::multiply(&a, &b, 5);
+    let want = predsim::blockops::gemm::matmul(&a, &b);
+    println!(
+        "numeric check vs plain product (n=60, q=5): max |diff| = {:.2e}",
+        got.max_abs_diff(&want)
+    );
+    assert!(got.approx_eq(&want, 1e-9));
+}

@@ -1,0 +1,66 @@
+//! Study collective algorithms with the predictor: linear vs binomial
+//! broadcast, and tree vs recursive-doubling all-reduce, across machine
+//! presets and processor counts — the classic LogP-era optimization
+//! questions (the paper cites Karp et al.'s optimal-broadcast work),
+//! answered here by simulation instead of by formula.
+//!
+//! ```text
+//! cargo run --release --example collectives_study
+//! ```
+
+use predsim::predsim_core::report::{us, Table};
+use predsim::predsim_core::{collectives, Program};
+use predsim::prelude::*;
+
+fn total(prog: &Program, params: loggp::LogGpParams) -> Time {
+    simulate_program(prog, &SimOptions::new(SimConfig::new(params))).total
+}
+
+fn linear_broadcast_program(p: usize, bytes: usize) -> Program {
+    let mut prog = Program::new(p);
+    let mut pat = CommPattern::new(p);
+    for dst in 1..p {
+        pat.add(0, dst, bytes);
+    }
+    prog.push(predsim::predsim_core::Step::new("flat bcast").with_comm(pat));
+    prog
+}
+
+fn main() {
+    let bytes = 1024;
+
+    println!("== Broadcast of {bytes} B: linear vs binomial tree (us) ==");
+    let mut table = Table::new(["machine", "p", "linear", "binomial", "tree wins by"]);
+    for preset in presets::all(64) {
+        for p in [4usize, 16, 64] {
+            let params = preset.params.with_procs(p);
+            let lin = total(&linear_broadcast_program(p, bytes), params);
+            let tree = total(&collectives::binomial_broadcast(p, bytes), params);
+            table.row([
+                preset.name.to_string(),
+                p.to_string(),
+                us(lin),
+                us(tree),
+                format!("{:.2}x", lin.as_secs_f64() / tree.as_secs_f64().max(1e-30)),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+
+    println!("== All-reduce of {bytes} B with 5 us combine: tree vs recursive doubling (us) ==");
+    let combine = Time::from_us(5.0);
+    let mut table = Table::new(["machine", "p", "reduce+bcast", "recursive doubling"]);
+    for preset in presets::all(64) {
+        for p in [4usize, 16, 64] {
+            let params = preset.params.with_procs(p);
+            let tree = total(&collectives::all_reduce(p, bytes, combine), params);
+            let cube = total(&collectives::all_reduce_hypercube(p, bytes, combine), params);
+            table.row([preset.name.to_string(), p.to_string(), us(tree), us(cube)]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "recursive doubling halves the rounds but doubles per-round traffic; which wins\n\
+         depends on g vs G — exactly the trade-off the simulation settles per machine."
+    );
+}

@@ -1,0 +1,67 @@
+//! Reproduce the paper's headline use-case in miniature: sweep block sizes
+//! and layouts for blocked Gaussian elimination, pick the best
+//! configuration from the *predictions*, and verify the pick against the
+//! emulated machine.
+//!
+//! ```text
+//! cargo run --release --example gauss_sweep
+//! ```
+
+use predsim::predsim_core::report::{ms, Table};
+use predsim::predsim_core::search;
+use predsim::prelude::*;
+
+fn main() {
+    let n = 480;
+    let procs = 8;
+    let blocks: Vec<usize> =
+        gauss::PAPER_BLOCK_SIZES.iter().copied().filter(|b| n % b == 0).collect();
+    let cfg = SimConfig::new(presets::meiko_cs2(procs));
+    let cost = AnalyticCost::paper_default();
+
+    let layouts: Vec<Box<dyn Layout>> =
+        vec![Box::new(Diagonal::new(procs)), Box::new(RowCyclic::new(procs))];
+
+    let mut best: Option<(String, usize, Time)> = None;
+    for layout in &layouts {
+        println!("== {} layout, n={n}, P={procs} ==", layout.name());
+        let mut table = Table::new(["block", "predicted (ms)", "emulated (ms)", "error %"]);
+        for &b in &blocks {
+            let trace = gauss::generate(n, b, layout.as_ref(), &cost);
+            let pred = simulate_program(&trace.program, &SimOptions::new(cfg));
+            let meas = emulate(
+                &trace.program,
+                &trace.loads,
+                &EmulatorConfig::meiko_like(cfg),
+            );
+            table.row([
+                b.to_string(),
+                ms(pred.total),
+                ms(meas.prediction.total),
+                format!(
+                    "{:+.1}",
+                    (pred.total.as_secs_f64() / meas.prediction.total.as_secs_f64() - 1.0) * 100.0
+                ),
+            ]);
+            if best.as_ref().map(|(_, _, t)| pred.total < *t).unwrap_or(true) {
+                best = Some((layout.name(), b, pred.total));
+            }
+        }
+        println!("{}", table.render());
+    }
+
+    let (lname, lb, lt) = best.expect("non-empty sweep");
+    println!("prediction says: use the {lname} layout with B={lb} (predicted {lt})");
+
+    // The paper's future-work search, automated.
+    let diag = Diagonal::new(procs);
+    let result = search::hill_climb(&blocks, 4, |b| {
+        simulate_program(&gauss::generate(n, b, &diag, &cost).program, &SimOptions::new(cfg)).total
+    });
+    println!(
+        "hill-climb over the diagonal layout found B={} in {} evaluations (vs {} exhaustive)",
+        result.best,
+        result.evals(),
+        blocks.len()
+    );
+}

@@ -1,0 +1,51 @@
+//! Quickstart: simulate one communication step and one whole program.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use predsim::prelude::*;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. A single communication step under the LogGP model.
+    // ------------------------------------------------------------------
+    let pattern = patterns::figure3(); // the paper's sample pattern
+    let cfg = SimConfig::new(presets::meiko_cs2(pattern.procs()));
+
+    let std_run = standard::simulate(&pattern, &cfg);
+    let wc_run = worstcase::simulate(&pattern, &cfg);
+    println!("communication step ({} messages):", pattern.len());
+    println!("  standard algorithm:   {}", std_run.finish);
+    println!("  worst-case algorithm: {}", wc_run.finish);
+    println!("\n{}", commsim::gantt::render(&std_run.timeline, 90));
+
+    // ------------------------------------------------------------------
+    // 2. A whole program: blocked Gaussian elimination, predicted.
+    // ------------------------------------------------------------------
+    let procs = 8;
+    let layout = Diagonal::new(procs);
+    let cost = AnalyticCost::paper_default();
+    let trace = gauss::generate(480, 24, &layout, &cost);
+    let cfg = SimConfig::new(presets::meiko_cs2(procs));
+
+    let pred = simulate_program(&trace.program, &SimOptions::new(cfg));
+    println!("blocked GE, n=480, B=24, {} layout, P={procs}:", layout.name());
+    println!("  predicted total:        {}", pred.total);
+    println!("  predicted computation:  {}", pred.comp_time);
+    println!("  predicted communication:{}", pred.comm_time);
+    println!("  critical processor:     P{}", pred.critical_proc());
+
+    // ------------------------------------------------------------------
+    // 3. The same program "measured" on the emulated testbed.
+    // ------------------------------------------------------------------
+    let ecfg = EmulatorConfig::meiko_like(cfg);
+    let meas = emulate(&trace.program, &trace.loads, &ecfg);
+    println!("  emulated (measured):    {}", meas.prediction.total);
+    println!(
+        "  of which cache misses {} ({}), local copies {}, loop overhead {}",
+        meas.cache_misses, meas.cache_penalty_time, meas.self_copy_time, meas.iter_overhead_time
+    );
+    let err = (pred.total.as_secs_f64() / meas.prediction.total.as_secs_f64() - 1.0) * 100.0;
+    println!("  prediction error vs emulated machine: {err:+.1}%");
+}

@@ -1,0 +1,53 @@
+//! Strong-scaling analysis of the Jacobi stencil with the predictor: how
+//! does the predicted time change with the processor count, and where does
+//! halo-exchange communication start to dominate?
+//!
+//! ```text
+//! cargo run --release --example stencil_scaling
+//! ```
+
+use predsim::predsim_core::report::{ms, Table};
+use predsim::prelude::*;
+
+fn main() {
+    let n = 512;
+    let iters = 20;
+    let ps_per_flop = blockops::cost::DEFAULT_PS_PER_FLOP;
+
+    println!("== Jacobi stencil {n}x{n}, {iters} iterations ==");
+    let mut table = Table::new([
+        "procs",
+        "predicted (ms)",
+        "comp (ms)",
+        "comm (ms)",
+        "efficiency %",
+    ]);
+    let mut t1 = Time::ZERO;
+    for procs in [1usize, 2, 4, 8, 16, 32, 64] {
+        let trace = stencil::generate(n, procs, iters, ps_per_flop);
+        let cfg = SimConfig::new(presets::meiko_cs2(procs));
+        let pred = simulate_program(&trace.program, &SimOptions::new(cfg));
+        if procs == 1 {
+            t1 = pred.total;
+        }
+        let eff = t1.as_secs_f64() / (procs as f64 * pred.total.as_secs_f64()) * 100.0;
+        table.row([
+            procs.to_string(),
+            ms(pred.total),
+            ms(pred.comp_time),
+            ms(pred.comm_time),
+            format!("{eff:.1}"),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // Numeric validation: banded == reference.
+    let grid = Matrix::from_fn(64, 64, |i, _| if i == 0 { 100.0 } else { 0.0 });
+    let mut want = grid.clone();
+    for _ in 0..10 {
+        want = stencil::jacobi_reference(&want);
+    }
+    let got = stencil::jacobi_banded(&grid, 8, 10);
+    println!("numeric check (64x64, 8 bands, 10 iters): max |diff| = {:.2e}", got.max_abs_diff(&want));
+    assert!(got.approx_eq(&want, 1e-12));
+}

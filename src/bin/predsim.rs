@@ -1,0 +1,292 @@
+//! `predsim` — the command-line front end.
+//!
+//! ```text
+//! predsim presets                      list machine presets
+//! predsim simulate TRACE [options]     predict a text-format trace
+//! predsim gantt TRACE --step N         ASCII/SVG Gantt of one step
+//! predsim ge-sweep [options]           block-size sweep for blocked GE
+//! predsim fit CSV                      fit LogGP params from ping data
+//! ```
+//!
+//! Argument parsing is deliberately hand-rolled (the workspace carries no
+//! CLI dependency); see `predsim help` for the full usage text.
+
+use predsim::predsim_core::report::{secs, Table};
+use predsim::predsim_core::{search, textfmt};
+use predsim::prelude::*;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+predsim — trace-driven LogGP running-time prediction (Rugina & Schauser, IPPS'98)
+
+USAGE:
+  predsim presets
+      List the built-in machine presets.
+
+  predsim simulate TRACE [--machine NAME] [--worst-case] [--barrier] [--overlap]
+                         [--classic-gap]
+      Parse a text-format trace (see predsim_core::textfmt) and predict it.
+
+  predsim gantt TRACE --step N [--machine NAME] [--svg FILE] [--worst-case]
+      Render the send/receive schedule of step N (1-based) of the trace.
+
+  predsim ge-sweep [--n N] [--procs P] [--machine NAME] [--layout L] [--blocks A,B,...]
+      Sweep block sizes for blocked Gaussian elimination and report the
+      predicted optimum (layouts: diagonal, row, col; default n=960 P=8).
+
+  predsim fit FILE
+      Least-squares fit of LogGP G and 2o+L from 'bytes,microseconds'
+      lines (comments with '#').
+
+Machines: meiko (default), paragon, myrinet, ethernet, ideal.
+";
+
+fn machine(name: &str, procs: usize) -> Result<loggp::LogGpParams, String> {
+    Ok(match name {
+        "meiko" => presets::meiko_cs2(procs),
+        "paragon" => presets::intel_paragon(procs),
+        "myrinet" => presets::myrinet_cluster(procs),
+        "ethernet" => presets::ethernet_cluster(procs),
+        "ideal" => presets::ideal(procs),
+        other => return Err(format!("unknown machine '{other}'")),
+    })
+}
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = it
+                    .peek()
+                    .filter(|v| !v.starts_with("--"))
+                    .map(|v| (*v).clone());
+                if value.is_some() {
+                    it.next();
+                }
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+}
+
+fn cmd_presets() -> Result<(), String> {
+    let mut t = Table::new(["name", "L (us)", "o (us)", "g (us)", "G (us/B)", "bandwidth"]);
+    for preset in presets::all(8) {
+        let p = preset.params;
+        let bw = p.bandwidth_bytes_per_sec();
+        t.row([
+            preset.name.to_string(),
+            format!("{:.2}", p.latency.as_us_f64()),
+            format!("{:.2}", p.overhead.as_us_f64()),
+            format!("{:.2}", p.gap.as_us_f64()),
+            format!("{:.3}", p.gap_per_byte.as_us_f64()),
+            if bw.is_finite() { format!("{:.1} MB/s", bw / 1e6) } else { "inf".into() },
+        ]);
+    }
+    println!("{}", t.render());
+    Ok(())
+}
+
+fn load_trace(path: &str) -> Result<predsim::predsim_core::Program, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    textfmt::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn sim_options(args: &Args, procs: usize) -> Result<SimOptions, String> {
+    let params = machine(args.value("machine").unwrap_or("meiko"), procs)?;
+    let mut opts = SimOptions::new(SimConfig::new(params));
+    if args.flag("worst-case") {
+        opts = opts.worst_case();
+    }
+    if args.flag("barrier") {
+        opts = opts.with_barrier();
+    }
+    if args.flag("overlap") {
+        opts = opts.with_overlap();
+    }
+    if args.flag("classic-gap") {
+        opts.cfg = opts.cfg.with_classic_gap_rule();
+    }
+    Ok(opts)
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("simulate: missing TRACE file")?;
+    let prog = load_trace(path)?;
+    let opts = sim_options(args, prog.procs())?;
+    let pred = simulate_program(&prog, &opts);
+    println!("machine: {}", opts.cfg.params);
+    println!("{}", pred.summary());
+    println!("\n{}", pred.per_proc_table());
+    let slow = pred.slowest_comm_steps(5);
+    if !slow.is_empty() {
+        println!("slowest communication steps:");
+        for (label, span) in slow {
+            println!("  {label}: {span}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_gantt(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("gantt: missing TRACE file")?;
+    let step_no: usize = args
+        .value("step")
+        .ok_or("gantt: missing --step N")?
+        .parse()
+        .map_err(|e| format!("bad --step: {e}"))?;
+    let prog = load_trace(path)?;
+    let step = prog
+        .steps()
+        .get(step_no.checked_sub(1).ok_or("--step is 1-based")?)
+        .ok_or_else(|| format!("trace has {} steps", prog.len()))?;
+    if step.comm.is_empty() {
+        return Err(format!("step {step_no} ('{}') has no communication", step.label));
+    }
+    let opts = sim_options(args, prog.procs())?;
+    let result = if args.flag("worst-case") {
+        worstcase::simulate(&step.comm, &opts.cfg)
+    } else {
+        standard::simulate(&step.comm, &opts.cfg)
+    };
+    if let Some(file) = args.value("svg") {
+        std::fs::write(file, commsim::gantt::render_svg(&result.timeline, 800))
+            .map_err(|e| format!("writing {file}: {e}"))?;
+        println!("wrote {file}");
+    } else {
+        print!("{}", commsim::gantt::render(&result.timeline, 100));
+    }
+    Ok(())
+}
+
+fn cmd_ge_sweep(args: &Args) -> Result<(), String> {
+    let n: usize =
+        args.value("n").unwrap_or("960").parse().map_err(|e| format!("bad --n: {e}"))?;
+    let procs: usize =
+        args.value("procs").unwrap_or("8").parse().map_err(|e| format!("bad --procs: {e}"))?;
+    let layout: Box<dyn Layout> = match args.value("layout").unwrap_or("diagonal") {
+        "diagonal" => Box::new(Diagonal::new(procs)),
+        "row" => Box::new(RowCyclic::new(procs)),
+        "col" => Box::new(ColCyclic::new(procs)),
+        other => return Err(format!("unknown layout '{other}'")),
+    };
+    let blocks: Vec<usize> = match args.value("blocks") {
+        Some(s) => s
+            .split(',')
+            .map(|t| t.trim().parse().map_err(|e| format!("bad block '{t}': {e}")))
+            .collect::<Result<_, _>>()?,
+        None => gauss::PAPER_BLOCK_SIZES.iter().copied().filter(|b| n.is_multiple_of(*b)).collect(),
+    };
+    if blocks.is_empty() {
+        return Err("no candidate block sizes divide n".into());
+    }
+    for &b in &blocks {
+        if !n.is_multiple_of(b) {
+            return Err(format!("block {b} does not divide n={n}"));
+        }
+    }
+    let params = machine(args.value("machine").unwrap_or("meiko"), procs)?;
+    let cfg = SimConfig::new(params);
+    let cost = AnalyticCost::paper_default();
+
+    println!("blocked GE, n={n}, {} layout, P={procs}, {}", layout.name(), params);
+    let mut table = Table::new(["block", "predicted (s)", "comp (s)", "comm (s)"]);
+    let result = search::sweep(&blocks, |b| {
+        let trace = gauss::generate(n, b, layout.as_ref(), &cost);
+        let pred = simulate_program(&trace.program, &SimOptions::new(cfg));
+        table.row([
+            b.to_string(),
+            secs(pred.total),
+            secs(pred.comp_time),
+            secs(pred.comm_time),
+        ]);
+        pred.total
+    });
+    println!("{}", table.render());
+    println!("predicted optimum: B={} at {} s", result.best, secs(result.best_time));
+    Ok(())
+}
+
+fn cmd_fit(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("fit: missing data file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut samples = Vec::new();
+    for (no, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (b, t) = line
+            .split_once(',')
+            .ok_or_else(|| format!("line {}: expected 'bytes,us'", no + 1))?;
+        let bytes: usize =
+            b.trim().parse().map_err(|e| format!("line {}: {e}", no + 1))?;
+        let us: f64 = t.trim().parse().map_err(|e| format!("line {}: {e}", no + 1))?;
+        samples.push((bytes, Time::from_us(us)));
+    }
+    if samples.len() < 2 {
+        return Err("need at least two samples".into());
+    }
+    let fit = loggp::fit::fit_point_to_point(&samples);
+    println!("samples: {}", samples.len());
+    println!("fitted G        : {:.4} us/byte", fit.gap_per_byte.as_us_f64());
+    println!("fitted 2o + L   : {} ", fit.endpoint);
+    println!("rms residual    : {}", fit.rms_residual);
+    println!(
+        "(supply o and g from CPU-occupancy / burst measurements, then\n loggp::fit::assemble builds the full parameter set)"
+    );
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = raw.first() else {
+        print!("{USAGE}");
+        return Ok(());
+    };
+    let args = Args::parse(&raw[1..]);
+    match cmd.as_str() {
+        "presets" => cmd_presets(),
+        "simulate" => cmd_simulate(&args),
+        "gantt" => cmd_gantt(&args),
+        "ge-sweep" => cmd_ge_sweep(&args),
+        "fit" => cmd_fit(&args),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Integration tests for the `predsim` CLI binary.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_predsim"))
+}
+
+fn tmp_file(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("predsim-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+const TRACE: &str = "\
+program procs=2
+step label=work
+comp 100 50
+step label=ship
+msg 0 1 2048
+";
+
+#[test]
+fn no_args_prints_usage() {
+    let out = bin().output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"), "{text}");
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = bin().arg("bogus").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn presets_lists_machines() {
+    let out = bin().arg("presets").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["Meiko CS-2", "Intel Paragon", "ideal"] {
+        assert!(text.contains(name), "{text}");
+    }
+}
+
+#[test]
+fn simulate_reports_prediction() {
+    let path = tmp_file("trace.txt", TRACE);
+    let out = bin().args(["simulate", path.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("total"), "{text}");
+    assert!(text.contains("P0") && text.contains("P1"));
+    assert!(text.contains("slowest communication steps"));
+}
+
+#[test]
+fn simulate_flags_change_results() {
+    let path = tmp_file("trace2.txt", TRACE);
+    let run = |extra: &[&str]| {
+        let mut cmd = bin();
+        cmd.args(["simulate", path.to_str().unwrap(), "--machine", "ethernet"]);
+        cmd.args(extra);
+        let out = cmd.output().unwrap();
+        assert!(out.status.success());
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let normal = run(&[]);
+    let worst = run(&["--worst-case"]);
+    // Same trace, same machine, potentially different schedules — at
+    // minimum both must report a total and the machine name.
+    assert!(normal.contains("L=100.000us"));
+    assert!(worst.contains("total"));
+}
+
+#[test]
+fn classic_gap_flag_changes_prediction() {
+    // A trace where one processor alternates receive/send: the extended
+    // rule inserts a gap the classic rule does not.
+    let trace = "program procs=3\nstep label=relay\nmsg 0 1 1\nmsg 1 2 1\nstep label=relay2\nmsg 0 1 1\nmsg 1 2 1\n";
+    let path = tmp_file("relay.txt", trace);
+    let run = |extra: &[&str]| {
+        let mut cmd = bin();
+        cmd.args(["simulate", path.to_str().unwrap()]);
+        cmd.args(extra);
+        let out = cmd.output().unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .find(|l| l.contains("total"))
+            .unwrap()
+            .to_string()
+    };
+    let extended = run(&[]);
+    let classic = run(&["--classic-gap"]);
+    assert_ne!(extended, classic, "gap rule must change the relay chain's total");
+}
+
+#[test]
+fn simulate_rejects_bad_trace() {
+    let path = tmp_file("bad.txt", "step label=x\n");
+    let out = bin().args(["simulate", path.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("'step' before"));
+}
+
+#[test]
+fn gantt_renders_ascii_and_svg() {
+    let path = tmp_file("trace3.txt", TRACE);
+    let out = bin()
+        .args(["gantt", path.to_str().unwrap(), "--step", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("completion:"), "{text}");
+
+    let svg_path = tmp_file("out.svg", "");
+    let out = bin()
+        .args([
+            "gantt",
+            path.to_str().unwrap(),
+            "--step",
+            "2",
+            "--svg",
+            svg_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let svg = std::fs::read_to_string(&svg_path).unwrap();
+    assert!(svg.starts_with("<svg"));
+}
+
+#[test]
+fn gantt_rejects_computation_only_step() {
+    let path = tmp_file("trace4.txt", TRACE);
+    let out = bin()
+        .args(["gantt", path.to_str().unwrap(), "--step", "1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no communication"));
+}
+
+#[test]
+fn ge_sweep_finds_optimum() {
+    let out = bin()
+        .args(["ge-sweep", "--n", "120", "--procs", "4", "--blocks", "10,20,40"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("predicted optimum: B="), "{text}");
+}
+
+#[test]
+fn ge_sweep_rejects_nondividing_blocks() {
+    let out = bin()
+        .args(["ge-sweep", "--n", "100", "--blocks", "7"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("does not divide"));
+}
+
+#[test]
+fn fit_recovers_parameters() {
+    // Synthetic Meiko samples: T(k) = 2o + L + (k-1)G = 21 - 0.03 + 0.03k us.
+    let mut data = String::from("# bytes,us\n");
+    for k in [64usize, 256, 1024, 4096] {
+        let t = 21.0 - 0.03 + 0.03 * k as f64;
+        data.push_str(&format!("{k},{t}\n"));
+    }
+    let path = tmp_file("ping.csv", &data);
+    let out = bin().args(["fit", path.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("0.0300 us/byte"), "{text}");
+    assert!(text.contains("21.000us"), "{text}");
+}

@@ -1,0 +1,131 @@
+//! Cross-crate integration tests: the full pipeline from application trace
+//! through prediction and emulation, for all three applications.
+
+use predsim::prelude::*;
+
+/// Blocked GE: trace → predict → emulate, plus the real threaded execution
+/// agreeing with the sequential factorization.
+#[test]
+fn gauss_full_pipeline() {
+    let procs = 4;
+    let (n, b) = (48, 8);
+    let layout = Diagonal::new(procs);
+    let cost = AnalyticCost::paper_default();
+    let trace = gauss::generate(n, b, &layout, &cost);
+    let cfg = SimConfig::new(presets::meiko_cs2(procs));
+
+    let pred = simulate_program(&trace.program, &SimOptions::new(cfg));
+    assert!(pred.total > pred.comp_time);
+    assert!(pred.comp_time > Time::ZERO);
+
+    let meas = emulate(
+        &trace.program,
+        &trace.loads,
+        &EmulatorConfig::meiko_like(cfg),
+    );
+    assert!(meas.prediction.total >= pred.comp_time);
+    assert!(meas.cache_misses > 0);
+
+    // Real parallel execution validates the schedule numerically.
+    let a = Matrix::random_diag_dominant(n, 42);
+    let run = gauss::parallel::factorize(&a, b, &layout);
+    let mut want = a.clone();
+    predsim::blockops::lu::lu_in_place(&mut want).unwrap();
+    assert!(run.factored.approx_eq(&want, 1e-7));
+}
+
+/// The prediction is invariant to which equivalent machine representation
+/// runs it, and deterministic end to end.
+#[test]
+fn gauss_prediction_deterministic() {
+    let layout = RowCyclic::new(4);
+    let cost = AnalyticCost::paper_default();
+    let cfg = SimConfig::new(presets::meiko_cs2(4));
+    let t1 = {
+        let trace = gauss::generate(60, 10, &layout, &cost);
+        simulate_program(&trace.program, &SimOptions::new(cfg)).total
+    };
+    let t2 = {
+        let trace = gauss::generate(60, 10, &layout, &cost);
+        simulate_program(&trace.program, &SimOptions::new(cfg)).total
+    };
+    assert_eq!(t1, t2);
+}
+
+/// Cannon: the worst-case algorithm survives the cyclic shifts (deadlock
+/// breaking) and still upper-bounds the standard prediction end to end.
+#[test]
+fn cannon_cyclic_pipeline() {
+    let cost = AnalyticCost::paper_default();
+    let trace = cannon::generate(48, 4, &cost);
+    let cfg = SimConfig::new(presets::meiko_cs2(16));
+    let st = simulate_program(&trace.program, &SimOptions::new(cfg));
+    let wc = simulate_program(&trace.program, &SimOptions::new(cfg).worst_case());
+    assert!(wc.forced_sends > 0, "shifts are cyclic");
+    assert!(wc.total >= st.total);
+
+    let meas = emulate(
+        &trace.program,
+        &trace.loads,
+        &EmulatorConfig::meiko_like(cfg),
+    );
+    // Local skew copies are charged by the emulator.
+    assert!(meas.self_copy_time > Time::ZERO);
+}
+
+/// Stencil: prediction, emulation and numerics in one pass; more
+/// processors means less predicted time until communication dominates.
+#[test]
+fn stencil_pipeline_and_scaling() {
+    let ps = blockops::cost::DEFAULT_PS_PER_FLOP;
+    let t = |procs: usize| {
+        let trace = stencil::generate(128, procs, 4, ps);
+        let cfg = SimConfig::new(presets::meiko_cs2(procs));
+        simulate_program(&trace.program, &SimOptions::new(cfg)).total
+    };
+    assert!(t(2) < t(1));
+    assert!(t(8) < t(2));
+
+    let trace = stencil::generate(64, 4, 3, ps);
+    let cfg = SimConfig::new(presets::meiko_cs2(4));
+    let meas = emulate(
+        &trace.program,
+        &trace.loads,
+        &EmulatorConfig::meiko_like(cfg),
+    );
+    assert!(meas.prediction.total > Time::ZERO);
+}
+
+/// The facade's prelude suffices for the README quickstart.
+#[test]
+fn prelude_compiles_quickstart() {
+    let layout = Diagonal::new(8);
+    let trace = gauss::generate(240, 24, &layout, &AnalyticCost::paper_default());
+    let cfg = SimConfig::new(presets::meiko_cs2(8));
+    let prediction = simulate_program(&trace.program, &SimOptions::new(cfg));
+    assert!(prediction.total > Time::ZERO);
+}
+
+/// Every communication step of every application's trace passes the
+/// independent LogGP validator under the standard algorithm.
+#[test]
+fn all_app_patterns_validate() {
+    let cost = AnalyticCost::paper_default();
+    let mut programs = vec![
+        gauss::generate(48, 8, &Diagonal::new(4), &cost).program,
+        gauss::generate(48, 8, &RowCyclic::new(4), &cost).program,
+        cannon::generate(24, 2, &cost).program,
+    ];
+    programs.push(stencil::generate(32, 4, 2, 25_000).program);
+    for prog in &programs {
+        let cfg = SimConfig::new(presets::meiko_cs2(prog.procs()));
+        for step in prog.steps() {
+            if step.comm.is_empty() {
+                continue;
+            }
+            let r = standard::simulate(&step.comm, &cfg);
+            commsim::validate::validate(&step.comm, &cfg, &r.timeline)
+                .unwrap_or_else(|e| panic!("step '{}': {e:?}", step.label));
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Integration tests for the extension features: variable-sized blocks,
+//! collectives, the BSP baseline, the APSP application, the text trace
+//! format and the L2 cache — everything built beyond the paper's core.
+
+use predsim::apsp;
+use predsim::predsim_core::{bsp, collectives, search, textfmt};
+use predsim::prelude::*;
+
+/// Variable blocks (§7): a generated GE trace with a graded partition
+/// predicts, emulates, and its uniform special case matches the uniform
+/// generator's prediction exactly.
+#[test]
+fn variable_blocks_end_to_end() {
+    use predsim::gauss::varblock;
+    let procs = 4;
+    let n = 120;
+    let layout = Diagonal::new(procs);
+    let cost = AnalyticCost::paper_default();
+    let cfg = SimConfig::new(presets::meiko_cs2(procs));
+
+    let graded = varblock::graded_partition(n, 12, 1.25, 8);
+    assert_eq!(graded.iter().sum::<usize>(), n);
+    let var = varblock::generate_var(n, &graded, &layout, &cost);
+    let pred = simulate_program(&var.program, &SimOptions::new(cfg));
+    assert!(pred.total > Time::ZERO);
+    let meas = emulate(&var.program, &var.loads, &EmulatorConfig::meiko_like(cfg));
+    assert!(meas.prediction.total >= pred.comp_time);
+
+    // Uniform partition == uniform generator.
+    let via_var = varblock::generate_var(n, &varblock::uniform_partition(20, 6), &layout, &cost);
+    let via_uni = gauss::generate(n, 20, &layout, &cost);
+    assert_eq!(
+        simulate_program(&via_var.program, &SimOptions::new(cfg)).total,
+        simulate_program(&via_uni.program, &SimOptions::new(cfg)).total
+    );
+
+    // And the numerics of the variable-block factorization hold.
+    let a = Matrix::random_diag_dominant(n, 9);
+    let mut var_fact = a.clone();
+    predsim::blockops::ops::blocked_lu_in_place_var(&mut var_fact, &graded).unwrap();
+    let mut want = a.clone();
+    predsim::blockops::lu::lu_in_place(&mut want).unwrap();
+    assert!(var_fact.approx_eq(&want, 1e-6));
+}
+
+/// Collectives: the program-level binomial broadcast agrees with the
+/// closed-form recursion on every machine preset.
+#[test]
+fn collectives_match_closed_forms() {
+    for preset in presets::all(16) {
+        if preset.params.gap < preset.params.overhead {
+            continue;
+        }
+        let prog = collectives::binomial_broadcast(16, 512);
+        let cfg = SimConfig::new(preset.params);
+        let sim = simulate_program(&prog, &SimOptions::new(cfg)).total;
+        let formula = commsim::formulas::binomial_broadcast(&preset.params, 16, 512);
+        assert_eq!(sim, formula, "{}", preset.name);
+    }
+}
+
+/// BSP baseline: predicts the same GE trace, differently — and the LogGP
+/// simulation is the closer one to the emulated machine.
+#[test]
+fn bsp_baseline_less_accurate_than_simulation() {
+    let procs = 8;
+    let layout = Diagonal::new(procs);
+    let cfg = SimConfig::new(presets::meiko_cs2(procs));
+    let trace = gauss::generate(240, 24, &layout, &AnalyticCost::paper_default());
+    let meas = emulate(&trace.program, &trace.loads, &EmulatorConfig::meiko_like(cfg))
+        .prediction
+        .total
+        .as_secs_f64();
+    let sim = simulate_program(&trace.program, &SimOptions::new(cfg)).total.as_secs_f64();
+    let bsp = bsp::predict(&trace.program, &bsp::BspParams::from_loggp(&cfg.params))
+        .total
+        .as_secs_f64();
+    let sim_err = (sim / meas - 1.0).abs();
+    let bsp_err = (bsp / meas - 1.0).abs();
+    assert!(
+        sim_err < bsp_err,
+        "simulation error {sim_err:.3} should beat BSP error {bsp_err:.3}"
+    );
+}
+
+/// APSP: trace → prediction → emulation → threaded execution, all
+/// consistent.
+#[test]
+fn apsp_end_to_end() {
+    let procs = 4;
+    let (n, b) = (48, 8);
+    let layout = Diagonal::new(procs);
+    let trace = apsp::generate(n, b, &layout, &AnalyticCost::paper_default());
+    let cfg = SimConfig::new(presets::meiko_cs2(procs));
+    let pred = simulate_program(&trace.program, &SimOptions::new(cfg));
+    assert!(pred.total > pred.comp_time);
+    let meas = emulate(&trace.program, &trace.loads, &EmulatorConfig::meiko_like(cfg));
+    assert!(meas.prediction.total > pred.comp_time);
+
+    // Threaded solve matches classical Floyd-Warshall.
+    let g = apsp::random_digraph(n, 0.2, 11);
+    let got = apsp::parallel::solve(&g, b, &layout);
+    let mut want = g.clone();
+    apsp::floyd_warshall_in_place(&mut want);
+    for i in 0..n {
+        for j in 0..n {
+            let (x, y) = (got[(i, j)], want[(i, j)]);
+            assert!((x.is_infinite() && y.is_infinite()) || (x - y).abs() < 1e-9);
+        }
+    }
+}
+
+/// Text format: a *generated* trace (not a toy) survives the round trip
+/// with its prediction intact.
+#[test]
+fn textfmt_roundtrips_generated_traces() {
+    let procs = 4;
+    let layout = RowCyclic::new(procs);
+    let trace = gauss::generate(60, 10, &layout, &AnalyticCost::paper_default());
+    let text = textfmt::dump(&trace.program);
+    let back = textfmt::parse(&text).unwrap();
+    let cfg = SimOptions::new(SimConfig::new(presets::meiko_cs2(procs)));
+    assert_eq!(
+        simulate_program(&back, &cfg).total,
+        simulate_program(&trace.program, &cfg).total
+    );
+}
+
+/// The search heuristic finds the same optimum as the exhaustive sweep on
+/// the paper's workload at reduced scale, in fewer evaluations.
+#[test]
+fn hill_climb_matches_sweep_on_ge() {
+    let procs = 8;
+    let n = 240;
+    let layout = Diagonal::new(procs);
+    let cfg = SimConfig::new(presets::meiko_cs2(procs));
+    let blocks: Vec<usize> =
+        [10, 12, 15, 20, 24, 30, 40, 60].iter().copied().filter(|b| n % b == 0).collect();
+    let eval = |b: usize| {
+        simulate_program(
+            &gauss::generate(n, b, &layout, &AnalyticCost::paper_default()).program,
+            &SimOptions::new(cfg),
+        )
+        .total
+    };
+    let full = search::sweep(&blocks, eval);
+    let hc = search::hill_climb(&blocks, 4, eval);
+    assert!(hc.evals() <= full.evals());
+    // Local search may stop at a local optimum; on this workload the curve
+    // is unimodal over the candidates, so it must match.
+    assert_eq!(hc.best, full.best);
+}
+
+/// L2 cache extension: adding a large L2 can only reduce the emulated
+/// total (same L1, strictly fewer memory fills).
+#[test]
+fn l2_cache_never_hurts() {
+    let procs = 4;
+    let layout = Diagonal::new(procs);
+    let trace = gauss::generate(120, 10, &layout, &AnalyticCost::paper_default());
+    let cfg = SimConfig::new(presets::meiko_cs2(procs));
+    let base = EmulatorConfig::meiko_like(cfg);
+    let with_l2 = base.clone().with_l2(2 * 1024 * 1024, base.cache.unwrap().miss_penalty);
+    let a = emulate(&trace.program, &trace.loads, &base);
+    let b = emulate(&trace.program, &trace.loads, &with_l2);
+    assert!(b.prediction.total <= a.prediction.total);
+    assert!(b.cache_misses <= a.cache_misses);
+}
