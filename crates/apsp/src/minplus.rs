@@ -82,7 +82,10 @@ pub fn floyd_warshall_in_place(d: &mut Matrix) {
 pub fn blocked_fw_in_place(d: &mut Matrix, b: usize) {
     assert!(d.is_square(), "distance matrices are square");
     let n = d.rows();
-    assert!(b > 0 && n.is_multiple_of(b), "block size {b} must divide the matrix size {n}");
+    assert!(
+        b > 0 && n.is_multiple_of(b),
+        "block size {b} must divide the matrix size {n}"
+    );
     let nb = n / b;
     for i in 0..n {
         if d[(i, i)] > 0.0 {
@@ -189,11 +192,7 @@ mod tests {
     #[test]
     fn fw_hand_checked_graph() {
         // 0 -> 1 (1), 1 -> 2 (2), 0 -> 2 (10): shortest 0->2 is 3.
-        let mut d = Matrix::from_rows(
-            3,
-            3,
-            &[0.0, 1.0, 10.0, INF, 0.0, 2.0, INF, INF, 0.0],
-        );
+        let mut d = Matrix::from_rows(3, 3, &[0.0, 1.0, 10.0, INF, 0.0, 2.0, INF, INF, 0.0]);
         floyd_warshall_in_place(&mut d);
         assert_eq!(d[(0, 2)], 3.0);
         assert_eq!(d[(1, 2)], 2.0);

@@ -40,7 +40,10 @@ impl Worker {
             if let Some(m) = self.cache.remove(&key) {
                 return m;
             }
-            let msg = self.rx.recv().expect("peer hung up while blocks were pending");
+            let msg = self
+                .rx
+                .recv()
+                .expect("peer hung up while blocks were pending");
             let (k, m) = match msg {
                 BlockMsg::Diag(k, m) => (Key::Diag(k), m),
                 BlockMsg::Row(k, j, m) => (Key::Row(k, j), m),
@@ -84,10 +87,12 @@ impl Worker {
             }
 
             // Panels I own.
-            let my_rows: Vec<usize> =
-                (0..nb).filter(|&t| t != k && layout.owner(k, t) == self.me).collect();
-            let my_cols: Vec<usize> =
-                (0..nb).filter(|&t| t != k && layout.owner(t, k) == self.me).collect();
+            let my_rows: Vec<usize> = (0..nb)
+                .filter(|&t| t != k && layout.owner(k, t) == self.me)
+                .collect();
+            let my_cols: Vec<usize> = (0..nb)
+                .filter(|&t| t != k && layout.owner(t, k) == self.me)
+                .collect();
             if !my_rows.is_empty() || !my_cols.is_empty() {
                 let diag = self.wait_for(Key::Diag(k));
                 for t in my_rows {
@@ -123,10 +128,14 @@ impl Worker {
             need_rows.dedup();
             need_cols.sort_unstable();
             need_cols.dedup();
-            let rows: HashMap<usize, Matrix> =
-                need_rows.into_iter().map(|j| (j, self.wait_for(Key::Row(k, j)))).collect();
-            let cols: HashMap<usize, Matrix> =
-                need_cols.into_iter().map(|i| (i, self.wait_for(Key::Col(k, i)))).collect();
+            let rows: HashMap<usize, Matrix> = need_rows
+                .into_iter()
+                .map(|j| (j, self.wait_for(Key::Row(k, j))))
+                .collect();
+            let cols: HashMap<usize, Matrix> = need_cols
+                .into_iter()
+                .map(|i| (i, self.wait_for(Key::Col(k, i))))
+                .collect();
             for i in 0..nb {
                 for j in 0..nb {
                     if i != k && j != k && layout.owner(i, j) == self.me {
@@ -148,7 +157,10 @@ impl Worker {
 pub fn solve(d: &Matrix, b: usize, layout: &dyn Layout) -> Matrix {
     assert!(d.is_square(), "distance matrices are square");
     let n = d.rows();
-    assert!(b > 0 && n.is_multiple_of(b), "block size {b} must divide the matrix size {n}");
+    assert!(
+        b > 0 && n.is_multiple_of(b),
+        "block size {b} must divide the matrix size {n}"
+    );
     let nb = n / b;
     let procs = layout.procs();
 
@@ -177,7 +189,14 @@ pub fn solve(d: &Matrix, b: usize, layout: &dyn Layout) -> Matrix {
         for (me, (blocks, rx)) in partitions.drain(..).zip(rxs).enumerate() {
             let txs = txs.clone();
             handles.push(scope.spawn(move |_| {
-                let mut w = Worker { me, nb, rx, txs, blocks, cache: HashMap::new() };
+                let mut w = Worker {
+                    me,
+                    nb,
+                    rx,
+                    txs,
+                    blocks,
+                    cache: HashMap::new(),
+                };
                 w.run(layout);
                 w.blocks
             }));

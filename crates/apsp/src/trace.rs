@@ -48,7 +48,10 @@ impl ApspProgram {
 /// # Panics
 /// Panics if `b` does not divide `n`.
 pub fn generate(n: usize, b: usize, layout: &dyn Layout, cost: &dyn CostModel) -> ApspProgram {
-    assert!(b > 0 && n.is_multiple_of(b), "block size {b} must divide the matrix size {n}");
+    assert!(
+        b > 0 && n.is_multiple_of(b),
+        "block size {b} must divide the matrix size {n}"
+    );
     let nb = n / b;
     let procs = layout.procs();
     assert!(procs > 0);
@@ -79,7 +82,11 @@ pub fn generate(n: usize, b: usize, layout: &dyn Layout, cost: &dyn CostModel) -
         for dst in dsts {
             pat.add(p_diag, dst, block_bytes);
         }
-        program.push(Step::new(format!("closure {k}")).with_comp(comp).with_comm(pat));
+        program.push(
+            Step::new(format!("closure {k}"))
+                .with_comp(comp)
+                .with_comm(pat),
+        );
         loads.push(load);
 
         // --- panel step ----------------------------------------------------
@@ -112,7 +119,11 @@ pub fn generate(n: usize, b: usize, layout: &dyn Layout, cost: &dyn CostModel) -
                 pat.add(pc, dst, block_bytes);
             }
         }
-        program.push(Step::new(format!("panels {k}")).with_comp(comp).with_comm(pat));
+        program.push(
+            Step::new(format!("panels {k}"))
+                .with_comp(comp)
+                .with_comm(pat),
+        );
         loads.push(load);
 
         // --- interior step ---------------------------------------------------
@@ -138,7 +149,14 @@ pub fn generate(n: usize, b: usize, layout: &dyn Layout, cost: &dyn CostModel) -
         loads.push(load);
     }
 
-    ApspProgram { program, loads, n, block: b, nb, procs }
+    ApspProgram {
+        program,
+        loads,
+        n,
+        block: b,
+        nb,
+        procs,
+    }
 }
 
 #[cfg(test)]
@@ -204,23 +222,14 @@ mod tests {
         let cost = AnalyticCost::paper_default();
         let layout = Diagonal::new(procs);
         let fw = simulate_program(&gen(48, 8, procs).program, &SimOptions::new(cfg)).total;
-        let lu = simulate_program(
-            &gauss_like(48, 8, &layout, &cost),
-            &SimOptions::new(cfg),
-        )
-        .total;
+        let lu = simulate_program(&gauss_like(48, 8, &layout, &cost), &SimOptions::new(cfg)).total;
         assert!(fw > lu, "fw {fw} <= lu {lu}");
     }
 
     // Local helper to avoid a dev-dependency on the gauss crate: an
     // LU-shaped lower bound — the APSP program minus the work of the
     // blocks left of/above the pivot. Simpler: compare total computation.
-    fn gauss_like(
-        n: usize,
-        b: usize,
-        layout: &dyn Layout,
-        cost: &dyn CostModel,
-    ) -> Program {
+    fn gauss_like(n: usize, b: usize, layout: &dyn Layout, cost: &dyn CostModel) -> Program {
         // Rebuild a shrinking-interior analogue of the generator above.
         let nb = n / b;
         let procs = layout.procs();

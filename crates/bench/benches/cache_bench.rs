@@ -53,7 +53,7 @@ fn fast() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(1))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = fast();
     targets = bench_cache

@@ -62,7 +62,7 @@ fn fast() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(1))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = fast();
     targets = bench_standard, bench_worstcase, bench_figure3

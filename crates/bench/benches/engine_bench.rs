@@ -1,0 +1,64 @@
+//! Criterion benchmark of the batch-prediction engine: the same job grid
+//! executed sequentially, on all cores, and with/without the step-pattern
+//! memo cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use loggp::presets;
+use predsim_engine::{Engine, EngineConfig, Grid, JobSource, JobSpec, LayoutSpec};
+
+fn grid() -> Vec<JobSpec> {
+    let n = 240;
+    let mut g = Grid::new();
+    for &b in gauss::PAPER_BLOCK_SIZES.iter().filter(|b| n % **b == 0) {
+        g = g.source(
+            format!("ge B={b}"),
+            JobSource::Gauss {
+                n,
+                block: b,
+                layout: LayoutSpec::Diagonal(8),
+            },
+        );
+    }
+    g.source(
+        "stencil",
+        JobSource::Stencil {
+            n: 128,
+            procs: 4,
+            iters: 60,
+            ps_per_flop: 500,
+        },
+    )
+    .source("cannon", JobSource::Cannon { n: 240, q: 4 })
+    .machine("meiko", presets::meiko_cs2(8))
+    .build()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let jobs = grid();
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut group = c.benchmark_group("engine");
+    group.throughput(Throughput::Elements(jobs.len() as u64));
+    for (name, config) in [
+        (
+            "seq/no-memo",
+            EngineConfig::default().with_jobs(1).with_memo(false),
+        ),
+        ("seq/memo", EngineConfig::default().with_jobs(1)),
+        ("par/no-memo", EngineConfig::default().with_memo(false)),
+        ("par/memo", EngineConfig::default()),
+    ] {
+        group.bench_function(BenchmarkId::new(name, cpus), |b| {
+            b.iter(|| {
+                // A fresh engine per iteration: the memo variants measure
+                // cold-cache cost, the realistic single-sweep scenario.
+                std::hint::black_box(Engine::new(config).run(&jobs))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

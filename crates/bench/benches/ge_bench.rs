@@ -32,7 +32,10 @@ fn bench_simulation(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("worstcase_n960", b), &trace, |bench, t| {
             bench.iter(|| {
-                black_box(simulate_program(&t.program, &SimOptions::new(cfg).worst_case()))
+                black_box(simulate_program(
+                    &t.program,
+                    &SimOptions::new(cfg).worst_case(),
+                ))
             })
         });
     }
@@ -46,9 +49,11 @@ fn bench_emulation(c: &mut Criterion) {
     for b in [48usize, 96] {
         let trace = trace_for(480, b, &layout);
         let ecfg = EmulatorConfig::meiko_like(cfg);
-        group.bench_with_input(BenchmarkId::new("with_cache_n480", b), &trace, |bench, t| {
-            bench.iter(|| black_box(emulate(&t.program, &t.loads, &ecfg)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("with_cache_n480", b),
+            &trace,
+            |bench, t| bench.iter(|| black_box(emulate(&t.program, &t.loads, &ecfg))),
+        );
     }
     group.finish();
 }
@@ -62,7 +67,7 @@ fn fast() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(1))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = fast();
     targets = bench_trace_generation, bench_simulation, bench_emulation

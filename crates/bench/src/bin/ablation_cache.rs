@@ -22,16 +22,25 @@ fn main() {
     println!("== Cache-model sensitivity (diagonal mapping, n=960) ==");
 
     let variants: Vec<(&str, EmulatorConfig)> = vec![
-        ("no cache model", EmulatorConfig::meiko_like(cfg).without_cache()),
+        (
+            "no cache model",
+            EmulatorConfig::meiko_like(cfg).without_cache(),
+        ),
         ("L1 128K/500ns (default)", EmulatorConfig::meiko_like(cfg)),
         ("L1 32K/500ns", {
             let mut e = EmulatorConfig::meiko_like(cfg);
-            e.cache = Some(CacheConfig { size_bytes: 32 * 1024, ..CacheConfig::workstation() });
+            e.cache = Some(CacheConfig {
+                size_bytes: 32 * 1024,
+                ..CacheConfig::workstation()
+            });
             e
         }),
         ("L1 512K/500ns", {
             let mut e = EmulatorConfig::meiko_like(cfg);
-            e.cache = Some(CacheConfig { size_bytes: 512 * 1024, ..CacheConfig::workstation() });
+            e.cache = Some(CacheConfig {
+                size_bytes: 512 * 1024,
+                ..CacheConfig::workstation()
+            });
             e
         }),
         ("L1 128K/1500ns", {

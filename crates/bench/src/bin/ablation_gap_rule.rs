@@ -53,7 +53,10 @@ fn main() {
             b.to_string(),
             secs(te),
             secs(tc),
-            format!("{:+.2}", (te.as_secs_f64() / tc.as_secs_f64() - 1.0) * 100.0),
+            format!(
+                "{:+.2}",
+                (te.as_secs_f64() / tc.as_secs_f64() - 1.0) * 100.0
+            ),
         ]);
     }
     println!("{}", table.render());

@@ -32,8 +32,11 @@ fn main() {
     for l in &layouts {
         let mut row = vec![l.name()];
         for &b in &blocks {
-            let t = simulate_program(&trace_for(960, b, l.as_ref()).program, &SimOptions::new(cfg))
-                .total;
+            let t = simulate_program(
+                &trace_for(960, b, l.as_ref()).program,
+                &SimOptions::new(cfg),
+            )
+            .total;
             if b == 160 && t.as_secs_f64() < best_at_large.1 {
                 best_at_large = (l.name(), t.as_secs_f64());
             }

@@ -38,7 +38,11 @@ fn main() {
     println!("== Ablation: LogGP parameter sensitivity (diagonal mapping, n=480, P=8) ==");
     // Half-size matrix keeps the 3x14 sweep quick while preserving shape.
     let n = 480;
-    let blocks: Vec<usize> = gauss::PAPER_BLOCK_SIZES.iter().copied().filter(|b| n % b == 0).collect();
+    let blocks: Vec<usize> = gauss::PAPER_BLOCK_SIZES
+        .iter()
+        .copied()
+        .filter(|b| n % b == 0)
+        .collect();
     let base = presets::meiko_cs2(8);
 
     let mut table = Table::new(["variant", "optimal B", "diagonal wins every B?"]);
@@ -51,15 +55,28 @@ fn main() {
             let o = scale(base.overhead, 150);
             base.with_overhead(o).with_gap(base.gap.max(o))
         }),
-        ("g x0.5 (floor o)".into(), base.with_gap(scale(base.gap, 50).max(base.overhead))),
+        (
+            "g x0.5 (floor o)".into(),
+            base.with_gap(scale(base.gap, 50).max(base.overhead)),
+        ),
         ("g x1.5".into(), base.with_gap(scale(base.gap, 150))),
-        ("G x0.5".into(), base.with_gap_per_byte(scale(base.gap_per_byte, 50))),
-        ("G x1.5".into(), base.with_gap_per_byte(scale(base.gap_per_byte, 150))),
+        (
+            "G x0.5".into(),
+            base.with_gap_per_byte(scale(base.gap_per_byte, 50)),
+        ),
+        (
+            "G x1.5".into(),
+            base.with_gap_per_byte(scale(base.gap_per_byte, 150)),
+        ),
     ];
     for (name, params) in variants {
         params.validate().expect("variant valid");
         let (b, wins) = optimum(params, n, &blocks);
-        table.row([name, b.to_string(), if wins { "yes".into() } else { "no".to_string() }]);
+        table.row([
+            name,
+            b.to_string(),
+            if wins { "yes".into() } else { "no".to_string() },
+        ]);
     }
     println!("{}", table.render());
     println!("stable optimal-B and layout ordering across perturbations support the\nreconstructed parameter values (DESIGN.md, presets module).");

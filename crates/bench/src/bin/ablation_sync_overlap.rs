@@ -38,8 +38,14 @@ fn main() {
             secs(base.total),
             secs(barrier.total),
             secs(overlap.total),
-            format!("{:+.2}", (barrier.total.as_secs_f64() / base.total.as_secs_f64() - 1.0) * 100.0),
-            format!("{:+.2}", (overlap.total.as_secs_f64() / base.total.as_secs_f64() - 1.0) * 100.0),
+            format!(
+                "{:+.2}",
+                (barrier.total.as_secs_f64() / base.total.as_secs_f64() - 1.0) * 100.0
+            ),
+            format!(
+                "{:+.2}",
+                (overlap.total.as_secs_f64() / base.total.as_secs_f64() - 1.0) * 100.0
+            ),
         ]);
     }
     println!("{}", table.render());

@@ -12,8 +12,13 @@ use predsim_core::report::{us, Table};
 
 fn main() {
     println!("== Ablation: tie-breaking policy in the standard algorithm ==");
-    let mut table =
-        Table::new(["pattern", "lowest-id", "random min", "random max", "spread %"]);
+    let mut table = Table::new([
+        "pattern",
+        "lowest-id",
+        "random min",
+        "random max",
+        "spread %",
+    ]);
     let cases: Vec<(&str, commsim::CommPattern)> = vec![
         ("figure3", patterns::figure3()),
         ("all-to-all(8, 1KB)", patterns::all_to_all(8, 1024)),

@@ -36,10 +36,22 @@ fn main() {
     }
 
     let candidates: Vec<(String, Vec<usize>)> = vec![
-        ("graded 12 -> x1.15 (grow)".into(), graded_partition(n, 12, 1.15, 12)),
-        ("graded 16 -> x1.10 (grow)".into(), graded_partition(n, 16, 1.10, 16)),
-        ("graded 48 -> x0.95, floor 20".into(), graded_partition(n, 48, 0.95, 20)),
-        ("graded 64 -> x0.90, floor 24".into(), graded_partition(n, 64, 0.90, 24)),
+        (
+            "graded 12 -> x1.15 (grow)".into(),
+            graded_partition(n, 12, 1.15, 12),
+        ),
+        (
+            "graded 16 -> x1.10 (grow)".into(),
+            graded_partition(n, 16, 1.10, 16),
+        ),
+        (
+            "graded 48 -> x0.95, floor 20".into(),
+            graded_partition(n, 48, 0.95, 20),
+        ),
+        (
+            "graded 64 -> x0.90, floor 24".into(),
+            graded_partition(n, 64, 0.90, 24),
+        ),
     ];
     let mut best_var = (String::new(), Time::MAX);
     for (name, part) in candidates {

@@ -34,9 +34,13 @@ fn panel(layout: &dyn Layout) {
     let mut bsp_errs = Vec::new();
     for b in [10usize, 16, 24, 40, 60, 96, 160] {
         let trace = trace_for(960, b, layout);
-        let meas = emulate(&trace.program, &trace.loads, &EmulatorConfig::meiko_like(cfg))
-            .prediction
-            .total;
+        let meas = emulate(
+            &trace.program,
+            &trace.loads,
+            &EmulatorConfig::meiko_like(cfg),
+        )
+        .prediction
+        .total;
         let sim = simulate_program(&trace.program, &SimOptions::new(cfg)).total;
         let bsp = bsp_predict(&trace.program, &bsp_params).total;
         let sim_err = (sim.as_secs_f64() / meas.as_secs_f64() - 1.0) * 100.0;

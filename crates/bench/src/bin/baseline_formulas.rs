@@ -36,7 +36,11 @@ fn main() {
             formulas::gather(&params, 16, 4096),
             patterns::gather(16, 0, 4096),
         ),
-        ("shift p=16, 2KB".into(), formulas::shift(&params, 2048), patterns::shift(16, 1, 2048)),
+        (
+            "shift p=16, 2KB".into(),
+            formulas::shift(&params, 2048),
+            patterns::shift(16, 1, 2048),
+        ),
     ];
     for (name, formula, pattern) in cases {
         let sim = formulas::simulated(&params, &pattern);
@@ -44,7 +48,11 @@ fn main() {
             name,
             us(formula),
             us(sim),
-            if formula == sim { "exact".into() } else { "DIFFERS".to_string() },
+            if formula == sim {
+                "exact".into()
+            } else {
+                "DIFFERS".to_string()
+            },
         ]);
     }
     println!("{}", table.render());

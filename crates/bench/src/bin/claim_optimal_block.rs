@@ -18,14 +18,26 @@ fn panel(layout: &dyn Layout, cfg: &SweepConfig) {
     let rows = sweep(layout, cfg);
 
     // Ground truth on the emulated machine (with caches).
-    let best_real =
-        rows.iter().min_by_key(|r| r.meas_cache.prediction.total).expect("rows");
+    let best_real = rows
+        .iter()
+        .min_by_key(|r| r.meas_cache.prediction.total)
+        .expect("rows");
     // Prediction-driven choices.
     let best_pred_std = rows.iter().min_by_key(|r| r.sim_std.total).unwrap();
     let best_pred_wc = rows.iter().min_by_key(|r| r.sim_wc.total).unwrap();
 
-    let real = |b: usize| rows.iter().find(|r| r.b == b).unwrap().meas_cache.prediction.total;
-    for (name, pick) in [("standard", best_pred_std.b), ("worst-case", best_pred_wc.b)] {
+    let real = |b: usize| {
+        rows.iter()
+            .find(|r| r.b == b)
+            .unwrap()
+            .meas_cache
+            .prediction
+            .total
+    };
+    for (name, pick) in [
+        ("standard", best_pred_std.b),
+        ("worst-case", best_pred_wc.b),
+    ] {
         let t = real(pick);
         println!(
             "predicted optimum ({name}): B={pick}; real time there {} s vs true optimum {} s at B={} ({:+.2}%)",
@@ -42,10 +54,18 @@ fn panel(layout: &dyn Layout, cfg: &SweepConfig) {
     let mut evals_full = 0usize;
     let full = search_sweep(&cfg.blocks, |b| {
         evals_full += 1;
-        simulate_program(&trace_for(cfg.n, b, layout).program, &SimOptions::new(sim_cfg)).total
+        simulate_program(
+            &trace_for(cfg.n, b, layout).program,
+            &SimOptions::new(sim_cfg),
+        )
+        .total
     });
     let hc = hill_climb(&cfg.blocks, 4, |b| {
-        simulate_program(&trace_for(cfg.n, b, layout).program, &SimOptions::new(sim_cfg)).total
+        simulate_program(
+            &trace_for(cfg.n, b, layout).program,
+            &SimOptions::new(sim_cfg),
+        )
+        .total
     });
     println!(
         "automatic search: exhaustive B={} ({} evals) vs hill-climb B={} ({} evals, {:+.2}% time)\n",

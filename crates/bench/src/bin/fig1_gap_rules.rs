@@ -32,7 +32,12 @@ fn main() {
                 us(sep)
             }
         };
-        table.row([format!("{a:?}"), format!("{b:?}"), tag(sep_ext), tag(sep_classic)]);
+        table.row([
+            format!("{a:?}"),
+            format!("{b:?}"),
+            tag(sep_ext),
+            tag(sep_classic),
+        ]);
     }
     println!("{}", table.render());
     println!(

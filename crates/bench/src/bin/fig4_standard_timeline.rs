@@ -25,7 +25,11 @@ fn main() {
     print!("{}", gantt::render(&r.timeline, 100));
     println!(
         "\nlast processor(s): {:?} (paper: processor 7, 1-indexed)",
-        r.timeline.critical_procs().iter().map(|p| format!("P{p}")).collect::<Vec<_>>()
+        r.timeline
+            .critical_procs()
+            .iter()
+            .map(|p| format!("P{p}"))
+            .collect::<Vec<_>>()
     );
     println!("\nevent table:\n{}", gantt::event_table(&r.timeline));
 }

@@ -25,10 +25,17 @@ fn main() {
         wc.finish,
         wc.finish.as_us_f64() / st.finish.as_us_f64()
     );
-    println!("forced sends (deadlock breaking): {} (pattern is acyclic)", wc.forced_sends);
+    println!(
+        "forced sends (deadlock breaking): {} (pattern is acyclic)",
+        wc.forced_sends
+    );
     println!(
         "last processor(s): {:?}",
-        wc.timeline.critical_procs().iter().map(|p| format!("P{p}")).collect::<Vec<_>>()
+        wc.timeline
+            .critical_procs()
+            .iter()
+            .map(|p| format!("P{p}"))
+            .collect::<Vec<_>>()
     );
     println!("\nevent table:\n{}", gantt::event_table(&wc.timeline));
 }

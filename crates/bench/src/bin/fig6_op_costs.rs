@@ -18,7 +18,10 @@ fn print_model(name: &str, model: &dyn CostModel, blocks: &[usize]) {
     println!("== Figure 6 ({name}): basic-operation running time (us) ==");
     let mut table = Table::new(["block", "Op1", "Op2", "Op3", "Op4", "most expensive"]);
     for &b in blocks {
-        let costs: Vec<_> = OpClass::ALL.iter().map(|&op| model.op_cost(op, b)).collect();
+        let costs: Vec<_> = OpClass::ALL
+            .iter()
+            .map(|&op| model.op_cost(op, b))
+            .collect();
         let dearest = OpClass::ALL
             .iter()
             .zip(&costs)

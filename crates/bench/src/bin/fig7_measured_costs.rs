@@ -21,7 +21,10 @@ use predsim_core::{simulate_program, Diagonal, Layout, RowCyclic, SimOptions};
 fn panel(layout: &dyn Layout, cost: &MeasuredCost, blocks: &[usize]) {
     let procs = layout.procs();
     let cfg = SimConfig::new(presets::meiko_cs2(procs));
-    println!("== {} mapping, n=960, host-measured op costs ==", layout.name());
+    println!(
+        "== {} mapping, n=960, host-measured op costs ==",
+        layout.name()
+    );
     let mut table = Table::new(["block", "predicted total (s)", "delta vs prev %"]);
     let mut prev: Option<f64> = None;
     let mut best = (0usize, f64::MAX);
@@ -29,7 +32,9 @@ fn panel(layout: &dyn Layout, cost: &MeasuredCost, blocks: &[usize]) {
     let mut last_delta = 0.0f64;
     for &b in blocks {
         let trace = gauss::generate(960, b, layout, cost);
-        let t = simulate_program(&trace.program, &SimOptions::new(cfg)).total.as_secs_f64();
+        let t = simulate_program(&trace.program, &SimOptions::new(cfg))
+            .total
+            .as_secs_f64();
         let delta = prev.map(|p| (t / p - 1.0) * 100.0).unwrap_or(0.0);
         if prev.is_some() && last_delta != 0.0 && delta.signum() != last_delta.signum() {
             sign_changes += 1;
@@ -43,7 +48,11 @@ fn panel(layout: &dyn Layout, cost: &MeasuredCost, blocks: &[usize]) {
         table.row([
             b.to_string(),
             format!("{t:.4}"),
-            if prev.is_some() { format!("{delta:+.1}") } else { "-".into() },
+            if prev.is_some() {
+                format!("{delta:+.1}")
+            } else {
+                "-".into()
+            },
         ]);
         prev = Some(t);
     }
@@ -58,7 +67,10 @@ fn panel(layout: &dyn Layout, cost: &MeasuredCost, blocks: &[usize]) {
 
 fn main() {
     let blocks = gauss::PAPER_BLOCK_SIZES;
-    println!("calibrating the four basic operations at {} block sizes on this host...", blocks.len());
+    println!(
+        "calibrating the four basic operations at {} block sizes on this host...",
+        blocks.len()
+    );
     let cost = MeasuredCost::new(5);
     cost.precalibrate(&blocks);
     panel(&Diagonal::new(8), &cost, &blocks);

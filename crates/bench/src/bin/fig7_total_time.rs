@@ -13,7 +13,12 @@ use predsim_core::report::{secs, Table};
 use predsim_core::{Diagonal, Layout, RowCyclic};
 
 fn panel(layout: &dyn Layout, cfg: &SweepConfig) {
-    println!("== Figure 7 ({} mapping): total running time (s), n={}, P={} ==", layout.name(), cfg.n, cfg.procs);
+    println!(
+        "== Figure 7 ({} mapping): total running time (s), n={}, P={} ==",
+        layout.name(),
+        cfg.n,
+        cfg.procs
+    );
     let rows = sweep(layout, cfg);
     let mut table = Table::new([
         "block",
@@ -42,7 +47,11 @@ fn panel(layout: &dyn Layout, cfg: &SweepConfig) {
         .find(|r| r.b == b_pred)
         .map(|r| r.meas_cache.prediction.total)
         .unwrap();
-    let t_best = rows.iter().map(|r| r.meas_cache.prediction.total).min().unwrap();
+    let t_best = rows
+        .iter()
+        .map(|r| r.meas_cache.prediction.total)
+        .min()
+        .unwrap();
     println!(
         "picking the predicted B={} costs {} s vs true optimum {} s ({:+.1}%)\n",
         b_pred,

@@ -15,7 +15,10 @@ use predsim_core::report::{secs, Table};
 use predsim_core::{Diagonal, Layout, RowCyclic};
 
 fn panel(layout: &dyn Layout, cfg: &SweepConfig) {
-    println!("== Figure 8 ({} mapping): communication time (s) ==", layout.name());
+    println!(
+        "== Figure 8 ({} mapping): communication time (s) ==",
+        layout.name()
+    );
     let rows = sweep(layout, cfg);
     let mut table = Table::new([
         "block",
@@ -38,7 +41,11 @@ fn panel(layout: &dyn Layout, cfg: &SweepConfig) {
             secs(meas),
             secs(std),
             secs(wc),
-            if strict { "yes".into() } else { "above worst-case".to_string() },
+            if strict {
+                "yes".into()
+            } else {
+                "above worst-case".to_string()
+            },
         ]);
     }
     println!("{}", table.render());

@@ -14,7 +14,10 @@ use predsim_core::report::{secs, Table};
 use predsim_core::{Diagonal, Layout, RowCyclic};
 
 fn panel(layout: &dyn Layout, cfg: &SweepConfig) {
-    println!("== Figure 9 ({} mapping): computation time (s) ==", layout.name());
+    println!(
+        "== Figure 9 ({} mapping): computation time (s) ==",
+        layout.name()
+    );
     let rows = sweep(layout, cfg);
     let mut table = Table::new(["block", "measured", "simulated", "measured/simulated"]);
     for r in &rows {

@@ -20,8 +20,10 @@ fn main() {
     println!("== Real threaded execution, n={n}, {procs} worker threads, best of {reps} ==");
     let a = Matrix::random_diag_dominant(n, 42);
 
-    let layouts: Vec<Box<dyn Layout>> =
-        vec![Box::new(Diagonal::new(procs)), Box::new(RowCyclic::new(procs))];
+    let layouts: Vec<Box<dyn Layout>> = vec![
+        Box::new(Diagonal::new(procs)),
+        Box::new(RowCyclic::new(procs)),
+    ];
     for layout in &layouts {
         let mut table = Table::new(["block", "wall time (ms)"]);
         let mut best = (0usize, f64::MAX);

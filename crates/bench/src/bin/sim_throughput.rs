@@ -21,13 +21,24 @@ fn rate(msgs: usize, reps: usize, f: impl Fn()) -> f64 {
 
 fn main() {
     println!("== Simulator throughput (message events / second, this host) ==");
-    let mut table = Table::new(["pattern", "messages", "standard (Mmsg/s)", "worst-case (Mmsg/s)"]);
+    let mut table = Table::new([
+        "pattern",
+        "messages",
+        "standard (Mmsg/s)",
+        "worst-case (Mmsg/s)",
+    ]);
     let cases: Vec<(String, commsim::CommPattern)> = vec![
         ("figure3".into(), patterns::figure3()),
         ("all-to-all(32, 1KB)".into(), patterns::all_to_all(32, 1024)),
         ("all-to-all(64, 1KB)".into(), patterns::all_to_all(64, 1024)),
-        ("random(64, 10k msgs)".into(), patterns::random(64, 10_000, 4096, 1)),
-        ("random(128, 50k msgs)".into(), patterns::random(128, 50_000, 4096, 2)),
+        (
+            "random(64, 10k msgs)".into(),
+            patterns::random(64, 10_000, 4096, 1),
+        ),
+        (
+            "random(128, 50k msgs)".into(),
+            patterns::random(128, 50_000, 4096, 2),
+        ),
     ];
     for (name, pattern) in cases {
         let cfg = SimConfig::new(presets::meiko_cs2(pattern.procs()));
@@ -65,6 +76,34 @@ fn main() {
     println!(
         "whole-program GE n=960 B=24 ({} steps, {msgs} messages): {:.1} ms per prediction — a full 14-point sweep costs well under a second",
         trace.program.len(),
+        dt * 1e3
+    );
+
+    // Aggregate rate through the batch engine: the same prediction run as
+    // `jobs` copies on one worker per CPU (each copy is an independent job,
+    // as in a machine-comparison sweep).
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let program = std::sync::Arc::new(trace.program.clone());
+    let jobs: Vec<predsim_engine::JobSpec> = (0..cpus.max(4))
+        .map(|i| {
+            predsim_engine::JobSpec::new(
+                format!("copy {i}"),
+                predsim_engine::JobSource::Program(std::sync::Arc::clone(&program)),
+                predsim_core::SimOptions::new(cfg),
+            )
+        })
+        .collect();
+    let engine = predsim_engine::Engine::new(predsim_engine::EngineConfig::default());
+    let t0 = Instant::now();
+    std::hint::black_box(engine.run(&jobs));
+    let dt = t0.elapsed().as_secs_f64();
+    println!(
+        "engine ({} jobs on {} workers): {:.2} Mmsg/s aggregate ({:.1} ms wall)",
+        jobs.len(),
+        cpus,
+        (msgs * jobs.len()) as f64 / dt / 1e6,
         dt * 1e3
     );
 }

@@ -69,12 +69,19 @@ impl GeRow {
     /// Figure 8's communication-time series: measured, simulated standard,
     /// simulated worst case.
     pub fn fig8(&self) -> [Time; 3] {
-        [self.meas_nocache.prediction.comm_time, self.sim_std.comm_time, self.sim_wc.comm_time]
+        [
+            self.meas_nocache.prediction.comm_time,
+            self.sim_std.comm_time,
+            self.sim_wc.comm_time,
+        ]
     }
 
     /// Figure 9's computation-time series: measured, simulated.
     pub fn fig9(&self) -> [Time; 2] {
-        [self.meas_nocache.prediction.comp_time, self.sim_std.comp_time]
+        [
+            self.meas_nocache.prediction.comp_time,
+            self.sim_std.comp_time,
+        ]
     }
 }
 
@@ -95,20 +102,28 @@ pub fn sweep_with(
     cfg: &SweepConfig,
     tweak: impl Fn(EmulatorConfig) -> EmulatorConfig,
 ) -> Vec<GeRow> {
-    assert_eq!(layout.procs(), cfg.procs, "layout and sweep processor counts differ");
+    assert_eq!(
+        layout.procs(),
+        cfg.procs,
+        "layout and sweep processor counts differ"
+    );
     let sim_cfg = SimConfig::new(presets::meiko_cs2(cfg.procs)).with_seed(cfg.seed);
     cfg.blocks
         .iter()
         .map(|&b| {
             let trace = trace_for(cfg.n, b, layout);
             let sim_std = simulate_program(&trace.program, &SimOptions::new(sim_cfg));
-            let sim_wc =
-                simulate_program(&trace.program, &SimOptions::new(sim_cfg).worst_case());
+            let sim_wc = simulate_program(&trace.program, &SimOptions::new(sim_cfg).worst_case());
             let base = tweak(EmulatorConfig::meiko_like(sim_cfg));
             let meas_cache = emulate(&trace.program, &trace.loads, &base);
-            let meas_nocache =
-                emulate(&trace.program, &trace.loads, &base.clone().without_cache());
-            GeRow { b, sim_std, sim_wc, meas_nocache, meas_cache }
+            let meas_nocache = emulate(&trace.program, &trace.loads, &base.clone().without_cache());
+            GeRow {
+                b,
+                sim_std,
+                sim_wc,
+                meas_nocache,
+                meas_cache,
+            }
         })
         .collect()
 }
@@ -127,7 +142,12 @@ mod tests {
     /// pipeline; the full-scale shapes are asserted by the integration
     /// tests and recorded in EXPERIMENTS.md.
     fn small_cfg() -> SweepConfig {
-        SweepConfig { n: 120, procs: 4, blocks: vec![10, 20, 40, 60], seed: 1 }
+        SweepConfig {
+            n: 120,
+            procs: 4,
+            blocks: vec![10, 20, 40, 60],
+            seed: 1,
+        }
     }
 
     #[test]

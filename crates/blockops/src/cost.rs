@@ -151,10 +151,30 @@ impl AnalyticCost {
         let f = DEFAULT_PS_PER_FLOP;
         AnalyticCost {
             coeffs: [
-                PolyCost { c3: f, c2: 40 * f, c1: 0, c0: 20_000_000 }, // Op1
-                PolyCost { c3: 12 * f / 10, c2: 8 * f, c1: 0, c0: 10_000_000 }, // Op2
-                PolyCost { c3: 12 * f / 10, c2: 8 * f, c1: 0, c0: 10_000_000 }, // Op3
-                PolyCost { c3: 2 * f, c2: 2 * f, c1: 0, c0: 8_000_000 }, // Op4
+                PolyCost {
+                    c3: f,
+                    c2: 40 * f,
+                    c1: 0,
+                    c0: 20_000_000,
+                }, // Op1
+                PolyCost {
+                    c3: 12 * f / 10,
+                    c2: 8 * f,
+                    c1: 0,
+                    c0: 10_000_000,
+                }, // Op2
+                PolyCost {
+                    c3: 12 * f / 10,
+                    c2: 8 * f,
+                    c1: 0,
+                    c0: 10_000_000,
+                }, // Op3
+                PolyCost {
+                    c3: 2 * f,
+                    c2: 2 * f,
+                    c1: 0,
+                    c0: 8_000_000,
+                }, // Op4
             ],
             name: "analytic(paper-default)",
         }
@@ -162,7 +182,10 @@ impl AnalyticCost {
 
     /// A model with explicit per-op polynomials (Op1..Op4 order).
     pub fn with_coeffs(coeffs: [PolyCost; 4]) -> Self {
-        AnalyticCost { coeffs, name: "analytic(custom)" }
+        AnalyticCost {
+            coeffs,
+            name: "analytic(custom)",
+        }
     }
 
     /// The polynomial for one operation.
@@ -200,7 +223,10 @@ pub struct TableCost {
 impl TableCost {
     /// An empty table with a name.
     pub fn new(name: impl Into<String>) -> Self {
-        TableCost { map: HashMap::new(), name: name.into() }
+        TableCost {
+            map: HashMap::new(),
+            name: name.into(),
+        }
     }
 
     /// Record the cost of `(op, b)`.
@@ -250,7 +276,10 @@ pub struct MeasuredCost {
 impl MeasuredCost {
     /// A model that medians over `reps` repetitions per measurement.
     pub fn new(reps: usize) -> Self {
-        MeasuredCost { cache: Mutex::new(HashMap::new()), reps: reps.max(1) }
+        MeasuredCost {
+            cache: Mutex::new(HashMap::new()),
+            reps: reps.max(1),
+        }
     }
 
     /// Measure every `(op, b)` pair up front (e.g. before a sweep).
@@ -317,7 +346,9 @@ impl MeasuredCost {
 impl CostModel for MeasuredCost {
     fn op_cost(&self, op: OpClass, b: usize) -> Time {
         let mut cache = self.cache.lock().expect("cost cache poisoned");
-        *cache.entry((op, b)).or_insert_with(|| Self::measure(op, b, self.reps))
+        *cache
+            .entry((op, b))
+            .or_insert_with(|| Self::measure(op, b, self.reps))
     }
 
     fn model_name(&self) -> &str {
@@ -383,7 +414,12 @@ mod tests {
 
     #[test]
     fn poly_eval() {
-        let p = PolyCost { c3: 1, c2: 2, c1: 3, c0: 4 };
+        let p = PolyCost {
+            c3: 1,
+            c2: 2,
+            c1: 3,
+            c0: 4,
+        };
         assert_eq!(p.eval(10).as_ps(), 1000 + 200 + 30 + 4);
         let m = AnalyticCost::paper_default();
         assert_eq!(m.poly(OpClass::Op4).eval(10), m.op_cost(OpClass::Op4, 10));
@@ -423,7 +459,7 @@ mod tests {
         assert_eq!(cube_equivalent_edge(8, 8, 8), 8);
         assert_eq!(cube_equivalent_edge(1, 1, 1), 1);
         assert_eq!(cube_equivalent_edge(0, 5, 5), 1); // clamped
-        // 4*8*16 = 512 -> edge 8.
+                                                      // 4*8*16 = 512 -> edge 8.
         assert_eq!(cube_equivalent_edge(4, 8, 16), 8);
     }
 
@@ -431,23 +467,36 @@ mod tests {
     fn rect_cost_defaults_to_cube_equivalent() {
         let m = AnalyticCost::paper_default();
         // A square "rectangle" equals the square cost exactly.
-        assert_eq!(m.op_cost_rect(OpClass::Op4, 12, 12, 12), m.op_cost(OpClass::Op4, 12));
+        assert_eq!(
+            m.op_cost_rect(OpClass::Op4, 12, 12, 12),
+            m.op_cost(OpClass::Op4, 12)
+        );
         // Same volume, different shape: same default cost.
         assert_eq!(
             m.op_cost_rect(OpClass::Op4, 6, 12, 24),
             m.op_cost_rect(OpClass::Op4, 24, 12, 6)
         );
         // Bigger volume costs more.
-        assert!(m.op_cost_rect(OpClass::Op2, 10, 20, 10) > m.op_cost_rect(OpClass::Op2, 10, 10, 10));
+        assert!(
+            m.op_cost_rect(OpClass::Op2, 10, 20, 10) > m.op_cost_rect(OpClass::Op2, 10, 10, 10)
+        );
     }
 
     #[test]
     fn custom_coeffs_and_names() {
-        let c = PolyCost { c3: 1, c2: 0, c1: 0, c0: 0 };
+        let c = PolyCost {
+            c3: 1,
+            c2: 0,
+            c1: 0,
+            c0: 0,
+        };
         let m = AnalyticCost::with_coeffs([c; 4]);
         assert_eq!(m.model_name(), "analytic(custom)");
         assert_eq!(m.op_cost(OpClass::Op1, 10).as_ps(), 1000);
-        assert_eq!(AnalyticCost::paper_default().model_name(), "analytic(paper-default)");
+        assert_eq!(
+            AnalyticCost::paper_default().model_name(),
+            "analytic(paper-default)"
+        );
         assert_eq!(MeasuredCost::new(1).model_name(), "measured(host)");
     }
 }

@@ -31,7 +31,10 @@ impl std::fmt::Display for LuError {
         match self {
             LuError::NotSquare => write!(f, "LU requires a square matrix"),
             LuError::ZeroPivot { step, pivot } => {
-                write!(f, "zero pivot {pivot:e} at elimination step {step} (no pivoting)")
+                write!(
+                    f,
+                    "zero pivot {pivot:e} at elimination step {step} (no pivoting)"
+                )
             }
         }
     }
@@ -167,7 +170,13 @@ mod tests {
     fn zero_pivot_detected() {
         let mut a = Matrix::from_rows(2, 2, &[0., 1., 1., 0.]);
         let err = lu_in_place(&mut a).unwrap_err();
-        assert_eq!(err, LuError::ZeroPivot { step: 0, pivot: 0.0 });
+        assert_eq!(
+            err,
+            LuError::ZeroPivot {
+                step: 0,
+                pivot: 0.0
+            }
+        );
         assert!(err.to_string().contains("step 0"));
     }
 
@@ -200,6 +209,9 @@ mod tests {
         let n = 100;
         let exact = lu_flops(n) as f64;
         let approx = 2.0 / 3.0 * (n as f64).powi(3);
-        assert!((exact - approx).abs() / approx < 0.05, "{exact} vs {approx}");
+        assert!(
+            (exact - approx).abs() / approx < 0.05,
+            "{exact} vs {approx}"
+        );
     }
 }

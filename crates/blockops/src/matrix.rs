@@ -20,7 +20,11 @@ pub struct Matrix {
 impl Matrix {
     /// An `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// The `n × n` identity.
@@ -46,7 +50,11 @@ impl Matrix {
     /// Build from a row-major slice.
     pub fn from_rows(rows: usize, cols: usize, data: &[f64]) -> Self {
         assert_eq!(data.len(), rows * cols, "data length mismatch");
-        Matrix { rows, cols, data: data.to_vec() }
+        Matrix {
+            rows,
+            cols,
+            data: data.to_vec(),
+        }
     }
 
     /// A random matrix with entries in `(-1, 1)`, deterministic per seed.
@@ -103,7 +111,10 @@ impl Matrix {
 
     /// Copy the `b × b` sub-block with upper-left corner `(r0, c0)` out.
     pub fn block(&self, r0: usize, c0: usize, b_rows: usize, b_cols: usize) -> Matrix {
-        assert!(r0 + b_rows <= self.rows && c0 + b_cols <= self.cols, "block out of range");
+        assert!(
+            r0 + b_rows <= self.rows && c0 + b_cols <= self.cols,
+            "block out of range"
+        );
         Matrix::from_fn(b_rows, b_cols, |i, j| self[(r0 + i, c0 + j)])
     }
 
@@ -122,7 +133,11 @@ impl Matrix {
 
     /// `max_ij |self - other|`; panics on shape mismatch.
     pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         self.data
             .iter()
             .zip(&other.data)

@@ -35,7 +35,10 @@ pub struct DiagFactors {
 pub fn op1_diagonal(block: &mut Matrix) -> Result<DiagFactors, LuError> {
     lu_in_place(block)?;
     let (l, u) = split_lu(block);
-    Ok(DiagFactors { l_inv: invert_unit_lower(&l), u_inv: invert_upper(&u) })
+    Ok(DiagFactors {
+        l_inv: invert_unit_lower(&l),
+        u_inv: invert_upper(&u),
+    })
 }
 
 /// **Op2**: row-panel update `block ← l_inv · block`.
@@ -68,7 +71,10 @@ pub fn blocked_lu_in_place(a: &mut Matrix, b: usize) -> Result<(), LuError> {
         return Err(LuError::NotSquare);
     }
     let n = a.rows();
-    assert!(b > 0 && n.is_multiple_of(b), "block size {b} must divide the matrix size {n}");
+    assert!(
+        b > 0 && n.is_multiple_of(b),
+        "block size {b} must divide the matrix size {n}"
+    );
     let nb = n / b;
 
     for k in 0..nb {
@@ -121,7 +127,11 @@ pub fn blocked_lu_in_place_var(a: &mut Matrix, partition: &[usize]) -> Result<()
     let n = a.rows();
     assert!(!partition.is_empty(), "empty partition");
     assert!(partition.iter().all(|&w| w > 0), "zero-width block");
-    assert_eq!(partition.iter().sum::<usize>(), n, "partition must sum to the matrix size");
+    assert_eq!(
+        partition.iter().sum::<usize>(),
+        n,
+        "partition must sum to the matrix size"
+    );
     let nb = partition.len();
     // Prefix offsets of the block boundaries.
     let mut off = Vec::with_capacity(nb + 1);

@@ -115,8 +115,14 @@ mod tests {
             let (l, _) = random_factors(n, n as u64 + 100);
             let inv = invert_unit_lower(&l);
             assert!(inv.is_lower_triangular(0.0));
-            assert!(matmul(&l, &inv).approx_eq(&Matrix::identity(n), 1e-9), "n={n}");
-            assert!(matmul(&inv, &l).approx_eq(&Matrix::identity(n), 1e-9), "n={n}");
+            assert!(
+                matmul(&l, &inv).approx_eq(&Matrix::identity(n), 1e-9),
+                "n={n}"
+            );
+            assert!(
+                matmul(&inv, &l).approx_eq(&Matrix::identity(n), 1e-9),
+                "n={n}"
+            );
         }
     }
 
@@ -126,8 +132,14 @@ mod tests {
             let (_, u) = random_factors(n, n as u64 + 200);
             let inv = invert_upper(&u);
             assert!(inv.is_upper_triangular(1e-12));
-            assert!(matmul(&u, &inv).approx_eq(&Matrix::identity(n), 1e-8), "n={n}");
-            assert!(matmul(&inv, &u).approx_eq(&Matrix::identity(n), 1e-8), "n={n}");
+            assert!(
+                matmul(&u, &inv).approx_eq(&Matrix::identity(n), 1e-8),
+                "n={n}"
+            );
+            assert!(
+                matmul(&inv, &u).approx_eq(&Matrix::identity(n), 1e-8),
+                "n={n}"
+            );
         }
     }
 

@@ -20,7 +20,10 @@ pub fn multiply(a: &Matrix, b: &Matrix, q: usize) -> Matrix {
     assert!(a.is_square() && b.is_square(), "square matrices only");
     assert_eq!(a.rows(), b.rows(), "dimension mismatch");
     let n = a.rows();
-    assert!(q > 0 && n.is_multiple_of(q), "grid side {q} must divide the matrix size {n}");
+    assert!(
+        q > 0 && n.is_multiple_of(q),
+        "grid side {q} must divide the matrix size {n}"
+    );
     let m = n / q;
 
     // Deal blocks onto the grid.
@@ -30,8 +33,9 @@ pub fn multiply(a: &Matrix, b: &Matrix, q: usize) -> Matrix {
     let mut gb: Vec<Vec<Matrix>> = (0..q)
         .map(|i| (0..q).map(|j| b.block(i * m, j * m, m, m)).collect())
         .collect();
-    let mut gc: Vec<Vec<Matrix>> =
-        (0..q).map(|_| (0..q).map(|_| Matrix::zeros(m, m)).collect()).collect();
+    let mut gc: Vec<Vec<Matrix>> = (0..q)
+        .map(|_| (0..q).map(|_| Matrix::zeros(m, m)).collect())
+        .collect();
 
     // Skew: A row i left by i; B column j up by j.
     for i in 0..q {

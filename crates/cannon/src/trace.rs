@@ -49,7 +49,10 @@ fn c_id(q: usize, p: usize) -> u64 {
 /// # Panics
 /// Panics if `q` does not divide `n` or `q == 0`.
 pub fn generate(n: usize, q: usize, cost: &dyn CostModel) -> CannonProgram {
-    assert!(q > 0 && n.is_multiple_of(q), "grid side {q} must divide the matrix size {n}");
+    assert!(
+        q > 0 && n.is_multiple_of(q),
+        "grid side {q} must divide the matrix size {n}"
+    );
     let m = n / q;
     let procs = q * q;
     let mut program = Program::new(procs);
@@ -96,7 +99,13 @@ pub fn generate(n: usize, q: usize, cost: &dyn CostModel) -> CannonProgram {
         loads.push(load);
     }
 
-    CannonProgram { program, loads, n, q, m }
+    CannonProgram {
+        program,
+        loads,
+        n,
+        q,
+        m,
+    }
 }
 
 #[cfg(test)]

@@ -21,9 +21,8 @@ pub fn render(timeline: &Timeline, width: usize) -> String {
         return out;
     }
     let ps_per_col = (finish.as_ps() as f64 / width as f64).max(1.0);
-    let col = |t: Time| -> usize {
-        ((t.as_ps() as f64 / ps_per_col).floor() as usize).min(width - 1)
-    };
+    let col =
+        |t: Time| -> usize { ((t.as_ps() as f64 / ps_per_col).floor() as usize).min(width - 1) };
 
     for (proc, evs) in timeline.sorted_by_proc().into_iter().enumerate() {
         if evs.is_empty() {
@@ -79,7 +78,11 @@ pub fn render(timeline: &Timeline, width: usize) -> String {
 /// processor) — the precise companion of the chart.
 pub fn event_table(timeline: &Timeline) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<5} {:<5} {:<5} {:>8} {:>12} {:>12}", "proc", "op", "peer", "bytes", "start", "end");
+    let _ = writeln!(
+        out,
+        "{:<5} {:<5} {:<5} {:>8} {:>12} {:>12}",
+        "proc", "op", "peer", "bytes", "start", "end"
+    );
     for evs in timeline.sorted_by_proc() {
         for e in evs {
             let _ = writeln!(

@@ -90,7 +90,12 @@ impl SimConfig {
     /// A configuration with deterministic tie-breaking, seed 0 and the
     /// paper's extended gap rule.
     pub fn new(params: LogGpParams) -> Self {
-        SimConfig { params, tie_break: TieBreak::LowestId, seed: 0, gap_rule: GapRule::Extended }
+        SimConfig {
+            params,
+            tie_break: TieBreak::LowestId,
+            seed: 0,
+            gap_rule: GapRule::Extended,
+        }
     }
 
     /// Switch to random tie-breaking with the given seed.

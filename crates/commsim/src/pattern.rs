@@ -77,7 +77,10 @@ pub struct CommPattern {
 impl CommPattern {
     /// An empty pattern over `procs` processors.
     pub fn new(procs: usize) -> Self {
-        CommPattern { procs, messages: Vec::new() }
+        CommPattern {
+            procs,
+            messages: Vec::new(),
+        }
     }
 
     /// Append a message of `bytes` bytes from `src` to `dst`; returns its
@@ -88,7 +91,8 @@ impl CommPattern {
     /// Panics if `src` or `dst` is out of range; use [`CommPattern::try_add`]
     /// for a fallible version.
     pub fn add(&mut self, src: usize, dst: usize, bytes: usize) -> MsgId {
-        self.try_add(src, dst, bytes).expect("processor out of range")
+        self.try_add(src, dst, bytes)
+            .expect("processor out of range")
     }
 
     /// Fallible [`CommPattern::add`].
@@ -96,10 +100,19 @@ impl CommPattern {
         let id = self.messages.len();
         for proc in [src, dst] {
             if proc >= self.procs {
-                return Err(PatternError::ProcOutOfRange { msg: id, proc, procs: self.procs });
+                return Err(PatternError::ProcOutOfRange {
+                    msg: id,
+                    proc,
+                    procs: self.procs,
+                });
             }
         }
-        self.messages.push(Message { id, src, dst, bytes });
+        self.messages.push(Message {
+            id,
+            src,
+            dst,
+            bytes,
+        });
         Ok(id)
     }
 
@@ -182,8 +195,7 @@ impl CommPattern {
             adj[m.src].push(m.dst);
             indeg[m.dst] += 1;
         }
-        let mut queue: VecDeque<usize> =
-            (0..self.procs).filter(|&p| indeg[p] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..self.procs).filter(|&p| indeg[p] == 0).collect();
         let mut seen = 0;
         while let Some(p) = queue.pop_front() {
             seen += 1;
@@ -225,9 +237,19 @@ impl CommPattern {
 
 impl fmt::Display for CommPattern {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "CommPattern: {} procs, {} messages, {} bytes", self.procs, self.len(), self.total_bytes())?;
+        writeln!(
+            f,
+            "CommPattern: {} procs, {} messages, {} bytes",
+            self.procs,
+            self.len(),
+            self.total_bytes()
+        )?;
         for m in &self.messages {
-            writeln!(f, "  #{:<3} P{} -> P{}  {} bytes", m.id, m.src, m.dst, m.bytes)?;
+            writeln!(
+                f,
+                "  #{:<3} P{} -> P{}  {} bytes",
+                m.id, m.src, m.dst, m.bytes
+            )?;
         }
         Ok(())
     }
@@ -257,7 +279,14 @@ mod tests {
     fn out_of_range_rejected() {
         let mut p = CommPattern::new(2);
         let err = p.try_add(0, 5, 10).unwrap_err();
-        assert_eq!(err, PatternError::ProcOutOfRange { msg: 0, proc: 5, procs: 2 });
+        assert_eq!(
+            err,
+            PatternError::ProcOutOfRange {
+                msg: 0,
+                proc: 5,
+                procs: 2
+            }
+        );
         assert!(err.to_string().contains("processor 5"));
     }
 

@@ -151,8 +151,14 @@ pub fn binomial_reduce(n: usize, bytes: usize) -> CommPattern {
 /// with its partner across bit `dim` (processors whose `dim`-th bit
 /// differs). Requires `n` to be a power of two and `dim < log2(n)`.
 pub fn hypercube_exchange(n: usize, dim: usize, bytes: usize) -> CommPattern {
-    assert!(n.is_power_of_two(), "hypercube needs a power-of-two processor count");
-    assert!(1usize << dim < n, "dimension {dim} out of range for {n} processors");
+    assert!(
+        n.is_power_of_two(),
+        "hypercube needs a power-of-two processor count"
+    );
+    assert!(
+        1usize << dim < n,
+        "dimension {dim} out of range for {n} processors"
+    );
     let mut p = CommPattern::new(n);
     for i in 0..n {
         p.add(i, i ^ (1 << dim), bytes);

@@ -69,7 +69,9 @@ pub fn simulate(pattern: &CommPattern, cfg: &SimConfig) -> SimResult {
 /// phase ends).
 pub fn simulate_from(pattern: &CommPattern, cfg: &SimConfig, ready: &[Time]) -> SimResult {
     let params = cfg.params;
-    simulate_hooked(pattern, cfg, ready, &mut |m, start| params.arrival_time(start, m.bytes))
+    simulate_hooked(pattern, cfg, ready, &mut |m, start| {
+        params.arrival_time(start, m.bytes)
+    })
 }
 
 /// [`simulate_from`] with a custom *arrival model*: `arrival(msg,
@@ -98,7 +100,11 @@ pub fn simulate_hooked(
         .map(|(send_queue, &r)| {
             let mut clock = ProcClock::new();
             clock.advance_to(r);
-            ProcState { clock, send_queue, recv_queue: BinaryHeap::new() }
+            ProcState {
+                clock,
+                send_queue,
+                recv_queue: BinaryHeap::new(),
+            }
         })
         .collect();
 
@@ -130,15 +136,22 @@ pub fn simulate_hooked(
         let start_send = state.clock.ready_at_kind(params, rule, OpKind::Send);
         let start_recv = match state.recv_queue.peek() {
             Some(Reverse(inflight)) => {
-                state.clock.earliest_start_kind(params, rule, OpKind::Recv, inflight.arrival)
+                state
+                    .clock
+                    .earliest_start_kind(params, rule, OpKind::Recv, inflight.arrival)
             }
             None => Time::MAX, // paper: start_recv = infinity
         };
 
         if start_send < start_recv {
             // Perform SEND: strict '<' gives receives priority on ties.
-            let msg = procs[min_proc].send_queue.pop_front().expect("send queue non-empty");
-            let end = procs[min_proc].clock.commit_kind(params, rule, OpKind::Send, start_send);
+            let msg = procs[min_proc]
+                .send_queue
+                .pop_front()
+                .expect("send queue non-empty");
+            let end = procs[min_proc]
+                .clock
+                .commit_kind(params, rule, OpKind::Send, start_send);
             timeline.push(CommEvent {
                 proc: min_proc,
                 kind: OpKind::Send,
@@ -149,13 +162,22 @@ pub fn simulate_hooked(
                 end,
             });
             let arrival = arrival_of(&msg, start_send);
-            debug_assert!(arrival >= start_send + params.overhead, "arrival precedes send");
-            procs[msg.dst].recv_queue.push(Reverse(InFlight { arrival, msg }));
+            debug_assert!(
+                arrival >= start_send + params.overhead,
+                "arrival precedes send"
+            );
+            procs[msg.dst]
+                .recv_queue
+                .push(Reverse(InFlight { arrival, msg }));
         } else {
             // Perform RECEIVE.
-            let Reverse(inflight) =
-                procs[min_proc].recv_queue.pop().expect("receive queue non-empty");
-            let end = procs[min_proc].clock.commit_kind(params, rule, OpKind::Recv, start_recv);
+            let Reverse(inflight) = procs[min_proc]
+                .recv_queue
+                .pop()
+                .expect("receive queue non-empty");
+            let end = procs[min_proc]
+                .clock
+                .commit_kind(params, rule, OpKind::Recv, start_recv);
             timeline.push(CommEvent {
                 proc: min_proc,
                 kind: OpKind::Recv,
@@ -172,10 +194,15 @@ pub fn simulate_hooked(
     // arrival order.
     for i in 0..procs.len() {
         while let Some(Reverse(inflight)) = procs[i].recv_queue.pop() {
-            let start = procs[i]
+            let start = procs[i].clock.earliest_start_kind(
+                params,
+                cfg.gap_rule,
+                OpKind::Recv,
+                inflight.arrival,
+            );
+            let end = procs[i]
                 .clock
-                .earliest_start_kind(params, cfg.gap_rule, OpKind::Recv, inflight.arrival);
-            let end = procs[i].clock.commit_kind(params, cfg.gap_rule, OpKind::Recv, start);
+                .commit_kind(params, cfg.gap_rule, OpKind::Recv, start);
             timeline.push(CommEvent {
                 proc: i,
                 kind: OpKind::Recv,
@@ -248,7 +275,11 @@ mod tests {
         let arrival = cfg.params.arrival_time(Time::ZERO, 1);
         let r = simulate_from(&pattern, &cfg, &[Time::ZERO, arrival]);
         let p1 = r.timeline.events_for(1);
-        assert_eq!(p1[0].kind, OpKind::Recv, "receive must have priority: {p1:?}");
+        assert_eq!(
+            p1[0].kind,
+            OpKind::Recv,
+            "receive must have priority: {p1:?}"
+        );
         assert_eq!(p1[0].start, arrival);
         validate(&pattern, &cfg, &r.timeline).unwrap();
     }

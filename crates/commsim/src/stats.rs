@@ -70,8 +70,11 @@ pub struct TimelineStats {
 impl TimelineStats {
     /// Mean port utilization over processors that communicated at all.
     pub fn mean_utilization(&self) -> f64 {
-        let active: Vec<&ProcStats> =
-            self.procs.iter().filter(|p| p.sends + p.recvs > 0).collect();
+        let active: Vec<&ProcStats> = self
+            .procs
+            .iter()
+            .filter(|p| p.sends + p.recvs > 0)
+            .collect();
         if active.is_empty() {
             return 1.0;
         }
@@ -80,7 +83,11 @@ impl TimelineStats {
 
     /// Largest per-message queueing delay (0 if no messages).
     pub fn max_queueing(&self) -> Time {
-        self.messages.iter().map(|m| m.queueing).max().unwrap_or(Time::ZERO)
+        self.messages
+            .iter()
+            .map(|m| m.queueing)
+            .max()
+            .unwrap_or(Time::ZERO)
     }
 
     /// Total queueing across messages — the contention the LogGP *formulas*
@@ -99,7 +106,14 @@ pub fn analyze(pattern: &CommPattern, cfg: &SimConfig, timeline: &Timeline) -> T
         let recvs = evs.len() - sends;
         let busy: Time = evs.iter().map(|e| e.end - e.start).sum();
         let finish = evs.last().map(|e| e.end).unwrap_or(Time::ZERO);
-        procs.push(ProcStats { proc, sends, recvs, busy, finish, idle: finish - busy });
+        procs.push(ProcStats {
+            proc,
+            sends,
+            recvs,
+            busy,
+            finish,
+            idle: finish - busy,
+        });
     }
 
     let pairs = timeline.message_pairs();
@@ -117,7 +131,11 @@ pub fn analyze(pattern: &CommPattern, cfg: &SimConfig, timeline: &Timeline) -> T
     }
     messages.sort_by_key(|m| m.msg_id);
 
-    TimelineStats { procs, messages, completion: timeline.completion() }
+    TimelineStats {
+        procs,
+        messages,
+        completion: timeline.completion(),
+    }
 }
 
 #[cfg(test)]
@@ -153,7 +171,11 @@ mod tests {
         let (cfg, t) = run(&p);
         let stats = analyze(&p, &cfg, &t);
         // All arrive together; all but the first wait at least one gap.
-        let queued = stats.messages.iter().filter(|m| m.queueing > Time::ZERO).count();
+        let queued = stats
+            .messages
+            .iter()
+            .filter(|m| m.queueing > Time::ZERO)
+            .count();
         assert_eq!(queued, 4);
         assert!(stats.max_queueing() >= cfg.params.gap * 4 - cfg.params.overhead);
         assert!(stats.total_queueing() > Time::ZERO);

@@ -32,7 +32,10 @@ pub struct Timeline {
 impl Timeline {
     /// An empty timeline over `procs` processors.
     pub fn new(procs: usize) -> Self {
-        Timeline { procs, events: Vec::new() }
+        Timeline {
+            procs,
+            events: Vec::new(),
+        }
     }
 
     /// Append an event (events are recorded in commit order; use
@@ -54,8 +57,12 @@ impl Timeline {
 
     /// Events of one processor, chronologically.
     pub fn events_for(&self, proc: usize) -> Vec<CommEvent> {
-        let mut evs: Vec<CommEvent> =
-            self.events.iter().filter(|e| e.proc == proc).copied().collect();
+        let mut evs: Vec<CommEvent> = self
+            .events
+            .iter()
+            .filter(|e| e.proc == proc)
+            .copied()
+            .collect();
         evs.sort_by_key(|e| (e.start, e.end, e.msg_id));
         evs
     }
@@ -75,7 +82,11 @@ impl Timeline {
     /// The time the last operation of the whole step completes — the
     /// communication step's running time.
     pub fn completion(&self) -> Time {
-        self.events.iter().map(|e| e.end).max().unwrap_or(Time::ZERO)
+        self.events
+            .iter()
+            .map(|e| e.end)
+            .max()
+            .unwrap_or(Time::ZERO)
     }
 
     /// The time each processor finishes its last operation.
@@ -92,7 +103,9 @@ impl Timeline {
     pub fn critical_procs(&self) -> Vec<usize> {
         let finish = self.completion();
         let per = self.per_proc_completion();
-        (0..self.procs).filter(|&p| per[p] == finish && !finish.is_zero()).collect()
+        (0..self.procs)
+            .filter(|&p| per[p] == finish && !finish.is_zero())
+            .collect()
     }
 
     /// Total CPU time processor `proc` spends inside send/receive overhead.
@@ -146,7 +159,11 @@ impl SimResult {
     /// Wrap a finished timeline.
     pub fn new(timeline: Timeline) -> Self {
         let finish = timeline.completion();
-        SimResult { timeline, finish, forced_sends: 0 }
+        SimResult {
+            timeline,
+            finish,
+            forced_sends: 0,
+        }
     }
 }
 

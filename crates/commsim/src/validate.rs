@@ -26,7 +26,10 @@ pub struct ValidateOptions {
 
 impl Default for ValidateOptions {
     fn default() -> Self {
-        ValidateOptions { check_send_program_order: true, check_recv_arrival_order: true }
+        ValidateOptions {
+            check_send_program_order: true,
+            check_recv_arrival_order: true,
+        }
     }
 }
 
@@ -102,22 +105,52 @@ impl fmt::Display for Violation {
             Violation::WrongOverhead { proc, msg_id, got } => {
                 write!(f, "P{proc}: op for msg {msg_id} lasted {got}, not o")
             }
-            Violation::GapViolated { proc, first, second, separation } => write!(
+            Violation::GapViolated {
+                proc,
+                first,
+                second,
+                separation,
+            } => write!(
                 f,
                 "P{proc}: ops for msgs {first},{second} start only {separation} apart (< g)"
             ),
-            Violation::PortViolated { proc, first, second } => {
+            Violation::PortViolated {
+                proc,
+                first,
+                second,
+            } => {
                 write!(f, "P{proc}: ops for msgs {first},{second} overlap")
             }
-            Violation::ReceivedBeforeArrival { msg_id, arrival, start } => {
-                write!(f, "msg {msg_id} received at {start}, before arrival {arrival}")
+            Violation::ReceivedBeforeArrival {
+                msg_id,
+                arrival,
+                start,
+            } => {
+                write!(
+                    f,
+                    "msg {msg_id} received at {start}, before arrival {arrival}"
+                )
             }
             Violation::MessageMismatch { detail } => write!(f, "message mismatch: {detail}"),
-            Violation::SendOrder { proc, first, second } => {
-                write!(f, "P{proc}: send of msg {first} before msg {second} breaks program order")
+            Violation::SendOrder {
+                proc,
+                first,
+                second,
+            } => {
+                write!(
+                    f,
+                    "P{proc}: send of msg {first} before msg {second} breaks program order"
+                )
             }
-            Violation::RecvOrder { proc, first, second } => {
-                write!(f, "P{proc}: recv of msg {first} before msg {second} breaks arrival order")
+            Violation::RecvOrder {
+                proc,
+                first,
+                second,
+            } => {
+                write!(
+                    f,
+                    "P{proc}: recv of msg {first} before msg {second} breaks arrival order"
+                )
             }
         }
     }
@@ -351,7 +384,11 @@ mod tests {
         t2.push(bad);
         t = t2;
         let errs = validate(&one_msg_pattern(), &cfg, &t).unwrap_err();
-        assert!(errs.iter().any(|v| matches!(v, Violation::ReceivedBeforeArrival { .. })), "{errs:?}");
+        assert!(
+            errs.iter()
+                .any(|v| matches!(v, Violation::ReceivedBeforeArrival { .. })),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -361,7 +398,9 @@ mod tests {
         let mut t = Timeline::new(2);
         t.push(full.events()[0]);
         let errs = validate(&one_msg_pattern(), &cfg, &t).unwrap_err();
-        assert!(errs.iter().any(|v| matches!(v, Violation::MessageMismatch { .. })));
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, Violation::MessageMismatch { .. })));
     }
 
     #[test]
@@ -395,7 +434,11 @@ mod tests {
             });
         }
         let errs = validate(&pattern, &cfg, &t).unwrap_err();
-        assert!(errs.iter().any(|v| matches!(v, Violation::GapViolated { proc: 0, .. })), "{errs:?}");
+        assert!(
+            errs.iter()
+                .any(|v| matches!(v, Violation::GapViolated { proc: 0, .. })),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -424,7 +467,9 @@ mod tests {
             end: arrival + cfg.params.overhead,
         });
         let errs = validate(&pattern, &cfg, &t).unwrap_err();
-        assert!(errs.iter().any(|v| matches!(v, Violation::WrongOverhead { .. })));
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, Violation::WrongOverhead { .. })));
     }
 
     #[test]

@@ -45,7 +45,9 @@ pub fn simulate(pattern: &CommPattern, cfg: &SimConfig) -> SimResult {
 /// enter the step when their computation phase ends).
 pub fn simulate_from(pattern: &CommPattern, cfg: &SimConfig, ready: &[Time]) -> SimResult {
     let params = cfg.params;
-    simulate_hooked(pattern, cfg, ready, &mut |m, start| params.arrival_time(start, m.bytes))
+    simulate_hooked(pattern, cfg, ready, &mut |m, start| {
+        params.arrival_time(start, m.bytes)
+    })
 }
 
 /// [`simulate_from`] with a custom arrival model (see
@@ -71,7 +73,12 @@ pub fn simulate_hooked(
         .map(|((send_queue, &r), &to_recv)| {
             let mut clock = ProcClock::new();
             clock.advance_to(r);
-            ProcState { clock, send_queue, inbox: Vec::new(), to_recv }
+            ProcState {
+                clock,
+                send_queue,
+                inbox: Vec::new(),
+                to_recv,
+            }
         })
         .collect();
 
@@ -79,12 +86,19 @@ pub fn simulate_hooked(
     let mut forced_sends = 0usize;
 
     let send_msg = |procs: &mut Vec<ProcState>,
-                        timeline: &mut Timeline,
-                        p: usize,
-                        arrival_of: &mut dyn FnMut(&Message, Time) -> Time| {
-        let msg = procs[p].send_queue.pop_front().expect("send queue non-empty");
-        let start = procs[p].clock.ready_at_kind(params, cfg.gap_rule, OpKind::Send);
-        let end = procs[p].clock.commit_kind(params, cfg.gap_rule, OpKind::Send, start);
+                    timeline: &mut Timeline,
+                    p: usize,
+                    arrival_of: &mut dyn FnMut(&Message, Time) -> Time| {
+        let msg = procs[p]
+            .send_queue
+            .pop_front()
+            .expect("send queue non-empty");
+        let start = procs[p]
+            .clock
+            .ready_at_kind(params, cfg.gap_rule, OpKind::Send);
+        let end = procs[p]
+            .clock
+            .commit_kind(params, cfg.gap_rule, OpKind::Send, start);
         timeline.push(CommEvent {
             proc: p,
             kind: OpKind::Send,
@@ -125,8 +139,9 @@ pub fn simulate_hooked(
             // Deadlock: messages remain but every would-be sender is still
             // waiting on a cycle. Force one transmission from a randomly
             // chosen blocked processor.
-            let blocked: Vec<usize> =
-                (0..procs.len()).filter(|&p| !procs[p].send_queue.is_empty()).collect();
+            let blocked: Vec<usize> = (0..procs.len())
+                .filter(|&p| !procs[p].send_queue.is_empty())
+                .collect();
             debug_assert!(!blocked.is_empty());
             let victim = blocked[rng.gen_range(0..blocked.len())];
             send_msg(&mut procs, &mut timeline, victim, arrival_of);
@@ -139,11 +154,17 @@ pub fn simulate_hooked(
             if procs[p].inbox.is_empty() {
                 continue;
             }
-            procs[p].inbox.sort_by_key(|(arrival, msg)| (*arrival, msg.id));
+            procs[p]
+                .inbox
+                .sort_by_key(|(arrival, msg)| (*arrival, msg.id));
             for (arrival, msg) in std::mem::take(&mut procs[p].inbox) {
                 let start =
-                    procs[p].clock.earliest_start_kind(params, cfg.gap_rule, OpKind::Recv, arrival);
-                let end = procs[p].clock.commit_kind(params, cfg.gap_rule, OpKind::Recv, start);
+                    procs[p]
+                        .clock
+                        .earliest_start_kind(params, cfg.gap_rule, OpKind::Recv, arrival);
+                let end = procs[p]
+                    .clock
+                    .commit_kind(params, cfg.gap_rule, OpKind::Recv, start);
                 timeline.push(CommEvent {
                     proc: p,
                     kind: OpKind::Recv,
@@ -188,7 +209,10 @@ mod tests {
             pattern,
             cfg,
             &r.timeline,
-            &ValidateOptions { check_send_program_order: false, check_recv_arrival_order: false },
+            &ValidateOptions {
+                check_send_program_order: false,
+                check_recv_arrival_order: false,
+            },
         )
         .unwrap();
     }
@@ -230,7 +254,12 @@ mod tests {
         let pattern = patterns::figure3();
         let wc = simulate(&pattern, &cfg);
         let st = standard::simulate(&pattern, &cfg);
-        assert!(wc.finish >= st.finish, "wc {} < std {}", wc.finish, st.finish);
+        assert!(
+            wc.finish >= st.finish,
+            "wc {} < std {}",
+            wc.finish,
+            st.finish
+        );
         check(&pattern, &cfg, &wc);
     }
 

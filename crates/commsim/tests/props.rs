@@ -11,10 +11,10 @@ use proptest::prelude::*;
 
 fn arb_params() -> impl Strategy<Value = LogGpParams> {
     (
-        0u64..50_000,  // L ns
-        1u64..20_000,  // o ns
-        0u64..50_000,  // gap surplus over o, ns
-        0u64..100,     // G ns/byte
+        0u64..50_000, // L ns
+        1u64..20_000, // o ns
+        0u64..50_000, // gap surplus over o, ns
+        0u64..100,    // G ns/byte
     )
         .prop_map(|(l, o, extra, g)| LogGpParams {
             latency: Time::from_ns(l),
@@ -26,19 +26,20 @@ fn arb_params() -> impl Strategy<Value = LogGpParams> {
 }
 
 fn arb_pattern() -> impl Strategy<Value = CommPattern> {
-    (2usize..12, 0usize..40, proptest::bool::ANY, any::<u64>()).prop_map(
-        |(n, msgs, dag, seed)| {
-            if dag {
-                patterns::random_dag(n, msgs, 4096, seed)
-            } else {
-                patterns::random(n, msgs, 4096, seed)
-            }
-        },
-    )
+    (2usize..12, 0usize..40, proptest::bool::ANY, any::<u64>()).prop_map(|(n, msgs, dag, seed)| {
+        if dag {
+            patterns::random_dag(n, msgs, 4096, seed)
+        } else {
+            patterns::random(n, msgs, 4096, seed)
+        }
+    })
 }
 
 fn wc_options() -> ValidateOptions {
-    ValidateOptions { check_send_program_order: false, check_recv_arrival_order: false }
+    ValidateOptions {
+        check_send_program_order: false,
+        check_recv_arrival_order: false,
+    }
 }
 
 proptest! {

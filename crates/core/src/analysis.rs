@@ -78,7 +78,12 @@ pub fn classify(pred: &Prediction) -> Vec<StepClass> {
         } else {
             StepKind::ComputationBound
         };
-        out.push(StepClass { label: s.label.clone(), comp, comm, kind });
+        out.push(StepClass {
+            label: s.label.clone(),
+            comp,
+            comm,
+            kind,
+        });
         prev_end = s.comm_end;
     }
     out
@@ -112,7 +117,10 @@ mod tests {
     use loggp::presets;
 
     fn predict(prog: &Program) -> Prediction {
-        simulate_program(prog, &SimOptions::new(SimConfig::new(presets::meiko_cs2(prog.procs()))))
+        simulate_program(
+            prog,
+            &SimOptions::new(SimConfig::new(presets::meiko_cs2(prog.procs()))),
+        )
     }
 
     #[test]
@@ -123,7 +131,11 @@ mod tests {
         // Tiny computation, heavy communication.
         let mut pat = CommPattern::new(2);
         pat.add(0, 1, 100_000);
-        prog.push(Step::new("ship").with_comp(vec![Time::from_us(1.0); 2]).with_comm(pat));
+        prog.push(
+            Step::new("ship")
+                .with_comp(vec![Time::from_us(1.0); 2])
+                .with_comm(pat),
+        );
         let classes = classify(&predict(&prog));
         assert_eq!(classes.len(), 2);
         assert_eq!(classes[0].kind, StepKind::ComputationBound);
@@ -180,7 +192,11 @@ mod tests {
             for t in k + 1..nb {
                 pat.add(layout.owner(k, k), layout.owner(k, t), 8 * bsz * bsz);
             }
-            prog.push(Step::new(format!("panel {k}")).with_comp(comp).with_comm(pat));
+            prog.push(
+                Step::new(format!("panel {k}"))
+                    .with_comp(comp)
+                    .with_comm(pat),
+            );
             let mut comp = vec![Time::ZERO; procs];
             for i in k + 1..nb {
                 for j in k + 1..nb {

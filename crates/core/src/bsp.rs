@@ -61,7 +61,10 @@ pub fn h_relation_bytes(pattern: &commsim::CommPattern) -> u64 {
         sent[m.src] += m.bytes as u64;
         received[m.dst] += m.bytes as u64;
     }
-    (0..procs).map(|p| sent[p].max(received[p])).max().unwrap_or(0)
+    (0..procs)
+        .map(|p| sent[p].max(received[p]))
+        .max()
+        .unwrap_or(0)
 }
 
 /// Predict `prog` under the BSP cost model: every step is a superstep,
@@ -83,7 +86,12 @@ pub fn predict(prog: &Program, params: &BspParams) -> BspPrediction {
             barriers += 1;
         }
     }
-    BspPrediction { total, comp_time, comm_time, barriers }
+    BspPrediction {
+        total,
+        comp_time,
+        comm_time,
+        barriers,
+    }
 }
 
 #[cfg(test)]

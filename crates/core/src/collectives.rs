@@ -78,7 +78,10 @@ pub fn all_reduce(p: usize, bytes: usize, combine: Time) -> Program {
 /// by a combine. Fewer rounds than reduce+broadcast at the price of
 /// bidirectional traffic every round.
 pub fn all_reduce_hypercube(p: usize, bytes: usize, combine: Time) -> Program {
-    assert!(p.is_power_of_two(), "recursive doubling needs a power-of-two machine");
+    assert!(
+        p.is_power_of_two(),
+        "recursive doubling needs a power-of-two machine"
+    );
     let mut prog = Program::new(p);
     let mut dim = 0;
     while (1usize << dim) < p {
@@ -88,9 +91,7 @@ pub fn all_reduce_hypercube(p: usize, bytes: usize, combine: Time) -> Program {
         }
         prog.push(Step::new(format!("exchange dim {dim}")).with_comm(pat));
         if !combine.is_zero() {
-            prog.push(
-                Step::new(format!("combine dim {dim}")).with_comp(vec![combine; p]),
-            );
+            prog.push(Step::new(format!("combine dim {dim}")).with_comp(vec![combine; p]));
         }
         dim += 1;
     }

@@ -209,8 +209,7 @@ mod tests {
         let l = Diagonal::new(p);
         // Any P consecutive blocks of one anti-diagonal hit P distinct procs.
         let d = 10;
-        let owners: Vec<usize> =
-            (0..p).map(|i| l.owner(i, d - i)).collect();
+        let owners: Vec<usize> = (0..p).map(|i| l.owner(i, d - i)).collect();
         let mut sorted = owners.clone();
         sorted.sort_unstable();
         sorted.dedup();

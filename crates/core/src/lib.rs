@@ -59,5 +59,6 @@ pub mod textfmt;
 pub use layout::{BlockCyclic2D, ColCyclic, Diagonal, Layout, RowCyclic};
 pub use program::{Program, Step, StepLoad};
 pub use simulate::{
-    simulate_program, CommAlgo, Overlap, Prediction, SimOptions, StepRecord, Synchronization,
+    simulate_program, simulate_program_with, CommAlgo, DirectStepSimulator, Overlap, Prediction,
+    SimOptions, StepRecord, StepSimulator, Synchronization,
 };

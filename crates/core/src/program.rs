@@ -27,7 +27,11 @@ pub struct Step {
 impl Step {
     /// An empty step with a label.
     pub fn new(label: impl Into<String>) -> Self {
-        Step { label: label.into(), comp: Vec::new(), comm: CommPattern::new(0) }
+        Step {
+            label: label.into(),
+            comp: Vec::new(),
+            comm: CommPattern::new(0),
+        }
     }
 
     /// Attach a computation phase (one duration per processor).
@@ -77,7 +81,10 @@ pub struct StepLoad {
 impl StepLoad {
     /// An empty load profile for `procs` processors.
     pub fn new(procs: usize) -> Self {
-        StepLoad { touches: vec![Vec::new(); procs], visits: vec![0; procs] }
+        StepLoad {
+            touches: vec![Vec::new(); procs],
+            visits: vec![0; procs],
+        }
     }
 
     /// Record that `proc` touches `len` bytes at `base` once.
@@ -102,7 +109,10 @@ impl Program {
     /// An empty program over `procs` processors.
     pub fn new(procs: usize) -> Self {
         assert!(procs > 0, "a program needs at least one processor");
-        Program { procs, steps: Vec::new() }
+        Program {
+            procs,
+            steps: Vec::new(),
+        }
     }
 
     /// Append a step.
@@ -151,7 +161,10 @@ impl Program {
 
     /// Total messages across all communication phases.
     pub fn total_messages(&self) -> usize {
-        self.steps.iter().map(|s| s.comm.network_messages().count()).sum()
+        self.steps
+            .iter()
+            .map(|s| s.comm.network_messages().count())
+            .sum()
     }
 
     /// Total bytes across all communication phases (network messages only).

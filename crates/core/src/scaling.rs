@@ -55,7 +55,12 @@ pub fn analyze(points: &[ScalePoint]) -> Vec<ScaleMetrics> {
                 let inv_p = 1.0 / p.procs as f64;
                 Some(((inv_s - inv_p) / (1.0 - inv_p)).max(0.0))
             };
-            ScaleMetrics { procs: p.procs, speedup, efficiency, serial_fraction }
+            ScaleMetrics {
+                procs: p.procs,
+                speedup,
+                efficiency,
+                serial_fraction,
+            }
         })
         .collect()
 }
@@ -72,7 +77,10 @@ mod tests {
     use super::*;
 
     fn pt(procs: usize, us: f64) -> ScalePoint {
-        ScalePoint { procs, time: Time::from_us(us) }
+        ScalePoint {
+            procs,
+            time: Time::from_us(us),
+        }
     }
 
     #[test]
@@ -117,7 +125,11 @@ mod tests {
         // Communication-limited scaling: time floors at 100us.
         let series = [pt(1, 800.0), pt(2, 450.0), pt(4, 300.0), pt(8, 240.0)];
         let m = analyze(&series);
-        let fr: Vec<f64> = m.iter().skip(1).map(|x| x.serial_fraction.unwrap()).collect();
+        let fr: Vec<f64> = m
+            .iter()
+            .skip(1)
+            .map(|x| x.serial_fraction.unwrap())
+            .collect();
         assert!(fr.windows(2).all(|w| w[1] >= w[0] - 1e-12), "{fr:?}");
         assert!(m.last().unwrap().efficiency < 0.5);
     }

@@ -1,7 +1,7 @@
 //! The whole-program simulator: alternate computation charges with
 //! LogGP-simulated communication steps.
 
-use crate::program::{Program, Step};
+use crate::program::Program;
 use commsim::{standard, worstcase, SimConfig, SimResult};
 use loggp::Time;
 
@@ -58,7 +58,12 @@ impl SimOptions {
     /// Paper defaults: standard algorithm, per-processor chaining, no
     /// overlap.
     pub fn new(cfg: SimConfig) -> Self {
-        SimOptions { cfg, algo: CommAlgo::Standard, sync: Synchronization::PerProcessor, overlap: Overlap::None }
+        SimOptions {
+            cfg,
+            algo: CommAlgo::Standard,
+            sync: Synchronization::PerProcessor,
+            overlap: Overlap::None,
+        }
     }
 
     /// Use the worst-case communication algorithm.
@@ -188,15 +193,54 @@ impl Prediction {
     }
 }
 
-fn simulate_step_comm(step: &Step, opts: &SimOptions, ready: &[Time]) -> SimResult {
-    match opts.algo {
-        CommAlgo::Standard => standard::simulate_from(&step.comm, &opts.cfg, ready),
-        CommAlgo::WorstCase => worstcase::simulate_from(&step.comm, &opts.cfg, ready),
+/// Pluggable communication-step backend for [`simulate_program_with`].
+///
+/// The whole-program simulator is a fold over steps; everything expensive
+/// happens inside the per-step LogGP simulation. Abstracting that one call
+/// lets alternative backends — most notably `predsim-engine`'s
+/// fingerprint-memoizing cache — slot under the unchanged program loop
+/// while guaranteeing identical results.
+pub trait StepSimulator {
+    /// Simulate the communication pattern of one step, with processor `p`
+    /// unable to start communicating before `ready[p]`. Must return exactly
+    /// what the direct algorithms in [`commsim`] would.
+    fn simulate_comm(
+        &mut self,
+        comm: &commsim::CommPattern,
+        opts: &SimOptions,
+        ready: &[Time],
+    ) -> SimResult;
+}
+
+/// The pass-through backend: call the [`commsim`] algorithms directly.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DirectStepSimulator;
+
+impl StepSimulator for DirectStepSimulator {
+    fn simulate_comm(
+        &mut self,
+        comm: &commsim::CommPattern,
+        opts: &SimOptions,
+        ready: &[Time],
+    ) -> SimResult {
+        match opts.algo {
+            CommAlgo::Standard => standard::simulate_from(comm, &opts.cfg, ready),
+            CommAlgo::WorstCase => worstcase::simulate_from(comm, &opts.cfg, ready),
+        }
     }
 }
 
 /// Simulate a whole program; see [`Prediction`] for what comes back.
 pub fn simulate_program(prog: &Program, opts: &SimOptions) -> Prediction {
+    simulate_program_with(prog, opts, &mut DirectStepSimulator)
+}
+
+/// [`simulate_program`] with a caller-supplied communication backend.
+pub fn simulate_program_with(
+    prog: &Program,
+    opts: &SimOptions,
+    step_sim: &mut dyn StepSimulator,
+) -> Prediction {
     let procs = prog.procs();
     let mut ready = vec![Time::ZERO; procs];
     let mut per_proc_comp = vec![Time::ZERO; procs];
@@ -221,7 +265,7 @@ pub fn simulate_program(prog: &Program, opts: &SimOptions) -> Prediction {
         let (comm_end_max, next_ready) = if step.comm.is_empty() {
             (comp_end_max, comp_end.clone())
         } else {
-            let result = simulate_step_comm(step, opts, &comp_end);
+            let result = step_sim.simulate_comm(&step.comm, opts, &comp_end);
             forced_sends += result.forced_sends;
 
             // Per-processor end of the communication section.
@@ -241,7 +285,10 @@ pub fn simulate_program(prog: &Program, opts: &SimOptions) -> Prediction {
                 Overlap::None => comm_done.clone(),
                 Overlap::RecvOnly => last_recv_done,
             };
-            (comm_done.iter().copied().max().unwrap_or(comp_end_max), base)
+            (
+                comm_done.iter().copied().max().unwrap_or(comp_end_max),
+                base,
+            )
         };
 
         ready = match opts.sync {
@@ -277,6 +324,7 @@ pub fn simulate_program(prog: &Program, opts: &SimOptions) -> Prediction {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::program::Step;
     use commsim::CommPattern;
     use loggp::presets;
 
@@ -308,7 +356,10 @@ mod tests {
         assert_eq!(pred.total, Time::from_us(31.0));
         assert_eq!(pred.comp_time, Time::from_us(31.0));
         assert_eq!(pred.comm_time, Time::ZERO);
-        assert_eq!(pred.per_proc_comp, vec![Time::from_us(15.0), Time::from_us(31.0)]);
+        assert_eq!(
+            pred.per_proc_comp,
+            vec![Time::from_us(15.0), Time::from_us(31.0)]
+        );
         assert_eq!(pred.critical_proc(), 1);
     }
 
@@ -351,7 +402,11 @@ mod tests {
         let mut c = CommPattern::new(3);
         c.add(0, 1, 500);
         c.add(1, 2, 500);
-        prog.push(Step::new("s").with_comp(vec![Time::from_us(5.0); 3]).with_comm(c));
+        prog.push(
+            Step::new("s")
+                .with_comp(vec![Time::from_us(5.0); 3])
+                .with_comm(c),
+        );
         let st = simulate_program(&prog, &opts(3));
         let wc = simulate_program(&prog, &opts(3).worst_case());
         assert!(wc.total >= st.total);

@@ -72,19 +72,20 @@ pub fn parse(text: &str) -> Result<Program, ParseError> {
     // Current step under construction.
     let mut cur: Option<(String, Vec<Time>, CommPattern)> = None;
 
-    let flush =
-        |prog: &mut Option<Program>, cur: &mut Option<(String, Vec<Time>, CommPattern)>| {
-            if let Some((label, comp, comm)) = cur.take() {
-                let mut step = Step::new(label);
-                if !comp.is_empty() {
-                    step = step.with_comp(comp);
-                }
-                if !comm.is_empty() {
-                    step = step.with_comm(comm);
-                }
-                prog.as_mut().expect("program header precedes steps").push(step);
+    let flush = |prog: &mut Option<Program>, cur: &mut Option<(String, Vec<Time>, CommPattern)>| {
+        if let Some((label, comp, comm)) = cur.take() {
+            let mut step = Step::new(label);
+            if !comp.is_empty() {
+                step = step.with_comp(comp);
             }
-        };
+            if !comm.is_empty() {
+                step = step.with_comm(comm);
+            }
+            prog.as_mut()
+                .expect("program header precedes steps")
+                .push(step);
+        }
+    };
 
     for (idx, raw) in text.lines().enumerate() {
         let lineno = idx + 1;
@@ -212,7 +213,10 @@ mod tests {
         }
         // And the predictions agree, which is what actually matters.
         let cfg = SimOptions::new(SimConfig::new(presets::meiko_cs2(3)));
-        assert_eq!(simulate_program(&back, &cfg).total, simulate_program(&prog, &cfg).total);
+        assert_eq!(
+            simulate_program(&back, &cfg).total,
+            simulate_program(&prog, &cfg).total
+        );
     }
 
     #[test]
@@ -242,7 +246,10 @@ mod tests {
             ("program procs=2\nbogus", "unknown directive"),
             ("program procs=2\nprogram procs=2", "duplicate program"),
             ("", "missing 'program'"),
-            ("program procs=2\nstep\ncomp 1 2\ncomp 1 2", "duplicate 'comp'"),
+            (
+                "program procs=2\nstep\ncomp 1 2\ncomp 1 2",
+                "duplicate 'comp'",
+            ),
             ("program procs=2\nstep\ncomp -1 2", "invalid duration"),
         ] {
             let e = parse(text).unwrap_err();

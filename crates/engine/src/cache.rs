@@ -1,0 +1,305 @@
+//! The sharded step-pattern memo cache.
+//!
+//! Keys are [`StepKey`]s (canonical fingerprint of pattern × config ×
+//! relative readiness); values are *normalized* simulation results —
+//! schedules computed as if the earliest-ready processor entered the step
+//! at time zero. Because the LogGP simulators are translation-invariant
+//! (see [`crate::fingerprint`]), a cached normalized schedule shifted by
+//! the step's base time is bit-identical to simulating the step directly.
+//!
+//! Shards are independent `parking_lot`-style `RwLock` maps selected by
+//! the key's digest, so concurrent workers rarely contend; hit/miss/
+//! insert/eviction counters are lock-free atomics.
+
+use crate::fingerprint::StepKey;
+use commsim::{CommPattern, SimResult, Timeline};
+use loggp::Time;
+use parking_lot::RwLock;
+use predsim_core::{DirectStepSimulator, SimOptions, StepSimulator};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A normalized (base-time-zero) step schedule.
+#[derive(Clone, Debug)]
+struct CachedStep {
+    procs: usize,
+    events: Arc<[commsim::CommEvent]>,
+    finish: Time,
+    forced_sends: usize,
+}
+
+impl CachedStep {
+    fn from_result(r: &SimResult) -> Self {
+        CachedStep {
+            procs: r.timeline.procs(),
+            events: r.timeline.events().into(),
+            finish: r.finish,
+            forced_sends: r.forced_sends,
+        }
+    }
+
+    /// Rebuild the concrete result with every event shifted by `base`.
+    fn materialize(&self, base: Time) -> SimResult {
+        let mut timeline = Timeline::new(self.procs);
+        for ev in self.events.iter() {
+            let mut ev = *ev;
+            ev.start += base;
+            ev.end += base;
+            timeline.push(ev);
+        }
+        SimResult {
+            timeline,
+            finish: self.finish + base,
+            forced_sends: self.forced_sends,
+        }
+    }
+}
+
+/// Monotonic cache counters (snapshot via [`MemoCache::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to simulate.
+    pub misses: u64,
+    /// Normalized schedules stored.
+    pub inserts: u64,
+    /// Entries dropped because a shard reached capacity.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Sharded fingerprint → normalized-schedule map.
+pub struct MemoCache {
+    shards: Vec<RwLock<HashMap<StepKey, CachedStep>>>,
+    shard_capacity: usize,
+    counters: Counters,
+}
+
+impl MemoCache {
+    /// A cache with `shards` independent locks and at most
+    /// `shard_capacity` entries per shard.
+    ///
+    /// # Panics
+    /// Panics if either argument is zero.
+    pub fn new(shards: usize, shard_capacity: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert!(
+            shard_capacity > 0,
+            "need room for at least one entry per shard"
+        );
+        MemoCache {
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            shard_capacity,
+            counters: Counters::default(),
+        }
+    }
+
+    fn shard(&self, key: &StepKey) -> &RwLock<HashMap<StepKey, CachedStep>> {
+        // The digest already mixes every word; fold high bits in so shard
+        // choice is not just the digest's low bits.
+        let d = key.digest();
+        &self.shards[((d ^ (d >> 32)) % self.shards.len() as u64) as usize]
+    }
+
+    /// Look up a normalized schedule and materialize it at `base`.
+    pub fn get(&self, key: &StepKey, base: Time) -> Option<SimResult> {
+        let found = self.shard(key).read().get(key).cloned();
+        match found {
+            Some(step) => {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                Some(step.materialize(base))
+            }
+            None => {
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store the *normalized* result of simulating `key` (the schedule as
+    /// computed with base time zero).
+    pub fn insert(&self, key: StepKey, normalized: &SimResult) {
+        let mut shard = self.shard(&key).write();
+        if shard.len() >= self.shard_capacity && !shard.contains_key(&key) {
+            // Epoch eviction: drop the whole shard. Deterministic, O(1)
+            // amortized, and a sweep's working set either fits (no
+            // eviction ever) or cycles anyway.
+            self.counters
+                .evictions
+                .fetch_add(shard.len() as u64, Ordering::Relaxed);
+            shard.clear();
+        }
+        if shard
+            .insert(key, CachedStep::from_result(normalized))
+            .is_none()
+        {
+            self.counters.inserts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            inserts: self.counters.inserts.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of entries currently cached, across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True iff nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A [`StepSimulator`] that answers repeated steps from a [`MemoCache`].
+///
+/// Each step's readiness vector is normalized by its minimum; the key is
+/// built over the relative offsets; on a miss the step is simulated *at
+/// the relative offsets* (so the stored schedule is base-free) and shifted
+/// back. Translation invariance of the LogGP algorithms makes the shifted
+/// schedule bit-identical to simulating at the absolute times directly.
+pub struct MemoStepSimulator<'a> {
+    cache: &'a MemoCache,
+}
+
+impl<'a> MemoStepSimulator<'a> {
+    /// A simulator backed by `cache`.
+    pub fn new(cache: &'a MemoCache) -> Self {
+        MemoStepSimulator { cache }
+    }
+}
+
+impl StepSimulator for MemoStepSimulator<'_> {
+    fn simulate_comm(
+        &mut self,
+        comm: &CommPattern,
+        opts: &SimOptions,
+        ready: &[Time],
+    ) -> SimResult {
+        let base = ready.iter().copied().min().unwrap_or(Time::ZERO);
+        let rel: Vec<Time> = ready.iter().map(|&t| t - base).collect();
+        let key = StepKey::new(comm, opts, &rel);
+        if let Some(hit) = self.cache.get(&key, base) {
+            return hit;
+        }
+        let normalized = DirectStepSimulator.simulate_comm(comm, opts, &rel);
+        let shifted = CachedStep::from_result(&normalized).materialize(base);
+        self.cache.insert(key, &normalized);
+        shifted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commsim::{standard, SimConfig};
+    use loggp::presets;
+    use predsim_core::SimOptions;
+
+    fn pattern() -> CommPattern {
+        let mut c = CommPattern::new(2);
+        c.add(0, 1, 256);
+        c
+    }
+
+    #[test]
+    fn hit_materializes_shifted_schedule() {
+        let cache = MemoCache::new(4, 16);
+        let opts = SimOptions::new(SimConfig::new(presets::meiko_cs2(2)));
+        let p = pattern();
+        let rel = vec![Time::ZERO, Time::from_us(2.0)];
+        let key = StepKey::new(&p, &opts, &rel);
+
+        assert!(cache.get(&key, Time::ZERO).is_none());
+        let normalized = standard::simulate_from(&p, &opts.cfg, &rel);
+        cache.insert(key.clone(), &normalized);
+
+        let base = Time::from_us(100.0);
+        let hit = cache.get(&key, base).expect("cached");
+        assert_eq!(hit.finish, normalized.finish + base);
+        for (a, b) in hit
+            .timeline
+            .events()
+            .iter()
+            .zip(normalized.timeline.events())
+        {
+            assert_eq!(a.start, b.start + base);
+            assert_eq!(a.end, b.end + base);
+            assert_eq!((a.proc, a.kind, a.msg_id), (b.proc, b.kind, b.msg_id));
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.inserts), (1, 1, 1));
+        assert!(stats.hit_rate() > 0.49 && stats.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn capacity_triggers_epoch_eviction() {
+        let cache = MemoCache::new(1, 2);
+        let opts = SimOptions::new(SimConfig::new(presets::meiko_cs2(2)));
+        let normalized = standard::simulate(&pattern(), &opts.cfg);
+        for bytes in 1..=5usize {
+            let mut c = CommPattern::new(2);
+            c.add(0, 1, bytes);
+            let key = StepKey::new(&c, &opts, &[Time::ZERO, Time::ZERO]);
+            cache.insert(key, &normalized);
+        }
+        let stats = cache.stats();
+        assert!(stats.evictions >= 2, "evictions: {}", stats.evictions);
+        assert!(cache.len() <= 2);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn memo_simulator_matches_direct_on_hit_and_miss() {
+        let cache = MemoCache::new(2, 64);
+        let mut memo = MemoStepSimulator::new(&cache);
+        let mut direct = DirectStepSimulator;
+        let p = pattern();
+        for opts in [
+            SimOptions::new(SimConfig::new(presets::meiko_cs2(2))),
+            SimOptions::new(SimConfig::new(presets::meiko_cs2(2))).worst_case(),
+        ] {
+            // Same relative shape at three different absolute bases: the
+            // first call misses, the rest hit — all must equal direct.
+            for base_us in [0.0, 55.0, 1234.5] {
+                let ready = vec![Time::from_us(base_us), Time::from_us(base_us + 7.0)];
+                let want = direct.simulate_comm(&p, &opts, &ready);
+                let got = memo.simulate_comm(&p, &opts, &ready);
+                assert_eq!(got.finish, want.finish);
+                assert_eq!(got.forced_sends, want.forced_sends);
+                assert_eq!(got.timeline.events(), want.timeline.events());
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2, "one miss per algorithm");
+        assert_eq!(stats.hits, 4);
+    }
+}

@@ -1,0 +1,269 @@
+//! Prediction jobs: what the engine executes.
+//!
+//! A [`JobSpec`] names one prediction — a program source (a pre-built
+//! trace or a generator recipe) plus the [`SimOptions`] to predict it
+//! under. Specs are plain data (`Clone + Send`), so a batch can be built
+//! up front, dealt to workers, and reported in input order. [`Grid`]
+//! builds the common cartesian case: every source on every machine.
+
+use blockops::AnalyticCost;
+use loggp::LogGpParams;
+use predsim_core::layout::{BlockCyclic2D, ColCyclic, Diagonal, Layout, RowCyclic};
+use predsim_core::{Prediction, Program, SimOptions};
+use std::sync::Arc;
+
+/// A data-parallel block layout, by name — [`JobSpec`]s must be `Send`,
+/// so they carry this constructor recipe instead of a `Box<dyn Layout>`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LayoutSpec {
+    /// Row `i` of blocks lives on processor `i mod P`.
+    RowCyclic(usize),
+    /// Column `j` of blocks lives on processor `j mod P`.
+    ColCyclic(usize),
+    /// Anti-diagonal wrapping of blocks onto processors.
+    Diagonal(usize),
+    /// 2-D block-cyclic over a `pr × pc` processor grid.
+    Grid2D(usize, usize),
+}
+
+impl LayoutSpec {
+    /// Instantiate the layout.
+    pub fn build(&self) -> Box<dyn Layout> {
+        match *self {
+            LayoutSpec::RowCyclic(p) => Box::new(RowCyclic::new(p)),
+            LayoutSpec::ColCyclic(p) => Box::new(ColCyclic::new(p)),
+            LayoutSpec::Diagonal(p) => Box::new(Diagonal::new(p)),
+            LayoutSpec::Grid2D(pr, pc) => Box::new(BlockCyclic2D::new(pr, pc)),
+        }
+    }
+
+    /// Number of processors the layout maps onto.
+    pub fn procs(&self) -> usize {
+        match *self {
+            LayoutSpec::RowCyclic(p) | LayoutSpec::ColCyclic(p) | LayoutSpec::Diagonal(p) => p,
+            LayoutSpec::Grid2D(pr, pc) => pr * pc,
+        }
+    }
+}
+
+/// Where a job's program comes from.
+///
+/// Generator variants re-derive the trace inside the worker, keeping the
+/// spec tiny; `Program` shares an already-built trace across jobs (the
+/// grid case: one trace, many machines).
+#[derive(Clone, Debug)]
+pub enum JobSource {
+    /// A pre-built program trace.
+    Program(Arc<Program>),
+    /// Blocked Gaussian elimination (`gauss::generate`, paper-default
+    /// operation costs).
+    Gauss {
+        /// Matrix dimension.
+        n: usize,
+        /// Block size (must divide `n`).
+        block: usize,
+        /// Data layout.
+        layout: LayoutSpec,
+    },
+    /// Cannon's matrix-multiply on a `q × q` grid (`cannon::generate`,
+    /// paper-default operation costs).
+    Cannon {
+        /// Matrix dimension.
+        n: usize,
+        /// Grid side (must divide `n`).
+        q: usize,
+    },
+    /// Jacobi stencil on banded rows (`stencil::generate`).
+    Stencil {
+        /// Grid dimension.
+        n: usize,
+        /// Number of bands.
+        procs: usize,
+        /// Iterations.
+        iters: usize,
+        /// Computation charge per flop, picoseconds.
+        ps_per_flop: u64,
+    },
+}
+
+impl JobSource {
+    /// Build (or borrow) the program trace.
+    pub fn build(&self) -> Arc<Program> {
+        match self {
+            JobSource::Program(p) => Arc::clone(p),
+            JobSource::Gauss { n, block, layout } => {
+                let cost = AnalyticCost::paper_default();
+                Arc::new(gauss::generate(*n, *block, layout.build().as_ref(), &cost).program)
+            }
+            JobSource::Cannon { n, q } => {
+                let cost = AnalyticCost::paper_default();
+                Arc::new(cannon::generate(*n, *q, &cost).program)
+            }
+            JobSource::Stencil {
+                n,
+                procs,
+                iters,
+                ps_per_flop,
+            } => Arc::new(stencil::generate(*n, *procs, *iters, *ps_per_flop).program),
+        }
+    }
+
+    /// Number of processors the program runs on.
+    pub fn procs(&self) -> usize {
+        match self {
+            JobSource::Program(p) => p.procs(),
+            JobSource::Gauss { layout, .. } => layout.procs(),
+            JobSource::Cannon { q, .. } => q * q,
+            JobSource::Stencil { procs, .. } => *procs,
+        }
+    }
+}
+
+/// One prediction job.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Caller-chosen label, echoed in the result.
+    pub label: String,
+    /// The program to predict.
+    pub source: JobSource,
+    /// Simulation options (machine model, algorithm, policies).
+    pub opts: SimOptions,
+}
+
+impl JobSpec {
+    /// A job with the paper-default options for `params`.
+    pub fn new(label: impl Into<String>, source: JobSource, opts: SimOptions) -> Self {
+        JobSpec {
+            label: label.into(),
+            source,
+            opts,
+        }
+    }
+}
+
+/// The engine's answer for one job; `index` matches the spec's position in
+/// the submitted batch.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// Position of the spec in the submitted slice.
+    pub index: usize,
+    /// The spec's label.
+    pub label: String,
+    /// The full prediction.
+    pub prediction: Prediction,
+}
+
+/// Builder for the cartesian sweep: every source × every machine.
+///
+/// Jobs are emitted machine-major (all sources on the first machine, then
+/// all on the second, …), labelled `"<source> @ <machine>"`.
+#[derive(Clone, Debug, Default)]
+pub struct Grid {
+    sources: Vec<(String, JobSource)>,
+    machines: Vec<(String, LogGpParams)>,
+    worst_case: bool,
+}
+
+impl Grid {
+    /// An empty grid.
+    pub fn new() -> Self {
+        Grid::default()
+    }
+
+    /// Add a labelled program source.
+    pub fn source(mut self, label: impl Into<String>, source: JobSource) -> Self {
+        self.sources.push((label.into(), source));
+        self
+    }
+
+    /// Add a labelled machine model.
+    pub fn machine(mut self, name: impl Into<String>, params: LogGpParams) -> Self {
+        self.machines.push((name.into(), params));
+        self
+    }
+
+    /// Predict with the worst-case (§4.2) step algorithm instead of the
+    /// standard one.
+    pub fn worst_case(mut self) -> Self {
+        self.worst_case = true;
+        self
+    }
+
+    /// Expand into the job list.
+    pub fn build(&self) -> Vec<JobSpec> {
+        let mut jobs = Vec::with_capacity(self.sources.len() * self.machines.len());
+        for (mname, params) in &self.machines {
+            for (sname, source) in &self.sources {
+                let mut opts = SimOptions::new(commsim::SimConfig::new(*params));
+                if self.worst_case {
+                    opts = opts.worst_case();
+                }
+                jobs.push(JobSpec::new(
+                    format!("{sname} @ {mname}"),
+                    source.clone(),
+                    opts,
+                ));
+            }
+        }
+        jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loggp::presets;
+
+    #[test]
+    fn generator_sources_build_consistent_programs() {
+        let ge = JobSource::Gauss {
+            n: 64,
+            block: 16,
+            layout: LayoutSpec::RowCyclic(4),
+        };
+        assert_eq!(ge.build().procs(), ge.procs());
+        let ca = JobSource::Cannon { n: 32, q: 2 };
+        assert_eq!(ca.build().procs(), 4);
+        let st = JobSource::Stencil {
+            n: 32,
+            procs: 4,
+            iters: 3,
+            ps_per_flop: 500,
+        };
+        assert_eq!(st.build().procs(), 4);
+        assert_eq!(st.build().len(), 3);
+    }
+
+    #[test]
+    fn shared_program_source_is_not_rebuilt() {
+        let prog = Arc::new(stencil::generate(16, 2, 1, 100).program);
+        let src = JobSource::Program(Arc::clone(&prog));
+        assert!(Arc::ptr_eq(&src.build(), &prog));
+    }
+
+    #[test]
+    fn grid_is_machine_major_and_labelled() {
+        let jobs = Grid::new()
+            .source(
+                "st",
+                JobSource::Stencil {
+                    n: 16,
+                    procs: 2,
+                    iters: 1,
+                    ps_per_flop: 100,
+                },
+            )
+            .source("ca", JobSource::Cannon { n: 16, q: 2 })
+            .machine("meiko", presets::meiko_cs2(4))
+            .machine("paragon", presets::intel_paragon(4))
+            .build();
+        assert_eq!(jobs.len(), 4);
+        assert_eq!(jobs[0].label, "st @ meiko");
+        assert_eq!(jobs[1].label, "ca @ meiko");
+        assert_eq!(jobs[3].label, "ca @ paragon");
+        assert_eq!(
+            jobs[2].opts.cfg.params.latency,
+            presets::intel_paragon(4).latency
+        );
+    }
+}

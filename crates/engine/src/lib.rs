@@ -1,0 +1,330 @@
+//! `predsim-engine` — the parallel batch-prediction engine.
+//!
+//! The paper's workflow evaluates many predictions: block-size sweeps
+//! (Figure 7), machine comparisons, scaling studies. Each prediction is an
+//! independent pure function of `(program, machine, options)`, so a batch
+//! parallelizes perfectly — and consecutive predictions re-simulate the
+//! *same communication steps* over and over (every stencil iteration,
+//! every Cannon rotate round, every repeated wavefront shape).
+//!
+//! The engine exploits both:
+//!
+//! * **a worker pool** ([`Engine::run`]) deals [`JobSpec`]s to
+//!   `--jobs` threads over crossbeam channels and reassembles the
+//!   [`JobResult`]s in submission order — results are bit-identical to
+//!   running the jobs sequentially, whatever the worker count;
+//! * **a step-pattern memo cache** ([`MemoCache`]) fingerprints each
+//!   communication step (pattern × machine × algorithm × relative
+//!   readiness, see [`fingerprint::StepKey`]) and replays the cached
+//!   schedule, shifted to the step's base time, on a hit. Keys compare
+//!   their full canonical encoding, so collisions cannot corrupt results.
+//!
+//! ```
+//! use predsim_engine::{Engine, EngineConfig, Grid, JobSource};
+//! use loggp::presets;
+//!
+//! let jobs = Grid::new()
+//!     .source("stencil 64", JobSource::Stencil { n: 64, procs: 4, iters: 8, ps_per_flop: 500 })
+//!     .machine("meiko", presets::meiko_cs2(4))
+//!     .machine("paragon", presets::intel_paragon(4))
+//!     .build();
+//! let engine = Engine::new(EngineConfig::default());
+//! let results = engine.run(&jobs);
+//! assert_eq!(results.len(), 2);
+//! assert!(engine.stats().hits > 0); // iterations 2..8 replay iteration 1
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod fingerprint;
+pub mod job;
+
+pub use cache::{CacheStats, MemoCache, MemoStepSimulator};
+pub use fingerprint::StepKey;
+pub use job::{Grid, JobResult, JobSource, JobSpec, LayoutSpec};
+
+use crossbeam::channel;
+use predsim_core::{simulate_program, simulate_program_with, Prediction};
+use std::sync::Arc;
+
+/// Engine tuning knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads; `0` means one per available CPU.
+    pub jobs: usize,
+    /// Whether to memoize communication steps.
+    pub memo: bool,
+    /// Lock shards of the memo cache.
+    pub shards: usize,
+    /// Entries per shard before epoch eviction.
+    pub shard_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            jobs: 0,
+            memo: true,
+            shards: 16,
+            shard_capacity: 4096,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Worker threads after resolving `jobs == 0` to the CPU count.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.jobs
+        }
+    }
+
+    /// Same config with an explicit worker count.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Same config with memoization switched on or off.
+    pub fn with_memo(mut self, memo: bool) -> Self {
+        self.memo = memo;
+        self
+    }
+}
+
+/// The batch-prediction engine: a worker pool plus a shared memo cache.
+///
+/// The cache persists across [`Engine::run`] calls, so a sweep following a
+/// sweep over the same programs starts warm.
+pub struct Engine {
+    config: EngineConfig,
+    cache: Arc<MemoCache>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new(EngineConfig::default())
+    }
+}
+
+impl Engine {
+    /// An engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        let cache = Arc::new(MemoCache::new(
+            config.shards.max(1),
+            config.shard_capacity.max(1),
+        ));
+        Engine { config, cache }
+    }
+
+    /// A single-threaded engine (useful as the comparison baseline; still
+    /// memoizes unless `memo` is disabled).
+    pub fn sequential() -> Self {
+        Engine::new(EngineConfig::default().with_jobs(1))
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Snapshot of the memo-cache counters.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Predict one job with this engine's cache.
+    pub fn run_one(&self, spec: &JobSpec) -> Prediction {
+        let program = spec.source.build();
+        if self.config.memo {
+            let mut memo = MemoStepSimulator::new(&self.cache);
+            simulate_program_with(&program, &spec.opts, &mut memo)
+        } else {
+            simulate_program(&program, &spec.opts)
+        }
+    }
+
+    /// Execute a batch; results come back in submission order and are
+    /// bit-identical to running the specs one by one on one thread.
+    pub fn run(&self, specs: &[JobSpec]) -> Vec<JobResult> {
+        if specs.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.config.effective_jobs().min(specs.len());
+        if workers <= 1 {
+            return specs
+                .iter()
+                .enumerate()
+                .map(|(i, s)| self.execute(i, s))
+                .collect();
+        }
+
+        let (work_tx, work_rx) = channel::unbounded::<usize>();
+        let (done_tx, done_rx) = channel::unbounded::<JobResult>();
+        for i in 0..specs.len() {
+            work_tx.send(i).expect("work queue open");
+        }
+        drop(work_tx);
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                let work_rx = work_rx.clone();
+                let done_tx = done_tx.clone();
+                scope.spawn(move |_| {
+                    while let Ok(i) = work_rx.recv() {
+                        done_tx
+                            .send(self.execute(i, &specs[i]))
+                            .expect("collector open");
+                    }
+                });
+            }
+        })
+        .expect("engine worker panicked");
+        drop(done_tx);
+
+        let mut slots: Vec<Option<JobResult>> = (0..specs.len()).map(|_| None).collect();
+        for result in done_rx {
+            let i = result.index;
+            debug_assert!(slots[i].is_none(), "job {i} executed twice");
+            slots[i] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("every job completed"))
+            .collect()
+    }
+
+    fn execute(&self, index: usize, spec: &JobSpec) -> JobResult {
+        JobResult {
+            index,
+            label: spec.label.clone(),
+            prediction: self.run_one(spec),
+        }
+    }
+}
+
+/// Index of the best (smallest-total) result, lowest index winning ties —
+/// the same choice `search::sweep` makes.
+pub fn best_by_total(results: &[JobResult]) -> Option<usize> {
+    results
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, r)| r.prediction.total)
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loggp::presets;
+
+    fn stencil_grid() -> Vec<JobSpec> {
+        Grid::new()
+            .source(
+                "st32",
+                JobSource::Stencil {
+                    n: 32,
+                    procs: 4,
+                    iters: 6,
+                    ps_per_flop: 500,
+                },
+            )
+            .source("ca32", JobSource::Cannon { n: 32, q: 2 })
+            .source(
+                "ge64",
+                JobSource::Gauss {
+                    n: 64,
+                    block: 16,
+                    layout: LayoutSpec::ColCyclic(4),
+                },
+            )
+            .machine("meiko", presets::meiko_cs2(4))
+            .machine("myrinet", presets::myrinet_cluster(4))
+            .build()
+    }
+
+    fn assert_identical(a: &[JobResult], b: &[JobResult]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.index, y.index);
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.prediction.total, y.prediction.total);
+            assert_eq!(x.prediction.comp_time, y.prediction.comp_time);
+            assert_eq!(x.prediction.comm_time, y.prediction.comm_time);
+            assert_eq!(x.prediction.per_proc_finish, y.prediction.per_proc_finish);
+            assert_eq!(x.prediction.forced_sends, y.prediction.forced_sends);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_and_memo_is_transparent() {
+        let jobs = stencil_grid();
+        let plain: Vec<JobResult> = {
+            let e = Engine::new(EngineConfig::default().with_jobs(1).with_memo(false));
+            e.run(&jobs)
+        };
+        let memo_seq = Engine::sequential().run(&jobs);
+        let memo_par = Engine::new(EngineConfig::default().with_jobs(4)).run(&jobs);
+        assert_identical(&plain, &memo_seq);
+        assert_identical(&plain, &memo_par);
+    }
+
+    #[test]
+    fn repeated_steps_hit_the_cache() {
+        let engine = Engine::new(EngineConfig::default().with_jobs(2));
+        let jobs = Grid::new()
+            .source(
+                "st",
+                JobSource::Stencil {
+                    n: 48,
+                    procs: 4,
+                    iters: 40,
+                    ps_per_flop: 500,
+                },
+            )
+            .machine("meiko", presets::meiko_cs2(4))
+            .build();
+        engine.run(&jobs);
+        let stats = engine.stats();
+        // The readiness offsets settle into a steady state after a few
+        // warm-up iterations; from then on every iteration is a hit.
+        assert!(stats.hits >= 20, "hits: {}", stats.hits);
+        assert!(stats.misses >= 1);
+    }
+
+    #[test]
+    fn empty_batch_and_best_selection() {
+        let engine = Engine::sequential();
+        assert!(engine.run(&[]).is_empty());
+        assert_eq!(best_by_total(&[]), None);
+
+        let jobs = Grid::new()
+            .source(
+                "fast",
+                JobSource::Stencil {
+                    n: 16,
+                    procs: 2,
+                    iters: 1,
+                    ps_per_flop: 100,
+                },
+            )
+            .source(
+                "slow",
+                JobSource::Stencil {
+                    n: 64,
+                    procs: 2,
+                    iters: 4,
+                    ps_per_flop: 900,
+                },
+            )
+            .machine("ideal", presets::ideal(2))
+            .build();
+        let results = engine.run(&jobs);
+        assert_eq!(best_by_total(&results), Some(0));
+    }
+}

@@ -1,0 +1,209 @@
+//! Property tests: the engine is a pure optimization.
+//!
+//! Whatever the worker count and whether the memo cache is on, a batch's
+//! results must be bit-identical — same predicted times, same per-step
+//! records, same simulated event counts — to evaluating the same specs
+//! sequentially with the direct simulator (which is what
+//! `predsim_core::search::sweep` does).
+
+use loggp::{presets, LogGpParams, Time};
+use predsim_core::{
+    search, simulate_program_with, DirectStepSimulator, Prediction, SimOptions, StepSimulator,
+};
+use predsim_engine::{
+    best_by_total, Engine, EngineConfig, JobSource, JobSpec, LayoutSpec, MemoCache,
+    MemoStepSimulator,
+};
+use proptest::prelude::*;
+
+fn machine_for(idx: usize, procs: usize) -> LogGpParams {
+    match idx % 5 {
+        0 => presets::meiko_cs2(procs),
+        1 => presets::intel_paragon(procs),
+        2 => presets::myrinet_cluster(procs),
+        3 => presets::ethernet_cluster(procs),
+        _ => presets::ideal(procs),
+    }
+}
+
+/// Decode one `(kind, param)` pair into a small GE / stencil / Cannon job
+/// source — pure arithmetic so the whole grid derives from plain integers.
+fn source_for(kind: usize, param: usize) -> JobSource {
+    match kind % 3 {
+        0 => {
+            let n = [32, 48, 64][param % 3];
+            let block = [8, 16][param % 2];
+            let procs = 2 + param % 3;
+            let layout = match param % 3 {
+                0 => LayoutSpec::Diagonal(procs),
+                1 => LayoutSpec::RowCyclic(procs),
+                _ => LayoutSpec::ColCyclic(procs),
+            };
+            JobSource::Gauss { n, block, layout }
+        }
+        1 => JobSource::Stencil {
+            n: 8 + param % 24,
+            procs: 2 + param % 3,
+            iters: 1 + param % 5,
+            ps_per_flop: 200 + 100 * (param % 4) as u64,
+        },
+        _ => {
+            let q = [2, 2, 4][param % 3];
+            JobSource::Cannon {
+                n: q * (4 + param % 5),
+                q,
+            }
+        }
+    }
+}
+
+fn specs_for(kinds: &[(usize, usize)], mach: usize, worst: bool) -> Vec<JobSpec> {
+    kinds
+        .iter()
+        .enumerate()
+        .map(|(i, &(kind, param))| {
+            let source = source_for(kind, param);
+            let mut opts =
+                SimOptions::new(commsim::SimConfig::new(machine_for(mach, source.procs())));
+            if worst {
+                opts = opts.worst_case();
+            }
+            JobSpec::new(format!("job{i}"), source, opts)
+        })
+        .collect()
+}
+
+fn assert_predictions_identical(a: &Prediction, b: &Prediction, label: &str) {
+    assert_eq!(a.total, b.total, "{label}: total");
+    assert_eq!(a.comp_time, b.comp_time, "{label}: comp");
+    assert_eq!(a.comm_time, b.comm_time, "{label}: comm");
+    assert_eq!(a.per_proc_comp, b.per_proc_comp, "{label}: per-proc comp");
+    assert_eq!(a.per_proc_comm, b.per_proc_comm, "{label}: per-proc comm");
+    assert_eq!(
+        a.per_proc_finish, b.per_proc_finish,
+        "{label}: per-proc finish"
+    );
+    assert_eq!(a.forced_sends, b.forced_sends, "{label}: forced sends");
+    assert_eq!(a.steps.len(), b.steps.len(), "{label}: step count");
+    for (x, y) in a.steps.iter().zip(&b.steps) {
+        assert_eq!(x.label, y.label, "{label}: step label");
+        assert_eq!(
+            (x.start, x.comp_end, x.comm_end),
+            (y.start, y.comp_end, y.comm_end),
+            "{label}: step '{}' times",
+            x.label
+        );
+    }
+}
+
+/// A [`StepSimulator`] wrapper that also counts committed events — the
+/// "event counts" half of the bit-identical claim.
+struct Counting<S> {
+    inner: S,
+    events: usize,
+    finishes: Vec<Time>,
+}
+
+impl<S> Counting<S> {
+    fn new(inner: S) -> Self {
+        Counting {
+            inner,
+            events: 0,
+            finishes: Vec::new(),
+        }
+    }
+}
+
+impl<S: StepSimulator> StepSimulator for Counting<S> {
+    fn simulate_comm(
+        &mut self,
+        comm: &commsim::CommPattern,
+        opts: &SimOptions,
+        ready: &[Time],
+    ) -> commsim::SimResult {
+        let r = self.inner.simulate_comm(comm, opts, ready);
+        self.events += r.timeline.len();
+        self.finishes.push(r.finish);
+        r
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// N workers, with and without memo, reproduce the sequential direct
+    /// path exactly, and pick the same optimum `search::sweep` picks.
+    #[test]
+    fn engine_is_bit_identical_to_sequential_sweep(
+        (kinds, mach, jobs, worst) in (
+            proptest::collection::vec((0usize..3, 0usize..32), 1..6),
+            0usize..5,
+            2usize..5,
+            proptest::bool::ANY,
+        )
+    ) {
+        let specs = specs_for(&kinds, mach, worst);
+
+        // The reference: one thread, no memo — exactly what a plain loop
+        // over `simulate_program` computes.
+        let baseline = Engine::new(EngineConfig::default().with_jobs(1).with_memo(false)).run(&specs);
+
+        for memo in [false, true] {
+            let engine = Engine::new(EngineConfig::default().with_jobs(jobs).with_memo(memo));
+            let results = engine.run(&specs);
+            prop_assert_eq!(results.len(), baseline.len());
+            for (r, b) in results.iter().zip(&baseline) {
+                prop_assert_eq!(r.index, b.index);
+                prop_assert_eq!(&r.label, &b.label);
+                assert_predictions_identical(
+                    &r.prediction,
+                    &b.prediction,
+                    &format!("jobs={jobs} memo={memo} {}", r.label),
+                );
+            }
+        }
+
+        // Optimum selection agrees with the sequential search primitive.
+        let totals: Vec<Time> = baseline.iter().map(|r| r.prediction.total).collect();
+        let idx: Vec<usize> = (0..totals.len()).collect();
+        let sweep = search::sweep(&idx, |i| totals[i]);
+        let engine_best = best_by_total(&baseline).unwrap();
+        prop_assert_eq!(sweep.best, engine_best);
+        prop_assert_eq!(sweep.best_time, baseline[engine_best].prediction.total);
+    }
+
+    /// The memoizing step simulator commits the same events (same count,
+    /// same per-step finish times) as the direct one, even when many
+    /// lookups hit the cache.
+    #[test]
+    fn memo_preserves_event_counts(
+        (kind, param, mach, worst) in (0usize..3, 0usize..64, 0usize..5, proptest::bool::ANY)
+    ) {
+        let source = source_for(kind, param);
+        let mut opts = SimOptions::new(commsim::SimConfig::new(machine_for(mach, source.procs())));
+        if worst {
+            opts = opts.worst_case();
+        }
+        let program = source.build();
+
+        let mut direct = Counting::new(DirectStepSimulator);
+        let direct_pred = simulate_program_with(&program, &opts, &mut direct);
+
+        let cache = MemoCache::new(4, 1024);
+        let mut memo = Counting::new(MemoStepSimulator::new(&cache));
+        let memo_pred = simulate_program_with(&program, &opts, &mut memo);
+
+        assert_predictions_identical(&direct_pred, &memo_pred, "memo vs direct");
+        prop_assert_eq!(direct.events, memo.events, "committed event counts differ");
+        prop_assert_eq!(direct.finishes, memo.finishes, "per-step finish times differ");
+
+        // Re-running the same program is answered largely from the cache
+        // and still identical.
+        let mut warm = Counting::new(MemoStepSimulator::new(&cache));
+        let warm_pred = simulate_program_with(&program, &opts, &mut warm);
+        assert_predictions_identical(&direct_pred, &warm_pred, "warm memo vs direct");
+        prop_assert_eq!(direct.events, warm.events);
+        let stats = cache.stats();
+        prop_assert!(stats.hits >= stats.misses, "second run must hit: {:?}", stats);
+    }
+}

@@ -69,7 +69,10 @@ impl Worker {
             if let Some(m) = self.cache.remove(&key) {
                 return m;
             }
-            let msg = self.rx.recv().expect("peer hung up while blocks were pending");
+            let msg = self
+                .rx
+                .recv()
+                .expect("peer hung up while blocks were pending");
             let (k, m) = match msg {
                 BlockMsg::LInv(k, m) => (Key::LInv(k), m),
                 BlockMsg::UInv(k, m) => (Key::UInv(k), m),
@@ -94,14 +97,12 @@ impl Worker {
                 let mut diag = self.blocks.remove(&(k, k)).expect("diagonal block local");
                 let f = op1_diagonal(&mut diag).expect("paper workloads factor without pivoting");
                 self.blocks.insert((k, k), diag);
-                let mut row_dsts: Vec<usize> = (k + 1..nb)
-                    .map(|j| self.owner(layout, k, j))
-                    .collect();
+                let mut row_dsts: Vec<usize> =
+                    (k + 1..nb).map(|j| self.owner(layout, k, j)).collect();
                 row_dsts.sort_unstable();
                 row_dsts.dedup();
-                let mut col_dsts: Vec<usize> = (k + 1..nb)
-                    .map(|i| self.owner(layout, i, k))
-                    .collect();
+                let mut col_dsts: Vec<usize> =
+                    (k + 1..nb).map(|i| self.owner(layout, i, k)).collect();
                 col_dsts.sort_unstable();
                 col_dsts.dedup();
                 for dst in row_dsts {
@@ -121,8 +122,9 @@ impl Worker {
             }
 
             // Op2 on owned row-panel blocks.
-            let my_rows: Vec<usize> =
-                (k + 1..nb).filter(|&j| self.owner(layout, k, j) == self.me).collect();
+            let my_rows: Vec<usize> = (k + 1..nb)
+                .filter(|&j| self.owner(layout, k, j) == self.me)
+                .collect();
             if !my_rows.is_empty() {
                 let l_inv = self.wait_for(Key::LInv(k));
                 for j in my_rows {
@@ -145,8 +147,9 @@ impl Worker {
             }
 
             // Op3 on owned column-panel blocks.
-            let my_cols: Vec<usize> =
-                (k + 1..nb).filter(|&i| self.owner(layout, i, k) == self.me).collect();
+            let my_cols: Vec<usize> = (k + 1..nb)
+                .filter(|&i| self.owner(layout, i, k) == self.me)
+                .collect();
             if !my_cols.is_empty() {
                 let u_inv = self.wait_for(Key::UInv(k));
                 for i in my_cols {
@@ -212,7 +215,10 @@ impl Worker {
 pub fn factorize(a: &Matrix, b: usize, layout: &dyn Layout) -> ParallelRun {
     assert!(a.is_square(), "square matrices only");
     let n = a.rows();
-    assert!(b > 0 && n.is_multiple_of(b), "block size {b} must divide the matrix size {n}");
+    assert!(
+        b > 0 && n.is_multiple_of(b),
+        "block size {b} must divide the matrix size {n}"
+    );
     let nb = n / b;
     let procs = layout.procs();
 
@@ -235,7 +241,14 @@ pub fn factorize(a: &Matrix, b: usize, layout: &dyn Layout) -> ParallelRun {
         for (me, (blocks, rx)) in partitions.drain(..).zip(rxs).enumerate() {
             let txs = txs.clone();
             handles.push(scope.spawn(move |_| {
-                let mut w = Worker { me, nb, rx, txs, blocks, cache: HashMap::new() };
+                let mut w = Worker {
+                    me,
+                    nb,
+                    rx,
+                    txs,
+                    blocks,
+                    cache: HashMap::new(),
+                };
                 w.run(layout);
                 w.blocks
             }));
@@ -255,7 +268,10 @@ pub fn factorize(a: &Matrix, b: usize, layout: &dyn Layout) -> ParallelRun {
             out.set_block(i * b, j * b, &blk);
         }
     }
-    ParallelRun { factored: out, elapsed }
+    ParallelRun {
+        factored: out,
+        elapsed,
+    }
 }
 
 #[cfg(test)]

@@ -74,7 +74,10 @@ pub fn factor_bytes(b: usize) -> usize {
 /// Panics if `b` does not divide `n` (the paper's equal-sized-block
 /// restriction) or if the layout maps onto zero processors.
 pub fn generate(n: usize, b: usize, layout: &dyn Layout, cost: &dyn CostModel) -> GeProgram {
-    assert!(b > 0 && n.is_multiple_of(b), "block size {b} must divide the matrix size {n}");
+    assert!(
+        b > 0 && n.is_multiple_of(b),
+        "block size {b} must divide the matrix size {n}"
+    );
     let nb = n / b;
     let procs = layout.procs();
     assert!(procs > 0);
@@ -130,7 +133,15 @@ pub fn generate(n: usize, b: usize, layout: &dyn Layout, cost: &dyn CostModel) -
         // ---- Op1 on the diagonal block --------------------------------
         let l1 = 1 + lvl4_prev[k][k];
         let p_diag = owner(k, k);
-        charge(l1, p_diag, OpClass::Op1, &[block_id(k, k)], &mut comp, &mut loads, &mut msgs);
+        charge(
+            l1,
+            p_diag,
+            OpClass::Op1,
+            &[block_id(k, k)],
+            &mut comp,
+            &mut loads,
+            &mut msgs,
+        );
         max_level = max_level.max(l1);
 
         // Factor messages: L⁻¹ to the pivot row, U⁻¹ to the pivot column,
@@ -300,7 +311,12 @@ mod tests {
         // Under row-cyclic, Op1's L-inv factor messages to the pivot *row*
         // are all self-messages (the row has a single owner).
         let procs = 4;
-        let g = generate(32, 4, &RowCyclic::new(procs), &AnalyticCost::paper_default());
+        let g = generate(
+            32,
+            4,
+            &RowCyclic::new(procs),
+            &AnalyticCost::paper_default(),
+        );
         // Count factor-size network messages: only the U-inv column copies
         // should cross the network from Op1.
         let fb = factor_bytes(4);
@@ -316,7 +332,10 @@ mod tests {
         // for all j: the diagonal owner itself.
         let nb = g.nb;
         let max_col: usize = (0..nb).map(|k| (procs - 1).min(nb - k - 1)).sum();
-        assert!(network_factor_msgs <= max_col, "{network_factor_msgs} > {max_col}");
+        assert!(
+            network_factor_msgs <= max_col,
+            "{network_factor_msgs} > {max_col}"
+        );
     }
 
     #[test]
@@ -350,8 +369,7 @@ mod tests {
             .flat_map(|l| l.touches.iter())
             .map(|t| t.len() as u64)
             .sum();
-        let want =
-            g.op_totals[0] + 2 * g.op_totals[1] + 2 * g.op_totals[2] + 3 * g.op_totals[3];
+        let want = g.op_totals[0] + 2 * g.op_totals[1] + 2 * g.op_totals[2] + 3 * g.op_totals[3];
         assert_eq!(touches, want);
     }
 
@@ -361,7 +379,11 @@ mod tests {
         let (fb, bb) = (factor_bytes(4), full_block_bytes(4));
         for s in g.program.steps() {
             for m in s.comm.messages() {
-                assert!(m.bytes == fb || m.bytes == bb, "unexpected size {}", m.bytes);
+                assert!(
+                    m.bytes == fb || m.bytes == bb,
+                    "unexpected size {}",
+                    m.bytes
+                );
             }
         }
         assert_eq!(g.block_bytes(), bb);

@@ -72,7 +72,11 @@ pub fn generate_var(
 ) -> VarGeProgram {
     assert!(!partition.is_empty(), "empty partition");
     assert!(partition.iter().all(|&w| w > 0), "zero-width block");
-    assert_eq!(partition.iter().sum::<usize>(), n, "partition must sum to the matrix size");
+    assert_eq!(
+        partition.iter().sum::<usize>(),
+        n,
+        "partition must sum to the matrix size"
+    );
     let nb = partition.len();
     let procs = layout.procs();
     assert!(procs > 0);
@@ -187,10 +191,20 @@ pub fn generate_var(
         for &(src, dst, bytes) in &msgs[idx] {
             pattern.add(src, dst, bytes);
         }
-        program.push(Step::new(format!("wave {}", idx + 1)).with_comp(comp_lvl).with_comm(pattern));
+        program.push(
+            Step::new(format!("wave {}", idx + 1))
+                .with_comp(comp_lvl)
+                .with_comm(pattern),
+        );
     }
 
-    VarGeProgram { program, loads, n, partition: partition.to_vec(), procs }
+    VarGeProgram {
+        program,
+        loads,
+        n,
+        partition: partition.to_vec(),
+        procs,
+    }
 }
 
 #[cfg(test)]
@@ -202,7 +216,12 @@ mod tests {
     use predsim_core::{simulate_program, Diagonal, SimOptions};
 
     fn sim(n: usize, partition: &[usize], procs: usize) -> Time {
-        let g = generate_var(n, partition, &Diagonal::new(procs), &AnalyticCost::paper_default());
+        let g = generate_var(
+            n,
+            partition,
+            &Diagonal::new(procs),
+            &AnalyticCost::paper_default(),
+        );
         let cfg = SimConfig::new(presets::meiko_cs2(procs));
         simulate_program(&g.program, &SimOptions::new(cfg)).total
     }
@@ -220,8 +239,11 @@ mod tests {
         // Identical message multisets per step.
         for (vs, us) in var.program.steps().iter().zip(uni.program.steps()) {
             let key = |p: &CommPattern| {
-                let mut v: Vec<(usize, usize, usize)> =
-                    p.messages().iter().map(|m| (m.src, m.dst, m.bytes)).collect();
+                let mut v: Vec<(usize, usize, usize)> = p
+                    .messages()
+                    .iter()
+                    .map(|m| (m.src, m.dst, m.bytes))
+                    .collect();
                 v.sort_unstable();
                 v
             };
@@ -237,9 +259,18 @@ mod tests {
 
     #[test]
     fn graded_partition_sums_to_n() {
-        for (n, first, ratio) in [(960, 10, 1.3), (960, 120, 0.7), (100, 100, 1.0), (97, 13, 1.1)] {
+        for (n, first, ratio) in [
+            (960, 10, 1.3),
+            (960, 120, 0.7),
+            (100, 100, 1.0),
+            (97, 13, 1.1),
+        ] {
             let p = graded_partition(n, first, ratio, 8);
-            assert_eq!(p.iter().sum::<usize>(), n, "n={n} first={first} ratio={ratio}");
+            assert_eq!(
+                p.iter().sum::<usize>(),
+                n,
+                "n={n} first={first} ratio={ratio}"
+            );
             assert!(p.iter().all(|&w| w >= 1));
         }
     }
@@ -266,6 +297,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "sum to the matrix size")]
     fn partition_sum_checked() {
-        let _ = generate_var(10, &[4, 4], &Diagonal::new(2), &AnalyticCost::paper_default());
+        let _ = generate_var(
+            10,
+            &[4, 4],
+            &Diagonal::new(2),
+            &AnalyticCost::paper_default(),
+        );
     }
 }

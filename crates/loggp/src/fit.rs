@@ -39,7 +39,11 @@ pub fn fit_point_to_point(samples: &[(usize, Time)]) -> PingFit {
     let mean_y = ys.iter().sum::<f64>() / n;
     let sxx: f64 = xs.iter().map(|x| (x - mean_x).powi(2)).sum();
     assert!(sxx > 0.0, "need at least two distinct message sizes");
-    let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
+    let sxy: f64 = xs
+        .iter()
+        .zip(&ys)
+        .map(|(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
     let slope = sxy / sxx; // ps per byte = G
     let intercept = mean_y - slope * mean_x; // 2o + L - G
 

@@ -203,10 +203,7 @@ pub fn pairing_starts(params: &LogGpParams, first: OpKind, second: OpKind) -> (T
 
 /// All four Figure 1 pairings with their operation start separations under
 /// the given rule.
-pub fn figure1_pairings_ruled(
-    params: &LogGpParams,
-    rule: GapRule,
-) -> Vec<(OpKind, OpKind, Time)> {
+pub fn figure1_pairings_ruled(params: &LogGpParams, rule: GapRule) -> Vec<(OpKind, OpKind, Time)> {
     use OpKind::*;
     [(Send, Send), (Recv, Recv), (Recv, Send), (Send, Recv)]
         .into_iter()

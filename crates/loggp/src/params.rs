@@ -63,7 +63,13 @@ impl LogGpParams {
     ///
     /// `gap_per_byte_us` is the per-byte gap G in µs/byte, e.g. `0.03` for
     /// ~33 MB/s long-message bandwidth.
-    pub fn from_us(latency: f64, overhead: f64, gap: f64, gap_per_byte_us: f64, procs: usize) -> Self {
+    pub fn from_us(
+        latency: f64,
+        overhead: f64,
+        gap: f64,
+        gap_per_byte_us: f64,
+        procs: usize,
+    ) -> Self {
         LogGpParams {
             latency: Time::from_us(latency),
             overhead: Time::from_us(overhead),
@@ -100,7 +106,8 @@ impl LogGpParams {
     /// Zero-byte (pure control) messages take no wire time.
     #[inline]
     pub fn wire_time(&self, bytes: usize) -> Time {
-        self.gap_per_byte.saturating_mul(bytes.saturating_sub(1) as u64)
+        self.gap_per_byte
+            .saturating_mul(bytes.saturating_sub(1) as u64)
     }
 
     /// Arrival time at the destination of a `k`-byte message whose send
@@ -187,7 +194,9 @@ mod tests {
     #[test]
     fn validate_accepts_presets() {
         for p in presets::all(8) {
-            p.params.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            p.params
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
         }
     }
 
@@ -200,7 +209,10 @@ mod tests {
     #[test]
     fn validate_rejects_gap_below_overhead() {
         let p = LogGpParams::from_us(1.0, 5.0, 2.0, 0.0, 4);
-        assert!(matches!(p.validate(), Err(ParamError::GapBelowOverhead { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(ParamError::GapBelowOverhead { .. })
+        ));
     }
 
     #[test]

@@ -53,11 +53,26 @@ pub fn ideal(procs: usize) -> LogGpParams {
 /// All named presets at a given processor count (the ideal machine last).
 pub fn all(procs: usize) -> Vec<Preset> {
     vec![
-        Preset { name: "Meiko CS-2", params: meiko_cs2(procs) },
-        Preset { name: "Intel Paragon", params: intel_paragon(procs) },
-        Preset { name: "Myrinet cluster", params: myrinet_cluster(procs) },
-        Preset { name: "Ethernet cluster", params: ethernet_cluster(procs) },
-        Preset { name: "ideal", params: ideal(procs) },
+        Preset {
+            name: "Meiko CS-2",
+            params: meiko_cs2(procs),
+        },
+        Preset {
+            name: "Intel Paragon",
+            params: intel_paragon(procs),
+        },
+        Preset {
+            name: "Myrinet cluster",
+            params: myrinet_cluster(procs),
+        },
+        Preset {
+            name: "Ethernet cluster",
+            params: ethernet_cluster(procs),
+        },
+        Preset {
+            name: "ideal",
+            params: ideal(procs),
+        },
     ]
 }
 

@@ -328,7 +328,10 @@ mod tests {
     fn saturating_ops() {
         assert_eq!(Time::MAX.saturating_add(Time::from_ns(1)), Time::MAX);
         assert_eq!(Time::MAX.saturating_mul(2), Time::MAX);
-        assert_eq!(Time::from_ns(1).checked_add(Time::from_ns(1)), Some(Time::from_ns(2)));
+        assert_eq!(
+            Time::from_ns(1).checked_add(Time::from_ns(1)),
+            Some(Time::from_ns(2))
+        );
         assert_eq!(Time::MAX.checked_add(Time::from_ps(1)), None);
         assert_eq!(Time::ZERO.checked_sub(Time::from_ps(1)), None);
     }
@@ -352,7 +355,10 @@ mod tests {
         // Sub-nanosecond residue truncates on the way back out.
         assert_eq!(Time::from_ps(1_500).to_duration(), Duration::from_nanos(1));
         // Gigantic durations saturate instead of overflowing.
-        assert_eq!(Time::from_duration(Duration::from_secs(u64::MAX)), Time::MAX);
+        assert_eq!(
+            Time::from_duration(Duration::from_secs(u64::MAX)),
+            Time::MAX
+        );
     }
 
     #[test]

@@ -7,11 +7,11 @@ use proptest::prelude::*;
 /// arithmetic stays far from overflow.
 fn arb_params() -> impl Strategy<Value = LogGpParams> {
     (
-        0u64..1_000_000,  // L in ns
-        0u64..100_000,    // o in ns
-        0u64..1_000_000,  // extra gap over o, in ns
-        0u64..10_000,     // G in ps/byte
-        1usize..64,       // P
+        0u64..1_000_000, // L in ns
+        0u64..100_000,   // o in ns
+        0u64..1_000_000, // extra gap over o, in ns
+        0u64..10_000,    // G in ps/byte
+        1usize..64,      // P
     )
         .prop_map(|(l, o, extra_g, g_byte, p)| LogGpParams {
             latency: Time::from_ns(l),

@@ -57,11 +57,21 @@ impl Cache {
     /// Panics unless `line_bytes` and the resulting set count are powers of
     /// two and the geometry divides evenly.
     pub fn new(size_bytes: usize, line_bytes: usize, ways: usize) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(ways >= 1);
-        assert_eq!(size_bytes % (line_bytes * ways), 0, "geometry must divide capacity");
+        assert_eq!(
+            size_bytes % (line_bytes * ways),
+            0,
+            "geometry must divide capacity"
+        );
         let sets = size_bytes / (line_bytes * ways);
-        assert!(sets.is_power_of_two(), "set count must be a power of two (got {sets})");
+        assert!(
+            sets.is_power_of_two(),
+            "set count must be a power of two (got {sets})"
+        );
         Cache {
             line_bytes,
             sets,
@@ -105,7 +115,10 @@ impl Cache {
             .iter_mut()
             .min_by_key(|l| l.map(|l| l.stamp).unwrap_or(0))
             .expect("ways >= 1");
-        *victim = Some(Line { tag, stamp: self.clock });
+        *victim = Some(Line {
+            tag,
+            stamp: self.clock,
+        });
         false
     }
 
@@ -158,7 +171,13 @@ impl Hierarchy {
     pub fn new(l1: Cache, l2: Cache) -> Self {
         assert!(l2.capacity() >= l1.capacity(), "L2 smaller than L1");
         assert_eq!(l1.line_bytes(), l2.line_bytes(), "mismatched line sizes");
-        Hierarchy { l1, l2, l1_hits: 0, l2_hits: 0, mem_accesses: 0 }
+        Hierarchy {
+            l1,
+            l2,
+            l1_hits: 0,
+            l2_hits: 0,
+            mem_accesses: 0,
+        }
     }
 
     /// Access one address; returns which level serviced it (1, 2) or 0 for
@@ -281,8 +300,8 @@ mod tests {
         let mut h = Hierarchy::new(Cache::new(128, 64, 1), Cache::new(1024, 64, 2));
         assert_eq!(h.access(0), 0); // cold: memory
         assert_eq!(h.access(0), 1); // L1 hit
-        // Evict line 0 from L1 by conflicting fills (direct-mapped, 2 sets:
-        // line 0 maps to set 0, so touch other set-0 lines).
+                                    // Evict line 0 from L1 by conflicting fills (direct-mapped, 2 sets:
+                                    // line 0 maps to set 0, so touch other set-0 lines).
         assert_eq!(h.access(128), 0);
         assert_eq!(h.access(256), 0);
         // Line 0 fell out of L1 but is still in L2.

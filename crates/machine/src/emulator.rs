@@ -100,7 +100,12 @@ impl EmulatorConfig {
     /// that hit L2 keep costing the L1 penalty.
     pub fn with_l2(mut self, size_bytes: usize, miss_penalty: Time) -> Self {
         let line = self.cache.map(|c| c.line_bytes).unwrap_or(64);
-        self.l2 = Some(CacheConfig { size_bytes, line_bytes: line, ways: 8, miss_penalty });
+        self.l2 = Some(CacheConfig {
+            size_bytes,
+            line_bytes: line,
+            ways: 8,
+            miss_penalty,
+        });
         self
     }
 }
@@ -167,7 +172,11 @@ pub fn emulate(prog: &Program, loads: &[StepLoad], ecfg: &EmulatorConfig) -> Mea
         // ---- computation phase (+ iteration overhead + cache charges) ---
         let mut comp_end = ready.clone();
         for p in 0..procs {
-            let mut charge = if step.comp.is_empty() { Time::ZERO } else { step.comp[p] };
+            let mut charge = if step.comp.is_empty() {
+                Time::ZERO
+            } else {
+                step.comp[p]
+            };
             if let Some(load) = loads.get(step_idx) {
                 let iter = ecfg.iter_overhead * load.visits[p] as u64;
                 iter_overhead_time += iter;
@@ -182,8 +191,8 @@ pub fn emulate(prog: &Program, loads: &[StepLoad], ecfg: &EmulatorConfig) -> Mea
                             CacheSim::Two(h) => {
                                 let (from_l2, from_mem) = h.touch_range(base, len as usize);
                                 let l2cfg = ecfg.l2.as_ref().expect("l2 present");
-                                penalty += cc.miss_penalty * from_l2
-                                    + l2cfg.miss_penalty * from_mem;
+                                penalty +=
+                                    cc.miss_penalty * from_l2 + l2cfg.miss_penalty * from_mem;
                             }
                         }
                     }
@@ -209,7 +218,10 @@ pub fn emulate(prog: &Program, loads: &[StepLoad], ecfg: &EmulatorConfig) -> Mea
             for p in 0..procs {
                 per_proc_comm[p] += comm_done[p] - comp_end[p];
             }
-            (comm_done.iter().copied().max().unwrap_or(comp_end_max), comm_done)
+            (
+                comm_done.iter().copied().max().unwrap_or(comp_end_max),
+                comm_done,
+            )
         };
 
         // ---- local copies for self-messages ------------------------------
@@ -424,7 +436,12 @@ mod tests {
         // One processor re-touching a working set larger than the cache
         // pays a penalty every step; a fitting working set pays only
         // compulsory misses in the first step.
-        let cc = CacheConfig { size_bytes: 4096, line_bytes: 64, ways: 2, miss_penalty: Time::from_ns(100) };
+        let cc = CacheConfig {
+            size_bytes: 4096,
+            line_bytes: 64,
+            ways: 2,
+            miss_penalty: Time::from_ns(100),
+        };
         let block_bytes = 1024;
         let mk_prog = |blocks: u64| {
             let mut prog = Program::new(1);
@@ -521,7 +538,10 @@ mod tests {
             with_l2.cache_penalty_time,
             Time::from_us(1.0) * 128 + Time::from_ns(100) * 256
         );
-        assert_eq!(with_l2.cache_misses, 128, "only memory fills count as misses");
+        assert_eq!(
+            with_l2.cache_misses, 128,
+            "only memory fills count as misses"
+        );
     }
 
     #[test]

@@ -41,9 +41,16 @@ pub fn jacobi_banded(grid: &Matrix, procs: usize, iters: usize) -> Matrix {
         // Gather halos first (synchronous exchange), then update bands.
         let halos: Vec<(Vec<f64>, Vec<f64>)> = (0..procs)
             .map(|p| {
-                let top = if starts[p] > 0 { cur.row(starts[p] - 1).to_vec() } else { Vec::new() };
-                let bot =
-                    if starts[p + 1] < n { cur.row(starts[p + 1]).to_vec() } else { Vec::new() };
+                let top = if starts[p] > 0 {
+                    cur.row(starts[p] - 1).to_vec()
+                } else {
+                    Vec::new()
+                };
+                let bot = if starts[p + 1] < n {
+                    cur.row(starts[p + 1]).to_vec()
+                } else {
+                    Vec::new()
+                };
                 (top, bot)
             })
             .collect();
@@ -55,8 +62,16 @@ pub fn jacobi_banded(grid: &Matrix, procs: usize, iters: usize) -> Matrix {
                     continue; // fixed boundary
                 }
                 for j in 1..cur.cols() - 1 {
-                    let up = if i == r0 { halos[p].0[j] } else { cur[(i - 1, j)] };
-                    let down = if i == r1 - 1 { halos[p].1[j] } else { cur[(i + 1, j)] };
+                    let up = if i == r0 {
+                        halos[p].0[j]
+                    } else {
+                        cur[(i - 1, j)]
+                    };
+                    let down = if i == r1 - 1 {
+                        halos[p].1[j]
+                    } else {
+                        cur[(i + 1, j)]
+                    };
                     next[(i, j)] = 0.25 * (up + down + cur[(i, j - 1)] + cur[(i, j + 1)]);
                 }
             }

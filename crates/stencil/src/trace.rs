@@ -39,7 +39,10 @@ pub fn band_rows(n: usize, procs: usize, p: usize) -> usize {
 /// # Panics
 /// Panics if `procs == 0` or `procs > n` (a band needs at least one row).
 pub fn generate(n: usize, procs: usize, iters: usize, ps_per_flop: u64) -> StencilProgram {
-    assert!(procs > 0 && procs <= n, "need 1..=n bands, got {procs} for n={n}");
+    assert!(
+        procs > 0 && procs <= n,
+        "need 1..=n bands, got {procs} for n={n}"
+    );
     let mut program = Program::new(procs);
     let mut loads = Vec::new();
 
@@ -63,11 +66,21 @@ pub fn generate(n: usize, procs: usize, iters: usize, ps_per_flop: u64) -> Stenc
             let band_bytes = (16 * n * band_rows(n, procs, p)) as u32;
             load.touch(p, (p * 16 * n * (n / procs + 1)) as u64, band_bytes);
         }
-        program.push(Step::new(format!("iter {it}")).with_comp(comp.clone()).with_comm(pattern));
+        program.push(
+            Step::new(format!("iter {it}"))
+                .with_comp(comp.clone())
+                .with_comm(pattern),
+        );
         loads.push(load);
     }
 
-    StencilProgram { program, loads, n, procs, iters }
+    StencilProgram {
+        program,
+        loads,
+        n,
+        procs,
+        iters,
+    }
 }
 
 #[cfg(test)]

@@ -19,8 +19,7 @@ fn main() {
     let cfg = SimConfig::new(presets::meiko_cs2(procs));
 
     println!("== Blocked Floyd-Warshall APSP, n={n} vertices, P={procs} ==");
-    let mut table =
-        Table::new(["block", "predicted (ms)", "worst-case (ms)", "comm share %"]);
+    let mut table = Table::new(["block", "predicted (ms)", "worst-case (ms)", "comm share %"]);
     let mut best = (0usize, Time::MAX);
     for b in [10usize, 16, 24, 40, 60, 120] {
         let trace = apsp::generate(n, b, &layout, &cost);
@@ -33,7 +32,10 @@ fn main() {
             b.to_string(),
             ms(pred.total),
             ms(wc.total),
-            format!("{:.1}", pred.comm_time.as_secs_f64() / pred.total.as_secs_f64() * 100.0),
+            format!(
+                "{:.1}",
+                pred.comm_time.as_secs_f64() / pred.total.as_secs_f64() * 100.0
+            ),
         ]);
     }
     println!("{}", table.render());

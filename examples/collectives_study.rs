@@ -54,7 +54,10 @@ fn main() {
         for p in [4usize, 16, 64] {
             let params = preset.params.with_procs(p);
             let tree = total(&collectives::all_reduce(p, bytes, combine), params);
-            let cube = total(&collectives::all_reduce_hypercube(p, bytes, combine), params);
+            let cube = total(
+                &collectives::all_reduce_hypercube(p, bytes, combine),
+                params,
+            );
             table.row([preset.name.to_string(), p.to_string(), us(tree), us(cube)]);
         }
     }

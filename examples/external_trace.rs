@@ -33,7 +33,12 @@ comp 80 0
 
 fn main() {
     let prog = textfmt::parse(TRACE).expect("trace parses");
-    println!("parsed: {} steps, {} messages, {} network bytes", prog.len(), prog.total_messages(), prog.total_network_bytes());
+    println!(
+        "parsed: {} steps, {} messages, {} network bytes",
+        prog.len(),
+        prog.total_messages(),
+        prog.total_network_bytes()
+    );
 
     for preset in presets::all(2) {
         let cfg = SimConfig::new(preset.params);
@@ -52,5 +57,8 @@ fn main() {
     let text = textfmt::dump(&prog);
     let again = textfmt::parse(&text).expect("round trip");
     assert_eq!(again.len(), prog.len());
-    println!("\nround-tripped through the text format losslessly ({} bytes)", text.len());
+    println!(
+        "\nround-tripped through the text format losslessly ({} bytes)",
+        text.len()
+    );
 }

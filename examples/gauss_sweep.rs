@@ -3,6 +3,10 @@
 //! configuration from the *predictions*, and verify the pick against the
 //! emulated machine.
 //!
+//! The predictions run on the batch engine: every (layout, block) cell is
+//! an independent job, dealt to one worker per CPU, with repeated
+//! communication steps answered from the step-pattern memo cache.
+//!
 //! ```text
 //! cargo run --release --example gauss_sweep
 //! ```
@@ -14,21 +18,49 @@ use predsim::prelude::*;
 fn main() {
     let n = 480;
     let procs = 8;
-    let blocks: Vec<usize> =
-        gauss::PAPER_BLOCK_SIZES.iter().copied().filter(|b| n % b == 0).collect();
+    let blocks: Vec<usize> = gauss::PAPER_BLOCK_SIZES
+        .iter()
+        .copied()
+        .filter(|b| n % b == 0)
+        .collect();
     let cfg = SimConfig::new(presets::meiko_cs2(procs));
     let cost = AnalyticCost::paper_default();
 
-    let layouts: Vec<Box<dyn Layout>> =
-        vec![Box::new(Diagonal::new(procs)), Box::new(RowCyclic::new(procs))];
+    let layouts = [
+        ("diagonal", LayoutSpec::Diagonal(procs)),
+        ("row cyclic", LayoutSpec::RowCyclic(procs)),
+    ];
 
-    let mut best: Option<(String, usize, Time)> = None;
-    for layout in &layouts {
-        println!("== {} layout, n={n}, P={procs} ==", layout.name());
+    // One engine for the whole example: all layout × block predictions in
+    // a single batch, in parallel, sharing the memo cache.
+    let engine = Engine::new(EngineConfig::default());
+    let specs: Vec<JobSpec> = layouts
+        .iter()
+        .flat_map(|&(lname, layout)| {
+            blocks.iter().map(move |&b| {
+                JobSpec::new(
+                    format!("{lname} B={b}"),
+                    JobSource::Gauss {
+                        n,
+                        block: b,
+                        layout,
+                    },
+                    SimOptions::new(cfg),
+                )
+            })
+        })
+        .collect();
+    let results = engine.run(&specs);
+
+    let mut best: Option<(&str, usize, Time)> = None;
+    for (l, (lname, layout)) in layouts.iter().enumerate() {
+        println!("== {lname} layout, n={n}, P={procs} ==");
         let mut table = Table::new(["block", "predicted (ms)", "emulated (ms)", "error %"]);
-        for &b in &blocks {
-            let trace = gauss::generate(n, b, layout.as_ref(), &cost);
-            let pred = simulate_program(&trace.program, &SimOptions::new(cfg));
+        for (i, &b) in blocks.iter().enumerate() {
+            let pred = &results[l * blocks.len() + i].prediction;
+            // The emulator needs the per-step work profiles, so the trace
+            // is rebuilt here; the engine only carried the program.
+            let trace = gauss::generate(n, b, layout.build().as_ref(), &cost);
             let meas = emulate(
                 &trace.program,
                 &trace.loads,
@@ -43,8 +75,8 @@ fn main() {
                     (pred.total.as_secs_f64() / meas.prediction.total.as_secs_f64() - 1.0) * 100.0
                 ),
             ]);
-            if best.as_ref().map(|(_, _, t)| pred.total < *t).unwrap_or(true) {
-                best = Some((layout.name(), b, pred.total));
+            if best.map(|(_, _, t)| pred.total < t).unwrap_or(true) {
+                best = Some((lname, b, pred.total));
             }
         }
         println!("{}", table.render());
@@ -52,11 +84,24 @@ fn main() {
 
     let (lname, lb, lt) = best.expect("non-empty sweep");
     println!("prediction says: use the {lname} layout with B={lb} (predicted {lt})");
+    let stats = engine.stats();
+    println!(
+        "engine: {} workers, memo {} hits / {} misses ({:.0}% hit rate)",
+        engine.config().effective_jobs(),
+        stats.hits,
+        stats.misses,
+        100.0 * stats.hit_rate()
+    );
 
-    // The paper's future-work search, automated.
+    // The paper's future-work search, automated — probes evaluated on the
+    // same worker count via the parallel hill-climb.
     let diag = Diagonal::new(procs);
-    let result = search::hill_climb(&blocks, 4, |b| {
-        simulate_program(&gauss::generate(n, b, &diag, &cost).program, &SimOptions::new(cfg)).total
+    let result = search::hill_climb_parallel(&blocks, 4, engine.config().effective_jobs(), |b| {
+        simulate_program(
+            &gauss::generate(n, b, &diag, &cost).program,
+            &SimOptions::new(cfg),
+        )
+        .total
     });
     println!(
         "hill-climb over the diagonal layout found B={} in {} evaluations (vs {} exhaustive)",

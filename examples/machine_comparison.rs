@@ -13,8 +13,11 @@ use predsim::prelude::*;
 fn main() {
     let n = 480;
     let procs = 8;
-    let blocks: Vec<usize> =
-        gauss::PAPER_BLOCK_SIZES.iter().copied().filter(|b| n % b == 0).collect();
+    let blocks: Vec<usize> = gauss::PAPER_BLOCK_SIZES
+        .iter()
+        .copied()
+        .filter(|b| n % b == 0)
+        .collect();
     let layout = Diagonal::new(procs);
     let cost = AnalyticCost::paper_default();
 

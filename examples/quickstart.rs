@@ -30,7 +30,10 @@ fn main() {
     let cfg = SimConfig::new(presets::meiko_cs2(procs));
 
     let pred = simulate_program(&trace.program, &SimOptions::new(cfg));
-    println!("blocked GE, n=480, B=24, {} layout, P={procs}:", layout.name());
+    println!(
+        "blocked GE, n=480, B=24, {} layout, P={procs}:",
+        layout.name()
+    );
     println!("  predicted total:        {}", pred.total);
     println!("  predicted computation:  {}", pred.comp_time);
     println!("  predicted communication:{}", pred.comm_time);

@@ -7,23 +7,40 @@
 //! ```
 
 use predsim::predsim_core::report::{ms, Table};
-use predsim::predsim_core::scaling::{analyze, amdahl_bound, ScalePoint};
+use predsim::predsim_core::scaling::{amdahl_bound, analyze, ScalePoint};
 use predsim::prelude::*;
 
 fn main() {
     let n = 480;
     let b = 24;
-    let cost = AnalyticCost::paper_default();
 
     println!("== Blocked GE strong scaling, n={n}, B={b}, diagonal layout, Meiko CS-2 ==");
-    let mut points = Vec::new();
-    for procs in [1usize, 2, 4, 8, 16, 32] {
-        let layout = Diagonal::new(procs);
-        let trace = gauss::generate(n, b, &layout, &cost);
-        let cfg = SimConfig::new(presets::meiko_cs2(procs));
-        let pred = simulate_program(&trace.program, &SimOptions::new(cfg));
-        points.push(ScalePoint { procs, time: pred.total });
-    }
+    // All processor counts predicted as one engine batch — each point is
+    // an independent job, so the study parallelizes across CPU cores.
+    let proc_counts = [1usize, 2, 4, 8, 16, 32];
+    let specs: Vec<JobSpec> = proc_counts
+        .iter()
+        .map(|&procs| {
+            JobSpec::new(
+                format!("P={procs}"),
+                JobSource::Gauss {
+                    n,
+                    block: b,
+                    layout: LayoutSpec::Diagonal(procs),
+                },
+                SimOptions::new(SimConfig::new(presets::meiko_cs2(procs))),
+            )
+        })
+        .collect();
+    let engine = Engine::new(EngineConfig::default());
+    let points: Vec<ScalePoint> = proc_counts
+        .iter()
+        .zip(engine.run(&specs))
+        .map(|(&procs, r)| ScalePoint {
+            procs,
+            time: r.prediction.total,
+        })
+        .collect();
     let metrics = analyze(&points);
 
     let mut table = Table::new([
@@ -39,7 +56,9 @@ fn main() {
             ms(pt.time),
             format!("{:.2}", m.speedup),
             format!("{:.1}", m.efficiency * 100.0),
-            m.serial_fraction.map(|f| format!("{f:.4}")).unwrap_or_else(|| "-".into()),
+            m.serial_fraction
+                .map(|f| format!("{f:.4}"))
+                .unwrap_or_else(|| "-".into()),
         ]);
     }
     println!("{}", table.render());

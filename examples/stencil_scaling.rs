@@ -48,6 +48,9 @@ fn main() {
         want = stencil::jacobi_reference(&want);
     }
     let got = stencil::jacobi_banded(&grid, 8, 10);
-    println!("numeric check (64x64, 8 bands, 10 iters): max |diff| = {:.2e}", got.max_abs_diff(&want));
+    println!(
+        "numeric check (64x64, 8 bands, 10 iters): max |diff| = {:.2e}",
+        got.max_abs_diff(&want)
+    );
     assert!(got.approx_eq(&want, 1e-12));
 }

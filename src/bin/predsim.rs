@@ -12,9 +12,13 @@
 //! CLI dependency); see `predsim help` for the full usage text.
 
 use predsim::predsim_core::report::{secs, Table};
-use predsim::predsim_core::{search, textfmt};
+use predsim::predsim_core::textfmt;
+use predsim::predsim_engine::{
+    best_by_total, Engine, EngineConfig, JobSource, JobSpec, LayoutSpec,
+};
 use predsim::prelude::*;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const USAGE: &str = "\
 predsim — trace-driven LogGP running-time prediction (Rugina & Schauser, IPPS'98)
@@ -31,8 +35,19 @@ USAGE:
       Render the send/receive schedule of step N (1-based) of the trace.
 
   predsim ge-sweep [--n N] [--procs P] [--machine NAME] [--layout L] [--blocks A,B,...]
+                   [--jobs N] [--no-memo]
       Sweep block sizes for blocked Gaussian elimination and report the
       predicted optimum (layouts: diagonal, row, col; default n=960 P=8).
+      --jobs runs the sweep on N worker threads (results are identical).
+
+  predsim batch SOURCE... [--machine NAME[,NAME...]] [--jobs N] [--no-memo]
+                [--worst-case] [--barrier] [--overlap] [--classic-gap]
+      Predict every source on every machine with the batch engine. A SOURCE
+      is a trace file path or a generator spec:
+        ge:N,BLOCK,LAYOUT,PROCS      blocked Gaussian elimination
+        cannon:N,Q                   Cannon's algorithm on a QxQ grid
+        stencil:N,PROCS,ITERS        Jacobi stencil (500 ps/flop)
+      Prints one row per job plus memo-cache statistics.
 
   predsim fit FILE
       Least-squares fit of LogGP G and 2o+L from 'bytes,microseconds'
@@ -52,31 +67,84 @@ fn machine(name: &str, procs: usize) -> Result<loggp::LogGpParams, String> {
     })
 }
 
+/// A flag a command accepts: its name and whether it takes a value.
+#[derive(Clone, Copy)]
+struct FlagSpec {
+    name: &'static str,
+    takes_value: bool,
+}
+
+const fn switch(name: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        takes_value: false,
+    }
+}
+
+const fn valued(name: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        takes_value: true,
+    }
+}
+
+/// Flags shared by every command that builds [`SimOptions`].
+const SIM_FLAGS: [FlagSpec; 5] = [
+    valued("machine"),
+    switch("worst-case"),
+    switch("barrier"),
+    switch("overlap"),
+    switch("classic-gap"),
+];
+
 struct Args {
     positional: Vec<String>,
     flags: Vec<(String, Option<String>)>,
 }
 
 impl Args {
-    fn parse(raw: &[String]) -> Args {
+    /// Parse `raw` against the command's accepted flags. Unknown flags,
+    /// duplicate flags, valued flags without a value, and values given to
+    /// switches are all rejected.
+    fn parse(raw: &[String], spec: &[FlagSpec]) -> Result<Args, String> {
         let mut positional = Vec::new();
-        let mut flags = Vec::new();
+        let mut flags: Vec<(String, Option<String>)> = Vec::new();
         let mut it = raw.iter().peekable();
         while let Some(a) = it.next() {
-            if let Some(name) = a.strip_prefix("--") {
-                let value = it
-                    .peek()
-                    .filter(|v| !v.starts_with("--"))
-                    .map(|v| (*v).clone());
-                if value.is_some() {
-                    it.next();
-                }
-                flags.push((name.to_string(), value));
-            } else {
+            let Some(body) = a.strip_prefix("--") else {
                 positional.push(a.clone());
+                continue;
+            };
+            let (name, inline) = match body.split_once('=') {
+                Some((n, v)) => (n, Some(v.to_string())),
+                None => (body, None),
+            };
+            let Some(fs) = spec.iter().find(|f| f.name == name) else {
+                return Err(format!(
+                    "unknown flag '--{name}' (run 'predsim help' for usage)"
+                ));
+            };
+            if flags.iter().any(|(n, _)| n == name) {
+                return Err(format!("duplicate flag '--{name}'"));
             }
+            let value = if fs.takes_value {
+                match inline {
+                    Some(v) => Some(v),
+                    None => Some(
+                        it.next()
+                            .ok_or_else(|| format!("flag '--{name}' needs a value"))?
+                            .clone(),
+                    ),
+                }
+            } else {
+                if inline.is_some() {
+                    return Err(format!("flag '--{name}' takes no value"));
+                }
+                None
+            };
+            flags.push((name.to_string(), value));
         }
-        Args { positional, flags }
+        Ok(Args { positional, flags })
     }
 
     fn flag(&self, name: &str) -> bool {
@@ -89,10 +157,29 @@ impl Args {
             .find(|(n, _)| n == name)
             .and_then(|(_, v)| v.as_deref())
     }
+
+    /// The `--jobs` worker count: defaults to one per CPU, must be ≥ 1.
+    fn jobs(&self) -> Result<usize, String> {
+        match self.value("jobs") {
+            None => Ok(0), // engine resolves 0 to the CPU count
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(n),
+                Ok(_) => Err("--jobs must be at least 1".into()),
+                Err(e) => Err(format!("bad --jobs: {e}")),
+            },
+        }
+    }
 }
 
 fn cmd_presets() -> Result<(), String> {
-    let mut t = Table::new(["name", "L (us)", "o (us)", "g (us)", "G (us/B)", "bandwidth"]);
+    let mut t = Table::new([
+        "name",
+        "L (us)",
+        "o (us)",
+        "g (us)",
+        "G (us/B)",
+        "bandwidth",
+    ]);
     for preset in presets::all(8) {
         let p = preset.params;
         let bw = p.bandwidth_bytes_per_sec();
@@ -102,7 +189,11 @@ fn cmd_presets() -> Result<(), String> {
             format!("{:.2}", p.overhead.as_us_f64()),
             format!("{:.2}", p.gap.as_us_f64()),
             format!("{:.3}", p.gap_per_byte.as_us_f64()),
-            if bw.is_finite() { format!("{:.1} MB/s", bw / 1e6) } else { "inf".into() },
+            if bw.is_finite() {
+                format!("{:.1} MB/s", bw / 1e6)
+            } else {
+                "inf".into()
+            },
         ]);
     }
     println!("{}", t.render());
@@ -133,7 +224,10 @@ fn sim_options(args: &Args, procs: usize) -> Result<SimOptions, String> {
 }
 
 fn cmd_simulate(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("simulate: missing TRACE file")?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("simulate: missing TRACE file")?;
     let prog = load_trace(path)?;
     let opts = sim_options(args, prog.procs())?;
     let pred = simulate_program(&prog, &opts);
@@ -163,7 +257,10 @@ fn cmd_gantt(args: &Args) -> Result<(), String> {
         .get(step_no.checked_sub(1).ok_or("--step is 1-based")?)
         .ok_or_else(|| format!("trace has {} steps", prog.len()))?;
     if step.comm.is_empty() {
-        return Err(format!("step {step_no} ('{}') has no communication", step.label));
+        return Err(format!(
+            "step {step_no} ('{}') has no communication",
+            step.label
+        ));
     }
     let opts = sim_options(args, prog.procs())?;
     let result = if args.flag("worst-case") {
@@ -182,10 +279,16 @@ fn cmd_gantt(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_ge_sweep(args: &Args) -> Result<(), String> {
-    let n: usize =
-        args.value("n").unwrap_or("960").parse().map_err(|e| format!("bad --n: {e}"))?;
-    let procs: usize =
-        args.value("procs").unwrap_or("8").parse().map_err(|e| format!("bad --procs: {e}"))?;
+    let n: usize = args
+        .value("n")
+        .unwrap_or("960")
+        .parse()
+        .map_err(|e| format!("bad --n: {e}"))?;
+    let procs: usize = args
+        .value("procs")
+        .unwrap_or("8")
+        .parse()
+        .map_err(|e| format!("bad --procs: {e}"))?;
     let layout: Box<dyn Layout> = match args.value("layout").unwrap_or("diagonal") {
         "diagonal" => Box::new(Diagonal::new(procs)),
         "row" => Box::new(RowCyclic::new(procs)),
@@ -195,9 +298,17 @@ fn cmd_ge_sweep(args: &Args) -> Result<(), String> {
     let blocks: Vec<usize> = match args.value("blocks") {
         Some(s) => s
             .split(',')
-            .map(|t| t.trim().parse().map_err(|e| format!("bad block '{t}': {e}")))
+            .map(|t| {
+                t.trim()
+                    .parse()
+                    .map_err(|e| format!("bad block '{t}': {e}"))
+            })
             .collect::<Result<_, _>>()?,
-        None => gauss::PAPER_BLOCK_SIZES.iter().copied().filter(|b| n.is_multiple_of(*b)).collect(),
+        None => gauss::PAPER_BLOCK_SIZES
+            .iter()
+            .copied()
+            .filter(|b| n.is_multiple_of(*b))
+            .collect(),
     };
     if blocks.is_empty() {
         return Err("no candidate block sizes divide n".into());
@@ -207,25 +318,212 @@ fn cmd_ge_sweep(args: &Args) -> Result<(), String> {
             return Err(format!("block {b} does not divide n={n}"));
         }
     }
+    let layout_spec = match args.value("layout").unwrap_or("diagonal") {
+        "diagonal" => LayoutSpec::Diagonal(procs),
+        "row" => LayoutSpec::RowCyclic(procs),
+        "col" => LayoutSpec::ColCyclic(procs),
+        other => return Err(format!("unknown layout '{other}'")),
+    };
     let params = machine(args.value("machine").unwrap_or("meiko"), procs)?;
     let cfg = SimConfig::new(params);
-    let cost = AnalyticCost::paper_default();
 
-    println!("blocked GE, n={n}, {} layout, P={procs}, {}", layout.name(), params);
+    let engine = Engine::new(
+        EngineConfig::default()
+            .with_jobs(args.jobs()?)
+            .with_memo(!args.flag("no-memo")),
+    );
+    let specs: Vec<JobSpec> = blocks
+        .iter()
+        .map(|&b| {
+            JobSpec::new(
+                format!("B={b}"),
+                JobSource::Gauss {
+                    n,
+                    block: b,
+                    layout: layout_spec,
+                },
+                SimOptions::new(cfg),
+            )
+        })
+        .collect();
+    let results = engine.run(&specs);
+
+    println!(
+        "blocked GE, n={n}, {} layout, P={procs}, {}",
+        layout.name(),
+        params
+    );
     let mut table = Table::new(["block", "predicted (s)", "comp (s)", "comm (s)"]);
-    let result = search::sweep(&blocks, |b| {
-        let trace = gauss::generate(n, b, layout.as_ref(), &cost);
-        let pred = simulate_program(&trace.program, &SimOptions::new(cfg));
+    for (b, r) in blocks.iter().zip(&results) {
+        let pred = &r.prediction;
         table.row([
             b.to_string(),
             secs(pred.total),
             secs(pred.comp_time),
             secs(pred.comm_time),
         ]);
-        pred.total
-    });
+    }
     println!("{}", table.render());
-    println!("predicted optimum: B={} at {} s", result.best, secs(result.best_time));
+    let best = best_by_total(&results).expect("non-empty sweep");
+    println!(
+        "predicted optimum: B={} at {} s",
+        blocks[best],
+        secs(results[best].prediction.total)
+    );
+    Ok(())
+}
+
+/// Parse a batch SOURCE argument: a generator spec (`ge:`, `cannon:`,
+/// `stencil:`) or a trace file path.
+fn parse_source(raw: &str) -> Result<(String, JobSource), String> {
+    if let Some(spec) = raw.strip_prefix("ge:") {
+        let parts: Vec<&str> = spec.split(',').collect();
+        let [n, block, layout, procs] = parts.as_slice() else {
+            return Err(format!("ge spec '{raw}': expected ge:N,BLOCK,LAYOUT,PROCS"));
+        };
+        let n: usize = n
+            .parse()
+            .map_err(|e| format!("ge spec '{raw}': bad N: {e}"))?;
+        let block: usize = block
+            .parse()
+            .map_err(|e| format!("ge spec '{raw}': bad BLOCK: {e}"))?;
+        let procs: usize = procs
+            .parse()
+            .map_err(|e| format!("ge spec '{raw}': bad PROCS: {e}"))?;
+        if block == 0 || !n.is_multiple_of(block) {
+            return Err(format!("ge spec '{raw}': BLOCK must divide N"));
+        }
+        let layout = match *layout {
+            "diagonal" => LayoutSpec::Diagonal(procs),
+            "row" => LayoutSpec::RowCyclic(procs),
+            "col" => LayoutSpec::ColCyclic(procs),
+            other => return Err(format!("ge spec '{raw}': unknown layout '{other}'")),
+        };
+        Ok((raw.to_string(), JobSource::Gauss { n, block, layout }))
+    } else if let Some(spec) = raw.strip_prefix("cannon:") {
+        let parts: Vec<&str> = spec.split(',').collect();
+        let [n, q] = parts.as_slice() else {
+            return Err(format!("cannon spec '{raw}': expected cannon:N,Q"));
+        };
+        let n: usize = n
+            .parse()
+            .map_err(|e| format!("cannon spec '{raw}': bad N: {e}"))?;
+        let q: usize = q
+            .parse()
+            .map_err(|e| format!("cannon spec '{raw}': bad Q: {e}"))?;
+        if q == 0 || !n.is_multiple_of(q) {
+            return Err(format!("cannon spec '{raw}': Q must divide N"));
+        }
+        Ok((raw.to_string(), JobSource::Cannon { n, q }))
+    } else if let Some(spec) = raw.strip_prefix("stencil:") {
+        let parts: Vec<&str> = spec.split(',').collect();
+        let [n, procs, iters] = parts.as_slice() else {
+            return Err(format!(
+                "stencil spec '{raw}': expected stencil:N,PROCS,ITERS"
+            ));
+        };
+        let n: usize = n
+            .parse()
+            .map_err(|e| format!("stencil spec '{raw}': bad N: {e}"))?;
+        let procs: usize = procs
+            .parse()
+            .map_err(|e| format!("stencil spec '{raw}': bad PROCS: {e}"))?;
+        let iters: usize = iters
+            .parse()
+            .map_err(|e| format!("stencil spec '{raw}': bad ITERS: {e}"))?;
+        if procs == 0 || procs > n {
+            return Err(format!("stencil spec '{raw}': need 1..=N bands"));
+        }
+        Ok((
+            raw.to_string(),
+            JobSource::Stencil {
+                n,
+                procs,
+                iters,
+                ps_per_flop: 500,
+            },
+        ))
+    } else {
+        let program = load_trace(raw)?;
+        Ok((raw.to_string(), JobSource::Program(Arc::new(program))))
+    }
+}
+
+fn cmd_batch(args: &Args) -> Result<(), String> {
+    if args.positional.is_empty() {
+        return Err("batch: no sources given (trace files or ge:/cannon:/stencil: specs)".into());
+    }
+    let sources: Vec<(String, JobSource)> = args
+        .positional
+        .iter()
+        .map(|s| parse_source(s))
+        .collect::<Result<_, _>>()?;
+    let machines: Vec<&str> = args
+        .value("machine")
+        .unwrap_or("meiko")
+        .split(',')
+        .collect();
+
+    // Machine params depend on each source's processor count, so the grid
+    // is expanded here rather than via `predsim_engine::Grid`.
+    let mut specs = Vec::with_capacity(sources.len() * machines.len());
+    for mname in &machines {
+        for (label, source) in &sources {
+            let params = machine(mname, source.procs())?;
+            let mut opts = SimOptions::new(SimConfig::new(params));
+            if args.flag("worst-case") {
+                opts = opts.worst_case();
+            }
+            if args.flag("barrier") {
+                opts = opts.with_barrier();
+            }
+            if args.flag("overlap") {
+                opts = opts.with_overlap();
+            }
+            if args.flag("classic-gap") {
+                opts.cfg = opts.cfg.with_classic_gap_rule();
+            }
+            specs.push(JobSpec::new(
+                format!("{label} @ {mname}"),
+                source.clone(),
+                opts,
+            ));
+        }
+    }
+
+    let engine = Engine::new(
+        EngineConfig::default()
+            .with_jobs(args.jobs()?)
+            .with_memo(!args.flag("no-memo")),
+    );
+    let results = engine.run(&specs);
+
+    let mut table = Table::new(["job", "predicted (s)", "comp (s)", "comm (s)"]);
+    for r in &results {
+        let pred = &r.prediction;
+        table.row([
+            r.label.clone(),
+            secs(pred.total),
+            secs(pred.comp_time),
+            secs(pred.comm_time),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "{} jobs on {} worker(s)",
+        results.len(),
+        engine.config().effective_jobs()
+    );
+    let stats = engine.stats();
+    if engine.config().memo {
+        println!(
+            "memo cache: {} hits / {} misses ({:.0}% hit rate), {} evictions",
+            stats.hits,
+            stats.misses,
+            100.0 * stats.hit_rate(),
+            stats.evictions
+        );
+    }
     Ok(())
 }
 
@@ -241,9 +539,14 @@ fn cmd_fit(args: &Args) -> Result<(), String> {
         let (b, t) = line
             .split_once(',')
             .ok_or_else(|| format!("line {}: expected 'bytes,us'", no + 1))?;
-        let bytes: usize =
-            b.trim().parse().map_err(|e| format!("line {}: {e}", no + 1))?;
-        let us: f64 = t.trim().parse().map_err(|e| format!("line {}: {e}", no + 1))?;
+        let bytes: usize = b
+            .trim()
+            .parse()
+            .map_err(|e| format!("line {}: {e}", no + 1))?;
+        let us: f64 = t
+            .trim()
+            .parse()
+            .map_err(|e| format!("line {}: {e}", no + 1))?;
         samples.push((bytes, Time::from_us(us)));
     }
     if samples.len() < 2 {
@@ -251,7 +554,10 @@ fn cmd_fit(args: &Args) -> Result<(), String> {
     }
     let fit = loggp::fit::fit_point_to_point(&samples);
     println!("samples: {}", samples.len());
-    println!("fitted G        : {:.4} us/byte", fit.gap_per_byte.as_us_f64());
+    println!(
+        "fitted G        : {:.4} us/byte",
+        fit.gap_per_byte.as_us_f64()
+    );
     println!("fitted 2o + L   : {} ", fit.endpoint);
     println!("rms residual    : {}", fit.rms_residual);
     println!(
@@ -266,12 +572,36 @@ fn run() -> Result<(), String> {
         print!("{USAGE}");
         return Ok(());
     };
-    let args = Args::parse(&raw[1..]);
+    let spec: Vec<FlagSpec> = match cmd.as_str() {
+        "simulate" => SIM_FLAGS.to_vec(),
+        "gantt" => {
+            let mut s = SIM_FLAGS.to_vec();
+            s.extend([valued("step"), valued("svg")]);
+            s
+        }
+        "ge-sweep" => vec![
+            valued("n"),
+            valued("procs"),
+            valued("machine"),
+            valued("layout"),
+            valued("blocks"),
+            valued("jobs"),
+            switch("no-memo"),
+        ],
+        "batch" => {
+            let mut s = SIM_FLAGS.to_vec();
+            s.extend([valued("jobs"), switch("no-memo")]);
+            s
+        }
+        _ => Vec::new(),
+    };
+    let args = Args::parse(&raw[1..], &spec)?;
     match cmd.as_str() {
         "presets" => cmd_presets(),
         "simulate" => cmd_simulate(&args),
         "gantt" => cmd_gantt(&args),
         "ge-sweep" => cmd_ge_sweep(&args),
+        "batch" => cmd_batch(&args),
         "fit" => cmd_fit(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");

@@ -19,6 +19,7 @@
 //! | [`cannon`] | Cannon's matrix multiplication: trace generator + real execution |
 //! | [`stencil`] | Jacobi stencil: trace generator + real execution |
 //! | [`apsp`] | blocked Floyd–Warshall all-pairs shortest paths (the class's graph member) |
+//! | [`predsim_engine`] | parallel batch-prediction engine with step-pattern memoization |
 //!
 //! ## Quickstart
 //!
@@ -45,6 +46,7 @@ pub use gauss;
 pub use loggp;
 pub use machine;
 pub use predsim_core;
+pub use predsim_engine;
 pub use stencil;
 
 /// The most commonly used items, importable in one line.
@@ -58,4 +60,5 @@ pub mod prelude {
         simulate_program, BlockCyclic2D, ColCyclic, Diagonal, Layout, Prediction, Program,
         RowCyclic, SimOptions, Step,
     };
+    pub use predsim_engine::{Engine, EngineConfig, Grid, JobSource, JobSpec, LayoutSpec};
 }

@@ -52,8 +52,15 @@ fn presets_lists_machines() {
 #[test]
 fn simulate_reports_prediction() {
     let path = tmp_file("trace.txt", TRACE);
-    let out = bin().args(["simulate", path.to_str().unwrap()]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = bin()
+        .args(["simulate", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("total"), "{text}");
     assert!(text.contains("P0") && text.contains("P1"));
@@ -90,7 +97,11 @@ fn classic_gap_flag_changes_prediction() {
         cmd.args(["simulate", path.to_str().unwrap()]);
         cmd.args(extra);
         let out = cmd.output().unwrap();
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         String::from_utf8_lossy(&out.stdout)
             .lines()
             .find(|l| l.contains("total"))
@@ -99,13 +110,19 @@ fn classic_gap_flag_changes_prediction() {
     };
     let extended = run(&[]);
     let classic = run(&["--classic-gap"]);
-    assert_ne!(extended, classic, "gap rule must change the relay chain's total");
+    assert_ne!(
+        extended, classic,
+        "gap rule must change the relay chain's total"
+    );
 }
 
 #[test]
 fn simulate_rejects_bad_trace() {
     let path = tmp_file("bad.txt", "step label=x\n");
-    let out = bin().args(["simulate", path.to_str().unwrap()]).output().unwrap();
+    let out = bin()
+        .args(["simulate", path.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("'step' before"));
 }
@@ -117,7 +134,11 @@ fn gantt_renders_ascii_and_svg() {
         .args(["gantt", path.to_str().unwrap(), "--step", "2"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("completion:"), "{text}");
 
@@ -152,10 +173,16 @@ fn gantt_rejects_computation_only_step() {
 #[test]
 fn ge_sweep_finds_optimum() {
     let out = bin()
-        .args(["ge-sweep", "--n", "120", "--procs", "4", "--blocks", "10,20,40"])
+        .args([
+            "ge-sweep", "--n", "120", "--procs", "4", "--blocks", "10,20,40",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("predicted optimum: B="), "{text}");
 }
@@ -179,8 +206,15 @@ fn fit_recovers_parameters() {
         data.push_str(&format!("{k},{t}\n"));
     }
     let path = tmp_file("ping.csv", &data);
-    let out = bin().args(["fit", path.to_str().unwrap()]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = bin()
+        .args(["fit", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("0.0300 us/byte"), "{text}");
     assert!(text.contains("21.000us"), "{text}");

@@ -67,11 +67,17 @@ fn bsp_baseline_less_accurate_than_simulation() {
     let layout = Diagonal::new(procs);
     let cfg = SimConfig::new(presets::meiko_cs2(procs));
     let trace = gauss::generate(240, 24, &layout, &AnalyticCost::paper_default());
-    let meas = emulate(&trace.program, &trace.loads, &EmulatorConfig::meiko_like(cfg))
-        .prediction
+    let meas = emulate(
+        &trace.program,
+        &trace.loads,
+        &EmulatorConfig::meiko_like(cfg),
+    )
+    .prediction
+    .total
+    .as_secs_f64();
+    let sim = simulate_program(&trace.program, &SimOptions::new(cfg))
         .total
         .as_secs_f64();
-    let sim = simulate_program(&trace.program, &SimOptions::new(cfg)).total.as_secs_f64();
     let bsp = bsp::predict(&trace.program, &bsp::BspParams::from_loggp(&cfg.params))
         .total
         .as_secs_f64();
@@ -94,7 +100,11 @@ fn apsp_end_to_end() {
     let cfg = SimConfig::new(presets::meiko_cs2(procs));
     let pred = simulate_program(&trace.program, &SimOptions::new(cfg));
     assert!(pred.total > pred.comp_time);
-    let meas = emulate(&trace.program, &trace.loads, &EmulatorConfig::meiko_like(cfg));
+    let meas = emulate(
+        &trace.program,
+        &trace.loads,
+        &EmulatorConfig::meiko_like(cfg),
+    );
     assert!(meas.prediction.total > pred.comp_time);
 
     // Threaded solve matches classical Floyd-Warshall.
@@ -134,8 +144,11 @@ fn hill_climb_matches_sweep_on_ge() {
     let n = 240;
     let layout = Diagonal::new(procs);
     let cfg = SimConfig::new(presets::meiko_cs2(procs));
-    let blocks: Vec<usize> =
-        [10, 12, 15, 20, 24, 30, 40, 60].iter().copied().filter(|b| n % b == 0).collect();
+    let blocks: Vec<usize> = [10, 12, 15, 20, 24, 30, 40, 60]
+        .iter()
+        .copied()
+        .filter(|b| n % b == 0)
+        .collect();
     let eval = |b: usize| {
         simulate_program(
             &gauss::generate(n, b, &layout, &AnalyticCost::paper_default()).program,
@@ -160,7 +173,9 @@ fn l2_cache_never_hurts() {
     let trace = gauss::generate(120, 10, &layout, &AnalyticCost::paper_default());
     let cfg = SimConfig::new(presets::meiko_cs2(procs));
     let base = EmulatorConfig::meiko_like(cfg);
-    let with_l2 = base.clone().with_l2(2 * 1024 * 1024, base.cache.unwrap().miss_penalty);
+    let with_l2 = base
+        .clone()
+        .with_l2(2 * 1024 * 1024, base.cache.unwrap().miss_penalty);
     let a = emulate(&trace.program, &trace.loads, &base);
     let b = emulate(&trace.program, &trace.loads, &with_l2);
     assert!(b.prediction.total <= a.prediction.total);

@@ -23,7 +23,11 @@ fn fig4_standard_schedule_observations() {
     commsim::validate::validate(&pattern, &cfg, &r.timeline).unwrap();
 
     // (a) the step completes in the ~70 us range the paper reports (~76).
-    assert!(r.finish > Time::from_us(60.0) && r.finish < Time::from_us(90.0), "{}", r.finish);
+    assert!(
+        r.finish > Time::from_us(60.0) && r.finish < Time::from_us(90.0),
+        "{}",
+        r.finish
+    );
 
     // (b) "processor 7 terminates the last" (1-indexed) = P6 here.
     assert_eq!(r.timeline.critical_procs(), vec![6]);
@@ -56,7 +60,10 @@ fn fig5_worstcase_overestimates() {
 fn fig6_cost_curves_cross() {
     let m = AnalyticCost::paper_default();
     let dearest = |b: usize| {
-        OpClass::ALL.into_iter().max_by_key(|&op| m.op_cost(op, b)).unwrap()
+        OpClass::ALL
+            .into_iter()
+            .max_by_key(|&op| m.op_cost(op, b))
+            .unwrap()
     };
     assert_eq!(dearest(10), OpClass::Op1);
     assert_eq!(dearest(160), OpClass::Op4);
@@ -89,9 +96,8 @@ fn fig7_fig8_bracketing_and_cache() {
         assert!(wc_p.total >= std_p.total, "B={b}");
         assert!(meas_nc.prediction.comm_time >= std_p.comm_time, "B={b}");
         assert!(meas.prediction.total >= meas_nc.prediction.total, "B={b}");
-        cache_overhead_ratio.push(
-            meas.prediction.total.as_secs_f64() / meas_nc.prediction.total.as_secs_f64(),
-        );
+        cache_overhead_ratio
+            .push(meas.prediction.total.as_secs_f64() / meas_nc.prediction.total.as_secs_f64());
     }
     // Cache distortion shrinks as blocks grow (paper: "differences ... for
     // small block sizes are due to the cache effects").
@@ -156,8 +162,14 @@ fn fig9_computation_gap() {
     let small = ratio(10);
     let large = ratio(120);
     assert!(small >= large, "small-B gap {small} < large-B gap {large}");
-    assert!(small > 1.0 && small < 1.3, "measured slightly above simulated, got {small}");
-    assert!((1.0..1.05).contains(&large), "large blocks nearly exact, got {large}");
+    assert!(
+        small > 1.0 && small < 1.3,
+        "measured slightly above simulated, got {small}"
+    );
+    assert!(
+        (1.0..1.05).contains(&large),
+        "large blocks nearly exact, got {large}"
+    );
 }
 
 /// The sweep has an interior optimum (the U shape of Figure 7), and the
@@ -179,7 +191,10 @@ fn predicted_optimum_is_near_real_optimum() {
     let mut meas = Vec::new();
     for &b in &blocks {
         let trace = gauss::generate(n, b, &layout, &cost);
-        preds.push((b, simulate_program(&trace.program, &SimOptions::new(cfg)).total));
+        preds.push((
+            b,
+            simulate_program(&trace.program, &SimOptions::new(cfg)).total,
+        ));
         meas.push((
             b,
             emulate(
@@ -200,5 +215,9 @@ fn predicted_optimum_is_near_real_optimum() {
     let t_at_pred = meas.iter().find(|(b, _)| *b == best_pred.0).unwrap().1;
     let t_best = meas.iter().map(|(_, t)| *t).min().unwrap();
     let loss = t_at_pred.as_secs_f64() / t_best.as_secs_f64();
-    assert!(loss < 1.05, "picking predicted B loses {:.1}%", (loss - 1.0) * 100.0);
+    assert!(
+        loss < 1.05,
+        "picking predicted B loses {:.1}%",
+        (loss - 1.0) * 100.0
+    );
 }

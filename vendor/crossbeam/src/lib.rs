@@ -1,0 +1,213 @@
+//! Offline stand-in for the subset of `crossbeam` this workspace uses:
+//! `channel::{unbounded, bounded, Sender, Receiver}` and `thread::scope`.
+//!
+//! Channels delegate to `std::sync::mpsc` behind a mutex on the receiving
+//! half, so both halves are clonable (multi-producer *and* multi-consumer,
+//! like crossbeam's); `thread::scope` delegates to `std::thread::scope`,
+//! which has provided the same structured-concurrency guarantee since
+//! Rust 1.63.
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    use std::sync::{mpsc, Arc, Mutex};
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Multi-producer sending half (clonable, like crossbeam's).
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// Multi-consumer receiving half (clonable, like crossbeam's; each
+    /// message is delivered to exactly one receiver).
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn inner(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            self.0.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner().recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner().try_recv()
+        }
+
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Blocking iterator over received messages; ends when all senders are
+    /// dropped.
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    /// Owning blocking iterator over received messages.
+    pub struct IntoIter<T> {
+        rx: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            IntoIter { rx: self }
+        }
+    }
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+
+    /// A bounded channel (maps to `mpsc::sync_channel`).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        // mpsc's bounded flavour has a distinct sender type; the uses in
+        // this workspace only need backpressure-free semantics, so an
+        // unbounded queue is an acceptable stand-in.
+        let _ = cap;
+        unbounded()
+    }
+}
+
+pub mod thread {
+    use std::marker::PhantomData;
+
+    /// Mirror of `crossbeam::thread::Scope`, backed by `std::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        _marker: PhantomData<&'env ()>,
+    }
+
+    /// Join handle of a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope itself so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || {
+                    let scope = Scope {
+                        inner,
+                        _marker: PhantomData,
+                    };
+                    f(&scope)
+                }),
+            }
+        }
+    }
+
+    /// Structured-concurrency scope: all spawned threads are joined before
+    /// this returns. Unlike crossbeam (which collects panics into the
+    /// `Err` variant), panics of unjoined threads propagate on exit, so
+    /// the result is always `Ok` — call sites that `.expect()` it keep
+    /// their meaning.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        let r = std::thread::scope(|s| {
+            let scope = Scope {
+                inner: s,
+                _marker: PhantomData,
+            };
+            f(&scope)
+        });
+        Ok(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn channel_roundtrip() {
+        let (tx, rx) = super::channel::unbounded();
+        tx.send(5).unwrap();
+        let tx2 = tx.clone();
+        tx2.send(6).unwrap();
+        assert_eq!(rx.recv().unwrap(), 5);
+        assert_eq!(rx.recv().unwrap(), 6);
+    }
+
+    #[test]
+    fn receivers_share_the_queue() {
+        let (tx, rx) = super::channel::unbounded();
+        let rx2 = rx.clone();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let a: Vec<i32> = rx.iter().take(50).collect();
+        let b: Vec<i32> = rx2.into_iter().collect();
+        assert_eq!(a.len() + b.len(), 100);
+        let mut all: Vec<i32> = a.into_iter().chain(b).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn scoped_threads_join_and_return() {
+        let data = [1, 2, 3];
+        let sum = super::thread::scope(|s| {
+            let h1 = s.spawn(|_| data.iter().sum::<i32>());
+            let h2 = s.spawn(|inner| {
+                // Nested spawn through the scope argument.
+                inner.spawn(|_| ()).join().unwrap();
+                10
+            });
+            h1.join().unwrap() + h2.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 16);
+    }
+}

@@ -1,0 +1,533 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build environment has no registry access, so the real `proptest`
+//! cannot be fetched. This vendored crate keeps the repo's property tests
+//! source-compatible: the `proptest!` macro, range/tuple/`Just`/`vec`
+//! strategies, `prop_map`, `prop_oneof!`, `any::<T>()`,
+//! `prop::sample::Index`, and the `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//! * cases are sampled randomly but **never shrunk** — a failure reports
+//!   the offending inputs (via the panic message of the underlying
+//!   `assert!`) without minimizing them;
+//! * `.proptest-regressions` files are not read or written;
+//! * the per-test RNG stream differs from upstream's, but is fully
+//!   deterministic for a given test name and case index.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng as _, RngCore as _, SeedableRng as _};
+
+/// The RNG handed to strategies while sampling one case.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Deterministic stream for (test-name hash, case index).
+    pub fn for_case(name_hash: u64, case: u64) -> Self {
+        TestRng(SmallRng::seed_from_u64(
+            name_hash ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        ))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.0.gen_range(0..n)
+    }
+}
+
+/// A source of random values of one type (upstream's `Strategy`, minus
+/// shrinking).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform produced values with a function.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy producing one fixed value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_float_strategies!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, roughly unit-scaled values; enough for model parameters.
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// The `any::<T>()` strategy.
+pub struct AnyStrategy<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy for an arbitrary value of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(core::marker::PhantomData)
+}
+
+pub mod bool {
+    //! Boolean strategies.
+    use super::{Strategy, TestRng};
+
+    /// Strategy yielding `true`/`false` with equal probability.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            super::Arbitrary::arbitrary(rng)
+        }
+    }
+
+    /// An arbitrary boolean.
+    pub const ANY: Any = Any;
+}
+
+pub mod sample {
+    //! Sampling helper types.
+    use super::{Arbitrary, TestRng};
+
+    /// An index usable with any collection length (`idx.index(len)`),
+    /// mirroring `proptest::sample::Index`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Map this abstract index onto a concrete `0..len`.
+        ///
+        /// # Panics
+        /// Panics if `len == 0`, like upstream.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(super::Arbitrary::arbitrary(rng))
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+    use super::{Strategy, TestRng};
+
+    /// Strategy for a `Vec` whose length is drawn from `len` and whose
+    /// elements are drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.len.start + 1 >= self.len.end {
+                self.len.start
+            } else {
+                self.len.start + rng.below((self.len.end - self.len.start) as u64) as usize
+            };
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, min..max)`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod strategy {
+    //! Strategy combinator types (the upstream module path).
+    pub use super::{BoxedStrategy, Just, Map, Strategy};
+
+    /// Uniform choice among boxed strategies — what `prop_oneof!` builds.
+    pub struct Union<T> {
+        options: Vec<super::BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over the given alternatives.
+        ///
+        /// # Panics
+        /// Panics if `options` is empty.
+        pub fn new(options: Vec<super::BoxedStrategy<T>>) -> Self {
+            assert!(
+                !options.is_empty(),
+                "prop_oneof! needs at least one alternative"
+            );
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut super::TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].sample(rng)
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The case-loop machinery behind the `proptest!` macro.
+
+    /// Runner configuration (subset of upstream's).
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps unconfigured suites quick
+            // while still exercising a meaningful sample.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// What one sampled case did.
+    pub enum TestOutcome {
+        /// Ran to completion (assertions passed or panicked the test).
+        Pass,
+        /// `prop_assume!` rejected the inputs; resample.
+        Reject,
+    }
+
+    /// FNV-1a over the test name: a build-stable seed source
+    /// (`std::hash::RandomState` is randomized per process, so it cannot
+    /// anchor reproducible streams).
+    pub fn fnv1a(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// Drive one property: sample inputs and run `case` until `cases`
+    /// accepted runs, tolerating up to `cases * 16` assume-rejections.
+    pub fn run<F>(name: &str, config: &ProptestConfig, mut case: F)
+    where
+        F: FnMut(&mut crate::TestRng) -> TestOutcome,
+    {
+        let hash = fnv1a(name);
+        let cases = config.cases as u64;
+        let max_rejects = cases.saturating_mul(16);
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        let mut stream = 0u64;
+        while accepted < cases {
+            let mut rng = crate::TestRng::for_case(hash, stream);
+            stream += 1;
+            match case(&mut rng) {
+                TestOutcome::Pass => accepted += 1,
+                TestOutcome::Reject => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= max_rejects,
+                        "property '{name}': too many prop_assume! rejections \
+                         ({rejected} rejects for {accepted} accepted cases)"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Everything a property-test file conventionally imports.
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, Strategy,
+    };
+
+    /// Upstream's prelude re-exports the crate root as `prop`
+    /// (`prop::sample::Index`, `prop::collection::vec`, ...).
+    pub use crate as prop;
+}
+
+/// Defines property tests. Each function's arguments are drawn from the
+/// given strategies; the body runs once per sampled case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            <$crate::test_runner::ProptestConfig as ::core::default::Default>::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            $crate::test_runner::run(stringify!($name), &config, |rng| {
+                $(let $arg = $crate::Strategy::sample(&($strat), rng);)*
+                let _ = $body;
+                $crate::test_runner::TestOutcome::Pass
+            });
+        }
+    )*};
+}
+
+/// Assert inside a property body (maps to `assert!`; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property body (maps to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property body (maps to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Discard the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return $crate::test_runner::TestOutcome::Reject;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return $crate::test_runner::TestOutcome::Reject;
+        }
+    };
+}
+
+/// Uniform choice among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_even() -> impl Strategy<Value = u64> {
+        (0u64..50).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #[test]
+        fn mapped_strategy_holds(x in small_even(), flip in prop::bool::ANY) {
+            prop_assert!(x % 2 == 0);
+            prop_assert!(x < 100 || flip != flip);
+        }
+
+        #[test]
+        fn tuples_vecs_and_oneof(
+            (a, b) in (1usize..10, 0u64..5),
+            v in prop::collection::vec(0u32..9, 2..6),
+            pick in prop_oneof![Just(1u8), Just(7)],
+            idx in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!((1..10).contains(&a) && b < 5);
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 9));
+            prop_assert!(pick == 1 || pick == 7);
+            prop_assert!(idx.index(a) < a);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let s = (0u64..1_000_000, 0usize..9);
+        let draw = |case| {
+            let mut rng = crate::TestRng::for_case(crate::test_runner::fnv1a("t"), case);
+            s.sample(&mut rng)
+        };
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(1), draw(2));
+    }
+}
