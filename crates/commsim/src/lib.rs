@@ -45,6 +45,7 @@
 
 pub mod formulas;
 pub mod gantt;
+pub mod graph;
 pub mod pattern;
 pub mod patterns;
 pub mod standard;

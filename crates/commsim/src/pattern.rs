@@ -184,29 +184,47 @@ impl CommPattern {
         (0..self.procs).filter(|&p| active[p]).collect()
     }
 
+    /// Successor lists of the processor-level directed graph (self-edges
+    /// excluded): `adj[p]` holds one entry per network message `p` sends.
+    pub fn proc_adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.procs];
+        for m in self.network_messages() {
+            adj[m.src].push(m.dst);
+        }
+        adj
+    }
+
     /// True iff the processor-level directed graph (ignoring self-edges)
     /// contains a cycle. Cyclic patterns deadlock the worst-case algorithm,
     /// which then has to force transmissions (paper §4.2).
     pub fn has_cycle(&self) -> bool {
-        // Kahn's algorithm on the processor graph.
-        let mut indeg = vec![0usize; self.procs];
-        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.procs];
-        for m in self.network_messages() {
-            adj[m.src].push(m.dst);
-            indeg[m.dst] += 1;
-        }
-        let mut queue: VecDeque<usize> = (0..self.procs).filter(|&p| indeg[p] == 0).collect();
-        let mut seen = 0;
-        while let Some(p) = queue.pop_front() {
-            seen += 1;
-            for &q in &adj[p] {
-                indeg[q] -= 1;
-                if indeg[q] == 0 {
-                    queue.push_back(q);
-                }
-            }
-        }
-        seen < self.procs
+        crate::graph::tarjan_sccs(&self.proc_adjacency()).has_nontrivial()
+    }
+
+    /// The nontrivial strongly connected components of the processor graph
+    /// (self-messages excluded): the groups of processors that deadlock the
+    /// worst-case algorithm. Each component is sorted ascending; components
+    /// are ordered by their smallest member. Empty iff the pattern is
+    /// acyclic.
+    pub fn sccs(&self) -> Vec<Vec<usize>> {
+        let mut comps: Vec<Vec<usize>> = crate::graph::tarjan_sccs(&self.proc_adjacency())
+            .nontrivial()
+            .cloned()
+            .collect();
+        comps.sort_by_key(|c| c[0]);
+        comps
+    }
+
+    /// One representative simple directed cycle per nontrivial SCC of the
+    /// processor graph: each entry is a processor sequence
+    /// `p0 -> p1 -> … -> pk -> p0` (returned without the closing repeat).
+    /// Deterministic for a fixed pattern; empty iff the pattern is acyclic.
+    pub fn cycles(&self) -> Vec<Vec<usize>> {
+        let adj = self.proc_adjacency();
+        self.sccs()
+            .iter()
+            .map(|comp| crate::graph::representative_cycle(&adj, comp))
+            .collect()
     }
 
     /// Merge another pattern over the same processor count into this one,
@@ -220,15 +238,28 @@ impl CommPattern {
 
     /// Graphviz DOT rendering of the pattern (nodes = processors that
     /// participate, edge labels = bytes), for inspection and for the
-    /// Figure 3 regenerator.
+    /// Figure 3 regenerator. Edges that lie inside a strongly connected
+    /// component — the ones responsible for worst-case deadlocks — are
+    /// drawn red and bold.
     pub fn to_dot(&self) -> String {
         use std::fmt::Write as _;
+        let scc = crate::graph::tarjan_sccs(&self.proc_adjacency());
+        let cyclic_edge = |m: &Message| {
+            !m.is_self_message()
+                && scc.comp_of[m.src] == scc.comp_of[m.dst]
+                && scc.components[scc.comp_of[m.src]].len() > 1
+        };
         let mut s = String::from("digraph comm {\n  rankdir=LR;\n");
         for p in self.active_procs() {
             let _ = writeln!(s, "  p{p} [label=\"P{p}\"];");
         }
         for m in &self.messages {
-            let _ = writeln!(s, "  p{} -> p{} [label=\"{}B\"];", m.src, m.dst, m.bytes);
+            let attrs = if cyclic_edge(m) {
+                format!("label=\"{}B\", color=red, penwidth=2", m.bytes)
+            } else {
+                format!("label=\"{}B\"", m.bytes)
+            };
+            let _ = writeln!(s, "  p{} -> p{} [{attrs}];", m.src, m.dst);
         }
         s.push_str("}\n");
         s
@@ -347,6 +378,51 @@ mod tests {
         let mut selfy = CommPattern::new(2);
         selfy.add(1, 1, 1);
         assert!(!selfy.has_cycle());
+    }
+
+    #[test]
+    fn sccs_and_cycles_name_the_deadlock() {
+        assert!(chain3().sccs().is_empty());
+        assert!(chain3().cycles().is_empty());
+
+        // Two disjoint cycles plus a bystander chain: 0<->1 and 2->3->2,
+        // with 4 feeding 0 acyclically.
+        let mut p = CommPattern::new(5);
+        p.add(0, 1, 1);
+        p.add(1, 0, 1);
+        p.add(2, 3, 1);
+        p.add(3, 2, 1);
+        p.add(4, 0, 1);
+        assert_eq!(p.sccs(), vec![vec![0, 1], vec![2, 3]]);
+        let cycles = p.cycles();
+        assert_eq!(cycles.len(), 2);
+        for cyc in &cycles {
+            assert!(cyc.len() >= 2);
+            // Consecutive members (and the closing pair) are real edges.
+            for i in 0..cyc.len() {
+                let (a, b) = (cyc[i], cyc[(i + 1) % cyc.len()]);
+                assert!(
+                    p.network_messages().any(|m| m.src == a && m.dst == b),
+                    "{a}->{b} not a message"
+                );
+            }
+        }
+        assert_eq!(cycles[0][0], 0);
+        assert_eq!(cycles[1][0], 2);
+    }
+
+    #[test]
+    fn dot_highlights_cycle_edges() {
+        let mut p = CommPattern::new(3);
+        p.add(0, 1, 10); // part of the cycle below
+        p.add(1, 0, 10);
+        p.add(1, 2, 20); // acyclic tail
+        let dot = p.to_dot();
+        assert!(
+            dot.contains("p0 -> p1 [label=\"10B\", color=red, penwidth=2];"),
+            "{dot}"
+        );
+        assert!(dot.contains("p1 -> p2 [label=\"20B\"];"), "{dot}");
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub mod simulate;
 pub mod textfmt;
 
 pub use layout::{BlockCyclic2D, ColCyclic, Diagonal, Layout, RowCyclic};
-pub use program::{Program, Step, StepLoad};
+pub use program::{Program, ProgramError, Step, StepLoad};
 pub use simulate::{
     simulate_program, simulate_program_with, CommAlgo, DirectStepSimulator, Overlap, Prediction,
     SimOptions, StepRecord, StepSimulator, Synchronization,

@@ -8,6 +8,54 @@
 
 use commsim::CommPattern;
 use loggp::Time;
+use std::fmt;
+
+/// A structural defect that makes a [`Step`] unacceptable for a
+/// [`Program`] — the typed form of what [`Program::push`] /
+/// [`Program::new`] panic about. Produced by [`Program::try_push`] and
+/// [`Program::try_new`] so front ends (CLI, batch engine) can surface
+/// diagnostics instead of aborting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A program over zero processors was requested.
+    NoProcessors,
+    /// A step's computation vector disagrees with the processor count.
+    CompArity {
+        /// The offending step's label.
+        label: String,
+        /// Number of computation entries the step carries.
+        got: usize,
+        /// Processor count of the program.
+        procs: usize,
+    },
+    /// A step's communication pattern spans a different processor count.
+    PatternProcs {
+        /// The offending step's label.
+        label: String,
+        /// Processor count of the step's pattern.
+        got: usize,
+        /// Processor count of the program.
+        procs: usize,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::NoProcessors => write!(f, "a program needs at least one processor"),
+            ProgramError::CompArity { label, got, procs } => write!(
+                f,
+                "step '{label}' has {got} computation entries for {procs} processors"
+            ),
+            ProgramError::PatternProcs { label, got, procs } => write!(
+                f,
+                "step '{label}' has a pattern over {got} processors, program has {procs}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
 
 /// One alternation of the program: a computation phase (per-processor
 /// durations) followed by a communication phase (a message pattern).
@@ -107,12 +155,23 @@ pub struct Program {
 
 impl Program {
     /// An empty program over `procs` processors.
+    ///
+    /// # Panics
+    /// Panics if `procs == 0`; use [`Program::try_new`] for a fallible
+    /// version.
     pub fn new(procs: usize) -> Self {
-        assert!(procs > 0, "a program needs at least one processor");
-        Program {
+        Program::try_new(procs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Program::new`].
+    pub fn try_new(procs: usize) -> Result<Self, ProgramError> {
+        if procs == 0 {
+            return Err(ProgramError::NoProcessors);
+        }
+        Ok(Program {
             procs,
             steps: Vec::new(),
-        }
+        })
     }
 
     /// Append a step.
@@ -120,23 +179,32 @@ impl Program {
     /// # Panics
     /// Panics if the step's computation vector or communication pattern
     /// disagrees with the program's processor count (an empty half is
-    /// always accepted).
+    /// always accepted); use [`Program::try_push`] for a fallible version.
     pub fn push(&mut self, step: Step) {
-        assert!(
-            step.comp.is_empty() || step.comp.len() == self.procs,
-            "step '{}' has {} computation entries for {} processors",
-            step.label,
-            step.comp.len(),
-            self.procs
-        );
-        assert!(
-            step.comm.is_empty() || step.comm.procs() == self.procs,
-            "step '{}' has a pattern over {} processors, program has {}",
-            step.label,
-            step.comm.procs(),
-            self.procs
-        );
+        self.try_push(step).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`Program::push`]: validates the step's arities against the
+    /// program's processor count and returns the typed defect instead of
+    /// panicking. On error the step is not appended (it is returned inside
+    /// the error's context only by label; the program is unchanged).
+    pub fn try_push(&mut self, step: Step) -> Result<(), ProgramError> {
+        if !step.comp.is_empty() && step.comp.len() != self.procs {
+            return Err(ProgramError::CompArity {
+                label: step.label,
+                got: step.comp.len(),
+                procs: self.procs,
+            });
+        }
+        if !step.comm.is_empty() && step.comm.procs() != self.procs {
+            return Err(ProgramError::PatternProcs {
+                label: step.label,
+                got: step.comm.procs(),
+                procs: self.procs,
+            });
+        }
         self.steps.push(step);
+        Ok(())
     }
 
     /// Number of processors.
@@ -241,5 +309,43 @@ mod tests {
     #[should_panic(expected = "at least one processor")]
     fn zero_proc_program_rejected() {
         let _ = Program::new(0);
+    }
+
+    #[test]
+    fn try_new_and_try_push_return_typed_errors() {
+        assert_eq!(Program::try_new(0).unwrap_err(), ProgramError::NoProcessors);
+
+        let mut p = Program::try_new(3).unwrap();
+        let err = p
+            .try_push(Step::new("bad").with_comp(vec![Time::ZERO; 2]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ProgramError::CompArity {
+                label: "bad".into(),
+                got: 2,
+                procs: 3
+            }
+        );
+        assert!(err.to_string().contains("2 computation entries"));
+
+        let mut comm = CommPattern::new(2);
+        comm.add(0, 1, 1);
+        let err = p.try_push(Step::new("worse").with_comm(comm)).unwrap_err();
+        assert_eq!(
+            err,
+            ProgramError::PatternProcs {
+                label: "worse".into(),
+                got: 2,
+                procs: 3
+            }
+        );
+        assert!(err.to_string().contains("pattern over 2 processors"));
+
+        // Failed pushes leave the program unchanged; good ones append.
+        assert!(p.is_empty());
+        p.try_push(Step::new("ok").with_comp(vec![Time::ZERO; 3]))
+            .unwrap();
+        assert_eq!(p.len(), 1);
     }
 }

@@ -72,7 +72,13 @@ pub fn parse(text: &str) -> Result<Program, ParseError> {
     // Current step under construction.
     let mut cur: Option<(String, Vec<Time>, CommPattern)> = None;
 
-    let flush = |prog: &mut Option<Program>, cur: &mut Option<(String, Vec<Time>, CommPattern)>| {
+    // The line the current step was opened on, for error attribution.
+    let mut step_line = 0usize;
+
+    let flush = |prog: &mut Option<Program>,
+                 cur: &mut Option<(String, Vec<Time>, CommPattern)>,
+                 step_line: usize|
+     -> Result<(), ParseError> {
         if let Some((label, comp, comm)) = cur.take() {
             let mut step = Step::new(label);
             if !comp.is_empty() {
@@ -83,8 +89,13 @@ pub fn parse(text: &str) -> Result<Program, ParseError> {
             }
             prog.as_mut()
                 .expect("program header precedes steps")
-                .push(step);
+                .try_push(step)
+                .map_err(|e| ParseError {
+                    line: step_line,
+                    message: e.to_string(),
+                })?;
         }
+        Ok(())
     };
 
     for (idx, raw) in text.lines().enumerate() {
@@ -116,7 +127,8 @@ pub fn parse(text: &str) -> Result<Program, ParseError> {
                 if prog.is_none() {
                     return Err(err(lineno, "'step' before 'program' header".into()));
                 }
-                flush(&mut prog, &mut cur);
+                flush(&mut prog, &mut cur, step_line)?;
+                step_line = lineno;
                 let label = rest
                     .trim()
                     .strip_prefix("label=")
@@ -163,7 +175,7 @@ pub fn parse(text: &str) -> Result<Program, ParseError> {
             other => return Err(err(lineno, format!("unknown directive '{other}'"))),
         }
     }
-    flush(&mut prog, &mut cur);
+    flush(&mut prog, &mut cur, step_line)?;
     prog.ok_or_else(|| err(0, "missing 'program' header".into()))
 }
 

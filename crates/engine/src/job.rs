@@ -84,6 +84,16 @@ pub enum JobSource {
         /// Computation charge per flop, picoseconds.
         ps_per_flop: u64,
     },
+    /// Blocked Floyd–Warshall all-pairs shortest paths (`apsp::generate`,
+    /// paper-default operation costs).
+    Apsp {
+        /// Vertex count.
+        n: usize,
+        /// Block size (must divide `n`).
+        block: usize,
+        /// Data layout.
+        layout: LayoutSpec,
+    },
 }
 
 impl JobSource {
@@ -105,6 +115,10 @@ impl JobSource {
                 iters,
                 ps_per_flop,
             } => Arc::new(stencil::generate(*n, *procs, *iters, *ps_per_flop).program),
+            JobSource::Apsp { n, block, layout } => {
+                let cost = AnalyticCost::paper_default();
+                Arc::new(apsp::generate(*n, *block, layout.build().as_ref(), &cost).program)
+            }
         }
     }
 
@@ -112,9 +126,42 @@ impl JobSource {
     pub fn procs(&self) -> usize {
         match self {
             JobSource::Program(p) => p.procs(),
-            JobSource::Gauss { layout, .. } => layout.procs(),
+            JobSource::Gauss { layout, .. } | JobSource::Apsp { layout, .. } => layout.procs(),
             JobSource::Cannon { q, .. } => q * q,
             JobSource::Stencil { procs, .. } => *procs,
+        }
+    }
+
+    /// Check the spec's preconditions — everything the generator behind
+    /// [`JobSource::build`] would otherwise `assert!` about — and describe
+    /// the first violation. `Ok(())` guarantees that `build()` cannot
+    /// panic on its inputs.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            JobSource::Program(_) => Ok(()), // Program construction already validated it
+            JobSource::Gauss { n, block, layout } | JobSource::Apsp { n, block, layout } => {
+                if *block == 0 || n % block != 0 {
+                    return Err(format!(
+                        "block size {block} must divide the matrix size {n}"
+                    ));
+                }
+                if layout.procs() == 0 {
+                    return Err("layout maps onto zero processors".into());
+                }
+                Ok(())
+            }
+            JobSource::Cannon { n, q } => {
+                if *q == 0 || n % q != 0 {
+                    return Err(format!("grid side {q} must divide the matrix size {n}"));
+                }
+                Ok(())
+            }
+            JobSource::Stencil { n, procs, .. } => {
+                if *procs == 0 || procs > n {
+                    return Err(format!("need 1..={n} bands, got {procs} for n={n}"));
+                }
+                Ok(())
+            }
         }
     }
 }

@@ -45,8 +45,75 @@ pub use fingerprint::StepKey;
 pub use job::{Grid, JobResult, JobSource, JobSpec, LayoutSpec};
 
 use crossbeam::channel;
-use predsim_core::{simulate_program, simulate_program_with, Prediction};
+use predsim_core::{simulate_program, simulate_program_with, CommAlgo, Prediction};
+use predsim_lint::{check_program, Code, Diagnostic, LintOptions, Report, Severity, Span};
 use std::sync::Arc;
+
+/// Lint one job without running it: first the spec itself (would the
+/// generator behind it even accept these inputs?), then — when the spec is
+/// feasible — the built program, under the spec's machine parameters.
+///
+/// Infeasible specs yield a single `PS0501` error. Program-level deadlock
+/// findings are always reported at warning severity here (the worst-case
+/// simulator handles cycles by forcing transmissions — that is its defined
+/// behaviour, not a batch-stopping defect), so [`Engine::run_checked`]
+/// rejects exactly the jobs that could not execute: bad specs and
+/// structurally broken programs.
+pub fn lint_job(spec: &JobSpec) -> Report {
+    if let Err(why) = spec.source.validate() {
+        let mut report = Report::new();
+        report.push(
+            Diagnostic::new(
+                Code::BadJobSpec,
+                Severity::Error,
+                Span::program(),
+                format!("job spec cannot produce a program: {why}"),
+            )
+            .with_note("the generator would panic on these inputs; fix the spec"),
+        );
+        return report;
+    }
+    let opts = LintOptions::default()
+        .with_algo(CommAlgo::Standard)
+        .with_params(spec.opts.cfg.params);
+    check_program(&spec.source.build(), &opts)
+}
+
+/// One job [`Engine::run_checked`] refused to execute.
+#[derive(Clone, Debug)]
+pub struct RejectedJob {
+    /// Position of the spec in the submitted slice.
+    pub index: usize,
+    /// The spec's label.
+    pub label: String,
+    /// The diagnostics that caused the rejection (plus any riding along).
+    pub report: Report,
+}
+
+/// The error of [`Engine::run_checked`]: every job whose lint report
+/// contains error-severity diagnostics. No job of the batch was executed.
+#[derive(Clone, Debug)]
+pub struct BatchRejection {
+    /// The refused jobs, in submission order.
+    pub rejected: Vec<RejectedJob>,
+}
+
+impl std::fmt::Display for BatchRejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} job(s) rejected by pre-run checks:",
+            self.rejected.len()
+        )?;
+        for job in &self.rejected {
+            writeln!(f, "job {} ('{}'):", job.index, job.label)?;
+            write!(f, "{}", job.report.render())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for BatchRejection {}
 
 /// Engine tuning knobs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -199,6 +266,31 @@ impl Engine {
             .collect()
     }
 
+    /// Like [`Engine::run`], but pre-validate every spec with [`lint_job`]
+    /// first. If any job's report contains errors, the whole batch is
+    /// refused (nothing runs) and the offending reports come back as a
+    /// [`BatchRejection`] — diagnostics instead of a mid-batch panic
+    /// inside a worker thread.
+    pub fn run_checked(&self, specs: &[JobSpec]) -> Result<Vec<JobResult>, BatchRejection> {
+        let rejected: Vec<RejectedJob> = specs
+            .iter()
+            .enumerate()
+            .filter_map(|(index, spec)| {
+                let report = lint_job(spec);
+                report.has_errors().then(|| RejectedJob {
+                    index,
+                    label: spec.label.clone(),
+                    report,
+                })
+            })
+            .collect();
+        if rejected.is_empty() {
+            Ok(self.run(specs))
+        } else {
+            Err(BatchRejection { rejected })
+        }
+    }
+
     fn execute(&self, index: usize, spec: &JobSpec) -> JobResult {
         JobResult {
             index,
@@ -295,6 +387,97 @@ mod tests {
         // warm-up iterations; from then on every iteration is a hit.
         assert!(stats.hits >= 20, "hits: {}", stats.hits);
         assert!(stats.misses >= 1);
+    }
+
+    #[test]
+    fn run_checked_rejects_bad_specs_with_diagnostics() {
+        let opts = predsim_core::SimOptions::new(commsim::SimConfig::new(presets::meiko_cs2(4)));
+        let specs = vec![
+            JobSpec::new(
+                "bad ge",
+                JobSource::Gauss {
+                    n: 10,
+                    block: 3,
+                    layout: LayoutSpec::RowCyclic(4),
+                },
+                opts,
+            ),
+            JobSpec::new("ok cannon", JobSource::Cannon { n: 32, q: 4 }, opts),
+            JobSpec::new("bad cannon", JobSource::Cannon { n: 32, q: 5 }, opts),
+            JobSpec::new(
+                "bad stencil",
+                JobSource::Stencil {
+                    n: 4,
+                    procs: 8,
+                    iters: 1,
+                    ps_per_flop: 100,
+                },
+                opts,
+            ),
+            JobSpec::new(
+                "bad apsp",
+                JobSource::Apsp {
+                    n: 12,
+                    block: 4,
+                    layout: LayoutSpec::Grid2D(0, 3),
+                },
+                opts,
+            ),
+        ];
+        let err = Engine::sequential().run_checked(&specs).unwrap_err();
+        let indices: Vec<usize> = err.rejected.iter().map(|r| r.index).collect();
+        assert_eq!(indices, vec![0, 2, 3, 4]);
+        for r in &err.rejected {
+            assert!(r.report.has_errors());
+            assert_eq!(
+                r.report.diagnostics()[0].code,
+                predsim_lint::Code::BadJobSpec
+            );
+        }
+        let text = err.to_string();
+        assert!(text.contains("4 job(s) rejected"), "{text}");
+        assert!(text.contains("error[PS0501]"), "{text}");
+        assert!(
+            text.contains("block size 3 must divide the matrix size 10"),
+            "{text}"
+        );
+        assert!(text.contains("grid side 5 must divide"), "{text}");
+        assert!(text.contains("1..=4 bands, got 8"), "{text}");
+        assert!(text.contains("zero processors"), "{text}");
+    }
+
+    #[test]
+    fn run_checked_runs_clean_batches_even_with_cycles() {
+        // Cannon's rotate steps are genuinely cyclic ring shifts; the
+        // deadlock finding is a warning at the engine boundary (the
+        // worst-case simulator forces transmissions by design), so the
+        // batch must still execute — under both algorithms.
+        let jobs = Grid::new()
+            .source("ca", JobSource::Cannon { n: 32, q: 4 })
+            .source(
+                "apsp",
+                JobSource::Apsp {
+                    n: 24,
+                    block: 8,
+                    layout: LayoutSpec::Diagonal(4),
+                },
+            )
+            .machine("meiko", presets::meiko_cs2(16))
+            .build();
+        let report = lint_job(&jobs[0]);
+        assert!(!report.has_errors());
+        assert!(report.count(predsim_lint::Severity::Warning) > 0);
+
+        let results = Engine::sequential().run_checked(&jobs).unwrap();
+        assert_eq!(results.len(), 2);
+
+        let wc = Grid::new()
+            .source("ca", JobSource::Cannon { n: 32, q: 4 })
+            .machine("meiko", presets::meiko_cs2(16))
+            .worst_case()
+            .build();
+        let results = Engine::sequential().run_checked(&wc).unwrap();
+        assert!(results[0].prediction.forced_sends > 0);
     }
 
     #[test]

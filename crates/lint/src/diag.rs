@@ -1,0 +1,477 @@
+//! The diagnostics model: stable codes, severities, spans and reports.
+//!
+//! Every finding of the analyzer is a [`Diagnostic`]: a stable `PSxxxx`
+//! [`Code`], a [`Severity`], a human message, a [`Span`] locating the
+//! finding inside the program (step / processor / message), and free-form
+//! notes. A [`Report`] collects diagnostics and renders them either
+//! rustc-style for terminals ([`Report::render`]) or as machine-readable
+//! JSON ([`Report::to_json`], round-trippable via [`Report::from_json`]).
+
+use std::fmt;
+
+/// How bad a finding is. Ordered: `Info < Warning < Error`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: something worth knowing, nothing to fix.
+    Info,
+    /// Suspicious but simulable; predictions may be degraded or surprising.
+    Warning,
+    /// A defect: the program is malformed or the requested analysis is
+    /// guaranteed to misbehave on it.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name, as used in JSON and rendered output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parse the lower-case name back (inverse of [`Severity::as_str`]).
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "info" => Some(Severity::Info),
+            "warning" => Some(Severity::Warning),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Stable diagnostic codes. The numeric ranges group the codes by pass:
+/// `PS01xx` well-formedness, `PS02xx` deadlock, `PS03xx` LogGP bounds,
+/// `PS05xx` batch-job validation. Codes are append-only: a published code
+/// never changes meaning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Code {
+    /// PS0101: the program declares zero processors.
+    ZeroProcessors,
+    /// PS0102: a step's computation vector length differs from the
+    /// program's processor count.
+    CompArityMismatch,
+    /// PS0103: a step's communication pattern spans a different processor
+    /// count than the program.
+    PatternProcsMismatch,
+    /// PS0104: a message references a processor outside the program's
+    /// range.
+    ProcOutOfRange,
+    /// PS0105: a step contains self-messages (src == dst). The LogGP
+    /// simulators ignore them; the machine emulator charges a local copy.
+    SelfMessages,
+    /// PS0106: a step contains zero-byte network messages (pure control
+    /// messages; legal, but often an accident).
+    ZeroByteMessages,
+    /// PS0107: a step neither computes nor communicates.
+    EmptyStep,
+    /// PS0201: a communication step contains a processor cycle, which
+    /// deadlocks the worst-case (§4.2) algorithm until transmissions are
+    /// forced.
+    DeadlockCycle,
+    /// PS0301: fan-in hotspot — one processor receives from many distinct
+    /// senders in a single step and serializes the step.
+    FanInHotspot,
+    /// PS0302: the per-processor LogGP serialization bounds of a step are
+    /// imbalanced beyond the configured ratio.
+    CommImbalance,
+    /// PS0303: per-processor computation charges are imbalanced beyond the
+    /// configured ratio across many steps.
+    CompImbalance,
+    /// PS0304: a processor never computes and never communicates in the
+    /// whole program.
+    UnusedProcessor,
+    /// PS0501: a batch job specification cannot produce a program (bad
+    /// divisibility, zero processors, …).
+    BadJobSpec,
+}
+
+impl Code {
+    /// All codes, in numeric order.
+    pub const ALL: [Code; 13] = [
+        Code::ZeroProcessors,
+        Code::CompArityMismatch,
+        Code::PatternProcsMismatch,
+        Code::ProcOutOfRange,
+        Code::SelfMessages,
+        Code::ZeroByteMessages,
+        Code::EmptyStep,
+        Code::DeadlockCycle,
+        Code::FanInHotspot,
+        Code::CommImbalance,
+        Code::CompImbalance,
+        Code::UnusedProcessor,
+        Code::BadJobSpec,
+    ];
+
+    /// The stable `PSxxxx` identifier.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::ZeroProcessors => "PS0101",
+            Code::CompArityMismatch => "PS0102",
+            Code::PatternProcsMismatch => "PS0103",
+            Code::ProcOutOfRange => "PS0104",
+            Code::SelfMessages => "PS0105",
+            Code::ZeroByteMessages => "PS0106",
+            Code::EmptyStep => "PS0107",
+            Code::DeadlockCycle => "PS0201",
+            Code::FanInHotspot => "PS0301",
+            Code::CommImbalance => "PS0302",
+            Code::CompImbalance => "PS0303",
+            Code::UnusedProcessor => "PS0304",
+            Code::BadJobSpec => "PS0501",
+        }
+    }
+
+    /// Parse a `PSxxxx` identifier (inverse of [`Code::as_str`]).
+    pub fn parse(s: &str) -> Option<Code> {
+        Code::ALL.into_iter().find(|c| c.as_str() == s)
+    }
+
+    /// One-line description for the codes table.
+    pub fn description(self) -> &'static str {
+        match self {
+            Code::ZeroProcessors => "program declares zero processors",
+            Code::CompArityMismatch => "computation vector length != processor count",
+            Code::PatternProcsMismatch => "pattern processor count != program processor count",
+            Code::ProcOutOfRange => "message references a processor outside the program",
+            Code::SelfMessages => "step contains self-messages",
+            Code::ZeroByteMessages => "step contains zero-byte network messages",
+            Code::EmptyStep => "step neither computes nor communicates",
+            Code::DeadlockCycle => "communication cycle deadlocks the worst-case algorithm",
+            Code::FanInHotspot => "one processor receives from many distinct senders",
+            Code::CommImbalance => "per-processor LogGP bounds imbalanced within a step",
+            Code::CompImbalance => "per-processor computation imbalanced across steps",
+            Code::UnusedProcessor => "processor never computes nor communicates",
+            Code::BadJobSpec => "batch job specification cannot produce a program",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where in the program a diagnostic points. All fields are optional; a
+/// whole-program finding leaves them all unset.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Span {
+    /// 0-based step index.
+    pub step: Option<usize>,
+    /// The step's label, carried for rendering.
+    pub step_label: Option<String>,
+    /// Processor id.
+    pub proc: Option<usize>,
+    /// Message id within the step's pattern.
+    pub msg: Option<usize>,
+}
+
+impl Span {
+    /// A span with no location (whole-program findings).
+    pub fn program() -> Span {
+        Span::default()
+    }
+
+    /// A span pointing at one step.
+    pub fn step(index: usize, label: impl Into<String>) -> Span {
+        Span {
+            step: Some(index),
+            step_label: Some(label.into()),
+            ..Span::default()
+        }
+    }
+
+    /// This span, additionally naming a processor.
+    pub fn with_proc(mut self, proc: usize) -> Span {
+        self.proc = Some(proc);
+        self
+    }
+
+    /// This span, additionally naming a message.
+    pub fn with_msg(mut self, msg: usize) -> Span {
+        self.msg = Some(msg);
+        self
+    }
+
+    /// True iff nothing is located (whole-program).
+    pub fn is_program(&self) -> bool {
+        self.step.is_none() && self.proc.is_none() && self.msg.is_none()
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        if let Some(s) = self.step {
+            match &self.step_label {
+                Some(l) => parts.push(format!("step {s} ('{l}')")),
+                None => parts.push(format!("step {s}")),
+            }
+        }
+        if let Some(p) = self.proc {
+            parts.push(format!("P{p}"));
+        }
+        if let Some(m) = self.msg {
+            parts.push(format!("msg #{m}"));
+        }
+        if parts.is_empty() {
+            f.write_str("program")
+        } else {
+            f.write_str(&parts.join(", "))
+        }
+    }
+}
+
+/// One analyzer finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Severity of this occurrence (some codes vary by context: a
+    /// [`Code::DeadlockCycle`] is an error when checking for the worst-case
+    /// algorithm and a warning otherwise).
+    pub severity: Severity,
+    /// Human-readable one-line message.
+    pub message: String,
+    /// Location.
+    pub span: Span,
+    /// Additional detail lines, rendered as `= note:` entries.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with no notes.
+    pub fn new(code: Code, severity: Severity, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            span,
+            notes: Vec::new(),
+        }
+    }
+
+    /// This diagnostic with a note appended.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Rustc-style multi-line rendering.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}[{}]: {}",
+            self.severity.as_str(),
+            self.code,
+            self.message
+        );
+        let _ = writeln!(out, "  --> {}", self.span);
+        for note in &self.notes {
+            let _ = writeln!(out, "   = note: {note}");
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// An ordered collection of diagnostics plus severity tallies.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Report {
+    diags: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// Append a diagnostic.
+    pub fn push(&mut self, diag: Diagnostic) {
+        self.diags.push(diag);
+    }
+
+    /// All diagnostics, in insertion (or, after [`Report::sort`], span)
+    /// order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    /// Number of diagnostics.
+    pub fn len(&self) -> usize {
+        self.diags.len()
+    }
+
+    /// True iff no diagnostics at all.
+    pub fn is_empty(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Diagnostics at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diags.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// True iff the report contains at least one error.
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// The most severe diagnostic present, `None` when empty.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diags.iter().map(|d| d.severity).max()
+    }
+
+    /// True iff the report is free of error-severity diagnostics — the
+    /// analyzer's definition of an acceptable program (warnings and infos
+    /// are advisory).
+    pub fn is_clean(&self) -> bool {
+        !self.has_errors()
+    }
+
+    /// Merge another report into this one.
+    pub fn extend(&mut self, other: Report) {
+        self.diags.extend(other.diags);
+    }
+
+    /// Stable presentation order: by step, then severity (errors first),
+    /// then code, then processor/message.
+    pub fn sort(&mut self) {
+        self.diags.sort_by(|a, b| {
+            (a.span.step, std::cmp::Reverse(a.severity), a.code.as_str())
+                .cmp(&(b.span.step, std::cmp::Reverse(b.severity), b.code.as_str()))
+                .then(a.span.proc.cmp(&b.span.proc))
+                .then(a.span.msg.cmp(&b.span.msg))
+        });
+    }
+
+    /// Render the whole report rustc-style, ending with a summary line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diags {
+            out.push_str(&d.render());
+            out.push('\n');
+        }
+        out.push_str(&self.summary());
+        out.push('\n');
+        out
+    }
+
+    /// One-line tally, e.g. `2 errors, 1 warning, 0 infos`.
+    pub fn summary(&self) -> String {
+        let plural = |n: usize, word: &str| format!("{n} {word}{}", if n == 1 { "" } else { "s" });
+        format!(
+            "{}, {}, {}",
+            plural(self.count(Severity::Error), "error"),
+            plural(self.count(Severity::Warning), "warning"),
+            plural(self.count(Severity::Info), "info")
+        )
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_and_round_trips() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        for s in [Severity::Info, Severity::Warning, Severity::Error] {
+            assert_eq!(Severity::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(Severity::parse("fatal"), None);
+    }
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for c in Code::ALL {
+            let s = c.as_str();
+            assert!(s.starts_with("PS") && s.len() == 6, "{s}");
+            assert!(s[2..].chars().all(|ch| ch.is_ascii_digit()), "{s}");
+            assert!(seen.insert(s), "duplicate code {s}");
+            assert_eq!(Code::parse(s), Some(c));
+            assert!(!c.description().is_empty());
+        }
+        assert_eq!(Code::parse("PS9999"), None);
+    }
+
+    #[test]
+    fn span_renders_each_shape() {
+        assert_eq!(Span::program().to_string(), "program");
+        assert_eq!(Span::step(3, "wave").to_string(), "step 3 ('wave')");
+        assert_eq!(
+            Span::step(3, "wave").with_proc(2).with_msg(7).to_string(),
+            "step 3 ('wave'), P2, msg #7"
+        );
+    }
+
+    #[test]
+    fn report_tallies_and_renders() {
+        let mut r = Report::new();
+        r.push(Diagnostic::new(
+            Code::DeadlockCycle,
+            Severity::Error,
+            Span::step(1, "rotate"),
+            "cycle among 3 processors",
+        ));
+        r.push(
+            Diagnostic::new(
+                Code::SelfMessages,
+                Severity::Info,
+                Span::step(0, "skew"),
+                "2 self-messages",
+            )
+            .with_note("ids: 0, 3"),
+        );
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.count(Severity::Error), 1);
+        assert!(r.has_errors());
+        assert!(!r.is_clean());
+        assert_eq!(r.max_severity(), Some(Severity::Error));
+
+        r.sort();
+        // After sorting, step 0 comes first.
+        assert_eq!(r.diagnostics()[0].code, Code::SelfMessages);
+
+        let text = r.render();
+        assert!(text.contains("error[PS0201]"), "{text}");
+        assert!(text.contains("--> step 1 ('rotate')"), "{text}");
+        assert!(text.contains("= note: ids: 0, 3"), "{text}");
+        assert!(text.contains("1 error, 0 warnings, 1 info"), "{text}");
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let r = Report::new();
+        assert!(r.is_clean());
+        assert!(!r.has_errors());
+        assert_eq!(r.max_severity(), None);
+        assert_eq!(r.summary(), "0 errors, 0 warnings, 0 infos");
+    }
+}

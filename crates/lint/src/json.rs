@@ -1,0 +1,629 @@
+//! A minimal hand-rolled JSON value, printer and parser.
+//!
+//! The workspace deliberately carries no serialization dependency, so the
+//! machine-readable output of the analyzer is built on this module. It
+//! supports exactly what the diagnostic schema needs: null, booleans,
+//! integers, strings, arrays and objects (with preserved key order). The
+//! parser is a strict recursive-descent reader of the same subset — floats
+//! are rejected, which is fine because the schema never emits them.
+
+use std::fmt::Write as _;
+
+/// A JSON value over the subset the diagnostic schema uses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (the schema has no floats).
+    Int(i64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; key order is preserved and significant for output.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Render compactly (no whitespace).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Render with two-space indentation.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (nl, pad, pad_close, colon) = match indent {
+            Some(w) => (
+                "\n",
+                " ".repeat(w * (depth + 1)),
+                " ".repeat(w * depth),
+                ": ",
+            ),
+            None => ("", String::new(), String::new(), ":"),
+        };
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Str(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad);
+                    item.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad_close);
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad);
+                    write_escaped(out, k);
+                    out.push_str(colon);
+                    v.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad_close);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON parse failure, with a byte offset into the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).
+pub fn parse(text: &str) -> Result<Value, JsonError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JsonError> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+            return Err(self.err("floats are not part of the diagnostic schema"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<i64>().ok())
+            .map(Value::Int)
+            .ok_or_else(|| self.err("bad integer"))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let c = char::from_u32(hex)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance over one UTF-8 scalar. The input is a &str, so
+                    // boundaries are always valid.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, JsonError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, JsonError> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+use crate::diag::{Code, Diagnostic, Report, Severity, Span};
+
+fn opt_usize(n: Option<usize>) -> Value {
+    match n {
+        Some(n) => Value::Int(n as i64),
+        None => Value::Null,
+    }
+}
+
+fn get_opt_usize(v: &Value, key: &str) -> Result<Option<usize>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Int(n)) if *n >= 0 => Ok(Some(*n as usize)),
+        Some(other) => Err(format!(
+            "field '{key}': expected a non-negative integer, got {other:?}"
+        )),
+    }
+}
+
+fn get_str(v: &Value, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field '{key}'"))
+}
+
+impl Diagnostic {
+    /// This diagnostic as a JSON object (the documented schema).
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("code".into(), Value::Str(self.code.as_str().into())),
+            ("severity".into(), Value::Str(self.severity.as_str().into())),
+            ("message".into(), Value::Str(self.message.clone())),
+            ("step".into(), opt_usize(self.span.step)),
+            (
+                "step_label".into(),
+                match &self.span.step_label {
+                    Some(l) => Value::Str(l.clone()),
+                    None => Value::Null,
+                },
+            ),
+            ("proc".into(), opt_usize(self.span.proc)),
+            ("msg".into(), opt_usize(self.span.msg)),
+            (
+                "notes".into(),
+                Value::Array(self.notes.iter().cloned().map(Value::Str).collect()),
+            ),
+        ])
+    }
+
+    /// Parse a diagnostic back from its JSON object.
+    pub fn from_value(v: &Value) -> Result<Diagnostic, String> {
+        let code_str = get_str(v, "code")?;
+        let code = Code::parse(&code_str).ok_or_else(|| format!("unknown code '{code_str}'"))?;
+        let sev_str = get_str(v, "severity")?;
+        let severity =
+            Severity::parse(&sev_str).ok_or_else(|| format!("unknown severity '{sev_str}'"))?;
+        let span = Span {
+            step: get_opt_usize(v, "step")?,
+            step_label: match v.get("step_label") {
+                None | Some(Value::Null) => None,
+                Some(Value::Str(s)) => Some(s.clone()),
+                Some(other) => {
+                    return Err(format!(
+                        "field 'step_label': expected a string, got {other:?}"
+                    ))
+                }
+            },
+            proc: get_opt_usize(v, "proc")?,
+            msg: get_opt_usize(v, "msg")?,
+        };
+        let notes = match v.get("notes") {
+            None | Some(Value::Null) => Vec::new(),
+            Some(Value::Array(items)) => items
+                .iter()
+                .map(|n| {
+                    n.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "non-string note".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(other) => return Err(format!("field 'notes': expected an array, got {other:?}")),
+        };
+        Ok(Diagnostic {
+            code,
+            severity,
+            message: get_str(v, "message")?,
+            span,
+            notes,
+        })
+    }
+}
+
+impl Report {
+    /// This report as a JSON object: severity tallies plus the diagnostic
+    /// array, in report order.
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "errors".into(),
+                Value::Int(self.count(Severity::Error) as i64),
+            ),
+            (
+                "warnings".into(),
+                Value::Int(self.count(Severity::Warning) as i64),
+            ),
+            (
+                "infos".into(),
+                Value::Int(self.count(Severity::Info) as i64),
+            ),
+            (
+                "diagnostics".into(),
+                Value::Array(
+                    self.diagnostics()
+                        .iter()
+                        .map(Diagnostic::to_value)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Pretty-printed JSON (the machine-readable output of `predsim check
+    /// --json`).
+    pub fn to_json(&self) -> String {
+        self.to_value().to_pretty()
+    }
+
+    /// Parse a report back from [`Report::to_json`] output. The severity
+    /// tallies in the input are ignored (they are derived data).
+    pub fn from_json(text: &str) -> Result<Report, String> {
+        let v = parse(text).map_err(|e| e.to_string())?;
+        Report::from_value(&v)
+    }
+
+    /// Parse a report from an already-parsed JSON value.
+    pub fn from_value(v: &Value) -> Result<Report, String> {
+        let items = v
+            .get("diagnostics")
+            .and_then(Value::as_array)
+            .ok_or_else(|| "missing 'diagnostics' array".to_string())?;
+        let mut report = Report::new();
+        for item in items {
+            report.push(Diagnostic::from_value(item)?);
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_compact_and_pretty() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::Str("ring".into())),
+            ("errors".into(), Value::Int(2)),
+            ("clean".into(), Value::Bool(false)),
+            ("proc".into(), Value::Null),
+            (
+                "steps".into(),
+                Value::Array(vec![Value::Int(0), Value::Int(-3)]),
+            ),
+            ("empty".into(), Value::Array(vec![])),
+            ("none".into(), Value::Object(vec![])),
+        ]);
+        assert_eq!(parse(&v.to_compact()).unwrap(), v);
+        assert_eq!(parse(&v.to_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn escapes_survive() {
+        let v = Value::Str("a\"b\\c\nd\te\u{1}π".into());
+        assert_eq!(parse(&v.to_compact()).unwrap(), v);
+        assert_eq!(
+            parse("\"\\u00e9\\u0041\"").unwrap(),
+            Value::Str("éA".into())
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "nul",
+            "1.5",
+            "1e3",
+            "[1] x",
+            "\"abc",
+            "{\"a\" 1}",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let v = parse("{\"a\": 1, \"b\": \"x\", \"c\": [true]}").unwrap();
+        assert_eq!(v.get("a").and_then(Value::as_int), Some(1));
+        assert_eq!(v.get("b").and_then(Value::as_str), Some("x"));
+        assert_eq!(
+            v.get("c").and_then(Value::as_array).map(<[_]>::len),
+            Some(1)
+        );
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Value::Int(3).get("a"), None);
+    }
+
+    #[test]
+    fn pretty_layout_is_indented() {
+        let v = Value::Object(vec![("a".into(), Value::Array(vec![Value::Int(1)]))]);
+        assert_eq!(v.to_pretty(), "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut r = Report::new();
+        r.push(
+            Diagnostic::new(
+                Code::DeadlockCycle,
+                Severity::Error,
+                Span::step(2, "rotate \"a\""),
+                "cycle among 4 processors",
+            )
+            .with_note("cycle: P0 -> P1 -> P0"),
+        );
+        r.push(Diagnostic::new(
+            Code::UnusedProcessor,
+            Severity::Warning,
+            Span::program().with_proc(7),
+            "P7 never used",
+        ));
+        let text = r.to_json();
+        let back = Report::from_json(&text).unwrap();
+        assert_eq!(back, r);
+        assert!(text.contains("\"errors\": 1"), "{text}");
+        assert!(
+            text.contains("\"step_label\": \"rotate \\\"a\\\"\""),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn report_from_json_rejects_garbage() {
+        assert!(Report::from_json("{}").is_err());
+        assert!(Report::from_json("{\"diagnostics\": [{}]}").is_err());
+        assert!(Report::from_json(
+            "{\"diagnostics\": [{\"code\": \"PS9999\", \"severity\": \"error\", \
+             \"message\": \"x\"}]}"
+        )
+        .is_err());
+        assert!(Report::from_json(
+            "{\"diagnostics\": [{\"code\": \"PS0101\", \"severity\": \"fatal\", \
+             \"message\": \"x\"}]}"
+        )
+        .is_err());
+        // Minimal valid diagnostic: optional span fields may be absent.
+        let r = Report::from_json(
+            "{\"diagnostics\": [{\"code\": \"PS0101\", \"severity\": \"error\", \
+             \"message\": \"x\"}]}",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(r.diagnostics()[0].span.is_program());
+    }
+}

@@ -1,0 +1,174 @@
+//! `predsim-lint`: a static analyzer for predsim programs.
+//!
+//! The simulators in this workspace answer "how long will this program
+//! take?"; this crate answers "should you trust that question?" — without
+//! running a simulation. It inspects a [`Program`]'s step sequence and
+//! communication patterns and emits [`Diagnostic`]s with stable `PSxxxx`
+//! codes at three severities:
+//!
+//! * **well-formedness** (`PS01xx`): structural defects and oddities —
+//!   zero processors, arity mismatches, out-of-range processor ids,
+//!   self-messages, zero-byte messages, empty steps;
+//! * **deadlock** (`PS02xx`): processor cycles in a communication step.
+//!   The paper's worst-case algorithm (§4.2) has every processor receive
+//!   everything before sending anything, so a cycle stalls it until
+//!   transmissions are forced — an error when checking for
+//!   [`CommAlgo::WorstCase`], a warning otherwise (the standard algorithm
+//!   handles cycles eagerly);
+//! * **LogGP lower bounds** (`PS03xx`): per-step serialization analysis.
+//!   A processor moving `m = max(sends, recvs)` messages occupies its
+//!   network port for at least `(m-1)·g + 2o + L` before the step can
+//!   complete, which exposes fan-in hotspots and load imbalance directly
+//!   from the pattern.
+//!
+//! Analyses are [`Pass`]es over a [`ProgramView`]; [`check_program`] runs
+//! the default registry and returns a sorted [`Report`] that renders
+//! rustc-style text or machine-readable JSON.
+//!
+//! ```
+//! use predsim_lint::{check_pattern, LintOptions, Code};
+//! use predsim_core::CommAlgo;
+//! use commsim::patterns;
+//!
+//! let ring = patterns::ring(4, 1024);
+//! let opts = LintOptions::default().with_algo(CommAlgo::WorstCase);
+//! let report = check_pattern(&ring, &opts);
+//! assert!(report.has_errors());
+//! assert_eq!(report.diagnostics()[0].code, Code::DeadlockCycle);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod json;
+pub mod passes;
+
+pub use diag::{Code, Diagnostic, Report, Severity, Span};
+pub use passes::bounds::{proc_bounds, step_lower_bound};
+
+use loggp::LogGpParams;
+use predsim_core::simulate::CommAlgo;
+use predsim_core::{Program, Step};
+
+/// A read-only view of the program under analysis. Passes see this instead
+/// of [`Program`] so callers can also lint raw step slices (e.g. while a
+/// program is still being assembled) without constructing one.
+#[derive(Clone, Copy)]
+pub struct ProgramView<'a> {
+    /// Declared processor count.
+    pub procs: usize,
+    /// The step sequence.
+    pub steps: &'a [Step],
+}
+
+impl<'a> ProgramView<'a> {
+    /// View a finished program.
+    pub fn of(program: &'a Program) -> Self {
+        ProgramView {
+            procs: program.procs(),
+            steps: program.steps(),
+        }
+    }
+}
+
+/// Tunables for a lint run.
+#[derive(Clone, Debug)]
+pub struct LintOptions {
+    /// Machine parameters for the LogGP lower-bound analyses (`PS0301`,
+    /// `PS0302`). `None` disables the parameter-dependent checks.
+    pub params: Option<LogGpParams>,
+    /// Which simulation algorithm the program is being checked *for*. A
+    /// communication cycle is an error under [`CommAlgo::WorstCase`]
+    /// (guaranteed deadlock-and-force behaviour) and a warning otherwise.
+    pub algo: CommAlgo,
+    /// Minimum number of distinct senders into one processor in one step
+    /// before a fan-in hotspot (`PS0301`) is reported.
+    pub fanin_threshold: usize,
+    /// `max / mean` ratio above which per-step communication bounds
+    /// (`PS0302`) and per-program computation load (`PS0303`) count as
+    /// imbalanced.
+    pub imbalance_ratio: f64,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions {
+            params: None,
+            algo: CommAlgo::Standard,
+            fanin_threshold: 4,
+            imbalance_ratio: 4.0,
+        }
+    }
+}
+
+impl LintOptions {
+    /// These options with machine parameters supplied.
+    pub fn with_params(mut self, params: LogGpParams) -> Self {
+        self.params = Some(params);
+        self
+    }
+
+    /// These options checking for `algo`.
+    pub fn with_algo(mut self, algo: CommAlgo) -> Self {
+        self.algo = algo;
+        self
+    }
+
+    /// These options with a different fan-in threshold.
+    pub fn with_fanin_threshold(mut self, threshold: usize) -> Self {
+        self.fanin_threshold = threshold;
+        self
+    }
+
+    /// These options with a different imbalance ratio.
+    pub fn with_imbalance_ratio(mut self, ratio: f64) -> Self {
+        self.imbalance_ratio = ratio;
+        self
+    }
+}
+
+/// One analysis. Implementations are stateless; a pass reads the view and
+/// appends diagnostics to the report.
+pub trait Pass {
+    /// Short stable name (used in docs and `--help`).
+    fn name(&self) -> &'static str;
+
+    /// The codes this pass can emit.
+    fn codes(&self) -> &'static [Code];
+
+    /// Run the analysis.
+    fn run(&self, view: &ProgramView<'_>, opts: &LintOptions, report: &mut Report);
+}
+
+/// The default pass registry, in execution order: well-formedness, then
+/// deadlock, then LogGP bounds.
+pub fn default_passes() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(passes::wellformed::WellFormed),
+        Box::new(passes::deadlock::Deadlock),
+        Box::new(passes::bounds::LogGpBounds),
+    ]
+}
+
+/// Run the default passes over a raw step slice.
+pub fn check_steps(procs: usize, steps: &[Step], opts: &LintOptions) -> Report {
+    let view = ProgramView { procs, steps };
+    let mut report = Report::new();
+    for pass in default_passes() {
+        pass.run(&view, opts, &mut report);
+    }
+    report.sort();
+    report
+}
+
+/// Run the default passes over a program.
+pub fn check_program(program: &Program, opts: &LintOptions) -> Report {
+    check_steps(program.procs(), program.steps(), opts)
+}
+
+/// Lint a single communication pattern, as if it were a one-step program.
+pub fn check_pattern(pattern: &commsim::CommPattern, opts: &LintOptions) -> Report {
+    let step = Step::new("pattern").with_comm(pattern.clone());
+    check_steps(pattern.procs(), std::slice::from_ref(&step), opts)
+}

@@ -1,0 +1,254 @@
+//! LogGP lower-bound pass (`PS03xx`): serialization analysis straight from
+//! the pattern, without simulating.
+//!
+//! Under LogGP a processor's network port handles one message every `g`;
+//! a processor that moves `m = max(sends, recvs)` messages in a step
+//! therefore occupies its port for at least `(m-1)·g`, and the last of
+//! those messages still needs its own `2o + L` to be delivered. That makes
+//!
+//! ```text
+//! bound(p) = (max(sends_p, recvs_p) - 1)·g + 2o + L      (m > 0)
+//! ```
+//!
+//! a valid lower bound on the span of the step seen from `p`, for any
+//! schedule and either simulation algorithm. (The naive `m·g + 2o + L`
+//! over-counts: the gap separates consecutive port operations, so `m`
+//! messages incur only `m-1` gaps — with a single message the true cost is
+//! `2o + L + (k-1)G`, already below `g + 2o + L` on real machines.)
+//!
+//! The pass uses the per-processor bounds to flag fan-in hotspots
+//! (`PS0301`) and per-step communication imbalance (`PS0302`), and — with
+//! no machine model needed — whole-program computation imbalance
+//! (`PS0303`) and processors that never participate at all (`PS0304`).
+
+use crate::passes::proc_list;
+use crate::{Code, Diagnostic, LintOptions, Pass, ProgramView, Report, Severity, Span};
+use commsim::CommPattern;
+use loggp::{LogGpParams, Time};
+
+/// Per-processor lower bounds on a communication step's span: zero for
+/// processors that move no network message, `(m-1)·g + 2o + L` otherwise.
+pub fn proc_bounds(pattern: &CommPattern, params: &LogGpParams) -> Vec<Time> {
+    let sends = pattern.send_counts();
+    let recvs = pattern.recv_counts();
+    sends
+        .iter()
+        .zip(&recvs)
+        .map(|(&s, &r)| {
+            let m = s.max(r);
+            if m == 0 {
+                Time::ZERO
+            } else {
+                params.gap * (m as u64 - 1) + params.overhead * 2 + params.latency
+            }
+        })
+        .collect()
+}
+
+/// Lower bound on the whole step's span: the largest per-processor bound.
+/// Any correct LogGP simulation of the step finishes no earlier than this.
+pub fn step_lower_bound(pattern: &CommPattern, params: &LogGpParams) -> Time {
+    proc_bounds(pattern, params)
+        .into_iter()
+        .max()
+        .unwrap_or(Time::ZERO)
+}
+
+/// The LogGP lower-bound pass.
+pub struct LogGpBounds;
+
+impl Pass for LogGpBounds {
+    fn name(&self) -> &'static str {
+        "loggp-bounds"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[
+            Code::FanInHotspot,
+            Code::CommImbalance,
+            Code::CompImbalance,
+            Code::UnusedProcessor,
+        ]
+    }
+
+    fn run(&self, view: &ProgramView<'_>, opts: &LintOptions, report: &mut Report) {
+        if view.procs == 0 {
+            return;
+        }
+        let mut used = vec![false; view.procs];
+        // (ratio, step index, label, max proc, max, mean) of the worst
+        // imbalanced computation phase, plus how many phases exceeded.
+        let mut comp_flagged = 0usize;
+        let mut comp_phases = 0usize;
+        let mut comp_worst: Option<(f64, usize, usize, Time, f64)> = None;
+
+        for (i, step) in view.steps.iter().enumerate() {
+            if step.comp.len() == view.procs {
+                comp_phases += 1;
+                for (p, t) in step.comp.iter().enumerate() {
+                    if !t.is_zero() {
+                        used[p] = true;
+                    }
+                }
+                let max = step.comp_max();
+                let mean = step.comp_total().as_us_f64() / view.procs as f64;
+                if mean > 0.0 {
+                    let ratio = max.as_us_f64() / mean;
+                    if ratio > opts.imbalance_ratio {
+                        comp_flagged += 1;
+                        let argmax = step
+                            .comp
+                            .iter()
+                            .enumerate()
+                            .max_by_key(|(_, t)| **t)
+                            .map(|(p, _)| p)
+                            .unwrap_or(0);
+                        if comp_worst.is_none_or(|(r, ..)| ratio > r) {
+                            comp_worst = Some((ratio, i, argmax, max, mean));
+                        }
+                    }
+                }
+            }
+
+            if step.comm.is_empty() || step.comm.procs() != view.procs {
+                continue;
+            }
+            for m in step.comm.messages() {
+                used[m.src] = true;
+                used[m.dst] = true;
+            }
+
+            self.check_fan_in(i, step, view, opts, report);
+            if let Some(params) = &opts.params {
+                self.check_comm_balance(i, step, view, params, opts, report);
+            }
+        }
+
+        if comp_flagged > 0 {
+            let (ratio, i, p, max, mean) = comp_worst.expect("flagged implies worst");
+            report.push(
+                Diagnostic::new(
+                    Code::CompImbalance,
+                    Severity::Info,
+                    Span::program(),
+                    format!(
+                        "{comp_flagged} of {comp_phases} computation phases are imbalanced \
+                         beyond {:.1}x",
+                        opts.imbalance_ratio
+                    ),
+                )
+                .with_note(format!(
+                    "worst: step {i} ('{}'), P{p} computes {max} vs step mean {mean:.3}us \
+                     ({ratio:.1}x)",
+                    view.steps[i].label
+                ))
+                .with_note("the step finishes with its slowest processor; the others idle"),
+            );
+        }
+
+        let unused: Vec<usize> = (0..view.procs).filter(|&p| !used[p]).collect();
+        if !unused.is_empty() && view.procs > 1 && !view.steps.is_empty() {
+            report.push(
+                Diagnostic::new(
+                    Code::UnusedProcessor,
+                    Severity::Warning,
+                    Span::program(),
+                    format!(
+                        "{} of {} processors never compute nor communicate: {}",
+                        unused.len(),
+                        view.procs,
+                        proc_list(&unused, 8)
+                    ),
+                )
+                .with_note("they only add to P in the model; consider a smaller machine"),
+            );
+        }
+    }
+}
+
+impl LogGpBounds {
+    fn check_fan_in(
+        &self,
+        i: usize,
+        step: &predsim_core::Step,
+        view: &ProgramView<'_>,
+        opts: &LintOptions,
+        report: &mut Report,
+    ) {
+        let mut senders: Vec<Vec<usize>> = vec![Vec::new(); view.procs];
+        for m in step.comm.network_messages() {
+            if !senders[m.dst].contains(&m.src) {
+                senders[m.dst].push(m.src);
+            }
+        }
+        let recvs = step.comm.recv_counts();
+        for (dst, from) in senders.iter().enumerate() {
+            if from.len() < opts.fanin_threshold {
+                continue;
+            }
+            let mut diag = Diagnostic::new(
+                Code::FanInHotspot,
+                Severity::Warning,
+                Span::step(i, &step.label).with_proc(dst),
+                format!(
+                    "P{dst} receives from {} distinct senders in one step",
+                    from.len()
+                ),
+            )
+            .with_note(format!("senders: {}", proc_list(from, 8)));
+            if let Some(params) = &opts.params {
+                let r = recvs[dst] as u64;
+                let floor = params.gap * (r - 1) + params.overhead * 2 + params.latency;
+                diag = diag.with_note(format!(
+                    "receiving its {r} messages serializes P{dst} for at least {floor}"
+                ));
+            }
+            report.push(diag);
+        }
+    }
+
+    fn check_comm_balance(
+        &self,
+        i: usize,
+        step: &predsim_core::Step,
+        view: &ProgramView<'_>,
+        params: &LogGpParams,
+        opts: &LintOptions,
+        report: &mut Report,
+    ) {
+        let bounds = proc_bounds(&step.comm, params);
+        let active: Vec<(usize, Time)> = bounds
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.is_zero())
+            .map(|(p, &b)| (p, b))
+            .collect();
+        if active.len() < 2 {
+            return;
+        }
+        let (max_proc, max) = *active
+            .iter()
+            .max_by_key(|(_, b)| *b)
+            .expect("active is non-empty");
+        let mean = active.iter().map(|(_, b)| b.as_us_f64()).sum::<f64>() / active.len() as f64;
+        let ratio = max.as_us_f64() / mean;
+        if ratio > opts.imbalance_ratio {
+            report.push(
+                Diagnostic::new(
+                    Code::CommImbalance,
+                    Severity::Warning,
+                    Span::step(i, &step.label).with_proc(max_proc),
+                    format!(
+                        "communication load is imbalanced: P{max_proc}'s serialization bound \
+                         {max} is {ratio:.1}x the active-processor mean {mean:.3}us"
+                    ),
+                )
+                .with_note(format!(
+                    "{} of {} processors move messages in this step",
+                    active.len(),
+                    view.procs
+                )),
+            );
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! The built-in analysis passes.
+
+pub mod bounds;
+pub mod deadlock;
+pub mod wellformed;
+
+pub use bounds::LogGpBounds;
+pub use deadlock::Deadlock;
+pub use wellformed::WellFormed;
+
+/// Format a processor list as `P0, P3, P7`, eliding after `limit` entries.
+pub(crate) fn proc_list(procs: &[usize], limit: usize) -> String {
+    let mut parts: Vec<String> = procs.iter().take(limit).map(|p| format!("P{p}")).collect();
+    if procs.len() > limit {
+        parts.push(format!("… ({} total)", procs.len()));
+    }
+    parts.join(", ")
+}

@@ -1,0 +1,404 @@
+//! Property and fixture tests for the analyzer.
+//!
+//! Two families:
+//!
+//! * properties — an error-free report really does mean the program
+//!   simulates under both algorithms, and the LogGP serialization bound
+//!   really is a lower bound on every simulated schedule;
+//! * fixtures — every published `PSxxxx` code has a program that triggers
+//!   it, and its rendering carries the pieces a user needs (code, span,
+//!   message).
+
+use commsim::{patterns, standard, worstcase, CommPattern, SimConfig};
+use loggp::{presets, LogGpParams, Time};
+use predsim_core::{simulate_program, CommAlgo, Program, SimOptions, Step};
+use predsim_lint::{
+    check_pattern, check_program, check_steps, step_lower_bound, Code, LintOptions, Severity,
+};
+use proptest::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = LogGpParams> {
+    (
+        0u64..50_000, // L ns
+        1u64..20_000, // o ns
+        0u64..50_000, // gap surplus over o, ns
+        0u64..100,    // G ns/byte
+    )
+        .prop_map(|(l, o, extra, g)| LogGpParams {
+            latency: Time::from_ns(l),
+            overhead: Time::from_ns(o),
+            gap: Time::from_ns(o + extra),
+            gap_per_byte: Time::from_ns(g),
+            procs: 0, // fixed up by caller
+        })
+}
+
+fn arb_pattern() -> impl Strategy<Value = CommPattern> {
+    (2usize..10, 0usize..30, proptest::bool::ANY, any::<u64>()).prop_map(|(n, msgs, dag, seed)| {
+        if dag {
+            patterns::random_dag(n, msgs, 4096, seed)
+        } else {
+            patterns::random(n, msgs, 4096, seed)
+        }
+    })
+}
+
+/// A random multi-step program over `procs` processors, built from random
+/// patterns and computation phases.
+fn arb_program() -> impl Strategy<Value = Program> {
+    (2usize..8, 1usize..5, any::<u64>()).prop_map(|(procs, steps, seed)| {
+        let mut program = Program::new(procs);
+        for s in 0..steps {
+            let mix = seed.rotate_left(s as u32);
+            let comp: Vec<Time> = (0..procs)
+                .map(|p| Time::from_ns((mix >> (p % 16)) & 0xffff))
+                .collect();
+            let pattern = patterns::random(procs, (mix % 20) as usize, 2048, mix);
+            let mut step = Step::new(format!("s{s}")).with_comp(comp);
+            if !pattern.is_empty() {
+                step = step.with_comm(pattern);
+            }
+            program.push(step);
+        }
+        program
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// An error-free report under the chosen algorithm means the program
+    /// simulates fine under that algorithm — and `Program`-built inputs
+    /// are in fact always error-free under `Standard` (construction
+    /// already enforces the structural invariants the analyzer promotes to
+    /// errors).
+    #[test]
+    fn error_free_programs_simulate_under_both_algorithms(
+        program in arb_program(),
+        params in arb_params(),
+    ) {
+        let params = params.with_procs(program.procs());
+        let report = check_program(&program, &LintOptions::default().with_params(params));
+        prop_assert!(!report.has_errors(), "unexpected errors:\n{}", report.render());
+
+        for algo in [CommAlgo::Standard, CommAlgo::WorstCase] {
+            let mut opts = SimOptions::new(SimConfig::new(params));
+            if algo == CommAlgo::WorstCase {
+                opts = opts.worst_case();
+            }
+            let pred = simulate_program(&program, &opts);
+            prop_assert!(pred.total >= Time::ZERO);
+        }
+    }
+
+    /// The static serialization bound never exceeds what either simulator
+    /// actually needs for the step — it is a true lower bound, cyclic
+    /// patterns and forced transmissions included.
+    #[test]
+    fn static_bound_is_a_lower_bound_for_both_simulators(
+        pattern in arb_pattern(),
+        params in arb_params(),
+        seed in any::<u64>(),
+    ) {
+        let params = params.with_procs(pattern.procs());
+        let bound = step_lower_bound(&pattern, &params);
+        let cfg = SimConfig::new(params).with_seed(seed);
+        let std_finish = standard::simulate(&pattern, &cfg).finish;
+        let wc_finish = worstcase::simulate(&pattern, &cfg).finish;
+        prop_assert!(bound <= std_finish, "bound {bound} > standard finish {std_finish}");
+        prop_assert!(bound <= wc_finish, "bound {bound} > worst-case finish {wc_finish}");
+    }
+
+    /// Deadlock reports agree exactly with the pattern-level cycle test,
+    /// and severity tracks the algorithm being checked for.
+    #[test]
+    fn deadlock_reports_match_has_cycle(pattern in arb_pattern()) {
+        let std_report = check_pattern(&pattern, &LintOptions::default());
+        let wc_report = check_pattern(
+            &pattern,
+            &LintOptions::default().with_algo(CommAlgo::WorstCase),
+        );
+        let cyclic = pattern.has_cycle();
+        let std_cycles = std_report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == Code::DeadlockCycle)
+            .count();
+        let wc_cycles = wc_report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == Code::DeadlockCycle)
+            .count();
+        prop_assert_eq!(std_cycles > 0, cyclic);
+        prop_assert_eq!(wc_cycles, std_cycles);
+        prop_assert_eq!(wc_report.has_errors(), cyclic);
+        for d in std_report.diagnostics() {
+            if d.code == Code::DeadlockCycle {
+                prop_assert_eq!(d.severity, Severity::Warning);
+            }
+        }
+    }
+
+    /// Reports survive the JSON round trip bit-for-bit, whatever the
+    /// program threw into them.
+    #[test]
+    fn json_round_trip_is_lossless(
+        program in arb_program(),
+        params in arb_params(),
+        worst_case in proptest::bool::ANY,
+    ) {
+        let params = params.with_procs(program.procs());
+        let mut opts = LintOptions::default().with_params(params);
+        if worst_case {
+            opts = opts.with_algo(CommAlgo::WorstCase);
+        }
+        let report = check_program(&program, &opts);
+        let back = predsim_lint::Report::from_json(&report.to_json()).unwrap();
+        prop_assert_eq!(back, report);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-code fixtures: every published code fires and renders readably.
+// ---------------------------------------------------------------------------
+
+fn find(report: &predsim_lint::Report, code: Code) -> &predsim_lint::Diagnostic {
+    report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == code)
+        .unwrap_or_else(|| panic!("no {code} in:\n{}", report.render()))
+}
+
+#[test]
+fn ps0101_zero_processors() {
+    let report = check_steps(0, &[], &LintOptions::default());
+    let d = find(&report, Code::ZeroProcessors);
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.render().contains("error[PS0101]"), "{}", d.render());
+    assert!(d.render().contains("zero processors"), "{}", d.render());
+}
+
+#[test]
+fn ps0102_comp_arity_mismatch() {
+    let steps = [Step::new("lopsided").with_comp(vec![Time::from_us(1.0); 3])];
+    let report = check_steps(4, &steps, &LintOptions::default());
+    let d = find(&report, Code::CompArityMismatch);
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.span.step, Some(0));
+    assert!(
+        d.render().contains("3 entries for 4 processors"),
+        "{}",
+        d.render()
+    );
+}
+
+#[test]
+fn ps0103_and_ps0104_pattern_mismatch_and_out_of_range() {
+    // A pattern over six processors attached to a four-processor program:
+    // the arity is wrong (PS0103) and its message endpoints P4/P5 point
+    // outside the program (PS0104).
+    let mut wide = CommPattern::new(6);
+    wide.add(4, 5, 128);
+    let steps = [Step::new("wide").with_comm(wide)];
+    let report = check_steps(4, &steps, &LintOptions::default());
+
+    let d = find(&report, Code::PatternProcsMismatch);
+    assert_eq!(d.severity, Severity::Error);
+    assert!(
+        d.render().contains("6 processors, program has 4"),
+        "{}",
+        d.render()
+    );
+
+    let d = find(&report, Code::ProcOutOfRange);
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.span.msg, Some(0));
+    assert!(d.render().contains("P4"), "{}", d.render());
+}
+
+#[test]
+fn ps0105_self_messages_are_one_info_per_step() {
+    let mut pattern = CommPattern::new(3);
+    pattern.add(0, 0, 64);
+    pattern.add(1, 1, 64);
+    pattern.add(0, 1, 64);
+    let report = check_pattern(&pattern, &LintOptions::default());
+    let d = find(&report, Code::SelfMessages);
+    assert_eq!(d.severity, Severity::Info);
+    assert!(d.message.contains("2 self-message(s)"), "{}", d.message);
+    assert_eq!(
+        report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == Code::SelfMessages)
+            .count(),
+        1,
+        "aggregated per step"
+    );
+}
+
+#[test]
+fn ps0106_zero_byte_messages() {
+    let mut pattern = CommPattern::new(2);
+    pattern.add(0, 1, 0);
+    let report = check_pattern(&pattern, &LintOptions::default());
+    let d = find(&report, Code::ZeroByteMessages);
+    assert_eq!(d.severity, Severity::Info);
+    assert!(d.render().contains("zero-byte"), "{}", d.render());
+}
+
+#[test]
+fn ps0107_empty_step() {
+    let steps = [Step::new("nothing")];
+    let report = check_steps(2, &steps, &LintOptions::default());
+    let d = find(&report, Code::EmptyStep);
+    assert_eq!(d.severity, Severity::Info);
+    assert_eq!(d.span.step_label.as_deref(), Some("nothing"));
+}
+
+#[test]
+fn ps0201_deadlock_names_the_cycle_and_bounds_forced_sends() {
+    // Two disjoint rings in one step: two SCCs, so the worst-case
+    // simulator needs at least two forced transmissions.
+    let mut pattern = CommPattern::new(6);
+    for (src, dst) in [(0, 1), (1, 0), (2, 3), (3, 4), (4, 2)] {
+        pattern.add(src, dst, 256);
+    }
+    let opts = LintOptions::default().with_algo(CommAlgo::WorstCase);
+    let report = check_pattern(&pattern, &opts);
+    let cycles: Vec<_> = report
+        .diagnostics()
+        .iter()
+        .filter(|d| d.code == Code::DeadlockCycle)
+        .collect();
+    assert_eq!(cycles.len(), 2);
+    assert!(cycles.iter().all(|d| d.severity == Severity::Error));
+    let all = report.render();
+    assert!(all.contains("P0 -> P1 -> P0"), "{all}");
+    assert!(all.contains("P2 -> P3 -> P4 -> P2"), "{all}");
+    assert!(all.contains("forced_sends >= 2"), "{all}");
+
+    // And the claimed lower bound is honest: the simulator really forces
+    // at least that many transmissions.
+    let cfg = SimConfig::new(presets::meiko_cs2(6));
+    assert!(worstcase::simulate(&pattern, &cfg).forced_sends >= 2);
+}
+
+#[test]
+fn ps0301_fan_in_hotspot_on_gather() {
+    let pattern = patterns::gather(8, 0, 512);
+    let opts = LintOptions::default().with_params(presets::meiko_cs2(8));
+    let report = check_pattern(&pattern, &opts);
+    let d = find(&report, Code::FanInHotspot);
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.span.proc, Some(0));
+    assert!(d.message.contains("7 distinct senders"), "{}", d.message);
+    assert!(
+        d.notes.iter().any(|n| n.contains("serializes")),
+        "{:?}",
+        d.notes
+    );
+}
+
+#[test]
+fn ps0302_comm_imbalance() {
+    // A 16-way gather: the root's serialization bound dwarfs the
+    // single-message bound of the leaves. (Note max/mean is capped by the
+    // number of active processors, so a wide machine is needed to clear
+    // the 4x default.)
+    let pattern = patterns::gather(16, 0, 512);
+    let params = LogGpParams {
+        latency: Time::from_us(1.0),
+        overhead: Time::from_us(1.0),
+        gap: Time::from_us(10.0),
+        gap_per_byte: Time::ZERO,
+        procs: 16,
+    };
+    let opts = LintOptions::default().with_params(params);
+    let report = check_pattern(&pattern, &opts);
+    let d = find(&report, Code::CommImbalance);
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.span.proc, Some(0));
+    assert!(d.message.contains("imbalanced"), "{}", d.message);
+}
+
+#[test]
+fn ps0303_comp_imbalance_is_one_diagnostic_per_program() {
+    let mut program = Program::new(8);
+    for s in 0..10 {
+        let mut comp = vec![Time::from_us(1.0); 8];
+        comp[0] = Time::from_us(100.0);
+        program.push(Step::new(format!("skewed {s}")).with_comp(comp));
+    }
+    let report = check_program(&program, &LintOptions::default());
+    let imbalances: Vec<_> = report
+        .diagnostics()
+        .iter()
+        .filter(|d| d.code == Code::CompImbalance)
+        .collect();
+    assert_eq!(imbalances.len(), 1, "aggregated:\n{}", report.render());
+    assert_eq!(imbalances[0].severity, Severity::Info);
+    assert!(
+        imbalances[0].message.contains("10 of 10"),
+        "{}",
+        imbalances[0].message
+    );
+}
+
+#[test]
+fn ps0304_unused_processors() {
+    let mut pattern = CommPattern::new(8);
+    pattern.add(0, 1, 64);
+    let mut program = Program::new(8);
+    program.push(Step::new("tiny").with_comm(pattern));
+    let report = check_program(&program, &LintOptions::default());
+    let d = find(&report, Code::UnusedProcessor);
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("6 of 8"), "{}", d.message);
+    assert!(d.message.contains("P2"), "{}", d.message);
+}
+
+// PS0501 (bad job spec) lives at the engine boundary; its fixture is in
+// `predsim-engine`'s tests to avoid a dev-dependency cycle.
+
+#[test]
+fn every_code_fires_somewhere_and_describes_itself() {
+    // The fixtures above cover each code; this guards the table itself.
+    for code in Code::ALL {
+        assert!(code.as_str().starts_with("PS"));
+        assert!(!code.description().is_empty());
+        assert_eq!(Code::parse(code.as_str()), Some(code));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The shipped example generators are error-clean.
+// ---------------------------------------------------------------------------
+
+fn assert_error_clean(label: &str, program: &Program) {
+    let opts = LintOptions::default().with_params(presets::meiko_cs2(program.procs()));
+    let report = check_program(program, &opts);
+    assert!(
+        !report.has_errors(),
+        "{label} has lint errors:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn shipped_generators_are_error_clean() {
+    let cost = blockops::AnalyticCost::paper_default();
+    for layout in [
+        &predsim_core::Diagonal::new(8) as &dyn predsim_core::Layout,
+        &predsim_core::RowCyclic::new(8),
+        &predsim_core::ColCyclic::new(8),
+    ] {
+        let ge = gauss::generate(240, 24, layout, &cost);
+        assert_error_clean(&format!("ge/{}", layout.name()), &ge.program);
+        let fw = apsp::generate(120, 24, layout, &cost);
+        assert_error_clean(&format!("apsp/{}", layout.name()), &fw.program);
+    }
+    assert_error_clean("cannon", &cannon::generate(64, 4, &cost).program);
+    assert_error_clean("stencil", &stencil::generate(64, 8, 4, 500).program);
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! predsim presets                      list machine presets
 //! predsim simulate TRACE [options]     predict a text-format trace
+//! predsim check SOURCE... [options]    static analysis: lint without simulating
 //! predsim gantt TRACE --step N         ASCII/SVG Gantt of one step
 //! predsim ge-sweep [options]           block-size sweep for blocked GE
 //! predsim fit CSV                      fit LogGP params from ping data
@@ -12,10 +13,11 @@
 //! CLI dependency); see `predsim help` for the full usage text.
 
 use predsim::predsim_core::report::{secs, Table};
-use predsim::predsim_core::textfmt;
+use predsim::predsim_core::{textfmt, CommAlgo};
 use predsim::predsim_engine::{
     best_by_total, Engine, EngineConfig, JobSource, JobSpec, LayoutSpec,
 };
+use predsim::predsim_lint::{check_program, json, LintOptions, Severity};
 use predsim::prelude::*;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -30,6 +32,14 @@ USAGE:
   predsim simulate TRACE [--machine NAME] [--worst-case] [--barrier] [--overlap]
                          [--classic-gap]
       Parse a text-format trace (see predsim_core::textfmt) and predict it.
+
+  predsim check SOURCE... [--machine NAME] [--worst-case] [--json] [--strict]
+      Statically analyze programs without simulating: well-formedness
+      (PS01xx), deadlock cycles (PS0201, an error under --worst-case),
+      and LogGP lower-bound findings (PS03xx) such as fan-in hotspots and
+      load imbalance. SOURCEs are as for 'batch'. Exits nonzero if any
+      source has error-severity diagnostics (with --strict: warnings
+      too); --json emits the machine-readable report instead of text.
 
   predsim gantt TRACE --step N [--machine NAME] [--svg FILE] [--worst-case]
       Render the send/receive schedule of step N (1-based) of the trace.
@@ -47,7 +57,10 @@ USAGE:
         ge:N,BLOCK,LAYOUT,PROCS      blocked Gaussian elimination
         cannon:N,Q                   Cannon's algorithm on a QxQ grid
         stencil:N,PROCS,ITERS        Jacobi stencil (500 ps/flop)
-      Prints one row per job plus memo-cache statistics.
+        apsp:N,BLOCK,LAYOUT,PROCS    blocked Floyd-Warshall shortest paths
+      Jobs are pre-validated with the analyzer (invalid specs are
+      rejected with diagnostics). Prints one row per job plus memo-cache
+      statistics.
 
   predsim fit FILE
       Least-squares fit of LogGP G and 2o+L from 'bytes,microseconds'
@@ -373,33 +386,49 @@ fn cmd_ge_sweep(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse a `N,BLOCK,LAYOUT,PROCS` blocked-matrix spec (shared by `ge:`
+/// and `apsp:`), returning `(n, block, layout)`.
+fn parse_blocked_spec(
+    kind: &str,
+    raw: &str,
+    spec: &str,
+) -> Result<(usize, usize, LayoutSpec), String> {
+    let parts: Vec<&str> = spec.split(',').collect();
+    let [n, block, layout, procs] = parts.as_slice() else {
+        return Err(format!(
+            "{kind} spec '{raw}': expected {kind}:N,BLOCK,LAYOUT,PROCS"
+        ));
+    };
+    let n: usize = n
+        .parse()
+        .map_err(|e| format!("{kind} spec '{raw}': bad N: {e}"))?;
+    let block: usize = block
+        .parse()
+        .map_err(|e| format!("{kind} spec '{raw}': bad BLOCK: {e}"))?;
+    let procs: usize = procs
+        .parse()
+        .map_err(|e| format!("{kind} spec '{raw}': bad PROCS: {e}"))?;
+    if block == 0 || !n.is_multiple_of(block) {
+        return Err(format!("{kind} spec '{raw}': BLOCK must divide N"));
+    }
+    let layout = match *layout {
+        "diagonal" => LayoutSpec::Diagonal(procs),
+        "row" => LayoutSpec::RowCyclic(procs),
+        "col" => LayoutSpec::ColCyclic(procs),
+        other => return Err(format!("{kind} spec '{raw}': unknown layout '{other}'")),
+    };
+    Ok((n, block, layout))
+}
+
 /// Parse a batch SOURCE argument: a generator spec (`ge:`, `cannon:`,
-/// `stencil:`) or a trace file path.
+/// `stencil:`, `apsp:`) or a trace file path.
 fn parse_source(raw: &str) -> Result<(String, JobSource), String> {
     if let Some(spec) = raw.strip_prefix("ge:") {
-        let parts: Vec<&str> = spec.split(',').collect();
-        let [n, block, layout, procs] = parts.as_slice() else {
-            return Err(format!("ge spec '{raw}': expected ge:N,BLOCK,LAYOUT,PROCS"));
-        };
-        let n: usize = n
-            .parse()
-            .map_err(|e| format!("ge spec '{raw}': bad N: {e}"))?;
-        let block: usize = block
-            .parse()
-            .map_err(|e| format!("ge spec '{raw}': bad BLOCK: {e}"))?;
-        let procs: usize = procs
-            .parse()
-            .map_err(|e| format!("ge spec '{raw}': bad PROCS: {e}"))?;
-        if block == 0 || !n.is_multiple_of(block) {
-            return Err(format!("ge spec '{raw}': BLOCK must divide N"));
-        }
-        let layout = match *layout {
-            "diagonal" => LayoutSpec::Diagonal(procs),
-            "row" => LayoutSpec::RowCyclic(procs),
-            "col" => LayoutSpec::ColCyclic(procs),
-            other => return Err(format!("ge spec '{raw}': unknown layout '{other}'")),
-        };
+        let (n, block, layout) = parse_blocked_spec("ge", raw, spec)?;
         Ok((raw.to_string(), JobSource::Gauss { n, block, layout }))
+    } else if let Some(spec) = raw.strip_prefix("apsp:") {
+        let (n, block, layout) = parse_blocked_spec("apsp", raw, spec)?;
+        Ok((raw.to_string(), JobSource::Apsp { n, block, layout }))
     } else if let Some(spec) = raw.strip_prefix("cannon:") {
         let parts: Vec<&str> = spec.split(',').collect();
         let [n, q] = parts.as_slice() else {
@@ -449,9 +478,67 @@ fn parse_source(raw: &str) -> Result<(String, JobSource), String> {
     }
 }
 
+fn cmd_check(args: &Args) -> Result<ExitCode, String> {
+    if args.positional.is_empty() {
+        return Err(
+            "check: no sources given (trace files or ge:/cannon:/stencil:/apsp: specs)".into(),
+        );
+    }
+    let as_json = args.flag("json");
+    let algo = if args.flag("worst-case") {
+        CommAlgo::WorstCase
+    } else {
+        CommAlgo::Standard
+    };
+
+    let mut any_error = false;
+    let mut any_warning = false;
+    let mut sources = Vec::new();
+    for raw in &args.positional {
+        let (name, source) = parse_source(raw)?;
+        source
+            .validate()
+            .map_err(|why| format!("source '{name}': {why}"))?;
+        let program = source.build();
+        let params = machine(args.value("machine").unwrap_or("meiko"), program.procs())?;
+        let opts = LintOptions::default().with_params(params).with_algo(algo);
+        let report = check_program(&program, &opts);
+        any_error |= report.has_errors();
+        any_warning |= report.count(Severity::Warning) > 0;
+        if as_json {
+            sources.push(json::Value::Object(vec![
+                ("name".into(), json::Value::Str(name)),
+                ("report".into(), report.to_value()),
+            ]));
+        } else {
+            println!(
+                "checking {name} (P={}, {} step(s))",
+                program.procs(),
+                program.len()
+            );
+            print!("{}", report.render());
+            println!();
+        }
+    }
+    if as_json {
+        let doc = json::Value::Object(vec![
+            ("version".into(), json::Value::Int(1)),
+            ("sources".into(), json::Value::Array(sources)),
+        ]);
+        println!("{}", doc.to_pretty());
+    }
+    if any_error || (args.flag("strict") && any_warning) {
+        Ok(ExitCode::FAILURE)
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
 fn cmd_batch(args: &Args) -> Result<(), String> {
     if args.positional.is_empty() {
-        return Err("batch: no sources given (trace files or ge:/cannon:/stencil: specs)".into());
+        return Err(
+            "batch: no sources given (trace files or ge:/cannon:/stencil:/apsp: specs)".into(),
+        );
     }
     let sources: Vec<(String, JobSource)> = args
         .positional
@@ -496,7 +583,7 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
             .with_jobs(args.jobs()?)
             .with_memo(!args.flag("no-memo")),
     );
-    let results = engine.run(&specs);
+    let results = engine.run_checked(&specs).map_err(|e| e.to_string())?;
 
     let mut table = Table::new(["job", "predicted (s)", "comp (s)", "comm (s)"]);
     for r in &results {
@@ -566,14 +653,20 @@ fn cmd_fit(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<ExitCode, String> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = raw.first() else {
         print!("{USAGE}");
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     };
     let spec: Vec<FlagSpec> = match cmd.as_str() {
         "simulate" => SIM_FLAGS.to_vec(),
+        "check" => vec![
+            valued("machine"),
+            switch("worst-case"),
+            switch("json"),
+            switch("strict"),
+        ],
         "gantt" => {
             let mut s = SIM_FLAGS.to_vec();
             s.extend([valued("step"), valued("svg")]);
@@ -596,6 +689,9 @@ fn run() -> Result<(), String> {
         _ => Vec::new(),
     };
     let args = Args::parse(&raw[1..], &spec)?;
+    if cmd == "check" {
+        return cmd_check(&args);
+    }
     match cmd.as_str() {
         "presets" => cmd_presets(),
         "simulate" => cmd_simulate(&args),
@@ -609,11 +705,12 @@ fn run() -> Result<(), String> {
         }
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
     }
+    .map(|()| ExitCode::SUCCESS)
 }
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

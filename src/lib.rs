@@ -20,6 +20,7 @@
 //! | [`stencil`] | Jacobi stencil: trace generator + real execution |
 //! | [`apsp`] | blocked Floyd–Warshall all-pairs shortest paths (the class's graph member) |
 //! | [`predsim_engine`] | parallel batch-prediction engine with step-pattern memoization |
+//! | [`predsim_lint`] | static program analyzer: deadlock, well-formedness and LogGP-bound lints |
 //!
 //! ## Quickstart
 //!
@@ -47,6 +48,7 @@ pub use loggp;
 pub use machine;
 pub use predsim_core;
 pub use predsim_engine;
+pub use predsim_lint;
 pub use stencil;
 
 /// The most commonly used items, importable in one line.
@@ -61,4 +63,5 @@ pub mod prelude {
         RowCyclic, SimOptions, Step,
     };
     pub use predsim_engine::{Engine, EngineConfig, Grid, JobSource, JobSpec, LayoutSpec};
+    pub use predsim_lint::{check_program, LintOptions, Report};
 }

@@ -198,6 +198,148 @@ fn ge_sweep_rejects_nondividing_blocks() {
 }
 
 #[test]
+fn check_is_clean_on_shipped_examples() {
+    let out = bin()
+        .args([
+            "check",
+            "ge:240,24,diagonal,8",
+            "ge:240,24,row,8",
+            "cannon:64,4",
+            "stencil:64,8,4",
+            "apsp:120,24,row,6",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "examples must be error-clean:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("checking ge:240,24,diagonal,8"), "{text}");
+    assert!(text.contains("0 errors"), "{text}");
+}
+
+#[test]
+fn check_flags_ring_deadlock_under_worst_case() {
+    let out = bin()
+        .args(["check", "tests/fixtures/ring.trace", "--worst-case"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "ring must fail under --worst-case");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("error[PS0201]"), "{text}");
+    assert!(text.contains("P0 -> P1 -> P2 -> P3 -> P0"), "{text}");
+
+    // The same ring is only a warning when checking for the standard
+    // algorithm — and --strict promotes warnings to a failing exit.
+    let out = bin()
+        .args(["check", "tests/fixtures/ring.trace"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("warning[PS0201]"));
+
+    let out = bin()
+        .args(["check", "tests/fixtures/ring.trace", "--strict"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--strict must fail on warnings");
+}
+
+#[test]
+fn check_json_round_trips_through_documented_schema() {
+    let out = bin()
+        .args([
+            "check",
+            "tests/fixtures/ring.trace",
+            "cannon:64,4",
+            "--worst-case",
+            "--json",
+        ])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+
+    // Top level: {"version": 1, "sources": [{"name", "report"}, ...]}.
+    let doc = predsim::predsim_lint::json::parse(&text).expect("valid JSON");
+    assert_eq!(
+        doc.get("version").and_then(|v| v.as_int()),
+        Some(1),
+        "{text}"
+    );
+    let sources = doc
+        .get("sources")
+        .and_then(|v| v.as_array())
+        .expect("sources array");
+    assert_eq!(sources.len(), 2);
+    assert_eq!(
+        sources[0].get("name").and_then(|v| v.as_str()),
+        Some("tests/fixtures/ring.trace")
+    );
+
+    // Each report round-trips losslessly through the library parser.
+    for source in sources {
+        let report_value = source.get("report").expect("report field");
+        let report = predsim::predsim_lint::Report::from_value(report_value).unwrap();
+        assert_eq!(report.to_value(), *report_value);
+    }
+    let ring =
+        predsim::predsim_lint::Report::from_value(sources[0].get("report").unwrap()).unwrap();
+    assert!(ring.has_errors());
+    assert_eq!(
+        ring.diagnostics()[0].code,
+        predsim::predsim_lint::Code::DeadlockCycle
+    );
+}
+
+#[test]
+fn check_rejects_infeasible_specs() {
+    let out = bin().args(["check", "ge:10,3,row,4"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("BLOCK must divide N"));
+}
+
+#[test]
+fn batch_rejects_invalid_trace_jobs_with_diagnostics() {
+    // A trace that parses but trips the analyzer is impossible to build
+    // via the text format (arities are validated at parse time), so batch
+    // rejection is exercised through the library; here the CLI path just
+    // confirms batch still runs clean sources through run_checked.
+    let out = bin()
+        .args(["batch", "cannon:32,4", "--jobs", "1"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("cannon:32,4 @ meiko"));
+}
+
+#[test]
+fn batch_accepts_apsp_sources() {
+    let out = bin()
+        .args(["batch", "apsp:60,20,diagonal,3", "--machine", "meiko,ideal"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("apsp:60,20,diagonal,3 @ meiko"), "{text}");
+    assert!(text.contains("apsp:60,20,diagonal,3 @ ideal"), "{text}");
+}
+
+#[test]
 fn fit_recovers_parameters() {
     // Synthetic Meiko samples: T(k) = 2o + L + (k-1)G = 21 - 0.03 + 0.03k us.
     let mut data = String::from("# bytes,us\n");
