@@ -46,6 +46,7 @@
 pub mod formulas;
 pub mod gantt;
 pub mod graph;
+pub mod observe;
 pub mod pattern;
 pub mod patterns;
 pub mod standard;
@@ -54,6 +55,7 @@ pub mod timeline;
 pub mod validate;
 pub mod worstcase;
 
+pub use observe::StepTracer;
 pub use pattern::{CommPattern, Message, MsgId, PatternError};
 pub use timeline::{CommEvent, SimResult, Timeline};
 

@@ -18,6 +18,7 @@
 //! first, receives winning ties. When no sends remain, every processor
 //! drains its receive queue.
 
+use crate::observe::StepTracer;
 use crate::pattern::{CommPattern, Message};
 use crate::timeline::{CommEvent, SimResult, Timeline};
 use crate::{SimConfig, TieBreak};
@@ -81,13 +82,25 @@ pub fn simulate_from(pattern: &CommPattern, cfg: &SimConfig, ready: &[Time]) -> 
 /// and link contention here. The hook must return a time
 /// `≥ send_start + o` (a message cannot arrive before its send overhead
 /// completes); this is debug-asserted.
-// Indices double as processor ids throughout.
-#[allow(clippy::needless_range_loop)]
 pub fn simulate_hooked(
     pattern: &CommPattern,
     cfg: &SimConfig,
     ready: &[Time],
     arrival_of: &mut dyn FnMut(&Message, Time) -> Time,
+) -> SimResult {
+    simulate_traced(pattern, cfg, ready, arrival_of, None)
+}
+
+/// [`simulate_hooked`] with an optional [`StepTracer`] observing every
+/// committed operation. Tracing never changes the computed timeline.
+// Indices double as processor ids throughout.
+#[allow(clippy::needless_range_loop)]
+pub fn simulate_traced(
+    pattern: &CommPattern,
+    cfg: &SimConfig,
+    ready: &[Time],
+    arrival_of: &mut dyn FnMut(&Message, Time) -> Time,
+    tracer: Option<&StepTracer<'_>>,
 ) -> SimResult {
     assert_eq!(ready.len(), pattern.procs(), "one ready time per processor");
     let params = &cfg.params;
@@ -152,7 +165,7 @@ pub fn simulate_hooked(
             let end = procs[min_proc]
                 .clock
                 .commit_kind(params, rule, OpKind::Send, start_send);
-            timeline.push(CommEvent {
+            let event = CommEvent {
                 proc: min_proc,
                 kind: OpKind::Send,
                 peer: msg.dst,
@@ -160,7 +173,11 @@ pub fn simulate_hooked(
                 msg_id: msg.id,
                 start: start_send,
                 end,
-            });
+            };
+            if let Some(t) = tracer {
+                t.send(&event, false);
+            }
+            timeline.push(event);
             let arrival = arrival_of(&msg, start_send);
             debug_assert!(
                 arrival >= start_send + params.overhead,
@@ -178,7 +195,7 @@ pub fn simulate_hooked(
             let end = procs[min_proc]
                 .clock
                 .commit_kind(params, rule, OpKind::Recv, start_recv);
-            timeline.push(CommEvent {
+            let event = CommEvent {
                 proc: min_proc,
                 kind: OpKind::Recv,
                 peer: inflight.msg.src,
@@ -186,7 +203,11 @@ pub fn simulate_hooked(
                 msg_id: inflight.msg.id,
                 start: start_recv,
                 end,
-            });
+            };
+            if let Some(t) = tracer {
+                t.recv(&event, inflight.arrival, false);
+            }
+            timeline.push(event);
         }
     }
 
@@ -203,7 +224,7 @@ pub fn simulate_hooked(
             let end = procs[i]
                 .clock
                 .commit_kind(params, cfg.gap_rule, OpKind::Recv, start);
-            timeline.push(CommEvent {
+            let event = CommEvent {
                 proc: i,
                 kind: OpKind::Recv,
                 peer: inflight.msg.src,
@@ -211,7 +232,11 @@ pub fn simulate_hooked(
                 msg_id: inflight.msg.id,
                 start,
                 end,
-            });
+            };
+            if let Some(t) = tracer {
+                t.recv(&event, inflight.arrival, true);
+            }
+            timeline.push(event);
         }
     }
 

@@ -97,6 +97,73 @@ impl TimelineStats {
     }
 }
 
+/// Record a step's [`TimelineStats`] into a metrics [`Registry`]
+/// (`predsim_obs`): per-processor busy/idle picoseconds and operation
+/// counts as labelled counters, plus step-level completion and queueing
+/// figures. Counters accumulate across steps, so calling this once per
+/// step yields whole-program per-processor totals.
+pub fn record_metrics(stats: &TimelineStats, registry: &predsim_obs::Registry) {
+    for ps in &stats.procs {
+        let proc = ps.proc.to_string();
+        let labels: &[(&str, &str)] = &[("proc", &proc)];
+        registry
+            .counter_with(
+                "predsim_proc_busy_ps_total",
+                labels,
+                "virtual ps the processor spent inside send/receive overheads",
+            )
+            .add(ps.busy.as_ps());
+        registry
+            .counter_with(
+                "predsim_proc_idle_ps_total",
+                labels,
+                "virtual ps the processor spent waiting before its last operation",
+            )
+            .add(ps.idle.as_ps());
+        registry
+            .counter_with(
+                "predsim_proc_sends_total",
+                labels,
+                "send operations performed",
+            )
+            .add(ps.sends as u64);
+        registry
+            .counter_with(
+                "predsim_proc_recvs_total",
+                labels,
+                "receive operations performed",
+            )
+            .add(ps.recvs as u64);
+    }
+    registry
+        .counter_with(
+            "predsim_steps_simulated_total",
+            &[],
+            "communication steps recorded into this registry",
+        )
+        .inc();
+    registry
+        .counter_with(
+            "predsim_queueing_ps_total",
+            &[],
+            "total virtual ps messages waited in destination queues",
+        )
+        .add(stats.total_queueing().as_ps());
+    registry
+        .gauge(
+            "predsim_step_completion_ps_max",
+            "largest step completion time seen",
+        )
+        .set_max(stats.completion.as_ps());
+    registry
+        .histogram(
+            "predsim_step_completion_ps",
+            "per-step completion times",
+            &predsim_obs::default_ps_buckets(),
+        )
+        .observe_time(stats.completion);
+}
+
 /// Analyze a timeline produced for `pattern` under `cfg`.
 pub fn analyze(pattern: &CommPattern, cfg: &SimConfig, timeline: &Timeline) -> TimelineStats {
     let params = &cfg.params;

@@ -18,6 +18,7 @@
 //! (processors usually do not know how many messages to expect); it exists
 //! purely to overestimate.
 
+use crate::observe::StepTracer;
 use crate::pattern::{CommPattern, Message};
 use crate::timeline::{CommEvent, SimResult, Timeline};
 use crate::SimConfig;
@@ -52,13 +53,26 @@ pub fn simulate_from(pattern: &CommPattern, cfg: &SimConfig, ready: &[Time]) -> 
 
 /// [`simulate_from`] with a custom arrival model (see
 /// [`crate::standard::simulate_hooked`] for the contract).
-// Indices double as processor ids throughout.
-#[allow(clippy::needless_range_loop)]
 pub fn simulate_hooked(
     pattern: &CommPattern,
     cfg: &SimConfig,
     ready: &[Time],
     arrival_of: &mut dyn FnMut(&Message, Time) -> Time,
+) -> SimResult {
+    simulate_traced(pattern, cfg, ready, arrival_of, None)
+}
+
+/// [`simulate_hooked`] with an optional [`StepTracer`] observing every
+/// committed operation; forced (deadlock-breaking) transmissions are
+/// flagged on their send events. Tracing never changes the timeline.
+// Indices double as processor ids throughout.
+#[allow(clippy::needless_range_loop)]
+pub fn simulate_traced(
+    pattern: &CommPattern,
+    cfg: &SimConfig,
+    ready: &[Time],
+    arrival_of: &mut dyn FnMut(&Message, Time) -> Time,
+    tracer: Option<&StepTracer<'_>>,
 ) -> SimResult {
     assert_eq!(ready.len(), pattern.procs(), "one ready time per processor");
     let params = &cfg.params;
@@ -88,7 +102,8 @@ pub fn simulate_hooked(
     let send_msg = |procs: &mut Vec<ProcState>,
                     timeline: &mut Timeline,
                     p: usize,
-                    arrival_of: &mut dyn FnMut(&Message, Time) -> Time| {
+                    arrival_of: &mut dyn FnMut(&Message, Time) -> Time,
+                    forced: bool| {
         let msg = procs[p]
             .send_queue
             .pop_front()
@@ -99,7 +114,7 @@ pub fn simulate_hooked(
         let end = procs[p]
             .clock
             .commit_kind(params, cfg.gap_rule, OpKind::Send, start);
-        timeline.push(CommEvent {
+        let event = CommEvent {
             proc: p,
             kind: OpKind::Send,
             peer: msg.dst,
@@ -107,7 +122,11 @@ pub fn simulate_hooked(
             msg_id: msg.id,
             start,
             end,
-        });
+        };
+        if let Some(t) = tracer {
+            t.send(&event, forced);
+        }
+        timeline.push(event);
         let arrival = arrival_of(&msg, start);
         debug_assert!(arrival >= start + params.overhead, "arrival precedes send");
         procs[msg.dst].inbox.push((arrival, msg));
@@ -129,7 +148,7 @@ pub fn simulate_hooked(
         if !eligible.is_empty() {
             for p in eligible {
                 while !procs[p].send_queue.is_empty() {
-                    send_msg(&mut procs, &mut timeline, p, arrival_of);
+                    send_msg(&mut procs, &mut timeline, p, arrival_of, false);
                 }
             }
         } else if recvs_remain {
@@ -144,7 +163,7 @@ pub fn simulate_hooked(
                 .collect();
             debug_assert!(!blocked.is_empty());
             let victim = blocked[rng.gen_range(0..blocked.len())];
-            send_msg(&mut procs, &mut timeline, victim, arrival_of);
+            send_msg(&mut procs, &mut timeline, victim, arrival_of, true);
             forced_sends += 1;
         }
 
@@ -165,7 +184,7 @@ pub fn simulate_hooked(
                 let end = procs[p]
                     .clock
                     .commit_kind(params, cfg.gap_rule, OpKind::Recv, start);
-                timeline.push(CommEvent {
+                let event = CommEvent {
                     proc: p,
                     kind: OpKind::Recv,
                     peer: msg.src,
@@ -173,7 +192,11 @@ pub fn simulate_hooked(
                     msg_id: msg.id,
                     start,
                     end,
-                });
+                };
+                if let Some(t) = tracer {
+                    t.recv(&event, arrival, false);
+                }
+                timeline.push(event);
                 procs[p].to_recv -= 1;
             }
         }

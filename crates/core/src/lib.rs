@@ -59,6 +59,7 @@ pub mod textfmt;
 pub use layout::{BlockCyclic2D, ColCyclic, Diagonal, Layout, RowCyclic};
 pub use program::{Program, ProgramError, Step, StepLoad};
 pub use simulate::{
-    simulate_program, simulate_program_with, CommAlgo, DirectStepSimulator, Overlap, Prediction,
-    SimOptions, StepRecord, StepSimulator, Synchronization,
+    simulate_program, simulate_program_observed, simulate_program_traced, simulate_program_with,
+    CommAlgo, DirectStepSimulator, FrontEmitter, Overlap, Prediction, ProgramObserver, SimOptions,
+    StepRecord, StepSimulator, Synchronization, TracedStepSimulator,
 };

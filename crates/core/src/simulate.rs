@@ -210,6 +210,22 @@ pub trait StepSimulator {
         opts: &SimOptions,
         ready: &[Time],
     ) -> SimResult;
+
+    /// [`StepSimulator::simulate_comm`] with the program step index
+    /// attached. The whole-program fold calls this variant; the default
+    /// implementation ignores the index and delegates, so existing
+    /// backends keep working unchanged. Backends that emit step-stamped
+    /// trace events override it.
+    fn simulate_comm_step(
+        &mut self,
+        step_idx: usize,
+        comm: &commsim::CommPattern,
+        opts: &SimOptions,
+        ready: &[Time],
+    ) -> SimResult {
+        let _ = step_idx;
+        self.simulate_comm(comm, opts, ready)
+    }
 }
 
 /// The pass-through backend: call the [`commsim`] algorithms directly.
@@ -230,6 +246,91 @@ impl StepSimulator for DirectStepSimulator {
     }
 }
 
+/// A tracing backend: the direct [`commsim`] algorithms with a
+/// [`predsim_obs::TraceSink`] attached, so every committed send/receive
+/// (plus gap stalls and drain markers) is emitted, stamped with the
+/// program step index. Produces exactly [`DirectStepSimulator`]'s results.
+pub struct TracedStepSimulator<'a> {
+    sink: &'a dyn predsim_obs::TraceSink,
+}
+
+impl<'a> TracedStepSimulator<'a> {
+    /// A backend emitting into `sink`.
+    pub fn new(sink: &'a dyn predsim_obs::TraceSink) -> Self {
+        TracedStepSimulator { sink }
+    }
+}
+
+impl StepSimulator for TracedStepSimulator<'_> {
+    fn simulate_comm(
+        &mut self,
+        comm: &commsim::CommPattern,
+        opts: &SimOptions,
+        ready: &[Time],
+    ) -> SimResult {
+        self.simulate_comm_step(0, comm, opts, ready)
+    }
+
+    fn simulate_comm_step(
+        &mut self,
+        step_idx: usize,
+        comm: &commsim::CommPattern,
+        opts: &SimOptions,
+        ready: &[Time],
+    ) -> SimResult {
+        let tracer = commsim::StepTracer::new(self.sink, step_idx as u64);
+        let params = opts.cfg.params;
+        let mut arrival = |m: &commsim::Message, start: Time| params.arrival_time(start, m.bytes);
+        match opts.algo {
+            CommAlgo::Standard => {
+                standard::simulate_traced(comm, &opts.cfg, ready, &mut arrival, Some(&tracer))
+            }
+            CommAlgo::WorstCase => {
+                worstcase::simulate_traced(comm, &opts.cfg, ready, &mut arrival, Some(&tracer))
+            }
+        }
+    }
+}
+
+/// Observer of the whole-program fold: called after every step with the
+/// per-processor virtual-time front (each processor's readiness for the
+/// next step). This is the hook the horizon profile is computed from.
+pub trait ProgramObserver {
+    /// `front[p]` is processor `p`'s virtual time after step `step_idx`.
+    fn step_done(&mut self, step_idx: usize, front: &[Time]);
+}
+
+/// A [`ProgramObserver`] emitting one [`predsim_obs::TraceEvent::Front`]
+/// per processor per step into a [`predsim_obs::TraceSink`].
+pub struct FrontEmitter<'a> {
+    sink: &'a dyn predsim_obs::TraceSink,
+}
+
+impl<'a> FrontEmitter<'a> {
+    /// An emitter writing to `sink`.
+    pub fn new(sink: &'a dyn predsim_obs::TraceSink) -> Self {
+        FrontEmitter { sink }
+    }
+}
+
+impl ProgramObserver for FrontEmitter<'_> {
+    fn step_done(&mut self, step_idx: usize, front: &[Time]) {
+        for (proc, t) in front.iter().enumerate() {
+            self.sink.emit(&predsim_obs::TraceEvent::Front {
+                step: step_idx as u64,
+                proc,
+                ps: t.as_ps(),
+            });
+        }
+    }
+}
+
+struct NullObserver;
+
+impl ProgramObserver for NullObserver {
+    fn step_done(&mut self, _step_idx: usize, _front: &[Time]) {}
+}
+
 /// Simulate a whole program; see [`Prediction`] for what comes back.
 pub fn simulate_program(prog: &Program, opts: &SimOptions) -> Prediction {
     simulate_program_with(prog, opts, &mut DirectStepSimulator)
@@ -241,6 +342,34 @@ pub fn simulate_program_with(
     opts: &SimOptions,
     step_sim: &mut dyn StepSimulator,
 ) -> Prediction {
+    simulate_program_observed(prog, opts, step_sim, &mut NullObserver)
+}
+
+/// [`simulate_program`] with full tracing: per-operation events from the
+/// communication algorithms and per-step [`predsim_obs::TraceEvent::Front`]
+/// markers, all emitted into `sink`. The prediction is bit-identical to the
+/// untraced one.
+pub fn simulate_program_traced(
+    prog: &Program,
+    opts: &SimOptions,
+    sink: &dyn predsim_obs::TraceSink,
+) -> Prediction {
+    simulate_program_observed(
+        prog,
+        opts,
+        &mut TracedStepSimulator::new(sink),
+        &mut FrontEmitter::new(sink),
+    )
+}
+
+/// [`simulate_program_with`] plus a [`ProgramObserver`] notified after
+/// every step with the per-processor virtual-time front.
+pub fn simulate_program_observed(
+    prog: &Program,
+    opts: &SimOptions,
+    step_sim: &mut dyn StepSimulator,
+    observer: &mut dyn ProgramObserver,
+) -> Prediction {
     let procs = prog.procs();
     let mut ready = vec![Time::ZERO; procs];
     let mut per_proc_comp = vec![Time::ZERO; procs];
@@ -248,7 +377,7 @@ pub fn simulate_program_with(
     let mut steps = Vec::with_capacity(prog.len());
     let mut forced_sends = 0usize;
 
-    for step in prog.steps() {
+    for (step_idx, step) in prog.steps().iter().enumerate() {
         let start = ready.iter().copied().min().unwrap_or(Time::ZERO);
 
         // Computation phase.
@@ -265,7 +394,7 @@ pub fn simulate_program_with(
         let (comm_end_max, next_ready) = if step.comm.is_empty() {
             (comp_end_max, comp_end.clone())
         } else {
-            let result = step_sim.simulate_comm(&step.comm, opts, &comp_end);
+            let result = step_sim.simulate_comm_step(step_idx, &step.comm, opts, &comp_end);
             forced_sends += result.forced_sends;
 
             // Per-processor end of the communication section.
@@ -306,6 +435,7 @@ pub fn simulate_program_with(
             comm_end: comm_end_max,
             forced_sends,
         });
+        observer.step_done(step_idx, &ready);
     }
 
     let total = ready.iter().copied().max().unwrap_or(Time::ZERO);
@@ -459,6 +589,87 @@ mod tests {
         assert_eq!(slow.len(), 1);
         assert_eq!(slow[0].0, "s");
         assert!(slow[0].1 > Time::ZERO);
+    }
+
+    #[test]
+    fn traced_simulation_is_bit_identical_and_emits_fronts() {
+        use predsim_obs::{MemorySink, TraceEvent};
+        let mut prog = Program::new(3);
+        prog.push(Step::new("warm").with_comp(vec![Time::from_us(7.0); 3]));
+        let mut c = CommPattern::new(3);
+        c.add(0, 1, 500);
+        c.add(1, 2, 500);
+        prog.push(Step::new("chain").with_comm(c));
+        for opts in [opts(3), opts(3).worst_case(), opts(3).with_barrier()] {
+            let plain = simulate_program(&prog, &opts);
+            let sink = MemorySink::new();
+            let traced = simulate_program_traced(&prog, &opts, &sink);
+            assert_eq!(plain.total, traced.total);
+            assert_eq!(plain.per_proc_finish, traced.per_proc_finish);
+            assert_eq!(plain.per_proc_comm, traced.per_proc_comm);
+            // One Front event per processor per step, stamped in order.
+            let fronts: Vec<(u64, usize)> = sink
+                .events()
+                .iter()
+                .filter_map(|e| match e {
+                    TraceEvent::Front { step, proc, .. } => Some((*step, *proc)),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(fronts.len(), prog.len() * 3);
+            assert_eq!(fronts[0], (0, 0));
+            assert_eq!(fronts.last(), Some(&(1, 2)));
+            // Communication events are stamped with the comm step's index.
+            assert!(sink
+                .events()
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Send { step: 1, .. })));
+        }
+    }
+
+    #[test]
+    fn front_events_reflect_readiness_not_step_completion() {
+        use predsim_obs::{MemorySink, TraceEvent};
+        // Per-processor chaining: P1 finishes step 0 early and its front
+        // must say so (it is *not* the step's max).
+        let mut prog = Program::new(2);
+        prog.push(Step::new("skew").with_comp(vec![Time::from_us(100.0), Time::from_us(1.0)]));
+        let sink = MemorySink::new();
+        let _ = simulate_program_traced(&prog, &opts(2), &sink);
+        let fronts: Vec<u64> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Front { ps, .. } => Some(*ps),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            fronts,
+            vec![Time::from_us(100.0).as_ps(), Time::from_us(1.0).as_ps()]
+        );
+    }
+
+    #[test]
+    fn default_step_method_delegates() {
+        // A backend only implementing simulate_comm still works through
+        // the step-indexed entry point.
+        struct Only;
+        impl StepSimulator for Only {
+            fn simulate_comm(
+                &mut self,
+                comm: &commsim::CommPattern,
+                opts: &SimOptions,
+                ready: &[Time],
+            ) -> SimResult {
+                DirectStepSimulator.simulate_comm(comm, opts, ready)
+            }
+        }
+        let mut prog = Program::new(2);
+        prog.push(Step::new("s").with_comm(one_msg(2, 0, 1, 100)));
+        let a = simulate_program(&prog, &opts(2));
+        let b = simulate_program_with(&prog, &opts(2), &mut Only);
+        assert_eq!(a.total, b.total);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use commsim::{CommPattern, SimResult, Timeline};
 use loggp::Time;
 use parking_lot::RwLock;
 use predsim_core::{DirectStepSimulator, SimOptions, StepSimulator};
+use predsim_obs::{TraceEvent, TraceSink};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -186,14 +187,54 @@ impl MemoCache {
 /// the relative offsets* (so the stored schedule is base-free) and shifted
 /// back. Translation invariance of the LogGP algorithms makes the shifted
 /// schedule bit-identical to simulating at the absolute times directly.
+///
+/// Constructed with [`MemoStepSimulator::traced`], every lookup also emits
+/// a [`TraceEvent::MemoHit`]/[`TraceEvent::MemoMiss`] event — purely
+/// observational, the returned schedules are unaffected.
 pub struct MemoStepSimulator<'a> {
     cache: &'a MemoCache,
+    trace: Option<(&'a dyn TraceSink, u64)>,
 }
 
 impl<'a> MemoStepSimulator<'a> {
     /// A simulator backed by `cache`.
     pub fn new(cache: &'a MemoCache) -> Self {
-        MemoStepSimulator { cache }
+        MemoStepSimulator { cache, trace: None }
+    }
+
+    /// A simulator backed by `cache` that reports every hit and miss to
+    /// `sink`, stamped with the engine job index `job` (`u64::MAX` when
+    /// the lookup is not tied to a batch job).
+    pub fn traced(cache: &'a MemoCache, sink: &'a dyn TraceSink, job: u64) -> Self {
+        MemoStepSimulator {
+            cache,
+            trace: Some((sink, job)),
+        }
+    }
+
+    fn lookup(
+        &mut self,
+        step: u64,
+        comm: &CommPattern,
+        opts: &SimOptions,
+        ready: &[Time],
+    ) -> SimResult {
+        let base = ready.iter().copied().min().unwrap_or(Time::ZERO);
+        let rel: Vec<Time> = ready.iter().map(|&t| t - base).collect();
+        let key = StepKey::new(comm, opts, &rel);
+        if let Some(hit) = self.cache.get(&key, base) {
+            if let Some((sink, job)) = self.trace {
+                sink.emit(&TraceEvent::MemoHit { job, step });
+            }
+            return hit;
+        }
+        if let Some((sink, job)) = self.trace {
+            sink.emit(&TraceEvent::MemoMiss { job, step });
+        }
+        let normalized = DirectStepSimulator.simulate_comm(comm, opts, &rel);
+        let shifted = CachedStep::from_result(&normalized).materialize(base);
+        self.cache.insert(key, &normalized);
+        shifted
     }
 }
 
@@ -204,16 +245,18 @@ impl StepSimulator for MemoStepSimulator<'_> {
         opts: &SimOptions,
         ready: &[Time],
     ) -> SimResult {
-        let base = ready.iter().copied().min().unwrap_or(Time::ZERO);
-        let rel: Vec<Time> = ready.iter().map(|&t| t - base).collect();
-        let key = StepKey::new(comm, opts, &rel);
-        if let Some(hit) = self.cache.get(&key, base) {
-            return hit;
-        }
-        let normalized = DirectStepSimulator.simulate_comm(comm, opts, &rel);
-        let shifted = CachedStep::from_result(&normalized).materialize(base);
-        self.cache.insert(key, &normalized);
-        shifted
+        // No step index available on this entry point.
+        self.lookup(u64::MAX, comm, opts, ready)
+    }
+
+    fn simulate_comm_step(
+        &mut self,
+        step_idx: usize,
+        comm: &CommPattern,
+        opts: &SimOptions,
+        ready: &[Time],
+    ) -> SimResult {
+        self.lookup(step_idx as u64, comm, opts, ready)
     }
 }
 
@@ -301,5 +344,35 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.misses, 2, "one miss per algorithm");
         assert_eq!(stats.hits, 4);
+    }
+
+    #[test]
+    fn traced_memo_reports_hits_and_misses_without_changing_results() {
+        let cache = MemoCache::new(2, 64);
+        let sink = predsim_obs::MemorySink::new();
+        let p = pattern();
+        let opts = SimOptions::new(SimConfig::new(presets::meiko_cs2(2)));
+        let ready = vec![Time::ZERO, Time::from_us(1.0)];
+        let want = DirectStepSimulator.simulate_comm(&p, &opts, &ready);
+
+        let mut memo = MemoStepSimulator::traced(&cache, &sink, 9);
+        let miss = memo.simulate_comm_step(4, &p, &opts, &ready);
+        let hit = memo.simulate_comm_step(4, &p, &opts, &ready);
+        assert_eq!(miss.timeline.events(), want.timeline.events());
+        assert_eq!(hit.timeline.events(), want.timeline.events());
+        assert_eq!(
+            sink.events(),
+            vec![
+                TraceEvent::MemoMiss { job: 9, step: 4 },
+                TraceEvent::MemoHit { job: 9, step: 4 },
+            ]
+        );
+
+        // The index-less entry point stamps the unknown-step sentinel.
+        memo.simulate_comm(&p, &opts, &ready);
+        assert!(matches!(
+            sink.events().last(),
+            Some(TraceEvent::MemoHit { step: u64::MAX, .. })
+        ));
     }
 }

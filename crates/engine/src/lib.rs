@@ -19,6 +19,13 @@
 //!   schedule, shifted to the step's base time, on a hit. Keys compare
 //!   their full canonical encoding, so collisions cannot corrupt results.
 //!
+//! Both are observable: attach an [`EngineObs`] (trace sink + metrics
+//! registry from `predsim-obs`) via [`Engine::with_obs`] and every job
+//! emits `job_start`/`worker_assign`/`job_finish` events, every memo
+//! lookup a `memo_hit`/`memo_miss`, while [`Engine::run_report`] returns
+//! the batch results together with a metrics snapshot. Observation never
+//! changes results — predictions stay bit-identical with tracing on.
+//!
 //! ```
 //! use predsim_engine::{Engine, EngineConfig, Grid, JobSource};
 //! use loggp::presets;
@@ -47,7 +54,12 @@ pub use job::{Grid, JobResult, JobSource, JobSpec, LayoutSpec};
 use crossbeam::channel;
 use predsim_core::{simulate_program, simulate_program_with, CommAlgo, Prediction};
 use predsim_lint::{check_program, Code, Diagnostic, LintOptions, Report, Severity, Span};
+use predsim_obs::{
+    default_ns_buckets, Counter, Histogram, MetricsSnapshot, Registry, ScopedTimer, TraceEvent,
+    TraceSink,
+};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Lint one job without running it: first the spec itself (would the
 /// generator behind it even accept these inputs?), then — when the spec is
@@ -164,6 +176,104 @@ impl EngineConfig {
     }
 }
 
+/// Metric handles the engine updates on its hot paths, resolved once at
+/// construction so per-job updates are plain atomic operations.
+#[derive(Clone)]
+struct EngineMetrics {
+    jobs_total: Arc<Counter>,
+    job_wall_ns: Arc<Histogram>,
+    phase_build_ns: Arc<Counter>,
+    phase_simulate_ns: Arc<Counter>,
+}
+
+impl EngineMetrics {
+    fn new(registry: &Registry) -> Self {
+        EngineMetrics {
+            jobs_total: registry.counter("engine_jobs_total", "batch jobs executed"),
+            job_wall_ns: registry.histogram(
+                "engine_job_wall_ns",
+                "host wall-clock per job prediction, ns",
+                &default_ns_buckets(),
+            ),
+            phase_build_ns: registry
+                .counter("engine_phase_build_ns", "wall-clock building programs, ns"),
+            phase_simulate_ns: registry.counter(
+                "engine_phase_simulate_ns",
+                "wall-clock simulating programs, ns",
+            ),
+        }
+    }
+}
+
+/// Observability attachments of an [`Engine`]: an optional trace sink and
+/// a metrics registry.
+///
+/// The default has no sink (events cost nothing) and a private registry.
+/// Attaching a sink makes every batch job emit `job_start` /
+/// `worker_assign` / `job_finish` events and every memo-cache lookup a
+/// `memo_hit` / `memo_miss` event; results stay bit-identical either way.
+#[derive(Clone)]
+pub struct EngineObs {
+    sink: Option<Arc<dyn TraceSink>>,
+    registry: Arc<Registry>,
+    metrics: EngineMetrics,
+}
+
+impl Default for EngineObs {
+    fn default() -> Self {
+        EngineObs::new()
+    }
+}
+
+impl EngineObs {
+    /// No sink, fresh registry.
+    pub fn new() -> Self {
+        EngineObs::with_registry(Arc::new(Registry::new()))
+    }
+
+    /// No sink, recording metrics into a caller-owned registry.
+    pub fn with_registry(registry: Arc<Registry>) -> Self {
+        let metrics = EngineMetrics::new(&registry);
+        EngineObs {
+            sink: None,
+            registry,
+            metrics,
+        }
+    }
+
+    /// Same attachments, but with trace events flowing into `sink`.
+    pub fn with_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// The attached trace sink, if any.
+    pub fn sink(&self) -> Option<&Arc<dyn TraceSink>> {
+        self.sink.as_ref()
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+}
+
+/// A batch's results plus the observability snapshot taken right after it
+/// finished (from [`Engine::run_report`]).
+#[derive(Clone)]
+pub struct RunReport {
+    /// The job results, in submission order — exactly [`Engine::run`]'s
+    /// return value.
+    pub results: Vec<JobResult>,
+    /// Snapshot of the engine registry, including the memo-cache gauges
+    /// published at the end of the run.
+    pub metrics: MetricsSnapshot,
+    /// Memo-cache counters as of the end of the run.
+    pub cache: CacheStats,
+    /// Host wall-clock of the whole batch, in nanoseconds.
+    pub wall_ns: u64,
+}
+
 /// The batch-prediction engine: a worker pool plus a shared memo cache.
 ///
 /// The cache persists across [`Engine::run`] calls, so a sweep following a
@@ -171,6 +281,7 @@ impl EngineConfig {
 pub struct Engine {
     config: EngineConfig,
     cache: Arc<MemoCache>,
+    obs: EngineObs,
 }
 
 impl Default for Engine {
@@ -180,13 +291,19 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// An engine with the given configuration.
+    /// An engine with the given configuration and no trace sink.
     pub fn new(config: EngineConfig) -> Self {
+        Engine::with_obs(config, EngineObs::default())
+    }
+
+    /// An engine with the given configuration and observability
+    /// attachments.
+    pub fn with_obs(config: EngineConfig, obs: EngineObs) -> Self {
         let cache = Arc::new(MemoCache::new(
             config.shards.max(1),
             config.shard_capacity.max(1),
         ));
-        Engine { config, cache }
+        Engine { config, cache, obs }
     }
 
     /// A single-threaded engine (useful as the comparison baseline; still
@@ -205,11 +322,28 @@ impl Engine {
         self.cache.stats()
     }
 
+    /// The engine's observability attachments.
+    pub fn obs(&self) -> &EngineObs {
+        &self.obs
+    }
+
     /// Predict one job with this engine's cache.
     pub fn run_one(&self, spec: &JobSpec) -> Prediction {
-        let program = spec.source.build();
+        self.run_one_as(u64::MAX, spec)
+    }
+
+    /// [`Engine::run_one`] stamped with a batch job index for the trace.
+    fn run_one_as(&self, job: u64, spec: &JobSpec) -> Prediction {
+        let program = {
+            let _t = ScopedTimer::counter(&self.obs.metrics.phase_build_ns);
+            spec.source.build()
+        };
+        let _t = ScopedTimer::counter(&self.obs.metrics.phase_simulate_ns);
         if self.config.memo {
-            let mut memo = MemoStepSimulator::new(&self.cache);
+            let mut memo = match &self.obs.sink {
+                Some(sink) => MemoStepSimulator::traced(&self.cache, sink.as_ref(), job),
+                None => MemoStepSimulator::new(&self.cache),
+            };
             simulate_program_with(&program, &spec.opts, &mut memo)
         } else {
             simulate_program(&program, &spec.opts)
@@ -223,11 +357,18 @@ impl Engine {
             return Vec::new();
         }
         let workers = self.config.effective_jobs().min(specs.len());
+        self.obs
+            .registry
+            .gauge("engine_workers", "worker threads of the last batch")
+            .set(workers as u64);
         if workers <= 1 {
             return specs
                 .iter()
                 .enumerate()
-                .map(|(i, s)| self.execute(i, s))
+                .map(|(i, s)| {
+                    self.assign(i, 0);
+                    self.execute(i, s)
+                })
                 .collect();
         }
 
@@ -239,11 +380,12 @@ impl Engine {
         drop(work_tx);
 
         crossbeam::thread::scope(|scope| {
-            for _ in 0..workers {
+            for worker in 0..workers {
                 let work_rx = work_rx.clone();
                 let done_tx = done_tx.clone();
                 scope.spawn(move |_| {
                     while let Ok(i) = work_rx.recv() {
+                        self.assign(i, worker as u64);
                         done_tx
                             .send(self.execute(i, &specs[i]))
                             .expect("collector open");
@@ -291,11 +433,79 @@ impl Engine {
         }
     }
 
+    /// Like [`Engine::run`], but also snapshot the metrics registry and
+    /// the memo-cache counters when the batch finishes. Cache figures are
+    /// published into the registry first (as `engine_cache_*` gauges), so
+    /// a Prometheus or JSON export of the snapshot carries them too.
+    pub fn run_report(&self, specs: &[JobSpec]) -> RunReport {
+        let start = Instant::now();
+        let results = self.run(specs);
+        let wall_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        RunReport {
+            results,
+            metrics: self.metrics_snapshot(),
+            cache: self.stats(),
+            wall_ns,
+        }
+    }
+
+    /// Publish the memo-cache counters into the registry (as
+    /// `engine_cache_*` gauges), flush the trace sink, and snapshot the
+    /// registry. Called by [`Engine::run_report`]; call it directly after
+    /// [`Engine::run`]/[`Engine::run_checked`] to export metrics.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let cache = self.stats();
+        let reg = &self.obs.registry;
+        reg.gauge("engine_cache_hits", "memo-cache hits so far")
+            .set(cache.hits);
+        reg.gauge("engine_cache_misses", "memo-cache misses so far")
+            .set(cache.misses);
+        reg.gauge("engine_cache_inserts", "memo-cache inserts so far")
+            .set(cache.inserts);
+        reg.gauge("engine_cache_evictions", "memo-cache evictions so far")
+            .set(cache.evictions);
+        reg.gauge("engine_cache_hit_permille", "memo-cache hit rate, permille")
+            .set((cache.hit_rate() * 1000.0).round() as u64);
+        if let Some(sink) = &self.obs.sink {
+            sink.flush();
+        }
+        reg.snapshot()
+    }
+
+    fn assign(&self, index: usize, worker: u64) {
+        if let Some(sink) = &self.obs.sink {
+            sink.emit(&TraceEvent::WorkerAssign {
+                job: index as u64,
+                worker,
+            });
+        }
+    }
+
     fn execute(&self, index: usize, spec: &JobSpec) -> JobResult {
+        let job = index as u64;
+        if let Some(sink) = &self.obs.sink {
+            sink.emit(&TraceEvent::JobStart {
+                job,
+                label: spec.label.clone(),
+            });
+        }
+        let start = Instant::now();
+        let prediction = self.run_one_as(job, spec);
+        let wall_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.obs.metrics.jobs_total.inc();
+        self.obs.metrics.job_wall_ns.observe(wall_ns);
+        if let Some(sink) = &self.obs.sink {
+            sink.emit(&TraceEvent::JobFinish {
+                job,
+                label: spec.label.clone(),
+                total_ps: prediction.total.as_ps(),
+                wall_ns,
+            });
+        }
         JobResult {
             index,
             label: spec.label.clone(),
-            prediction: self.run_one(spec),
+            prediction,
         }
     }
 }
@@ -509,5 +719,58 @@ mod tests {
             .build();
         let results = engine.run(&jobs);
         assert_eq!(best_by_total(&results), Some(0));
+    }
+
+    #[test]
+    fn run_report_traces_jobs_and_snapshots_metrics() {
+        let sink = Arc::new(predsim_obs::MemorySink::new());
+        let obs = EngineObs::new().with_sink(sink.clone());
+        let engine = Engine::with_obs(EngineConfig::default().with_jobs(2), obs);
+        let jobs = stencil_grid();
+        let report = engine.run_report(&jobs);
+        assert_eq!(report.results.len(), jobs.len());
+
+        // Observation changed nothing about the predictions.
+        let plain = Engine::new(EngineConfig::default().with_jobs(1)).run(&jobs);
+        assert_identical(&report.results, &plain);
+
+        let events = sink.events();
+        let count = |k: &str| events.iter().filter(|e| e.kind() == k).count();
+        assert_eq!(count("job_start"), jobs.len());
+        assert_eq!(count("job_finish"), jobs.len());
+        assert_eq!(count("worker_assign"), jobs.len());
+        assert!(count("memo_hit") > 0, "repeated steps must hit");
+        assert!(count("memo_miss") > 0);
+        for r in &report.results {
+            assert!(
+                events.iter().any(|e| matches!(e,
+                    TraceEvent::JobFinish { job, total_ps, .. }
+                        if *job == r.index as u64
+                            && *total_ps == r.prediction.total.as_ps())),
+                "no finish event for job {}",
+                r.index
+            );
+        }
+
+        // The snapshot agrees with the batch and the cache counters.
+        let snap = &report.metrics;
+        assert_eq!(
+            snap.scalar("engine_jobs_total", &[]),
+            Some(jobs.len() as u64)
+        );
+        assert_eq!(snap.scalar("engine_workers", &[]), Some(2));
+        let (n, _) = snap.histogram_totals("engine_job_wall_ns").unwrap();
+        assert_eq!(n, jobs.len() as u64);
+        assert_eq!(
+            snap.scalar("engine_cache_hits", &[]),
+            Some(report.cache.hits)
+        );
+        assert_eq!(
+            snap.scalar("engine_cache_misses", &[]),
+            Some(report.cache.misses)
+        );
+        assert!(snap.scalar("engine_phase_simulate_ns", &[]).unwrap() > 0);
+        assert!(report.wall_ns > 0);
+        assert_eq!(report.cache, engine.stats());
     }
 }

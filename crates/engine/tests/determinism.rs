@@ -11,10 +11,11 @@ use predsim_core::{
     search, simulate_program_with, DirectStepSimulator, Prediction, SimOptions, StepSimulator,
 };
 use predsim_engine::{
-    best_by_total, Engine, EngineConfig, JobSource, JobSpec, LayoutSpec, MemoCache,
+    best_by_total, Engine, EngineConfig, EngineObs, JobSource, JobSpec, LayoutSpec, MemoCache,
     MemoStepSimulator,
 };
 use proptest::prelude::*;
+use std::sync::Arc;
 
 fn machine_for(idx: usize, procs: usize) -> LogGpParams {
     match idx % 5 {
@@ -205,5 +206,53 @@ proptest! {
         prop_assert_eq!(direct.events, warm.events);
         let stats = cache.stats();
         prop_assert!(stats.hits >= stats.misses, "second run must hit: {:?}", stats);
+    }
+
+    /// Tracing and metrics are purely observational: an engine with a
+    /// sink and a registry attached returns bit-identical results to the
+    /// bare sequential engine, whatever the worker count, and traces
+    /// every job exactly once.
+    #[test]
+    fn observability_is_bit_identical(
+        (kinds, mach, jobs, worst) in (
+            proptest::collection::vec((0usize..3, 0usize..32), 1..6),
+            0usize..5,
+            1usize..5,
+            proptest::bool::ANY,
+        )
+    ) {
+        let specs = specs_for(&kinds, mach, worst);
+        let baseline =
+            Engine::new(EngineConfig::default().with_jobs(1).with_memo(false)).run(&specs);
+
+        let sink = Arc::new(predsim_obs::MemorySink::new());
+        let obs = EngineObs::new().with_sink(sink.clone());
+        let engine = Engine::with_obs(EngineConfig::default().with_jobs(jobs), obs);
+        let report = engine.run_report(&specs);
+
+        prop_assert_eq!(report.results.len(), baseline.len());
+        for (r, b) in report.results.iter().zip(&baseline) {
+            prop_assert_eq!(r.index, b.index);
+            assert_predictions_identical(
+                &r.prediction,
+                &b.prediction,
+                &format!("obs-on jobs={jobs} {}", r.label),
+            );
+        }
+
+        let events = sink.events();
+        let count = |k: &str| events.iter().filter(|e| e.kind() == k).count();
+        prop_assert_eq!(count("job_start"), specs.len());
+        prop_assert_eq!(count("job_finish"), specs.len());
+        prop_assert_eq!(count("worker_assign"), specs.len());
+        // Memo events account for every cache lookup the run made.
+        prop_assert_eq!(
+            (count("memo_hit") as u64, count("memo_miss") as u64),
+            (report.cache.hits, report.cache.misses)
+        );
+        prop_assert_eq!(
+            report.metrics.scalar("engine_jobs_total", &[]),
+            Some(specs.len() as u64)
+        );
     }
 }

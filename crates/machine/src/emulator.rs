@@ -292,7 +292,10 @@ fn simulate_comm(
         let factor_permille = if jitter == 0 {
             1000
         } else {
-            (1000 + rng.gen_range(-10 * jitter..=10 * jitter)) as u64
+            // Clamp at zero: jitter_pct >= 100 can draw a factor below
+            // -1000 permille, and a negative value cast to u64 would wrap
+            // to ~2^64 and blow up the flight time.
+            (1000 + rng.gen_range(-10 * jitter..=10 * jitter)).max(0) as u64
         };
         let flight = Time::from_ps(flight.as_ps() * factor_permille / 1000);
         let mut arrival = send_start + params.overhead + flight;
@@ -301,11 +304,17 @@ fn simulate_comm(
             // the whole network.
             arrival = arrival.max(bus_free);
             bus_free = arrival + params.wire_time(m.bytes);
-        } else if contention {
+        }
+        if contention {
             // The destination's input link drains one message at a time.
+            // Applied after (not instead of) bus serialization when both
+            // are enabled; a bus transfer also occupies the input link, so
+            // link_free[dst] never exceeds bus_free and the combination
+            // degenerates to the bus bound, but the drain is tracked so
+            // the semantics are explicit rather than silently dropped.
             let free = link_free.entry(m.dst).or_insert(Time::ZERO);
             arrival = arrival.max(*free);
-            *link_free.get_mut(&m.dst).unwrap() = arrival + params.wire_time(m.bytes);
+            *free = arrival + params.wire_time(m.bytes);
         }
         arrival
     })
@@ -569,6 +578,77 @@ mod tests {
         // Roughly 4 wire times on the bus vs 1 in the switched case.
         let wire = base_cfg(8).params.wire_time(64 * 1024);
         assert!(b.prediction.total >= a.prediction.total + wire * 2);
+    }
+
+    #[test]
+    fn extreme_jitter_never_wraps_flight_times() {
+        // jitter_pct = 100 can draw a factor of exactly 0 permille (free
+        // flight); anything above 100 can draw a *negative* factor, which
+        // used to wrap through the u64 cast and produce ~2^64 ps arrivals.
+        // all_to_all(8) has 56 network messages, so at 150% jitter a
+        // below-zero draw is overwhelmingly likely across seeds.
+        for (jitter_pct, seeds) in [(100u32, 0..20u64), (150, 0..20)] {
+            for seed in seeds {
+                let mut prog = Program::new(8);
+                prog.push(Step::new("a2a").with_comm(patterns::all_to_all(8, 4096)));
+                let mut ecfg =
+                    EmulatorConfig::meiko_like(base_cfg(8).with_seed(seed)).without_cache();
+                ecfg.jitter_pct = jitter_pct;
+                ecfg.contention = false;
+                let m = emulate(&prog, &[], &ecfg);
+                // Flight scale factor is at most (1000 + 10*jitter)/1000 =
+                // 2.5x here; the whole step is bounded by a serialized
+                // schedule of 56 maximally jittered messages.
+                let worst_one = base_cfg(8).params.message_cost(4096) * 3;
+                let bound = worst_one * 56;
+                assert!(
+                    m.prediction.total < bound,
+                    "jitter {jitter_pct}% seed {seed}: total {} exceeds {bound} — wrapped flight",
+                    m.prediction.total
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_bus_with_contention_equals_bus_alone() {
+        // The input-link drain is subsumed by bus serialization (a bus
+        // transfer occupies the destination link too), so enabling both
+        // must behave exactly like the bus alone — and never be faster
+        // than contention alone. Pre-fix, `contention` was silently
+        // ignored whenever `shared_bus` was set.
+        let mut prog = Program::new(8);
+        let mut comm = CommPattern::new(8);
+        for p in 0..4 {
+            comm.add(p, p + 4, 64 * 1024);
+        }
+        comm.add(0, 7, 32 * 1024); // also exercise a shared destination
+        comm.add(1, 7, 32 * 1024);
+        prog.push(Step::new("mix").with_comm(comm));
+        let mut base = EmulatorConfig::meiko_like(base_cfg(8)).without_cache();
+        base.jitter_pct = 0;
+        base.contention = false;
+
+        let mut bus_only = base.clone();
+        bus_only.shared_bus = true;
+        let mut both = bus_only.clone();
+        both.contention = true;
+        let mut contention_only = base.clone();
+        contention_only.contention = true;
+
+        let bus = emulate(&prog, &[], &bus_only);
+        let combined = emulate(&prog, &[], &both);
+        let linked = emulate(&prog, &[], &contention_only);
+        assert_eq!(
+            combined.prediction.per_proc_finish, bus.prediction.per_proc_finish,
+            "bus+contention must match the bus-alone schedule"
+        );
+        assert!(
+            combined.prediction.total >= linked.prediction.total,
+            "bus+contention {} cannot beat per-link contention {}",
+            combined.prediction.total,
+            linked.prediction.total
+        );
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! Virtual-time-horizon profiles and queue-depth analysis, computed from
+//! a captured trace.
+//!
+//! Parallel discrete-event literature (Korniss et al., "Suppressing
+//! Roughness of Virtual Times in Parallel Discrete-Event Simulations";
+//! Shchur & Novotny, "On the Evolution of Time Horizons in Parallel and
+//! Grid Simulations") treats the *virtual-time profile across processors*
+//! as the key measurable of a parallel simulation: how far apart the
+//! fastest and slowest processors drift step by step. The whole-program
+//! predictor emits one [`TraceEvent::Front`] per processor per step; this
+//! module folds them into that profile.
+
+use crate::event::TraceEvent;
+use loggp::Time;
+
+/// The virtual-time front statistics of one program step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HorizonStep {
+    /// Step index.
+    pub step: u64,
+    /// Slowest processor's virtual time after the step.
+    pub min: Time,
+    /// Fastest processor's virtual time after the step.
+    pub max: Time,
+    /// Mean front across processors.
+    pub mean: Time,
+    /// `max - min`: the roughness of the time horizon at this step.
+    pub spread: Time,
+}
+
+/// The per-step min/max/mean virtual-time front across processors.
+#[derive(Clone, Debug, Default)]
+pub struct HorizonProfile {
+    /// One entry per step that emitted fronts, in step order.
+    pub steps: Vec<HorizonStep>,
+}
+
+impl HorizonProfile {
+    /// Build the profile from [`TraceEvent::Front`] events (other events
+    /// are ignored). Steps come back sorted by index.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut fronts: Vec<(u64, Vec<u64>)> = Vec::new();
+        for ev in events {
+            if let TraceEvent::Front { step, ps, .. } = ev {
+                match fronts.binary_search_by_key(step, |(s, _)| *s) {
+                    Ok(i) => fronts[i].1.push(*ps),
+                    Err(i) => fronts.insert(i, (*step, vec![*ps])),
+                }
+            }
+        }
+        let steps = fronts
+            .into_iter()
+            .map(|(step, ps)| {
+                let min = *ps.iter().min().expect("non-empty front");
+                let max = *ps.iter().max().expect("non-empty front");
+                let mean = ps.iter().sum::<u64>() / ps.len() as u64;
+                HorizonStep {
+                    step,
+                    min: Time::from_ps(min),
+                    max: Time::from_ps(max),
+                    mean: Time::from_ps(mean),
+                    spread: Time::from_ps(max - min),
+                }
+            })
+            .collect();
+        HorizonProfile { steps }
+    }
+
+    /// The largest spread over all steps (the roughest point of the
+    /// horizon).
+    pub fn max_spread(&self) -> Time {
+        self.steps
+            .iter()
+            .map(|s| s.spread)
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// The step index with the largest spread, if any step exists.
+    pub fn roughest_step(&self) -> Option<u64> {
+        self.steps
+            .iter()
+            .max_by_key(|s| (s.spread, std::cmp::Reverse(s.step)))
+            .map(|s| s.step)
+    }
+
+    /// ASCII rendering: one row per step, the `[min .. max]` band drawn
+    /// over a time axis `width` columns wide, `*` marking the mean.
+    pub fn render(&self, width: usize) -> String {
+        use std::fmt::Write as _;
+        let width = width.max(10);
+        let mut out = String::new();
+        let Some(last) = self.steps.iter().map(|s| s.max).max() else {
+            out.push_str("(no front events)\n");
+            return out;
+        };
+        if last.is_zero() {
+            out.push_str("(horizon never advanced)\n");
+            return out;
+        }
+        let col = |t: Time| -> usize {
+            ((t.as_ps() as u128 * (width as u128 - 1) / last.as_ps() as u128) as usize)
+                .min(width - 1)
+        };
+        let _ = writeln!(
+            out,
+            "virtual-time horizon ({} steps, max spread {}):",
+            self.steps.len(),
+            self.max_spread()
+        );
+        for s in &self.steps {
+            let mut row = vec![' '; width];
+            let (c0, c1, cm) = (col(s.min), col(s.max), col(s.mean));
+            for cell in row.iter_mut().take(c1 + 1).skip(c0) {
+                *cell = '=';
+            }
+            row[c0] = '[';
+            row[c1] = ']';
+            row[cm] = '*';
+            let _ = writeln!(
+                out,
+                "step {:>4} |{}| spread {}",
+                s.step,
+                row.iter().collect::<String>(),
+                s.spread
+            );
+        }
+        let _ = writeln!(
+            out,
+            "           0{}{last}",
+            " ".repeat(width.saturating_sub(1))
+        );
+        out
+    }
+}
+
+/// Per-destination maximum receive-queue depth, computed exactly from the
+/// trace: a message occupies the destination's queue from its arrival
+/// (`arrival_ps`) until its receive operation starts (`start_ps`).
+///
+/// Returns one entry per processor id up to the largest seen (processors
+/// that received nothing report 0).
+pub fn max_queue_depths(events: &[TraceEvent]) -> Vec<usize> {
+    // (proc, time, delta); at equal times arrivals (+1) sort before
+    // removals (-1) so an instantly received message still counts as
+    // having been present.
+    let mut marks: Vec<(usize, u64, i32)> = Vec::new();
+    for ev in events {
+        if let TraceEvent::Recv {
+            proc,
+            arrival_ps,
+            start_ps,
+            ..
+        } = ev
+        {
+            marks.push((*proc, *arrival_ps, 1));
+            marks.push((*proc, *start_ps, -1));
+        }
+    }
+    let procs = marks.iter().map(|&(p, _, _)| p + 1).max().unwrap_or(0);
+    let mut depths = vec![0usize; procs];
+    for (p, slot) in depths.iter_mut().enumerate() {
+        let mut own: Vec<(u64, i32)> = marks
+            .iter()
+            .filter(|&&(q, _, _)| q == p)
+            .map(|&(_, t, d)| (t, d))
+            .collect();
+        own.sort_by_key(|&(t, d)| (t, std::cmp::Reverse(d)));
+        let mut depth = 0i32;
+        for (_, d) in own {
+            depth += d;
+            *slot = (*slot).max(depth as usize);
+        }
+    }
+    depths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn front(step: u64, proc: usize, ps: u64) -> TraceEvent {
+        TraceEvent::Front { step, proc, ps }
+    }
+
+    #[test]
+    fn profile_computes_min_max_mean_spread() {
+        let events = vec![
+            front(0, 0, 100),
+            front(0, 1, 300),
+            front(0, 2, 200),
+            front(1, 0, 500),
+            front(1, 1, 500),
+            front(1, 2, 500),
+        ];
+        let profile = HorizonProfile::from_events(&events);
+        assert_eq!(profile.steps.len(), 2);
+        let s0 = profile.steps[0];
+        assert_eq!(s0.min, Time::from_ps(100));
+        assert_eq!(s0.max, Time::from_ps(300));
+        assert_eq!(s0.mean, Time::from_ps(200));
+        assert_eq!(s0.spread, Time::from_ps(200));
+        let s1 = profile.steps[1];
+        assert_eq!(s1.spread, Time::ZERO);
+        assert_eq!(profile.max_spread(), Time::from_ps(200));
+        assert_eq!(profile.roughest_step(), Some(0));
+    }
+
+    #[test]
+    fn out_of_order_steps_are_sorted() {
+        let events = vec![front(5, 0, 10), front(2, 0, 4), front(5, 1, 12)];
+        let profile = HorizonProfile::from_events(&events);
+        let idx: Vec<u64> = profile.steps.iter().map(|s| s.step).collect();
+        assert_eq!(idx, vec![2, 5]);
+    }
+
+    #[test]
+    fn render_draws_bands() {
+        let events = vec![front(0, 0, 100), front(0, 1, 1000), front(1, 0, 2000)];
+        let profile = HorizonProfile::from_events(&events);
+        let text = profile.render(40);
+        assert!(text.contains("step    0 |"), "{text}");
+        assert!(text.contains('[') && text.contains(']') && text.contains('*'));
+        assert!(HorizonProfile::default().render(40).contains("no front"));
+    }
+
+    #[test]
+    fn queue_depths_count_overlapping_residency() {
+        let recv = |proc: usize, arrival_ps: u64, start_ps: u64, msg_id: usize| TraceEvent::Recv {
+            step: 0,
+            proc,
+            peer: 0,
+            msg_id,
+            bytes: 1,
+            arrival_ps,
+            start_ps,
+            end_ps: start_ps + 1,
+            drain: false,
+        };
+        // P1: three messages arrive at t=10 before any receive starts.
+        let events = vec![
+            recv(1, 10, 20, 0),
+            recv(1, 10, 30, 1),
+            recv(1, 10, 40, 2),
+            // P2: back-to-back, never more than one pending.
+            recv(2, 5, 5, 3),
+            recv(2, 50, 60, 4),
+        ];
+        let depths = max_queue_depths(&events);
+        assert_eq!(depths, vec![0, 3, 1]);
+        assert!(max_queue_depths(&[]).is_empty());
+    }
+}

@@ -1,0 +1,599 @@
+//! The metrics registry: lock-free counters, gauges and fixed-bucket
+//! histograms with Prometheus-style text exposition and a JSON dump.
+//!
+//! Registration (name → handle) takes a mutex once; every subsequent
+//! update on the returned handle is a single relaxed atomic operation, so
+//! instrumenting the simulators' hot paths costs nanoseconds. Metrics are
+//! identified by a base name plus optional `key="value"` labels, exactly
+//! as in the Prometheus exposition format.
+
+use loggp::Time;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can move both ways (queue depth, cache size, ...).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the value to at least `v` (running maximum).
+    pub fn set_max(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram over `u64` observations.
+///
+/// Bucket `i` counts observations `<= bounds[i]`; one overflow bucket
+/// catches the rest. Cumulative counts are computed at snapshot time, so
+/// `observe` touches exactly one bucket plus sum and count.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Box<[u64]>,
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.into(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a [`Time`] observation in ps.
+    pub fn observe_time(&self, t: Time) {
+        self.observe(t.as_ps());
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+}
+
+/// `count` exponentially growing bucket bounds starting at `start`
+/// (Prometheus's `exponential_buckets`).
+pub fn exponential_buckets(start: u64, factor: u64, count: usize) -> Vec<u64> {
+    assert!(start > 0 && factor > 1 && count > 0);
+    let mut bounds = Vec::with_capacity(count);
+    let mut b = start;
+    for _ in 0..count {
+        bounds.push(b);
+        b = b.saturating_mul(factor);
+    }
+    bounds.dedup();
+    bounds
+}
+
+/// Default bounds for host-side latencies in ns: 1 µs … ~1 s.
+pub fn default_ns_buckets() -> Vec<u64> {
+    exponential_buckets(1_000, 4, 10)
+}
+
+/// Default bounds for virtual times in ps: 1 ns … ~1 s.
+pub fn default_ps_buckets() -> Vec<u64> {
+    exponential_buckets(1_000, 8, 10)
+}
+
+#[derive(Clone, Debug)]
+enum Handle {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    name: String,
+    labels: Vec<(String, String)>,
+    help: String,
+    handle: Handle,
+}
+
+/// The metric registry: a named collection of counters, gauges and
+/// histograms. Cloning the returned `Arc` handles is the intended way to
+/// hold hot-path references.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+fn labels_owned(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        mk: impl FnOnce() -> Handle,
+    ) -> Handle {
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        let owned = labels_owned(labels);
+        if let Some(e) = entries.iter().find(|e| e.name == name && e.labels == owned) {
+            return e.handle.clone();
+        }
+        let handle = mk();
+        entries.push(Entry {
+            name: name.to_string(),
+            labels: owned,
+            help: help.to_string(),
+            handle: handle.clone(),
+        });
+        handle
+    }
+
+    /// Get or create an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, &[], help)
+    }
+
+    /// Get or create a labelled counter.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Counter> {
+        match self.get_or_insert(name, labels, help, || {
+            Handle::Counter(Arc::new(Counter::default()))
+        }) {
+            Handle::Counter(c) => c,
+            _ => panic!("metric '{name}' already registered with a different type"),
+        }
+    }
+
+    /// Get or create an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[], help)
+    }
+
+    /// Get or create a labelled gauge.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Gauge> {
+        match self.get_or_insert(name, labels, help, || {
+            Handle::Gauge(Arc::new(Gauge::default()))
+        }) {
+            Handle::Gauge(g) => g,
+            _ => panic!("metric '{name}' already registered with a different type"),
+        }
+    }
+
+    /// Get or create an unlabelled histogram with the given bucket bounds
+    /// (the bounds of the first registration win).
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[u64]) -> Arc<Histogram> {
+        self.histogram_with(name, &[], help, bounds)
+    }
+
+    /// Get or create a labelled histogram.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        bounds: &[u64],
+    ) -> Arc<Histogram> {
+        match self.get_or_insert(name, labels, help, || {
+            Handle::Histogram(Arc::new(Histogram::new(bounds)))
+        }) {
+            Handle::Histogram(h) => h,
+            _ => panic!("metric '{name}' already registered with a different type"),
+        }
+    }
+
+    /// A point-in-time copy of every metric, in registration order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let entries = self.entries.lock().expect("registry poisoned");
+        MetricsSnapshot {
+            metrics: entries
+                .iter()
+                .map(|e| MetricValue {
+                    name: e.name.clone(),
+                    labels: e.labels.clone(),
+                    help: e.help.clone(),
+                    value: match &e.handle {
+                        Handle::Counter(c) => SnapshotValue::Counter(c.get()),
+                        Handle::Gauge(g) => SnapshotValue::Gauge(g.get()),
+                        Handle::Histogram(h) => SnapshotValue::Histogram {
+                            bounds: h.bounds.to_vec(),
+                            buckets: h
+                                .buckets
+                                .iter()
+                                .map(|b| b.load(Ordering::Relaxed))
+                                .collect(),
+                            sum: h.sum(),
+                            count: h.count(),
+                        },
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    /// Prometheus text exposition of the current state.
+    pub fn render_prometheus(&self) -> String {
+        self.snapshot().to_prometheus()
+    }
+
+    /// JSON dump of the current state.
+    pub fn render_json(&self) -> String {
+        self.snapshot().to_json()
+    }
+}
+
+/// A snapshot of one metric's value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(u64),
+    /// Histogram state: per-bucket (non-cumulative) counts, with
+    /// `buckets.len() == bounds.len() + 1` (the last is the overflow
+    /// bucket).
+    Histogram {
+        /// Upper bounds, strictly increasing.
+        bounds: Vec<u64>,
+        /// Non-cumulative bucket counts (`bounds.len() + 1` entries).
+        buckets: Vec<u64>,
+        /// Sum of observations.
+        sum: u64,
+        /// Number of observations.
+        count: u64,
+    },
+}
+
+/// One metric in a [`MetricsSnapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricValue {
+    /// Base metric name.
+    pub name: String,
+    /// `key=value` labels.
+    pub labels: Vec<(String, String)>,
+    /// Help text.
+    pub help: String,
+    /// The captured value.
+    pub value: SnapshotValue,
+}
+
+/// A point-in-time copy of a [`Registry`], detached from the live
+/// atomics — safe to ship in reports and across threads.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Captured metrics, in registration order.
+    pub metrics: Vec<MetricValue>,
+}
+
+fn label_suffix(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .chain(extra)
+    {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    out.push('}');
+    out
+}
+
+impl MetricsSnapshot {
+    /// Value of the first counter or gauge matching `name` (and `labels`,
+    /// when given) — the test-friendly accessor.
+    pub fn scalar(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let owned = labels_owned(labels);
+        self.metrics
+            .iter()
+            .find(|m| m.name == name && (labels.is_empty() || m.labels == owned))
+            .and_then(|m| match m.value {
+                SnapshotValue::Counter(v) | SnapshotValue::Gauge(v) => Some(v),
+                SnapshotValue::Histogram { .. } => None,
+            })
+    }
+
+    /// `(count, sum)` of the first histogram matching `name`.
+    pub fn histogram_totals(&self, name: &str) -> Option<(u64, u64)> {
+        self.metrics
+            .iter()
+            .find(|m| m.name == name)
+            .and_then(|m| match &m.value {
+                SnapshotValue::Histogram { sum, count, .. } => Some((*count, *sum)),
+                _ => None,
+            })
+    }
+
+    /// Prometheus text exposition format (`# HELP` / `# TYPE` per family,
+    /// cumulative `_bucket{le=...}` rows for histograms).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut seen_family: Vec<&str> = Vec::new();
+        for m in &self.metrics {
+            let type_name = match m.value {
+                SnapshotValue::Counter(_) => "counter",
+                SnapshotValue::Gauge(_) => "gauge",
+                SnapshotValue::Histogram { .. } => "histogram",
+            };
+            if !seen_family.contains(&m.name.as_str()) {
+                seen_family.push(&m.name);
+                if !m.help.is_empty() {
+                    let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
+                }
+                let _ = writeln!(out, "# TYPE {} {}", m.name, type_name);
+            }
+            match &m.value {
+                SnapshotValue::Counter(v) | SnapshotValue::Gauge(v) => {
+                    let _ = writeln!(out, "{}{} {v}", m.name, label_suffix(&m.labels, None));
+                }
+                SnapshotValue::Histogram {
+                    bounds,
+                    buckets,
+                    sum,
+                    count,
+                } => {
+                    let mut cumulative = 0u64;
+                    for (i, b) in buckets.iter().enumerate() {
+                        cumulative += b;
+                        let le = match bounds.get(i) {
+                            Some(bound) => bound.to_string(),
+                            None => "+Inf".to_string(),
+                        };
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {cumulative}",
+                            m.name,
+                            label_suffix(&m.labels, Some(("le", &le)))
+                        );
+                    }
+                    let suffix = label_suffix(&m.labels, None);
+                    let _ = writeln!(out, "{}_sum{suffix} {sum}", m.name);
+                    let _ = writeln!(out, "{}_count{suffix} {count}", m.name);
+                }
+            }
+        }
+        out
+    }
+
+    /// Strict-JSON dump (integers, strings, arrays, objects only; the
+    /// overflow bucket's bound is `null`) — parseable by `predsim-lint`'s
+    /// JSON parser.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"version\":1,\"metrics\":[");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"name\":\"{}\",\"labels\":{{", m.name);
+            for (j, (k, v)) in m.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{k}\":\"{v}\"");
+            }
+            out.push_str("},");
+            match &m.value {
+                SnapshotValue::Counter(v) => {
+                    let _ = write!(out, "\"type\":\"counter\",\"value\":{v}");
+                }
+                SnapshotValue::Gauge(v) => {
+                    let _ = write!(out, "\"type\":\"gauge\",\"value\":{v}");
+                }
+                SnapshotValue::Histogram {
+                    bounds,
+                    buckets,
+                    sum,
+                    count,
+                } => {
+                    out.push_str("\"type\":\"histogram\",\"buckets\":[");
+                    for (j, b) in buckets.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        match bounds.get(j) {
+                            Some(bound) => {
+                                let _ = write!(out, "{{\"le\":{bound},\"count\":{b}}}");
+                            }
+                            None => {
+                                let _ = write!(out, "{{\"le\":null,\"count\":{b}}}");
+                            }
+                        }
+                    }
+                    let _ = write!(out, "],\"sum\":{sum},\"count\":{count}");
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_once() {
+        let reg = Registry::new();
+        let a = reg.counter("jobs_total", "jobs run");
+        let b = reg.counter("jobs_total", "jobs run");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "same handle behind both registrations");
+        let g = reg.gauge("depth", "queue depth");
+        g.set(7);
+        g.set_max(3);
+        assert_eq!(g.get(), 7);
+        g.set_max(11);
+        assert_eq!(g.get(), 11);
+        let snap = reg.snapshot();
+        assert_eq!(snap.scalar("jobs_total", &[]), Some(3));
+        assert_eq!(snap.scalar("depth", &[]), Some(11));
+        assert_eq!(snap.scalar("missing", &[]), None);
+    }
+
+    #[test]
+    fn labelled_series_are_distinct() {
+        let reg = Registry::new();
+        reg.counter_with("busy_ps", &[("proc", "0")], "busy")
+            .add(10);
+        reg.counter_with("busy_ps", &[("proc", "1")], "busy")
+            .add(20);
+        let snap = reg.snapshot();
+        assert_eq!(snap.scalar("busy_ps", &[("proc", "0")]), Some(10));
+        assert_eq!(snap.scalar("busy_ps", &[("proc", "1")]), Some(20));
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("busy_ps{proc=\"0\"} 10"), "{prom}");
+        assert!(prom.contains("busy_ps{proc=\"1\"} 20"), "{prom}");
+        // One TYPE line for the family, not one per series.
+        assert_eq!(prom.matches("# TYPE busy_ps counter").count(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_and_exposition() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat_ns", "latency", &[10, 100, 1000]);
+        for v in [5, 50, 500, 5000, 50] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 5605);
+        assert!((h.mean() - 1121.0).abs() < 1e-9);
+        let prom = reg.render_prometheus();
+        assert!(prom.contains("lat_ns_bucket{le=\"10\"} 1"), "{prom}");
+        assert!(prom.contains("lat_ns_bucket{le=\"100\"} 3"), "{prom}");
+        assert!(prom.contains("lat_ns_bucket{le=\"1000\"} 4"), "{prom}");
+        assert!(prom.contains("lat_ns_bucket{le=\"+Inf\"} 5"), "{prom}");
+        assert!(prom.contains("lat_ns_sum 5605"));
+        assert!(prom.contains("lat_ns_count 5"));
+        let snap = reg.snapshot();
+        assert_eq!(snap.histogram_totals("lat_ns"), Some((5, 5605)));
+    }
+
+    #[test]
+    fn boundary_observation_lands_in_its_bucket() {
+        let h = Histogram::new(&[10, 100]);
+        h.observe(10); // `le` bounds are inclusive
+        h.observe(11);
+        assert_eq!(h.buckets[0].load(Ordering::Relaxed), 1);
+        assert_eq!(h.buckets[1].load(Ordering::Relaxed), 1);
+        h.observe_time(Time::from_ps(1_000));
+        assert_eq!(h.buckets[2].load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn exponential_buckets_grow() {
+        let b = exponential_buckets(1_000, 4, 5);
+        assert_eq!(b, vec![1_000, 4_000, 16_000, 64_000, 256_000]);
+        assert!(!default_ns_buckets().is_empty());
+        assert!(!default_ps_buckets().is_empty());
+    }
+
+    #[test]
+    fn json_dump_is_well_formed() {
+        let reg = Registry::new();
+        reg.counter("c", "a counter").inc();
+        reg.gauge_with("g", &[("proc", "2")], "a gauge").set(9);
+        reg.histogram("h", "a histogram", &[10]).observe(3);
+        let json = reg.render_json();
+        assert!(json.starts_with("{\"version\":1"));
+        assert!(json.contains("\"type\":\"counter\",\"value\":1"), "{json}");
+        assert!(json.contains("\"proc\":\"2\""), "{json}");
+        assert!(json.contains("\"le\":null"), "{json}");
+        // Balanced braces/brackets (cheap structural sanity).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("x", "");
+        reg.gauge("x", "");
+    }
+}

@@ -1,0 +1,166 @@
+//! Trace sinks: where emitted events go.
+
+use crate::event::TraceEvent;
+use std::io::{self, BufWriter, Write};
+use std::sync::Mutex;
+
+/// A consumer of [`TraceEvent`]s.
+///
+/// Sinks are shared by reference across simulator calls and engine worker
+/// threads, so emission takes `&self` and implementations synchronize
+/// internally. Emission must not influence simulation results — sinks
+/// observe, they never steer.
+pub trait TraceSink: Send + Sync {
+    /// Consume one event.
+    fn emit(&self, ev: &TraceEvent);
+
+    /// Flush buffered output (no-op for in-memory sinks).
+    fn flush(&self) {}
+}
+
+/// Discards everything (the disabled-tracing fast path).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn emit(&self, _ev: &TraceEvent) {}
+}
+
+/// Collects events in memory, in emission order.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// A copy of everything emitted so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("trace sink poisoned").clone()
+    }
+
+    /// Number of events captured.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace sink poisoned").len()
+    }
+
+    /// True iff nothing was emitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all captured events.
+    pub fn clear(&self) {
+        self.events.lock().expect("trace sink poisoned").clear();
+    }
+
+    /// Render every captured event as JSONL (one object per line, each
+    /// line newline-terminated).
+    pub fn to_jsonl(&self) -> String {
+        let events = self.events.lock().expect("trace sink poisoned");
+        let mut out = String::new();
+        for ev in events.iter() {
+            out.push_str(&ev.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn emit(&self, ev: &TraceEvent) {
+        self.events
+            .lock()
+            .expect("trace sink poisoned")
+            .push(ev.clone());
+    }
+}
+
+/// Streams events as JSONL to any writer (a file, a pipe, a buffer).
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<BufWriter<W>>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wrap a writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer: Mutex::new(BufWriter::new(writer)),
+        }
+    }
+
+    /// Flush and hand the writer back.
+    pub fn into_inner(self) -> io::Result<W> {
+        self.writer
+            .into_inner()
+            .expect("trace sink poisoned")
+            .into_inner()
+            .map_err(|e| e.into_error())
+    }
+}
+
+impl JsonlSink<std::fs::File> {
+    /// Create (truncating) `path` and stream events into it.
+    pub fn create(path: &std::path::Path) -> io::Result<Self> {
+        Ok(JsonlSink::new(std::fs::File::create(path)?))
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn emit(&self, ev: &TraceEvent) {
+        let mut w = self.writer.lock().expect("trace sink poisoned");
+        // Trace output is best-effort: an unwritable sink must not abort
+        // the simulation that is being observed.
+        let _ = writeln!(w, "{}", ev.to_json_line());
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("trace sink poisoned").flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn front(step: u64, proc: usize, ps: u64) -> TraceEvent {
+        TraceEvent::Front { step, proc, ps }
+    }
+
+    #[test]
+    fn memory_sink_preserves_order() {
+        let sink = MemorySink::new();
+        assert!(sink.is_empty());
+        sink.emit(&front(0, 0, 5));
+        sink.emit(&front(0, 1, 9));
+        let evs = sink.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[1], front(0, 1, 9));
+        assert_eq!(sink.to_jsonl().lines().count(), 2);
+        sink.clear();
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let sink = JsonlSink::new(Vec::<u8>::new());
+        sink.emit(&front(1, 2, 77));
+        sink.emit(&front(1, 3, 78));
+        sink.flush();
+        let buf = sink.into_inner().unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn null_sink_accepts_everything() {
+        let sink = NullSink;
+        sink.emit(&front(0, 0, 0));
+        sink.flush();
+    }
+}

@@ -1,0 +1,46 @@
+//! Observe blocked Gaussian elimination: trace the paper's 960×960 /
+//! 8-processor configuration and render its virtual-time horizon — the
+//! per-step min/mean/max of the processors' simulated-time fronts. A wide
+//! band means processors drift apart (load imbalance or communication
+//! skew); a narrow band means the step re-synchronizes them.
+//!
+//! Run with: `cargo run --example observe_ge`
+
+use predsim::predsim_core::simulate_program_traced;
+use predsim::prelude::*;
+
+fn main() {
+    let n = 960;
+    let block = 48;
+    let procs = 8;
+    let layout = Diagonal::new(procs);
+    let trace = gauss::generate(n, block, &layout, &AnalyticCost::paper_default());
+    let opts = SimOptions::new(SimConfig::new(presets::meiko_cs2(procs)));
+
+    let sink = MemorySink::new();
+    let pred = simulate_program_traced(&trace.program, &opts, &sink);
+    let events = sink.events();
+
+    println!("blocked GE, n={n}, B={block}, diagonal layout, P={procs}, Meiko CS-2");
+    println!("{}", pred.summary());
+    println!();
+
+    let profile = HorizonProfile::from_events(&events);
+    print!("{}", profile.render(64));
+    if let Some(step) = profile.roughest_step() {
+        println!(
+            "\nroughest step: {step} of {} (front spread {})",
+            profile.steps.len(),
+            profile.max_spread()
+        );
+    }
+
+    // The same event stream answers queueing questions too.
+    let depths = predsim::predsim_obs::max_queue_depths(&events);
+    let (proc, depth) = depths
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, d)| *d)
+        .expect("at least one processor");
+    println!("deepest receive queue: {depth} message(s) at P{proc}");
+}

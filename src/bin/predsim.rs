@@ -5,6 +5,7 @@
 //! predsim simulate TRACE [options]     predict a text-format trace
 //! predsim check SOURCE... [options]    static analysis: lint without simulating
 //! predsim gantt TRACE --step N         ASCII/SVG Gantt of one step
+//! predsim trace SOURCE [options]       simulate with event tracing + horizon
 //! predsim ge-sweep [options]           block-size sweep for blocked GE
 //! predsim fit CSV                      fit LogGP params from ping data
 //! ```
@@ -44,14 +45,26 @@ USAGE:
   predsim gantt TRACE --step N [--machine NAME] [--svg FILE] [--worst-case]
       Render the send/receive schedule of step N (1-based) of the trace.
 
+  predsim trace SOURCE [--machine NAME] [--worst-case] [--barrier] [--overlap]
+                [--classic-gap] [--trace-out FILE] [--metrics-out FILE]
+      Simulate one source (a trace file or a generator spec, as for
+      'batch') with event tracing on. Emits one strict-JSON object per
+      line (send/recv/gap_stall/front events, virtual-time picosecond
+      stamps) to --trace-out, renders the virtual-time horizon profile
+      (per-step min/mean/max processor fronts), and writes
+      Prometheus-format metrics to --metrics-out. Tracing never changes
+      the prediction.
+
   predsim ge-sweep [--n N] [--procs P] [--machine NAME] [--layout L] [--blocks A,B,...]
-                   [--jobs N] [--no-memo]
+                   [--jobs N] [--no-memo] [--metrics-out FILE]
       Sweep block sizes for blocked Gaussian elimination and report the
       predicted optimum (layouts: diagonal, row, col; default n=960 P=8).
-      --jobs runs the sweep on N worker threads (results are identical).
+      --jobs runs the sweep on N worker threads (results are identical);
+      --metrics-out writes the engine's metrics in Prometheus format.
 
   predsim batch SOURCE... [--machine NAME[,NAME...]] [--jobs N] [--no-memo]
                 [--worst-case] [--barrier] [--overlap] [--classic-gap]
+                [--metrics-out FILE]
       Predict every source on every machine with the batch engine. A SOURCE
       is a trace file path or a generator spec:
         ge:N,BLOCK,LAYOUT,PROCS      blocked Gaussian elimination
@@ -60,7 +73,8 @@ USAGE:
         apsp:N,BLOCK,LAYOUT,PROCS    blocked Floyd-Warshall shortest paths
       Jobs are pre-validated with the analyzer (invalid specs are
       rejected with diagnostics). Prints one row per job plus memo-cache
-      statistics.
+      statistics; --metrics-out writes the engine's metrics in
+      Prometheus format.
 
   predsim fit FILE
       Least-squares fit of LogGP G and 2o+L from 'bytes,microseconds'
@@ -291,6 +305,101 @@ fn cmd_gantt(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Write the engine's Prometheus metrics (including the `engine_cache_*`
+/// gauges) to `file` when `--metrics-out` was given.
+fn write_engine_metrics(args: &Args, engine: &Engine) -> Result<(), String> {
+    if let Some(file) = args.value("metrics-out") {
+        std::fs::write(file, engine.metrics_snapshot().to_prometheus())
+            .map_err(|e| format!("writing {file}: {e}"))?;
+        println!("wrote metrics to {file}");
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let raw = args
+        .positional
+        .first()
+        .ok_or("trace: missing SOURCE (a trace file or a ge:/cannon:/stencil:/apsp: spec)")?;
+    let (name, source) = parse_source(raw)?;
+    source
+        .validate()
+        .map_err(|why| format!("source '{name}': {why}"))?;
+    let program = source.build();
+    let opts = sim_options(args, program.procs())?;
+
+    let sink = MemorySink::new();
+    let pred = predsim::predsim_core::simulate_program_traced(&program, &opts, &sink);
+    let events = sink.events();
+
+    if let Some(file) = args.value("trace-out") {
+        std::fs::write(file, sink.to_jsonl()).map_err(|e| format!("writing {file}: {e}"))?;
+        println!("wrote {} events to {file}", events.len());
+    }
+
+    println!("machine: {}", opts.cfg.params);
+    println!("{}", pred.summary());
+    let count = |k: &str| events.iter().filter(|e| e.kind() == k).count();
+    println!(
+        "events: {} send, {} recv, {} gap_stall, {} front",
+        count("send"),
+        count("recv"),
+        count("gap_stall"),
+        count("front")
+    );
+
+    let profile = HorizonProfile::from_events(&events);
+    println!();
+    print!("{}", profile.render(60));
+    if let Some(step) = profile.roughest_step() {
+        println!(
+            "roughest step: {} (front spread {})",
+            step,
+            profile.max_spread()
+        );
+    }
+
+    if let Some(file) = args.value("metrics-out") {
+        let registry = Registry::new();
+        for kind in ["send", "recv", "gap_stall", "front"] {
+            registry
+                .counter_with(
+                    "predsim_trace_events_total",
+                    &[("ev", kind)],
+                    "trace events emitted, by kind",
+                )
+                .add(count(kind) as u64);
+        }
+        registry
+            .gauge("predsim_predicted_total_ps", "predicted running time, ps")
+            .set(pred.total.as_ps());
+        registry
+            .counter("predsim_comp_ps_total", "predicted computation time, ps")
+            .add(pred.comp_time.as_ps());
+        registry
+            .counter("predsim_comm_ps_total", "predicted communication time, ps")
+            .add(pred.comm_time.as_ps());
+        registry
+            .gauge(
+                "predsim_horizon_max_spread_ps",
+                "widest per-step front spread, ps",
+            )
+            .set(profile.max_spread().as_ps());
+        let spread = registry.histogram(
+            "predsim_horizon_spread_ps",
+            "per-step front spread, ps",
+            &predsim::predsim_obs::default_ps_buckets(),
+        );
+        for step in &profile.steps {
+            spread.observe_time(step.spread);
+        }
+        std::fs::write(file, registry.render_prometheus())
+            .map_err(|e| format!("writing {file}: {e}"))?;
+        println!("wrote metrics to {file}");
+    }
+    Ok(())
+}
+
 fn cmd_ge_sweep(args: &Args) -> Result<(), String> {
     let n: usize = args
         .value("n")
@@ -383,6 +492,7 @@ fn cmd_ge_sweep(args: &Args) -> Result<(), String> {
         blocks[best],
         secs(results[best].prediction.total)
     );
+    write_engine_metrics(args, &engine)?;
     Ok(())
 }
 
@@ -611,6 +721,7 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
             stats.evictions
         );
     }
+    write_engine_metrics(args, &engine)?;
     Ok(())
 }
 
@@ -672,6 +783,11 @@ fn run() -> Result<ExitCode, String> {
             s.extend([valued("step"), valued("svg")]);
             s
         }
+        "trace" => {
+            let mut s = SIM_FLAGS.to_vec();
+            s.extend([valued("trace-out"), valued("metrics-out")]);
+            s
+        }
         "ge-sweep" => vec![
             valued("n"),
             valued("procs"),
@@ -680,10 +796,11 @@ fn run() -> Result<ExitCode, String> {
             valued("blocks"),
             valued("jobs"),
             switch("no-memo"),
+            valued("metrics-out"),
         ],
         "batch" => {
             let mut s = SIM_FLAGS.to_vec();
-            s.extend([valued("jobs"), switch("no-memo")]);
+            s.extend([valued("jobs"), switch("no-memo"), valued("metrics-out")]);
             s
         }
         _ => Vec::new(),
@@ -696,6 +813,7 @@ fn run() -> Result<ExitCode, String> {
         "presets" => cmd_presets(),
         "simulate" => cmd_simulate(&args),
         "gantt" => cmd_gantt(&args),
+        "trace" => cmd_trace(&args),
         "ge-sweep" => cmd_ge_sweep(&args),
         "batch" => cmd_batch(&args),
         "fit" => cmd_fit(&args),

@@ -21,6 +21,7 @@
 //! | [`apsp`] | blocked Floyd–Warshall all-pairs shortest paths (the class's graph member) |
 //! | [`predsim_engine`] | parallel batch-prediction engine with step-pattern memoization |
 //! | [`predsim_lint`] | static program analyzer: deadlock, well-formedness and LogGP-bound lints |
+//! | [`predsim_obs`] | observability: structured trace events/sinks, metrics registry, profiling |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@ pub use machine;
 pub use predsim_core;
 pub use predsim_engine;
 pub use predsim_lint;
+pub use predsim_obs;
 pub use stencil;
 
 /// The most commonly used items, importable in one line.
@@ -62,6 +64,9 @@ pub mod prelude {
         simulate_program, BlockCyclic2D, ColCyclic, Diagonal, Layout, Prediction, Program,
         RowCyclic, SimOptions, Step,
     };
-    pub use predsim_engine::{Engine, EngineConfig, Grid, JobSource, JobSpec, LayoutSpec};
+    pub use predsim_engine::{
+        Engine, EngineConfig, EngineObs, Grid, JobSource, JobSpec, LayoutSpec,
+    };
     pub use predsim_lint::{check_program, LintOptions, Report};
+    pub use predsim_obs::{HorizonProfile, JsonlSink, MemorySink, Registry, TraceEvent, TraceSink};
 }

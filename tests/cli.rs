@@ -340,6 +340,128 @@ fn batch_accepts_apsp_sources() {
 }
 
 #[test]
+fn trace_writes_strict_jsonl_and_metrics() {
+    let events_path = tmp_file("events.jsonl", "");
+    let metrics_path = tmp_file("trace-metrics.prom", "");
+    let out = bin()
+        .args([
+            "trace",
+            "ge:120,24,diagonal,4",
+            "--trace-out",
+            events_path.to_str().unwrap(),
+            "--metrics-out",
+            metrics_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("virtual-time horizon"), "{text}");
+    assert!(text.contains("roughest step:"), "{text}");
+
+    // Every emitted line must strict-parse with the workspace's own JSON
+    // parser (integers/strings/bools only — the parser rejects anything
+    // else, including u64::MAX timestamps, which cannot fit its i64 ints).
+    let jsonl = std::fs::read_to_string(&events_path).unwrap();
+    assert!(jsonl.lines().count() > 100, "expected a real event stream");
+    for line in jsonl.lines() {
+        let v = predsim::predsim_lint::json::parse(line)
+            .unwrap_or_else(|e| panic!("bad trace line {line}: {e}"));
+        let ev = v.get("ev").and_then(|e| e.as_str()).expect("ev field");
+        assert!(
+            ["send", "recv", "gap_stall", "front"].contains(&ev),
+            "unexpected event kind in {line}"
+        );
+    }
+    assert!(
+        !jsonl.contains("18446744073709551615"),
+        "Time::MAX leaked into the trace"
+    );
+
+    let prom = std::fs::read_to_string(&metrics_path).unwrap();
+    assert!(
+        prom.contains("# TYPE predsim_trace_events_total counter"),
+        "{prom}"
+    );
+    assert!(prom.contains("predsim_predicted_total_ps"), "{prom}");
+    assert!(prom.contains("predsim_horizon_max_spread_ps"), "{prom}");
+}
+
+#[test]
+fn trace_total_matches_simulate() {
+    // Tracing is purely observational: the predicted total reported by
+    // `trace` equals what `simulate` reports on the same input.
+    let path = tmp_file("traced.txt", TRACE);
+    let total_line = |cmd: &str| {
+        let out = bin().args([cmd, path.to_str().unwrap()]).output().unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .find(|l| l.starts_with("total "))
+            .expect("summary line")
+            .to_string()
+    };
+    assert_eq!(total_line("simulate"), total_line("trace"));
+}
+
+#[test]
+fn ge_sweep_and_batch_export_prometheus_metrics() {
+    let sweep_prom = tmp_file("sweep.prom", "");
+    let out = bin()
+        .args([
+            "ge-sweep",
+            "--n",
+            "120",
+            "--procs",
+            "4",
+            "--blocks",
+            "10,20",
+            "--metrics-out",
+            sweep_prom.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let prom = std::fs::read_to_string(&sweep_prom).unwrap();
+    assert!(prom.contains("# TYPE engine_jobs_total counter"), "{prom}");
+    assert!(prom.contains("engine_jobs_total 2"), "{prom}");
+    assert!(prom.contains("engine_cache_hits"), "{prom}");
+
+    let batch_prom = tmp_file("batch.prom", "");
+    let out = bin()
+        .args([
+            "batch",
+            "cannon:32,4",
+            "--jobs",
+            "1",
+            "--metrics-out",
+            batch_prom.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let prom = std::fs::read_to_string(&batch_prom).unwrap();
+    assert!(prom.contains("engine_jobs_total 1"), "{prom}");
+    assert!(prom.contains("engine_phase_simulate_ns"), "{prom}");
+}
+
+#[test]
 fn fit_recovers_parameters() {
     // Synthetic Meiko samples: T(k) = 2o + L + (k-1)G = 21 - 0.03 + 0.03k us.
     let mut data = String::from("# bytes,us\n");
