@@ -94,14 +94,16 @@ fn assert_identical(a: &[JobResult], b: &[JobResult]) {
     assert_eq!(a.len(), b.len());
     for (x, y) in a.iter().zip(b) {
         assert_eq!(x.label, y.label);
-        assert_eq!(x.prediction.total, y.prediction.total, "{}", x.label);
+        assert_eq!(x.prediction().total, y.prediction().total, "{}", x.label);
         assert_eq!(
-            x.prediction.per_proc_finish, y.prediction.per_proc_finish,
+            x.prediction().per_proc_finish,
+            y.prediction().per_proc_finish,
             "{}",
             x.label
         );
         assert_eq!(
-            x.prediction.forced_sends, y.prediction.forced_sends,
+            x.prediction().forced_sends,
+            y.prediction().forced_sends,
             "{}",
             x.label
         );

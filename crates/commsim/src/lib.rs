@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod formulas;
 pub mod gantt;
 pub mod graph;
@@ -55,6 +56,7 @@ pub mod timeline;
 pub mod validate;
 pub mod worstcase;
 
+pub use faults::StepFaults;
 pub use observe::StepTracer;
 pub use pattern::{CommPattern, Message, MsgId, PatternError};
 pub use timeline::{CommEvent, SimResult, Timeline};

@@ -69,6 +69,33 @@ impl<'a> StepTracer<'a> {
             });
         }
     }
+
+    /// Record that the network dropped one transmission attempt of a
+    /// message (`ev` is the dropped attempt's send event).
+    pub fn dropped(&self, ev: &CommEvent, attempt: u64) {
+        self.sink.emit(&TraceEvent::Drop {
+            step: self.step,
+            proc: ev.proc,
+            peer: ev.peer,
+            msg_id: ev.msg_id,
+            attempt,
+            at_ps: ev.start.as_ps(),
+        });
+    }
+
+    /// Record a retransmission attempt committed after waiting out `rto`.
+    pub fn retransmit(&self, ev: &CommEvent, attempt: u64, rto: Time) {
+        self.sink.emit(&TraceEvent::Retransmit {
+            step: self.step,
+            proc: ev.proc,
+            peer: ev.peer,
+            msg_id: ev.msg_id,
+            attempt,
+            rto_ps: rto.as_ps(),
+            start_ps: ev.start.as_ps(),
+            end_ps: ev.end.as_ps(),
+        });
+    }
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@
 //! first, receives winning ties. When no sends remain, every processor
 //! drains its receive queue.
 
+use crate::faults::{transmit, StepFaults};
 use crate::observe::StepTracer;
 use crate::pattern::{CommPattern, Message};
 use crate::timeline::{CommEvent, SimResult, Timeline};
@@ -93,14 +94,30 @@ pub fn simulate_hooked(
 
 /// [`simulate_hooked`] with an optional [`StepTracer`] observing every
 /// committed operation. Tracing never changes the computed timeline.
-// Indices double as processor ids throughout.
-#[allow(clippy::needless_range_loop)]
 pub fn simulate_traced(
     pattern: &CommPattern,
     cfg: &SimConfig,
     ready: &[Time],
     arrival_of: &mut dyn FnMut(&Message, Time) -> Time,
     tracer: Option<&StepTracer<'_>>,
+) -> SimResult {
+    simulate_faulted(pattern, cfg, ready, arrival_of, tracer, None)
+}
+
+/// [`simulate_traced`] under an optional fault model: each message may be
+/// dropped and retransmitted per [`StepFaults::attempts`], with every
+/// attempt charged at the sender (see [`crate::faults`]) and only the final
+/// attempt feeding the arrival model. `faults: None` is exactly
+/// [`simulate_traced`].
+// Indices double as processor ids throughout.
+#[allow(clippy::needless_range_loop)]
+pub fn simulate_faulted(
+    pattern: &CommPattern,
+    cfg: &SimConfig,
+    ready: &[Time],
+    arrival_of: &mut dyn FnMut(&Message, Time) -> Time,
+    tracer: Option<&StepTracer<'_>>,
+    faults: Option<&dyn StepFaults>,
 ) -> SimResult {
     assert_eq!(ready.len(), pattern.procs(), "one ready time per processor");
     let params = &cfg.params;
@@ -162,25 +179,20 @@ pub fn simulate_traced(
                 .send_queue
                 .pop_front()
                 .expect("send queue non-empty");
-            let end = procs[min_proc]
-                .clock
-                .commit_kind(params, rule, OpKind::Send, start_send);
-            let event = CommEvent {
-                proc: min_proc,
-                kind: OpKind::Send,
-                peer: msg.dst,
-                bytes: msg.bytes,
-                msg_id: msg.id,
-                start: start_send,
-                end,
-            };
-            if let Some(t) = tracer {
-                t.send(&event, false);
-            }
-            timeline.push(event);
-            let arrival = arrival_of(&msg, start_send);
+            let final_start = transmit(
+                &mut procs[min_proc].clock,
+                params,
+                rule,
+                min_proc,
+                &msg,
+                false,
+                faults,
+                tracer,
+                &mut timeline,
+            );
+            let arrival = arrival_of(&msg, final_start);
             debug_assert!(
-                arrival >= start_send + params.overhead,
+                arrival >= final_start + params.overhead,
                 "arrival precedes send"
             );
             procs[msg.dst]

@@ -18,6 +18,7 @@
 //! (processors usually do not know how many messages to expect); it exists
 //! purely to overestimate.
 
+use crate::faults::{transmit, StepFaults};
 use crate::observe::StepTracer;
 use crate::pattern::{CommPattern, Message};
 use crate::timeline::{CommEvent, SimResult, Timeline};
@@ -65,14 +66,29 @@ pub fn simulate_hooked(
 /// [`simulate_hooked`] with an optional [`StepTracer`] observing every
 /// committed operation; forced (deadlock-breaking) transmissions are
 /// flagged on their send events. Tracing never changes the timeline.
-// Indices double as processor ids throughout.
-#[allow(clippy::needless_range_loop)]
 pub fn simulate_traced(
     pattern: &CommPattern,
     cfg: &SimConfig,
     ready: &[Time],
     arrival_of: &mut dyn FnMut(&Message, Time) -> Time,
     tracer: Option<&StepTracer<'_>>,
+) -> SimResult {
+    simulate_faulted(pattern, cfg, ready, arrival_of, tracer, None)
+}
+
+/// [`simulate_traced`] under an optional fault model (the same contract as
+/// [`crate::standard::simulate_faulted`]): message drops and charged
+/// retransmissions per [`StepFaults`], decided identically to the standard
+/// algorithm so the overestimation bound holds under faults.
+// Indices double as processor ids throughout.
+#[allow(clippy::needless_range_loop)]
+pub fn simulate_faulted(
+    pattern: &CommPattern,
+    cfg: &SimConfig,
+    ready: &[Time],
+    arrival_of: &mut dyn FnMut(&Message, Time) -> Time,
+    tracer: Option<&StepTracer<'_>>,
+    faults: Option<&dyn StepFaults>,
 ) -> SimResult {
     assert_eq!(ready.len(), pattern.procs(), "one ready time per processor");
     let params = &cfg.params;
@@ -108,27 +124,22 @@ pub fn simulate_traced(
             .send_queue
             .pop_front()
             .expect("send queue non-empty");
-        let start = procs[p]
-            .clock
-            .ready_at_kind(params, cfg.gap_rule, OpKind::Send);
-        let end = procs[p]
-            .clock
-            .commit_kind(params, cfg.gap_rule, OpKind::Send, start);
-        let event = CommEvent {
-            proc: p,
-            kind: OpKind::Send,
-            peer: msg.dst,
-            bytes: msg.bytes,
-            msg_id: msg.id,
-            start,
-            end,
-        };
-        if let Some(t) = tracer {
-            t.send(&event, forced);
-        }
-        timeline.push(event);
-        let arrival = arrival_of(&msg, start);
-        debug_assert!(arrival >= start + params.overhead, "arrival precedes send");
+        let final_start = transmit(
+            &mut procs[p].clock,
+            params,
+            cfg.gap_rule,
+            p,
+            &msg,
+            forced,
+            faults,
+            tracer,
+            timeline,
+        );
+        let arrival = arrival_of(&msg, final_start);
+        debug_assert!(
+            arrival >= final_start + params.overhead,
+            "arrival precedes send"
+        );
         procs[msg.dst].inbox.push((arrival, msg));
     };
 

@@ -59,7 +59,8 @@ pub mod textfmt;
 pub use layout::{BlockCyclic2D, ColCyclic, Diagonal, Layout, RowCyclic};
 pub use program::{Program, ProgramError, Step, StepLoad};
 pub use simulate::{
-    simulate_program, simulate_program_observed, simulate_program_traced, simulate_program_with,
-    CommAlgo, DirectStepSimulator, FrontEmitter, Overlap, Prediction, ProgramObserver, SimOptions,
+    simulate_program, simulate_program_driven, simulate_program_observed, simulate_program_traced,
+    simulate_program_with, CommAlgo, CompShaper, DirectStepSimulator, FrontEmitter, IdentityShaper,
+    NullObserver, Overlap, Prediction, ProgramObserver, SimBudget, SimHalt, SimOptions, SimRun,
     StepRecord, StepSimulator, Synchronization, TracedStepSimulator,
 };

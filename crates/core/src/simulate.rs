@@ -86,7 +86,7 @@ impl SimOptions {
 }
 
 /// Timing record of one program step.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StepRecord {
     /// The step's label.
     pub label: String,
@@ -102,7 +102,7 @@ pub struct StepRecord {
 }
 
 /// The output of [`simulate_program`]: the paper's predicted quantities.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Prediction {
     /// Predicted total running time (Figure 7's quantity).
     pub total: Time,
@@ -325,10 +325,104 @@ impl ProgramObserver for FrontEmitter<'_> {
     }
 }
 
-struct NullObserver;
+/// The do-nothing [`ProgramObserver`].
+pub struct NullObserver;
 
 impl ProgramObserver for NullObserver {
     fn step_done(&mut self, _step_idx: usize, _front: &[Time]) {}
+}
+
+/// Reshapes per-step, per-processor computation charges before they are
+/// applied — the hook fault injection uses for transient slowdowns and
+/// fail-stop outages. `base` is the program's own charge for the step
+/// ([`Time::ZERO`] on computation-free steps); the returned value replaces
+/// it in the fold and in the computation ledger.
+pub trait CompShaper {
+    /// The effective computation charge of processor `proc` in step
+    /// `step_idx`.
+    fn comp_charge(&mut self, step_idx: usize, proc: usize, base: Time) -> Time;
+}
+
+/// The identity [`CompShaper`]: charges exactly the program's own costs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IdentityShaper;
+
+impl CompShaper for IdentityShaper {
+    fn comp_charge(&mut self, _step_idx: usize, _proc: usize, base: Time) -> Time {
+        base
+    }
+}
+
+/// Per-run simulation budgets; the default is unlimited.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimBudget {
+    /// Maximum number of program steps to simulate.
+    pub max_steps: Option<usize>,
+    /// Halt once any processor's virtual-time front exceeds this.
+    pub max_virtual: Option<Time>,
+}
+
+impl SimBudget {
+    /// No limits.
+    pub fn unlimited() -> Self {
+        SimBudget::default()
+    }
+
+    /// A budget of at most `n` program steps.
+    pub fn steps(n: usize) -> Self {
+        SimBudget {
+            max_steps: Some(n),
+            ..SimBudget::default()
+        }
+    }
+
+    /// A budget on simulated virtual time.
+    pub fn virtual_time(t: Time) -> Self {
+        SimBudget {
+            max_virtual: Some(t),
+            ..SimBudget::default()
+        }
+    }
+
+    /// True when no limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_steps.is_none() && self.max_virtual.is_none()
+    }
+}
+
+/// Why a budgeted simulation stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimHalt {
+    /// The whole program was simulated.
+    Completed,
+    /// The step budget ran out before step `at_step` could be simulated.
+    StepBudget {
+        /// Index of the first step *not* simulated.
+        at_step: usize,
+    },
+    /// A processor's front crossed the virtual-time budget after `at_step`.
+    VirtualBudget {
+        /// Index of the last step that *was* simulated.
+        at_step: usize,
+    },
+}
+
+impl SimHalt {
+    /// True iff the program ran to completion.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, SimHalt::Completed)
+    }
+}
+
+/// A (possibly budget-truncated) simulation outcome: the prediction covers
+/// the steps that were simulated, and [`SimHalt`] says whether that was all
+/// of them.
+#[derive(Clone, Debug)]
+pub struct SimRun {
+    /// Prediction over the simulated prefix of the program.
+    pub prediction: Prediction,
+    /// Whether (and where) the budget cut the run short.
+    pub halt: SimHalt,
 }
 
 /// Simulate a whole program; see [`Prediction`] for what comes back.
@@ -370,23 +464,60 @@ pub fn simulate_program_observed(
     step_sim: &mut dyn StepSimulator,
     observer: &mut dyn ProgramObserver,
 ) -> Prediction {
+    simulate_program_driven(
+        prog,
+        opts,
+        step_sim,
+        observer,
+        &mut IdentityShaper,
+        SimBudget::unlimited(),
+    )
+    .prediction
+}
+
+/// The master entry point under all the others: the whole-program fold with
+/// every hook exposed — a pluggable communication backend, a per-step
+/// observer, a computation-charge shaper (fault injection) and simulation
+/// budgets (engine job limits). With [`IdentityShaper`] and an unlimited
+/// budget this computes exactly what [`simulate_program`] does.
+pub fn simulate_program_driven(
+    prog: &Program,
+    opts: &SimOptions,
+    step_sim: &mut dyn StepSimulator,
+    observer: &mut dyn ProgramObserver,
+    shaper: &mut dyn CompShaper,
+    budget: SimBudget,
+) -> SimRun {
     let procs = prog.procs();
     let mut ready = vec![Time::ZERO; procs];
     let mut per_proc_comp = vec![Time::ZERO; procs];
     let mut per_proc_comm = vec![Time::ZERO; procs];
     let mut steps = Vec::with_capacity(prog.len());
     let mut forced_sends = 0usize;
+    let mut halt = SimHalt::Completed;
 
     for (step_idx, step) in prog.steps().iter().enumerate() {
+        if let Some(max) = budget.max_steps {
+            if step_idx >= max {
+                halt = SimHalt::StepBudget { at_step: step_idx };
+                break;
+            }
+        }
         let start = ready.iter().copied().min().unwrap_or(Time::ZERO);
 
-        // Computation phase.
+        // Computation phase. A step without computation charges has base
+        // cost zero on every processor; the shaper may still inflate it
+        // (fail-stop outages apply to communication-only steps too).
         let mut comp_end = ready.clone();
-        if !step.comp.is_empty() {
-            for p in 0..procs {
-                comp_end[p] = ready[p] + step.comp[p];
-                per_proc_comp[p] += step.comp[p];
-            }
+        for p in 0..procs {
+            let base = if step.comp.is_empty() {
+                Time::ZERO
+            } else {
+                step.comp[p]
+            };
+            let charge = shaper.comp_charge(step_idx, p, base);
+            comp_end[p] = ready[p] + charge;
+            per_proc_comp[p] += charge;
         }
         let comp_end_max = comp_end.iter().copied().max().unwrap_or(Time::ZERO);
 
@@ -436,10 +567,18 @@ pub fn simulate_program_observed(
             forced_sends,
         });
         observer.step_done(step_idx, &ready);
+
+        if let Some(max) = budget.max_virtual {
+            let front = ready.iter().copied().max().unwrap_or(Time::ZERO);
+            if front > max {
+                halt = SimHalt::VirtualBudget { at_step: step_idx };
+                break;
+            }
+        }
     }
 
     let total = ready.iter().copied().max().unwrap_or(Time::ZERO);
-    Prediction {
+    let prediction = Prediction {
         total,
         comp_time: per_proc_comp.iter().copied().max().unwrap_or(Time::ZERO),
         comm_time: per_proc_comm.iter().copied().max().unwrap_or(Time::ZERO),
@@ -448,7 +587,8 @@ pub fn simulate_program_observed(
         per_proc_finish: ready,
         steps,
         forced_sends,
-    }
+    };
+    SimRun { prediction, halt }
 }
 
 #[cfg(test)]
@@ -670,6 +810,131 @@ mod tests {
         let a = simulate_program(&prog, &opts(2));
         let b = simulate_program_with(&prog, &opts(2), &mut Only);
         assert_eq!(a.total, b.total);
+    }
+
+    #[test]
+    fn driven_with_identity_and_unlimited_budget_matches_simulate() {
+        let mut prog = Program::new(3);
+        prog.push(Step::new("warm").with_comp(vec![Time::from_us(7.0); 3]));
+        let mut c = CommPattern::new(3);
+        c.add(0, 1, 500);
+        c.add(1, 2, 500);
+        prog.push(Step::new("chain").with_comm(c));
+        for o in [opts(3), opts(3).worst_case()] {
+            let plain = simulate_program(&prog, &o);
+            let run = simulate_program_driven(
+                &prog,
+                &o,
+                &mut DirectStepSimulator,
+                &mut NullObserver,
+                &mut IdentityShaper,
+                SimBudget::unlimited(),
+            );
+            assert!(run.halt.is_complete());
+            assert_eq!(run.prediction.total, plain.total);
+            assert_eq!(run.prediction.per_proc_finish, plain.per_proc_finish);
+            assert_eq!(run.prediction.per_proc_comp, plain.per_proc_comp);
+            assert_eq!(run.prediction.per_proc_comm, plain.per_proc_comm);
+        }
+    }
+
+    #[test]
+    fn step_budget_truncates_the_run() {
+        let mut prog = Program::new(2);
+        for i in 0..5 {
+            prog.push(Step::new(format!("s{i}")).with_comp(vec![Time::from_us(10.0); 2]));
+        }
+        let run = simulate_program_driven(
+            &prog,
+            &opts(2),
+            &mut DirectStepSimulator,
+            &mut NullObserver,
+            &mut IdentityShaper,
+            SimBudget::steps(2),
+        );
+        assert_eq!(run.halt, SimHalt::StepBudget { at_step: 2 });
+        assert_eq!(run.prediction.steps.len(), 2);
+        assert_eq!(run.prediction.total, Time::from_us(20.0));
+    }
+
+    #[test]
+    fn virtual_budget_halts_after_crossing_step() {
+        let mut prog = Program::new(2);
+        for i in 0..5 {
+            prog.push(Step::new(format!("s{i}")).with_comp(vec![Time::from_us(10.0); 2]));
+        }
+        let run = simulate_program_driven(
+            &prog,
+            &opts(2),
+            &mut DirectStepSimulator,
+            &mut NullObserver,
+            &mut IdentityShaper,
+            SimBudget::virtual_time(Time::from_us(25.0)),
+        );
+        // Step 2 pushes the front to 30us > 25us; steps 3 and 4 never run.
+        assert_eq!(run.halt, SimHalt::VirtualBudget { at_step: 2 });
+        assert_eq!(run.prediction.steps.len(), 3);
+        assert_eq!(run.prediction.total, Time::from_us(30.0));
+    }
+
+    #[test]
+    fn comp_shaper_inflates_charges_and_the_ledger() {
+        struct DoubleP1;
+        impl CompShaper for DoubleP1 {
+            fn comp_charge(&mut self, _step: usize, proc: usize, base: Time) -> Time {
+                if proc == 1 {
+                    base + base
+                } else {
+                    base
+                }
+            }
+        }
+        let mut prog = Program::new(2);
+        prog.push(Step::new("c").with_comp(vec![Time::from_us(10.0); 2]));
+        let run = simulate_program_driven(
+            &prog,
+            &opts(2),
+            &mut DirectStepSimulator,
+            &mut NullObserver,
+            &mut DoubleP1,
+            SimBudget::unlimited(),
+        );
+        assert_eq!(run.prediction.per_proc_comp[0], Time::from_us(10.0));
+        assert_eq!(run.prediction.per_proc_comp[1], Time::from_us(20.0));
+        assert_eq!(run.prediction.total, Time::from_us(20.0));
+    }
+
+    #[test]
+    fn shaper_applies_to_communication_only_steps() {
+        // Fail-stop semantics: an outage charged by the shaper on a step
+        // with no computation still delays the processor's participation.
+        struct Outage;
+        impl CompShaper for Outage {
+            fn comp_charge(&mut self, step: usize, proc: usize, base: Time) -> Time {
+                if step == 0 && proc == 0 {
+                    base + Time::from_us(100.0)
+                } else {
+                    base
+                }
+            }
+        }
+        let mut prog = Program::new(2);
+        prog.push(Step::new("send").with_comm(one_msg(2, 0, 1, 1)));
+        let cfg = SimConfig::new(presets::meiko_cs2(2));
+        let run = simulate_program_driven(
+            &prog,
+            &SimOptions::new(cfg),
+            &mut DirectStepSimulator,
+            &mut NullObserver,
+            &mut Outage,
+            SimBudget::unlimited(),
+        );
+        // P0's send starts only after the outage; the message is received
+        // after it, i.e. queued receives drain once the sender restarts.
+        assert_eq!(
+            run.prediction.total,
+            Time::from_us(100.0) + cfg.params.message_cost(1)
+        );
     }
 
     #[test]

@@ -7,9 +7,10 @@
 //! builds the common cartesian case: every source on every machine.
 
 use blockops::AnalyticCost;
-use loggp::LogGpParams;
+use loggp::{LogGpParams, Time};
 use predsim_core::layout::{BlockCyclic2D, ColCyclic, Diagonal, Layout, RowCyclic};
 use predsim_core::{Prediction, Program, SimOptions};
+use predsim_faults::FaultPlan;
 use std::sync::Arc;
 
 /// A data-parallel block layout, by name — [`JobSpec`]s must be `Send`,
@@ -175,6 +176,10 @@ pub struct JobSpec {
     pub source: JobSource,
     /// Simulation options (machine model, algorithm, policies).
     pub opts: SimOptions,
+    /// Faults to inject into the simulation, if any. Faulted jobs bypass
+    /// the memo cache: fault decisions are keyed by absolute step index,
+    /// which the cache's relative step fingerprints cannot see.
+    pub faults: Option<FaultPlan>,
 }
 
 impl JobSpec {
@@ -184,6 +189,108 @@ impl JobSpec {
             label: label.into(),
             source,
             opts,
+            faults: None,
+        }
+    }
+
+    /// Same job, predicted under `plan`'s faults.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+}
+
+/// How one job ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// The prediction ran to completion.
+    Done {
+        /// The full prediction.
+        prediction: Prediction,
+        /// Execution attempts it took (1 = first try).
+        attempts: u32,
+    },
+    /// The job was not re-executed: its headline numbers were restored from
+    /// a checkpoint journal by [`crate::Engine::run_resumable`].
+    Restored {
+        /// Predicted total running time.
+        total: Time,
+        /// Predicted computation time.
+        comp_time: Time,
+        /// Predicted communication time.
+        comm_time: Time,
+        /// Forced transmissions of the worst-case algorithm.
+        forced_sends: usize,
+    },
+    /// The per-job simulation budget ran out; `partial` covers the
+    /// simulated prefix.
+    TimedOut {
+        /// Prediction over the steps that were simulated.
+        partial: Prediction,
+        /// Execution attempts, all of which hit the budget.
+        attempts: u32,
+    },
+    /// Every attempt panicked; the rest of the batch kept running.
+    Crashed {
+        /// The panic message of the last attempt.
+        message: String,
+        /// Execution attempts, all of which panicked.
+        attempts: u32,
+    },
+}
+
+impl JobOutcome {
+    /// `(total, comp_time, comm_time, forced_sends)` for outcomes that
+    /// carry trustworthy headline numbers (`Done` and `Restored`).
+    pub fn totals(&self) -> Option<(Time, Time, Time, usize)> {
+        match self {
+            JobOutcome::Done { prediction, .. } => Some((
+                prediction.total,
+                prediction.comp_time,
+                prediction.comm_time,
+                prediction.forced_sends,
+            )),
+            JobOutcome::Restored {
+                total,
+                comp_time,
+                comm_time,
+                forced_sends,
+            } => Some((*total, *comp_time, *comm_time, *forced_sends)),
+            JobOutcome::TimedOut { .. } | JobOutcome::Crashed { .. } => None,
+        }
+    }
+
+    /// The full prediction, when one exists (`Done` only — a `Restored`
+    /// job has headline numbers but no per-step records).
+    pub fn prediction(&self) -> Option<&Prediction> {
+        match self {
+            JobOutcome::Done { prediction, .. } => Some(prediction),
+            _ => None,
+        }
+    }
+
+    /// True iff the job's numbers are complete and trustworthy.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, JobOutcome::Done { .. } | JobOutcome::Restored { .. })
+    }
+
+    /// Stable lowercase tag: `done`, `restored`, `timed_out`, `crashed`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobOutcome::Done { .. } => "done",
+            JobOutcome::Restored { .. } => "restored",
+            JobOutcome::TimedOut { .. } => "timed_out",
+            JobOutcome::Crashed { .. } => "crashed",
+        }
+    }
+
+    /// Execution attempts recorded on the outcome (0 for `Restored`).
+    pub fn attempts(&self) -> u32 {
+        match self {
+            JobOutcome::Done { attempts, .. }
+            | JobOutcome::TimedOut { attempts, .. }
+            | JobOutcome::Crashed { attempts, .. } => *attempts,
+            JobOutcome::Restored { .. } => 0,
         }
     }
 }
@@ -196,8 +303,24 @@ pub struct JobResult {
     pub index: usize,
     /// The spec's label.
     pub label: String,
-    /// The full prediction.
-    pub prediction: Prediction,
+    /// How the job ended (and the prediction, when it has one).
+    pub outcome: JobOutcome,
+}
+
+impl JobResult {
+    /// The full prediction; panics for restored, timed-out or crashed
+    /// jobs. The ergonomic accessor for batches known to be clean — use
+    /// [`JobOutcome::prediction`] when an outcome may be degraded.
+    pub fn prediction(&self) -> &Prediction {
+        self.outcome.prediction().unwrap_or_else(|| {
+            panic!(
+                "job {} ('{}') has no full prediction: outcome {}",
+                self.index,
+                self.label,
+                self.outcome.kind()
+            )
+        })
+    }
 }
 
 /// Builder for the cartesian sweep: every source × every machine.
@@ -209,6 +332,7 @@ pub struct Grid {
     sources: Vec<(String, JobSource)>,
     machines: Vec<(String, LogGpParams)>,
     worst_case: bool,
+    faults: Option<FaultPlan>,
 }
 
 impl Grid {
@@ -236,6 +360,12 @@ impl Grid {
         self
     }
 
+    /// Inject `plan`'s faults into every job of the grid.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Expand into the job list.
     pub fn build(&self) -> Vec<JobSpec> {
         let mut jobs = Vec::with_capacity(self.sources.len() * self.machines.len());
@@ -245,11 +375,11 @@ impl Grid {
                 if self.worst_case {
                     opts = opts.worst_case();
                 }
-                jobs.push(JobSpec::new(
-                    format!("{sname} @ {mname}"),
-                    source.clone(),
-                    opts,
-                ));
+                let mut job = JobSpec::new(format!("{sname} @ {mname}"), source.clone(), opts);
+                if let Some(plan) = &self.faults {
+                    job = job.with_faults(plan.clone());
+                }
+                jobs.push(job);
             }
         }
         jobs

@@ -26,6 +26,24 @@
 //! the batch results together with a metrics snapshot. Observation never
 //! changes results — predictions stay bit-identical with tracing on.
 //!
+//! The engine is also **resilient**: a batch never dies with a job.
+//!
+//! * every job executes under `catch_unwind`, so a panicking job comes
+//!   back as [`JobOutcome::Crashed`] while the rest of the batch runs on;
+//! * a per-job [`predsim_core::SimBudget`] (steps and/or virtual time,
+//!   [`EngineConfig::with_budget`]) turns runaway simulations into
+//!   [`JobOutcome::TimedOut`] results carrying the partial prediction;
+//! * crashed and timed-out jobs can be retried
+//!   ([`EngineConfig::with_retries`]) with capped exponential backoff;
+//! * [`Engine::run_resumable`] journals every finished job to a JSONL
+//!   checkpoint ([`Journal`]) and, given the entries read back from one,
+//!   restores completed jobs instead of re-running them — bit-identical
+//!   to an uninterrupted run, because predictions are pure functions of
+//!   their specs;
+//! * [`JobSpec::with_faults`] attaches a `predsim-faults` plan, predicting
+//!   the job on a degraded machine (such jobs bypass the memo cache, whose
+//!   step fingerprints cannot see absolute step indices).
+//!
 //! ```
 //! use predsim_engine::{Engine, EngineConfig, Grid, JobSource};
 //! use loggp::presets;
@@ -46,20 +64,26 @@
 pub mod cache;
 pub mod fingerprint;
 pub mod job;
+pub mod journal;
 
 pub use cache::{CacheStats, MemoCache, MemoStepSimulator};
 pub use fingerprint::StepKey;
-pub use job::{Grid, JobResult, JobSource, JobSpec, LayoutSpec};
+pub use job::{Grid, JobOutcome, JobResult, JobSource, JobSpec, LayoutSpec};
+pub use journal::{Journal, JournalEntry};
 
 use crossbeam::channel;
-use predsim_core::{simulate_program, simulate_program_with, CommAlgo, Prediction};
+use predsim_core::{
+    simulate_program_driven, CommAlgo, DirectStepSimulator, IdentityShaper, NullObserver,
+    Prediction, SimBudget, SimRun,
+};
 use predsim_lint::{check_program, Code, Diagnostic, LintOptions, Report, Severity, Span};
 use predsim_obs::{
     default_ns_buckets, Counter, Histogram, MetricsSnapshot, Registry, ScopedTimer, TraceEvent,
     TraceSink,
 };
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Lint one job without running it: first the spec itself (would the
 /// generator behind it even accept these inputs?), then — when the spec is
@@ -85,9 +109,21 @@ pub fn lint_job(spec: &JobSpec) -> Report {
         );
         return report;
     }
-    let opts = LintOptions::default()
+    let mut opts = LintOptions::default()
         .with_algo(CommAlgo::Standard)
         .with_params(spec.opts.cfg.params);
+    if let Some(plan) = &spec.faults {
+        opts = opts.with_fault_windows(
+            plan.spec()
+                .fails
+                .iter()
+                .map(|f| predsim_lint::FaultWindow {
+                    proc: f.proc,
+                    step: f.step,
+                })
+                .collect(),
+        );
+    }
     check_program(&spec.source.build(), &opts)
 }
 
@@ -138,6 +174,17 @@ pub struct EngineConfig {
     pub shards: usize,
     /// Entries per shard before epoch eviction.
     pub shard_capacity: usize,
+    /// Per-job simulation budget; exceeding it yields
+    /// [`JobOutcome::TimedOut`] instead of running forever.
+    pub budget: SimBudget,
+    /// Re-execution attempts after a crashed or timed-out job (0 = fail on
+    /// the first bad attempt). Predictions are deterministic, so retries
+    /// guard against *host*-side transience (memory pressure, a poisoned
+    /// cache shard), not simulation randomness.
+    pub retries: u32,
+    /// Base backoff between retry attempts, milliseconds; doubled per
+    /// attempt, capped at one second. `0` retries immediately.
+    pub retry_backoff_ms: u64,
 }
 
 impl Default for EngineConfig {
@@ -147,6 +194,9 @@ impl Default for EngineConfig {
             memo: true,
             shards: 16,
             shard_capacity: 4096,
+            budget: SimBudget::unlimited(),
+            retries: 0,
+            retry_backoff_ms: 0,
         }
     }
 }
@@ -174,6 +224,31 @@ impl EngineConfig {
         self.memo = memo;
         self
     }
+
+    /// Same config with a per-job simulation budget.
+    pub fn with_budget(mut self, budget: SimBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Same config with a per-job budget of at most `steps` program steps.
+    pub fn with_step_budget(mut self, steps: usize) -> Self {
+        self.budget = SimBudget::steps(steps);
+        self
+    }
+
+    /// Same config with `retries` re-execution attempts for crashed or
+    /// timed-out jobs.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Same config with a base retry backoff in milliseconds.
+    pub fn with_retry_backoff_ms(mut self, ms: u64) -> Self {
+        self.retry_backoff_ms = ms;
+        self
+    }
 }
 
 /// Metric handles the engine updates on its hot paths, resolved once at
@@ -181,6 +256,10 @@ impl EngineConfig {
 #[derive(Clone)]
 struct EngineMetrics {
     jobs_total: Arc<Counter>,
+    jobs_crashed_total: Arc<Counter>,
+    jobs_timed_out_total: Arc<Counter>,
+    jobs_restored_total: Arc<Counter>,
+    job_retries_total: Arc<Counter>,
     job_wall_ns: Arc<Histogram>,
     phase_build_ns: Arc<Counter>,
     phase_simulate_ns: Arc<Counter>,
@@ -190,6 +269,22 @@ impl EngineMetrics {
     fn new(registry: &Registry) -> Self {
         EngineMetrics {
             jobs_total: registry.counter("engine_jobs_total", "batch jobs executed"),
+            jobs_crashed_total: registry.counter(
+                "engine_jobs_crashed_total",
+                "jobs whose every attempt panicked",
+            ),
+            jobs_timed_out_total: registry.counter(
+                "engine_jobs_timed_out_total",
+                "jobs whose every attempt exceeded the simulation budget",
+            ),
+            jobs_restored_total: registry.counter(
+                "engine_jobs_restored_total",
+                "jobs restored from a checkpoint journal instead of re-run",
+            ),
+            job_retries_total: registry.counter(
+                "engine_job_retries_total",
+                "re-execution attempts after crashed or timed-out attempts",
+            ),
             job_wall_ns: registry.histogram(
                 "engine_job_wall_ns",
                 "host wall-clock per job prediction, ns",
@@ -327,84 +422,176 @@ impl Engine {
         &self.obs
     }
 
-    /// Predict one job with this engine's cache.
+    /// Predict one job with this engine's cache. The job runs under the
+    /// engine's budget; a truncated run returns the prediction over the
+    /// simulated prefix (use [`Engine::run`] for outcome-aware results).
     pub fn run_one(&self, spec: &JobSpec) -> Prediction {
-        self.run_one_as(u64::MAX, spec)
+        self.run_one_bounded(u64::MAX, spec).prediction
     }
 
-    /// [`Engine::run_one`] stamped with a batch job index for the trace.
-    fn run_one_as(&self, job: u64, spec: &JobSpec) -> Prediction {
+    /// The one true per-job simulation path, stamped with a batch job
+    /// index for the trace. Faulted jobs bypass the memo cache — fault
+    /// decisions are keyed by absolute step index, which the cache's
+    /// relative fingerprints cannot represent.
+    fn run_one_bounded(&self, job: u64, spec: &JobSpec) -> SimRun {
         let program = {
             let _t = ScopedTimer::counter(&self.obs.metrics.phase_build_ns);
             spec.source.build()
         };
         let _t = ScopedTimer::counter(&self.obs.metrics.phase_simulate_ns);
+        let budget = self.config.budget;
+        if let Some(plan) = &spec.faults {
+            let sink = self.obs.sink.as_deref();
+            return predsim_faults::simulate_faulted_bounded(
+                &program, &spec.opts, plan, sink, budget,
+            );
+        }
         if self.config.memo {
             let mut memo = match &self.obs.sink {
                 Some(sink) => MemoStepSimulator::traced(&self.cache, sink.as_ref(), job),
                 None => MemoStepSimulator::new(&self.cache),
             };
-            simulate_program_with(&program, &spec.opts, &mut memo)
+            simulate_program_driven(
+                &program,
+                &spec.opts,
+                &mut memo,
+                &mut NullObserver,
+                &mut IdentityShaper,
+                budget,
+            )
         } else {
-            simulate_program(&program, &spec.opts)
+            simulate_program_driven(
+                &program,
+                &spec.opts,
+                &mut DirectStepSimulator,
+                &mut NullObserver,
+                &mut IdentityShaper,
+                budget,
+            )
         }
     }
 
     /// Execute a batch; results come back in submission order and are
     /// bit-identical to running the specs one by one on one thread.
     pub fn run(&self, specs: &[JobSpec]) -> Vec<JobResult> {
+        self.run_resumable(specs, None, &[])
+    }
+
+    /// [`Engine::run`] with checkpointing: every finished job is appended
+    /// to `journal` (when given) as it completes, and jobs matching a
+    /// restorable entry of `restored` — same index, same label, outcome
+    /// `done` — are not re-executed at all; they come back as
+    /// [`JobOutcome::Restored`] with the journalled numbers. Combined with
+    /// [`Journal::resume`], an interrupted sweep picks up exactly where it
+    /// stopped and produces results bit-identical to an uninterrupted run.
+    pub fn run_resumable(
+        &self,
+        specs: &[JobSpec],
+        journal: Option<&Journal>,
+        restored: &[JournalEntry],
+    ) -> Vec<JobResult> {
         if specs.is_empty() {
             return Vec::new();
         }
-        let workers = self.config.effective_jobs().min(specs.len());
+        let mut slots: Vec<Option<JobResult>> = (0..specs.len()).map(|_| None).collect();
+        for entry in restored {
+            if entry.is_restorable()
+                && entry.job < specs.len()
+                && specs[entry.job].label == entry.label
+                && slots[entry.job].is_none()
+            {
+                self.obs.metrics.jobs_restored_total.inc();
+                slots[entry.job] = Some(JobResult {
+                    index: entry.job,
+                    label: entry.label.clone(),
+                    outcome: JobOutcome::Restored {
+                        total: entry.total,
+                        comp_time: entry.comp_time,
+                        comm_time: entry.comm_time,
+                        forced_sends: entry.forced_sends,
+                    },
+                });
+            }
+        }
+        let pending: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.is_none().then_some(i))
+            .collect();
+        let workers = self.config.effective_jobs().min(pending.len());
         self.obs
             .registry
             .gauge("engine_workers", "worker threads of the last batch")
             .set(workers as u64);
+
         if workers <= 1 {
-            return specs
-                .iter()
-                .enumerate()
-                .map(|(i, s)| {
-                    self.assign(i, 0);
-                    self.execute(i, s)
-                })
-                .collect();
-        }
-
-        let (work_tx, work_rx) = channel::unbounded::<usize>();
-        let (done_tx, done_rx) = channel::unbounded::<JobResult>();
-        for i in 0..specs.len() {
-            work_tx.send(i).expect("work queue open");
-        }
-        drop(work_tx);
-
-        crossbeam::thread::scope(|scope| {
-            for worker in 0..workers {
-                let work_rx = work_rx.clone();
-                let done_tx = done_tx.clone();
-                scope.spawn(move |_| {
-                    while let Ok(i) = work_rx.recv() {
-                        self.assign(i, worker as u64);
-                        done_tx
-                            .send(self.execute(i, &specs[i]))
-                            .expect("collector open");
-                    }
-                });
+            for &i in &pending {
+                self.assign(i, 0);
+                let result = self.execute(i, &specs[i]);
+                if let Some(journal) = journal {
+                    journal.record(&result);
+                }
+                slots[i] = Some(result);
             }
-        })
-        .expect("engine worker panicked");
-        drop(done_tx);
+        } else {
+            let (work_tx, work_rx) = channel::unbounded::<usize>();
+            let (done_tx, done_rx) = channel::unbounded::<JobResult>();
+            for &i in &pending {
+                work_tx.send(i).expect("work queue open");
+            }
+            drop(work_tx);
 
-        let mut slots: Vec<Option<JobResult>> = (0..specs.len()).map(|_| None).collect();
-        for result in done_rx {
-            let i = result.index;
-            debug_assert!(slots[i].is_none(), "job {i} executed twice");
-            slots[i] = Some(result);
+            // Results are collected and journalled *inside* the scope, as
+            // they arrive — a batch killed mid-run has already checkpointed
+            // everything that finished. The drain terminates when the last
+            // worker exits and drops its `done_tx` clone.
+            let joined = crossbeam::thread::scope(|scope| {
+                for worker in 0..workers {
+                    let work_rx = work_rx.clone();
+                    let done_tx = done_tx.clone();
+                    scope.spawn(move |_| {
+                        while let Ok(i) = work_rx.recv() {
+                            self.assign(i, worker as u64);
+                            let _ = done_tx.send(self.execute(i, &specs[i]));
+                        }
+                    });
+                }
+                drop(done_tx);
+                while let Ok(result) = done_rx.recv() {
+                    if let Some(journal) = journal {
+                        journal.record(&result);
+                    }
+                    let i = result.index;
+                    debug_assert!(slots[i].is_none(), "job {i} executed twice");
+                    slots[i] = Some(result);
+                }
+            });
+            // A worker dying outside the per-job isolation (it should not:
+            // `execute` catches panics) is reported per-job below, not
+            // propagated as a batch-killing panic.
+            drop(joined);
         }
+
         slots
             .into_iter()
-            .map(|r| r.expect("every job completed"))
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.unwrap_or_else(|| {
+                    self.obs.metrics.jobs_crashed_total.inc();
+                    let result = JobResult {
+                        index: i,
+                        label: specs[i].label.clone(),
+                        outcome: JobOutcome::Crashed {
+                            message: "worker thread terminated without reporting a result".into(),
+                            attempts: 0,
+                        },
+                    };
+                    if let Some(journal) = journal {
+                        journal.record(&result);
+                    }
+                    result
+                })
+            })
             .collect()
     }
 
@@ -414,6 +601,20 @@ impl Engine {
     /// [`BatchRejection`] — diagnostics instead of a mid-batch panic
     /// inside a worker thread.
     pub fn run_checked(&self, specs: &[JobSpec]) -> Result<Vec<JobResult>, BatchRejection> {
+        self.run_checked_resumable(specs, None, &[])
+    }
+
+    /// [`Engine::run_checked`] with checkpointing: pre-validate, then run
+    /// via [`Engine::run_resumable`] with the given journal and restored
+    /// entries. Validation happens before anything executes, including
+    /// restored jobs — a spec that no longer lints clean refuses the batch
+    /// even if its previous run was journalled.
+    pub fn run_checked_resumable(
+        &self,
+        specs: &[JobSpec],
+        journal: Option<&Journal>,
+        restored: &[JournalEntry],
+    ) -> Result<Vec<JobResult>, BatchRejection> {
         let rejected: Vec<RejectedJob> = specs
             .iter()
             .enumerate()
@@ -427,7 +628,7 @@ impl Engine {
             })
             .collect();
         if rejected.is_empty() {
-            Ok(self.run(specs))
+            Ok(self.run_resumable(specs, journal, restored))
         } else {
             Err(BatchRejection { rejected })
         }
@@ -481,6 +682,22 @@ impl Engine {
         }
     }
 
+    /// Sleep out the retry backoff before re-attempt number `attempt + 1`
+    /// (zero-based `attempt` of the failure): base × 2^attempt, capped at
+    /// one second.
+    fn backoff(&self, attempt: u32) {
+        let base = self.config.retry_backoff_ms;
+        if base == 0 {
+            return;
+        }
+        let ms = base.saturating_mul(1u64 << attempt.min(10)).min(1_000);
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+
+    /// Run one job to an outcome: attempt it under `catch_unwind` and the
+    /// configured budget, retrying crashed/timed-out attempts up to the
+    /// configured cap. A panic is contained here — it becomes a
+    /// [`JobOutcome::Crashed`] result, never a dead worker.
     fn execute(&self, index: usize, spec: &JobSpec) -> JobResult {
         let job = index as u64;
         if let Some(sink) = &self.obs.sink {
@@ -490,33 +707,91 @@ impl Engine {
             });
         }
         let start = Instant::now();
-        let prediction = self.run_one_as(job, spec);
+        let max_attempts = self.config.retries.saturating_add(1);
+        let mut outcome = None;
+        for attempt in 1..=max_attempts {
+            match catch_unwind(AssertUnwindSafe(|| self.run_one_bounded(job, spec))) {
+                Ok(run) if run.halt.is_complete() => {
+                    outcome = Some(JobOutcome::Done {
+                        prediction: run.prediction,
+                        attempts: attempt,
+                    });
+                    break;
+                }
+                Ok(run) => {
+                    if attempt == max_attempts {
+                        outcome = Some(JobOutcome::TimedOut {
+                            partial: run.prediction,
+                            attempts: attempt,
+                        });
+                    }
+                }
+                Err(payload) => {
+                    if attempt == max_attempts {
+                        outcome = Some(JobOutcome::Crashed {
+                            message: panic_message(payload),
+                            attempts: attempt,
+                        });
+                    }
+                }
+            }
+            if outcome.is_none() {
+                self.obs.metrics.job_retries_total.inc();
+                self.backoff(attempt - 1);
+            }
+        }
+        let outcome = outcome.expect("at least one attempt ran");
         let wall_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         self.obs.metrics.jobs_total.inc();
         self.obs.metrics.job_wall_ns.observe(wall_ns);
+        match &outcome {
+            JobOutcome::TimedOut { .. } => self.obs.metrics.jobs_timed_out_total.inc(),
+            JobOutcome::Crashed { .. } => self.obs.metrics.jobs_crashed_total.inc(),
+            _ => {}
+        }
         if let Some(sink) = &self.obs.sink {
+            let total_ps = match &outcome {
+                JobOutcome::Done { prediction, .. } => prediction.total.as_ps(),
+                JobOutcome::TimedOut { partial, .. } => partial.total.as_ps(),
+                JobOutcome::Restored { total, .. } => total.as_ps(),
+                JobOutcome::Crashed { .. } => 0,
+            };
             sink.emit(&TraceEvent::JobFinish {
                 job,
                 label: spec.label.clone(),
-                total_ps: prediction.total.as_ps(),
+                total_ps,
                 wall_ns,
+                outcome: outcome.kind().to_string(),
             });
         }
         JobResult {
             index,
             label: spec.label.clone(),
-            prediction,
+            outcome,
         }
     }
 }
 
-/// Index of the best (smallest-total) result, lowest index winning ties —
-/// the same choice `search::sweep` makes.
+/// Render a caught panic payload for a [`JobOutcome::Crashed`] message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Index of the best (smallest-total) result among those with trustworthy
+/// totals, lowest index winning ties — the same choice `search::sweep`
+/// makes. Crashed and timed-out jobs never win.
 pub fn best_by_total(results: &[JobResult]) -> Option<usize> {
     results
         .iter()
         .enumerate()
-        .min_by_key(|(_, r)| r.prediction.total)
+        .filter_map(|(i, r)| r.outcome.totals().map(|(total, ..)| (i, total)))
+        .min_by_key(|&(_, total)| total)
         .map(|(i, _)| i)
 }
 
@@ -555,11 +830,14 @@ mod tests {
         for (x, y) in a.iter().zip(b) {
             assert_eq!(x.index, y.index);
             assert_eq!(x.label, y.label);
-            assert_eq!(x.prediction.total, y.prediction.total);
-            assert_eq!(x.prediction.comp_time, y.prediction.comp_time);
-            assert_eq!(x.prediction.comm_time, y.prediction.comm_time);
-            assert_eq!(x.prediction.per_proc_finish, y.prediction.per_proc_finish);
-            assert_eq!(x.prediction.forced_sends, y.prediction.forced_sends);
+            assert_eq!(x.prediction().total, y.prediction().total);
+            assert_eq!(x.prediction().comp_time, y.prediction().comp_time);
+            assert_eq!(x.prediction().comm_time, y.prediction().comm_time);
+            assert_eq!(
+                x.prediction().per_proc_finish,
+                y.prediction().per_proc_finish
+            );
+            assert_eq!(x.prediction().forced_sends, y.prediction().forced_sends);
         }
     }
 
@@ -687,7 +965,7 @@ mod tests {
             .worst_case()
             .build();
         let results = Engine::sequential().run_checked(&wc).unwrap();
-        assert!(results[0].prediction.forced_sends > 0);
+        assert!(results[0].prediction().forced_sends > 0);
     }
 
     #[test]
@@ -744,9 +1022,10 @@ mod tests {
         for r in &report.results {
             assert!(
                 events.iter().any(|e| matches!(e,
-                    TraceEvent::JobFinish { job, total_ps, .. }
+                    TraceEvent::JobFinish { job, total_ps, outcome, .. }
                         if *job == r.index as u64
-                            && *total_ps == r.prediction.total.as_ps())),
+                            && *total_ps == r.prediction().total.as_ps()
+                            && outcome == "done")),
                 "no finish event for job {}",
                 r.index
             );
@@ -772,5 +1051,218 @@ mod tests {
         assert!(snap.scalar("engine_phase_simulate_ns", &[]).unwrap() > 0);
         assert!(report.wall_ns > 0);
         assert_eq!(report.cache, engine.stats());
+    }
+
+    /// A spec whose `build()` panics (block does not divide n), exercising
+    /// the crash-isolation path without `run_checked`'s pre-validation.
+    fn crashing_spec(label: &str) -> JobSpec {
+        let opts = predsim_core::SimOptions::new(commsim::SimConfig::new(presets::meiko_cs2(4)));
+        JobSpec::new(
+            label,
+            JobSource::Gauss {
+                n: 10,
+                block: 3,
+                layout: LayoutSpec::RowCyclic(4),
+            },
+            opts,
+        )
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_and_the_pool_survives() {
+        let mut jobs = stencil_grid();
+        jobs.insert(1, crashing_spec("boom"));
+        let engine = Engine::new(EngineConfig::default().with_jobs(3));
+        let results = engine.run(&jobs);
+        assert_eq!(results.len(), jobs.len());
+        match &results[1].outcome {
+            JobOutcome::Crashed { message, attempts } => {
+                assert_eq!(*attempts, 1);
+                assert!(
+                    message.contains("block") || message.contains("divide"),
+                    "unexpected panic message: {message}"
+                );
+            }
+            other => panic!("expected Crashed, got {}", other.kind()),
+        }
+        // Every other job of the batch still produced its prediction,
+        // bit-identical to a batch without the poisoned job.
+        let clean = Engine::sequential().run(&stencil_grid());
+        for (i, r) in results.iter().enumerate() {
+            if i == 1 {
+                continue;
+            }
+            let j = if i < 1 { i } else { i - 1 };
+            assert_eq!(r.prediction().total, clean[j].prediction().total);
+        }
+        assert_eq!(
+            engine
+                .metrics_snapshot()
+                .scalar("engine_jobs_crashed_total", &[]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn budget_turns_runaway_jobs_into_timeouts() {
+        let jobs = Grid::new()
+            .source(
+                "st",
+                JobSource::Stencil {
+                    n: 32,
+                    procs: 4,
+                    iters: 6,
+                    ps_per_flop: 500,
+                },
+            )
+            .machine("meiko", presets::meiko_cs2(4))
+            .build();
+        let engine = Engine::new(
+            EngineConfig::default()
+                .with_jobs(1)
+                .with_step_budget(2)
+                .with_retries(1),
+        );
+        let results = engine.run(&jobs);
+        match &results[0].outcome {
+            JobOutcome::TimedOut { partial, attempts } => {
+                assert_eq!(partial.steps.len(), 2, "partial covers the budgeted prefix");
+                assert_eq!(*attempts, 2, "the retry also timed out");
+            }
+            other => panic!("expected TimedOut, got {}", other.kind()),
+        }
+        assert!(!results[0].outcome.is_ok());
+        assert_eq!(results[0].outcome.totals(), None);
+        let snap = engine.metrics_snapshot();
+        assert_eq!(snap.scalar("engine_jobs_timed_out_total", &[]), Some(1));
+        assert_eq!(snap.scalar("engine_job_retries_total", &[]), Some(1));
+    }
+
+    #[test]
+    fn retries_are_counted_on_crashing_jobs() {
+        let engine = Engine::new(EngineConfig::default().with_jobs(1).with_retries(2));
+        let results = engine.run(&[crashing_spec("boom")]);
+        match &results[0].outcome {
+            JobOutcome::Crashed { attempts, .. } => assert_eq!(*attempts, 3),
+            other => panic!("expected Crashed, got {}", other.kind()),
+        }
+        assert_eq!(
+            engine
+                .metrics_snapshot()
+                .scalar("engine_job_retries_total", &[]),
+            Some(2)
+        );
+        assert_eq!(best_by_total(&results), None, "a crash never wins");
+    }
+
+    #[test]
+    fn faulted_jobs_bypass_the_memo_and_stay_deterministic() {
+        let plan = predsim_faults::FaultPlan::new(
+            predsim_faults::FaultSpec::parse("drop:0.4:100:6").unwrap(),
+            42,
+        );
+        let jobs = Grid::new()
+            .source(
+                "st",
+                JobSource::Stencil {
+                    n: 32,
+                    procs: 4,
+                    iters: 8,
+                    ps_per_flop: 500,
+                },
+            )
+            .machine("meiko", presets::meiko_cs2(4))
+            .faults(plan.clone())
+            .build();
+        assert!(jobs[0].faults.is_some());
+        let engine = Engine::new(EngineConfig::default().with_jobs(2));
+        let a = engine.run(&jobs);
+        let b = Engine::sequential().run(&jobs);
+        assert_eq!(
+            a[0].prediction(),
+            b[0].prediction(),
+            "fault decisions are independent of worker count"
+        );
+        assert_eq!(
+            engine.stats().hits + engine.stats().misses,
+            0,
+            "faulted jobs must not touch the memo cache"
+        );
+        // And the engine path agrees with the library entry point.
+        let direct =
+            predsim_faults::simulate_faulted(&jobs[0].source.build(), &jobs[0].opts, &plan, None);
+        assert_eq!(*a[0].prediction(), direct);
+    }
+
+    #[test]
+    fn journal_resume_is_bit_identical_to_straight_through() {
+        let jobs = stencil_grid();
+        let dir = std::env::temp_dir().join(format!("predsim-engine-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resume.jsonl");
+
+        // Straight-through run, fully journalled.
+        let journal = Journal::create(&path).unwrap();
+        let full = Engine::sequential().run_resumable(&jobs, Some(&journal), &[]);
+        drop(journal);
+        assert!(full.iter().all(|r| r.outcome.is_ok()));
+
+        // "Kill" the run after two jobs: truncate the journal to its first
+        // two lines, then resume against the same specs.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let kept: Vec<&str> = text.lines().take(2).collect();
+        std::fs::write(&path, format!("{}\n", kept.join("\n"))).unwrap();
+        let (journal, restored) = Journal::resume(&path).unwrap();
+        assert_eq!(restored.len(), 2);
+        let engine = Engine::new(EngineConfig::default().with_jobs(2));
+        let resumed = engine.run_resumable(&jobs, Some(&journal), &restored);
+        drop(journal);
+
+        assert_eq!(resumed.len(), full.len());
+        for (r, f) in resumed.iter().zip(&full) {
+            assert_eq!(r.index, f.index);
+            assert_eq!(r.label, f.label);
+            assert_eq!(r.outcome.totals(), f.outcome.totals(), "job {}", r.index);
+        }
+        assert_eq!(resumed[0].outcome.kind(), "restored");
+        assert_eq!(resumed[1].outcome.kind(), "restored");
+        assert_eq!(resumed[2].outcome.kind(), "done");
+        assert_eq!(
+            engine
+                .metrics_snapshot()
+                .scalar("engine_jobs_restored_total", &[]),
+            Some(2)
+        );
+
+        // The journal now holds the re-run jobs too; a second resume has
+        // nothing left to execute.
+        let (journal, restored) = Journal::resume(&path).unwrap();
+        assert_eq!(restored.len(), jobs.len());
+        let all_restored = Engine::sequential().run_resumable(&jobs, Some(&journal), &restored);
+        assert!(all_restored.iter().all(|r| r.outcome.kind() == "restored"));
+        for (r, f) in all_restored.iter().zip(&full) {
+            assert_eq!(r.outcome.totals(), f.outcome.totals());
+        }
+    }
+
+    #[test]
+    fn stale_journal_entries_do_not_restore() {
+        let jobs = stencil_grid();
+        let entry = JournalEntry {
+            job: 0,
+            label: "some other sweep".into(),
+            outcome: "done".into(),
+            total: loggp::Time::from_us(1.0),
+            comp_time: loggp::Time::ZERO,
+            comm_time: loggp::Time::ZERO,
+            forced_sends: 0,
+            attempts: 1,
+        };
+        let results = Engine::sequential().run_resumable(&jobs, None, &[entry]);
+        assert_eq!(
+            results[0].outcome.kind(),
+            "done",
+            "label mismatch must force a re-run"
+        );
     }
 }

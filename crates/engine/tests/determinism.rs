@@ -14,6 +14,7 @@ use predsim_engine::{
     best_by_total, Engine, EngineConfig, EngineObs, JobSource, JobSpec, LayoutSpec, MemoCache,
     MemoStepSimulator,
 };
+use predsim_faults::{FaultPlan, FaultSpec};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -157,20 +158,20 @@ proptest! {
                 prop_assert_eq!(r.index, b.index);
                 prop_assert_eq!(&r.label, &b.label);
                 assert_predictions_identical(
-                    &r.prediction,
-                    &b.prediction,
+                    r.prediction(),
+                    b.prediction(),
                     &format!("jobs={jobs} memo={memo} {}", r.label),
                 );
             }
         }
 
         // Optimum selection agrees with the sequential search primitive.
-        let totals: Vec<Time> = baseline.iter().map(|r| r.prediction.total).collect();
+        let totals: Vec<Time> = baseline.iter().map(|r| r.prediction().total).collect();
         let idx: Vec<usize> = (0..totals.len()).collect();
         let sweep = search::sweep(&idx, |i| totals[i]);
         let engine_best = best_by_total(&baseline).unwrap();
         prop_assert_eq!(sweep.best, engine_best);
-        prop_assert_eq!(sweep.best_time, baseline[engine_best].prediction.total);
+        prop_assert_eq!(sweep.best_time, baseline[engine_best].prediction().total);
     }
 
     /// The memoizing step simulator commits the same events (same count,
@@ -234,8 +235,8 @@ proptest! {
         for (r, b) in report.results.iter().zip(&baseline) {
             prop_assert_eq!(r.index, b.index);
             assert_predictions_identical(
-                &r.prediction,
-                &b.prediction,
+                r.prediction(),
+                b.prediction(),
                 &format!("obs-on jobs={jobs} {}", r.label),
             );
         }
@@ -254,5 +255,53 @@ proptest! {
             report.metrics.scalar("engine_jobs_total", &[]),
             Some(specs.len() as u64)
         );
+    }
+
+    /// Fault injection is deterministic across worker counts: the same
+    /// specs under the same seeded plan produce bit-identical outcomes
+    /// with `--jobs 1` and `--jobs N`, and a zero-rate plan reproduces
+    /// the fault-free batch exactly.
+    #[test]
+    fn faulted_batches_are_identical_across_worker_counts(
+        (kinds, mach, jobs, drop_ppm, seed) in (
+            proptest::collection::vec((0usize..3, 0usize..32), 1..5),
+            0usize..5,
+            2usize..5,
+            prop_oneof![Just(0u32), 1u32..400_000],
+            any::<u64>(),
+        )
+    ) {
+        let plan = FaultPlan::new(
+            FaultSpec {
+                drop_ppm,
+                max_attempts: 4,
+                ..FaultSpec::default()
+            },
+            seed,
+        );
+        let specs: Vec<JobSpec> = specs_for(&kinds, mach, false)
+            .into_iter()
+            .map(|s| s.with_faults(plan.clone()))
+            .collect();
+
+        let sequential = Engine::new(EngineConfig::default().with_jobs(1)).run(&specs);
+        let parallel = Engine::new(EngineConfig::default().with_jobs(jobs)).run(&specs);
+        prop_assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential.iter().zip(&parallel) {
+            prop_assert_eq!(s.index, p.index);
+            prop_assert_eq!(&s.outcome, &p.outcome, "jobs={} {}", jobs, s.label);
+        }
+
+        if drop_ppm == 0 {
+            let clean =
+                Engine::new(EngineConfig::default().with_jobs(1)).run(&specs_for(&kinds, mach, false));
+            for (s, c) in sequential.iter().zip(&clean) {
+                assert_predictions_identical(
+                    s.prediction(),
+                    c.prediction(),
+                    &format!("zero plan vs clean {}", s.label),
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,320 @@
+//! Wiring a [`FaultPlan`] into the whole-program simulation.
+//!
+//! Three adapters plug the plan into the hooks the lower layers expose:
+//!
+//! * [`StepFaultView`] — a per-step [`commsim::StepFaults`] view answering
+//!   the drop/retransmission queries of the communication algorithms;
+//! * [`FaultedStepSimulator`] — a [`predsim_core::StepSimulator`] routing
+//!   each step through `standard::simulate_faulted` or
+//!   `worstcase::simulate_faulted` with the view (and a tracer) attached;
+//! * [`FaultShaper`] — a [`predsim_core::CompShaper`] applying transient
+//!   slowdowns and fail-stop outages to the computation charges.
+//!
+//! [`simulate_faulted`] and [`simulate_faulted_bounded`] assemble the
+//! three into the standard entry points.
+
+use crate::plan::FaultPlan;
+use commsim::{standard, worstcase, Message, SimResult, StepFaults, StepTracer};
+use loggp::Time;
+use predsim_core::{
+    simulate_program_driven, CommAlgo, CompShaper, FrontEmitter, NullObserver, Prediction, Program,
+    SimBudget, SimOptions, SimRun, StepSimulator,
+};
+use predsim_obs::{TraceEvent, TraceSink};
+
+/// A [`FaultPlan`] narrowed to one program step: what the communication
+/// algorithms consult for per-message drop decisions.
+#[derive(Clone, Copy, Debug)]
+pub struct StepFaultView<'a> {
+    plan: &'a FaultPlan,
+    step: u64,
+}
+
+impl<'a> StepFaultView<'a> {
+    /// The view of `plan` at program step `step`.
+    pub fn new(plan: &'a FaultPlan, step: u64) -> Self {
+        StepFaultView { plan, step }
+    }
+}
+
+impl StepFaults for StepFaultView<'_> {
+    fn attempts(&self, msg: &Message) -> u32 {
+        self.plan.attempts(self.step, msg.id as u64)
+    }
+
+    fn rto(&self, attempt: u32) -> Time {
+        self.plan.rto(attempt)
+    }
+}
+
+/// A [`StepSimulator`] running the direct [`commsim`] algorithms with a
+/// [`FaultPlan`] (and optionally a trace sink) attached. With a zero plan
+/// it produces exactly [`predsim_core::DirectStepSimulator`]'s results.
+pub struct FaultedStepSimulator<'a> {
+    plan: &'a FaultPlan,
+    sink: Option<&'a dyn TraceSink>,
+}
+
+impl<'a> FaultedStepSimulator<'a> {
+    /// A backend injecting `plan`, tracing into `sink` when given.
+    pub fn new(plan: &'a FaultPlan, sink: Option<&'a dyn TraceSink>) -> Self {
+        FaultedStepSimulator { plan, sink }
+    }
+}
+
+impl StepSimulator for FaultedStepSimulator<'_> {
+    fn simulate_comm(
+        &mut self,
+        comm: &commsim::CommPattern,
+        opts: &SimOptions,
+        ready: &[Time],
+    ) -> SimResult {
+        self.simulate_comm_step(0, comm, opts, ready)
+    }
+
+    fn simulate_comm_step(
+        &mut self,
+        step_idx: usize,
+        comm: &commsim::CommPattern,
+        opts: &SimOptions,
+        ready: &[Time],
+    ) -> SimResult {
+        let view = StepFaultView::new(self.plan, step_idx as u64);
+        let faults: Option<&dyn StepFaults> = Some(&view);
+        let tracer = self.sink.map(|s| StepTracer::new(s, step_idx as u64));
+        let params = opts.cfg.params;
+        let mut arrival = |m: &Message, start: Time| params.arrival_time(start, m.bytes);
+        match opts.algo {
+            CommAlgo::Standard => standard::simulate_faulted(
+                comm,
+                &opts.cfg,
+                ready,
+                &mut arrival,
+                tracer.as_ref(),
+                faults,
+            ),
+            CommAlgo::WorstCase => worstcase::simulate_faulted(
+                comm,
+                &opts.cfg,
+                ready,
+                &mut arrival,
+                tracer.as_ref(),
+                faults,
+            ),
+        }
+    }
+}
+
+/// A [`CompShaper`] applying a [`FaultPlan`]'s transient slowdowns and
+/// fail-stop outages to the computation charges of the program fold.
+pub struct FaultShaper<'a> {
+    plan: &'a FaultPlan,
+    sink: Option<&'a dyn TraceSink>,
+}
+
+impl<'a> FaultShaper<'a> {
+    /// A shaper applying `plan`, tracing into `sink` when given.
+    pub fn new(plan: &'a FaultPlan, sink: Option<&'a dyn TraceSink>) -> Self {
+        FaultShaper { plan, sink }
+    }
+}
+
+impl CompShaper for FaultShaper<'_> {
+    fn comp_charge(&mut self, step_idx: usize, proc: usize, base: Time) -> Time {
+        let step = step_idx as u64;
+        let mut charge = base;
+        if let Some(pct) = self.plan.slow_factor(step, proc) {
+            // Integer slowdown: extra = base · (pct − 100) / 100, widened so
+            // factor × picoseconds cannot overflow.
+            let extra_wide = (u128::from(base.as_ps()) * u128::from(pct - 100)) / 100;
+            let extra = Time::from_ps(extra_wide.min(u128::from(u64::MAX)) as u64);
+            if extra > Time::ZERO {
+                charge = charge.saturating_add(extra);
+                if let Some(s) = self.sink {
+                    s.emit(&TraceEvent::Slowdown {
+                        step,
+                        proc,
+                        factor_pct: u64::from(pct),
+                        base_ps: base.as_ps(),
+                        extra_ps: extra.as_ps(),
+                    });
+                }
+            }
+        }
+        if let Some(outage) = self.plan.outage(step, proc) {
+            // The processor is silent for the outage, then rejoins and works
+            // through everything it owes — the same schedule as serving its
+            // queued receives after a restart.
+            charge = charge.saturating_add(outage);
+            if let Some(s) = self.sink {
+                s.emit(&TraceEvent::Fail {
+                    step,
+                    proc,
+                    outage_ps: outage.as_ps(),
+                });
+                s.emit(&TraceEvent::Restart { step, proc });
+            }
+        }
+        charge
+    }
+}
+
+/// [`predsim_core::simulate_program`] under a fault plan; optionally
+/// traced. A zero plan reproduces the fault-free prediction exactly.
+pub fn simulate_faulted(
+    prog: &Program,
+    opts: &SimOptions,
+    plan: &FaultPlan,
+    sink: Option<&dyn TraceSink>,
+) -> Prediction {
+    simulate_faulted_bounded(prog, opts, plan, sink, SimBudget::unlimited()).prediction
+}
+
+/// [`simulate_faulted`] with a per-run [`SimBudget`]; the returned
+/// [`SimRun`] records whether the budget cut the run short.
+pub fn simulate_faulted_bounded(
+    prog: &Program,
+    opts: &SimOptions,
+    plan: &FaultPlan,
+    sink: Option<&dyn TraceSink>,
+    budget: SimBudget,
+) -> SimRun {
+    let mut step_sim = FaultedStepSimulator::new(plan, sink);
+    let mut shaper = FaultShaper::new(plan, sink);
+    match sink {
+        Some(s) => {
+            let mut observer = FrontEmitter::new(s);
+            simulate_program_driven(
+                prog,
+                opts,
+                &mut step_sim,
+                &mut observer,
+                &mut shaper,
+                budget,
+            )
+        }
+        None => simulate_program_driven(
+            prog,
+            opts,
+            &mut step_sim,
+            &mut NullObserver,
+            &mut shaper,
+            budget,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FaultSpec;
+    use commsim::{CommPattern, SimConfig};
+    use loggp::presets;
+    use predsim_core::{simulate_program, SimHalt, Step};
+    use predsim_obs::MemorySink;
+
+    fn plan(text: &str, seed: u64) -> FaultPlan {
+        FaultPlan::new(FaultSpec::parse(text).unwrap(), seed)
+    }
+
+    fn ring_program(procs: usize, steps: usize) -> Program {
+        let mut prog = Program::new(procs);
+        for s in 0..steps {
+            let mut c = CommPattern::new(procs);
+            for p in 0..procs {
+                c.add(p, (p + 1) % procs, 256);
+            }
+            prog.push(
+                Step::new(format!("ring-{s}"))
+                    .with_comp(vec![Time::from_us(10.0); procs])
+                    .with_comm(c),
+            );
+        }
+        prog
+    }
+
+    fn opts(procs: usize, algo: CommAlgo) -> SimOptions {
+        let mut o = SimOptions::new(SimConfig::new(presets::meiko_cs2(procs)));
+        o.algo = algo;
+        o
+    }
+
+    #[test]
+    fn zero_plan_reproduces_the_faultless_prediction_exactly() {
+        let prog = ring_program(4, 3);
+        for algo in [CommAlgo::Standard, CommAlgo::WorstCase] {
+            let o = opts(4, algo);
+            let clean = simulate_program(&prog, &o);
+            let faulted = simulate_faulted(&prog, &o, &plan("none", 123), None);
+            assert_eq!(faulted, clean);
+        }
+    }
+
+    #[test]
+    fn drops_cost_time_and_are_traced() {
+        let prog = ring_program(4, 3);
+        let o = opts(4, CommAlgo::Standard);
+        let clean = simulate_program(&prog, &o);
+        let sink = MemorySink::new();
+        let faulted = simulate_faulted(&prog, &o, &plan("drop:0.9:50:6", 3), Some(&sink));
+        assert!(faulted.total > clean.total);
+        let kinds: Vec<&str> = sink.events().iter().map(|e| e.kind()).collect();
+        assert!(kinds.contains(&"drop"), "{kinds:?}");
+        assert!(kinds.contains(&"retransmit"), "{kinds:?}");
+        assert!(kinds.contains(&"front"), "fronts still emitted: {kinds:?}");
+    }
+
+    #[test]
+    fn slowdown_multiplies_the_compute_charge() {
+        let mut prog = Program::new(2);
+        prog.push(Step::new("work").with_comp(vec![Time::from_us(100.0); 2]));
+        let o = opts(2, CommAlgo::Standard);
+        let sink = MemorySink::new();
+        let faulted = simulate_faulted(&prog, &o, &plan("slow:1:2.5", 0), Some(&sink));
+        assert_eq!(faulted.total, Time::from_us(250.0));
+        assert_eq!(faulted.comp_time, Time::from_us(250.0));
+        let slows = sink
+            .events()
+            .iter()
+            .filter(|e| e.kind() == "slowdown")
+            .count();
+        assert_eq!(slows, 2, "one slowdown event per processor");
+    }
+
+    #[test]
+    fn fail_stop_charges_the_outage_and_emits_fail_restart() {
+        let mut prog = Program::new(2);
+        prog.push(Step::new("work").with_comp(vec![Time::from_us(10.0); 2]));
+        let o = opts(2, CommAlgo::Standard);
+        let sink = MemorySink::new();
+        let faulted = simulate_faulted(&prog, &o, &plan("fail:1@0+500", 0), Some(&sink));
+        assert_eq!(faulted.total, Time::from_us(510.0));
+        let kinds: Vec<&str> = sink.events().iter().map(|e| e.kind()).collect();
+        assert!(kinds.contains(&"fail"), "{kinds:?}");
+        assert!(kinds.contains(&"restart"), "{kinds:?}");
+    }
+
+    #[test]
+    fn worst_case_stays_above_standard_under_faults() {
+        let prog = ring_program(4, 4);
+        let p = plan("drop:0.5:100:6,slow:0.3:2,fail:2@1+200", 11);
+        let std_pred = simulate_faulted(&prog, &opts(4, CommAlgo::Standard), &p, None);
+        let wc_pred = simulate_faulted(&prog, &opts(4, CommAlgo::WorstCase), &p, None);
+        assert!(
+            wc_pred.total >= std_pred.total,
+            "wc {} < std {}",
+            wc_pred.total,
+            std_pred.total
+        );
+    }
+
+    #[test]
+    fn budgets_cut_faulted_runs_short() {
+        let prog = ring_program(4, 5);
+        let o = opts(4, CommAlgo::Standard);
+        let run =
+            simulate_faulted_bounded(&prog, &o, &plan("drop:0.5", 1), None, SimBudget::steps(2));
+        assert_eq!(run.halt, SimHalt::StepBudget { at_step: 2 });
+        assert_eq!(run.prediction.steps.len(), 2);
+    }
+}

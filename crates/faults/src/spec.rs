@@ -1,0 +1,285 @@
+//! The fault specification and its textual grammar.
+
+use loggp::Time;
+use std::fmt;
+
+/// Rates are stored in fixed-point parts-per-million so the whole fault
+/// subsystem stays in integer arithmetic (floats appear only at the parse
+/// boundary).
+pub(crate) const PPM: u32 = 1_000_000;
+
+/// One scheduled fail-stop event: the processor goes silent at the start
+/// of `step` and rejoins `outage` later.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FailEvent {
+    /// The processor that fails.
+    pub proc: usize,
+    /// The program step at whose start the outage begins.
+    pub step: usize,
+    /// Length of the outage in virtual time.
+    pub outage: Time,
+}
+
+/// A declarative fault model, independent of any seed (pair it with one in
+/// a [`crate::FaultPlan`]).
+///
+/// The textual grammar accepted by [`FaultSpec::parse`] is a
+/// comma-separated list of clauses:
+///
+/// | clause | meaning |
+/// |---|---|
+/// | `none` | the empty spec (must stand alone) |
+/// | `drop:RATE` | each transmission attempt is lost with probability `RATE` (0..=1) |
+/// | `drop:RATE:RTO_US` | …with a base retransmission timeout of `RTO_US` µs |
+/// | `drop:RATE:RTO_US:MAX` | …and at most `MAX` attempts (the last always delivers) |
+/// | `slow:RATE:FACTOR` | each (step, processor) pair is slowed by `FACTOR`× with probability `RATE` |
+/// | `fail:P@S+OUT_US` | processor `P` fail-stops at step `S` for `OUT_US` µs |
+///
+/// Example: `drop:0.1:200:8,slow:0.05:2.5,fail:0@3+500`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Probability that one transmission attempt is dropped, in ppm.
+    pub drop_ppm: u32,
+    /// Base retransmission timeout (doubled per dropped attempt).
+    pub rto: Time,
+    /// Maximum transmission attempts per message; the final attempt always
+    /// gets through, so simulations terminate under any drop rate.
+    pub max_attempts: u32,
+    /// Probability that a (step, processor) pair is slowed, in ppm.
+    pub slow_ppm: u32,
+    /// Slowdown factor in percent (250 = 2.5× the base compute charge);
+    /// at least 100.
+    pub slow_factor_pct: u32,
+    /// Scheduled fail-stop events.
+    pub fails: Vec<FailEvent>,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            drop_ppm: 0,
+            rto: Time::from_us(200.0),
+            max_attempts: 8,
+            slow_ppm: 0,
+            slow_factor_pct: 100,
+            fails: Vec::new(),
+        }
+    }
+}
+
+fn parse_rate(text: &str, clause: &str) -> Result<u32, String> {
+    let rate: f64 = text
+        .parse()
+        .map_err(|_| format!("bad rate '{text}' in '{clause}'"))?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("rate {rate} in '{clause}' must be within 0..=1"));
+    }
+    Ok((rate * f64::from(PPM)).round() as u32)
+}
+
+fn parse_us(text: &str, clause: &str) -> Result<Time, String> {
+    let us: f64 = text
+        .parse()
+        .map_err(|_| format!("bad microseconds '{text}' in '{clause}'"))?;
+    if us < 0.0 {
+        return Err(format!("negative time in '{clause}'"));
+    }
+    Ok(Time::from_us(us))
+}
+
+impl FaultSpec {
+    /// Parse the grammar documented on [`FaultSpec`].
+    pub fn parse(text: &str) -> Result<FaultSpec, String> {
+        let text = text.trim();
+        if text.is_empty() {
+            return Err("empty fault spec (use 'none' for no faults)".into());
+        }
+        let mut spec = FaultSpec::default();
+        if text == "none" {
+            return Ok(spec);
+        }
+        for clause in text.split(',') {
+            let clause = clause.trim();
+            let (kind, rest) = clause
+                .split_once(':')
+                .ok_or_else(|| format!("bad fault clause '{clause}' (expected kind:args)"))?;
+            match kind {
+                "drop" => {
+                    let parts: Vec<&str> = rest.split(':').collect();
+                    if parts.is_empty() || parts.len() > 3 {
+                        return Err(format!("bad drop clause '{clause}'"));
+                    }
+                    spec.drop_ppm = parse_rate(parts[0], clause)?;
+                    if let Some(rto) = parts.get(1) {
+                        spec.rto = parse_us(rto, clause)?;
+                        if spec.rto == Time::ZERO {
+                            return Err(format!("zero rto in '{clause}'"));
+                        }
+                    }
+                    if let Some(max) = parts.get(2) {
+                        spec.max_attempts = max
+                            .parse()
+                            .map_err(|_| format!("bad attempt cap '{max}' in '{clause}'"))?;
+                        if spec.max_attempts == 0 {
+                            return Err(format!("attempt cap in '{clause}' must be >= 1"));
+                        }
+                    }
+                }
+                "slow" => {
+                    let (rate, factor) = rest.split_once(':').ok_or_else(|| {
+                        format!("bad slow clause '{clause}' (want slow:RATE:FACTOR)")
+                    })?;
+                    spec.slow_ppm = parse_rate(rate, clause)?;
+                    let f: f64 = factor
+                        .parse()
+                        .map_err(|_| format!("bad factor '{factor}' in '{clause}'"))?;
+                    if f < 1.0 {
+                        return Err(format!("slowdown factor {f} in '{clause}' must be >= 1"));
+                    }
+                    spec.slow_factor_pct = (f * 100.0).round() as u32;
+                }
+                "fail" => {
+                    let (proc, rest) = rest
+                        .split_once('@')
+                        .ok_or_else(|| format!("bad fail clause '{clause}' (want fail:P@S+US)"))?;
+                    let (step, outage) = rest
+                        .split_once('+')
+                        .ok_or_else(|| format!("bad fail clause '{clause}' (want fail:P@S+US)"))?;
+                    let proc = proc
+                        .parse()
+                        .map_err(|_| format!("bad processor '{proc}' in '{clause}'"))?;
+                    let step = step
+                        .parse()
+                        .map_err(|_| format!("bad step '{step}' in '{clause}'"))?;
+                    let outage = parse_us(outage, clause)?;
+                    spec.fails.push(FailEvent { proc, step, outage });
+                }
+                other => {
+                    return Err(format!(
+                        "unknown fault kind '{other}' (expected drop, slow or fail)"
+                    ))
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// True when the spec injects nothing: simulations under it are
+    /// bit-identical to fault-free ones.
+    pub fn is_zero(&self) -> bool {
+        self.drop_ppm == 0 && self.slow_ppm == 0 && self.fails.is_empty()
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "none");
+        }
+        let mut sep = "";
+        if self.drop_ppm > 0 {
+            write!(
+                f,
+                "drop:{}:{}:{}",
+                self.drop_ppm as f64 / f64::from(PPM),
+                self.rto.as_ps() as f64 / 1e6,
+                self.max_attempts
+            )?;
+            sep = ",";
+        }
+        if self.slow_ppm > 0 {
+            write!(
+                f,
+                "{sep}slow:{}:{}",
+                self.slow_ppm as f64 / f64::from(PPM),
+                self.slow_factor_pct as f64 / 100.0
+            )?;
+            sep = ",";
+        }
+        for e in &self.fails {
+            write!(
+                f,
+                "{sep}fail:{}@{}+{}",
+                e.proc,
+                e.step,
+                e.outage.as_ps() as f64 / 1e6
+            )?;
+            sep = ",";
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_grammar() {
+        let spec = FaultSpec::parse("drop:0.1:300:5,slow:0.05:2.5,fail:0@3+500").unwrap();
+        assert_eq!(spec.drop_ppm, 100_000);
+        assert_eq!(spec.rto, Time::from_us(300.0));
+        assert_eq!(spec.max_attempts, 5);
+        assert_eq!(spec.slow_ppm, 50_000);
+        assert_eq!(spec.slow_factor_pct, 250);
+        assert_eq!(
+            spec.fails,
+            vec![FailEvent {
+                proc: 0,
+                step: 3,
+                outage: Time::from_us(500.0),
+            }]
+        );
+        assert!(!spec.is_zero());
+    }
+
+    #[test]
+    fn defaults_and_none() {
+        let spec = FaultSpec::parse("none").unwrap();
+        assert!(spec.is_zero());
+        assert_eq!(spec.rto, Time::from_us(200.0));
+        assert_eq!(spec.max_attempts, 8);
+        let drop = FaultSpec::parse("drop:1").unwrap();
+        assert_eq!(drop.drop_ppm, 1_000_000);
+        assert_eq!(drop.max_attempts, 8, "cap defaults even at rate 1");
+    }
+
+    #[test]
+    fn rejects_malformed_clauses() {
+        for bad in [
+            "",
+            "bogus:1",
+            "drop:1.5",
+            "drop:-0.1",
+            "drop:0.1:0",
+            "drop:0.1:200:0",
+            "drop:0.1:200:8:9",
+            "slow:0.5",
+            "slow:0.5:0.5",
+            "fail:0@3",
+            "fail:a@3+5",
+            "drop",
+        ] {
+            assert!(FaultSpec::parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for text in [
+            "none",
+            "drop:0.1:300:5",
+            "slow:0.05:2.5",
+            "fail:0@3+500",
+            "drop:0.25:200:8,slow:0.5:1.5,fail:1@0+100,fail:2@4+50",
+        ] {
+            let spec = FaultSpec::parse(text).unwrap();
+            let rendered = spec.to_string();
+            assert_eq!(
+                FaultSpec::parse(&rendered).unwrap(),
+                spec,
+                "{text} -> {rendered}"
+            );
+        }
+    }
+}

@@ -50,8 +50,8 @@ impl fmt::Display for Severity {
 
 /// Stable diagnostic codes. The numeric ranges group the codes by pass:
 /// `PS01xx` well-formedness, `PS02xx` deadlock, `PS03xx` LogGP bounds,
-/// `PS05xx` batch-job validation. Codes are append-only: a published code
-/// never changes meaning.
+/// `PS04xx` fault analysis, `PS05xx` batch-job validation. Codes are
+/// append-only: a published code never changes meaning.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Code {
     /// PS0101: the program declares zero processors.
@@ -89,6 +89,10 @@ pub enum Code {
     /// PS0304: a processor never computes and never communicates in the
     /// whole program.
     UnusedProcessor,
+    /// PS0401: receives wait on a processor that fail-stops during the
+    /// same step; under the fault plan the step's receive counts cannot be
+    /// satisfied until the failed processor restarts.
+    FailStopStarvation,
     /// PS0501: a batch job specification cannot produce a program (bad
     /// divisibility, zero processors, …).
     BadJobSpec,
@@ -96,7 +100,7 @@ pub enum Code {
 
 impl Code {
     /// All codes, in numeric order.
-    pub const ALL: [Code; 13] = [
+    pub const ALL: [Code; 14] = [
         Code::ZeroProcessors,
         Code::CompArityMismatch,
         Code::PatternProcsMismatch,
@@ -109,6 +113,7 @@ impl Code {
         Code::CommImbalance,
         Code::CompImbalance,
         Code::UnusedProcessor,
+        Code::FailStopStarvation,
         Code::BadJobSpec,
     ];
 
@@ -127,6 +132,7 @@ impl Code {
             Code::CommImbalance => "PS0302",
             Code::CompImbalance => "PS0303",
             Code::UnusedProcessor => "PS0304",
+            Code::FailStopStarvation => "PS0401",
             Code::BadJobSpec => "PS0501",
         }
     }
@@ -151,6 +157,7 @@ impl Code {
             Code::CommImbalance => "per-processor LogGP bounds imbalanced within a step",
             Code::CompImbalance => "per-processor computation imbalanced across steps",
             Code::UnusedProcessor => "processor never computes nor communicates",
+            Code::FailStopStarvation => "receives wait on a processor that fail-stops in the step",
             Code::BadJobSpec => "batch job specification cannot produce a program",
         }
     }

@@ -19,7 +19,11 @@
 //!   A processor moving `m = max(sends, recvs)` messages occupies its
 //!   network port for at least `(m-1)·g + 2o + L` before the step can
 //!   complete, which exposes fan-in hotspots and load imbalance directly
-//!   from the pattern.
+//!   from the pattern;
+//! * **fault analysis** (`PS04xx`): given fail-stop fault windows
+//!   ([`LintOptions::fault_windows`]), flag steps whose receive counts
+//!   wait on a processor that is down during that step — a warning by
+//!   default, an error under [`LintOptions::strict_faults`].
 //!
 //! Analyses are [`Pass`]es over a [`ProgramView`]; [`check_program`] runs
 //! the default registry and returns a sorted [`Report`] that renders
@@ -72,6 +76,19 @@ impl<'a> ProgramView<'a> {
     }
 }
 
+/// A fail-stop fault window: processor `proc` is down during step `step`.
+///
+/// Plain data on purpose — the lint crate does not depend on the fault
+/// subsystem; callers (the engine, the CLI) translate their fault plans
+/// into windows before linting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultWindow {
+    /// The failed processor.
+    pub proc: usize,
+    /// The 0-based step index during which it is down.
+    pub step: usize,
+}
+
 /// Tunables for a lint run.
 #[derive(Clone, Debug)]
 pub struct LintOptions {
@@ -89,6 +106,11 @@ pub struct LintOptions {
     /// (`PS0302`) and per-program computation load (`PS0303`) count as
     /// imbalanced.
     pub imbalance_ratio: f64,
+    /// Fail-stop fault windows to check receive satisfiability against
+    /// (`PS0401`). Empty disables the fault analysis.
+    pub fault_windows: Vec<FaultWindow>,
+    /// Report `PS0401` starvation as an error instead of a warning.
+    pub strict_faults: bool,
 }
 
 impl Default for LintOptions {
@@ -98,6 +120,8 @@ impl Default for LintOptions {
             algo: CommAlgo::Standard,
             fanin_threshold: 4,
             imbalance_ratio: 4.0,
+            fault_windows: Vec::new(),
+            strict_faults: false,
         }
     }
 }
@@ -126,6 +150,19 @@ impl LintOptions {
         self.imbalance_ratio = ratio;
         self
     }
+
+    /// These options checking receive satisfiability against fail-stop
+    /// `windows` (`PS0401`).
+    pub fn with_fault_windows(mut self, windows: Vec<FaultWindow>) -> Self {
+        self.fault_windows = windows;
+        self
+    }
+
+    /// These options reporting fault starvation as errors.
+    pub fn with_strict_faults(mut self) -> Self {
+        self.strict_faults = true;
+        self
+    }
 }
 
 /// One analysis. Implementations are stateless; a pass reads the view and
@@ -148,6 +185,7 @@ pub fn default_passes() -> Vec<Box<dyn Pass>> {
         Box::new(passes::wellformed::WellFormed),
         Box::new(passes::deadlock::Deadlock),
         Box::new(passes::bounds::LogGpBounds),
+        Box::new(passes::faults::FaultStarvation),
     ]
 }
 

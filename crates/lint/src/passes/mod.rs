@@ -2,10 +2,12 @@
 
 pub mod bounds;
 pub mod deadlock;
+pub mod faults;
 pub mod wellformed;
 
 pub use bounds::LogGpBounds;
 pub use deadlock::Deadlock;
+pub use faults::FaultStarvation;
 pub use wellformed::WellFormed;
 
 /// Format a processor list as `P0, P3, P7`, eliding after `limit` entries.

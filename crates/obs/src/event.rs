@@ -102,10 +102,13 @@ pub enum TraceEvent {
         job: u64,
         /// The job's label.
         label: String,
-        /// Predicted total running time of the job, in ps.
+        /// Predicted total running time of the job, in ps (0 when the job
+        /// crashed before producing a prediction).
         total_ps: u64,
         /// Host wall-clock the prediction took, in ns.
         wall_ns: u64,
+        /// How the job ended: `"done"`, `"timed_out"` or `"crashed"`.
+        outcome: String,
     },
     /// The memo cache answered a step lookup.
     MemoHit {
@@ -120,6 +123,74 @@ pub enum TraceEvent {
         job: u64,
         /// Program step.
         step: u64,
+    },
+    /// A fault plan dropped one transmission attempt of a message; the
+    /// sender will retransmit after its retransmission timeout.
+    Drop {
+        /// Program step.
+        step: u64,
+        /// Sending processor.
+        proc: usize,
+        /// Destination processor.
+        peer: usize,
+        /// Message id within the step's pattern.
+        msg_id: usize,
+        /// Zero-based index of the dropped transmission attempt.
+        attempt: u64,
+        /// Virtual time the dropped attempt was transmitted.
+        at_ps: u64,
+    },
+    /// A retransmission of a previously dropped message attempt; the
+    /// sender pays the full LogGP send cost (`o`, `g`, and eventually `L`)
+    /// again.
+    Retransmit {
+        /// Program step.
+        step: u64,
+        /// Sending processor.
+        proc: usize,
+        /// Destination processor.
+        peer: usize,
+        /// Message id within the step's pattern.
+        msg_id: usize,
+        /// Zero-based index of this transmission attempt (≥ 1).
+        attempt: u64,
+        /// Retransmission timeout that was waited out before this attempt.
+        rto_ps: u64,
+        /// Virtual time the resend overhead starts.
+        start_ps: u64,
+        /// Virtual time the CPU is released.
+        end_ps: u64,
+    },
+    /// A transient processor slowdown inflated a step's compute charge.
+    Slowdown {
+        /// Program step.
+        step: u64,
+        /// Slowed processor.
+        proc: usize,
+        /// Slowdown factor in percent (150 = 1.5× the base compute cost).
+        factor_pct: u64,
+        /// The step's base compute charge, in ps.
+        base_ps: u64,
+        /// Extra virtual time charged on top of the base, in ps.
+        extra_ps: u64,
+    },
+    /// A processor fail-stopped at the beginning of a step: it is silent
+    /// for the outage and its step readiness is pushed out accordingly.
+    Fail {
+        /// Program step at which the processor fails.
+        step: u64,
+        /// Failed processor.
+        proc: usize,
+        /// Length of the outage, in ps.
+        outage_ps: u64,
+    },
+    /// A fail-stopped processor restarted; receives queued during the
+    /// outage drain from here on.
+    Restart {
+        /// Program step at which the processor rejoins.
+        step: u64,
+        /// Restarted processor.
+        proc: usize,
     },
 }
 
@@ -183,6 +254,11 @@ impl TraceEvent {
             TraceEvent::JobFinish { .. } => "job_finish",
             TraceEvent::MemoHit { .. } => "memo_hit",
             TraceEvent::MemoMiss { .. } => "memo_miss",
+            TraceEvent::Drop { .. } => "drop",
+            TraceEvent::Retransmit { .. } => "retransmit",
+            TraceEvent::Slowdown { .. } => "slowdown",
+            TraceEvent::Fail { .. } => "fail",
+            TraceEvent::Restart { .. } => "restart",
         }
     }
 
@@ -195,6 +271,8 @@ impl TraceEvent {
             }
             TraceEvent::GapStall { start_ps, .. } => Some(Time::from_ps(start_ps)),
             TraceEvent::Front { ps, .. } => Some(Time::from_ps(ps)),
+            TraceEvent::Drop { at_ps, .. } => Some(Time::from_ps(at_ps)),
+            TraceEvent::Retransmit { end_ps, .. } => Some(Time::from_ps(end_ps)),
             _ => None,
         }
     }
@@ -280,15 +358,77 @@ impl TraceEvent {
                 label,
                 total_ps,
                 wall_ns,
+                outcome,
             } => {
                 field_u64(&mut out, "job", *job, f);
                 field_str(&mut out, "label", label, f);
                 field_u64(&mut out, "total_ps", *total_ps, f);
                 field_u64(&mut out, "wall_ns", *wall_ns, f);
+                field_str(&mut out, "outcome", outcome, f);
             }
             TraceEvent::MemoHit { job, step } | TraceEvent::MemoMiss { job, step } => {
                 field_u64(&mut out, "job", *job, f);
                 field_u64(&mut out, "step", *step, f);
+            }
+            TraceEvent::Drop {
+                step,
+                proc,
+                peer,
+                msg_id,
+                attempt,
+                at_ps,
+            } => {
+                field_u64(&mut out, "step", *step, f);
+                field_u64(&mut out, "proc", *proc as u64, f);
+                field_u64(&mut out, "peer", *peer as u64, f);
+                field_u64(&mut out, "msg_id", *msg_id as u64, f);
+                field_u64(&mut out, "attempt", *attempt, f);
+                field_u64(&mut out, "at_ps", *at_ps, f);
+            }
+            TraceEvent::Retransmit {
+                step,
+                proc,
+                peer,
+                msg_id,
+                attempt,
+                rto_ps,
+                start_ps,
+                end_ps,
+            } => {
+                field_u64(&mut out, "step", *step, f);
+                field_u64(&mut out, "proc", *proc as u64, f);
+                field_u64(&mut out, "peer", *peer as u64, f);
+                field_u64(&mut out, "msg_id", *msg_id as u64, f);
+                field_u64(&mut out, "attempt", *attempt, f);
+                field_u64(&mut out, "rto_ps", *rto_ps, f);
+                field_u64(&mut out, "start_ps", *start_ps, f);
+                field_u64(&mut out, "end_ps", *end_ps, f);
+            }
+            TraceEvent::Slowdown {
+                step,
+                proc,
+                factor_pct,
+                base_ps,
+                extra_ps,
+            } => {
+                field_u64(&mut out, "step", *step, f);
+                field_u64(&mut out, "proc", *proc as u64, f);
+                field_u64(&mut out, "factor_pct", *factor_pct, f);
+                field_u64(&mut out, "base_ps", *base_ps, f);
+                field_u64(&mut out, "extra_ps", *extra_ps, f);
+            }
+            TraceEvent::Fail {
+                step,
+                proc,
+                outage_ps,
+            } => {
+                field_u64(&mut out, "step", *step, f);
+                field_u64(&mut out, "proc", *proc as u64, f);
+                field_u64(&mut out, "outage_ps", *outage_ps, f);
+            }
+            TraceEvent::Restart { step, proc } => {
+                field_u64(&mut out, "step", *step, f);
+                field_u64(&mut out, "proc", *proc as u64, f);
             }
         }
         out.push('}');
@@ -350,5 +490,74 @@ mod tests {
         let assign = TraceEvent::WorkerAssign { job: 1, worker: 0 };
         assert_eq!(assign.kind(), "worker_assign");
         assert_eq!(assign.ps(), None);
+    }
+
+    #[test]
+    fn fault_events_serialize_and_stamp() {
+        let drop = TraceEvent::Drop {
+            step: 2,
+            proc: 0,
+            peer: 3,
+            msg_id: 5,
+            attempt: 0,
+            at_ps: 1_000,
+        };
+        assert_eq!(drop.kind(), "drop");
+        assert_eq!(drop.ps(), Some(Time::from_ps(1_000)));
+        let line = drop.to_json_line();
+        assert!(line.starts_with("{\"ev\":\"drop\""), "{line}");
+        assert!(line.contains("\"attempt\":0"), "{line}");
+
+        let re = TraceEvent::Retransmit {
+            step: 2,
+            proc: 0,
+            peer: 3,
+            msg_id: 5,
+            attempt: 1,
+            rto_ps: 200_000_000,
+            start_ps: 201_000_000,
+            end_ps: 201_002_000,
+        };
+        assert_eq!(re.kind(), "retransmit");
+        assert_eq!(re.ps(), Some(Time::from_ps(201_002_000)));
+        assert!(re.to_json_line().contains("\"rto_ps\":200000000"));
+
+        let slow = TraceEvent::Slowdown {
+            step: 1,
+            proc: 2,
+            factor_pct: 250,
+            base_ps: 100,
+            extra_ps: 150,
+        };
+        assert_eq!(slow.kind(), "slowdown");
+        assert_eq!(slow.ps(), None);
+        assert!(slow.to_json_line().contains("\"factor_pct\":250"));
+
+        let fail = TraceEvent::Fail {
+            step: 3,
+            proc: 0,
+            outage_ps: 500_000_000,
+        };
+        assert_eq!(fail.kind(), "fail");
+        assert!(fail.to_json_line().contains("\"outage_ps\":500000000"));
+
+        let restart = TraceEvent::Restart { step: 3, proc: 0 };
+        assert_eq!(restart.kind(), "restart");
+        assert_eq!(
+            restart.to_json_line(),
+            "{\"ev\":\"restart\",\"step\":3,\"proc\":0}"
+        );
+    }
+
+    #[test]
+    fn job_finish_carries_outcome() {
+        let ev = TraceEvent::JobFinish {
+            job: 4,
+            label: "ge".into(),
+            total_ps: 0,
+            wall_ns: 12,
+            outcome: "crashed".into(),
+        };
+        assert!(ev.to_json_line().contains("\"outcome\":\"crashed\""));
     }
 }

@@ -57,7 +57,7 @@ fn main() {
         println!("== {lname} layout, n={n}, P={procs} ==");
         let mut table = Table::new(["block", "predicted (ms)", "emulated (ms)", "error %"]);
         for (i, &b) in blocks.iter().enumerate() {
-            let pred = &results[l * blocks.len() + i].prediction;
+            let pred = results[l * blocks.len() + i].prediction();
             // The emulator needs the per-step work profiles, so the trace
             // is rebuilt here; the engine only carried the program.
             let trace = gauss::generate(n, b, layout.build().as_ref(), &cost);

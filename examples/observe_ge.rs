@@ -4,9 +4,16 @@
 //! band means processors drift apart (load imbalance or communication
 //! skew); a narrow band means the step re-synchronizes them.
 //!
+//! The second half re-predicts the same program under a seeded 10 %
+//! message-loss plan (counting the fault events it emits) and then runs a
+//! small engine batch with a step budget, showing how per-job
+//! [`JobOutcome`]s report `done` vs `timed_out` rows with their attempt
+//! counts instead of losing the whole sweep.
+//!
 //! Run with: `cargo run --example observe_ge`
 
 use predsim::predsim_core::simulate_program_traced;
+use predsim::predsim_engine::JobOutcome;
 use predsim::prelude::*;
 
 fn main() {
@@ -43,4 +50,69 @@ fn main() {
         .max_by_key(|&(_, d)| *d)
         .expect("at least one processor");
     println!("deepest receive queue: {depth} message(s) at P{proc}");
+
+    // Re-predict the same program under a seeded 10 % message-loss plan.
+    // Fault decisions are a pure hash of (seed, fault site), so this block
+    // prints the same numbers on every run and at any worker count.
+    let spec = FaultSpec::parse("drop:0.1").expect("valid fault spec");
+    let plan = FaultPlan::new(spec, 42);
+    let fault_sink = MemorySink::new();
+    let faulted = simulate_faulted(&trace.program, &opts, &plan, Some(&fault_sink));
+    let fault_events = fault_sink.events();
+    let fcount = |k: &str| fault_events.iter().filter(|e| e.kind() == k).count();
+    println!("\nunder {} (seed 42):", plan.spec());
+    println!(
+        "  total {} -> {} (comm {} -> {})",
+        pred.total, faulted.total, pred.comm_time, faulted.comm_time
+    );
+    println!(
+        "  fault events: {} drop, {} retransmit",
+        fcount("drop"),
+        fcount("retransmit")
+    );
+
+    // Resilient batch: the longer jobs blow a 40-step budget and come back
+    // as `timed_out` rows with their partial predictions, while the short
+    // job still finishes — over-budget jobs no longer sink a sweep.
+    let jobs = [
+        ("ge 240", 240usize, 24usize),
+        ("ge 480", 480, 24),
+        ("ge 960", 960, 48),
+    ]
+    .map(|(label, n, block)| {
+        JobSpec::new(
+            label,
+            JobSource::Gauss {
+                n,
+                block,
+                layout: LayoutSpec::Diagonal(procs),
+            },
+            opts,
+        )
+        .with_faults(plan.clone())
+    });
+    let engine = Engine::new(EngineConfig::default().with_step_budget(40).with_retries(1));
+    println!("\nbatch under a 40-step budget (1 retry):");
+    for r in engine.run(&jobs) {
+        match &r.outcome {
+            JobOutcome::TimedOut { partial, attempts } => println!(
+                "  {:8} {:9} after {} attempt(s); partial covers {} step(s), {} so far",
+                r.label,
+                r.outcome.kind(),
+                attempts,
+                partial.steps.len(),
+                partial.total
+            ),
+            outcome => {
+                let (total, _, _, _) = outcome.totals().expect("completed job has totals");
+                println!(
+                    "  {:8} {:9} in {} attempt(s): {}",
+                    r.label,
+                    outcome.kind(),
+                    outcome.attempts(),
+                    total
+                );
+            }
+        }
+    }
 }

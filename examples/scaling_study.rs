@@ -38,7 +38,7 @@ fn main() {
         .zip(engine.run(&specs))
         .map(|(&procs, r)| ScalePoint {
             procs,
-            time: r.prediction.total,
+            time: r.prediction().total,
         })
         .collect();
     let metrics = analyze(&points);

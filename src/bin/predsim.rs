@@ -7,6 +7,7 @@
 //! predsim gantt TRACE --step N         ASCII/SVG Gantt of one step
 //! predsim trace SOURCE [options]       simulate with event tracing + horizon
 //! predsim ge-sweep [options]           block-size sweep for blocked GE
+//! predsim faults explain SPEC          resolve a fault plan without running
 //! predsim fit CSV                      fit LogGP params from ping data
 //! ```
 //!
@@ -16,9 +17,10 @@
 use predsim::predsim_core::report::{secs, Table};
 use predsim::predsim_core::{textfmt, CommAlgo};
 use predsim::predsim_engine::{
-    best_by_total, Engine, EngineConfig, JobSource, JobSpec, LayoutSpec,
+    best_by_total, Engine, EngineConfig, JobResult, JobSource, JobSpec, Journal, JournalEntry,
+    LayoutSpec,
 };
-use predsim::predsim_lint::{check_program, json, LintOptions, Severity};
+use predsim::predsim_lint::{check_program, json, FaultWindow, LintOptions, Severity};
 use predsim::prelude::*;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -35,36 +37,48 @@ USAGE:
       Parse a text-format trace (see predsim_core::textfmt) and predict it.
 
   predsim check SOURCE... [--machine NAME] [--worst-case] [--json] [--strict]
+                [--faults SPEC] [--seed N]
       Statically analyze programs without simulating: well-formedness
       (PS01xx), deadlock cycles (PS0201, an error under --worst-case),
       and LogGP lower-bound findings (PS03xx) such as fan-in hotspots and
-      load imbalance. SOURCEs are as for 'batch'. Exits nonzero if any
-      source has error-severity diagnostics (with --strict: warnings
-      too); --json emits the machine-readable report instead of text.
+      load imbalance. With --faults, fail-stop windows of the plan are
+      checked for starved receives (PS0401, an error under --strict).
+      SOURCEs are as for 'batch'. Exits nonzero if any source has
+      error-severity diagnostics (with --strict: warnings too); --json
+      emits the machine-readable report instead of text.
 
   predsim gantt TRACE --step N [--machine NAME] [--svg FILE] [--worst-case]
       Render the send/receive schedule of step N (1-based) of the trace.
 
   predsim trace SOURCE [--machine NAME] [--worst-case] [--barrier] [--overlap]
-                [--classic-gap] [--trace-out FILE] [--metrics-out FILE]
+                [--classic-gap] [--faults SPEC] [--seed N]
+                [--trace-out FILE] [--metrics-out FILE]
       Simulate one source (a trace file or a generator spec, as for
       'batch') with event tracing on. Emits one strict-JSON object per
       line (send/recv/gap_stall/front events, virtual-time picosecond
       stamps) to --trace-out, renders the virtual-time horizon profile
       (per-step min/mean/max processor fronts), and writes
-      Prometheus-format metrics to --metrics-out. Tracing never changes
-      the prediction.
+      Prometheus-format metrics to --metrics-out. With --faults, the
+      seeded fault plan is injected and drop/retransmit/slowdown/fail/
+      restart events appear in the stream. Tracing never changes the
+      prediction.
 
   predsim ge-sweep [--n N] [--procs P] [--machine NAME] [--layout L] [--blocks A,B,...]
-                   [--jobs N] [--no-memo] [--metrics-out FILE]
+                   [--jobs N] [--no-memo] [--faults SPEC] [--seed N]
+                   [--job-budget STEPS] [--retries K]
+                   [--checkpoint FILE | --resume FILE]
+                   [--results-out FILE] [--metrics-out FILE]
       Sweep block sizes for blocked Gaussian elimination and report the
       predicted optimum (layouts: diagonal, row, col; default n=960 P=8).
       --jobs runs the sweep on N worker threads (results are identical);
       --metrics-out writes the engine's metrics in Prometheus format.
+      Fault and resilience flags are as for 'batch'.
 
   predsim batch SOURCE... [--machine NAME[,NAME...]] [--jobs N] [--no-memo]
                 [--worst-case] [--barrier] [--overlap] [--classic-gap]
-                [--metrics-out FILE]
+                [--faults SPEC] [--seed N] [--job-budget STEPS] [--retries K]
+                [--checkpoint FILE | --resume FILE]
+                [--results-out FILE] [--metrics-out FILE]
       Predict every source on every machine with the batch engine. A SOURCE
       is a trace file path or a generator spec:
         ge:N,BLOCK,LAYOUT,PROCS      blocked Gaussian elimination
@@ -74,7 +88,23 @@ USAGE:
       Jobs are pre-validated with the analyzer (invalid specs are
       rejected with diagnostics). Prints one row per job plus memo-cache
       statistics; --metrics-out writes the engine's metrics in
-      Prometheus format.
+      Prometheus format. --faults injects the seeded fault plan into
+      every job; --job-budget caps each job's simulated steps (over
+      budget: timed_out); --retries re-runs crashed or over-budget jobs
+      up to K extra times; --checkpoint appends every finished job to a
+      JSONL journal as it completes, and --resume reads such a journal
+      back, skips the jobs already done, and appends the rest to the
+      same file — the combined results are identical to an uninterrupted
+      run. --results-out writes the results table to a file.
+
+  predsim faults explain SPEC [--seed N] [--steps N] [--procs P]
+      Parse a fault spec, bind it to the seed, and print the resolved
+      plan: clauses plus a sample decision grid. SPEC is a comma list of
+        drop:RATE[:RTO_US[:MAX]]     per-attempt message loss (+ retransmit)
+        slow:RATE:FACTOR             transient processor slowdown
+        fail:P@S+OUT_US              fail-stop of P at step S, restart after
+      e.g. 'drop:0.1,slow:0.05:2.5,fail:3@12+5000'. The same SPEC/--seed
+      pair always resolves to the same faults, everywhere.
 
   predsim fit FILE
       Least-squares fit of LogGP G and 2o+L from 'bytes,microseconds'
@@ -122,6 +152,21 @@ const SIM_FLAGS: [FlagSpec; 5] = [
     switch("barrier"),
     switch("overlap"),
     switch("classic-gap"),
+];
+
+/// Flags shared by the batch-engine commands (`batch`, `ge-sweep`):
+/// parallelism, fault injection, and resilience.
+const BATCH_FLAGS: [FlagSpec; 10] = [
+    valued("jobs"),
+    switch("no-memo"),
+    valued("faults"),
+    valued("seed"),
+    valued("job-budget"),
+    valued("retries"),
+    valued("checkpoint"),
+    valued("resume"),
+    valued("results-out"),
+    valued("metrics-out"),
 ];
 
 struct Args {
@@ -250,6 +295,119 @@ fn sim_options(args: &Args, procs: usize) -> Result<SimOptions, String> {
     Ok(opts)
 }
 
+/// The seeded fault plan from `--faults SPEC [--seed N]`, `None` when the
+/// command runs fault-free.
+fn fault_plan(args: &Args) -> Result<Option<FaultPlan>, String> {
+    let Some(text) = args.value("faults") else {
+        if args.value("seed").is_some() {
+            return Err("--seed only makes sense together with --faults".into());
+        }
+        return Ok(None);
+    };
+    let spec = FaultSpec::parse(text)?;
+    let seed = match args.value("seed") {
+        None => 0,
+        Some(v) => v.parse::<u64>().map_err(|e| format!("bad --seed: {e}"))?,
+    };
+    Ok(Some(FaultPlan::new(spec, seed)))
+}
+
+/// Build the engine configuration from the shared batch flags
+/// (`--jobs`, `--no-memo`, `--job-budget`, `--retries`).
+fn engine_config(args: &Args) -> Result<EngineConfig, String> {
+    let mut cfg = EngineConfig::default()
+        .with_jobs(args.jobs()?)
+        .with_memo(!args.flag("no-memo"));
+    if let Some(v) = args.value("job-budget") {
+        let steps: usize = v.parse().map_err(|e| format!("bad --job-budget: {e}"))?;
+        if steps == 0 {
+            return Err("--job-budget must be at least 1".into());
+        }
+        cfg = cfg.with_step_budget(steps);
+    }
+    if let Some(v) = args.value("retries") {
+        let retries: u32 = v.parse().map_err(|e| format!("bad --retries: {e}"))?;
+        cfg = cfg.with_retries(retries);
+    }
+    Ok(cfg)
+}
+
+/// Open the checkpoint journal requested by `--checkpoint` (fresh) or
+/// `--resume` (read back, then append), if either was given.
+fn open_journal(args: &Args) -> Result<(Option<Journal>, Vec<JournalEntry>), String> {
+    match (args.value("checkpoint"), args.value("resume")) {
+        (Some(_), Some(_)) => {
+            Err("--checkpoint and --resume are mutually exclusive (--resume appends to the journal it reads)".into())
+        }
+        (Some(path), None) => {
+            let journal =
+                Journal::create(path).map_err(|e| format!("creating journal {path}: {e}"))?;
+            Ok((Some(journal), Vec::new()))
+        }
+        (None, Some(path)) => {
+            let (journal, entries) =
+                Journal::resume(path).map_err(|e| format!("resuming journal {path}: {e}"))?;
+            Ok((Some(journal), entries))
+        }
+        (None, None) => Ok((None, Vec::new())),
+    }
+}
+
+/// Render batch results as a table. Restored outcomes print as `done`:
+/// their numbers are the journalled ones, so a resumed run's table is
+/// identical to an uninterrupted run's (the restore tally is reported
+/// separately on the console).
+fn results_table(results: &[JobResult]) -> Table {
+    let mut table = Table::new(["job", "status", "predicted (s)", "comp (s)", "comm (s)"]);
+    for r in results {
+        let status = if r.outcome.is_ok() {
+            "done".to_string()
+        } else {
+            r.outcome.kind().to_string()
+        };
+        match r.outcome.totals() {
+            Some((total, comp, comm, _)) => {
+                table.row([r.label.clone(), status, secs(total), secs(comp), secs(comm)])
+            }
+            None => table.row([r.label.clone(), status, "-".into(), "-".into(), "-".into()]),
+        };
+    }
+    table
+}
+
+/// Post-run reporting shared by `batch` and `ge-sweep`: print the table
+/// (and write it to `--results-out`), tally restored/failed jobs, and
+/// name the fault plan in effect. Errors if any job crashed or timed out.
+fn report_results(
+    args: &Args,
+    results: &[JobResult],
+    plan: Option<&FaultPlan>,
+) -> Result<(), String> {
+    let rendered = results_table(results).render();
+    println!("{rendered}");
+    if let Some(file) = args.value("results-out") {
+        std::fs::write(file, &rendered).map_err(|e| format!("writing {file}: {e}"))?;
+        println!("wrote results to {file}");
+    }
+    if let Some(plan) = plan {
+        println!("fault plan: {} (seed {})", plan.spec(), plan.seed());
+    }
+    let restored = results
+        .iter()
+        .filter(|r| r.outcome.kind() == "restored")
+        .count();
+    if restored > 0 {
+        println!("{restored} job(s) restored from the journal, not re-run");
+    }
+    let failed = results.iter().filter(|r| !r.outcome.is_ok()).count();
+    if failed > 0 {
+        return Err(format!(
+            "{failed} job(s) did not complete (crashed or timed out); see the status column"
+        ));
+    }
+    Ok(())
+}
+
 fn cmd_simulate(args: &Args) -> Result<(), String> {
     let path = args
         .positional
@@ -327,9 +485,13 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
         .map_err(|why| format!("source '{name}': {why}"))?;
     let program = source.build();
     let opts = sim_options(args, program.procs())?;
+    let plan = fault_plan(args)?;
 
     let sink = MemorySink::new();
-    let pred = predsim::predsim_core::simulate_program_traced(&program, &opts, &sink);
+    let pred = match &plan {
+        Some(plan) => simulate_faulted(&program, &opts, plan, Some(&sink)),
+        None => predsim::predsim_core::simulate_program_traced(&program, &opts, &sink),
+    };
     let events = sink.events();
 
     if let Some(file) = args.value("trace-out") {
@@ -347,6 +509,18 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
         count("gap_stall"),
         count("front")
     );
+    if let Some(plan) = &plan {
+        println!(
+            "fault events: {} drop, {} retransmit, {} slowdown, {} fail, {} restart (plan: {}, seed {})",
+            count("drop"),
+            count("retransmit"),
+            count("slowdown"),
+            count("fail"),
+            count("restart"),
+            plan.spec(),
+            plan.seed()
+        );
+    }
 
     let profile = HorizonProfile::from_events(&events);
     println!();
@@ -361,7 +535,11 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
 
     if let Some(file) = args.value("metrics-out") {
         let registry = Registry::new();
-        for kind in ["send", "recv", "gap_stall", "front"] {
+        let mut kinds = vec!["send", "recv", "gap_stall", "front"];
+        if plan.is_some() {
+            kinds.extend(["drop", "retransmit", "slowdown", "fail", "restart"]);
+        }
+        for kind in kinds {
             registry
                 .counter_with(
                     "predsim_trace_events_total",
@@ -448,16 +626,13 @@ fn cmd_ge_sweep(args: &Args) -> Result<(), String> {
     };
     let params = machine(args.value("machine").unwrap_or("meiko"), procs)?;
     let cfg = SimConfig::new(params);
+    let plan = fault_plan(args)?;
 
-    let engine = Engine::new(
-        EngineConfig::default()
-            .with_jobs(args.jobs()?)
-            .with_memo(!args.flag("no-memo")),
-    );
+    let engine = Engine::new(engine_config(args)?);
     let specs: Vec<JobSpec> = blocks
         .iter()
         .map(|&b| {
-            JobSpec::new(
+            let mut spec = JobSpec::new(
                 format!("B={b}"),
                 JobSource::Gauss {
                     n,
@@ -465,33 +640,29 @@ fn cmd_ge_sweep(args: &Args) -> Result<(), String> {
                     layout: layout_spec,
                 },
                 SimOptions::new(cfg),
-            )
+            );
+            if let Some(plan) = &plan {
+                spec = spec.with_faults(plan.clone());
+            }
+            spec
         })
         .collect();
-    let results = engine.run(&specs);
+    let (journal, restored) = open_journal(args)?;
+    let results = engine.run_resumable(&specs, journal.as_ref(), &restored);
 
     println!(
         "blocked GE, n={n}, {} layout, P={procs}, {}",
         layout.name(),
         params
     );
-    let mut table = Table::new(["block", "predicted (s)", "comp (s)", "comm (s)"]);
-    for (b, r) in blocks.iter().zip(&results) {
-        let pred = &r.prediction;
-        table.row([
-            b.to_string(),
-            secs(pred.total),
-            secs(pred.comp_time),
-            secs(pred.comm_time),
-        ]);
+    if let Some(best) = best_by_total(&results) {
+        println!(
+            "predicted optimum: B={} at {} s",
+            blocks[best],
+            secs(results[best].outcome.totals().expect("best is ok").0)
+        );
     }
-    println!("{}", table.render());
-    let best = best_by_total(&results).expect("non-empty sweep");
-    println!(
-        "predicted optimum: B={} at {} s",
-        blocks[best],
-        secs(results[best].prediction.total)
-    );
+    report_results(args, &results, plan.as_ref())?;
     write_engine_metrics(args, &engine)?;
     Ok(())
 }
@@ -600,6 +771,7 @@ fn cmd_check(args: &Args) -> Result<ExitCode, String> {
     } else {
         CommAlgo::Standard
     };
+    let plan = fault_plan(args)?;
 
     let mut any_error = false;
     let mut any_warning = false;
@@ -611,7 +783,22 @@ fn cmd_check(args: &Args) -> Result<ExitCode, String> {
             .map_err(|why| format!("source '{name}': {why}"))?;
         let program = source.build();
         let params = machine(args.value("machine").unwrap_or("meiko"), program.procs())?;
-        let opts = LintOptions::default().with_params(params).with_algo(algo);
+        let mut opts = LintOptions::default().with_params(params).with_algo(algo);
+        if let Some(plan) = &plan {
+            opts = opts.with_fault_windows(
+                plan.spec()
+                    .fails
+                    .iter()
+                    .map(|f| FaultWindow {
+                        proc: f.proc,
+                        step: f.step,
+                    })
+                    .collect(),
+            );
+            if args.flag("strict") {
+                opts = opts.with_strict_faults();
+            }
+        }
         let report = check_program(&program, &opts);
         any_error |= report.has_errors();
         any_warning |= report.count(Severity::Warning) > 0;
@@ -660,6 +847,7 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
         .unwrap_or("meiko")
         .split(',')
         .collect();
+    let plan = fault_plan(args)?;
 
     // Machine params depend on each source's processor count, so the grid
     // is expanded here rather than via `predsim_engine::Grid`.
@@ -680,32 +868,20 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
             if args.flag("classic-gap") {
                 opts.cfg = opts.cfg.with_classic_gap_rule();
             }
-            specs.push(JobSpec::new(
-                format!("{label} @ {mname}"),
-                source.clone(),
-                opts,
-            ));
+            let mut spec = JobSpec::new(format!("{label} @ {mname}"), source.clone(), opts);
+            if let Some(plan) = &plan {
+                spec = spec.with_faults(plan.clone());
+            }
+            specs.push(spec);
         }
     }
 
-    let engine = Engine::new(
-        EngineConfig::default()
-            .with_jobs(args.jobs()?)
-            .with_memo(!args.flag("no-memo")),
-    );
-    let results = engine.run_checked(&specs).map_err(|e| e.to_string())?;
+    let engine = Engine::new(engine_config(args)?);
+    let (journal, restored) = open_journal(args)?;
+    let results = engine
+        .run_checked_resumable(&specs, journal.as_ref(), &restored)
+        .map_err(|e| e.to_string())?;
 
-    let mut table = Table::new(["job", "predicted (s)", "comp (s)", "comm (s)"]);
-    for r in &results {
-        let pred = &r.prediction;
-        table.row([
-            r.label.clone(),
-            secs(pred.total),
-            secs(pred.comp_time),
-            secs(pred.comm_time),
-        ]);
-    }
-    println!("{}", table.render());
     println!(
         "{} jobs on {} worker(s)",
         results.len(),
@@ -721,7 +897,41 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
             stats.evictions
         );
     }
+    report_results(args, &results, plan.as_ref())?;
     write_engine_metrics(args, &engine)?;
+    Ok(())
+}
+
+fn cmd_faults(args: &Args) -> Result<(), String> {
+    let sub = args
+        .positional
+        .first()
+        .ok_or("faults: expected a subcommand (try 'faults explain SPEC')")?;
+    if sub != "explain" {
+        return Err(format!("unknown faults subcommand '{sub}' (try 'explain')"));
+    }
+    let text = args
+        .positional
+        .get(1)
+        .ok_or("faults explain: missing SPEC (e.g. 'drop:0.1,fail:3@12+5000')")?;
+    let spec = FaultSpec::parse(text)?;
+    let seed = match args.value("seed") {
+        None => 0,
+        Some(v) => v.parse::<u64>().map_err(|e| format!("bad --seed: {e}"))?,
+    };
+    let dim = |name: &str, default: usize| -> Result<usize, String> {
+        match args.value(name) {
+            None => Ok(default),
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(n),
+                Ok(_) => Err(format!("--{name} must be at least 1")),
+                Err(e) => Err(format!("bad --{name}: {e}")),
+            },
+        }
+    };
+    let steps = dim("steps", 16)?;
+    let procs = dim("procs", 8)?;
+    print!("{}", FaultPlan::new(spec, seed).explain(steps, procs));
     Ok(())
 }
 
@@ -777,6 +987,8 @@ fn run() -> Result<ExitCode, String> {
             switch("worst-case"),
             switch("json"),
             switch("strict"),
+            valued("faults"),
+            valued("seed"),
         ],
         "gantt" => {
             let mut s = SIM_FLAGS.to_vec();
@@ -785,24 +997,31 @@ fn run() -> Result<ExitCode, String> {
         }
         "trace" => {
             let mut s = SIM_FLAGS.to_vec();
-            s.extend([valued("trace-out"), valued("metrics-out")]);
+            s.extend([
+                valued("faults"),
+                valued("seed"),
+                valued("trace-out"),
+                valued("metrics-out"),
+            ]);
             s
         }
-        "ge-sweep" => vec![
-            valued("n"),
-            valued("procs"),
-            valued("machine"),
-            valued("layout"),
-            valued("blocks"),
-            valued("jobs"),
-            switch("no-memo"),
-            valued("metrics-out"),
-        ],
+        "ge-sweep" => {
+            let mut s = vec![
+                valued("n"),
+                valued("procs"),
+                valued("machine"),
+                valued("layout"),
+                valued("blocks"),
+            ];
+            s.extend(BATCH_FLAGS);
+            s
+        }
         "batch" => {
             let mut s = SIM_FLAGS.to_vec();
-            s.extend([valued("jobs"), switch("no-memo"), valued("metrics-out")]);
+            s.extend(BATCH_FLAGS);
             s
         }
+        "faults" => vec![valued("seed"), valued("steps"), valued("procs")],
         _ => Vec::new(),
     };
     let args = Args::parse(&raw[1..], &spec)?;
@@ -816,6 +1035,7 @@ fn run() -> Result<ExitCode, String> {
         "trace" => cmd_trace(&args),
         "ge-sweep" => cmd_ge_sweep(&args),
         "batch" => cmd_batch(&args),
+        "faults" => cmd_faults(&args),
         "fit" => cmd_fit(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");

@@ -20,6 +20,7 @@
 //! | [`stencil`] | Jacobi stencil: trace generator + real execution |
 //! | [`apsp`] | blocked Floyd–Warshall all-pairs shortest paths (the class's graph member) |
 //! | [`predsim_engine`] | parallel batch-prediction engine with step-pattern memoization |
+//! | [`predsim_faults`] | deterministic fault injection: message drop/retransmission, slowdown, fail-stop |
 //! | [`predsim_lint`] | static program analyzer: deadlock, well-formedness and LogGP-bound lints |
 //! | [`predsim_obs`] | observability: structured trace events/sinks, metrics registry, profiling |
 //!
@@ -49,6 +50,7 @@ pub use loggp;
 pub use machine;
 pub use predsim_core;
 pub use predsim_engine;
+pub use predsim_faults;
 pub use predsim_lint;
 pub use predsim_obs;
 pub use stencil;
@@ -67,6 +69,7 @@ pub mod prelude {
     pub use predsim_engine::{
         Engine, EngineConfig, EngineObs, Grid, JobSource, JobSpec, LayoutSpec,
     };
+    pub use predsim_faults::{simulate_faulted, FaultPlan, FaultSpec};
     pub use predsim_lint::{check_program, LintOptions, Report};
     pub use predsim_obs::{HorizonProfile, JsonlSink, MemorySink, Registry, TraceEvent, TraceSink};
 }

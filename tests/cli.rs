@@ -483,3 +483,228 @@ fn fit_recovers_parameters() {
     assert!(text.contains("0.0300 us/byte"), "{text}");
     assert!(text.contains("21.000us"), "{text}");
 }
+
+#[test]
+fn faults_explain_resolves_a_plan() {
+    let out = bin()
+        .args([
+            "faults",
+            "explain",
+            "drop:0.2,fail:1@2+500",
+            "--seed",
+            "9",
+            "--steps",
+            "4",
+            "--procs",
+            "3",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("seed 9"), "{text}");
+    assert!(text.contains("fail-stop: P1 at step 2"), "{text}");
+    assert!(text.contains("sample attempts"), "{text}");
+}
+
+#[test]
+fn faults_explain_rejects_bad_specs() {
+    let out = bin()
+        .args(["faults", "explain", "drop:2.5"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("0..=1"));
+}
+
+#[test]
+fn faulted_batch_is_reproducible_and_seeded() {
+    let run = |seed: &str| {
+        bin()
+            .args([
+                "batch",
+                "cannon:32,4",
+                "--jobs",
+                "1",
+                "--faults",
+                "drop:0.3",
+                "--seed",
+                seed,
+            ])
+            .output()
+            .unwrap()
+    };
+    let a = run("5");
+    let b = run("5");
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    assert_eq!(
+        a.stdout, b.stdout,
+        "same seed must reproduce bit-identically"
+    );
+    let text = String::from_utf8_lossy(&a.stdout);
+    assert!(text.contains("fault plan: drop:0.3"), "{text}");
+}
+
+#[test]
+fn batch_checkpoint_resume_is_identical_to_straight_through() {
+    let journal = tmp_file("resume-journal.jsonl", "");
+    let full = tmp_file("resume-full.txt", "");
+    let resumed = tmp_file("resume-resumed.txt", "");
+
+    let out = bin()
+        .args([
+            "batch",
+            "cannon:32,4",
+            "stencil:64,4,2",
+            "--jobs",
+            "1",
+            "--faults",
+            "drop:0.1",
+            "--seed",
+            "1",
+            "--checkpoint",
+            journal.to_str().unwrap(),
+            "--results-out",
+            full.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Simulate a kill after the first job: keep only the journal's first
+    // line, then resume.
+    let lines = std::fs::read_to_string(&journal).unwrap();
+    assert_eq!(lines.lines().count(), 2, "{lines}");
+    let first = lines.lines().next().unwrap();
+    std::fs::write(&journal, format!("{first}\n")).unwrap();
+
+    let out = bin()
+        .args([
+            "batch",
+            "cannon:32,4",
+            "stencil:64,4,2",
+            "--jobs",
+            "1",
+            "--faults",
+            "drop:0.1",
+            "--seed",
+            "1",
+            "--resume",
+            journal.to_str().unwrap(),
+            "--results-out",
+            resumed.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("1 job(s) restored"), "{text}");
+
+    let full = std::fs::read_to_string(&full).unwrap();
+    let resumed = std::fs::read_to_string(&resumed).unwrap();
+    assert_eq!(full, resumed, "resumed results must be byte-identical");
+    // The resumed journal grows back to the complete record.
+    let lines = std::fs::read_to_string(&journal).unwrap();
+    assert_eq!(lines.lines().count(), 2, "{lines}");
+}
+
+#[test]
+fn checkpoint_and_resume_are_mutually_exclusive() {
+    let out = bin()
+        .args([
+            "batch",
+            "cannon:32,4",
+            "--checkpoint",
+            "a.jsonl",
+            "--resume",
+            "b.jsonl",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"));
+}
+
+#[test]
+fn check_reports_fail_stop_starvation() {
+    let args = ["check", "stencil:64,4,3", "--faults", "fail:0@1+500"];
+    let out = bin().args(args).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("PS0401"), "{text}");
+    assert!(text.contains("fail-stops during step 1"), "{text}");
+
+    let strict = bin().args(args).arg("--strict").output().unwrap();
+    assert!(!strict.status.success(), "PS0401 must fail under --strict");
+}
+
+#[test]
+fn trace_counts_fault_events() {
+    let out = bin()
+        .args([
+            "trace",
+            "cannon:32,4",
+            "--faults",
+            "drop:0.3",
+            "--seed",
+            "5",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fault events:"), "{text}");
+    assert!(text.contains("retransmit"), "{text}");
+}
+
+#[test]
+fn ge_sweep_supports_faults_and_budgets() {
+    let out = bin()
+        .args([
+            "ge-sweep",
+            "--n",
+            "120",
+            "--procs",
+            "4",
+            "--blocks",
+            "10,20",
+            "--faults",
+            "slow:0.2:2",
+            "--seed",
+            "3",
+            "--job-budget",
+            "10000",
+            "--retries",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("predicted optimum: B="), "{text}");
+    assert!(text.contains("fault plan: slow:0.2:2"), "{text}");
+}
