@@ -97,7 +97,106 @@ pub enum JobSource {
     },
 }
 
+/// Parse a `N,BLOCK,LAYOUT,PROCS` blocked-matrix spec body (shared by
+/// `ge:` and `apsp:`), returning `(n, block, layout)`.
+fn parse_blocked_spec(
+    kind: &str,
+    raw: &str,
+    spec: &str,
+) -> Result<(usize, usize, LayoutSpec), String> {
+    let parts: Vec<&str> = spec.split(',').collect();
+    let [n, block, layout, procs] = parts.as_slice() else {
+        return Err(format!(
+            "{kind} spec '{raw}': expected {kind}:N,BLOCK,LAYOUT,PROCS"
+        ));
+    };
+    let n: usize = n
+        .parse()
+        .map_err(|e| format!("{kind} spec '{raw}': bad N: {e}"))?;
+    let block: usize = block
+        .parse()
+        .map_err(|e| format!("{kind} spec '{raw}': bad BLOCK: {e}"))?;
+    let procs: usize = procs
+        .parse()
+        .map_err(|e| format!("{kind} spec '{raw}': bad PROCS: {e}"))?;
+    if block == 0 || !n.is_multiple_of(block) {
+        return Err(format!("{kind} spec '{raw}': BLOCK must divide N"));
+    }
+    let layout = match *layout {
+        "diagonal" => LayoutSpec::Diagonal(procs),
+        "row" => LayoutSpec::RowCyclic(procs),
+        "col" => LayoutSpec::ColCyclic(procs),
+        other => return Err(format!("{kind} spec '{raw}': unknown layout '{other}'")),
+    };
+    Ok((n, block, layout))
+}
+
 impl JobSource {
+    /// Parse a generator spec string — the grammar every front end (the
+    /// CLI's SOURCE arguments and the serve API's `source` field) shares:
+    ///
+    /// ```text
+    /// ge:N,BLOCK,LAYOUT,PROCS      blocked Gaussian elimination
+    /// cannon:N,Q                   Cannon's algorithm on a QxQ grid
+    /// stencil:N,PROCS,ITERS        Jacobi stencil (500 ps/flop)
+    /// apsp:N,BLOCK,LAYOUT,PROCS    blocked Floyd-Warshall shortest paths
+    /// ```
+    ///
+    /// Returns `Ok(None)` when `raw` carries none of the known prefixes
+    /// (the CLI then treats it as a trace-file path; the server rejects
+    /// it), and `Err` for a recognized prefix with a malformed body.
+    pub fn parse_spec(raw: &str) -> Result<Option<JobSource>, String> {
+        if let Some(spec) = raw.strip_prefix("ge:") {
+            let (n, block, layout) = parse_blocked_spec("ge", raw, spec)?;
+            Ok(Some(JobSource::Gauss { n, block, layout }))
+        } else if let Some(spec) = raw.strip_prefix("apsp:") {
+            let (n, block, layout) = parse_blocked_spec("apsp", raw, spec)?;
+            Ok(Some(JobSource::Apsp { n, block, layout }))
+        } else if let Some(spec) = raw.strip_prefix("cannon:") {
+            let parts: Vec<&str> = spec.split(',').collect();
+            let [n, q] = parts.as_slice() else {
+                return Err(format!("cannon spec '{raw}': expected cannon:N,Q"));
+            };
+            let n: usize = n
+                .parse()
+                .map_err(|e| format!("cannon spec '{raw}': bad N: {e}"))?;
+            let q: usize = q
+                .parse()
+                .map_err(|e| format!("cannon spec '{raw}': bad Q: {e}"))?;
+            if q == 0 || !n.is_multiple_of(q) {
+                return Err(format!("cannon spec '{raw}': Q must divide N"));
+            }
+            Ok(Some(JobSource::Cannon { n, q }))
+        } else if let Some(spec) = raw.strip_prefix("stencil:") {
+            let parts: Vec<&str> = spec.split(',').collect();
+            let [n, procs, iters] = parts.as_slice() else {
+                return Err(format!(
+                    "stencil spec '{raw}': expected stencil:N,PROCS,ITERS"
+                ));
+            };
+            let n: usize = n
+                .parse()
+                .map_err(|e| format!("stencil spec '{raw}': bad N: {e}"))?;
+            let procs: usize = procs
+                .parse()
+                .map_err(|e| format!("stencil spec '{raw}': bad PROCS: {e}"))?;
+            let iters: usize = iters
+                .parse()
+                .map_err(|e| format!("stencil spec '{raw}': bad ITERS: {e}"))?;
+            if procs == 0 || procs > n {
+                return Err(format!("stencil spec '{raw}': need 1..=N bands"));
+            }
+            Ok(Some(JobSource::Stencil {
+                n,
+                procs,
+                iters,
+                ps_per_flop: 500,
+            }))
+        } else {
+            Ok(None)
+        }
+    }
+
     /// Build (or borrow) the program trace.
     pub fn build(&self) -> Arc<Program> {
         match self {
@@ -409,6 +508,58 @@ mod tests {
         };
         assert_eq!(st.build().procs(), 4);
         assert_eq!(st.build().len(), 3);
+    }
+
+    #[test]
+    fn parse_spec_round_trips_the_cli_grammar() {
+        let ge = JobSource::parse_spec("ge:240,24,diagonal,8")
+            .unwrap()
+            .unwrap();
+        assert!(matches!(
+            ge,
+            JobSource::Gauss {
+                n: 240,
+                block: 24,
+                layout: LayoutSpec::Diagonal(8),
+            }
+        ));
+        assert!(matches!(
+            JobSource::parse_spec("cannon:64,4").unwrap().unwrap(),
+            JobSource::Cannon { n: 64, q: 4 }
+        ));
+        assert!(matches!(
+            JobSource::parse_spec("stencil:64,8,4").unwrap().unwrap(),
+            JobSource::Stencil {
+                n: 64,
+                procs: 8,
+                iters: 4,
+                ps_per_flop: 500,
+            }
+        ));
+        assert!(matches!(
+            JobSource::parse_spec("apsp:120,24,row,6").unwrap().unwrap(),
+            JobSource::Apsp {
+                n: 120,
+                block: 24,
+                layout: LayoutSpec::RowCyclic(6),
+            }
+        ));
+        // No known prefix: not a spec (a file path, to the CLI).
+        assert!(JobSource::parse_spec("traces/ring.trace")
+            .unwrap()
+            .is_none());
+        // Known prefix, malformed body: an error naming the problem.
+        for bad in [
+            "ge:240,24,diagonal",
+            "ge:240,7,diagonal,8",
+            "ge:240,24,spiral,8",
+            "cannon:64,5",
+            "cannon:64",
+            "stencil:4,8,1",
+            "apsp:10,3,row,4",
+        ] {
+            assert!(JobSource::parse_spec(bad).is_err(), "{bad} should fail");
+        }
     }
 
     #[test]

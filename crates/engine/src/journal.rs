@@ -111,10 +111,21 @@ pub struct Journal {
     file: Mutex<File>,
 }
 
+/// Create the missing parent directories of a journal path, so callers
+/// can point a checkpoint at a nested location that does not exist yet.
+fn ensure_parent(path: &Path) -> std::io::Result<()> {
+    match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => std::fs::create_dir_all(parent),
+        _ => Ok(()),
+    }
+}
+
 impl Journal {
     /// Start a fresh journal at `path`, truncating any previous one.
+    /// Missing parent directories are created.
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<Journal> {
         let path = path.as_ref().to_path_buf();
+        ensure_parent(&path)?;
         let file = File::create(&path)?;
         Ok(Journal {
             path,
@@ -124,9 +135,11 @@ impl Journal {
 
     /// Reopen the journal at `path` for appending, first reading back every
     /// parseable entry already in it. A missing file resumes an empty
-    /// journal (nothing restored, everything re-run).
+    /// journal (nothing restored, everything re-run); missing parent
+    /// directories are created, as in [`Journal::create`].
     pub fn resume(path: impl AsRef<Path>) -> std::io::Result<(Journal, Vec<JournalEntry>)> {
         let path = path.as_ref().to_path_buf();
+        ensure_parent(&path)?;
         let mut entries = Vec::new();
         match File::open(&path) {
             Ok(f) => {
@@ -201,9 +214,35 @@ mod tests {
     }
 
     fn tmp(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("predsim-journal-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        dir.join(name)
+        // No create_dir_all here: Journal::create/resume make missing
+        // parent directories themselves.
+        std::env::temp_dir()
+            .join(format!("predsim-journal-{}", std::process::id()))
+            .join(name)
+    }
+
+    #[test]
+    fn create_and_resume_make_missing_parent_directories() {
+        let dir =
+            std::env::temp_dir().join(format!("predsim-journal-nested-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("a/b/c").join("ckpt.jsonl");
+        assert!(!path.parent().unwrap().exists());
+        {
+            let journal = Journal::create(&path).unwrap();
+            journal.record(&result(0, "nested", done(2.0)));
+        }
+        let (_j, entries) = Journal::resume(&path).unwrap();
+        assert_eq!(entries.len(), 1);
+
+        // Resume of a journal whose directories never existed either.
+        let fresh = dir.join("x/y").join("fresh.jsonl");
+        let (journal, entries) = Journal::resume(&fresh).unwrap();
+        assert!(entries.is_empty());
+        journal.record(&result(0, "first", done(1.0)));
+        drop(journal);
+        let (_j, entries) = Journal::resume(&fresh).unwrap();
+        assert_eq!(entries.len(), 1);
     }
 
     #[test]

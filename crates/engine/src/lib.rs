@@ -1197,9 +1197,10 @@ mod tests {
     #[test]
     fn journal_resume_is_bit_identical_to_straight_through() {
         let jobs = stencil_grid();
-        let dir = std::env::temp_dir().join(format!("predsim-engine-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("resume.jsonl");
+        // Journal::create makes the missing directories itself.
+        let path = std::env::temp_dir()
+            .join(format!("predsim-engine-{}", std::process::id()))
+            .join("resume.jsonl");
 
         // Straight-through run, fully journalled.
         let journal = Journal::create(&path).unwrap();

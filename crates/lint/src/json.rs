@@ -1,11 +1,47 @@
-//! A minimal hand-rolled JSON value, printer and parser.
+//! A minimal hand-rolled JSON value, printer and parser — the
+//! **project-wide wire format**.
 //!
-//! The workspace deliberately carries no serialization dependency, so the
-//! machine-readable output of the analyzer is built on this module. It
-//! supports exactly what the diagnostic schema needs: null, booleans,
-//! integers, strings, arrays and objects (with preserved key order). The
-//! parser is a strict recursive-descent reader of the same subset — floats
-//! are rejected, which is fine because the schema never emits them.
+//! The workspace deliberately carries no serialization dependency, so every
+//! machine-readable surface is built on this module: the analyzer's
+//! `predsim check --json` reports, the engine's checkpoint journal lines,
+//! the JSONL trace-event streams of `predsim-obs`, and the request and
+//! response bodies of the `predsim-serve` HTTP API. It supports exactly
+//! what those schemas need: null, booleans, integers, strings, arrays and
+//! objects (with preserved key order). The parser is a strict
+//! recursive-descent reader of the same subset — floats are rejected,
+//! which is fine because the schemas never emit them (times travel as
+//! integer picoseconds, host durations as integer nanoseconds).
+//!
+//! Build a document with the [`Value`] constructors and render it:
+//!
+//! ```
+//! use predsim_lint::json::Value;
+//!
+//! let doc = Value::Object(vec![
+//!     ("source".into(), Value::Str("ge:240,24,diagonal,8".into())),
+//!     ("worst_case".into(), Value::Bool(false)),
+//!     ("seed".into(), Value::Int(7)),
+//! ]);
+//! assert_eq!(
+//!     doc.to_compact(),
+//!     r#"{"source":"ge:240,24,diagonal,8","worst_case":false,"seed":7}"#
+//! );
+//! ```
+//!
+//! Parse one back and pick it apart with the typed accessors:
+//!
+//! ```
+//! use predsim_lint::json::{parse, Value};
+//!
+//! let v = parse(r#"{"jobs":[{"source":"cannon:64,4","machine":"meiko"}]}"#).unwrap();
+//! let jobs = v.get("jobs").and_then(Value::as_array).unwrap();
+//! assert_eq!(jobs.len(), 1);
+//! assert_eq!(
+//!     jobs[0].get("source").and_then(Value::as_str),
+//!     Some("cannon:64,4")
+//! );
+//! assert!(parse("{\"t\": 1.5}").is_err(), "floats are not in the dialect");
+//! ```
 
 use std::fmt::Write as _;
 
@@ -47,6 +83,21 @@ impl Value {
     pub fn as_int(&self) -> Option<i64> {
         match self {
             Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    ///
+    /// ```
+    /// use predsim_lint::json::{parse, Value};
+    /// let v = parse(r#"{"worst_case":true}"#).unwrap();
+    /// assert_eq!(v.get("worst_case").and_then(Value::as_bool), Some(true));
+    /// assert_eq!(v.get("missing").and_then(Value::as_bool), None);
+    /// ```
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
             _ => None,
         }
     }
@@ -561,6 +612,13 @@ mod tests {
         let v = parse("{\"a\": 1, \"b\": \"x\", \"c\": [true]}").unwrap();
         assert_eq!(v.get("a").and_then(Value::as_int), Some(1));
         assert_eq!(v.get("b").and_then(Value::as_str), Some("x"));
+        assert_eq!(v.get("a").and_then(Value::as_bool), None);
+        assert_eq!(
+            v.get("c")
+                .and_then(Value::as_array)
+                .and_then(|c| c[0].as_bool()),
+            Some(true)
+        );
         assert_eq!(
             v.get("c").and_then(Value::as_array).map(<[_]>::len),
             Some(1)

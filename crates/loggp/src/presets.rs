@@ -50,6 +50,25 @@ pub fn ideal(procs: usize) -> LogGpParams {
     LogGpParams::from_us(0.0, 0.0, 0.0, 0.0, procs)
 }
 
+/// The short names accepted by [`by_name`] (the CLI and the serve API
+/// agree on these).
+pub const SHORT_NAMES: [&str; 5] = ["meiko", "paragon", "myrinet", "ethernet", "ideal"];
+
+/// Look a preset up by its short name (`meiko`, `paragon`, `myrinet`,
+/// `ethernet`, `ideal`) at a given processor count. Every front end that
+/// accepts a machine name — the CLI flags and the serve API's `machine`
+/// field — resolves it through here, so the spellings cannot drift.
+pub fn by_name(name: &str, procs: usize) -> Option<LogGpParams> {
+    Some(match name {
+        "meiko" => meiko_cs2(procs),
+        "paragon" => intel_paragon(procs),
+        "myrinet" => myrinet_cluster(procs),
+        "ethernet" => ethernet_cluster(procs),
+        "ideal" => ideal(procs),
+        _ => return None,
+    })
+}
+
 /// All named presets at a given processor count (the ideal machine last).
 pub fn all(procs: usize) -> Vec<Preset> {
     vec![
@@ -102,6 +121,16 @@ mod tests {
     fn ideal_machine_communicates_for_free() {
         let p = ideal(4);
         assert_eq!(p.message_cost(1 << 20), Time::ZERO);
+    }
+
+    #[test]
+    fn by_name_covers_every_short_name() {
+        for name in SHORT_NAMES {
+            let p = by_name(name, 4).expect(name);
+            assert_eq!(p.procs, 4);
+        }
+        assert!(by_name("cray", 4).is_none());
+        assert_eq!(by_name("meiko", 8), Some(meiko_cs2(8)));
     }
 
     #[test]

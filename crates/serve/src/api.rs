@@ -1,0 +1,403 @@
+//! The prediction API: JSON bodies in, JSON bodies out.
+//!
+//! Request bodies use the project-wide strict JSON dialect
+//! ([`predsim_lint::json`]); anything that dialect rejects — floats,
+//! trailing garbage, duplicate keys the parser refuses — never reaches
+//! the engine. Parsing is equally strict at the schema level: unknown
+//! fields are errors, not ignored, so a typoed option can never silently
+//! fall back to a default.
+//!
+//! A job object accepts:
+//!
+//! ```json
+//! {
+//!   "source": "ge:960,32,diagonal,8",   // generator spec, OR
+//!   "trace": "program procs=2\n...",    // an inline text-format trace
+//!   "machine": "meiko",                 // preset name (default "meiko")
+//!   "label": "my job",                  // echoed in the result
+//!   "worst_case": true,                 // §4.2 step algorithm
+//!   "barrier": false, "overlap": false, "classic_gap": false,
+//!   "faults": "drop:0.1", "seed": 7     // seeded fault plan
+//! }
+//! ```
+//!
+//! `POST /v1/predict` takes one job object; `POST /v1/batch` takes
+//! `{"jobs": [job, ...]}`. Before anything is enqueued the job is
+//! pre-validated with the engine's pre-run gate (see [`lint_spec`]) —
+//! error-severity diagnostics turn into a `422` whose body is the same
+//! `{"version":1,"sources":[...]}` document `predsim check --json`
+//! prints.
+
+use loggp::presets;
+use predsim_core::{textfmt, SimOptions};
+use predsim_engine::{JobResult, JobSource, JobSpec};
+use predsim_faults::{FaultPlan, FaultSpec};
+use predsim_lint::json::{self, Value};
+use predsim_lint::Report;
+use std::sync::Arc;
+
+/// An API failure: the status code to send and the JSON body to send it
+/// with.
+#[derive(Clone, Debug)]
+pub struct ApiError {
+    /// HTTP status (400 for malformed requests, 422 for jobs the
+    /// analyzer rejected).
+    pub status: u16,
+    /// The response body, already rendered as JSON.
+    pub body: String,
+}
+
+impl ApiError {
+    /// A `400 Bad Request` with an `{"error": ...}` body.
+    pub fn bad(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 400,
+            body: error_body(&message.into()),
+        }
+    }
+
+    /// A `422 Unprocessable Entity` whose body is the full diagnostics
+    /// document.
+    pub fn invalid(doc: Value) -> ApiError {
+        ApiError {
+            status: 422,
+            body: doc.to_compact(),
+        }
+    }
+}
+
+/// Render an `{"error": ...}` body.
+pub fn error_body(message: &str) -> String {
+    Value::Object(vec![("error".into(), Value::Str(message.to_string()))]).to_compact()
+}
+
+const JOB_FIELDS: [&str; 10] = [
+    "source",
+    "trace",
+    "machine",
+    "label",
+    "worst_case",
+    "barrier",
+    "overlap",
+    "classic_gap",
+    "faults",
+    "seed",
+];
+
+fn field_bool(v: &Value, name: &str) -> Result<bool, String> {
+    match v.get(name) {
+        None => Ok(false),
+        Some(b) => b
+            .as_bool()
+            .ok_or_else(|| format!("field '{name}' must be a boolean")),
+    }
+}
+
+fn field_str<'a>(v: &'a Value, name: &str) -> Result<Option<&'a str>, String> {
+    match v.get(name) {
+        None => Ok(None),
+        Some(s) => s
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| format!("field '{name}' must be a string")),
+    }
+}
+
+/// Parse one job object into a [`JobSpec`] (plus the name used in
+/// diagnostics documents).
+fn job_from_value(v: &Value) -> Result<(String, JobSpec), String> {
+    let Value::Object(fields) = v else {
+        return Err("job must be a JSON object".into());
+    };
+    for (key, _) in fields {
+        if !JOB_FIELDS.contains(&key.as_str()) {
+            return Err(format!("unknown field '{key}'"));
+        }
+    }
+
+    let (name, source) = match (field_str(v, "source")?, field_str(v, "trace")?) {
+        (Some(_), Some(_)) => {
+            return Err("'source' and 'trace' are mutually exclusive".into());
+        }
+        (Some(raw), None) => match JobSource::parse_spec(raw)? {
+            Some(source) => (raw.to_string(), source),
+            None => {
+                return Err(format!(
+                    "source '{raw}' has no known generator prefix (the server \
+                     reads no files; send an inline 'trace' instead)"
+                ));
+            }
+        },
+        (None, Some(text)) => {
+            let program = textfmt::parse(text).map_err(|e| format!("trace: {e}"))?;
+            ("trace".to_string(), JobSource::Program(Arc::new(program)))
+        }
+        (None, None) => return Err("job needs a 'source' spec or an inline 'trace'".into()),
+    };
+
+    let machine = field_str(v, "machine")?.unwrap_or("meiko");
+    let params = presets::by_name(machine, source.procs())
+        .ok_or_else(|| format!("unknown machine '{machine}'"))?;
+    let mut opts = SimOptions::new(commsim::SimConfig::new(params));
+    if field_bool(v, "worst_case")? {
+        opts = opts.worst_case();
+    }
+    if field_bool(v, "barrier")? {
+        opts = opts.with_barrier();
+    }
+    if field_bool(v, "overlap")? {
+        opts = opts.with_overlap();
+    }
+    if field_bool(v, "classic_gap")? {
+        opts.cfg = opts.cfg.with_classic_gap_rule();
+    }
+
+    let faults = match field_str(v, "faults")? {
+        Some(text) => {
+            let spec = FaultSpec::parse(text)?;
+            let seed = match v.get("seed") {
+                None => 0,
+                Some(s) => u64::try_from(s.as_int().ok_or("field 'seed' must be an integer")?)
+                    .map_err(|_| "field 'seed' must be non-negative".to_string())?,
+            };
+            Some(FaultPlan::new(spec, seed))
+        }
+        None => {
+            if v.get("seed").is_some() {
+                return Err("'seed' only makes sense together with 'faults'".into());
+            }
+            None
+        }
+    };
+
+    let label = field_str(v, "label")?
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("{machine}: {name}"));
+    let mut spec = JobSpec::new(label, source, opts);
+    if let Some(plan) = faults {
+        spec = spec.with_faults(plan);
+    }
+    Ok((name, spec))
+}
+
+/// Parse a `POST /v1/predict` body: one job object.
+pub fn parse_predict(body: &str) -> Result<(String, JobSpec), ApiError> {
+    let v = json::parse(body).map_err(|e| ApiError::bad(format!("body: {e}")))?;
+    job_from_value(&v).map_err(ApiError::bad)
+}
+
+/// Parse a `POST /v1/batch` body: `{"jobs": [job, ...]}`.
+pub fn parse_batch(body: &str) -> Result<Vec<(String, JobSpec)>, ApiError> {
+    let v = json::parse(body).map_err(|e| ApiError::bad(format!("body: {e}")))?;
+    let Value::Object(fields) = &v else {
+        return Err(ApiError::bad("body must be a JSON object"));
+    };
+    for (key, _) in fields {
+        if key != "jobs" {
+            return Err(ApiError::bad(format!("unknown field '{key}'")));
+        }
+    }
+    let jobs = v
+        .get("jobs")
+        .and_then(Value::as_array)
+        .ok_or_else(|| ApiError::bad("body needs a 'jobs' array"))?;
+    if jobs.is_empty() {
+        return Err(ApiError::bad("'jobs' must not be empty"));
+    }
+    jobs.iter()
+        .enumerate()
+        .map(|(i, job)| job_from_value(job).map_err(|e| ApiError::bad(format!("jobs[{i}]: {e}"))))
+        .collect()
+}
+
+/// Lint one parsed job with the engine's own pre-run gate
+/// ([`predsim_engine::lint_job`]): the spec's preconditions first (an
+/// infeasible spec is a single `PS0501` error), then the built program
+/// under the job's machine parameters and fault windows.
+///
+/// This is deliberately [`Engine::run_checked`]'s notion of validity,
+/// not `predsim check --worst-case`'s: deadlock cycles stay warnings,
+/// because the worst-case simulator executes cyclic steps by forcing
+/// transmissions — that is its defined behaviour, and the server must
+/// admit every job the engine can run.
+///
+/// [`Engine::run_checked`]: predsim_engine::Engine::run_checked
+pub fn lint_spec(spec: &JobSpec) -> Report {
+    predsim_engine::lint_job(spec)
+}
+
+/// Pre-validate a batch of parsed jobs. `Ok(())` means no job has
+/// error-severity diagnostics; otherwise the `422` document — the same
+/// `{"version":1,"sources":[...]}` shape `predsim check --json` prints,
+/// with one entry per rejected job.
+pub fn check_jobs(jobs: &[(String, JobSpec)]) -> Result<(), ApiError> {
+    let mut rejected = Vec::new();
+    for (name, spec) in jobs {
+        let report = lint_spec(spec);
+        if report.has_errors() {
+            rejected.push(Value::Object(vec![
+                ("name".into(), Value::Str(name.clone())),
+                ("report".into(), report.to_value()),
+            ]));
+        }
+    }
+    if rejected.is_empty() {
+        Ok(())
+    } else {
+        Err(ApiError::invalid(Value::Object(vec![
+            ("version".into(), Value::Int(1)),
+            ("sources".into(), Value::Array(rejected)),
+        ])))
+    }
+}
+
+/// Render one engine result as a JSON object.
+pub fn result_value(result: &JobResult) -> Value {
+    let mut fields = vec![
+        ("label".into(), Value::Str(result.label.clone())),
+        (
+            "outcome".into(),
+            Value::Str(result.outcome.kind().to_string()),
+        ),
+    ];
+    match result.outcome.totals() {
+        Some((total, comp, comm, forced)) => {
+            fields.push(("total_ps".into(), Value::Int(total.as_ps() as i64)));
+            fields.push(("comp_ps".into(), Value::Int(comp.as_ps() as i64)));
+            fields.push(("comm_ps".into(), Value::Int(comm.as_ps() as i64)));
+            fields.push(("forced_sends".into(), Value::Int(forced as i64)));
+        }
+        None => {
+            if let predsim_engine::JobOutcome::Crashed { message, .. } = &result.outcome {
+                fields.push(("message".into(), Value::Str(message.clone())));
+            }
+        }
+    }
+    fields.push((
+        "attempts".into(),
+        Value::Int(i64::from(result.outcome.attempts())),
+    ));
+    Value::Object(fields)
+}
+
+/// Render a `POST /v1/predict` success body.
+pub fn render_predict(result: &JobResult) -> String {
+    Value::Object(vec![
+        ("version".into(), Value::Int(1)),
+        ("result".into(), result_value(result)),
+    ])
+    .to_compact()
+}
+
+/// Render a `POST /v1/batch` success body (results in submission order).
+pub fn render_batch(results: &[JobResult]) -> String {
+    Value::Object(vec![
+        ("version".into(), Value::Int(1)),
+        (
+            "results".into(),
+            Value::Array(results.iter().map(result_value).collect()),
+        ),
+    ])
+    .to_compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predsim_core::CommAlgo;
+    use predsim_lint::Code;
+
+    #[test]
+    fn parses_a_full_predict_body() {
+        let (name, spec) = parse_predict(
+            r#"{"source":"ge:240,24,diagonal,8","machine":"paragon",
+                "worst_case":true,"faults":"drop:0.1","seed":7,"label":"x"}"#,
+        )
+        .unwrap();
+        assert_eq!(name, "ge:240,24,diagonal,8");
+        assert_eq!(spec.label, "x");
+        assert_eq!(spec.opts.algo, CommAlgo::WorstCase);
+        assert_eq!(
+            spec.opts.cfg.params,
+            presets::intel_paragon(8),
+            "machine sized to the source's processor count"
+        );
+        let plan = spec.faults.expect("fault plan");
+        assert_eq!(plan.seed(), 7);
+    }
+
+    #[test]
+    fn defaults_are_meiko_standard_no_faults() {
+        let (_, spec) = parse_predict(r#"{"source":"cannon:64,4"}"#).unwrap();
+        assert_eq!(spec.opts.algo, CommAlgo::Standard);
+        assert_eq!(spec.opts.cfg.params, presets::meiko_cs2(16));
+        assert!(spec.faults.is_none());
+        assert_eq!(spec.label, "meiko: cannon:64,4");
+    }
+
+    #[test]
+    fn accepts_an_inline_trace() {
+        let (name, spec) = parse_predict(
+            r#"{"trace":"program procs=2\nstep label=ring\ncomp 10 10\nmsg 0 1 800\n"}"#,
+        )
+        .unwrap();
+        assert_eq!(name, "trace");
+        assert_eq!(spec.source.procs(), 2);
+    }
+
+    #[test]
+    fn rejects_schema_violations_with_400() {
+        for (body, why) in [
+            ("not json", "unparseable"),
+            (r#"{"t": 1.5}"#, "floats are outside the dialect"),
+            (r#"{"source":"ge:64,16,row,4","bogus":1}"#, "unknown field"),
+            (r#"{}"#, "no source"),
+            (r#"{"source":"ge:64,16,row,4","trace":"procs 1\n"}"#, "both"),
+            (r#"{"source":"traces/ring.trace"}"#, "file paths refused"),
+            (r#"{"source":"ge:64,16,spiral,4"}"#, "bad spec body"),
+            (r#"{"source":"ge:64,16,row,4","machine":"cray"}"#, "machine"),
+            (
+                r#"{"source":"ge:64,16,row,4","seed":3}"#,
+                "seed sans faults",
+            ),
+            (r#"{"source":"ge:64,16,row,4","worst_case":1}"#, "bool type"),
+            (r#"{"source":"ge:64,16,row,4","faults":"zap:1"}"#, "faults"),
+        ] {
+            let err = parse_predict(body).expect_err(why);
+            assert_eq!(err.status, 400, "{why}");
+            assert!(
+                json::parse(&err.body).unwrap().get("error").is_some(),
+                "{why}: error body is strict JSON"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_needs_a_nonempty_jobs_array() {
+        assert_eq!(parse_batch(r#"{"jobs":[]}"#).unwrap_err().status, 400);
+        assert_eq!(parse_batch(r#"{"extra":1}"#).unwrap_err().status, 400);
+        let jobs =
+            parse_batch(r#"{"jobs":[{"source":"cannon:64,4"},{"source":"stencil:64,8,2"}]}"#)
+                .unwrap();
+        assert_eq!(jobs.len(), 2);
+        // A bad job is named by its index.
+        let err = parse_batch(r#"{"jobs":[{"source":"cannon:64,4"},{}]}"#).unwrap_err();
+        assert!(err.body.contains("jobs[1]"), "{}", err.body);
+    }
+
+    #[test]
+    fn infeasible_specs_fail_the_lint_gate_with_the_check_document() {
+        // Layout over zero processors: parseable, but the analyzer's
+        // PS0501 gate refuses it.
+        let jobs = parse_batch(r#"{"jobs":[{"source":"ge:64,16,row,0"}]}"#).unwrap();
+        let err = check_jobs(&jobs).unwrap_err();
+        assert_eq!(err.status, 422);
+        let doc = json::parse(&err.body).unwrap();
+        assert_eq!(doc.get("version").and_then(Value::as_int), Some(1));
+        let sources = doc.get("sources").and_then(Value::as_array).unwrap();
+        assert_eq!(sources.len(), 1);
+        let report = Report::from_value(sources[0].get("report").unwrap()).unwrap();
+        assert!(report.has_errors());
+        assert_eq!(report.diagnostics()[0].code, Code::BadJobSpec);
+    }
+}

@@ -1,0 +1,210 @@
+//! The bounded admission queue.
+//!
+//! Requests the worker pool cannot absorb immediately wait here, up to a
+//! fixed capacity; beyond that the server sheds load with `429` rather
+//! than queueing without bound. Hand-rolled on `Mutex` + `Condvar` so the
+//! serve crate stays free of channel dependencies.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity: shed the request.
+    Full,
+    /// The queue has been closed for drain: no new work.
+    Closed,
+}
+
+/// A fixed-capacity MPMC queue. `try_push` never blocks (admission is a
+/// yes/no decision, not a wait); `pop` blocks until an item arrives or the
+/// queue is closed and empty.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    takeable: Condvar,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                capacity: capacity.max(1),
+                closed: false,
+            }),
+            takeable: Condvar::new(),
+        }
+    }
+
+    /// Admit `item` if there is room, handing it back otherwise.
+    pub fn try_push(&self, item: T) -> Result<(), (T, PushError)> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return Err((item, PushError::Closed));
+        }
+        if inner.items.len() >= inner.capacity {
+            return Err((item, PushError::Full));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.takeable.notify_one();
+        Ok(())
+    }
+
+    /// Admit a whole batch or none of it: a batch request must never end
+    /// up half-queued, half-shed.
+    pub fn try_push_all(&self, items: Vec<T>) -> Result<(), (Vec<T>, PushError)> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return Err((items, PushError::Closed));
+        }
+        if inner.items.len() + items.len() > inner.capacity {
+            return Err((items, PushError::Full));
+        }
+        let n = items.len();
+        inner.items.extend(items);
+        drop(inner);
+        for _ in 0..n {
+            self.takeable.notify_one();
+        }
+        Ok(())
+    }
+
+    /// Take the oldest item, blocking while the queue is open and empty.
+    /// Returns `None` only when the queue is closed and fully drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.takeable.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Close the queue: future pushes fail, and poppers drain what is
+    /// left, then see `None`. Idempotent.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        inner.closed = true;
+        drop(inner);
+        self.takeable.notify_all();
+    }
+
+    /// Items currently waiting (not counting any being worked on).
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn admits_up_to_capacity_then_sheds() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.try_push(3), Err((3, PushError::Full)));
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn batch_admission_is_all_or_nothing() {
+        let q = BoundedQueue::new(3);
+        q.try_push(0).unwrap();
+        let (back, why) = q.try_push_all(vec![1, 2, 3]).unwrap_err();
+        assert_eq!((back, why), (vec![1, 2, 3], PushError::Full));
+        assert_eq!(q.depth(), 1, "a shed batch leaves nothing behind");
+        q.try_push_all(vec![1, 2]).unwrap();
+        assert_eq!(q.depth(), 3);
+        q.close();
+        assert!(matches!(
+            q.try_push_all(vec![9]),
+            Err((_, PushError::Closed))
+        ));
+    }
+
+    #[test]
+    fn close_rejects_pushes_and_drains_poppers() {
+        let q = BoundedQueue::new(4);
+        q.try_push("left over").unwrap();
+        q.close();
+        assert_eq!(
+            q.try_push("late"),
+            Err(("late", PushError::Closed)),
+            "a closed queue admits nothing"
+        );
+        assert_eq!(q.pop(), Some("left over"), "closing keeps queued work");
+        assert_eq!(q.pop(), None);
+        q.close(); // idempotent
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_an_item_or_close_arrives() {
+        let q = Arc::new(BoundedQueue::new(1));
+        let popper = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || (q.pop(), q.pop()))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(7).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(popper.join().unwrap(), (Some(7), None));
+    }
+
+    #[test]
+    fn many_producers_one_consumer_loses_nothing() {
+        let q = Arc::new(BoundedQueue::new(64));
+        let producers: Vec<_> = (0..8)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..8 {
+                        // Spin on Full: this test wants every item through.
+                        let mut item = p * 8 + i;
+                        loop {
+                            match q.try_push(item) {
+                                Ok(()) => break,
+                                Err((back, PushError::Full)) => {
+                                    item = back;
+                                    std::thread::yield_now();
+                                }
+                                Err((_, PushError::Closed)) => panic!("closed early"),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in producers {
+            t.join().unwrap();
+        }
+        q.close();
+        let mut seen = Vec::new();
+        while let Some(v) = q.pop() {
+            seen.push(v);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..64).collect::<Vec<_>>());
+    }
+}

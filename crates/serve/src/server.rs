@@ -1,0 +1,566 @@
+//! The server proper: acceptor, connection handlers, worker pool, drain.
+//!
+//! Thread layout:
+//!
+//! ```text
+//! acceptor ──spawns──▶ handler (one per connection, keep-alive loop)
+//!                         │ parse + lint, then admission:
+//!                         │   queue.try_push ──▶ 429 when full
+//!                         ▼
+//!                     BoundedQueue ◀──pop── worker × N ──▶ Engine::run
+//!                         ▲                      │
+//!                         └── reply slot ◀──────┘
+//! ```
+//!
+//! Every prediction goes through the one shared [`Engine`], so the memo
+//! cache, journal, and metrics registry see the server's whole lifetime.
+//! Drain is cooperative and loses nothing that was admitted: the
+//! acceptor stops accepting, the read half of every open connection is
+//! shut down (a handler blocked in a read sees EOF and exits; a handler
+//! waiting for a worker reply still owns a working write half), handlers
+//! are joined, then the queue is closed and workers finish whatever was
+//! queued before exiting.
+
+use crate::api;
+use crate::http::{HttpReader, Request, RequestError, Response};
+use crate::queue::{BoundedQueue, PushError};
+use predsim_engine::{Engine, EngineConfig, EngineObs, JobResult, JobSpec, Journal};
+use predsim_obs::{default_ns_buckets, Gauge, Histogram, MetricsSnapshot, Registry};
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Address to bind (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Prediction worker threads.
+    pub workers: usize,
+    /// Admission-queue capacity; beyond it requests get `429`.
+    pub queue_cap: usize,
+    /// Socket read/write timeout — bounds both a slow request and an
+    /// idle keep-alive connection.
+    pub request_timeout: Duration,
+    /// Largest request body accepted (bytes); beyond it, `413`.
+    pub max_body: usize,
+    /// Engine configuration (workers each run jobs inline, so its `jobs`
+    /// is forced to 1).
+    pub engine: EngineConfig,
+    /// Append every finished job to this checkpoint journal.
+    pub journal: Option<std::path::PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_cap: 32,
+            request_timeout: Duration::from_secs(30),
+            max_body: 1 << 20,
+            engine: EngineConfig::default(),
+            journal: None,
+        }
+    }
+}
+
+/// One admitted prediction job: the spec plus the slot its handler is
+/// waiting on.
+struct Job {
+    spec: JobSpec,
+    reply: Arc<ReplySlot>,
+    slot: usize,
+}
+
+/// Where a worker leaves results for the waiting handler. One slot per
+/// request: a batch of `n` jobs shares a slot expecting `n` results.
+struct ReplySlot {
+    results: Mutex<Vec<Option<JobResult>>>,
+    done: Condvar,
+}
+
+impl ReplySlot {
+    fn new(n: usize) -> Arc<ReplySlot> {
+        Arc::new(ReplySlot {
+            results: Mutex::new((0..n).map(|_| None).collect()),
+            done: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, slot: usize, result: JobResult) {
+        let mut results = self.results.lock().expect("reply slot poisoned");
+        results[slot] = Some(result);
+        drop(results);
+        self.done.notify_all();
+    }
+
+    /// Wait until every slot is filled. Unbounded: every admitted job is
+    /// guaranteed a result (the engine turns panics into `crashed`
+    /// outcomes, and drain never abandons the queue).
+    fn wait(&self) -> Vec<JobResult> {
+        let mut results = self.results.lock().expect("reply slot poisoned");
+        loop {
+            if results.iter().all(Option::is_some) {
+                return results.iter_mut().map(|r| r.take().unwrap()).collect();
+            }
+            results = self.done.wait(results).expect("reply slot poisoned");
+        }
+    }
+}
+
+/// The serve-layer metrics, on the same registry the engine publishes to.
+struct ServeMetrics {
+    registry: Arc<Registry>,
+    queue_depth: Arc<Gauge>,
+    in_flight: Arc<Gauge>,
+    wall: Arc<Histogram>,
+}
+
+impl ServeMetrics {
+    fn new(registry: Arc<Registry>) -> ServeMetrics {
+        let queue_depth = registry.gauge(
+            "serve_queue_depth",
+            "prediction jobs waiting in the admission queue",
+        );
+        let in_flight = registry.gauge(
+            "serve_jobs_in_flight",
+            "prediction jobs currently executing on a worker",
+        );
+        let wall = registry.histogram(
+            "serve_request_wall_ns",
+            "wall time from request parsed to response written, ns",
+            &default_ns_buckets(),
+        );
+        ServeMetrics {
+            registry,
+            queue_depth,
+            in_flight,
+            wall,
+        }
+    }
+
+    /// Count one finished request, by status code and endpoint.
+    fn record(&self, endpoint: &'static str, status: u16, wall: Duration) {
+        self.registry
+            .counter_with(
+                "serve_requests_total",
+                &[("code", &status.to_string())],
+                "HTTP responses sent, by status code",
+            )
+            .inc();
+        self.registry
+            .counter_with(
+                "serve_endpoint_requests_total",
+                &[("endpoint", endpoint)],
+                "HTTP responses sent, by endpoint",
+            )
+            .inc();
+        self.wall
+            .observe(wall.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+}
+
+struct Shared {
+    engine: Engine,
+    queue: BoundedQueue<Job>,
+    metrics: ServeMetrics,
+    journal: Option<Journal>,
+    draining: AtomicBool,
+    executing: AtomicUsize,
+    /// Read halves of open connections, for shutdown on drain.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+    workers: usize,
+    request_timeout: Duration,
+    max_body: usize,
+}
+
+impl Shared {
+    fn sync_gauges(&self) {
+        self.metrics.queue_depth.set(self.queue.depth() as u64);
+        self.metrics
+            .in_flight
+            .set(self.executing.load(Ordering::SeqCst) as u64);
+    }
+}
+
+/// What [`ServerHandle::drain`] hands back once everything has stopped.
+pub struct DrainReport {
+    /// Final metrics snapshot, taken after the last worker exited — the
+    /// counters cover every request the server ever answered.
+    pub metrics: MetricsSnapshot,
+}
+
+/// A running server. Dropping the handle leaks the threads; call
+/// [`ServerHandle::drain`] for an orderly stop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    registry: Arc<Registry>,
+    acceptor: std::thread::JoinHandle<()>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves `:0` ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The metrics registry the server and its engine publish to.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// True once a drain has been requested — by [`ServerHandle::drain`]
+    /// or by a client's `POST /admin/drain`.
+    pub fn drain_requested(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Block until a drain is requested (the CLI parks here).
+    pub fn wait_for_drain_request(&self) {
+        while !self.drain_requested() {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Stop gracefully: refuse new connections, let in-flight requests
+    /// (including everything already admitted to the queue) finish, stop
+    /// the workers, and return the final metrics.
+    pub fn drain(self) -> DrainReport {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        // Wake handlers blocked reading an idle keep-alive connection:
+        // closing the read half turns their pending read into EOF while
+        // leaving the write half alive for in-flight responses.
+        for (_, stream) in self.shared.conns.lock().expect("conns poisoned").iter() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        // The acceptor notices the flag, stops accepting, and joins every
+        // handler thread (each finishes its current request first).
+        self.acceptor.join().expect("acceptor panicked");
+        // No handler is left to enqueue; close the queue so workers run
+        // whatever was admitted, then exit.
+        self.shared.queue.close();
+        for worker in self.workers {
+            worker.join().expect("worker panicked");
+        }
+        self.shared.sync_gauges();
+        DrainReport {
+            // Engine::metrics_snapshot also publishes the final cache
+            // gauges and flushes any trace sink.
+            metrics: self.shared.engine.metrics_snapshot(),
+        }
+    }
+}
+
+/// The server. Start with [`Server::start`]; interact through the
+/// returned [`ServerHandle`].
+pub struct Server;
+
+impl Server {
+    /// Bind, spawn the worker pool and the acceptor, and return.
+    pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
+        Server::start_with_registry(config, Arc::new(Registry::new()))
+    }
+
+    /// As [`Server::start`], but publishing to a caller-owned registry.
+    pub fn start_with_registry(
+        config: ServeConfig,
+        registry: Arc<Registry>,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let journal = match &config.journal {
+            Some(path) => Some(Journal::create(path)?),
+            None => None,
+        };
+        let engine = Engine::with_obs(
+            config.engine.with_jobs(1),
+            EngineObs::with_registry(Arc::clone(&registry)),
+        );
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            engine,
+            queue: BoundedQueue::new(config.queue_cap),
+            metrics: ServeMetrics::new(Arc::clone(&registry)),
+            journal,
+            draining: AtomicBool::new(false),
+            executing: AtomicUsize::new(0),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+            workers,
+            request_timeout: config.request_timeout,
+            max_body: config.max_body,
+        });
+
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning worker")
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("serve-acceptor".into())
+                .spawn(move || acceptor_loop(listener, &shared))
+                .expect("spawning acceptor")
+        };
+        Ok(ServerHandle {
+            addr,
+            shared,
+            registry,
+            acceptor,
+            workers: worker_handles,
+        })
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        shared.executing.fetch_add(1, Ordering::SeqCst);
+        shared.sync_gauges();
+        // jobs=1 runs inline on this thread; the engine's per-job
+        // catch_unwind turns panics into `crashed` results, so the reply
+        // slot is always filled.
+        let mut results = shared.engine.run(std::slice::from_ref(&job.spec));
+        let result = results.pop().expect("engine returns one result per spec");
+        if let Some(journal) = &shared.journal {
+            journal.record(&result);
+        }
+        job.reply.fill(job.slot, result);
+        shared.executing.fetch_sub(1, Ordering::SeqCst);
+        shared.sync_gauges();
+    }
+}
+
+fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shared.draining.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(false).is_err()
+                    || stream
+                        .set_read_timeout(Some(shared.request_timeout))
+                        .is_err()
+                    || stream
+                        .set_write_timeout(Some(shared.request_timeout))
+                        .is_err()
+                {
+                    continue;
+                }
+                let shared = Arc::clone(shared);
+                handlers.push(
+                    std::thread::Builder::new()
+                        .name("serve-conn".into())
+                        .spawn(move || handle_connection(stream, &shared))
+                        .expect("spawning handler"),
+                );
+                // Reap finished handlers so a long-lived server does not
+                // accumulate join handles.
+                handlers.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    drop(listener);
+    for handler in handlers {
+        handler.join().expect("handler panicked");
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let conn_id = shared.next_conn.fetch_add(1, Ordering::SeqCst);
+    if let Ok(clone) = stream.try_clone() {
+        shared
+            .conns
+            .lock()
+            .expect("conns poisoned")
+            .insert(conn_id, clone);
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = HttpReader::new(stream);
+    loop {
+        let request = match reader.read_request(shared.max_body) {
+            Ok(req) => req,
+            Err(RequestError::Closed) | Err(RequestError::Timeout) | Err(RequestError::Io(_)) => {
+                break;
+            }
+            Err(RequestError::TooLarge) => {
+                let resp = Response::json(413, api::error_body("request too large"));
+                let _ = resp.write_to(&mut writer, false);
+                shared.metrics.record("other", 413, Duration::ZERO);
+                break;
+            }
+            Err(RequestError::Malformed(why)) => {
+                let resp =
+                    Response::json(400, api::error_body(&format!("malformed request: {why}")));
+                let _ = resp.write_to(&mut writer, false);
+                shared.metrics.record("other", 400, Duration::ZERO);
+                break;
+            }
+        };
+        let started = Instant::now();
+        let keep_alive = request.wants_keep_alive() && !shared.draining.load(Ordering::SeqCst);
+        let (endpoint, response) = route(&request, shared);
+        let status = response.status;
+        if response.write_to(&mut writer, keep_alive).is_err() {
+            shared.metrics.record(endpoint, status, started.elapsed());
+            break;
+        }
+        shared.metrics.record(endpoint, status, started.elapsed());
+        if !keep_alive {
+            break;
+        }
+    }
+    shared
+        .conns
+        .lock()
+        .expect("conns poisoned")
+        .remove(&conn_id);
+}
+
+/// Dispatch one request. Returns the endpoint label used in metrics and
+/// the response to send.
+fn route(request: &Request, shared: &Shared) -> (&'static str, Response) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/predict") => ("/v1/predict", predict(request, shared)),
+        ("POST", "/v1/batch") => ("/v1/batch", batch(request, shared)),
+        ("POST", "/admin/drain") => ("/admin/drain", drain_request(shared)),
+        ("GET", "/healthz") => ("/healthz", healthz(shared)),
+        ("GET", "/metrics") => (
+            "/metrics",
+            Response::text(200, snapshot(shared).to_prometheus()),
+        ),
+        ("GET", "/metrics.json") => (
+            "/metrics.json",
+            Response::json(200, snapshot(shared).to_json()),
+        ),
+        (
+            _,
+            "/v1/predict" | "/v1/batch" | "/admin/drain" | "/healthz" | "/metrics"
+            | "/metrics.json",
+        ) => (
+            "other",
+            Response::json(405, api::error_body("method not allowed")),
+        ),
+        _ => ("other", Response::json(404, api::error_body("not found"))),
+    }
+}
+
+/// A metrics snapshot with the serve gauges freshly synced. Goes through
+/// [`Engine::metrics_snapshot`] so the engine's cache gauges are fresh
+/// too.
+fn snapshot(shared: &Shared) -> MetricsSnapshot {
+    shared.sync_gauges();
+    shared.engine.metrics_snapshot()
+}
+
+fn healthz(shared: &Shared) -> Response {
+    use predsim_lint::json::Value;
+    let draining = shared.draining.load(Ordering::SeqCst);
+    let body = Value::Object(vec![
+        (
+            "status".into(),
+            Value::Str(if draining { "draining" } else { "ok" }.into()),
+        ),
+        (
+            "queue_depth".into(),
+            Value::Int(shared.queue.depth() as i64),
+        ),
+        (
+            "in_flight".into(),
+            Value::Int(shared.executing.load(Ordering::SeqCst) as i64),
+        ),
+        ("workers".into(), Value::Int(shared.workers as i64)),
+    ]);
+    Response::json(200, body.to_compact())
+}
+
+fn drain_request(shared: &Shared) -> Response {
+    shared.draining.store(true, Ordering::SeqCst);
+    Response::json(200, "{\"draining\":true}")
+}
+
+/// Admit `jobs` (all-or-nothing), wait for the results. `Err` is the
+/// ready-to-send backpressure or shutdown response.
+fn admit_and_run(shared: &Shared, jobs: Vec<JobSpec>) -> Result<Vec<JobResult>, Response> {
+    let reply = ReplySlot::new(jobs.len());
+    let batch: Vec<Job> = jobs
+        .into_iter()
+        .enumerate()
+        .map(|(slot, spec)| Job {
+            spec,
+            reply: Arc::clone(&reply),
+            slot,
+        })
+        .collect();
+    match shared.queue.try_push_all(batch) {
+        Ok(()) => {
+            shared.sync_gauges();
+            Ok(reply.wait())
+        }
+        Err((_, PushError::Full)) => Err(Response::json(
+            429,
+            api::error_body("admission queue is full; retry later"),
+        )
+        .with_header("Retry-After", "1")),
+        Err((_, PushError::Closed)) => {
+            Err(Response::json(503, api::error_body("server is draining")))
+        }
+    }
+}
+
+fn predict(request: &Request, shared: &Shared) -> Response {
+    if shared.draining.load(Ordering::SeqCst) {
+        return Response::json(503, api::error_body("server is draining"));
+    }
+    let body = match request.body_str() {
+        Ok(b) => b,
+        Err(_) => return Response::json(400, api::error_body("body is not valid UTF-8")),
+    };
+    let parsed = api::parse_predict(body)
+        .and_then(|job| api::check_jobs(std::slice::from_ref(&job)).map(|()| job));
+    let (_, spec) = match parsed {
+        Ok(job) => job,
+        Err(e) => return Response::json(e.status, e.body),
+    };
+    match admit_and_run(shared, vec![spec]) {
+        Ok(results) => Response::json(200, api::render_predict(&results[0])),
+        Err(resp) => resp,
+    }
+}
+
+fn batch(request: &Request, shared: &Shared) -> Response {
+    if shared.draining.load(Ordering::SeqCst) {
+        return Response::json(503, api::error_body("server is draining"));
+    }
+    let body = match request.body_str() {
+        Ok(b) => b,
+        Err(_) => return Response::json(400, api::error_body("body is not valid UTF-8")),
+    };
+    let jobs = match api::parse_batch(body).and_then(|jobs| api::check_jobs(&jobs).map(|()| jobs)) {
+        Ok(jobs) => jobs,
+        Err(e) => return Response::json(e.status, e.body),
+    };
+    let specs = jobs.into_iter().map(|(_, spec)| spec).collect();
+    match admit_and_run(shared, specs) {
+        Ok(results) => Response::json(200, api::render_batch(&results)),
+        Err(resp) => resp,
+    }
+}

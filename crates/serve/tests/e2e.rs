@@ -1,0 +1,453 @@
+//! End-to-end tests over a real TCP socket: concurrent clients, load
+//! shedding, lint rejection, metrics exposure, and graceful drain.
+
+use predsim_engine::{Engine, EngineConfig};
+use predsim_lint::json::{self, Value};
+use predsim_lint::Report;
+use predsim_serve::{api, ServeConfig, Server, ServerHandle};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A prediction heavy enough (~2 s debug) to still be running while the
+/// test lines up more requests behind it.
+const HEAVY: &str = r#"{"source":"ge:3840,24,diagonal,8"}"#;
+
+fn start(workers: usize, queue_cap: usize) -> ServerHandle {
+    Server::start(ServeConfig {
+        workers,
+        queue_cap,
+        request_timeout: Duration::from_secs(10),
+        ..ServeConfig::default()
+    })
+    .expect("server starts")
+}
+
+/// One-shot request: send with `Connection: close`, read to EOF.
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, Vec<(String, String)>, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    write!(
+        conn,
+        "{method} {path} HTTP/1.1\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).expect("read response");
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &str) -> (u16, Vec<(String, String)>, String) {
+    let (head, body) = raw.split_once("\r\n\r\n").expect("response has a head");
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let headers = lines
+        .map(|l| {
+            let (k, v) = l.split_once(':').expect("header line");
+            (k.trim().to_ascii_lowercase(), v.trim().to_string())
+        })
+        .collect();
+    (status, headers, body.to_string())
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn predict(addr: SocketAddr, body: &str) -> (u16, String) {
+    let (status, _, body) = request(addr, "POST", "/v1/predict", body);
+    (status, body)
+}
+
+/// The current `/healthz` numbers.
+fn health(addr: SocketAddr) -> (i64, i64) {
+    let (status, _, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    let v = json::parse(&body).expect("healthz is strict JSON");
+    (
+        v.get("queue_depth").and_then(Value::as_int).unwrap(),
+        v.get("in_flight").and_then(Value::as_int).unwrap(),
+    )
+}
+
+fn wait_until(deadline_ms: u64, mut cond: impl FnMut() -> bool) {
+    for _ in 0..deadline_ms / 10 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("condition not reached within {deadline_ms} ms");
+}
+
+#[test]
+fn concurrent_predictions_are_byte_identical_to_the_engine() {
+    let bodies: Vec<String> = [
+        r#"{"source":"ge:240,24,diagonal,8"}"#,
+        r#"{"source":"cannon:96,4","machine":"paragon"}"#,
+        r#"{"source":"stencil:96,8,3","worst_case":true}"#,
+        r#"{"source":"apsp:120,24,row,6","faults":"drop:0.1","seed":9}"#,
+    ]
+    .iter()
+    .cycle()
+    .take(8)
+    .map(|s| s.to_string())
+    .collect();
+
+    // What the engine says in-process, rendered through the same API
+    // layer: the wire bytes must match exactly.
+    let engine = Engine::new(EngineConfig::default().with_jobs(1));
+    let expected: Vec<String> = bodies
+        .iter()
+        .map(|body| {
+            let (_, spec) = api::parse_predict(body).expect("body parses");
+            api::render_predict(&engine.run(std::slice::from_ref(&spec))[0])
+        })
+        .collect();
+
+    let handle = start(4, 32);
+    let addr = handle.addr();
+    let clients: Vec<_> = bodies
+        .iter()
+        .map(|body| {
+            let body = body.clone();
+            std::thread::spawn(move || predict(addr, &body))
+        })
+        .collect();
+    for (client, expected) in clients.into_iter().zip(&expected) {
+        let (status, body) = client.join().expect("client thread");
+        assert_eq!(status, 200);
+        assert_eq!(&body, expected, "server bytes differ from Engine::run");
+    }
+
+    // Acceptance (c): after drain, the counted requests match the
+    // requests issued — exactly the 8 predicts, all 200.
+    let report = handle.drain();
+    assert_eq!(
+        report
+            .metrics
+            .scalar("serve_requests_total", &[("code", "200")]),
+        Some(8)
+    );
+    assert_eq!(
+        report.metrics.scalar(
+            "serve_endpoint_requests_total",
+            &[("endpoint", "/v1/predict")]
+        ),
+        Some(8)
+    );
+    assert_eq!(
+        report.metrics.scalar("serve_queue_depth", &[]),
+        Some(0),
+        "the queue is empty after drain"
+    );
+    let (count, _) = report
+        .metrics
+        .histogram_totals("serve_request_wall_ns")
+        .expect("wall histogram exists");
+    assert_eq!(count, 8);
+}
+
+#[test]
+fn queue_overflow_sheds_with_429_without_dropping_admitted_work() {
+    let handle = start(1, 1);
+    let addr = handle.addr();
+
+    // R1 occupies the single worker...
+    let r1 = std::thread::spawn(move || predict(addr, HEAVY));
+    wait_until(8000, || health(addr).1 >= 1);
+    // ...R2 occupies the single queue slot...
+    let r2 = std::thread::spawn(move || predict(addr, HEAVY));
+    wait_until(8000, || {
+        let (depth, executing) = health(addr);
+        depth >= 1 && executing >= 1
+    });
+    // ...so R3 must be shed, immediately. R3 is a cheap job: its lint
+    // gate is instant, so the admission decision happens while R1 is
+    // still executing.
+    let (status, headers, body) =
+        request(addr, "POST", "/v1/predict", r#"{"source":"cannon:64,4"}"#);
+    assert_eq!(status, 429);
+    assert_eq!(header(&headers, "retry-after"), Some("1"));
+    assert!(json::parse(&body).unwrap().get("error").is_some());
+
+    // The admitted requests complete normally: shedding R3 lost nothing.
+    let (s1, b1) = r1.join().unwrap();
+    let (s2, b2) = r2.join().unwrap();
+    assert_eq!((s1, s2), (200, 200));
+    assert_eq!(b1, b2, "identical jobs, identical predictions");
+
+    let report = handle.drain();
+    assert_eq!(
+        report
+            .metrics
+            .scalar("serve_requests_total", &[("code", "429")]),
+        Some(1)
+    );
+    assert_eq!(
+        report.metrics.scalar(
+            "serve_endpoint_requests_total",
+            &[("endpoint", "/v1/predict")]
+        ),
+        Some(3),
+        "shed requests are counted too"
+    );
+}
+
+#[test]
+fn analyzer_rejections_are_422_with_the_check_document() {
+    let handle = start(1, 4);
+    let addr = handle.addr();
+
+    // An infeasible spec: the response body is byte-identical to what the
+    // API's own lint gate produces (the `predsim check --json` shape).
+    let body = r#"{"source":"ge:64,16,row,0"}"#;
+    let jobs = vec![api::parse_predict(body).unwrap()];
+    let expected = api::check_jobs(&jobs).expect_err("lint must reject");
+    assert_eq!(expected.status, 422);
+    let (status, response) = predict(addr, body);
+    assert_eq!(status, 422);
+    assert_eq!(response, expected.body);
+
+    // The 422 document round-trips through the lint crate's own parser
+    // and names the infeasible-spec code.
+    let doc = json::parse(&expected.body).unwrap();
+    assert_eq!(doc.get("version").and_then(Value::as_int), Some(1));
+    let sources = doc.get("sources").and_then(Value::as_array).unwrap();
+    let report = Report::from_value(sources[0].get("report").unwrap()).unwrap();
+    assert!(report.has_errors());
+    assert!(expected.body.contains("PS0501"), "{}", expected.body);
+
+    // A cyclic step under the worst-case algorithm is NOT rejected: the
+    // gate is the engine's (deadlock cycles are its defined forced-
+    // transmission behaviour), so the job runs and reports the forced
+    // sends.
+    let ring = r#"{"trace":"program procs=2\nstep label=ring\nmsg 0 1 64\nmsg 1 0 64\n",
+                   "worst_case":true}"#;
+    let (status, response) = predict(addr, ring);
+    assert_eq!(status, 200, "{response}");
+    let doc = json::parse(&response).unwrap();
+    let result = doc.get("result").unwrap();
+    assert_eq!(result.get("outcome").and_then(Value::as_str), Some("done"));
+    assert!(
+        result.get("forced_sends").and_then(Value::as_int).unwrap() > 0,
+        "the worst-case algorithm forced the cycle open: {response}"
+    );
+
+    // Batch: one bad job poisons admission of the whole batch, naming
+    // only the bad one in the document.
+    let (status, _, response) = request(
+        addr,
+        "POST",
+        "/v1/batch",
+        r#"{"jobs":[{"source":"cannon:64,4"},{"source":"ge:64,16,row,0"}]}"#,
+    );
+    assert_eq!(status, 422);
+    let doc = json::parse(&response).unwrap();
+    assert_eq!(
+        doc.get("sources")
+            .and_then(Value::as_array)
+            .map(<[Value]>::len),
+        Some(1)
+    );
+    handle.drain();
+}
+
+#[test]
+fn batch_endpoint_predicts_in_submission_order() {
+    let handle = start(2, 8);
+    let addr = handle.addr();
+    let (status, _, body) = request(
+        addr,
+        "POST",
+        "/v1/batch",
+        r#"{"jobs":[{"source":"cannon:96,4","label":"a"},
+                    {"source":"stencil:96,8,3","label":"b"}]}"#,
+    );
+    assert_eq!(status, 200);
+    let doc = json::parse(&body).unwrap();
+    let results = doc.get("results").and_then(Value::as_array).unwrap();
+    let labels: Vec<_> = results
+        .iter()
+        .map(|r| r.get("label").and_then(Value::as_str).unwrap())
+        .collect();
+    assert_eq!(labels, ["a", "b"]);
+    for r in results {
+        assert_eq!(r.get("outcome").and_then(Value::as_str), Some("done"));
+        assert!(r.get("total_ps").and_then(Value::as_int).unwrap() > 0);
+    }
+    handle.drain();
+}
+
+#[test]
+fn metrics_are_exposed_in_prometheus_text_and_strict_json() {
+    let handle = start(1, 4);
+    let addr = handle.addr();
+    let (status, _body) = predict(addr, r#"{"source":"cannon:96,4"}"#);
+    assert_eq!(status, 200);
+
+    let (status, headers, text) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(header(&headers, "content-type")
+        .unwrap()
+        .starts_with("text/plain"));
+    for needle in [
+        "# TYPE serve_requests_total counter",
+        "serve_requests_total{code=\"200\"} 1",
+        "# TYPE serve_queue_depth gauge",
+        "serve_request_wall_ns_bucket",
+        "engine_jobs_total",
+        "engine_cache_hits",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+
+    // The JSON flavour must itself be valid under the strict dialect.
+    let (status, _, js) = request(addr, "GET", "/metrics.json", "");
+    assert_eq!(status, 200);
+    let doc = json::parse(&js).expect("metrics.json is strict JSON");
+    assert!(doc.get("metrics").and_then(Value::as_array).is_some());
+    handle.drain();
+}
+
+#[test]
+fn routing_rejects_what_the_api_does_not_serve() {
+    let handle = start(1, 4);
+    let addr = handle.addr();
+    assert_eq!(request(addr, "GET", "/nope", "").0, 404);
+    assert_eq!(request(addr, "GET", "/v1/predict", "").0, 405);
+    assert_eq!(request(addr, "DELETE", "/metrics", "").0, 405);
+    let (status, _, body) = request(addr, "POST", "/v1/predict", "{\"pi\": 3.14}");
+    assert_eq!(status, 400);
+    assert!(
+        json::parse(&body).unwrap().get("error").is_some(),
+        "400 body is a strict-JSON error object"
+    );
+    // A declared body over the server's cap is refused from the head
+    // alone, before any of it is read.
+    let mut conn = TcpStream::connect(addr).unwrap();
+    write!(
+        conn,
+        "POST /v1/predict HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        8 << 20
+    )
+    .unwrap();
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).unwrap();
+    assert_eq!(parse_response(&raw).0, 413);
+    handle.drain();
+}
+
+#[test]
+fn keep_alive_serves_back_to_back_requests_on_one_connection() {
+    let handle = start(1, 4);
+    let addr = handle.addr();
+    let conn = TcpStream::connect(addr).unwrap();
+    let mut writer = conn.try_clone().unwrap();
+    let mut reader = BufReader::new(conn);
+
+    let body = r#"{"source":"cannon:96,4"}"#;
+    write!(writer, "GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+    write!(
+        writer,
+        "POST /v1/predict HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let (status, headers, _) = read_one_response(&mut reader);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "connection"), Some("keep-alive"));
+    let (status, _, body) = read_one_response(&mut reader);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"outcome\":\"done\""));
+    handle.drain();
+}
+
+/// Read one `Content-Length`-framed response off a keep-alive stream.
+fn read_one_response(reader: &mut BufReader<TcpStream>) -> (u16, Vec<(String, String)>, String) {
+    let mut head = String::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        if line == "\r\n" {
+            break;
+        }
+        head.push_str(&line);
+    }
+    let mut lines = head.lines();
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .unwrap();
+    let headers: Vec<(String, String)> = lines
+        .map(|l| {
+            let (k, v) = l.split_once(':').unwrap();
+            (k.trim().to_ascii_lowercase(), v.trim().to_string())
+        })
+        .collect();
+    let len: usize = header(&headers, "content-length").unwrap().parse().unwrap();
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body).unwrap();
+    (status, headers, String::from_utf8(body).unwrap())
+}
+
+#[test]
+fn drain_finishes_in_flight_work_and_counts_every_request() {
+    let handle = start(1, 4);
+    let addr = handle.addr();
+
+    // A request is mid-execution when the drain arrives.
+    let in_flight = std::thread::spawn(move || predict(addr, HEAVY));
+    wait_until(8000, || health(addr).1 >= 1);
+
+    let (status, _, body) = request(addr, "POST", "/admin/drain", "");
+    assert_eq!(status, 200);
+    assert_eq!(body, "{\"draining\":true}");
+    assert!(handle.drain_requested());
+    handle.wait_for_drain_request();
+    let report = handle.drain();
+
+    // The in-flight prediction completed and was delivered.
+    let (status, body) = in_flight.join().unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"outcome\":\"done\""), "{body}");
+
+    // Every request this test issued is in the final counters: the
+    // predict, the drain, and each healthz poll.
+    let m = &report.metrics;
+    let scalar = |labels: &[(&str, &str)]| m.scalar("serve_endpoint_requests_total", labels);
+    assert_eq!(scalar(&[("endpoint", "/v1/predict")]), Some(1));
+    assert_eq!(scalar(&[("endpoint", "/admin/drain")]), Some(1));
+    let polls = scalar(&[("endpoint", "/healthz")]).unwrap();
+    assert!(polls >= 1);
+    let total_200 = m
+        .scalar("serve_requests_total", &[("code", "200")])
+        .unwrap();
+    assert_eq!(total_200, 2 + polls);
+
+    // The listener is gone: new connections are refused (or reset before
+    // a response arrives).
+    let late = TcpStream::connect(addr);
+    if let Ok(mut conn) = late {
+        let gone = write!(conn, "GET /healthz HTTP/1.1\r\n\r\n").is_err() || {
+            let mut buf = String::new();
+            conn.read_to_string(&mut buf)
+                .map(|n| n == 0)
+                .unwrap_or(true)
+        };
+        assert!(gone, "a drained server must not answer");
+    }
+}

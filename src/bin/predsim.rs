@@ -7,23 +7,30 @@
 //! predsim gantt TRACE --step N         ASCII/SVG Gantt of one step
 //! predsim trace SOURCE [options]       simulate with event tracing + horizon
 //! predsim ge-sweep [options]           block-size sweep for blocked GE
+//! predsim serve [options]              HTTP prediction service
 //! predsim faults explain SPEC          resolve a fault plan without running
 //! predsim fit CSV                      fit LogGP params from ping data
 //! ```
 //!
 //! Argument parsing is deliberately hand-rolled (the workspace carries no
-//! CLI dependency); see `predsim help` for the full usage text.
+//! CLI dependency; see [`predsim::cli`]); `predsim help` prints the full
+//! usage text.
 
+use predsim::cli::{machine, switch, valued, Args, FlagSpec};
 use predsim::predsim_core::report::{secs, Table};
 use predsim::predsim_core::{textfmt, CommAlgo};
 use predsim::predsim_engine::{
     best_by_total, Engine, EngineConfig, JobResult, JobSource, JobSpec, Journal, JournalEntry,
     LayoutSpec,
 };
-use predsim::predsim_lint::{check_program, json, FaultWindow, LintOptions, Severity};
+use predsim::predsim_lint::{
+    check_program, json, Code, Diagnostic, FaultWindow, LintOptions, Report, Severity, Span,
+};
+use predsim::predsim_serve::{ServeConfig, Server};
 use predsim::prelude::*;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 const USAGE: &str = "\
 predsim — trace-driven LogGP running-time prediction (Rugina & Schauser, IPPS'98)
@@ -97,6 +104,25 @@ USAGE:
       same file — the combined results are identical to an uninterrupted
       run. --results-out writes the results table to a file.
 
+  predsim serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
+                [--request-timeout SECS] [--no-memo] [--job-budget STEPS]
+                [--retries K] [--checkpoint FILE] [--metrics-out FILE]
+      Serve predictions over HTTP (std-only, no framework). POST
+      /v1/predict takes a strict-JSON job, e.g.
+        {\"source\":\"ge:960,32,diagonal,8\",\"machine\":\"paragon\"}
+      (optional: inline \"trace\", \"worst_case\", \"barrier\", \"overlap\",
+      \"classic_gap\", \"faults\"+\"seed\", \"label\"); POST /v1/batch takes
+      {\"jobs\":[...]} and predicts them in submission order. Jobs are
+      pre-validated with the analyzer — invalid ones get 422 with the
+      same diagnostics document as 'check --json'. Admission is a
+      bounded queue served by --workers threads; when full, requests
+      get 429 + Retry-After. GET /healthz reports queue depth and
+      in-flight count; GET /metrics exposes engine + serve counters in
+      Prometheus text (/metrics.json: strict JSON). POST /admin/drain
+      stops gracefully — admitted work finishes, then the process exits
+      0 (--metrics-out writes the final snapshot; --checkpoint journals
+      every finished job). Default address 127.0.0.1:9100.
+
   predsim faults explain SPEC [--seed N] [--steps N] [--procs P]
       Parse a fault spec, bind it to the seed, and print the resolved
       plan: clauses plus a sample decision grid. SPEC is a comma list of
@@ -112,38 +138,6 @@ USAGE:
 
 Machines: meiko (default), paragon, myrinet, ethernet, ideal.
 ";
-
-fn machine(name: &str, procs: usize) -> Result<loggp::LogGpParams, String> {
-    Ok(match name {
-        "meiko" => presets::meiko_cs2(procs),
-        "paragon" => presets::intel_paragon(procs),
-        "myrinet" => presets::myrinet_cluster(procs),
-        "ethernet" => presets::ethernet_cluster(procs),
-        "ideal" => presets::ideal(procs),
-        other => return Err(format!("unknown machine '{other}'")),
-    })
-}
-
-/// A flag a command accepts: its name and whether it takes a value.
-#[derive(Clone, Copy)]
-struct FlagSpec {
-    name: &'static str,
-    takes_value: bool,
-}
-
-const fn switch(name: &'static str) -> FlagSpec {
-    FlagSpec {
-        name,
-        takes_value: false,
-    }
-}
-
-const fn valued(name: &'static str) -> FlagSpec {
-    FlagSpec {
-        name,
-        takes_value: true,
-    }
-}
 
 /// Flags shared by every command that builds [`SimOptions`].
 const SIM_FLAGS: [FlagSpec; 5] = [
@@ -168,80 +162,6 @@ const BATCH_FLAGS: [FlagSpec; 10] = [
     valued("results-out"),
     valued("metrics-out"),
 ];
-
-struct Args {
-    positional: Vec<String>,
-    flags: Vec<(String, Option<String>)>,
-}
-
-impl Args {
-    /// Parse `raw` against the command's accepted flags. Unknown flags,
-    /// duplicate flags, valued flags without a value, and values given to
-    /// switches are all rejected.
-    fn parse(raw: &[String], spec: &[FlagSpec]) -> Result<Args, String> {
-        let mut positional = Vec::new();
-        let mut flags: Vec<(String, Option<String>)> = Vec::new();
-        let mut it = raw.iter().peekable();
-        while let Some(a) = it.next() {
-            let Some(body) = a.strip_prefix("--") else {
-                positional.push(a.clone());
-                continue;
-            };
-            let (name, inline) = match body.split_once('=') {
-                Some((n, v)) => (n, Some(v.to_string())),
-                None => (body, None),
-            };
-            let Some(fs) = spec.iter().find(|f| f.name == name) else {
-                return Err(format!(
-                    "unknown flag '--{name}' (run 'predsim help' for usage)"
-                ));
-            };
-            if flags.iter().any(|(n, _)| n == name) {
-                return Err(format!("duplicate flag '--{name}'"));
-            }
-            let value = if fs.takes_value {
-                match inline {
-                    Some(v) => Some(v),
-                    None => Some(
-                        it.next()
-                            .ok_or_else(|| format!("flag '--{name}' needs a value"))?
-                            .clone(),
-                    ),
-                }
-            } else {
-                if inline.is_some() {
-                    return Err(format!("flag '--{name}' takes no value"));
-                }
-                None
-            };
-            flags.push((name.to_string(), value));
-        }
-        Ok(Args { positional, flags })
-    }
-
-    fn flag(&self, name: &str) -> bool {
-        self.flags.iter().any(|(n, _)| n == name)
-    }
-
-    fn value(&self, name: &str) -> Option<&str> {
-        self.flags
-            .iter()
-            .find(|(n, _)| n == name)
-            .and_then(|(_, v)| v.as_deref())
-    }
-
-    /// The `--jobs` worker count: defaults to one per CPU, must be ≥ 1.
-    fn jobs(&self) -> Result<usize, String> {
-        match self.value("jobs") {
-            None => Ok(0), // engine resolves 0 to the CPU count
-            Some(v) => match v.parse::<usize>() {
-                Ok(n) if n >= 1 => Ok(n),
-                Ok(_) => Err("--jobs must be at least 1".into()),
-                Err(e) => Err(format!("bad --jobs: {e}")),
-            },
-        }
-    }
-}
 
 fn cmd_presets() -> Result<(), String> {
     let mut t = Table::new([
@@ -667,95 +587,16 @@ fn cmd_ge_sweep(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Parse a `N,BLOCK,LAYOUT,PROCS` blocked-matrix spec (shared by `ge:`
-/// and `apsp:`), returning `(n, block, layout)`.
-fn parse_blocked_spec(
-    kind: &str,
-    raw: &str,
-    spec: &str,
-) -> Result<(usize, usize, LayoutSpec), String> {
-    let parts: Vec<&str> = spec.split(',').collect();
-    let [n, block, layout, procs] = parts.as_slice() else {
-        return Err(format!(
-            "{kind} spec '{raw}': expected {kind}:N,BLOCK,LAYOUT,PROCS"
-        ));
-    };
-    let n: usize = n
-        .parse()
-        .map_err(|e| format!("{kind} spec '{raw}': bad N: {e}"))?;
-    let block: usize = block
-        .parse()
-        .map_err(|e| format!("{kind} spec '{raw}': bad BLOCK: {e}"))?;
-    let procs: usize = procs
-        .parse()
-        .map_err(|e| format!("{kind} spec '{raw}': bad PROCS: {e}"))?;
-    if block == 0 || !n.is_multiple_of(block) {
-        return Err(format!("{kind} spec '{raw}': BLOCK must divide N"));
-    }
-    let layout = match *layout {
-        "diagonal" => LayoutSpec::Diagonal(procs),
-        "row" => LayoutSpec::RowCyclic(procs),
-        "col" => LayoutSpec::ColCyclic(procs),
-        other => return Err(format!("{kind} spec '{raw}': unknown layout '{other}'")),
-    };
-    Ok((n, block, layout))
-}
-
 /// Parse a batch SOURCE argument: a generator spec (`ge:`, `cannon:`,
-/// `stencil:`, `apsp:`) or a trace file path.
+/// `stencil:`, `apsp:` — the shared grammar of [`JobSource::parse_spec`])
+/// or a trace file path.
 fn parse_source(raw: &str) -> Result<(String, JobSource), String> {
-    if let Some(spec) = raw.strip_prefix("ge:") {
-        let (n, block, layout) = parse_blocked_spec("ge", raw, spec)?;
-        Ok((raw.to_string(), JobSource::Gauss { n, block, layout }))
-    } else if let Some(spec) = raw.strip_prefix("apsp:") {
-        let (n, block, layout) = parse_blocked_spec("apsp", raw, spec)?;
-        Ok((raw.to_string(), JobSource::Apsp { n, block, layout }))
-    } else if let Some(spec) = raw.strip_prefix("cannon:") {
-        let parts: Vec<&str> = spec.split(',').collect();
-        let [n, q] = parts.as_slice() else {
-            return Err(format!("cannon spec '{raw}': expected cannon:N,Q"));
-        };
-        let n: usize = n
-            .parse()
-            .map_err(|e| format!("cannon spec '{raw}': bad N: {e}"))?;
-        let q: usize = q
-            .parse()
-            .map_err(|e| format!("cannon spec '{raw}': bad Q: {e}"))?;
-        if q == 0 || !n.is_multiple_of(q) {
-            return Err(format!("cannon spec '{raw}': Q must divide N"));
+    match JobSource::parse_spec(raw)? {
+        Some(source) => Ok((raw.to_string(), source)),
+        None => {
+            let program = load_trace(raw)?;
+            Ok((raw.to_string(), JobSource::Program(Arc::new(program))))
         }
-        Ok((raw.to_string(), JobSource::Cannon { n, q }))
-    } else if let Some(spec) = raw.strip_prefix("stencil:") {
-        let parts: Vec<&str> = spec.split(',').collect();
-        let [n, procs, iters] = parts.as_slice() else {
-            return Err(format!(
-                "stencil spec '{raw}': expected stencil:N,PROCS,ITERS"
-            ));
-        };
-        let n: usize = n
-            .parse()
-            .map_err(|e| format!("stencil spec '{raw}': bad N: {e}"))?;
-        let procs: usize = procs
-            .parse()
-            .map_err(|e| format!("stencil spec '{raw}': bad PROCS: {e}"))?;
-        let iters: usize = iters
-            .parse()
-            .map_err(|e| format!("stencil spec '{raw}': bad ITERS: {e}"))?;
-        if procs == 0 || procs > n {
-            return Err(format!("stencil spec '{raw}': need 1..=N bands"));
-        }
-        Ok((
-            raw.to_string(),
-            JobSource::Stencil {
-                n,
-                procs,
-                iters,
-                ps_per_flop: 500,
-            },
-        ))
-    } else {
-        let program = load_trace(raw)?;
-        Ok((raw.to_string(), JobSource::Program(Arc::new(program))))
     }
 }
 
@@ -778,28 +619,52 @@ fn cmd_check(args: &Args) -> Result<ExitCode, String> {
     let mut sources = Vec::new();
     for raw in &args.positional {
         let (name, source) = parse_source(raw)?;
-        source
-            .validate()
-            .map_err(|why| format!("source '{name}': {why}"))?;
-        let program = source.build();
-        let params = machine(args.value("machine").unwrap_or("meiko"), program.procs())?;
-        let mut opts = LintOptions::default().with_params(params).with_algo(algo);
-        if let Some(plan) = &plan {
-            opts = opts.with_fault_windows(
-                plan.spec()
-                    .fails
-                    .iter()
-                    .map(|f| FaultWindow {
-                        proc: f.proc,
-                        step: f.step,
-                    })
-                    .collect(),
-            );
-            if args.flag("strict") {
-                opts = opts.with_strict_faults();
+        // An infeasible spec is itself a diagnostic (the same PS0501 the
+        // engine's pre-run gate and the serve API report), not a CLI
+        // error: `check --json` always yields a parseable document.
+        let report = match source.validate() {
+            Err(why) => {
+                let mut report = Report::new();
+                report.push(
+                    Diagnostic::new(
+                        Code::BadJobSpec,
+                        Severity::Error,
+                        Span::program(),
+                        format!("job spec cannot produce a program: {why}"),
+                    )
+                    .with_note("the generator would panic on these inputs; fix the spec"),
+                );
+                report
             }
-        }
-        let report = check_program(&program, &opts);
+            Ok(()) => {
+                let program = source.build();
+                if !as_json {
+                    println!(
+                        "checking {name} (P={}, {} step(s))",
+                        program.procs(),
+                        program.len()
+                    );
+                }
+                let params = machine(args.value("machine").unwrap_or("meiko"), program.procs())?;
+                let mut opts = LintOptions::default().with_params(params).with_algo(algo);
+                if let Some(plan) = &plan {
+                    opts = opts.with_fault_windows(
+                        plan.spec()
+                            .fails
+                            .iter()
+                            .map(|f| FaultWindow {
+                                proc: f.proc,
+                                step: f.step,
+                            })
+                            .collect(),
+                    );
+                    if args.flag("strict") {
+                        opts = opts.with_strict_faults();
+                    }
+                }
+                check_program(&program, &opts)
+            }
+        };
         any_error |= report.has_errors();
         any_warning |= report.count(Severity::Warning) > 0;
         if as_json {
@@ -808,11 +673,6 @@ fn cmd_check(args: &Args) -> Result<ExitCode, String> {
                 ("report".into(), report.to_value()),
             ]));
         } else {
-            println!(
-                "checking {name} (P={}, {} step(s))",
-                program.procs(),
-                program.len()
-            );
             print!("{}", report.render());
             println!();
         }
@@ -899,6 +759,56 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
     }
     report_results(args, &results, plan.as_ref())?;
     write_engine_metrics(args, &engine)?;
+    Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let mut config = ServeConfig {
+        addr: args.value("addr").unwrap_or("127.0.0.1:9100").to_string(),
+        engine: engine_config(args)?,
+        ..ServeConfig::default()
+    };
+    if let Some(v) = args.value("workers") {
+        match v.parse::<usize>() {
+            Ok(n) if n >= 1 => config.workers = n,
+            Ok(_) => return Err("--workers must be at least 1".into()),
+            Err(e) => return Err(format!("bad --workers: {e}")),
+        }
+    }
+    if let Some(v) = args.value("queue-cap") {
+        match v.parse::<usize>() {
+            Ok(n) if n >= 1 => config.queue_cap = n,
+            Ok(_) => return Err("--queue-cap must be at least 1".into()),
+            Err(e) => return Err(format!("bad --queue-cap: {e}")),
+        }
+    }
+    if let Some(v) = args.value("request-timeout") {
+        match v.parse::<u64>() {
+            Ok(s) if s >= 1 => config.request_timeout = Duration::from_secs(s),
+            Ok(_) => return Err("--request-timeout must be at least 1 second".into()),
+            Err(e) => return Err(format!("bad --request-timeout: {e}")),
+        }
+    }
+    if let Some(path) = args.value("checkpoint") {
+        config.journal = Some(path.into());
+    }
+
+    let handle = Server::start(config).map_err(|e| format!("starting server: {e}"))?;
+    // The listening line is a contract: scripts (and the repo's own
+    // tests) wait for it before sending requests.
+    println!("predsim-serve listening on http://{}", handle.addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+
+    handle.wait_for_drain_request();
+    println!("drain requested; finishing admitted work");
+    let report = handle.drain();
+    if let Some(file) = args.value("metrics-out") {
+        std::fs::write(file, report.metrics.to_prometheus())
+            .map_err(|e| format!("writing {file}: {e}"))?;
+        println!("wrote metrics to {file}");
+    }
+    println!("drained cleanly");
     Ok(())
 }
 
@@ -1021,6 +931,17 @@ fn run() -> Result<ExitCode, String> {
             s.extend(BATCH_FLAGS);
             s
         }
+        "serve" => vec![
+            valued("addr"),
+            valued("workers"),
+            valued("queue-cap"),
+            valued("request-timeout"),
+            switch("no-memo"),
+            valued("job-budget"),
+            valued("retries"),
+            valued("checkpoint"),
+            valued("metrics-out"),
+        ],
         "faults" => vec![valued("seed"), valued("steps"), valued("procs")],
         _ => Vec::new(),
     };
@@ -1035,6 +956,7 @@ fn run() -> Result<ExitCode, String> {
         "trace" => cmd_trace(&args),
         "ge-sweep" => cmd_ge_sweep(&args),
         "batch" => cmd_batch(&args),
+        "serve" => cmd_serve(&args),
         "faults" => cmd_faults(&args),
         "fit" => cmd_fit(&args),
         "help" | "--help" | "-h" => {

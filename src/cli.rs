@@ -1,0 +1,192 @@
+//! Strict command-line flag parsing, shared by every `predsim`
+//! subcommand.
+//!
+//! The workspace carries no CLI dependency, so parsing is hand-rolled —
+//! and deliberately strict: unknown flags, duplicate flags, valued flags
+//! without a value, and values handed to switches are all hard errors.
+//! A typo can never be silently ignored.
+//!
+//! ```
+//! use predsim::cli::{switch, valued, Args};
+//!
+//! let spec = [valued("machine"), switch("worst-case")];
+//! let raw: Vec<String> = ["--machine", "paragon", "--worst-case", "ge:960,32,diagonal,8"]
+//!     .iter()
+//!     .map(|s| s.to_string())
+//!     .collect();
+//! let args = Args::parse(&raw, &spec).unwrap();
+//! assert_eq!(args.value("machine"), Some("paragon"));
+//! assert!(args.flag("worst-case"));
+//! assert_eq!(args.positional, ["ge:960,32,diagonal,8"]);
+//! assert!(Args::parse(&raw, &[valued("machine")]).is_err(), "unknown flag");
+//! ```
+
+use loggp::{presets, LogGpParams};
+
+/// A flag a command accepts: its name and whether it takes a value.
+#[derive(Clone, Copy)]
+pub struct FlagSpec {
+    /// Flag name, without the leading `--`.
+    pub name: &'static str,
+    /// Whether the flag consumes a value (`--name VALUE` or
+    /// `--name=VALUE`).
+    pub takes_value: bool,
+}
+
+/// A boolean flag (`--worst-case`).
+pub const fn switch(name: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        takes_value: false,
+    }
+}
+
+/// A flag that carries a value (`--machine NAME`).
+pub const fn valued(name: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        takes_value: true,
+    }
+}
+
+/// Parsed arguments: the positional operands plus the accepted flags.
+pub struct Args {
+    /// Non-flag arguments, in order.
+    pub positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    /// Parse `raw` against the command's accepted flags. Unknown flags,
+    /// duplicate flags, valued flags without a value, and values given to
+    /// switches are all rejected.
+    pub fn parse(raw: &[String], spec: &[FlagSpec]) -> Result<Args, String> {
+        let mut positional = Vec::new();
+        let mut flags: Vec<(String, Option<String>)> = Vec::new();
+        let mut it = raw.iter().peekable();
+        while let Some(a) = it.next() {
+            let Some(body) = a.strip_prefix("--") else {
+                positional.push(a.clone());
+                continue;
+            };
+            let (name, inline) = match body.split_once('=') {
+                Some((n, v)) => (n, Some(v.to_string())),
+                None => (body, None),
+            };
+            let Some(fs) = spec.iter().find(|f| f.name == name) else {
+                return Err(format!(
+                    "unknown flag '--{name}' (run 'predsim help' for usage)"
+                ));
+            };
+            if flags.iter().any(|(n, _)| n == name) {
+                return Err(format!("duplicate flag '--{name}'"));
+            }
+            let value = if fs.takes_value {
+                match inline {
+                    Some(v) => Some(v),
+                    None => Some(
+                        it.next()
+                            .ok_or_else(|| format!("flag '--{name}' needs a value"))?
+                            .clone(),
+                    ),
+                }
+            } else {
+                if inline.is_some() {
+                    return Err(format!("flag '--{name}' takes no value"));
+                }
+                None
+            };
+            flags.push((name.to_string(), value));
+        }
+        Ok(Args { positional, flags })
+    }
+
+    /// Whether the flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    /// The flag's value, when it was given one.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// The `--jobs` worker count: defaults to one per CPU, must be ≥ 1.
+    pub fn jobs(&self) -> Result<usize, String> {
+        match self.value("jobs") {
+            None => Ok(0), // engine resolves 0 to the CPU count
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(n),
+                Ok(_) => Err("--jobs must be at least 1".into()),
+                Err(e) => Err(format!("bad --jobs: {e}")),
+            },
+        }
+    }
+}
+
+/// Resolve a machine-preset name (as listed by `predsim presets`) to its
+/// LogGP parameters for `procs` processors.
+pub fn machine(name: &str, procs: usize) -> Result<LogGpParams, String> {
+    presets::by_name(name, procs).ok_or_else(|| {
+        format!(
+            "unknown machine '{name}' (expected one of: {})",
+            presets::SHORT_NAMES.join(", ")
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_switches_values_and_positionals() {
+        let spec = [valued("machine"), switch("worst-case"), valued("jobs")];
+        let args = Args::parse(
+            &raw(&[
+                "a.trace",
+                "--machine=ideal",
+                "--worst-case",
+                "--jobs",
+                "4",
+                "b.trace",
+            ]),
+            &spec,
+        )
+        .unwrap();
+        assert_eq!(args.positional, ["a.trace", "b.trace"]);
+        assert_eq!(args.value("machine"), Some("ideal"));
+        assert!(args.flag("worst-case"));
+        assert_eq!(args.jobs().unwrap(), 4);
+    }
+
+    #[test]
+    fn rejects_misuse() {
+        let spec = [valued("machine"), switch("worst-case")];
+        for (bad, why) in [
+            (raw(&["--bogus"]), "unknown flag"),
+            (raw(&["--machine", "x", "--machine", "y"]), "duplicate"),
+            (raw(&["--machine"]), "missing value"),
+            (raw(&["--worst-case=yes"]), "value on a switch"),
+        ] {
+            assert!(Args::parse(&bad, &spec).is_err(), "{why}");
+        }
+        let args = Args::parse(&raw(&["--jobs", "0"]), &[valued("jobs")]).unwrap();
+        assert!(args.jobs().is_err(), "--jobs 0 is rejected");
+    }
+
+    #[test]
+    fn machine_names_resolve_through_the_shared_preset_table() {
+        assert_eq!(machine("meiko", 8).unwrap(), presets::meiko_cs2(8));
+        assert_eq!(machine("ideal", 4).unwrap(), presets::ideal(4));
+        let err = machine("cray", 8).unwrap_err();
+        assert!(err.contains("meiko"), "the error names the options: {err}");
+    }
+}

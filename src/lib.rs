@@ -23,6 +23,10 @@
 //! | [`predsim_faults`] | deterministic fault injection: message drop/retransmission, slowdown, fail-stop |
 //! | [`predsim_lint`] | static program analyzer: deadlock, well-formedness and LogGP-bound lints |
 //! | [`predsim_obs`] | observability: structured trace events/sinks, metrics registry, profiling |
+//! | [`predsim_serve`] | HTTP prediction service: admission control, graceful drain, live metrics |
+//!
+//! The facade adds one module of its own: [`cli`], the strict flag
+//! parser behind the `predsim` binary.
 //!
 //! ## Quickstart
 //!
@@ -53,7 +57,10 @@ pub use predsim_engine;
 pub use predsim_faults;
 pub use predsim_lint;
 pub use predsim_obs;
+pub use predsim_serve;
 pub use stencil;
+
+pub mod cli;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
@@ -72,4 +79,5 @@ pub mod prelude {
     pub use predsim_faults::{simulate_faulted, FaultPlan, FaultSpec};
     pub use predsim_lint::{check_program, LintOptions, Report};
     pub use predsim_obs::{HorizonProfile, JsonlSink, MemorySink, Registry, TraceEvent, TraceSink};
+    pub use predsim_serve::{ServeConfig, Server, ServerHandle};
 }

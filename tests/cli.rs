@@ -708,3 +708,121 @@ fn ge_sweep_supports_faults_and_budgets() {
     assert!(text.contains("predicted optimum: B="), "{text}");
     assert!(text.contains("fault plan: slow:0.2:2"), "{text}");
 }
+
+#[test]
+fn serve_rejects_bad_flags_before_binding() {
+    for (args, want) in [
+        (vec!["serve", "--bogus"], "unknown flag"),
+        (
+            vec!["serve", "--workers", "0"],
+            "--workers must be at least 1",
+        ),
+        (
+            vec!["serve", "--queue-cap", "0"],
+            "--queue-cap must be at least 1",
+        ),
+        (
+            vec!["serve", "--request-timeout", "0"],
+            "--request-timeout must be at least 1",
+        ),
+        (
+            vec!["serve", "--addr", "a", "--addr", "b"],
+            "duplicate flag '--addr'",
+        ),
+    ] {
+        let out = bin().args(&args).output().unwrap();
+        assert!(!out.status.success(), "{args:?} should fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(want), "{args:?}: {err}");
+    }
+}
+
+/// One-shot HTTP request against a running serve instance: connect, send,
+/// read to EOF (the server closes after `Connection: close`).
+fn http_request(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    use std::io::Read as _;
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let status: u16 = raw.split_whitespace().nth(1).unwrap().parse().unwrap();
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap();
+    (status, body)
+}
+
+#[test]
+fn serve_round_trips_over_a_real_socket_and_drains_on_request() {
+    use std::io::BufRead as _;
+    let mut child = bin()
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "1"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut lines = std::io::BufReader::new(child.stdout.take().unwrap()).lines();
+    let banner = lines.next().unwrap().unwrap();
+    let addr = banner
+        .strip_prefix("predsim-serve listening on http://")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .to_string();
+
+    let (status, body) = http_request(&addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+
+    let (status, body) = http_request(
+        &addr,
+        "POST",
+        "/v1/predict",
+        r#"{"source":"cannon:64,4","machine":"ideal"}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"total_ps\""), "{body}");
+
+    // An infeasible spec gets the same diagnostics document as
+    // `predsim check --json` (PS0501), as a 422.
+    let (status, body) = http_request(
+        &addr,
+        "POST",
+        "/v1/predict",
+        r#"{"source":"ge:64,16,row,0"}"#,
+    );
+    assert_eq!(status, 422, "{body}");
+    assert!(body.contains("PS0501"), "{body}");
+    let check = bin()
+        .args(["check", "--json", "ge:64,16,row,0"])
+        .output()
+        .unwrap();
+    assert!(!check.status.success());
+    assert!(
+        String::from_utf8_lossy(&check.stdout).contains("PS0501"),
+        "check --json should report the same code"
+    );
+
+    let (status, body) = http_request(&addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("serve_requests_total"), "{body}");
+    assert!(body.contains("engine_jobs_total"), "{body}");
+
+    let (status, body) = http_request(&addr, "POST", "/admin/drain", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"draining\":true"), "{body}");
+
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "serve should exit 0 after drain");
+    let rest: Vec<String> = lines.map(|l| l.unwrap()).collect();
+    assert!(
+        rest.iter().any(|l| l.contains("drained cleanly")),
+        "{rest:?}"
+    );
+}
