@@ -1,0 +1,81 @@
+//! Bracketing quality: does the fitted machine bracket the measurements?
+//!
+//! The paper's headline property is that the standard algorithm
+//! under-approximates and the worst-case algorithm over-approximates
+//! real running times. A calibration is *good* when the fitted preset
+//! restores that property on runs it never saw: for each held-out run,
+//! `standard ≤ measured ≤ worst-case` on the total running time.
+
+use crate::measure::MeasuredRun;
+use commsim::SimConfig;
+use loggp::{LogGpParams, Time};
+use predsim_core::{Program, SimOptions};
+use predsim_engine::{Engine, JobSource, JobSpec};
+use std::sync::Arc;
+
+/// The bracket check over a set of runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BracketReport {
+    /// Runs with `standard ≤ measured ≤ worst-case`.
+    pub hits: usize,
+    /// Runs checked.
+    pub total: usize,
+    /// The fitted standard-algorithm total (the lower bound).
+    pub std_total: Time,
+    /// The fitted worst-case-algorithm total (the upper bound).
+    pub wc_total: Time,
+}
+
+impl BracketReport {
+    /// Hit rate in permille (integer, wire-format friendly); 0 when
+    /// nothing was checked.
+    pub fn hit_permille(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            (self.hits as u64 * 1000) / self.total as u64
+        }
+    }
+
+    /// Hit rate as a fraction in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+}
+
+/// Score `params` against measured `runs`: predict the program once
+/// under the standard and once under the worst-case algorithm, and
+/// count the runs whose measured total falls inside the bracket.
+pub fn bracket(
+    program: &Arc<Program>,
+    params: LogGpParams,
+    runs: &[MeasuredRun],
+    engine: &Engine,
+) -> BracketReport {
+    let std_spec = JobSpec::new(
+        "bracket-std",
+        JobSource::Program(Arc::clone(program)),
+        SimOptions::new(SimConfig::new(params)),
+    );
+    let wc_spec = JobSpec::new(
+        "bracket-wc",
+        JobSource::Program(Arc::clone(program)),
+        SimOptions::new(SimConfig::new(params)).worst_case(),
+    );
+    let std_total = engine.run_one(&std_spec).total;
+    let wc_total = engine.run_one(&wc_spec).total;
+    let hits = runs
+        .iter()
+        .filter(|r| std_total <= r.total && r.total <= wc_total)
+        .count();
+    BracketReport {
+        hits,
+        total: runs.len(),
+        std_total,
+        wc_total,
+    }
+}

@@ -222,6 +222,42 @@ impl JobSource {
         }
     }
 
+    /// Build the program trace *and* its per-step work profiles (block
+    /// visits and memory touches). Generator sources return the loads
+    /// their generator derives; a pre-built [`JobSource::Program`] has
+    /// none (empty — the emulator then skips iteration and cache
+    /// charges). Used by the emulation/calibration paths, which feed a
+    /// machine emulator rather than the pure predictor.
+    pub fn build_loaded(&self) -> (Arc<Program>, Vec<predsim_core::StepLoad>) {
+        match self {
+            JobSource::Program(p) => (Arc::clone(p), Vec::new()),
+            JobSource::Gauss { n, block, layout } => {
+                let cost = AnalyticCost::paper_default();
+                let t = gauss::generate(*n, *block, layout.build().as_ref(), &cost);
+                (Arc::new(t.program), t.loads)
+            }
+            JobSource::Cannon { n, q } => {
+                let cost = AnalyticCost::paper_default();
+                let t = cannon::generate(*n, *q, &cost);
+                (Arc::new(t.program), t.loads)
+            }
+            JobSource::Stencil {
+                n,
+                procs,
+                iters,
+                ps_per_flop,
+            } => {
+                let t = stencil::generate(*n, *procs, *iters, *ps_per_flop);
+                (Arc::new(t.program), t.loads)
+            }
+            JobSource::Apsp { n, block, layout } => {
+                let cost = AnalyticCost::paper_default();
+                let t = apsp::generate(*n, *block, layout.build().as_ref(), &cost);
+                (Arc::new(t.program), t.loads)
+            }
+        }
+    }
+
     /// Number of processors the program runs on.
     pub fn procs(&self) -> usize {
         match self {

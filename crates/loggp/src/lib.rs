@@ -14,7 +14,10 @@
 //!   operations at a processor (send→send, recv→recv, send→recv, recv→send),
 //!   not just same-kind pairs;
 //! * [`presets`] — parameter sets for a few machines, most importantly the
-//!   Meiko CS-2 the paper evaluated on.
+//!   Meiko CS-2 the paper evaluated on;
+//! * [`registry`] — file-backed *fitted* presets: named parameter sets
+//!   produced by calibration, persisted as small JSON files and resolvable
+//!   through [`presets::by_name`] like the built-ins.
 //!
 //! # Model summary
 //!
@@ -42,6 +45,7 @@ pub mod fit;
 pub mod gap;
 pub mod params;
 pub mod presets;
+pub mod registry;
 pub mod time;
 
 pub use gap::{GapRule, OpKind, ProcClock};

@@ -58,6 +58,11 @@ pub const SHORT_NAMES: [&str; 5] = ["meiko", "paragon", "myrinet", "ethernet", "
 /// `ethernet`, `ideal`) at a given processor count. Every front end that
 /// accepts a machine name — the CLI flags and the serve API's `machine`
 /// field — resolves it through here, so the spellings cannot drift.
+///
+/// Names that are not built-ins fall back to the fitted-preset
+/// [`registry`](crate::registry): anything registered there (from a
+/// calibration run or a loaded preset file) resolves exactly like a
+/// built-in, re-targeted to `procs` processors.
 pub fn by_name(name: &str, procs: usize) -> Option<LogGpParams> {
     Some(match name {
         "meiko" => meiko_cs2(procs),
@@ -65,7 +70,7 @@ pub fn by_name(name: &str, procs: usize) -> Option<LogGpParams> {
         "myrinet" => myrinet_cluster(procs),
         "ethernet" => ethernet_cluster(procs),
         "ideal" => ideal(procs),
-        _ => return None,
+        _ => return crate::registry::registered(name, procs),
     })
 }
 

@@ -1,0 +1,519 @@
+//! File-backed named machine presets.
+//!
+//! [`presets::by_name`](crate::presets::by_name) resolves the built-in
+//! machines; this module adds the *fitted* ones: parameter sets produced
+//! by calibration (or written by hand) that live in small JSON files and
+//! in a process-wide registry consulted as a fallback by `by_name`.
+//!
+//! The file format is deliberately tiny — integer picoseconds only, no
+//! floats, so a preset round-trips bit-exactly through save/load:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "presets": [
+//!     { "name": "ge-fit", "latency_ps": 9000000, "overhead_ps": 6000000,
+//!       "gap_ps": 16000000, "gap_per_byte_ps": 30000, "procs": 8 }
+//!   ]
+//! }
+//! ```
+//!
+//! `loggp` sits below the workspace's strict JSON parser
+//! (`predsim_lint::json` depends on this crate), so the loader here is a
+//! self-contained parser for exactly this schema: objects, arrays,
+//! strings without escapes, and unsigned integers. Anything else is a
+//! hard error — same spirit as the wire format, scoped to one file kind.
+
+use crate::params::LogGpParams;
+use crate::time::Time;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::{OnceLock, RwLock};
+
+/// Current preset-file schema version.
+pub const FILE_VERSION: u64 = 1;
+
+/// A named parameter set as stored in a preset file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NamedPreset {
+    /// Registry name (letters, digits, `-`, `_`, `.`; must not collide
+    /// with a built-in short name).
+    pub name: String,
+    /// The parameters (procs included: the count the fit was made at;
+    /// `by_name` re-targets it to the requested processor count).
+    pub params: LogGpParams,
+}
+
+/// Validate a registry name: non-empty, and only characters that cannot
+/// collide with the `--machine` spec grammar (`@file:name`) or the
+/// serve API's comma-separated machine lists.
+pub fn check_name(name: &str) -> Result<(), String> {
+    if name.is_empty() {
+        return Err("preset name must not be empty".into());
+    }
+    if let Some(c) = name
+        .chars()
+        .find(|c| !(c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.')))
+    {
+        return Err(format!(
+            "preset name '{name}' contains '{c}' (allowed: letters, digits, '-', '_', '.')"
+        ));
+    }
+    if crate::presets::SHORT_NAMES.contains(&name) {
+        return Err(format!("preset name '{name}' shadows a built-in machine"));
+    }
+    Ok(())
+}
+
+fn global() -> &'static RwLock<HashMap<String, LogGpParams>> {
+    static GLOBAL: OnceLock<RwLock<HashMap<String, LogGpParams>>> = OnceLock::new();
+    GLOBAL.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// Register a fitted preset under `name` in the process-wide registry.
+///
+/// Rejects invalid names, names shadowing built-ins, parameters that do
+/// not validate, and re-registration under an existing name with
+/// *different* parameters. Re-registering identical parameters is
+/// idempotent (so loading the same preset file twice is harmless).
+pub fn register(name: &str, params: LogGpParams) -> Result<(), String> {
+    check_name(name)?;
+    params
+        .validate()
+        .map_err(|e| format!("preset '{name}': {e}"))?;
+    let mut map = global().write().expect("preset registry poisoned");
+    match map.get(name) {
+        Some(existing) if *existing != params => Err(format!(
+            "preset '{name}' is already registered with different parameters"
+        )),
+        _ => {
+            map.insert(name.to_string(), params);
+            Ok(())
+        }
+    }
+}
+
+/// Look a registered preset up by name, re-targeted to `procs`
+/// processors. Built-in machines are *not* consulted here; use
+/// [`presets::by_name`](crate::presets::by_name) for the combined view.
+pub fn registered(name: &str, procs: usize) -> Option<LogGpParams> {
+    let map = global().read().expect("preset registry poisoned");
+    map.get(name).map(|p| p.with_procs(procs))
+}
+
+/// The names currently registered, sorted.
+pub fn registered_names() -> Vec<String> {
+    let map = global().read().expect("preset registry poisoned");
+    let mut names: Vec<String> = map.keys().cloned().collect();
+    names.sort();
+    names
+}
+
+/// Parse a preset file's contents. Duplicate names within the file are
+/// rejected; every entry's parameters must validate.
+pub fn parse_file(text: &str) -> Result<Vec<NamedPreset>, String> {
+    let value = Parser::new(text).document()?;
+    let mut obj = value.into_object("preset file")?;
+    let version = obj.take_int("version")?;
+    if version != FILE_VERSION {
+        return Err(format!(
+            "unsupported preset file version {version} (expected {FILE_VERSION})"
+        ));
+    }
+    let entries = obj.take_array("presets")?;
+    obj.finish("preset file")?;
+    let mut out = Vec::new();
+    for (i, entry) in entries.into_iter().enumerate() {
+        let mut e = entry.into_object(&format!("presets[{i}]"))?;
+        let name = e.take_str("name")?;
+        check_name(&name)?;
+        if out.iter().any(|p: &NamedPreset| p.name == name) {
+            return Err(format!("duplicate preset name '{name}' in file"));
+        }
+        let params = LogGpParams {
+            latency: Time::from_ps(e.take_int("latency_ps")?),
+            overhead: Time::from_ps(e.take_int("overhead_ps")?),
+            gap: Time::from_ps(e.take_int("gap_ps")?),
+            gap_per_byte: Time::from_ps(e.take_int("gap_per_byte_ps")?),
+            procs: usize::try_from(e.take_int("procs")?)
+                .map_err(|_| format!("preset '{name}': procs out of range"))?,
+        };
+        params
+            .validate()
+            .map_err(|err| format!("preset '{name}': {err}"))?;
+        e.finish(&name)?;
+        out.push(NamedPreset { name, params });
+    }
+    Ok(out)
+}
+
+/// Render presets in the file format (pretty-printed, trailing newline).
+pub fn render_file(presets: &[NamedPreset]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"version\": {FILE_VERSION},");
+    s.push_str("  \"presets\": [");
+    for (i, p) in presets.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    { ");
+        let _ = write!(
+            s,
+            "\"name\": \"{}\", \"latency_ps\": {}, \"overhead_ps\": {}, \
+             \"gap_ps\": {}, \"gap_per_byte_ps\": {}, \"procs\": {}",
+            p.name,
+            p.params.latency.as_ps(),
+            p.params.overhead.as_ps(),
+            p.params.gap.as_ps(),
+            p.params.gap_per_byte.as_ps(),
+            p.params.procs
+        );
+        s.push_str(" }");
+    }
+    if presets.is_empty() {
+        s.push_str("]\n}\n");
+    } else {
+        s.push_str("\n  ]\n}\n");
+    }
+    s
+}
+
+/// Load a preset file from disk (parse only — nothing is registered).
+pub fn load_file(path: &str) -> Result<Vec<NamedPreset>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read preset file {path}: {e}"))?;
+    parse_file(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Write presets to a file in the canonical format.
+pub fn save_file(path: &str, presets: &[NamedPreset]) -> Result<(), String> {
+    for p in presets {
+        check_name(&p.name)?;
+        if presets.iter().filter(|q| q.name == p.name).count() > 1 {
+            return Err(format!("duplicate preset name '{}'", p.name));
+        }
+    }
+    std::fs::write(path, render_file(presets))
+        .map_err(|e| format!("cannot write preset file {path}: {e}"))
+}
+
+/// Load a preset file and register every entry in the process-wide
+/// registry. Returns the names registered, in file order.
+pub fn register_file(path: &str) -> Result<Vec<String>, String> {
+    let presets = load_file(path)?;
+    let mut names = Vec::with_capacity(presets.len());
+    for p in &presets {
+        register(&p.name, p.params).map_err(|e| format!("{path}: {e}"))?;
+        names.push(p.name.clone());
+    }
+    Ok(names)
+}
+
+// ---------------------------------------------------------------------
+// The schema-local JSON subset parser.
+// ---------------------------------------------------------------------
+
+enum Value {
+    Object(Vec<(String, Value)>),
+    Array(Vec<Value>),
+    Str(String),
+    Int(u64),
+}
+
+/// An object under consumption: fields are taken by name and any
+/// leftover (unknown) field is a hard error via [`Fields::finish`].
+struct Fields(Vec<(String, Value)>);
+
+impl Value {
+    fn into_object(self, what: &str) -> Result<Fields, String> {
+        match self {
+            Value::Object(fields) => Ok(Fields(fields)),
+            _ => Err(format!("{what}: expected an object")),
+        }
+    }
+}
+
+impl Fields {
+    fn take(&mut self, key: &str) -> Result<Value, String> {
+        let idx = self
+            .0
+            .iter()
+            .position(|(k, _)| k == key)
+            .ok_or_else(|| format!("missing field '{key}'"))?;
+        Ok(self.0.remove(idx).1)
+    }
+
+    fn take_int(&mut self, key: &str) -> Result<u64, String> {
+        match self.take(key)? {
+            Value::Int(n) => Ok(n),
+            _ => Err(format!("field '{key}' must be an unsigned integer")),
+        }
+    }
+
+    fn take_str(&mut self, key: &str) -> Result<String, String> {
+        match self.take(key)? {
+            Value::Str(s) => Ok(s),
+            _ => Err(format!("field '{key}' must be a string")),
+        }
+    }
+
+    fn take_array(&mut self, key: &str) -> Result<Vec<Value>, String> {
+        match self.take(key)? {
+            Value::Array(items) => Ok(items),
+            _ => Err(format!("field '{key}' must be an array")),
+        }
+    }
+
+    fn finish(self, what: &str) -> Result<(), String> {
+        match self.0.first() {
+            None => Ok(()),
+            Some((k, _)) => Err(format!("{what}: unknown field '{k}'")),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn document(&mut self) -> Result<Value, String> {
+        let v = self.value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err("trailing content after document".into());
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of preset file".into())
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}'", b as char))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Value::Str(self.string()?)),
+            b'0'..=b'9' => Ok(Value::Int(self.integer()?)),
+            c => Err(format!("unexpected character '{}'", c as char)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            let key = match self.peek()? {
+                b'"' => self.string()?,
+                _ => return Err("expected a quoted key".into()),
+            };
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(format!("duplicate key '{key}'"));
+            }
+            self.eat(b':')?;
+            let v = self.value()?;
+            fields.push((key, v));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                c => return Err(format!("expected ',' or '}}', found '{}'", c as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                c => return Err(format!("expected ',' or ']', found '{}'", c as char)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'"' => {
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?
+                        .to_string();
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                b'\\' => return Err("escape sequences are not supported in preset files".into()),
+                0x00..=0x1f => return Err("control character in string".into()),
+                _ => self.pos += 1,
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn integer(&mut self) -> Result<u64, String> {
+        let start = self.pos;
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let digits = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        if digits.len() > 1 && digits.starts_with('0') {
+            return Err("leading zeros are not allowed".into());
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'.' | b'e' | b'E')) {
+            return Err("floats are not allowed in preset files (use integer picoseconds)".into());
+        }
+        digits
+            .parse::<u64>()
+            .map_err(|e| format!("bad integer: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    fn fitted(latency_us: f64) -> LogGpParams {
+        LogGpParams::from_us(latency_us, 4.0, 12.0, 0.02, 8)
+    }
+
+    #[test]
+    fn file_round_trips_bit_exactly() {
+        let presets = vec![
+            NamedPreset {
+                name: "ge-fit".into(),
+                params: fitted(7.25),
+            },
+            NamedPreset {
+                name: "stencil.v2".into(),
+                params: fitted(11.5),
+            },
+        ];
+        let text = render_file(&presets);
+        let back = parse_file(&text).unwrap();
+        assert_eq!(back, presets);
+        // And the empty file round-trips too.
+        assert_eq!(parse_file(&render_file(&[])).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_files() {
+        for (bad, why) in [
+            ("", "empty"),
+            ("{\"version\": 2, \"presets\": []}", "wrong version"),
+            ("{\"version\": 1}", "missing presets"),
+            (
+                "{\"version\": 1, \"presets\": [], \"extra\": 1}",
+                "unknown field",
+            ),
+            ("{\"version\": 1.0, \"presets\": []}", "floats are rejected"),
+            (
+                "{\"version\": 1, \"presets\": [{\"name\": \"x\"}]}",
+                "missing params",
+            ),
+        ] {
+            assert!(parse_file(bad).is_err(), "{why}");
+        }
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected_in_files_and_on_save() {
+        let p = NamedPreset {
+            name: "dup".into(),
+            params: fitted(5.0),
+        };
+        let text = render_file(&[p.clone(), p.clone()]);
+        let err = parse_file(&text).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+        let err = save_file("/dev/null", &[p.clone(), p]).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn registry_rejects_shadowing_and_conflicting_registration() {
+        assert!(register("meiko", fitted(5.0)).is_err(), "builtin shadow");
+        assert!(register("has space", fitted(5.0)).is_err(), "bad name");
+        assert!(register("a@b", fitted(5.0)).is_err(), "spec metachar");
+        register("reg-test-conflict", fitted(5.0)).unwrap();
+        // Idempotent re-registration is fine; different params are not.
+        register("reg-test-conflict", fitted(5.0)).unwrap();
+        let err = register("reg-test-conflict", fitted(6.0)).unwrap_err();
+        assert!(err.contains("different parameters"), "{err}");
+    }
+
+    #[test]
+    fn by_name_falls_back_to_the_registry() {
+        assert!(presets::by_name("reg-test-lookup", 4).is_none());
+        register("reg-test-lookup", fitted(5.0)).unwrap();
+        let p = presets::by_name("reg-test-lookup", 16).expect("registered");
+        assert_eq!(p.procs, 16, "re-targeted to the requested procs");
+        assert_eq!(p.latency, fitted(5.0).latency);
+        assert!(registered_names().contains(&"reg-test-lookup".to_string()));
+    }
+
+    #[test]
+    fn invalid_params_are_rejected_at_parse_and_register() {
+        // g < o violates LogGP validation.
+        let text = "{\"version\": 1, \"presets\": [{ \"name\": \"bad\", \
+                    \"latency_ps\": 1, \"overhead_ps\": 10, \"gap_ps\": 5, \
+                    \"gap_per_byte_ps\": 0, \"procs\": 4 }]}";
+        assert!(parse_file(text).is_err());
+        let bad = LogGpParams {
+            gap: Time::from_us(1.0),
+            overhead: Time::from_us(2.0),
+            ..fitted(5.0)
+        };
+        assert!(register("reg-test-invalid", bad).is_err());
+    }
+}

@@ -6,9 +6,10 @@
 //! (see the crate docs). Everything is deterministic for a fixed seed.
 
 use crate::cache::{Cache, Hierarchy};
-use commsim::{standard, CommPattern, SimConfig};
+use commsim::{standard, CommPattern, SimConfig, StepFaults};
 use loggp::Time;
-use predsim_core::{Prediction, Program, StepLoad, StepRecord};
+use predsim_core::{CompShaper, Prediction, Program, StepLoad, StepRecord};
+use predsim_faults::{FaultPlan, FaultShaper, StepFaultView};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -132,6 +133,21 @@ pub struct Measurement {
 /// Run `prog` on the emulated machine. `loads` may be empty (no iteration
 /// or cache charges) or must be parallel to `prog.steps()`.
 pub fn emulate(prog: &Program, loads: &[StepLoad], ecfg: &EmulatorConfig) -> Measurement {
+    emulate_faulted(prog, loads, ecfg, None)
+}
+
+/// [`emulate`] with a fault plan injected into the emulated hardware:
+/// message drops cost retransmissions on top of the jitter/contention
+/// arrival model, and transient slowdowns / fail-stop outages stretch
+/// the computation phases. A `None` (or zero) plan reproduces
+/// [`emulate`] exactly — calibrating against a faulted testbed uses this
+/// entry point to produce degraded "measured" runs.
+pub fn emulate_faulted(
+    prog: &Program,
+    loads: &[StepLoad],
+    ecfg: &EmulatorConfig,
+    faults: Option<&FaultPlan>,
+) -> Measurement {
     assert!(
         loads.is_empty() || loads.len() == prog.len(),
         "loads must be empty or parallel to the program steps"
@@ -165,6 +181,7 @@ pub fn emulate(prog: &Program, loads: &[StepLoad], ecfg: &EmulatorConfig) -> Mea
     let mut cache_penalty_time = Time::ZERO;
     let mut self_copy_time = Time::ZERO;
     let mut iter_overhead_time = Time::ZERO;
+    let mut shaper = faults.map(|plan| FaultShaper::new(plan, None));
 
     for (step_idx, step) in prog.steps().iter().enumerate() {
         let start = ready.iter().copied().min().unwrap_or(Time::ZERO);
@@ -200,6 +217,12 @@ pub fn emulate(prog: &Program, loads: &[StepLoad], ecfg: &EmulatorConfig) -> Mea
                     charge += penalty;
                 }
             }
+            if let Some(sh) = shaper.as_mut() {
+                // Slowdowns stretch everything the CPU does this phase
+                // (base work, loop overhead and cache stalls alike);
+                // outages add their fixed silence on top.
+                charge = sh.comp_charge(step_idx, p, charge);
+            }
             comp_end[p] = ready[p] + charge;
             per_proc_comp[p] += charge;
         }
@@ -209,7 +232,7 @@ pub fn emulate(prog: &Program, loads: &[StepLoad], ecfg: &EmulatorConfig) -> Mea
         let (comm_end_max, mut next_ready) = if step.comm.is_empty() {
             (comp_end_max, comp_end.clone())
         } else {
-            let result = simulate_comm(&step.comm, ecfg, step_idx as u64, &comp_end);
+            let result = simulate_comm(&step.comm, ecfg, step_idx as u64, &comp_end, faults);
             forced_sends += result.forced_sends;
             let mut comm_done = comp_end.clone();
             for ev in result.timeline.events() {
@@ -277,6 +300,7 @@ fn simulate_comm(
     ecfg: &EmulatorConfig,
     step_idx: u64,
     ready: &[Time],
+    faults: Option<&FaultPlan>,
 ) -> commsim::SimResult {
     let params = ecfg.cfg.params;
     let jitter = ecfg.jitter_pct as i64;
@@ -285,8 +309,9 @@ fn simulate_comm(
     let mut link_free: HashMap<usize, Time> = HashMap::new();
     let mut bus_free = Time::ZERO;
     let mut rng = SmallRng::seed_from_u64(ecfg.cfg.seed ^ (0x9E37_79B9 ^ step_idx).rotate_left(17));
+    let view = faults.map(|plan| StepFaultView::new(plan, step_idx));
 
-    standard::simulate_hooked(pattern, &ecfg.cfg, ready, &mut |m, send_start| {
+    let mut arrival = |m: &commsim::Message, send_start: Time| {
         // Network part of the flight, jittered.
         let flight = params.wire_time(m.bytes) + params.latency;
         let factor_permille = if jitter == 0 {
@@ -317,7 +342,15 @@ fn simulate_comm(
             *free = arrival + params.wire_time(m.bytes);
         }
         arrival
-    })
+    };
+    standard::simulate_faulted(
+        pattern,
+        &ecfg.cfg,
+        ready,
+        &mut arrival,
+        None,
+        view.as_ref().map(|v| v as &dyn StepFaults),
+    )
 }
 
 #[cfg(test)]
@@ -649,6 +682,50 @@ mod tests {
             combined.prediction.total,
             linked.prediction.total
         );
+    }
+
+    #[test]
+    fn zero_fault_plan_reproduces_emulate_exactly() {
+        let mut prog = Program::new(4);
+        prog.push(Step::new("a2a").with_comm(patterns::all_to_all(4, 1024)));
+        let ecfg = EmulatorConfig::meiko_like(base_cfg(4));
+        let plan =
+            predsim_faults::FaultPlan::new(predsim_faults::FaultSpec::parse("none").unwrap(), 7);
+        let clean = emulate(&prog, &[], &ecfg);
+        let faulted = emulate_faulted(&prog, &[], &ecfg, Some(&plan));
+        assert_eq!(faulted.prediction, clean.prediction);
+    }
+
+    #[test]
+    fn drops_and_slowdowns_degrade_the_emulated_machine() {
+        let mut prog = Program::new(4);
+        for s in 0..4 {
+            let mut c = CommPattern::new(4);
+            for p in 0..4 {
+                c.add(p, (p + 1) % 4, 2048);
+            }
+            prog.push(
+                Step::new(format!("ring-{s}"))
+                    .with_comp(vec![Time::from_us(20.0); 4])
+                    .with_comm(c),
+            );
+        }
+        let ecfg = EmulatorConfig::meiko_like(base_cfg(4));
+        let clean = emulate(&prog, &[], &ecfg);
+        let plan = predsim_faults::FaultPlan::new(
+            predsim_faults::FaultSpec::parse("drop:0.5:100:6,slow:0.5:3").unwrap(),
+            11,
+        );
+        let faulted = emulate_faulted(&prog, &[], &ecfg, Some(&plan));
+        assert!(
+            faulted.prediction.total > clean.prediction.total,
+            "faults must cost time: {} vs {}",
+            faulted.prediction.total,
+            clean.prediction.total
+        );
+        // Determinism holds under faults too.
+        let again = emulate_faulted(&prog, &[], &ecfg, Some(&plan));
+        assert_eq!(again.prediction, faulted.prediction);
     }
 
     #[test]

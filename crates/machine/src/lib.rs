@@ -25,7 +25,10 @@
 //! [`emulator::emulate`] runs a [`predsim_core::Program`] under all of
 //! these and returns "measured" series in the same shape as the
 //! predictor's output, so the benchmark harness can plot the paper's
-//! measured-vs-simulated figures.
+//! measured-vs-simulated figures. [`emulator::emulate_faulted`]
+//! additionally injects a [`predsim_faults::FaultPlan`] into the emulated
+//! hardware, so the calibration subsystem can fit against a degraded
+//! testbed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,4 +37,4 @@ pub mod cache;
 pub mod emulator;
 
 pub use cache::{Cache, CacheStats};
-pub use emulator::{emulate, CacheConfig, EmulatorConfig, Measurement};
+pub use emulator::{emulate, emulate_faulted, CacheConfig, EmulatorConfig, Measurement};

@@ -210,6 +210,191 @@ pub fn parse_batch(body: &str) -> Result<Vec<(String, JobSpec)>, ApiError> {
         .collect()
 }
 
+const CALIBRATE_FIELDS: [&str; 8] = [
+    "source",
+    "machine",
+    "runs",
+    "holdout",
+    "max_rounds",
+    "faults",
+    "seed",
+    "register",
+];
+
+/// Largest number of emulated runs one calibrate request may ask for —
+/// each run is a full emulation of the source program.
+pub const MAX_CALIBRATE_RUNS: usize = 64;
+/// Largest descent-round budget one calibrate request may ask for.
+pub const MAX_CALIBRATE_ROUNDS: usize = 64;
+
+/// One parsed `POST /v1/calibrate` request: everything a worker needs to
+/// measure the source on the emulator and fit a preset to it.
+pub struct CalibrateRequest {
+    /// The generator source (the server reads no files, so only specs).
+    pub source: String,
+    /// The program the source builds.
+    pub program: Arc<predsim_core::Program>,
+    /// Its computation loads, for the emulator.
+    pub loads: Vec<predsim_core::StepLoad>,
+    /// The machine preset: both the emulated hardware and the fit's
+    /// starting point.
+    pub machine: String,
+    /// How the emulator collects the measured runs.
+    pub measure: predsim_calib::MeasureConfig,
+    /// How the fit searches.
+    pub fit: predsim_calib::FitConfig,
+    /// Register the fitted preset under this name on success.
+    pub register: Option<String>,
+}
+
+fn field_usize(v: &Value, name: &str) -> Result<Option<usize>, String> {
+    match v.get(name) {
+        None => Ok(None),
+        Some(s) => {
+            let n = s
+                .as_int()
+                .ok_or_else(|| format!("field '{name}' must be an integer"))?;
+            usize::try_from(n).map_err(|_| format!("field '{name}' must be non-negative"))
+        }
+        .map(Some),
+    }
+}
+
+/// Parse a `POST /v1/calibrate` body.
+pub fn parse_calibrate(body: &str) -> Result<CalibrateRequest, ApiError> {
+    calibrate_from_value(&json::parse(body).map_err(|e| ApiError::bad(format!("body: {e}")))?)
+        .map_err(ApiError::bad)
+}
+
+fn calibrate_from_value(v: &Value) -> Result<CalibrateRequest, String> {
+    let Value::Object(fields) = v else {
+        return Err("body must be a JSON object".into());
+    };
+    for (key, _) in fields {
+        if !CALIBRATE_FIELDS.contains(&key.as_str()) {
+            return Err(format!("unknown field '{key}'"));
+        }
+    }
+    let raw = field_str(v, "source")?.ok_or("calibration needs a 'source' spec")?;
+    let source = JobSource::parse_spec(raw)?
+        .ok_or_else(|| format!("source '{raw}' has no known generator prefix"))?;
+    source.validate().map_err(|why| format!("source: {why}"))?;
+    let (program, loads) = source.build_loaded();
+
+    let machine = field_str(v, "machine")?.unwrap_or("meiko").to_string();
+    let params = presets::by_name(&machine, program.procs())
+        .ok_or_else(|| format!("unknown machine '{machine}'"))?;
+
+    let runs = field_usize(v, "runs")?.unwrap_or(6);
+    if !(1..=MAX_CALIBRATE_RUNS).contains(&runs) {
+        return Err(format!("'runs' must be within 1..={MAX_CALIBRATE_RUNS}"));
+    }
+    let holdout = field_usize(v, "holdout")?.unwrap_or(0);
+    if holdout >= runs {
+        return Err(format!("'holdout' {holdout} would leave no training runs"));
+    }
+
+    let faults = match field_str(v, "faults")? {
+        Some(text) => {
+            let spec = FaultSpec::parse(text)?;
+            let seed = match v.get("seed") {
+                None => 0,
+                Some(s) => u64::try_from(s.as_int().ok_or("field 'seed' must be an integer")?)
+                    .map_err(|_| "field 'seed' must be non-negative".to_string())?,
+            };
+            Some(FaultPlan::new(spec, seed))
+        }
+        None => {
+            if v.get("seed").is_some() {
+                return Err("'seed' only makes sense together with 'faults'".into());
+            }
+            None
+        }
+    };
+
+    let mut fit = predsim_calib::FitConfig::new(params);
+    fit.holdout = holdout;
+    if let Some(rounds) = field_usize(v, "max_rounds")? {
+        if rounds > MAX_CALIBRATE_ROUNDS {
+            return Err(format!(
+                "'max_rounds' must be at most {MAX_CALIBRATE_ROUNDS}"
+            ));
+        }
+        fit.max_rounds = rounds;
+    }
+
+    let register = match field_str(v, "register")? {
+        Some(name) => {
+            loggp::registry::check_name(name).map_err(|e| format!("field 'register': {e}"))?;
+            Some(name.to_string())
+        }
+        None => None,
+    };
+
+    Ok(CalibrateRequest {
+        source: raw.to_string(),
+        program,
+        loads,
+        machine,
+        measure: predsim_calib::MeasureConfig {
+            ecfg: machine::EmulatorConfig::meiko_like(commsim::SimConfig::new(params)),
+            base_seed: 0,
+            runs,
+            faults,
+        },
+        fit,
+        register,
+    })
+}
+
+/// Render a `POST /v1/calibrate` success body. `registered` reports what
+/// happened to a requested registration (`None` when none was asked
+/// for).
+pub fn render_calibrate(
+    report: &predsim_calib::FitReport,
+    registered: Option<&Result<String, String>>,
+) -> String {
+    let p = report.params;
+    let int = |t: loggp::Time| Value::Int(t.as_ps() as i64);
+    let mut fields = vec![
+        ("version".into(), Value::Int(1)),
+        ("latency_ps".into(), int(p.latency)),
+        ("overhead_ps".into(), int(p.overhead)),
+        ("gap_ps".into(), int(p.gap)),
+        ("gap_per_byte_ps".into(), int(p.gap_per_byte)),
+        ("procs".into(), Value::Int(p.procs as i64)),
+        ("rmse_ps".into(), int(report.rmse)),
+        ("objective_ps".into(), int(report.objective)),
+        ("converged".into(), Value::Bool(report.converged)),
+        ("rounds".into(), Value::Int(report.rounds as i64)),
+        ("evaluations".into(), Value::Int(report.evaluations as i64)),
+        (
+            "bracket".into(),
+            Value::Object(vec![
+                ("hits".into(), Value::Int(report.bracket.hits as i64)),
+                ("total".into(), Value::Int(report.bracket.total as i64)),
+                (
+                    "hit_permille".into(),
+                    Value::Int(report.bracket.hit_permille() as i64),
+                ),
+                ("std_total_ps".into(), int(report.bracket.std_total)),
+                ("wc_total_ps".into(), int(report.bracket.wc_total)),
+            ]),
+        ),
+        ("train_runs".into(), Value::Int(report.train_runs as i64)),
+        (
+            "holdout_runs".into(),
+            Value::Int(report.holdout_runs as i64),
+        ),
+    ];
+    match registered {
+        None => {}
+        Some(Ok(name)) => fields.push(("registered".into(), Value::Str(name.clone()))),
+        Some(Err(why)) => fields.push(("register_error".into(), Value::Str(why.clone()))),
+    }
+    Value::Object(fields).to_compact()
+}
+
 /// Lint one parsed job with the engine's own pre-run gate
 /// ([`predsim_engine::lint_job`]): the spec's preconditions first (an
 /// infeasible spec is a single `PS0501` error), then the built program

@@ -19,6 +19,7 @@
 //! |--------------------|-------------------------------------------------|
 //! | `POST /v1/predict` | Predict one job (JSON body, see [`api`])        |
 //! | `POST /v1/batch`   | Predict a batch, all-or-nothing admission       |
+//! | `POST /v1/calibrate`| Emulate a source and fit a LogGP preset to it  |
 //! | `GET /healthz`     | Liveness + queue depth + in-flight count        |
 //! | `GET /metrics`     | Prometheus text exposition                      |
 //! | `GET /metrics.json`| The same snapshot in the strict JSON dialect    |

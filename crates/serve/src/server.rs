@@ -67,18 +67,41 @@ impl Default for ServeConfig {
     }
 }
 
-/// One admitted prediction job: the spec plus the slot its handler is
+/// What one admitted queue entry asks a worker to do.
+enum Work {
+    /// Run one prediction job through the engine.
+    Predict(JobSpec),
+    /// Measure a source on the emulator and fit a LogGP preset to it
+    /// (`POST /v1/calibrate`). Boxed: a calibration carries its whole
+    /// measured configuration and is rare next to predictions.
+    Calibrate(Box<api::CalibrateRequest>),
+}
+
+/// One admitted unit of work: what to do plus the slot its handler is
 /// waiting on.
 struct Job {
-    spec: JobSpec,
+    work: Work,
     reply: Arc<ReplySlot>,
     slot: usize,
+}
+
+/// What one calibration produced: the fit report plus what happened to
+/// a requested preset registration (`None` when none was asked for);
+/// the outer `Err` is a calibration that failed outright (or panicked —
+/// workers catch it).
+type CalibrationOutcome =
+    Result<(predsim_calib::FitReport, Option<Result<String, String>>), String>;
+
+/// What a worker hands back for one unit of work.
+enum Reply {
+    Predict(JobResult),
+    Calibrate(Box<CalibrationOutcome>),
 }
 
 /// Where a worker leaves results for the waiting handler. One slot per
 /// request: a batch of `n` jobs shares a slot expecting `n` results.
 struct ReplySlot {
-    results: Mutex<Vec<Option<JobResult>>>,
+    results: Mutex<Vec<Option<Reply>>>,
     done: Condvar,
 }
 
@@ -90,7 +113,7 @@ impl ReplySlot {
         })
     }
 
-    fn fill(&self, slot: usize, result: JobResult) {
+    fn fill(&self, slot: usize, result: Reply) {
         let mut results = self.results.lock().expect("reply slot poisoned");
         results[slot] = Some(result);
         drop(results);
@@ -99,8 +122,9 @@ impl ReplySlot {
 
     /// Wait until every slot is filled. Unbounded: every admitted job is
     /// guaranteed a result (the engine turns panics into `crashed`
-    /// outcomes, and drain never abandons the queue).
-    fn wait(&self) -> Vec<JobResult> {
+    /// outcomes, calibrations are run under `catch_unwind`, and drain
+    /// never abandons the queue).
+    fn wait(&self) -> Vec<Reply> {
         let mut results = self.results.lock().expect("reply slot poisoned");
         loop {
             if results.iter().all(Option::is_some) {
@@ -329,18 +353,56 @@ fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
         shared.executing.fetch_add(1, Ordering::SeqCst);
         shared.sync_gauges();
-        // jobs=1 runs inline on this thread; the engine's per-job
-        // catch_unwind turns panics into `crashed` results, so the reply
-        // slot is always filled.
-        let mut results = shared.engine.run(std::slice::from_ref(&job.spec));
-        let result = results.pop().expect("engine returns one result per spec");
-        if let Some(journal) = &shared.journal {
-            journal.record(&result);
-        }
-        job.reply.fill(job.slot, result);
+        let reply = match job.work {
+            Work::Predict(spec) => {
+                // jobs=1 runs inline on this thread; the engine's per-job
+                // catch_unwind turns panics into `crashed` results, so the
+                // reply slot is always filled.
+                let mut results = shared.engine.run(std::slice::from_ref(&spec));
+                let result = results.pop().expect("engine returns one result per spec");
+                if let Some(journal) = &shared.journal {
+                    journal.record(&result);
+                }
+                Reply::Predict(result)
+            }
+            Work::Calibrate(request) => {
+                Reply::Calibrate(Box::new(run_calibration(shared, &request)))
+            }
+        };
+        job.reply.fill(job.slot, reply);
         shared.executing.fetch_sub(1, Ordering::SeqCst);
         shared.sync_gauges();
     }
+}
+
+/// Execute one calibration on a worker: emulate the source, fit a
+/// preset on the shared engine (reusing its memo cache), publish the
+/// `calib_*` metrics, and register the preset when asked to. Panics
+/// anywhere inside become an `Err`, not a dead worker.
+fn run_calibration(shared: &Shared, request: &api::CalibrateRequest) -> CalibrationOutcome {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let set = predsim_calib::measure(
+            &request.program,
+            &request.loads,
+            &request.source,
+            &request.machine,
+            &request.measure,
+        );
+        predsim_calib::calibrate(&request.program, &set, &shared.engine, &request.fit)
+    }));
+    let report = match outcome {
+        Ok(Ok(report)) => report,
+        Ok(Err(e)) => return Err(e),
+        Err(_) => return Err("calibration panicked".into()),
+    };
+    predsim_calib::export_metrics(&shared.metrics.registry, &report);
+    let registered = request.register.as_ref().map(|name| {
+        if !report.converged {
+            return Err("fit did not converge; preset not registered".to_string());
+        }
+        loggp::registry::register(name, report.params).map(|()| name.clone())
+    });
+    Ok((report, registered))
 }
 
 fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>) {
@@ -441,6 +503,7 @@ fn route(request: &Request, shared: &Shared) -> (&'static str, Response) {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/v1/predict") => ("/v1/predict", predict(request, shared)),
         ("POST", "/v1/batch") => ("/v1/batch", batch(request, shared)),
+        ("POST", "/v1/calibrate") => ("/v1/calibrate", calibrate(request, shared)),
         ("POST", "/admin/drain") => ("/admin/drain", drain_request(shared)),
         ("GET", "/healthz") => ("/healthz", healthz(shared)),
         ("GET", "/metrics") => (
@@ -453,8 +516,8 @@ fn route(request: &Request, shared: &Shared) -> (&'static str, Response) {
         ),
         (
             _,
-            "/v1/predict" | "/v1/batch" | "/admin/drain" | "/healthz" | "/metrics"
-            | "/metrics.json",
+            "/v1/predict" | "/v1/batch" | "/v1/calibrate" | "/admin/drain" | "/healthz"
+            | "/metrics" | "/metrics.json",
         ) => (
             "other",
             Response::json(405, api::error_body("method not allowed")),
@@ -497,15 +560,15 @@ fn drain_request(shared: &Shared) -> Response {
     Response::json(200, "{\"draining\":true}")
 }
 
-/// Admit `jobs` (all-or-nothing), wait for the results. `Err` is the
+/// Admit `work` (all-or-nothing), wait for the results. `Err` is the
 /// ready-to-send backpressure or shutdown response.
-fn admit_and_run(shared: &Shared, jobs: Vec<JobSpec>) -> Result<Vec<JobResult>, Response> {
-    let reply = ReplySlot::new(jobs.len());
-    let batch: Vec<Job> = jobs
+fn admit_and_run(shared: &Shared, work: Vec<Work>) -> Result<Vec<Reply>, Response> {
+    let reply = ReplySlot::new(work.len());
+    let batch: Vec<Job> = work
         .into_iter()
         .enumerate()
-        .map(|(slot, spec)| Job {
-            spec,
+        .map(|(slot, work)| Job {
+            work,
             reply: Arc::clone(&reply),
             slot,
         })
@@ -540,8 +603,47 @@ fn predict(request: &Request, shared: &Shared) -> Response {
         Ok(job) => job,
         Err(e) => return Response::json(e.status, e.body),
     };
-    match admit_and_run(shared, vec![spec]) {
-        Ok(results) => Response::json(200, api::render_predict(&results[0])),
+    match admit_and_run(shared, vec![Work::Predict(spec)]) {
+        Ok(mut replies) => match replies.pop() {
+            Some(Reply::Predict(result)) => Response::json(200, api::render_predict(&result)),
+            _ => Response::json(500, api::error_body("worker returned the wrong reply kind")),
+        },
+        Err(resp) => resp,
+    }
+}
+
+fn calibrate(request: &Request, shared: &Shared) -> Response {
+    if shared.draining.load(Ordering::SeqCst) {
+        return Response::json(503, api::error_body("server is draining"));
+    }
+    let body = match request.body_str() {
+        Ok(b) => b,
+        Err(_) => return Response::json(400, api::error_body("body is not valid UTF-8")),
+    };
+    let parsed = match api::parse_calibrate(body) {
+        Ok(parsed) => parsed,
+        Err(e) => return Response::json(e.status, e.body),
+    };
+    // The same pre-run gate as /v1/predict: a source the engine would
+    // refuse to run is refused here, with the same 422 document.
+    let gate = JobSpec::new(
+        parsed.source.clone(),
+        predsim_engine::JobSource::Program(Arc::clone(&parsed.program)),
+        predsim_core::SimOptions::new(commsim::SimConfig::new(parsed.fit.initial)),
+    );
+    if let Err(e) = api::check_jobs(std::slice::from_ref(&(parsed.source.clone(), gate))) {
+        return Response::json(e.status, e.body);
+    }
+    match admit_and_run(shared, vec![Work::Calibrate(Box::new(parsed))]) {
+        Ok(mut replies) => match replies.pop() {
+            Some(Reply::Calibrate(outcome)) => match *outcome {
+                Ok((report, registered)) => {
+                    Response::json(200, api::render_calibrate(&report, registered.as_ref()))
+                }
+                Err(why) => Response::json(422, api::error_body(&why)),
+            },
+            _ => Response::json(500, api::error_body("worker returned the wrong reply kind")),
+        },
         Err(resp) => resp,
     }
 }
@@ -558,9 +660,26 @@ fn batch(request: &Request, shared: &Shared) -> Response {
         Ok(jobs) => jobs,
         Err(e) => return Response::json(e.status, e.body),
     };
-    let specs = jobs.into_iter().map(|(_, spec)| spec).collect();
-    match admit_and_run(shared, specs) {
-        Ok(results) => Response::json(200, api::render_batch(&results)),
+    let work = jobs
+        .into_iter()
+        .map(|(_, spec)| Work::Predict(spec))
+        .collect();
+    match admit_and_run(shared, work) {
+        Ok(replies) => {
+            let mut results = Vec::with_capacity(replies.len());
+            for reply in replies {
+                match reply {
+                    Reply::Predict(result) => results.push(result),
+                    Reply::Calibrate(_) => {
+                        return Response::json(
+                            500,
+                            api::error_body("worker returned the wrong reply kind"),
+                        )
+                    }
+                }
+            }
+            Response::json(200, api::render_batch(&results))
+        }
         Err(resp) => resp,
     }
 }

@@ -405,6 +405,100 @@ fn read_one_response(reader: &mut BufReader<TcpStream>) -> (u16, Vec<(String, St
 }
 
 #[test]
+fn calibrate_endpoint_fits_registers_and_serves_the_preset() {
+    let handle = start(2, 8);
+    let addr = handle.addr();
+
+    // Fit a preset to the emulated GE source and register it.
+    let (status, _, body) = request(
+        addr,
+        "POST",
+        "/v1/calibrate",
+        r#"{"source":"ge:240,24,diagonal,4","runs":4,"holdout":1,
+            "register":"e2e-fitted"}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let doc = json::parse(&body).expect("calibrate body is strict JSON");
+    assert_eq!(doc.get("version").and_then(Value::as_int), Some(1));
+    assert_eq!(doc.get("converged").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        doc.get("registered").and_then(Value::as_str),
+        Some("e2e-fitted"),
+        "{body}"
+    );
+    assert_eq!(doc.get("procs").and_then(Value::as_int), Some(4));
+    assert_eq!(doc.get("holdout_runs").and_then(Value::as_int), Some(1));
+    let bracket = doc.get("bracket").expect("bracket report");
+    assert_eq!(bracket.get("total").and_then(Value::as_int), Some(1));
+    assert!(bracket
+        .get("hit_permille")
+        .and_then(Value::as_int)
+        .is_some());
+    for field in ["latency_ps", "overhead_ps", "gap_ps", "gap_per_byte_ps"] {
+        assert!(
+            doc.get(field).and_then(Value::as_int).is_some(),
+            "missing {field}: {body}"
+        );
+    }
+
+    // The registered preset now resolves in predict requests.
+    let (status, body) = predict(
+        addr,
+        r#"{"source":"ge:240,24,diagonal,4","machine":"e2e-fitted"}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"outcome\":\"done\""), "{body}");
+
+    // The fit published its quality metrics on the shared registry.
+    let (status, _, text) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    for needle in [
+        "calib_fits_total 1",
+        "calib_fit_rmse_ps",
+        "calib_bracket_hit_permille",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+
+    // Schema violations: unknown fields and file-path sources are 400s.
+    for bad in [
+        r#"{"source":"ge:240,24,diagonal,4","bogus":1}"#,
+        r#"{"source":"traces/ring.trace"}"#,
+        r#"{"source":"ge:240,24,diagonal,4","runs":1000}"#,
+        r#"{"source":"ge:240,24,diagonal,4","register":"bad name"}"#,
+        r#"{}"#,
+    ] {
+        let (status, _, body) = request(addr, "POST", "/v1/calibrate", bad);
+        assert_eq!(status, 400, "{bad} -> {body}");
+    }
+
+    // A zero-round budget cannot converge: the report says so, and the
+    // requested registration is refused rather than polluting the
+    // registry with an unfitted preset.
+    let (status, _, body) = request(
+        addr,
+        "POST",
+        "/v1/calibrate",
+        r#"{"source":"ge:240,24,diagonal,4","runs":2,"max_rounds":0,
+            "register":"e2e-unfitted"}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let doc = json::parse(&body).unwrap();
+    assert_eq!(doc.get("converged").and_then(Value::as_bool), Some(false));
+    assert!(
+        doc.get("register_error").and_then(Value::as_str).is_some(),
+        "{body}"
+    );
+    let (status, body) = predict(
+        addr,
+        r#"{"source":"ge:240,24,diagonal,4","machine":"e2e-unfitted"}"#,
+    );
+    assert_eq!(status, 400, "unfitted preset must not resolve: {body}");
+
+    handle.drain();
+}
+
+#[test]
 fn drain_finishes_in_flight_work_and_counts_every_request() {
     let handle = start(1, 4);
     let addr = handle.addr();

@@ -10,6 +10,8 @@
 //! predsim serve [options]              HTTP prediction service
 //! predsim faults explain SPEC          resolve a fault plan without running
 //! predsim fit CSV                      fit LogGP params from ping data
+//! predsim emulate SOURCE [options]     run the machine emulator, record wall times
+//! predsim calibrate SOURCE [options]   fit a LogGP preset to measured runs
 //! ```
 //!
 //! Argument parsing is deliberately hand-rolled (the workspace carries no
@@ -107,6 +109,7 @@ USAGE:
   predsim serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
                 [--request-timeout SECS] [--no-memo] [--job-budget STEPS]
                 [--retries K] [--checkpoint FILE] [--metrics-out FILE]
+                [--presets FILE]
       Serve predictions over HTTP (std-only, no framework). POST
       /v1/predict takes a strict-JSON job, e.g.
         {\"source\":\"ge:960,32,diagonal,8\",\"machine\":\"paragon\"}
@@ -121,7 +124,12 @@ USAGE:
       Prometheus text (/metrics.json: strict JSON). POST /admin/drain
       stops gracefully — admitted work finishes, then the process exits
       0 (--metrics-out writes the final snapshot; --checkpoint journals
-      every finished job). Default address 127.0.0.1:9100.
+      every finished job). --presets loads a preset file at startup so
+      its machine names resolve in requests. POST /v1/calibrate fits a
+      LogGP preset to an emulated source (same fields as /v1/predict
+      plus \"runs\", \"holdout\", \"max_rounds\", \"register\") and returns
+      the fitted parameters with the bracketing report. Default address
+      127.0.0.1:9100.
 
   predsim faults explain SPEC [--seed N] [--steps N] [--procs P]
       Parse a fault spec, bind it to the seed, and print the resolved
@@ -136,7 +144,39 @@ USAGE:
       Least-squares fit of LogGP G and 2o+L from 'bytes,microseconds'
       lines (comments with '#').
 
-Machines: meiko (default), paragon, myrinet, ethernet, ideal.
+  predsim emulate SOURCE [--runs N] [--machine NAME] [--base-seed N]
+                  [--faults SPEC] [--seed N] [--measure-out FILE]
+      Run SOURCE (as for 'batch') on the substitute-testbed emulator
+      --runs times (default 1) under consecutive seeds starting at
+      --base-seed (default 0) and report the measured wall times. The
+      emulator layers cache, jitter, contention and local-copy effects
+      on top of the LogGP preset; --faults additionally injects the
+      seeded fault plan into the emulated hardware. --measure-out
+      records the runs (per-step walls, strict flat JSONL) in the
+      measured-file format 'calibrate' reads back.
+
+  predsim calibrate SOURCE [--runs N] [--machine INIT] [--base-seed N]
+                    [--holdout K] [--max-rounds N] [--min-hit-rate R]
+                    [--out FILE] [--name NAME] [--faults SPEC] [--seed N]
+                    [--metrics-out FILE]
+      Fit the four LogGP parameters to measured per-step wall times by
+      deterministic least-squares search over the simulator itself,
+      starting from the --machine preset (default meiko). SOURCE is
+      either a measured JSONL file (from 'emulate --measure-out'; the
+      program is rebuilt from the source spec recorded in its header)
+      or a live source as for 'batch', emulated --runs times (default
+      8). The last --holdout K runs (default 0) are excluded from the
+      fit and scored by the bracketing report: the share of held-out
+      runs with standard <= measured <= worst-case under the fitted
+      parameters. Exits nonzero if the fit does not converge or the
+      hit rate falls below --min-hit-rate. --out FILE --name NAME
+      appends the fitted preset to a preset file (created if missing;
+      duplicate names are rejected), loadable anywhere --machine is
+      accepted as @FILE:NAME. --metrics-out writes the calib_* metric
+      family in Prometheus format.
+
+Machines: meiko (default), paragon, myrinet, ethernet, ideal — or
+@FILE:NAME for a preset fitted by 'calibrate --out FILE --name NAME'.
 ";
 
 /// Flags shared by every command that builds [`SimOptions`].
@@ -792,6 +832,15 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     if let Some(path) = args.value("checkpoint") {
         config.journal = Some(path.into());
     }
+    if let Some(path) = args.value("presets") {
+        let names = loggp::registry::register_file(path)
+            .map_err(|e| format!("loading presets from {path}: {e}"))?;
+        println!(
+            "loaded {} preset(s) from {path}: {}",
+            names.len(),
+            names.join(", ")
+        );
+    }
 
     let handle = Server::start(config).map_err(|e| format!("starting server: {e}"))?;
     // The listening line is a contract: scripts (and the repo's own
@@ -884,6 +933,217 @@ fn cmd_fit(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The emulated-testbed configuration for `emulate`/`calibrate`: the
+/// full effect stack (cache, jitter, contention, local copies) layered
+/// on the chosen LogGP preset.
+fn emulator_config(args: &Args, procs: usize) -> Result<machine::EmulatorConfig, String> {
+    let params = machine(args.value("machine").unwrap_or("meiko"), procs)?;
+    Ok(machine::EmulatorConfig::meiko_like(SimConfig::new(params)))
+}
+
+fn measure_config(args: &Args, procs: usize) -> Result<predsim_calib::MeasureConfig, String> {
+    let runs: usize = match args.value("runs") {
+        None => 1,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            Ok(_) => return Err("--runs must be at least 1".into()),
+            Err(e) => return Err(format!("bad --runs: {e}")),
+        },
+    };
+    let base_seed: u64 = match args.value("base-seed") {
+        None => 0,
+        Some(v) => v.parse().map_err(|e| format!("bad --base-seed: {e}"))?,
+    };
+    Ok(predsim_calib::MeasureConfig {
+        ecfg: emulator_config(args, procs)?,
+        base_seed,
+        runs,
+        faults: fault_plan(args)?,
+    })
+}
+
+fn cmd_emulate(args: &Args) -> Result<(), String> {
+    let raw = args
+        .positional
+        .first()
+        .ok_or("emulate: missing SOURCE (a trace file or a ge:/cannon:/stencil:/apsp: spec)")?;
+    let (name, source) = parse_source(raw)?;
+    source
+        .validate()
+        .map_err(|why| format!("source '{name}': {why}"))?;
+    let (program, loads) = source.build_loaded();
+    let cfg = measure_config(args, program.procs())?;
+    let machine_label = args.value("machine").unwrap_or("meiko");
+
+    let set = predsim_calib::measure(&program, &loads, &name, machine_label, &cfg);
+    println!(
+        "emulated {} on {} ({} run(s), base seed {})",
+        name, machine_label, cfg.runs, cfg.base_seed
+    );
+    if let Some(plan) = &cfg.faults {
+        println!("fault plan: {} (seed {})", plan.spec(), plan.seed());
+    }
+    let lo = set.runs.iter().map(|r| r.total).min().unwrap_or(Time::ZERO);
+    let hi = set.runs.iter().map(|r| r.total).max().unwrap_or(Time::ZERO);
+    for r in &set.runs {
+        println!("  seed {:>4}: {} s", r.seed, secs(r.total));
+    }
+    println!("measured total: min {} s, max {} s", secs(lo), secs(hi));
+    if let Some(file) = args.value("measure-out") {
+        std::fs::write(file, set.to_jsonl()?).map_err(|e| format!("writing {file}: {e}"))?;
+        println!(
+            "wrote {} run(s) x {} step(s) to {file}",
+            set.runs.len(),
+            set.step_count()?
+        );
+    }
+    Ok(())
+}
+
+fn cmd_calibrate(args: &Args) -> Result<(), String> {
+    let raw = args.positional.first().ok_or(
+        "calibrate: missing SOURCE (a measured JSONL file from 'emulate --measure-out', \
+         a trace file, or a ge:/cannon:/stencil:/apsp: spec)",
+    )?;
+
+    // A measured file carries everything; a live source is emulated here.
+    let (set, program) = match std::fs::read_to_string(raw) {
+        Ok(text) if predsim_calib::MeasuredSet::sniff(&text) => {
+            if args.value("runs").is_some() || args.value("faults").is_some() {
+                return Err(
+                    "--runs/--faults apply to live emulation, not to a recorded measured file"
+                        .into(),
+                );
+            }
+            let set = predsim_calib::MeasuredSet::parse_jsonl(&text)
+                .map_err(|e| format!("{raw}: {e}"))?;
+            let (name, source) = parse_source(&set.source)?;
+            source
+                .validate()
+                .map_err(|why| format!("recorded source '{name}': {why}"))?;
+            let (program, _) = source.build_loaded();
+            println!(
+                "calibrating against {} ({} recorded run(s) of '{}' on '{}')",
+                raw,
+                set.runs.len(),
+                set.source,
+                set.machine
+            );
+            (set, program)
+        }
+        _ => {
+            let (name, source) = parse_source(raw)?;
+            source
+                .validate()
+                .map_err(|why| format!("source '{name}': {why}"))?;
+            let (program, loads) = source.build_loaded();
+            let mut margs = measure_config(args, program.procs())?;
+            if args.value("runs").is_none() {
+                margs.runs = 8;
+            }
+            let machine_label = args.value("machine").unwrap_or("meiko");
+            println!(
+                "emulating {} on {} ({} run(s), base seed {})",
+                name, machine_label, margs.runs, margs.base_seed
+            );
+            if let Some(plan) = &margs.faults {
+                println!("fault plan: {} (seed {})", plan.spec(), plan.seed());
+            }
+            let set = predsim_calib::measure(&program, &loads, &name, machine_label, &margs);
+            (set, program)
+        }
+    };
+
+    let initial = machine(args.value("machine").unwrap_or("meiko"), set.procs)?;
+    let mut fit_cfg = predsim_calib::FitConfig::new(initial);
+    if let Some(v) = args.value("holdout") {
+        fit_cfg.holdout = v.parse().map_err(|e| format!("bad --holdout: {e}"))?;
+    }
+    if let Some(v) = args.value("max-rounds") {
+        fit_cfg.max_rounds = v.parse().map_err(|e| format!("bad --max-rounds: {e}"))?;
+    }
+
+    let engine = Engine::new(EngineConfig::default());
+    let report = predsim_calib::calibrate(&program, &set, &engine, &fit_cfg)?;
+
+    let p = report.params;
+    println!("fitted machine:");
+    println!("  L = {:.3} us", p.latency.as_us_f64());
+    println!("  o = {:.3} us", p.overhead.as_us_f64());
+    println!("  g = {:.3} us", p.gap.as_us_f64());
+    println!("  G = {:.5} us/byte", p.gap_per_byte.as_us_f64());
+    println!(
+        "fit: rmse {} | objective {} | {} round(s), {} evaluation(s) ({} unique)",
+        report.rmse, report.objective, report.rounds, report.evaluations, report.unique_evaluations
+    );
+    println!(
+        "bracket ({} run(s), {}): {}/{} inside [std {} s, wc {} s] — {:.1}%",
+        report.bracket.total,
+        if report.holdout_runs > 0 {
+            "held out"
+        } else {
+            "training"
+        },
+        report.bracket.hits,
+        report.bracket.total,
+        secs(report.bracket.std_total),
+        secs(report.bracket.wc_total),
+        100.0 * report.bracket.hit_rate(),
+    );
+
+    if let Some(file) = args.value("metrics-out") {
+        let registry = Registry::new();
+        predsim_calib::export_metrics(&registry, &report);
+        std::fs::write(file, registry.render_prometheus())
+            .map_err(|e| format!("writing {file}: {e}"))?;
+        println!("wrote metrics to {file}");
+    }
+
+    if !report.converged {
+        return Err(format!(
+            "fit did not converge within {} round(s)",
+            fit_cfg.max_rounds
+        ));
+    }
+    if let Some(v) = args.value("min-hit-rate") {
+        let min: f64 = v.parse().map_err(|e| format!("bad --min-hit-rate: {e}"))?;
+        if !(0.0..=1.0).contains(&min) {
+            return Err("--min-hit-rate must be within 0..=1".into());
+        }
+        if report.bracket.hit_rate() < min {
+            return Err(format!(
+                "bracket hit rate {:.3} is below the required {min}",
+                report.bracket.hit_rate()
+            ));
+        }
+    }
+
+    match (args.value("out"), args.value("name")) {
+        (None, None) => {}
+        (Some(_), None) | (None, Some(_)) => {
+            return Err("--out and --name go together (a preset needs both)".into())
+        }
+        (Some(file), Some(name)) => {
+            let mut presets = if std::path::Path::new(file).exists() {
+                loggp::registry::load_file(file)?
+            } else {
+                Vec::new()
+            };
+            if presets.iter().any(|e| e.name == name) {
+                return Err(format!("preset file {file} already has a preset '{name}'"));
+            }
+            loggp::registry::check_name(name)?;
+            presets.push(loggp::registry::NamedPreset {
+                name: name.to_string(),
+                params: report.params,
+            });
+            loggp::registry::save_file(file, &presets)?;
+            println!("saved preset '{name}' to {file} (use --machine @{file}:{name})");
+        }
+    }
+    Ok(())
+}
+
 fn run() -> Result<ExitCode, String> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = raw.first() else {
@@ -941,8 +1201,30 @@ fn run() -> Result<ExitCode, String> {
             valued("retries"),
             valued("checkpoint"),
             valued("metrics-out"),
+            valued("presets"),
         ],
         "faults" => vec![valued("seed"), valued("steps"), valued("procs")],
+        "emulate" => vec![
+            valued("runs"),
+            valued("machine"),
+            valued("base-seed"),
+            valued("faults"),
+            valued("seed"),
+            valued("measure-out"),
+        ],
+        "calibrate" => vec![
+            valued("runs"),
+            valued("machine"),
+            valued("base-seed"),
+            valued("holdout"),
+            valued("max-rounds"),
+            valued("min-hit-rate"),
+            valued("out"),
+            valued("name"),
+            valued("faults"),
+            valued("seed"),
+            valued("metrics-out"),
+        ],
         _ => Vec::new(),
     };
     let args = Args::parse(&raw[1..], &spec)?;
@@ -959,6 +1241,8 @@ fn run() -> Result<ExitCode, String> {
         "serve" => cmd_serve(&args),
         "faults" => cmd_faults(&args),
         "fit" => cmd_fit(&args),
+        "emulate" => cmd_emulate(&args),
+        "calibrate" => cmd_calibrate(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

@@ -129,11 +129,31 @@ impl Args {
 
 /// Resolve a machine-preset name (as listed by `predsim presets`) to its
 /// LogGP parameters for `procs` processors.
+///
+/// Besides the built-in names, `@FILE:NAME` loads the preset file `FILE`
+/// (as written by `predsim calibrate --out`) into the
+/// [`loggp::registry`] and resolves `NAME` from it; names registered
+/// earlier in the process (e.g. by `serve --presets`) also resolve here
+/// through [`presets::by_name`]'s registry fallback.
 pub fn machine(name: &str, procs: usize) -> Result<LogGpParams, String> {
+    if let Some(rest) = name.strip_prefix('@') {
+        let (path, preset) = rest
+            .rsplit_once(':')
+            .ok_or_else(|| format!("bad machine reference '{name}': expected @FILE:NAME"))?;
+        loggp::registry::register_file(path)
+            .map_err(|e| format!("loading presets from {path}: {e}"))?;
+        return loggp::registry::registered(preset, procs)
+            .ok_or_else(|| format!("preset file {path} has no preset named '{preset}'"));
+    }
     presets::by_name(name, procs).ok_or_else(|| {
+        let mut known = presets::SHORT_NAMES
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>();
+        known.extend(loggp::registry::registered_names());
         format!(
-            "unknown machine '{name}' (expected one of: {})",
-            presets::SHORT_NAMES.join(", ")
+            "unknown machine '{name}' (expected one of: {}, or @FILE:NAME)",
+            known.join(", ")
         )
     })
 }
@@ -188,5 +208,30 @@ mod tests {
         assert_eq!(machine("ideal", 4).unwrap(), presets::ideal(4));
         let err = machine("cray", 8).unwrap_err();
         assert!(err.contains("meiko"), "the error names the options: {err}");
+    }
+
+    #[test]
+    fn machine_file_references_load_the_registry() {
+        let dir = std::env::temp_dir().join("predsim-cli-machine-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("presets.json");
+        let fitted = presets::meiko_cs2(4).with_latency(loggp::Time::from_us(9.0));
+        loggp::registry::save_file(
+            path.to_str().unwrap(),
+            &[loggp::registry::NamedPreset {
+                name: "cli-test-fitted".into(),
+                params: fitted,
+            }],
+        )
+        .unwrap();
+
+        let spec = format!("@{}:cli-test-fitted", path.display());
+        assert_eq!(machine(&spec, 8).unwrap(), fitted.with_procs(8));
+        // Once loaded, the bare name resolves through the registry too.
+        assert_eq!(machine("cli-test-fitted", 8).unwrap(), fitted.with_procs(8));
+
+        assert!(machine("@no-colon", 4).is_err(), "missing :NAME");
+        let err = machine(&format!("@{}:absent", path.display()), 4).unwrap_err();
+        assert!(err.contains("absent"), "{err}");
     }
 }

@@ -23,6 +23,7 @@
 //! | [`predsim_faults`] | deterministic fault injection: message drop/retransmission, slowdown, fail-stop |
 //! | [`predsim_lint`] | static program analyzer: deadlock, well-formedness and LogGP-bound lints |
 //! | [`predsim_obs`] | observability: structured trace events/sinks, metrics registry, profiling |
+//! | [`predsim_calib`] | closed-loop calibration: measured runs → fitted LogGP presets → bracketing report |
 //! | [`predsim_serve`] | HTTP prediction service: admission control, graceful drain, live metrics |
 //!
 //! The facade adds one module of its own: [`cli`], the strict flag
@@ -52,6 +53,7 @@ pub use commsim;
 pub use gauss;
 pub use loggp;
 pub use machine;
+pub use predsim_calib;
 pub use predsim_core;
 pub use predsim_engine;
 pub use predsim_faults;
@@ -69,6 +71,7 @@ pub mod prelude {
     pub use gauss;
     pub use loggp::{presets, LogGpParams, Time};
     pub use machine::{emulate, EmulatorConfig};
+    pub use predsim_calib::{calibrate, measure, FitConfig, FitReport, MeasureConfig, MeasuredSet};
     pub use predsim_core::{
         simulate_program, BlockCyclic2D, ColCyclic, Diagonal, Layout, Prediction, Program,
         RowCyclic, SimOptions, Step,

@@ -826,3 +826,123 @@ fn serve_round_trips_over_a_real_socket_and_drains_on_request() {
         "{rest:?}"
     );
 }
+
+#[test]
+fn emulate_calibrate_closed_loop_through_the_cli() {
+    let dir = std::env::temp_dir().join(format!("predsim-cli-calib-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let measured = dir.join("ge.measured.jsonl");
+    let presets = dir.join("fitted.json");
+
+    // Measure: emulated runs recorded as strict flat JSONL.
+    let out = bin()
+        .args([
+            "emulate",
+            "ge:240,24,diagonal,4",
+            "--runs",
+            "4",
+            "--measure-out",
+            measured.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("emulated ge:240,24,diagonal,4"), "{text}");
+    let recorded = std::fs::read_to_string(&measured).unwrap();
+    let header = recorded.lines().next().unwrap();
+    assert!(header.contains("\"kind\":\"predsim-measured\""), "{header}");
+    assert_eq!(recorded.lines().count(), 1 + 4, "header + one line per run");
+
+    // Fit: from the recorded file, with a held-out bracket check and a
+    // persisted named preset.
+    let out = bin()
+        .args([
+            "calibrate",
+            measured.to_str().unwrap(),
+            "--holdout",
+            "1",
+            "--min-hit-rate",
+            "0.9",
+            "--out",
+            presets.to_str().unwrap(),
+            "--name",
+            "cli-ge",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fitted machine:"), "{text}");
+    assert!(text.contains("held out"), "{text}");
+
+    // Predict: the fitted preset is an ordinary machine everywhere.
+    let out = bin()
+        .args([
+            "batch",
+            "ge:240,24,diagonal,4",
+            "--machine",
+            &format!("@{}:cli-ge", presets.display()),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("done"),
+        "fitted preset predicts"
+    );
+
+    // A recorded file fixes the measurement; re-measuring flags clash.
+    let out = bin()
+        .args(["calibrate", measured.to_str().unwrap(), "--runs", "6"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--runs"),
+        "recorded input rejects --runs"
+    );
+
+    // A zero-round budget cannot converge: nonzero exit, named reason.
+    let out = bin()
+        .args(["calibrate", measured.to_str().unwrap(), "--max-rounds", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("did not converge"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn calibrate_measures_a_live_source_directly() {
+    let out = bin()
+        .args(["calibrate", "ge:240,24,diagonal,4", "--runs", "3"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fitted machine:"), "{text}");
+    assert!(
+        text.contains("training"),
+        "no holdout: bracket on train runs"
+    );
+}
