@@ -127,6 +127,48 @@ pub fn lint_job(spec: &JobSpec) -> Report {
     check_program(&spec.source.build(), &opts)
 }
 
+/// Static `[lo, hi]` cost interval for one job, without simulating it:
+/// the `predsim-lint` interval interpreter run under the spec's machine,
+/// synchronization and overlap settings.
+///
+/// Returns `None` when the interval is not defined for the job: infeasible
+/// specs (the generator would reject the inputs) and fault-injected jobs
+/// (a fail-stop outage voids both the floor and the ceiling — the analysis
+/// models the fault-free machine only).
+pub fn static_bounds(spec: &JobSpec) -> Option<predsim_lint::ProgramBounds> {
+    if spec.faults.is_some() || spec.source.validate().is_err() {
+        return None;
+    }
+    let program = spec.source.build();
+    let cfg = predsim_lint::BoundsConfig::new(spec.opts.cfg.params)
+        .with_sync(spec.opts.sync)
+        .with_overlap(spec.opts.overlap);
+    predsim_lint::analyze(&predsim_lint::ProgramView::of(&program), &cfg)
+}
+
+/// Ranking key for batch dispatch: static ceiling (descending — the job
+/// that can run longest starts first, so it cannot become the lone
+/// straggler at the end of the batch), then a memo-affinity hash grouping
+/// specs with the same machine and algorithm (their step fingerprints can
+/// hit each other's cache entries), then the submission index. Jobs with
+/// no static interval (faulted, infeasible) rank as longest.
+fn rank_key(index: usize, spec: &JobSpec) -> (std::cmp::Reverse<u64>, u64, usize) {
+    use std::hash::{Hash, Hasher};
+    let hi = static_bounds(spec).map_or(u64::MAX, |b| b.hi.as_ps());
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    let p = spec.opts.cfg.params;
+    (
+        p.latency.as_ps(),
+        p.overhead.as_ps(),
+        p.gap.as_ps(),
+        p.gap_per_byte.as_ps(),
+        p.procs,
+    )
+        .hash(&mut hasher);
+    matches!(spec.opts.algo, CommAlgo::WorstCase).hash(&mut hasher);
+    (std::cmp::Reverse(hi), hasher.finish(), index)
+}
+
 /// One job [`Engine::run_checked`] refused to execute.
 #[derive(Clone, Debug)]
 pub struct RejectedJob {
@@ -513,12 +555,18 @@ impl Engine {
                 });
             }
         }
-        let pending: Vec<usize> = slots
+        let mut pending: Vec<usize> = slots
             .iter()
             .enumerate()
             .filter_map(|(i, slot)| slot.is_none().then_some(i))
             .collect();
         let workers = self.config.effective_jobs().min(pending.len());
+        if workers > 1 {
+            // Dispatch order only — results still land in their
+            // submission-order slots, so the batch output is bit-identical
+            // to the unranked (and the sequential) order.
+            pending.sort_by_cached_key(|&i| rank_key(i, &specs[i]));
+        }
         self.obs
             .registry
             .gauge("engine_workers", "worker threads of the last batch")

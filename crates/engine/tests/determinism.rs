@@ -305,3 +305,103 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Static bounds: simulation-free intervals bracket every engine result, and
+// the hi-ranked dispatch order stays a pure optimization.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn static_bounds_bracket_engine_results() {
+    let kinds: Vec<(usize, usize)> = (0..9).map(|i| (i % 3, i * 7)).collect();
+    for mach in 0..5 {
+        for worst in [false, true] {
+            let specs = specs_for(&kinds, mach, worst);
+            let results = Engine::new(EngineConfig::default().with_jobs(3)).run(&specs);
+            for (spec, result) in specs.iter().zip(&results) {
+                let bounds = predsim_engine::static_bounds(spec)
+                    .unwrap_or_else(|| panic!("{}: no bounds for a clean spec", spec.label));
+                let total = result.prediction().total;
+                assert!(
+                    bounds.lo <= total && total <= bounds.hi,
+                    "{} (mach {mach}, worst {worst}): {} outside [{}, {}]",
+                    spec.label,
+                    total,
+                    bounds.lo,
+                    bounds.hi
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn static_bounds_are_unavailable_for_faulted_and_infeasible_jobs() {
+    let opts = SimOptions::new(commsim::SimConfig::new(presets::meiko_cs2(4)));
+    let clean = JobSpec::new(
+        "clean",
+        JobSource::Stencil {
+            n: 32,
+            procs: 4,
+            iters: 2,
+            ps_per_flop: 500,
+        },
+        opts,
+    );
+    assert!(predsim_engine::static_bounds(&clean).is_some());
+
+    let plan = FaultPlan::new(
+        FaultSpec {
+            drop_ppm: 1000,
+            ..FaultSpec::default()
+        },
+        7,
+    );
+    assert!(predsim_engine::static_bounds(&clean.clone().with_faults(plan)).is_none());
+
+    let infeasible = JobSpec::new(
+        "bad",
+        JobSource::Gauss {
+            n: 10,
+            block: 24,
+            layout: LayoutSpec::Diagonal(4),
+        },
+        opts,
+    );
+    assert!(predsim_engine::static_bounds(&infeasible).is_none());
+}
+
+/// The ranked dispatch path (workers > 1) must produce results identical
+/// to the sequential path even when the batch mixes clean, faulted and
+/// wildly different-sized jobs — ranking reorders only the work queue.
+#[test]
+fn ranked_dispatch_is_bit_identical_to_sequential() {
+    let plan = FaultPlan::new(
+        FaultSpec {
+            drop_ppm: 0,
+            ..FaultSpec::default()
+        },
+        3,
+    );
+    let mut specs = Vec::new();
+    for (i, (kind, param)) in [(0usize, 5usize), (1, 20), (2, 9), (1, 3), (0, 16)]
+        .iter()
+        .enumerate()
+    {
+        let source = source_for(*kind, *param);
+        let procs = source.build().procs();
+        let opts = SimOptions::new(commsim::SimConfig::new(machine_for(i, procs)));
+        let mut spec = JobSpec::new(format!("mix{i}"), source, opts);
+        if i == 2 {
+            spec = spec.with_faults(plan.clone());
+        }
+        specs.push(spec);
+    }
+    let sequential = Engine::new(EngineConfig::default().with_jobs(1)).run(&specs);
+    let ranked = Engine::new(EngineConfig::default().with_jobs(4)).run(&specs);
+    assert_eq!(sequential.len(), ranked.len());
+    for (s, r) in sequential.iter().zip(&ranked) {
+        assert_eq!(s.index, r.index);
+        assert_eq!(&s.outcome, &r.outcome, "{}", s.label);
+    }
+}

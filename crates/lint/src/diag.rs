@@ -96,11 +96,25 @@ pub enum Code {
     /// PS0501: a batch job specification cannot produce a program (bad
     /// divisibility, zero processors, …).
     BadJobSpec,
+    /// PS0601: per-processor static finish ceilings are imbalanced beyond
+    /// the configured ratio — the program's load is skewed before a single
+    /// simulation event runs.
+    StaticImbalance,
+    /// PS0602: a step's static ceiling is dominated by gap serialization
+    /// at a fan-in hotspot — senders queue on one port.
+    ContentionHotspot,
+    /// PS0603: a step's static ceiling is dominated by per-byte wire time
+    /// (`G`); smaller messages (e.g. a smaller block size) would rebalance
+    /// it.
+    BandwidthDominated,
+    /// PS0604: the whole-program `[lo, hi]` interval is so wide that the
+    /// standard/worst-case bracket carries little information.
+    DivergenceRisk,
 }
 
 impl Code {
     /// All codes, in numeric order.
-    pub const ALL: [Code; 14] = [
+    pub const ALL: [Code; 18] = [
         Code::ZeroProcessors,
         Code::CompArityMismatch,
         Code::PatternProcsMismatch,
@@ -115,6 +129,10 @@ impl Code {
         Code::UnusedProcessor,
         Code::FailStopStarvation,
         Code::BadJobSpec,
+        Code::StaticImbalance,
+        Code::ContentionHotspot,
+        Code::BandwidthDominated,
+        Code::DivergenceRisk,
     ];
 
     /// The stable `PSxxxx` identifier.
@@ -134,6 +152,10 @@ impl Code {
             Code::UnusedProcessor => "PS0304",
             Code::FailStopStarvation => "PS0401",
             Code::BadJobSpec => "PS0501",
+            Code::StaticImbalance => "PS0601",
+            Code::ContentionHotspot => "PS0602",
+            Code::BandwidthDominated => "PS0603",
+            Code::DivergenceRisk => "PS0604",
         }
     }
 
@@ -159,6 +181,173 @@ impl Code {
             Code::UnusedProcessor => "processor never computes nor communicates",
             Code::FailStopStarvation => "receives wait on a processor that fail-stops in the step",
             Code::BadJobSpec => "batch job specification cannot produce a program",
+            Code::StaticImbalance => "per-processor static finish ceilings imbalanced",
+            Code::ContentionHotspot => "gap serialization dominates a fan-in step's ceiling",
+            Code::BandwidthDominated => "per-byte wire time dominates a step's ceiling",
+            Code::DivergenceRisk => "static [lo, hi] interval is uselessly wide",
+        }
+    }
+
+    /// One-paragraph rationale with a concrete example, printed by
+    /// `predsim check --explain <CODE>`. Longer than [`Code::description`]:
+    /// this is the text a user reads to decide whether to act.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Code::ZeroProcessors => {
+                "The program declares zero processors, so there is nothing to \
+                 simulate: every per-processor vector is empty and every total \
+                 is vacuously zero. This is always a construction bug — e.g. a \
+                 generator called with procs=0, or a hand-built Program::new(0). \
+                 Fix the processor count at the source; the simulators refuse to \
+                 produce a meaningful prediction otherwise."
+            }
+            Code::CompArityMismatch => {
+                "A step's computation vector has a different length than the \
+                 program's processor count, so some processor either has no \
+                 charge or a charge with no owner. Example: a 4-processor \
+                 program with Step::with_comp(vec![t; 3]). The fold indexes \
+                 comp[p] for every p, so this is an out-and-out defect; pad the \
+                 vector (zero means 'no work this step') or fix the count."
+            }
+            Code::PatternProcsMismatch => {
+                "A step's communication pattern was built over a different \
+                 processor count than the program it is attached to — e.g. a \
+                 CommPattern::new(6) inside a 4-processor program. Message \
+                 endpoints and per-processor queues no longer line up, so every \
+                 downstream analysis (and the simulator itself) would read \
+                 garbage. Rebuild the pattern with the program's count."
+            }
+            Code::ProcOutOfRange => {
+                "A message names a source or destination processor outside the \
+                 program's range, e.g. P5 in a 4-processor program. The \
+                 simulators index per-processor state by these ids, so the \
+                 program cannot run; this usually means a layout function or \
+                 generator used the wrong processor count when emitting sends."
+            }
+            Code::SelfMessages => {
+                "The step contains messages whose source equals their \
+                 destination. The LogGP network simulators skip them entirely \
+                 (no o, g or L is charged) while the machine emulator charges a \
+                 local copy, so they are legal but often an accident — e.g. a \
+                 block layout that maps a block's owner to itself in a \
+                 broadcast. If intended, nothing to do; if not, filter them at \
+                 generation time to keep message counts honest."
+            }
+            Code::ZeroByteMessages => {
+                "The step sends network messages carrying zero bytes. They \
+                 still cost the full 2o + L per message — LogGP charges \
+                 per-message overheads regardless of size — so they act as \
+                 pure control messages. That is sometimes deliberate \
+                 (synchronization pings) and sometimes a byte-count bug; check \
+                 that the payload computation did not collapse to zero."
+            }
+            Code::EmptyStep => {
+                "The step neither computes nor communicates: no charges, no \
+                 messages. It contributes nothing to the prediction and usually \
+                 indicates a generator emitting a placeholder phase (e.g. a \
+                 loop iteration whose block fell outside the matrix). Harmless, \
+                 but dropping it makes step-indexed reports easier to read."
+            }
+            Code::DeadlockCycle => {
+                "The step's processor graph contains a cycle, e.g. P0 -> P1 -> \
+                 P0 with both messages in the same step. The paper's worst-case \
+                 algorithm (§4.2) has every processor receive everything before \
+                 sending anything, so a cycle stalls every processor in it \
+                 until the simulator forcibly transmits a message — that is an \
+                 error when checking for worst-case (the forced schedule is \
+                 seed-dependent) and a warning for the standard algorithm, \
+                 which interleaves eagerly and is merely slower. Splitting the \
+                 exchange into two steps removes the cycle."
+            }
+            Code::FanInHotspot => {
+                "One processor receives from many distinct senders in a single \
+                 step (a gather shape). Its port serializes those receives one \
+                 gap apart, so the step cannot finish before (r-1)g + 2o + L \
+                 regardless of schedule — with 8 senders on a 10us-gap machine \
+                 that is already ~70us of unavoidable serialization. Consider a \
+                 tree-shaped reduction over several steps, or fewer, larger \
+                 messages."
+            }
+            Code::CommImbalance => {
+                "Within one step, the static serialization bound of the \
+                 busiest processor is several times the mean over processors \
+                 that communicate at all: most ports idle while one drains. \
+                 Example: a 16-way gather where the root's bound is 15g + 2o + \
+                 L but every leaf only pays one message. The step ends with the \
+                 slowest port, so spreading endpoints (or splitting the step) \
+                 shortens the whole program."
+            }
+            Code::CompImbalance => {
+                "Across the program, computation phases repeatedly give one \
+                 processor several times the mean charge — e.g. a row layout \
+                 of Gaussian elimination where the pivot column's owner factors \
+                 every step. Each step finishes with its slowest processor, so \
+                 the imbalance is pure idle time for everyone else; a cyclic \
+                 layout usually flattens it."
+            }
+            Code::UnusedProcessor => {
+                "Some processors never compute and never appear as a message \
+                 endpoint in any step. They only inflate P in the machine model \
+                 (and the per-processor report vectors) without doing work — \
+                 usually a generator was asked for more processors than the \
+                 problem decomposes into, e.g. ge:240,24,row,16 with only 10 \
+                 block columns. Simulate with a smaller machine instead."
+            }
+            Code::FailStopStarvation => {
+                "Under the supplied fault plan, a step expects receives from a \
+                 processor that is down during that step, so the receive counts \
+                 cannot be satisfied until it restarts: the fault simulator \
+                 will stretch the step by the outage. This is a modelling \
+                 warning, not a defect — but under --strict-faults it is \
+                 promoted to an error so batch runs fail fast instead of \
+                 producing predictions dominated by restart waits."
+            }
+            Code::BadJobSpec => {
+                "A batch job specification cannot produce a program at all — \
+                 e.g. ge:100,24,row,4 (24 does not divide 100) or a zero \
+                 processor count. The engine rejects the whole batch up front \
+                 rather than simulating the valid subset, so fix or drop the \
+                 offending spec; predsim check prints one PS0501 per bad spec \
+                 with the builder's own error text."
+            }
+            Code::StaticImbalance => {
+                "The static cost-interval interpreter gives each processor a \
+                 finish-time ceiling; here the largest ceiling is several \
+                 times the smallest over active processors, before a single \
+                 simulation event runs. Example: ge:960,32,row,8 concentrates \
+                 factor work on one block-column owner, so its ceiling dwarfs \
+                 the rest. The program ends with its slowest processor — \
+                 rebalance the layout (diagonal/cyclic) or resize blocks."
+            }
+            Code::ContentionHotspot => {
+                "In the flagged step the interpreter's ceiling chain is \
+                 dominated by gap serialization at a processor with high \
+                 receive fan-in: the port admits one message every g, so the \
+                 step's wall is senders queuing, not wires or overheads. A \
+                 gather of 8 messages on a machine with g >> o spends almost \
+                 its whole ceiling in (r-1)g. Restructure into a tree or move \
+                 endpoints off the hot processor."
+            }
+            Code::BandwidthDominated => {
+                "In the flagged step the ceiling chain is dominated by the \
+                 per-byte term G·(k-1): messages are large enough that wire \
+                 time outweighs latency, overhead and gap combined. Halving \
+                 the block size roughly halves per-message wire time and often \
+                 shortens the whole bracket — this is exactly the direction \
+                 predsim ge-sweep explores; try it with --prefilter to skip \
+                 provably-worse block sizes."
+            }
+            Code::DivergenceRisk => {
+                "The whole-program interval [static_lo, static_hi] is wider \
+                 than the configured ratio: the provable floor and ceiling are \
+                 so far apart that the standard/worst-case bracket may carry \
+                 little information. Wide brackets come from nondeterministic \
+                 receive order — cyclic steps with forced transmissions, or \
+                 deep fan-in where arrival order is unconstrained. Treat \
+                 point predictions for this program with caution and prefer \
+                 measuring (or simulating both algorithms) over trusting one \
+                 number."
+            }
         }
     }
 }
@@ -424,6 +613,10 @@ mod tests {
             assert!(seen.insert(s), "duplicate code {s}");
             assert_eq!(Code::parse(s), Some(c));
             assert!(!c.description().is_empty());
+            assert!(
+                c.explain().len() > c.description().len(),
+                "{s}: explain text should be a real paragraph"
+            );
         }
         assert_eq!(Code::parse("PS9999"), None);
     }

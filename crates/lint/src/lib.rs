@@ -23,7 +23,11 @@
 //! * **fault analysis** (`PS04xx`): given fail-stop fault windows
 //!   ([`LintOptions::fault_windows`]), flag steps whose receive counts
 //!   wait on a processor that is down during that step — a warning by
-//!   default, an error under [`LintOptions::strict_faults`].
+//!   default, an error under [`LintOptions::strict_faults`];
+//! * **cost intervals** (`PS06xx`): performance lints derived from the
+//!   [`interval`] abstract interpreter's simulation-free `[lo, hi]`
+//!   brackets — static load imbalance, gap-serialized contention
+//!   hotspots, bandwidth-dominated steps and uselessly wide brackets.
 //!
 //! Analyses are [`Pass`]es over a [`ProgramView`]; [`check_program`] runs
 //! the default registry and returns a sorted [`Report`] that renders
@@ -45,10 +49,12 @@
 #![warn(missing_docs)]
 
 pub mod diag;
+pub mod interval;
 pub mod json;
 pub mod passes;
 
 pub use diag::{Code, Diagnostic, Report, Severity, Span};
+pub use interval::{analyze, Bottleneck, BoundsConfig, ProgramBounds};
 pub use passes::bounds::{proc_bounds, step_lower_bound};
 
 use loggp::LogGpParams;
@@ -111,6 +117,9 @@ pub struct LintOptions {
     pub fault_windows: Vec<FaultWindow>,
     /// Report `PS0401` starvation as an error instead of a warning.
     pub strict_faults: bool,
+    /// `hi / lo` ratio above which the whole-program static interval
+    /// counts as a divergence risk (`PS0604`).
+    pub divergence_ratio: f64,
 }
 
 impl Default for LintOptions {
@@ -122,6 +131,7 @@ impl Default for LintOptions {
             imbalance_ratio: 4.0,
             fault_windows: Vec::new(),
             strict_faults: false,
+            divergence_ratio: 8.0,
         }
     }
 }
@@ -163,6 +173,12 @@ impl LintOptions {
         self.strict_faults = true;
         self
     }
+
+    /// These options with a different divergence-risk ratio (`PS0604`).
+    pub fn with_divergence_ratio(mut self, ratio: f64) -> Self {
+        self.divergence_ratio = ratio;
+        self
+    }
 }
 
 /// One analysis. Implementations are stateless; a pass reads the view and
@@ -185,6 +201,7 @@ pub fn default_passes() -> Vec<Box<dyn Pass>> {
         Box::new(passes::wellformed::WellFormed),
         Box::new(passes::deadlock::Deadlock),
         Box::new(passes::bounds::LogGpBounds),
+        Box::new(passes::bounds::CostIntervals),
         Box::new(passes::faults::FaultStarvation),
     ]
 }

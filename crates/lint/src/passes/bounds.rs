@@ -21,6 +21,7 @@
 //! no machine model needed — whole-program computation imbalance
 //! (`PS0303`) and processors that never participate at all (`PS0304`).
 
+use crate::interval::{analyze, Bottleneck, BoundsConfig};
 use crate::passes::proc_list;
 use crate::{Code, Diagnostic, LintOptions, Pass, ProgramView, Report, Severity, Span};
 use commsim::CommPattern;
@@ -181,6 +182,12 @@ impl LogGpBounds {
                 senders[m.dst].push(m.src);
             }
         }
+        // Sort once at emit time: the rendered sender list (and therefore
+        // the JSON output) must not depend on message order within the
+        // pattern.
+        for list in &mut senders {
+            list.sort_unstable();
+        }
         let recvs = step.comm.recv_counts();
         for (dst, from) in senders.iter().enumerate() {
             if from.len() < opts.fanin_threshold {
@@ -249,6 +256,158 @@ impl LogGpBounds {
                     view.procs
                 )),
             );
+        }
+    }
+}
+
+/// The cost-interval pass (`PS06xx`): performance lints derived from the
+/// abstract interpreter in [`crate::interval`]. Needs machine parameters;
+/// without [`LintOptions::params`] it stays silent.
+pub struct CostIntervals;
+
+impl Pass for CostIntervals {
+    fn name(&self) -> &'static str {
+        "cost-intervals"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[
+            Code::StaticImbalance,
+            Code::ContentionHotspot,
+            Code::BandwidthDominated,
+            Code::DivergenceRisk,
+        ]
+    }
+
+    fn run(&self, view: &ProgramView<'_>, opts: &LintOptions, report: &mut Report) {
+        let Some(params) = opts.params else {
+            return;
+        };
+        let Some(bounds) = analyze(view, &BoundsConfig::new(params)) else {
+            return;
+        };
+
+        // PS0601: per-processor finish ceilings, max/min over processors
+        // whose ceiling moved at all.
+        let active: Vec<(usize, Time)> = bounds
+            .per_proc
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, hi))| !hi.is_zero())
+            .map(|(p, &(_, hi))| (p, hi))
+            .collect();
+        if active.len() >= 2 {
+            let (max_proc, max) = *active.iter().max_by_key(|(_, h)| *h).expect("non-empty");
+            let (min_proc, min) = *active.iter().min_by_key(|(_, h)| *h).expect("non-empty");
+            if !min.is_zero() {
+                let ratio = max.as_us_f64() / min.as_us_f64();
+                if ratio > opts.imbalance_ratio {
+                    report.push(
+                        Diagnostic::new(
+                            Code::StaticImbalance,
+                            Severity::Warning,
+                            Span::program().with_proc(max_proc),
+                            format!(
+                                "static finish ceilings are imbalanced: P{max_proc} ends by \
+                                 {max}, P{min_proc} by {min} ({ratio:.1}x)"
+                            ),
+                        )
+                        .with_note(
+                            "computed without simulating; the program ends with its slowest \
+                             processor",
+                        ),
+                    );
+                }
+            }
+        }
+
+        // PS0602/PS0603: per-step bottleneck attribution, aggregated to
+        // one diagnostic per code (the worst step is named).
+        let recvs_at = |step: usize, proc: usize| -> usize {
+            let comm = &view.steps[step].comm;
+            if comm.is_empty() || comm.procs() != view.procs {
+                0
+            } else {
+                comm.recv_counts()[proc]
+            }
+        };
+        let mut gap_steps = 0usize;
+        let mut gap_worst: Option<&crate::interval::StepBounds> = None;
+        let mut wire_steps = 0usize;
+        let mut wire_worst: Option<&crate::interval::StepBounds> = None;
+        for s in &bounds.steps {
+            match s.class {
+                Bottleneck::Gap if recvs_at(s.step, s.proc) >= opts.fanin_threshold => {
+                    gap_steps += 1;
+                    if gap_worst.is_none_or(|w| s.breakdown.gap > w.breakdown.gap) {
+                        gap_worst = Some(s);
+                    }
+                }
+                Bottleneck::Bandwidth => {
+                    wire_steps += 1;
+                    if wire_worst.is_none_or(|w| s.breakdown.wire > w.breakdown.wire) {
+                        wire_worst = Some(s);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(w) = gap_worst {
+            report.push(
+                Diagnostic::new(
+                    Code::ContentionHotspot,
+                    Severity::Warning,
+                    Span::step(w.step, &w.label).with_proc(w.proc),
+                    format!(
+                        "{gap_steps} step(s) are gap-serialized at a fan-in hotspot; worst: \
+                         P{} queues {} receive(s) worth {} of gap in its ceiling",
+                        w.proc,
+                        recvs_at(w.step, w.proc),
+                        w.breakdown.gap
+                    ),
+                )
+                .with_note("the port admits one message every g; senders wait in line")
+                .with_note("consider a tree-shaped exchange or moving endpoints off the hot proc"),
+            );
+        }
+        if let Some(w) = wire_worst {
+            report.push(
+                Diagnostic::new(
+                    Code::BandwidthDominated,
+                    Severity::Info,
+                    Span::step(w.step, &w.label).with_proc(w.proc),
+                    format!(
+                        "{wire_steps} step(s) are bandwidth-bound (G dominates); worst: \
+                         P{}'s ceiling carries {} of wire time",
+                        w.proc, w.breakdown.wire
+                    ),
+                )
+                .with_note("smaller messages (e.g. a smaller block size) shrink G·(k-1) directly")
+                .with_note("predsim ge-sweep --prefilter explores block sizes cheaply"),
+            );
+        }
+
+        // PS0604: uselessly wide bracket.
+        if !bounds.lo.is_zero() {
+            let spread = bounds.hi.as_us_f64() / bounds.lo.as_us_f64();
+            if spread > opts.divergence_ratio {
+                report.push(
+                    Diagnostic::new(
+                        Code::DivergenceRisk,
+                        Severity::Warning,
+                        Span::program(),
+                        format!(
+                            "static interval [{}, {}] spans {spread:.1}x; the std/wc bracket \
+                             may be uninformative",
+                            bounds.lo, bounds.hi
+                        ),
+                    )
+                    .with_note(
+                        "wide brackets come from nondeterministic receive order (cycles, deep \
+                         fan-in)",
+                    ),
+                );
+            }
         }
     }
 }

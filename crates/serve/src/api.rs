@@ -465,13 +465,39 @@ pub fn result_value(result: &JobResult) -> Value {
     Value::Object(fields)
 }
 
-/// Render a `POST /v1/predict` success body.
-pub fn render_predict(result: &JobResult) -> String {
+/// Render a `POST /v1/predict` success body. When the job admitted a
+/// static analysis (clean spec, no faults), `bounds` carries the
+/// pre-computed interval and the result object gains `static_lo_ps` /
+/// `static_hi_ps`; faulted or infeasible jobs simply omit the fields.
+pub fn render_predict(result: &JobResult, bounds: Option<&predsim_lint::ProgramBounds>) -> String {
+    let mut value = result_value(result);
+    if let (Value::Object(fields), Some(b)) = (&mut value, bounds) {
+        fields.push(("static_lo_ps".into(), Value::Int(b.lo.as_ps() as i64)));
+        fields.push(("static_hi_ps".into(), Value::Int(b.hi.as_ps() as i64)));
+    }
     Value::Object(vec![
         ("version".into(), Value::Int(1)),
-        ("result".into(), result_value(result)),
+        ("result".into(), value),
     ])
     .to_compact()
+}
+
+/// Render a `POST /v1/estimate` body: the static interval alone, no
+/// simulation. The `bounds` object is rendered by the exact same
+/// [`predsim_lint::ProgramBounds::to_value`] the CLI's
+/// `check --bounds --json` uses, so the two agree byte for byte; when
+/// no bounds exist the body carries the same `bounds_unavailable`
+/// reason strings the CLI prints.
+pub fn render_estimate(name: &str, bounds: Result<&predsim_lint::ProgramBounds, &str>) -> String {
+    let mut fields = vec![
+        ("version".into(), Value::Int(1)),
+        ("name".into(), Value::Str(name.into())),
+    ];
+    match bounds {
+        Ok(b) => fields.push(("bounds".into(), b.to_value())),
+        Err(why) => fields.push(("bounds_unavailable".into(), Value::Str(why.into()))),
+    }
+    Value::Object(fields).to_compact()
 }
 
 /// Render a `POST /v1/batch` success body (results in submission order).

@@ -502,6 +502,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
 fn route(request: &Request, shared: &Shared) -> (&'static str, Response) {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/v1/predict") => ("/v1/predict", predict(request, shared)),
+        ("POST", "/v1/estimate") => ("/v1/estimate", estimate(request)),
         ("POST", "/v1/batch") => ("/v1/batch", batch(request, shared)),
         ("POST", "/v1/calibrate") => ("/v1/calibrate", calibrate(request, shared)),
         ("POST", "/admin/drain") => ("/admin/drain", drain_request(shared)),
@@ -516,8 +517,8 @@ fn route(request: &Request, shared: &Shared) -> (&'static str, Response) {
         ),
         (
             _,
-            "/v1/predict" | "/v1/batch" | "/v1/calibrate" | "/admin/drain" | "/healthz"
-            | "/metrics" | "/metrics.json",
+            "/v1/predict" | "/v1/estimate" | "/v1/batch" | "/v1/calibrate" | "/admin/drain"
+            | "/healthz" | "/metrics" | "/metrics.json",
         ) => (
             "other",
             Response::json(405, api::error_body("method not allowed")),
@@ -603,13 +604,50 @@ fn predict(request: &Request, shared: &Shared) -> Response {
         Ok(job) => job,
         Err(e) => return Response::json(e.status, e.body),
     };
+    // The static interval is computed on the request thread after the
+    // simulation returns, not before admission: it never delays the
+    // enqueue, and shed requests (429/503) never pay for it.
+    let for_bounds = spec.clone();
     match admit_and_run(shared, vec![Work::Predict(spec)]) {
         Ok(mut replies) => match replies.pop() {
-            Some(Reply::Predict(result)) => Response::json(200, api::render_predict(&result)),
+            Some(Reply::Predict(result)) => {
+                let bounds = predsim_engine::static_bounds(&for_bounds);
+                Response::json(200, api::render_predict(&result, bounds.as_ref()))
+            }
             _ => Response::json(500, api::error_body("worker returned the wrong reply kind")),
         },
         Err(resp) => resp,
     }
+}
+
+/// `POST /v1/estimate`: the static cost interval for a job, no
+/// simulation and no queueing — the analyzer runs right here on the
+/// request thread in time proportional to the program text, so the
+/// endpoint answers even while the workers are saturated. The
+/// `bounds` object is byte-identical to what `predsim check --bounds
+/// --json` emits for the same job, and the unavailability reasons
+/// ("infeasible spec", "fault injection voids the static bounds",
+/// "program is malformed") match the CLI's too.
+fn estimate(request: &Request) -> Response {
+    let body = match request.body_str() {
+        Ok(b) => b,
+        Err(_) => return Response::json(400, api::error_body("body is not valid UTF-8")),
+    };
+    let (name, spec) = match api::parse_predict(body) {
+        Ok(job) => job,
+        Err(e) => return Response::json(e.status, e.body),
+    };
+    let rendered = if spec.faults.is_some() {
+        api::render_estimate(&name, Err("fault injection voids the static bounds"))
+    } else if spec.source.validate().is_err() {
+        api::render_estimate(&name, Err("infeasible spec"))
+    } else {
+        match predsim_engine::static_bounds(&spec) {
+            Some(b) => api::render_estimate(&name, Ok(&b)),
+            None => api::render_estimate(&name, Err("program is malformed")),
+        }
+    };
+    Response::json(200, rendered)
 }
 
 fn calibrate(request: &Request, shared: &Shared) -> Response {

@@ -113,7 +113,8 @@ fn concurrent_predictions_are_byte_identical_to_the_engine() {
         .iter()
         .map(|body| {
             let (_, spec) = api::parse_predict(body).expect("body parses");
-            api::render_predict(&engine.run(std::slice::from_ref(&spec))[0])
+            let bounds = predsim_engine::static_bounds(&spec);
+            api::render_predict(&engine.run(std::slice::from_ref(&spec))[0], bounds.as_ref())
         })
         .collect();
 
@@ -544,4 +545,102 @@ fn drain_finishes_in_flight_work_and_counts_every_request() {
         };
         assert!(gone, "a drained server must not answer");
     }
+}
+
+#[test]
+fn estimate_returns_the_static_interval_without_touching_the_workers() {
+    let handle = start(1, 4);
+    let addr = handle.addr();
+
+    // A clean job: the bounds object is exactly the in-process
+    // analyzer's rendering, and the bracket holds around the simulated
+    // total the predict endpoint reports for the same job.
+    let body = r#"{"source":"ge:240,24,row,8"}"#;
+    let (status, _, est) = request(addr, "POST", "/v1/estimate", body);
+    assert_eq!(status, 200, "{est}");
+    let (_, spec) = api::parse_predict(body).expect("body parses");
+    let bounds = predsim_engine::static_bounds(&spec).expect("clean spec has bounds");
+    assert_eq!(
+        est,
+        api::render_estimate("ge:240,24,row,8", Ok(&bounds)),
+        "wire bytes differ from the in-process analyzer"
+    );
+    let est_v = json::parse(&est).expect("estimate is strict JSON");
+    let lo = est_v
+        .get("bounds")
+        .and_then(|b| b.get("static_lo_ps"))
+        .and_then(Value::as_int)
+        .expect("static_lo_ps");
+    let hi = est_v
+        .get("bounds")
+        .and_then(|b| b.get("static_hi_ps"))
+        .and_then(Value::as_int)
+        .expect("static_hi_ps");
+    assert!(0 < lo && lo <= hi);
+
+    let (status, pred) = predict(addr, body);
+    assert_eq!(status, 200, "{pred}");
+    let pred_v = json::parse(&pred).expect("predict is strict JSON");
+    let result = pred_v.get("result").expect("result object");
+    let total = result
+        .get("total_ps")
+        .and_then(Value::as_int)
+        .expect("total_ps");
+    assert!(
+        lo <= total && total <= hi,
+        "bracket [{lo}, {hi}] must contain the simulated total {total}"
+    );
+    assert_eq!(result.get("static_lo_ps").and_then(Value::as_int), Some(lo));
+    assert_eq!(result.get("static_hi_ps").and_then(Value::as_int), Some(hi));
+
+    // A faulted job: no bounds, the same reason string the CLI prints,
+    // and the predict response omits the static fields.
+    let faulted = r#"{"source":"ge:240,24,row,8","faults":"drop:0.1","seed":3}"#;
+    let (status, _, est) = request(addr, "POST", "/v1/estimate", faulted);
+    assert_eq!(status, 200, "{est}");
+    assert!(
+        est.contains("\"bounds_unavailable\":\"fault injection voids the static bounds\""),
+        "{est}"
+    );
+    let (status, pred) = predict(addr, faulted);
+    assert_eq!(status, 200, "{pred}");
+    assert!(!pred.contains("static_lo_ps"), "{pred}");
+
+    // An infeasible job is still a 200 with a reason — the endpoint
+    // never queues, so there is no engine gate to trip.
+    let (status, _, est) = request(
+        addr,
+        "POST",
+        "/v1/estimate",
+        r#"{"source":"ge:64,16,row,0"}"#,
+    );
+    assert_eq!(status, 200, "{est}");
+    assert!(
+        est.contains("\"bounds_unavailable\":\"infeasible spec\""),
+        "{est}"
+    );
+
+    // Wrong method on the route is a 405, like every other endpoint.
+    let (status, _, _) = request(addr, "GET", "/v1/estimate", "");
+    assert_eq!(status, 405);
+
+    // The endpoint shows up in the per-endpoint counters under its own
+    // label (the 405 lands under "other", like every method mismatch),
+    // and none of the estimates consumed an engine job.
+    let report = handle.drain();
+    let estimates = report
+        .metrics
+        .scalar(
+            "serve_endpoint_requests_total",
+            &[("endpoint", "/v1/estimate")],
+        )
+        .unwrap();
+    assert_eq!(estimates, 3);
+    assert_eq!(
+        report.metrics.scalar(
+            "serve_endpoint_requests_total",
+            &[("endpoint", "/v1/predict")]
+        ),
+        Some(2)
+    );
 }

@@ -26,7 +26,8 @@ use predsim::predsim_engine::{
     LayoutSpec,
 };
 use predsim::predsim_lint::{
-    check_program, json, Code, Diagnostic, FaultWindow, LintOptions, Report, Severity, Span,
+    analyze, check_program, json, BoundsConfig, Code, Diagnostic, FaultWindow, LintOptions,
+    ProgramBounds, ProgramView, Report, Severity, Span,
 };
 use predsim::predsim_serve::{ServeConfig, Server};
 use predsim::prelude::*;
@@ -46,15 +47,22 @@ USAGE:
       Parse a text-format trace (see predsim_core::textfmt) and predict it.
 
   predsim check SOURCE... [--machine NAME] [--worst-case] [--json] [--strict]
-                [--faults SPEC] [--seed N]
+                [--bounds] [--faults SPEC] [--seed N]
+  predsim check --explain CODE
       Statically analyze programs without simulating: well-formedness
       (PS01xx), deadlock cycles (PS0201, an error under --worst-case),
-      and LogGP lower-bound findings (PS03xx) such as fan-in hotspots and
-      load imbalance. With --faults, fail-stop windows of the plan are
-      checked for starved receives (PS0401, an error under --strict).
-      SOURCEs are as for 'batch'. Exits nonzero if any source has
-      error-severity diagnostics (with --strict: warnings too); --json
-      emits the machine-readable report instead of text.
+      LogGP lower-bound findings (PS03xx) such as fan-in hotspots and
+      load imbalance, and cost-interval performance lints (PS06xx).
+      With --faults, fail-stop windows of the plan are checked for
+      starved receives (PS0401, an error under --strict). SOURCEs are
+      as for 'batch'. Exits nonzero if any source has error-severity
+      diagnostics (with --strict: warnings too); --json emits the
+      machine-readable report instead of text. --bounds additionally
+      prints each program's simulation-free static [lo, hi] running-time
+      interval with per-step bottleneck classes and the static critical
+      path (in JSON: a \"bounds\" object per source; fault injection
+      makes the interval unavailable). --explain CODE prints the
+      rationale and an example for one diagnostic code and exits.
 
   predsim gantt TRACE --step N [--machine NAME] [--svg FILE] [--worst-case]
       Render the send/receive schedule of step N (1-based) of the trace.
@@ -73,7 +81,7 @@ USAGE:
       prediction.
 
   predsim ge-sweep [--n N] [--procs P] [--machine NAME] [--layout L] [--blocks A,B,...]
-                   [--jobs N] [--no-memo] [--faults SPEC] [--seed N]
+                   [--prefilter] [--jobs N] [--no-memo] [--faults SPEC] [--seed N]
                    [--job-budget STEPS] [--retries K]
                    [--checkpoint FILE | --resume FILE]
                    [--results-out FILE] [--metrics-out FILE]
@@ -81,7 +89,11 @@ USAGE:
       predicted optimum (layouts: diagonal, row, col; default n=960 P=8).
       --jobs runs the sweep on N worker threads (results are identical);
       --metrics-out writes the engine's metrics in Prometheus format.
-      Fault and resilience flags are as for 'batch'.
+      --prefilter ranks candidates by their static cost ceiling, runs
+      them most-promising-first, and skips any block size whose static
+      floor already exceeds the best observed total (incompatible with
+      --faults and --checkpoint/--resume). Fault and resilience flags
+      are as for 'batch'.
 
   predsim batch SOURCE... [--machine NAME[,NAME...]] [--jobs N] [--no-memo]
                 [--worst-case] [--barrier] [--overlap] [--classic-gap]
@@ -607,6 +619,29 @@ fn cmd_ge_sweep(args: &Args) -> Result<(), String> {
             spec
         })
         .collect();
+    if args.flag("prefilter") {
+        if plan.is_some() {
+            return Err(
+                "--prefilter ranks and prunes by static bounds, which fault injection voids; \
+                 drop --faults"
+                    .into(),
+            );
+        }
+        if args.value("checkpoint").is_some() || args.value("resume").is_some() {
+            return Err(
+                "--prefilter reorders and prunes the sweep, so its journal would not line up \
+                 with a plain run's; drop --checkpoint/--resume"
+                    .into(),
+            );
+        }
+        println!(
+            "blocked GE, n={n}, {} layout, P={procs}, {} (static prefilter)",
+            layout.name(),
+            params
+        );
+        return ge_sweep_prefiltered(args, &engine, &specs, &blocks);
+    }
+
     let (journal, restored) = open_journal(args)?;
     let results = engine.run_resumable(&specs, journal.as_ref(), &restored);
 
@@ -627,6 +662,70 @@ fn cmd_ge_sweep(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The `ge-sweep --prefilter` path: rank the candidate block sizes by
+/// static ceiling (most promising first), run them one at a time, and skip
+/// every candidate whose static floor already exceeds the best observed
+/// total — its simulation cannot win. Sequential on purpose: each result
+/// tightens the pruning threshold for the next candidate, and the memo
+/// cache still carries over between runs (one engine).
+fn ge_sweep_prefiltered(
+    args: &Args,
+    engine: &Engine,
+    specs: &[JobSpec],
+    blocks: &[usize],
+) -> Result<(), String> {
+    let bounds: Vec<ProgramBounds> = specs
+        .iter()
+        .map(|s| {
+            predsim_engine::static_bounds(s)
+                .ok_or_else(|| format!("{}: no static bounds for a clean spec", s.label))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut order: Vec<usize> = (0..specs.len()).collect();
+    order.sort_by_key(|&i| (bounds[i].hi.as_ps(), i));
+
+    let mut best: Option<(usize, Time)> = None;
+    let mut executed: Vec<(usize, JobResult)> = Vec::new();
+    let mut pruned = 0usize;
+    for &i in &order {
+        if let Some((_, best_total)) = best {
+            if bounds[i].lo > best_total {
+                pruned += 1;
+                println!(
+                    "pruned B={}: static floor {} s exceeds best observed {} s",
+                    blocks[i],
+                    secs(bounds[i].lo),
+                    secs(best_total)
+                );
+                continue;
+            }
+        }
+        let result = engine
+            .run(std::slice::from_ref(&specs[i]))
+            .pop()
+            .expect("one spec in, one result out");
+        if let Some((total, ..)) = result.outcome.totals() {
+            if best.is_none_or(|(_, t)| total < t) {
+                best = Some((i, total));
+            }
+        }
+        executed.push((i, result));
+    }
+    executed.sort_by_key(|(i, _)| *i);
+    println!(
+        "prefilter: simulated {} of {} candidate(s), pruned {pruned}",
+        executed.len(),
+        specs.len()
+    );
+    if let Some((i, total)) = best {
+        println!("predicted optimum: B={} at {} s", blocks[i], secs(total));
+    }
+    let results: Vec<JobResult> = executed.into_iter().map(|(_, r)| r).collect();
+    report_results(args, &results, None)?;
+    write_engine_metrics(args, engine)?;
+    Ok(())
+}
+
 /// Parse a batch SOURCE argument: a generator spec (`ge:`, `cannon:`,
 /// `stencil:`, `apsp:` — the shared grammar of [`JobSource::parse_spec`])
 /// or a trace file path.
@@ -640,13 +739,35 @@ fn parse_source(raw: &str) -> Result<(String, JobSource), String> {
     }
 }
 
+/// `check --explain CODE`: print the one-paragraph rationale for one
+/// diagnostic code (no sources needed).
+fn explain_code(raw: &str) -> Result<(), String> {
+    let wanted = raw.trim().to_ascii_uppercase();
+    let code = Code::ALL
+        .iter()
+        .find(|c| c.as_str() == wanted)
+        .ok_or_else(|| {
+            let known: Vec<&str> = Code::ALL.iter().map(|c| c.as_str()).collect();
+            format!("unknown code '{raw}'; known codes: {}", known.join(", "))
+        })?;
+    println!("{}: {}", code.as_str(), code.description());
+    println!();
+    println!("{}", code.explain());
+    Ok(())
+}
+
 fn cmd_check(args: &Args) -> Result<ExitCode, String> {
+    if let Some(raw) = args.value("explain") {
+        explain_code(raw)?;
+        return Ok(ExitCode::SUCCESS);
+    }
     if args.positional.is_empty() {
         return Err(
             "check: no sources given (trace files or ge:/cannon:/stencil:/apsp: specs)".into(),
         );
     }
     let as_json = args.flag("json");
+    let with_bounds = args.flag("bounds");
     let algo = if args.flag("worst-case") {
         CommAlgo::WorstCase
     } else {
@@ -659,6 +780,8 @@ fn cmd_check(args: &Args) -> Result<ExitCode, String> {
     let mut sources = Vec::new();
     for raw in &args.positional {
         let (name, source) = parse_source(raw)?;
+        let mut bounds = None;
+        let mut bounds_unavailable = "";
         // An infeasible spec is itself a diagnostic (the same PS0501 the
         // engine's pre-run gate and the serve API report), not a CLI
         // error: `check --json` always yields a parseable document.
@@ -674,6 +797,7 @@ fn cmd_check(args: &Args) -> Result<ExitCode, String> {
                     )
                     .with_note("the generator would panic on these inputs; fix the spec"),
                 );
+                bounds_unavailable = "infeasible spec";
                 report
             }
             Ok(()) => {
@@ -702,18 +826,45 @@ fn cmd_check(args: &Args) -> Result<ExitCode, String> {
                         opts = opts.with_strict_faults();
                     }
                 }
+                if with_bounds {
+                    if plan.is_some() {
+                        bounds_unavailable = "fault injection voids the static bounds";
+                    } else {
+                        let bcfg = BoundsConfig::new(params);
+                        bounds = analyze(&ProgramView::of(&program), &bcfg);
+                        if bounds.is_none() {
+                            bounds_unavailable = "program is malformed";
+                        }
+                    }
+                }
                 check_program(&program, &opts)
             }
         };
         any_error |= report.has_errors();
         any_warning |= report.count(Severity::Warning) > 0;
         if as_json {
-            sources.push(json::Value::Object(vec![
+            let mut obj = vec![
                 ("name".into(), json::Value::Str(name)),
                 ("report".into(), report.to_value()),
-            ]));
+            ];
+            if with_bounds {
+                match &bounds {
+                    Some(b) => obj.push(("bounds".into(), b.to_value())),
+                    None => obj.push((
+                        "bounds_unavailable".into(),
+                        json::Value::Str(bounds_unavailable.into()),
+                    )),
+                }
+            }
+            sources.push(json::Value::Object(obj));
         } else {
             print!("{}", report.render());
+            if with_bounds {
+                match &bounds {
+                    Some(b) => println!("{}", b.render()),
+                    None => println!("static bounds unavailable: {bounds_unavailable}"),
+                }
+            }
             println!();
         }
     }
@@ -1157,6 +1308,8 @@ fn run() -> Result<ExitCode, String> {
             switch("worst-case"),
             switch("json"),
             switch("strict"),
+            switch("bounds"),
+            valued("explain"),
             valued("faults"),
             valued("seed"),
         ],
@@ -1182,6 +1335,7 @@ fn run() -> Result<ExitCode, String> {
                 valued("machine"),
                 valued("layout"),
                 valued("blocks"),
+                switch("prefilter"),
             ];
             s.extend(BATCH_FLAGS);
             s

@@ -946,3 +946,335 @@ fn calibrate_measures_a_live_source_directly() {
         "no holdout: bracket on train runs"
     );
 }
+
+#[test]
+fn check_bounds_reports_the_static_interval_in_text_and_json() {
+    // Text: the rendered interval, spread, and critical path.
+    let out = bin()
+        .args(["check", "--bounds", "ge:240,24,row,8"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("static bounds: ["), "{text}");
+    assert!(text.contains("bracket spread:"), "{text}");
+    assert!(text.contains("critical path"), "{text}");
+
+    // JSON: a well-formed bounds object with an ordered interval.
+    let out = bin()
+        .args(["check", "--bounds", "--json", "ge:240,24,row,8"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let doc =
+        predsim::predsim_lint::json::parse(&String::from_utf8_lossy(&out.stdout)).expect("JSON");
+    let bounds = doc.get("sources").and_then(|s| s.as_array()).unwrap()[0]
+        .get("bounds")
+        .expect("bounds object");
+    let lo = bounds
+        .get("static_lo_ps")
+        .and_then(|v| v.as_int())
+        .expect("static_lo_ps");
+    let hi = bounds
+        .get("static_hi_ps")
+        .and_then(|v| v.as_int())
+        .expect("static_hi_ps");
+    assert!(0 < lo && lo <= hi, "interval [{lo}, {hi}] must be ordered");
+    let steps = bounds.get("steps").and_then(|v| v.as_array()).unwrap();
+    assert!(!steps.is_empty(), "one entry per program step");
+    assert!(bounds.get("critical_path").is_some());
+
+    // Fault injection voids the bounds, in both output modes.
+    let out = bin()
+        .args([
+            "check",
+            "--bounds",
+            "--faults",
+            "drop:0.1",
+            "--seed",
+            "1",
+            "ge:240,24,row,8",
+        ])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("static bounds unavailable: fault injection voids the static bounds"),
+        "{text}"
+    );
+}
+
+#[test]
+fn check_explain_has_a_paragraph_for_every_registered_code() {
+    use predsim::predsim_lint::Code;
+    for code in Code::ALL {
+        let out = bin()
+            .args(["check", "--explain", code.as_str()])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "--explain {} failed", code.as_str());
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            text.starts_with(&format!("{}: {}", code.as_str(), code.description())),
+            "{text}"
+        );
+        assert!(
+            !code.explain().trim().is_empty(),
+            "{} has no explain text",
+            code.as_str()
+        );
+        assert!(
+            text.contains(code.explain()),
+            "--explain {} did not print the paragraph",
+            code.as_str()
+        );
+    }
+
+    // Lowercase is accepted; unknown codes list what exists.
+    let out = bin()
+        .args(["check", "--explain", "ps0501"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = bin()
+        .args(["check", "--explain", "PS9999"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown code 'PS9999'"), "{err}");
+    assert!(err.contains("PS0101"), "{err}");
+}
+
+#[test]
+fn ge_sweep_prefilter_finds_the_same_optimum_as_the_plain_sweep() {
+    let sweep = |extra: &[&str]| {
+        let mut args = vec![
+            "ge-sweep", "--n", "240", "--procs", "8", "--blocks", "24,120",
+        ];
+        args.extend_from_slice(extra);
+        let out = bin().args(&args).output().unwrap();
+        assert!(
+            out.status.success(),
+            "{args:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let plain = sweep(&[]);
+    let filtered = sweep(&["--prefilter"]);
+    let optimum = |text: &str| {
+        text.lines()
+            .find(|l| l.starts_with("predicted optimum:"))
+            .map(str::to_string)
+            .unwrap_or_else(|| panic!("no optimum line in: {text}"))
+    };
+    assert_eq!(
+        optimum(&plain),
+        optimum(&filtered),
+        "pruning must never change the winner"
+    );
+    assert!(filtered.contains("(static prefilter)"), "{filtered}");
+    assert!(filtered.contains("prefilter: simulated"), "{filtered}");
+}
+
+#[test]
+fn ge_sweep_prefilter_refuses_faults_and_checkpoints() {
+    let out = bin()
+        .args([
+            "ge-sweep",
+            "--prefilter",
+            "--faults",
+            "drop:0.1",
+            "--seed",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("fault injection voids"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let journal = tmp_file("prefilter.journal", "");
+    let out = bin()
+        .args([
+            "ge-sweep",
+            "--prefilter",
+            "--checkpoint",
+            journal.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("drop --checkpoint/--resume"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn serve_estimate_matches_check_bounds_json_byte_for_byte() {
+    use std::io::BufRead as _;
+    let mut child = bin()
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "1"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut lines = std::io::BufReader::new(child.stdout.take().unwrap()).lines();
+    let banner = lines.next().unwrap().unwrap();
+    let addr = banner
+        .strip_prefix("predsim-serve listening on http://")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .to_string();
+
+    let (status, body) = http_request(
+        &addr,
+        "POST",
+        "/v1/estimate",
+        r#"{"source":"ge:240,24,row,8"}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let served = predsim::predsim_lint::json::parse(&body).expect("estimate is strict JSON");
+    let served_bounds = served.get("bounds").expect("bounds object");
+
+    let out = bin()
+        .args(["check", "--bounds", "--json", "ge:240,24,row,8"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let checked =
+        predsim::predsim_lint::json::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    let checked_bounds = checked.get("sources").and_then(|s| s.as_array()).unwrap()[0]
+        .get("bounds")
+        .expect("bounds object");
+    assert_eq!(
+        served_bounds.to_compact(),
+        checked_bounds.to_compact(),
+        "serve and CLI must emit the identical interval"
+    );
+
+    let (status, _) = http_request(&addr, "POST", "/admin/drain", "");
+    assert_eq!(status, 200);
+    assert!(child.wait_with_output().unwrap().status.success());
+}
+
+#[test]
+fn machine_file_references_distinguish_missing_file_from_missing_name() {
+    let trace = tmp_file("regtest.trace", TRACE);
+
+    // Missing file: the error names the unreadable path.
+    let out = bin()
+        .args([
+            "simulate",
+            trace.to_str().unwrap(),
+            "--machine",
+            "@/nonexistent/fit.json:ge-fit",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot read preset file"), "{err}");
+
+    // Present file, absent name: a different, name-specific error.
+    let presets = tmp_file(
+        "fitted-cli.json",
+        r#"{"version": 1, "presets": [
+            { "name": "cli-fit", "latency_ps": 9000000, "overhead_ps": 6000000,
+              "gap_ps": 16000000, "gap_per_byte_ps": 30000, "procs": 8 }
+        ]}"#,
+    );
+    let reference = |name: &str| format!("@{}:{name}", presets.to_str().unwrap());
+    let out = bin()
+        .args([
+            "simulate",
+            trace.to_str().unwrap(),
+            "--machine",
+            &reference("absent"),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("has no preset named 'absent'"), "{err}");
+    assert!(!err.contains("cannot read"), "{err}");
+
+    // The well-formed reference resolves and simulates.
+    let out = bin()
+        .args([
+            "simulate",
+            trace.to_str().unwrap(),
+            "--machine",
+            &reference("cli-fit"),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("total"));
+}
+
+#[test]
+fn serve_presets_flag_round_trips_fitted_machines() {
+    use std::io::BufRead as _;
+    let presets = tmp_file(
+        "fitted-serve.json",
+        r#"{"version": 1, "presets": [
+            { "name": "serve-fit", "latency_ps": 9000000, "overhead_ps": 6000000,
+              "gap_ps": 16000000, "gap_per_byte_ps": 30000, "procs": 8 }
+        ]}"#,
+    );
+    let mut child = bin()
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--presets",
+            presets.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut lines = std::io::BufReader::new(child.stdout.take().unwrap()).lines();
+    let addr = loop {
+        let line = lines.next().unwrap().unwrap();
+        if let Some(rest) = line.strip_prefix("predsim-serve listening on http://") {
+            break rest.to_string();
+        }
+    };
+
+    // The fitted name resolves for predictions and for static estimates.
+    let body = r#"{"source":"cannon:64,4","machine":"serve-fit"}"#;
+    let (status, reply) = http_request(&addr, "POST", "/v1/predict", body);
+    assert_eq!(status, 200, "{reply}");
+    assert!(reply.contains("\"total_ps\""), "{reply}");
+    let (status, reply) = http_request(&addr, "POST", "/v1/estimate", body);
+    assert_eq!(status, 200, "{reply}");
+    assert!(reply.contains("\"static_lo_ps\""), "{reply}");
+
+    // An unregistered name is still rejected.
+    let (status, reply) = http_request(
+        &addr,
+        "POST",
+        "/v1/predict",
+        r#"{"source":"cannon:64,4","machine":"never-fit"}"#,
+    );
+    assert_eq!(status, 400, "{reply}");
+
+    let (status, _) = http_request(&addr, "POST", "/admin/drain", "");
+    assert_eq!(status, 200);
+    assert!(child.wait_with_output().unwrap().status.success());
+}
