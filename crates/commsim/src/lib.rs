@@ -50,6 +50,9 @@ pub mod graph;
 pub mod observe;
 pub mod pattern;
 pub mod patterns;
+pub mod reference;
+pub mod replay;
+mod scratch;
 pub mod standard;
 pub mod stats;
 pub mod timeline;
@@ -59,6 +62,8 @@ pub mod worstcase;
 pub use faults::StepFaults;
 pub use observe::StepTracer;
 pub use pattern::{CommPattern, Message, MsgId, PatternError};
+pub use replay::{Recording, ReplayAlgo, StepEnds};
+pub use scratch::SimScratch;
 pub use timeline::{CommEvent, SimResult, Timeline};
 
 use loggp::{GapRule, LogGpParams};

@@ -17,45 +17,30 @@
 //! perform whichever of {next send, earliest pending receive} can start
 //! first, receives winning ties. When no sends remain, every processor
 //! drains its receive queue.
+//!
+//! # Implementation
+//!
+//! This is the optimized hot loop: per-processor state lives in flat
+//! parallel arrays inside a reusable [`SimScratch`] (send queues are cursor
+//! ranges into one message arena), and the "minimum ctime among pending
+//! senders" selection uses the lazy-deletion [`crate::scratch`] frontier
+//! heap instead of an O(P) rescan per committed operation. The produced
+//! timelines are **bit-identical** to the straightforward encoding kept in
+//! [`crate::reference`]; `tests/equiv.rs` pins the equivalence across
+//! patterns × presets × gap rules × tie seeds × fault plans × arrival
+//! hooks.
 
 use crate::faults::{transmit, StepFaults};
 use crate::observe::StepTracer;
 use crate::pattern::{CommPattern, Message};
+use crate::replay::RecBufs;
+use crate::scratch::{InFlight, SimScratch};
 use crate::timeline::{CommEvent, SimResult, Timeline};
 use crate::{SimConfig, TieBreak};
-use loggp::{OpKind, ProcClock, Time};
+use loggp::{OpKind, Time};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
-
-/// A message in flight, keyed by arrival time for the receive queue.
-/// Ties are broken by message id, making the heap order total and the
-/// simulation deterministic.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct InFlight {
-    arrival: Time,
-    msg: Message,
-}
-
-impl Ord for InFlight {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.arrival, self.msg.id).cmp(&(other.arrival, other.msg.id))
-    }
-}
-
-impl PartialOrd for InFlight {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// Per-processor simulation state.
-struct ProcState {
-    clock: ProcClock,
-    send_queue: VecDeque<Message>,
-    recv_queue: BinaryHeap<Reverse<InFlight>>,
-}
 
 /// Simulate one communication step with the standard algorithm.
 ///
@@ -76,13 +61,36 @@ pub fn simulate_from(pattern: &CommPattern, cfg: &SimConfig, ready: &[Time]) -> 
     })
 }
 
+/// [`simulate_from`] reusing the caller's [`SimScratch`] buffers (the
+/// whole-program simulator holds one across steps so repeated steps
+/// allocate nothing in the steady state).
+pub fn simulate_from_scratch(
+    pattern: &CommPattern,
+    cfg: &SimConfig,
+    ready: &[Time],
+    scratch: &mut SimScratch,
+) -> SimResult {
+    let params = cfg.params;
+    simulate_faulted_scratch(
+        pattern,
+        cfg,
+        ready,
+        &mut |m, start| params.arrival_time(start, m.bytes),
+        None,
+        None,
+        scratch,
+    )
+}
+
 /// [`simulate_from`] with a custom *arrival model*: `arrival(msg,
 /// send_start)` returns when the message becomes available at its
 /// destination. The default is the pure LogGP arrival
 /// `send_start + o + (k−1)·G + L`; the machine emulator plugs in jitter
-/// and link contention here. The hook must return a time
-/// `≥ send_start + o` (a message cannot arrive before its send overhead
-/// completes); this is debug-asserted.
+/// and link contention here. The hook's contract is
+/// `arrival ≥ send_start + o` (a message cannot arrive before its send
+/// overhead completes); a hook that returns an earlier time is **clamped**
+/// to `send_start + o`, in release builds too, so a misbehaving arrival
+/// model can delay messages but never yields an unsound timeline.
 pub fn simulate_hooked(
     pattern: &CommPattern,
     cfg: &SimConfig,
@@ -109,8 +117,6 @@ pub fn simulate_traced(
 /// attempt charged at the sender (see [`crate::faults`]) and only the final
 /// attempt feeding the arrival model. `faults: None` is exactly
 /// [`simulate_traced`].
-// Indices double as processor ids throughout.
-#[allow(clippy::needless_range_loop)]
 pub fn simulate_faulted(
     pattern: &CommPattern,
     cfg: &SimConfig,
@@ -119,68 +125,159 @@ pub fn simulate_faulted(
     tracer: Option<&StepTracer<'_>>,
     faults: Option<&dyn StepFaults>,
 ) -> SimResult {
-    assert_eq!(ready.len(), pattern.procs(), "one ready time per processor");
+    let mut scratch = SimScratch::new();
+    simulate_faulted_scratch(
+        pattern,
+        cfg,
+        ready,
+        arrival_of,
+        tracer,
+        faults,
+        &mut scratch,
+    )
+}
+
+/// [`simulate_faulted`] reusing the caller's [`SimScratch`] buffers.
+pub fn simulate_faulted_scratch(
+    pattern: &CommPattern,
+    cfg: &SimConfig,
+    ready: &[Time],
+    arrival_of: &mut dyn FnMut(&Message, Time) -> Time,
+    tracer: Option<&StepTracer<'_>>,
+    faults: Option<&dyn StepFaults>,
+    scratch: &mut SimScratch,
+) -> SimResult {
+    sim_core(
+        pattern, cfg, ready, arrival_of, tracer, faults, scratch, None,
+    )
+}
+
+/// The full hot loop, optionally recording the commit order for
+/// [`crate::replay`]: each committed main-loop operation is appended to
+/// `rec.ops` as `proc << 1 | kind` (`0` = send, `1` = receive), and each
+/// main-loop receive's arena slot to `rec.recv_slots`. The drain phase is
+/// not recorded — it is a pure function of the state the main loop leaves
+/// behind.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sim_core(
+    pattern: &CommPattern,
+    cfg: &SimConfig,
+    ready: &[Time],
+    arrival_of: &mut dyn FnMut(&Message, Time) -> Time,
+    tracer: Option<&StepTracer<'_>>,
+    faults: Option<&dyn StepFaults>,
+    scratch: &mut SimScratch,
+    rec: Option<&mut RecBufs>,
+) -> SimResult {
+    // Monomorphize the recording flag out of the hot loop: the plain
+    // simulation path compiles with zero recording code (the `rec`
+    // bookkeeping otherwise costs ~10% on the GE pair via register
+    // pressure alone).
+    match rec {
+        Some(r) => sim_core_impl::<true>(
+            pattern,
+            cfg,
+            ready,
+            arrival_of,
+            tracer,
+            faults,
+            scratch,
+            Some(r),
+        ),
+        None => sim_core_impl::<false>(
+            pattern, cfg, ready, arrival_of, tracer, faults, scratch, None,
+        ),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sim_core_impl<const REC: bool>(
+    pattern: &CommPattern,
+    cfg: &SimConfig,
+    ready: &[Time],
+    arrival_of: &mut dyn FnMut(&Message, Time) -> Time,
+    tracer: Option<&StepTracer<'_>>,
+    faults: Option<&dyn StepFaults>,
+    scratch: &mut SimScratch,
+    mut rec: Option<&mut RecBufs>,
+) -> SimResult {
     let params = &cfg.params;
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let rule = cfg.gap_rule;
+    // The RNG is only consulted under [`TieBreak::Random`]; deterministic
+    // runs construct no RNG at all.
+    let mut rng: Option<SmallRng> = None;
 
-    let mut procs: Vec<ProcState> = pattern
-        .send_queues()
-        .into_iter()
-        .zip(ready)
-        .map(|(send_queue, &r)| {
-            let mut clock = ProcClock::new();
-            clock.advance_to(r);
-            ProcState {
-                clock,
-                send_queue,
-                recv_queue: BinaryHeap::new(),
-            }
-        })
-        .collect();
+    scratch.begin_standard(pattern, ready);
+    let procs = pattern.procs();
+    for p in 0..procs {
+        if scratch.has_sends(p) {
+            // No operation committed yet: the first send may start at the
+            // processor's ready time.
+            scratch.frontier.update(
+                p,
+                scratch.clocks[p].ready_at_kind(params, rule, OpKind::Send),
+            );
+        }
+    }
 
-    let mut timeline = Timeline::new(pattern.procs());
+    let mut timeline = Timeline::new(procs);
+    timeline.reserve(2 * scratch.arena.len());
 
-    // Main loop: while there are processors that want to send.
-    loop {
-        // min_proc = processor with minimum ctime among those with sends left.
-        let rule = cfg.gap_rule;
-        let min_time = procs
-            .iter()
-            .filter(|p| !p.send_queue.is_empty())
-            .map(|p| p.clock.ready_at_kind(params, rule, OpKind::Send))
-            .min();
-        let Some(min_time) = min_time else { break };
-        let tied: Vec<usize> = (0..procs.len())
-            .filter(|&i| {
-                !procs[i].send_queue.is_empty()
-                    && procs[i].clock.ready_at_kind(params, rule, OpKind::Send) == min_time
-            })
-            .collect();
+    // Main loop: while there are processors that want to send. `cur` is
+    // the already-popped minimum frontier entry; the hold-the-min fast
+    // path at the bottom of the loop keeps the acting processor popped
+    // (no heap traffic at all) whenever its re-keyed entry is still the
+    // strict minimum — in broadcast-shaped patterns one sender commits
+    // long runs of operations back to back, and those runs otherwise pay
+    // a full heap pop + push each.
+    let mut cur = scratch.frontier.pop_min();
+    while let Some((min_time, first)) = cur {
         let min_proc = match cfg.tie_break {
-            TieBreak::LowestId => tied[0],
-            TieBreak::Random => tied[rng.gen_range(0..tied.len())],
+            TieBreak::LowestId => first as usize,
+            TieBreak::Random => {
+                // Collect the whole tie set (surfaces in ascending processor
+                // order, matching the reference scan) and draw uniformly.
+                scratch.tied.clear();
+                scratch.tied.push(first);
+                while let Some(p) = scratch.frontier.pop_if_at(min_time) {
+                    scratch.tied.push(p);
+                }
+                // A singleton draw returns 0 without consuming RNG state
+                // (see the vendored `gen_range`), so skipping it keeps the
+                // stream bit-identical to the reference loop.
+                let choice = if scratch.tied.len() == 1 {
+                    0
+                } else {
+                    let rng = rng.get_or_insert_with(|| SmallRng::seed_from_u64(cfg.seed));
+                    rng.gen_range(0..scratch.tied.len())
+                };
+                for (i, &p) in scratch.tied.iter().enumerate() {
+                    if i != choice {
+                        scratch.frontier.restore(p, min_time);
+                    }
+                }
+                scratch.tied[choice] as usize
+            }
         };
 
-        // Candidate start times for the two alternatives.
-        let state = &procs[min_proc];
-        let start_send = state.clock.ready_at_kind(params, rule, OpKind::Send);
-        let start_recv = match state.recv_queue.peek() {
-            Some(Reverse(inflight)) => {
-                state
-                    .clock
-                    .earliest_start_kind(params, rule, OpKind::Recv, inflight.arrival)
-            }
+        // Candidate start times for the two alternatives. The frontier key
+        // is the processor's current send readiness by construction.
+        let start_send = min_time;
+        let start_recv = match scratch.recv_queues[min_proc].peek() {
+            Some(Reverse(inflight)) => scratch.clocks[min_proc].earliest_start_kind(
+                params,
+                rule,
+                OpKind::Recv,
+                inflight.arrival,
+            ),
             None => Time::MAX, // paper: start_recv = infinity
         };
 
         if start_send < start_recv {
             // Perform SEND: strict '<' gives receives priority on ties.
-            let msg = procs[min_proc]
-                .send_queue
-                .pop_front()
-                .expect("send queue non-empty");
+            let (slot, msg) = scratch.pop_send(min_proc);
             let final_start = transmit(
-                &mut procs[min_proc].clock,
+                &mut scratch.clocks[min_proc],
                 params,
                 rule,
                 min_proc,
@@ -190,29 +287,32 @@ pub fn simulate_faulted(
                 tracer,
                 &mut timeline,
             );
-            let arrival = arrival_of(&msg, final_start);
-            debug_assert!(
-                arrival >= final_start + params.overhead,
-                "arrival precedes send"
-            );
-            procs[msg.dst]
-                .recv_queue
-                .push(Reverse(InFlight { arrival, msg }));
+            // Documented clamp: a hook returning < send_start + o is lifted
+            // to the earliest sound arrival.
+            let arrival = arrival_of(&msg, final_start).max(final_start + params.overhead);
+            scratch.recv_queues[msg.dst].push(Reverse(InFlight {
+                arrival,
+                id: msg.id as u32,
+                slot,
+            }));
+            if REC {
+                if let Some(r) = rec.as_deref_mut() {
+                    r.ops.push((min_proc as u32) << 1);
+                }
+            }
         } else {
             // Perform RECEIVE.
-            let Reverse(inflight) = procs[min_proc]
-                .recv_queue
+            let Reverse(inflight) = scratch.recv_queues[min_proc]
                 .pop()
                 .expect("receive queue non-empty");
-            let end = procs[min_proc]
-                .clock
-                .commit_kind(params, rule, OpKind::Recv, start_recv);
+            let msg = scratch.arena[inflight.slot as usize];
+            let end = scratch.clocks[min_proc].commit_kind(params, rule, OpKind::Recv, start_recv);
             let event = CommEvent {
                 proc: min_proc,
                 kind: OpKind::Recv,
-                peer: inflight.msg.src,
-                bytes: inflight.msg.bytes,
-                msg_id: inflight.msg.id,
+                peer: msg.src,
+                bytes: msg.bytes,
+                msg_id: msg.id,
                 start: start_recv,
                 end,
             };
@@ -220,28 +320,62 @@ pub fn simulate_faulted(
                 t.recv(&event, inflight.arrival, false);
             }
             timeline.push(event);
+            if REC {
+                if let Some(r) = rec.as_deref_mut() {
+                    r.ops.push((min_proc as u32) << 1 | 1);
+                    r.recv_slots.push(inflight.slot);
+                }
+            }
+        }
+
+        // Re-key the acting processor (its clock advanced either way).
+        if scratch.has_sends(min_proc) {
+            let key = scratch.clocks[min_proc].ready_at_kind(params, rule, OpKind::Send);
+            // Hold the min: if the re-keyed entry's time is strictly
+            // below the raw heap top's (which is minimal over every
+            // entry, live ones included), this processor is the unique
+            // next minimum — act again without touching the heap. The
+            // strictness is on *time*, not the (time, proc) pair: a
+            // same-time entry is a tie, and ties must reach the
+            // tie-break (and, under `TieBreak::Random`, the RNG draw).
+            match scratch.frontier.peek_raw() {
+                Some((t, _)) if t <= key => {
+                    scratch.frontier.update(min_proc, key);
+                    cur = scratch.frontier.pop_min();
+                }
+                _ => cur = Some((key, min_proc as u32)),
+            }
+        } else {
+            scratch.frontier.remove(min_proc);
+            cur = scratch.frontier.pop_min();
         }
     }
 
-    // Final phase: all sends done; every processor drains its receives in
-    // arrival order.
-    for i in 0..procs.len() {
-        while let Some(Reverse(inflight)) = procs[i].recv_queue.pop() {
-            let start = procs[i].clock.earliest_start_kind(
-                params,
-                cfg.gap_rule,
-                OpKind::Recv,
-                inflight.arrival,
-            );
-            let end = procs[i]
-                .clock
-                .commit_kind(params, cfg.gap_rule, OpKind::Recv, start);
+    drain(params, cfg, scratch, tracer, &mut timeline);
+    SimResult::new(timeline)
+}
+
+/// Final phase: all sends done; every processor drains its receives in
+/// arrival order. Shared between the main loop and [`crate::replay`].
+pub(crate) fn drain(
+    params: &loggp::LogGpParams,
+    cfg: &SimConfig,
+    scratch: &mut SimScratch,
+    tracer: Option<&StepTracer<'_>>,
+    timeline: &mut Timeline,
+) {
+    for (i, clock) in scratch.clocks.iter_mut().enumerate() {
+        while let Some(Reverse(inflight)) = scratch.recv_queues[i].pop() {
+            let msg = scratch.arena[inflight.slot as usize];
+            let start =
+                clock.earliest_start_kind(params, cfg.gap_rule, OpKind::Recv, inflight.arrival);
+            let end = clock.commit_kind(params, cfg.gap_rule, OpKind::Recv, start);
             let event = CommEvent {
                 proc: i,
                 kind: OpKind::Recv,
-                peer: inflight.msg.src,
-                bytes: inflight.msg.bytes,
-                msg_id: inflight.msg.id,
+                peer: msg.src,
+                bytes: msg.bytes,
+                msg_id: msg.id,
                 start,
                 end,
             };
@@ -251,8 +385,6 @@ pub fn simulate_faulted(
             timeline.push(event);
         }
     }
-
-    SimResult::new(timeline)
 }
 
 #[cfg(test)]
@@ -407,5 +539,49 @@ mod tests {
         let lower = first_arrival + cfg.params.gap * (n as u64 - 2) + cfg.params.overhead;
         assert!(r.finish >= lower);
         validate(&pattern, &cfg, &r.timeline).unwrap();
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        let cfg = meiko_cfg(10);
+        let mut scratch = SimScratch::new();
+        let big = crate::patterns::all_to_all(10, 512);
+        let small = crate::patterns::ring(10, 64);
+        // Interleave differently-shaped simulations through one scratch and
+        // compare each against a fresh run.
+        for pattern in [&big, &small, &big] {
+            let reused = simulate_from_scratch(pattern, &cfg, &[Time::ZERO; 10], &mut scratch);
+            let fresh = simulate(pattern, &cfg);
+            assert_eq!(reused.timeline.events(), fresh.timeline.events());
+            assert_eq!(reused.finish, fresh.finish);
+        }
+    }
+
+    #[test]
+    fn lowest_id_results_do_not_depend_on_seed() {
+        // Under TieBreak::LowestId the (now lazily constructed) RNG is
+        // never consulted: any seed yields the same timeline.
+        let pattern = crate::patterns::all_to_all(6, 256);
+        let base = simulate(&pattern, &meiko_cfg(6));
+        for seed in [1u64, 42, u64::MAX] {
+            let r = simulate(&pattern, &meiko_cfg(6).with_seed(seed));
+            assert_eq!(r.timeline.events(), base.timeline.events());
+        }
+    }
+
+    #[test]
+    fn misbehaving_arrival_hook_is_clamped_not_unsound() {
+        // A hook claiming instant arrival (violating arrival ≥ start + o)
+        // is clamped to send_start + o — in release builds too.
+        let mut pattern = CommPattern::new(2);
+        pattern.add(0, 1, 4096);
+        let cfg = meiko_cfg(2);
+        let r = simulate_hooked(&pattern, &cfg, &[Time::ZERO; 2], &mut |_m, _start| {
+            Time::ZERO
+        });
+        let send = r.timeline.events_for(0)[0];
+        let recv = r.timeline.events_for(1)[0];
+        assert_eq!(recv.start, send.start + cfg.params.overhead);
+        assert_eq!(r.finish, send.start + cfg.params.overhead * 2);
     }
 }

@@ -1,7 +1,7 @@
 //! Timelines: the output of the simulation algorithms.
 
 use loggp::{OpKind, Time};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One committed send or receive operation at a processor.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -40,9 +40,27 @@ impl Timeline {
 
     /// Append an event (events are recorded in commit order; use
     /// [`Timeline::sorted_by_proc`] for per-processor chronological views).
+    ///
+    /// # Panics
+    ///
+    /// If the event references a processor outside this timeline — a real
+    /// check, not a `debug_assert!`, so a misbehaving simulator or arrival
+    /// hook cannot silently produce an out-of-range schedule in release
+    /// builds (downstream per-processor indexing would be unsound).
     pub fn push(&mut self, ev: CommEvent) {
-        debug_assert!(ev.proc < self.procs && ev.peer < self.procs);
+        assert!(
+            ev.proc < self.procs && ev.peer < self.procs,
+            "event references processor out of range (proc {} / peer {} of {})",
+            ev.proc,
+            ev.peer,
+            self.procs
+        );
         self.events.push(ev);
+    }
+
+    /// Pre-allocate room for `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.events.reserve(additional);
     }
 
     /// Number of processors.
@@ -56,6 +74,10 @@ impl Timeline {
     }
 
     /// Events of one processor, chronologically.
+    ///
+    /// This scans the whole timeline (O(E)); callers that need *every*
+    /// processor's view must use [`Timeline::sorted_by_proc`] once instead
+    /// of looping this per processor (O(E·P)).
     pub fn events_for(&self, proc: usize) -> Vec<CommEvent> {
         let mut evs: Vec<CommEvent> = self
             .events
@@ -67,9 +89,15 @@ impl Timeline {
         evs
     }
 
-    /// All events grouped per processor, chronologically.
+    /// All events grouped per processor, chronologically. One pass over
+    /// the timeline (a counting pass sizes each bucket exactly, so no
+    /// bucket ever reallocates), then one sort per processor.
     pub fn sorted_by_proc(&self) -> Vec<Vec<CommEvent>> {
-        let mut per: Vec<Vec<CommEvent>> = vec![Vec::new(); self.procs];
+        let mut counts = vec![0usize; self.procs];
+        for e in &self.events {
+            counts[e.proc] += 1;
+        }
+        let mut per: Vec<Vec<CommEvent>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
         for e in &self.events {
             per[e.proc].push(*e);
         }
@@ -118,9 +146,12 @@ impl Timeline {
     }
 
     /// For every message id, its `(send event, receive event)` pair, if the
-    /// timeline contains both.
-    pub fn message_pairs(&self) -> HashMap<usize, (Option<CommEvent>, Option<CommEvent>)> {
-        let mut map: HashMap<usize, (Option<CommEvent>, Option<CommEvent>)> = HashMap::new();
+    /// timeline contains both. Keyed by a `BTreeMap` so iteration order is
+    /// the message-id order — validation diagnostics and stats that walk
+    /// the pairs are deterministic across runs (a `HashMap` here made
+    /// error ordering depend on hash-seed iteration order).
+    pub fn message_pairs(&self) -> BTreeMap<usize, (Option<CommEvent>, Option<CommEvent>)> {
+        let mut map: BTreeMap<usize, (Option<CommEvent>, Option<CommEvent>)> = BTreeMap::new();
         for e in &self.events {
             let entry = map.entry(e.msg_id).or_default();
             match e.kind {
@@ -233,6 +264,74 @@ mod tests {
         let (s, r) = pairs[&7];
         assert_eq!(s.unwrap().proc, 0);
         assert_eq!(r.unwrap().proc, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn push_rejects_out_of_range_proc_in_release_too() {
+        let mut t = Timeline::new(2);
+        t.push(ev(5, OpKind::Send, 0.0, 1.0, 0));
+    }
+
+    #[test]
+    fn message_pairs_iterates_in_msg_id_order() {
+        let mut t = Timeline::new(2);
+        for id in [9usize, 3, 7, 1, 5] {
+            t.push(ev(0, OpKind::Send, id as f64, id as f64 + 1.0, id));
+            t.push(ev(1, OpKind::Recv, id as f64 + 2.0, id as f64 + 3.0, id));
+        }
+        let ids: Vec<usize> = t.message_pairs().keys().copied().collect();
+        assert_eq!(ids, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn sorted_by_proc_matches_per_proc_events_for() {
+        let mut t = Timeline::new(4);
+        for i in 0..40 {
+            t.push(ev(i % 4, OpKind::Send, (40 - i) as f64, (41 - i) as f64, i));
+        }
+        let grouped = t.sorted_by_proc();
+        assert_eq!(grouped.len(), 4);
+        for (p, group) in grouped.iter().enumerate() {
+            assert_eq!(group, &t.events_for(p));
+        }
+    }
+
+    #[test]
+    fn sorted_by_proc_is_single_pass_on_large_all_to_all() {
+        // Perf-shaped regression: on an all-to-all-sized timeline (every
+        // processor pair exchanges a message) the grouped view must be
+        // built in one pass with exactly-sized buckets — the counting pass
+        // reserves each bucket to its final length, so no bucket ever
+        // reallocates. Looping `events_for` over all processors here would
+        // be O(E·P); `sorted_by_proc` stays O(E + Σ sort).
+        let procs = 128;
+        let mut t = Timeline::new(procs);
+        let mut id = 0usize;
+        for src in 0..procs {
+            for dst in 0..procs {
+                if src == dst {
+                    continue;
+                }
+                t.push(ev(src, OpKind::Send, id as f64, id as f64 + 1.0, id));
+                t.push(ev(dst, OpKind::Recv, id as f64 + 2.0, id as f64 + 3.0, id));
+                id += 1;
+            }
+        }
+        assert_eq!(t.len(), 2 * procs * (procs - 1));
+        let grouped = t.sorted_by_proc();
+        assert_eq!(grouped.len(), procs);
+        for (p, group) in grouped.iter().enumerate() {
+            // Every processor sends to and receives from all others.
+            assert_eq!(group.len(), 2 * (procs - 1));
+            // Exact sizing: the counting pass reserved the final length,
+            // so the single fill pass never grew the bucket.
+            assert_eq!(group.capacity(), group.len(), "bucket {p} reallocated");
+        }
+        // Spot-check a few processors against the per-proc view.
+        for p in [0, 1, procs / 2, procs - 1] {
+            assert_eq!(grouped[p], t.events_for(p));
+        }
     }
 
     #[test]

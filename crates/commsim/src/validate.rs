@@ -9,7 +9,7 @@ use crate::pattern::CommPattern;
 use crate::timeline::Timeline;
 use crate::SimConfig;
 use loggp::{OpKind, Time};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// What to check beyond the hard LogGP model rules.
@@ -177,7 +177,9 @@ pub fn validate_opts(
     let mut violations = Vec::new();
 
     // --- message accounting -------------------------------------------------
-    let expected: HashMap<usize, (usize, usize, usize)> = pattern
+    // Both maps are iterated to emit violations; BTreeMap keeps diagnostic
+    // order stable (message-id order) across runs.
+    let expected: BTreeMap<usize, (usize, usize, usize)> = pattern
         .network_messages()
         .map(|m| (m.id, (m.src, m.dst, m.bytes)))
         .collect();
@@ -481,6 +483,55 @@ mod tests {
         assert!(errs.iter().any(
             |v| matches!(v, Violation::MessageMismatch { detail } if detail.contains("phantom") || detail.contains("not in pattern"))
         ));
+    }
+
+    #[test]
+    fn diagnostic_order_is_stable_across_runs() {
+        // Several missing receives + several phantom messages at once: the
+        // violation list must come out in message-id order, every time
+        // (previously it followed HashMap iteration order).
+        let cfg = cfg2();
+        let o = cfg.params.overhead;
+        let mut pattern = CommPattern::new(2);
+        for _ in 0..4 {
+            pattern.add(0, 1, 1); // ids 0..4, receives never recorded
+        }
+        let mut t = Timeline::new(2);
+        for id in [7usize, 5, 9, 6] {
+            t.push(CommEvent {
+                proc: 0,
+                kind: OpKind::Send,
+                peer: 1,
+                bytes: 1,
+                msg_id: id,
+                start: Time::from_us(id as f64 * 20.0),
+                end: Time::from_us(id as f64 * 20.0) + o,
+            });
+        }
+        let first: Vec<String> = validate(&pattern, &cfg, &t)
+            .unwrap_err()
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        let missing: Vec<&String> = first.iter().filter(|s| s.contains("missing")).collect();
+        let phantom: Vec<&String> = first.iter().filter(|s| s.contains("phantom")).collect();
+        assert_eq!(missing.len(), 4);
+        assert_eq!(phantom.len(), 4);
+        // Message-id order within each diagnostic class.
+        for (i, s) in missing.iter().enumerate() {
+            assert!(s.contains(&format!("msg {i} ")), "{s}");
+        }
+        for (want, s) in [5usize, 6, 7, 9].iter().zip(&phantom) {
+            assert!(s.contains(&format!("msg {want} ")), "{s}");
+        }
+        for _ in 0..10 {
+            let again: Vec<String> = validate(&pattern, &cfg, &t)
+                .unwrap_err()
+                .iter()
+                .map(|v| v.to_string())
+                .collect();
+            assert_eq!(again, first);
+        }
     }
 
     #[test]

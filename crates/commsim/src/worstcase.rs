@@ -17,26 +17,28 @@
 //! The paper notes this schedule "cannot take place in real execution"
 //! (processors usually do not know how many messages to expect); it exists
 //! purely to overestimate.
+//!
+//! # Implementation
+//!
+//! Like [`crate::standard`], the loop runs on flat [`SimScratch`] state
+//! (arena-cursor send queues, reused inbox buffers, a receive-counter
+//! array) and is pinned bit-identical to the straightforward encoding in
+//! [`crate::reference`] by `tests/equiv.rs`. Because part 2 of every round
+//! fully drains the inboxes, the round structure — which processors send in
+//! which round, and where deadlocks are broken — depends only on the
+//! pattern, never on the LogGP parameters; [`crate::replay`] exploits that
+//! to re-time a recorded run under new parameters without re-running the
+//! selection logic.
 
 use crate::faults::{transmit, StepFaults};
 use crate::observe::StepTracer;
 use crate::pattern::{CommPattern, Message};
+use crate::scratch::{InFlight, SimScratch};
 use crate::timeline::{CommEvent, SimResult, Timeline};
 use crate::SimConfig;
-use loggp::{OpKind, ProcClock, Time};
+use loggp::{GapRule, LogGpParams, OpKind, Time};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::VecDeque;
-
-struct ProcState {
-    clock: ProcClock,
-    send_queue: VecDeque<Message>,
-    /// Messages sent to this processor but not yet received, with arrivals.
-    inbox: Vec<(Time, Message)>,
-    /// Network messages this processor still has to *receive* before it is
-    /// allowed to send ("messages to receive" counter).
-    to_recv: usize,
-}
 
 /// Simulate one communication step with the overestimation algorithm.
 pub fn simulate(pattern: &CommPattern, cfg: &SimConfig) -> SimResult {
@@ -52,8 +54,28 @@ pub fn simulate_from(pattern: &CommPattern, cfg: &SimConfig, ready: &[Time]) -> 
     })
 }
 
+/// [`simulate_from`] reusing the caller's [`SimScratch`] buffers.
+pub fn simulate_from_scratch(
+    pattern: &CommPattern,
+    cfg: &SimConfig,
+    ready: &[Time],
+    scratch: &mut SimScratch,
+) -> SimResult {
+    let params = cfg.params;
+    simulate_faulted_scratch(
+        pattern,
+        cfg,
+        ready,
+        &mut |m, start| params.arrival_time(start, m.bytes),
+        None,
+        None,
+        scratch,
+    )
+}
+
 /// [`simulate_from`] with a custom arrival model (see
-/// [`crate::standard::simulate_hooked`] for the contract).
+/// [`crate::standard::simulate_hooked`] for the contract; arrivals earlier
+/// than `send_start + o` are clamped here too).
 pub fn simulate_hooked(
     pattern: &CommPattern,
     cfg: &SimConfig,
@@ -79,9 +101,7 @@ pub fn simulate_traced(
 /// [`simulate_traced`] under an optional fault model (the same contract as
 /// [`crate::standard::simulate_faulted`]): message drops and charged
 /// retransmissions per [`StepFaults`], decided identically to the standard
-/// algorithm so the overestimation bound holds under faults.
-// Indices double as processor ids throughout.
-#[allow(clippy::needless_range_loop)]
+/// algorithm so the overestimation bound holds under injection.
 pub fn simulate_faulted(
     pattern: &CommPattern,
     cfg: &SimConfig,
@@ -90,127 +110,219 @@ pub fn simulate_faulted(
     tracer: Option<&StepTracer<'_>>,
     faults: Option<&dyn StepFaults>,
 ) -> SimResult {
-    assert_eq!(ready.len(), pattern.procs(), "one ready time per processor");
-    let params = &cfg.params;
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut scratch = SimScratch::new();
+    simulate_faulted_scratch(
+        pattern,
+        cfg,
+        ready,
+        arrival_of,
+        tracer,
+        faults,
+        &mut scratch,
+    )
+}
 
-    let recv_counts = pattern.recv_counts();
-    let mut procs: Vec<ProcState> = pattern
-        .send_queues()
-        .into_iter()
-        .zip(ready)
-        .zip(&recv_counts)
-        .map(|((send_queue, &r), &to_recv)| {
-            let mut clock = ProcClock::new();
-            clock.advance_to(r);
-            ProcState {
-                clock,
-                send_queue,
-                inbox: Vec::new(),
-                to_recv,
-            }
-        })
-        .collect();
+/// [`simulate_faulted`] reusing the caller's [`SimScratch`] buffers.
+pub fn simulate_faulted_scratch(
+    pattern: &CommPattern,
+    cfg: &SimConfig,
+    ready: &[Time],
+    arrival_of: &mut dyn FnMut(&Message, Time) -> Time,
+    tracer: Option<&StepTracer<'_>>,
+    faults: Option<&dyn StepFaults>,
+    scratch: &mut SimScratch,
+) -> SimResult {
+    wc_core(
+        pattern, cfg, ready, arrival_of, tracer, faults, scratch, None,
+    )
+}
 
-    let mut timeline = Timeline::new(pattern.procs());
-    let mut forced_sends = 0usize;
+/// Pop processor `p`'s next message, commit its send (fault-charged), and
+/// deliver it to the destination inbox with a clamped arrival.
+#[allow(clippy::too_many_arguments)]
+fn wc_send(
+    scratch: &mut SimScratch,
+    timeline: &mut Timeline,
+    params: &LogGpParams,
+    rule: GapRule,
+    p: usize,
+    forced: bool,
+    arrival_of: &mut dyn FnMut(&Message, Time) -> Time,
+    tracer: Option<&StepTracer<'_>>,
+    faults: Option<&dyn StepFaults>,
+) {
+    let (slot, msg) = scratch.pop_send(p);
+    let final_start = transmit(
+        &mut scratch.clocks[p],
+        params,
+        rule,
+        p,
+        &msg,
+        forced,
+        faults,
+        tracer,
+        timeline,
+    );
+    // Documented clamp (see `standard::simulate_hooked`): an arrival model
+    // returning < send_start + o is lifted to the earliest sound arrival,
+    // in release builds too.
+    let arrival = arrival_of(&msg, final_start).max(final_start + params.overhead);
+    scratch.inboxes[msg.dst].push(InFlight {
+        arrival,
+        id: msg.id as u32,
+        slot,
+    });
+}
 
-    let send_msg = |procs: &mut Vec<ProcState>,
-                    timeline: &mut Timeline,
-                    p: usize,
-                    arrival_of: &mut dyn FnMut(&Message, Time) -> Time,
-                    forced: bool| {
-        let msg = procs[p]
-            .send_queue
-            .pop_front()
-            .expect("send queue non-empty");
-        let final_start = transmit(
-            &mut procs[p].clock,
-            params,
-            cfg.gap_rule,
-            p,
-            &msg,
-            forced,
-            faults,
-            tracer,
-            timeline,
-        );
-        let arrival = arrival_of(&msg, final_start);
-        debug_assert!(
-            arrival >= final_start + params.overhead,
-            "arrival precedes send"
-        );
-        procs[msg.dst].inbox.push((arrival, msg));
-    };
-
-    loop {
-        let sends_remain = procs.iter().any(|p| !p.send_queue.is_empty());
-        let recvs_remain = procs.iter().any(|p| !p.inbox.is_empty());
-        if !sends_remain && !recvs_remain {
-            break;
+/// Part 2 of a round: every destination receives the messages delivered so
+/// far, in `(arrival, msg.id)` order. Shared with [`crate::replay`].
+pub(crate) fn wc_drain(
+    scratch: &mut SimScratch,
+    timeline: &mut Timeline,
+    params: &LogGpParams,
+    rule: GapRule,
+    tracer: Option<&StepTracer<'_>>,
+    procs: usize,
+) {
+    for p in 0..procs {
+        if scratch.inboxes[p].is_empty() {
+            continue;
         }
+        let mut inbox = std::mem::take(&mut scratch.inboxes[p]);
+        // (arrival, id) is unique, so the unstable sort is deterministic.
+        inbox.sort_unstable();
+        for &inflight in &inbox {
+            let msg = scratch.arena[inflight.slot as usize];
+            let clock = &mut scratch.clocks[p];
+            let start = clock.earliest_start_kind(params, rule, OpKind::Recv, inflight.arrival);
+            let end = clock.commit_kind(params, rule, OpKind::Recv, start);
+            let event = CommEvent {
+                proc: p,
+                kind: OpKind::Recv,
+                peer: msg.src,
+                bytes: msg.bytes,
+                msg_id: msg.id,
+                start,
+                end,
+            };
+            if let Some(t) = tracer {
+                t.recv(&event, inflight.arrival, false);
+            }
+            timeline.push(event);
+            scratch.to_recv[p] -= 1;
+        }
+        inbox.clear();
+        scratch.inboxes[p] = inbox; // hand the buffer back for reuse
+    }
+}
+
+/// The full round loop, optionally recording the commit order for
+/// [`crate::replay`]: each send is appended as `proc << 1 | forced`, and a
+/// `u32::MAX` sentinel marks the end of each round's part 1 (where the
+/// drain runs). Because every round fully drains, the recorded structure
+/// is a pure function of the pattern and the forced-send RNG stream — it
+/// replays exactly under any LogGP parameters as long as the seed matches.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn wc_core(
+    pattern: &CommPattern,
+    cfg: &SimConfig,
+    ready: &[Time],
+    arrival_of: &mut dyn FnMut(&Message, Time) -> Time,
+    tracer: Option<&StepTracer<'_>>,
+    faults: Option<&dyn StepFaults>,
+    scratch: &mut SimScratch,
+    mut rec: Option<&mut Vec<u32>>,
+) -> SimResult {
+    let params = &cfg.params;
+    let rule = cfg.gap_rule;
+    // Only deadlock rounds consult the RNG; acyclic patterns build none.
+    let mut rng: Option<SmallRng> = None;
+
+    scratch.begin_worstcase(pattern, ready);
+    let procs = pattern.procs();
+    let mut timeline = Timeline::new(procs);
+    timeline.reserve(2 * scratch.arena.len());
+    let mut forced_sends = 0usize;
+    let mut remaining_sends = scratch.arena.len();
+
+    // Part 2 fully drains every inbox, so at the top of a round no receives
+    // are ever pending (the reference loop's "receives pending but nobody
+    // eligible" branch is unreachable) and the loop runs while sends remain.
+    while remaining_sends > 0 {
+        debug_assert!(scratch.inboxes[..procs].iter().all(|i| i.is_empty()));
 
         // Part 1: every processor that has received everything it expects
         // sends all of its messages.
-        let eligible: Vec<usize> = (0..procs.len())
-            .filter(|&p| procs[p].to_recv == 0 && !procs[p].send_queue.is_empty())
-            .collect();
+        scratch.tied.clear();
+        for p in 0..procs {
+            if scratch.to_recv[p] == 0 && scratch.has_sends(p) {
+                scratch.tied.push(p as u32);
+            }
+        }
 
-        if !eligible.is_empty() {
-            for p in eligible {
-                while !procs[p].send_queue.is_empty() {
-                    send_msg(&mut procs, &mut timeline, p, arrival_of, false);
+        if !scratch.tied.is_empty() {
+            for i in 0..scratch.tied.len() {
+                let p = scratch.tied[i] as usize;
+                while scratch.has_sends(p) {
+                    wc_send(
+                        scratch,
+                        &mut timeline,
+                        params,
+                        rule,
+                        p,
+                        false,
+                        arrival_of,
+                        tracer,
+                        faults,
+                    );
+                    remaining_sends -= 1;
+                    if let Some(r) = rec.as_deref_mut() {
+                        r.push((p as u32) << 1);
+                    }
                 }
             }
-        } else if recvs_remain {
-            // Nothing to send yet but deliveries are pending; fall through
-            // to part 2 so the waiting processors can make progress.
         } else {
             // Deadlock: messages remain but every would-be sender is still
             // waiting on a cycle. Force one transmission from a randomly
             // chosen blocked processor.
-            let blocked: Vec<usize> = (0..procs.len())
-                .filter(|&p| !procs[p].send_queue.is_empty())
-                .collect();
-            debug_assert!(!blocked.is_empty());
-            let victim = blocked[rng.gen_range(0..blocked.len())];
-            send_msg(&mut procs, &mut timeline, victim, arrival_of, true);
+            for p in 0..procs {
+                if scratch.has_sends(p) {
+                    scratch.tied.push(p as u32);
+                }
+            }
+            debug_assert!(!scratch.tied.is_empty());
+            // A singleton draw returns 0 without consuming RNG state, so
+            // skipping it keeps the stream identical to the reference loop.
+            let victim = if scratch.tied.len() == 1 {
+                scratch.tied[0] as usize
+            } else {
+                let rng = rng.get_or_insert_with(|| SmallRng::seed_from_u64(cfg.seed));
+                scratch.tied[rng.gen_range(0..scratch.tied.len())] as usize
+            };
+            wc_send(
+                scratch,
+                &mut timeline,
+                params,
+                rule,
+                victim,
+                true,
+                arrival_of,
+                tracer,
+                faults,
+            );
+            remaining_sends -= 1;
             forced_sends += 1;
+            if let Some(r) = rec.as_deref_mut() {
+                r.push((victim as u32) << 1 | 1);
+            }
+        }
+        if let Some(r) = rec.as_deref_mut() {
+            r.push(u32::MAX); // round boundary: the drain runs here
         }
 
         // Part 2: every destination performs the receive operations for the
         // messages delivered so far, in arrival order.
-        for p in 0..procs.len() {
-            if procs[p].inbox.is_empty() {
-                continue;
-            }
-            procs[p]
-                .inbox
-                .sort_by_key(|(arrival, msg)| (*arrival, msg.id));
-            for (arrival, msg) in std::mem::take(&mut procs[p].inbox) {
-                let start =
-                    procs[p]
-                        .clock
-                        .earliest_start_kind(params, cfg.gap_rule, OpKind::Recv, arrival);
-                let end = procs[p]
-                    .clock
-                    .commit_kind(params, cfg.gap_rule, OpKind::Recv, start);
-                let event = CommEvent {
-                    proc: p,
-                    kind: OpKind::Recv,
-                    peer: msg.src,
-                    bytes: msg.bytes,
-                    msg_id: msg.id,
-                    start,
-                    end,
-                };
-                if let Some(t) = tracer {
-                    t.recv(&event, arrival, false);
-                }
-                timeline.push(event);
-                procs[p].to_recv -= 1;
-            }
-        }
+        wc_drain(scratch, &mut timeline, params, rule, tracer, procs);
     }
 
     let mut result = SimResult::new(timeline);
@@ -348,5 +460,34 @@ mod tests {
         let wc = simulate(&pattern, &cfg);
         assert_eq!(wc.finish, Time::ZERO);
         assert_eq!(wc.forced_sends, 0);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        let cfg = meiko_cfg(8).with_seed(11);
+        let mut scratch = SimScratch::new();
+        for pattern in [
+            patterns::ring(8, 256),
+            patterns::all_to_all(8, 64),
+            patterns::ring(8, 1024),
+        ] {
+            let reused = simulate_from_scratch(&pattern, &cfg, &[Time::ZERO; 8], &mut scratch);
+            let fresh = simulate(&pattern, &cfg);
+            assert_eq!(reused.timeline.events(), fresh.timeline.events());
+            assert_eq!(reused.forced_sends, fresh.forced_sends);
+        }
+    }
+
+    #[test]
+    fn misbehaving_arrival_hook_is_clamped_not_unsound() {
+        let mut pattern = CommPattern::new(2);
+        pattern.add(0, 1, 4096);
+        let cfg = meiko_cfg(2);
+        let r = simulate_hooked(&pattern, &cfg, &[Time::ZERO; 2], &mut |_m, _start| {
+            Time::ZERO
+        });
+        let send = r.timeline.events_for(0)[0];
+        let recv = r.timeline.events_for(1)[0];
+        assert_eq!(recv.start, send.start + cfg.params.overhead);
     }
 }

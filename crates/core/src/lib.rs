@@ -50,6 +50,7 @@ pub mod bsp;
 pub mod collectives;
 pub mod layout;
 pub mod program;
+pub mod replay;
 pub mod report;
 pub mod scaling;
 pub mod search;
@@ -58,6 +59,7 @@ pub mod textfmt;
 
 pub use layout::{BlockCyclic2D, ColCyclic, Diagonal, Layout, RowCyclic};
 pub use program::{Program, ProgramError, Step, StepLoad};
+pub use replay::{record_program, ProgramRecording, ReplayStats};
 pub use simulate::{
     simulate_program, simulate_program_driven, simulate_program_observed, simulate_program_traced,
     simulate_program_with, CommAlgo, CompShaper, DirectStepSimulator, FrontEmitter, IdentityShaper,

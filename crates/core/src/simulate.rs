@@ -229,8 +229,22 @@ pub trait StepSimulator {
 }
 
 /// The pass-through backend: call the [`commsim`] algorithms directly.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct DirectStepSimulator;
+///
+/// Owns a [`commsim::SimScratch`] that is reused across steps, so the
+/// per-step queue/heap/arena allocations of the hot loop are amortized
+/// over the whole program instead of being rebuilt for every pattern.
+/// Results are bit-identical to fresh per-step simulations.
+#[derive(Debug, Default)]
+pub struct DirectStepSimulator {
+    scratch: commsim::SimScratch,
+}
+
+impl DirectStepSimulator {
+    /// A backend with a fresh scratch.
+    pub fn new() -> Self {
+        DirectStepSimulator::default()
+    }
+}
 
 impl StepSimulator for DirectStepSimulator {
     fn simulate_comm(
@@ -240,8 +254,12 @@ impl StepSimulator for DirectStepSimulator {
         ready: &[Time],
     ) -> SimResult {
         match opts.algo {
-            CommAlgo::Standard => standard::simulate_from(comm, &opts.cfg, ready),
-            CommAlgo::WorstCase => worstcase::simulate_from(comm, &opts.cfg, ready),
+            CommAlgo::Standard => {
+                standard::simulate_from_scratch(comm, &opts.cfg, ready, &mut self.scratch)
+            }
+            CommAlgo::WorstCase => {
+                worstcase::simulate_from_scratch(comm, &opts.cfg, ready, &mut self.scratch)
+            }
         }
     }
 }
@@ -427,7 +445,7 @@ pub struct SimRun {
 
 /// Simulate a whole program; see [`Prediction`] for what comes back.
 pub fn simulate_program(prog: &Program, opts: &SimOptions) -> Prediction {
-    simulate_program_with(prog, opts, &mut DirectStepSimulator)
+    simulate_program_with(prog, opts, &mut DirectStepSimulator::new())
 }
 
 /// [`simulate_program`] with a caller-supplied communication backend.
@@ -496,6 +514,14 @@ pub fn simulate_program_driven(
     let mut forced_sends = 0usize;
     let mut halt = SimHalt::Completed;
 
+    // Fold buffers, hoisted out of the step loop: the fold itself must not
+    // allocate per step (the per-step simulation is the only place heap
+    // traffic is acceptable, and the scratch-carrying backends remove most
+    // of it there too).
+    let mut comp_end = vec![Time::ZERO; procs];
+    let mut comm_done = vec![Time::ZERO; procs];
+    let mut last_recv_done = vec![Time::ZERO; procs];
+
     for (step_idx, step) in prog.steps().iter().enumerate() {
         if let Some(max) = budget.max_steps {
             if step_idx >= max {
@@ -508,7 +534,6 @@ pub fn simulate_program_driven(
         // Computation phase. A step without computation charges has base
         // cost zero on every processor; the shaper may still inflate it
         // (fail-stop outages apply to communication-only steps too).
-        let mut comp_end = ready.clone();
         for p in 0..procs {
             let base = if step.comp.is_empty() {
                 Time::ZERO
@@ -522,15 +547,16 @@ pub fn simulate_program_driven(
         let comp_end_max = comp_end.iter().copied().max().unwrap_or(Time::ZERO);
 
         // Communication phase.
-        let (comm_end_max, next_ready) = if step.comm.is_empty() {
-            (comp_end_max, comp_end.clone())
+        let comm_end_max = if step.comm.is_empty() {
+            ready.copy_from_slice(&comp_end);
+            comp_end_max
         } else {
             let result = step_sim.simulate_comm_step(step_idx, &step.comm, opts, &comp_end);
             forced_sends += result.forced_sends;
 
             // Per-processor end of the communication section.
-            let mut comm_done = comp_end.clone();
-            let mut last_recv_done = comp_end.clone();
+            comm_done.copy_from_slice(&comp_end);
+            last_recv_done.copy_from_slice(&comp_end);
             for ev in result.timeline.events() {
                 comm_done[ev.proc] = comm_done[ev.proc].max(ev.end);
                 if ev.kind == loggp::OpKind::Recv {
@@ -541,23 +567,17 @@ pub fn simulate_program_driven(
                 per_proc_comm[p] += comm_done[p] - comp_end[p];
             }
 
-            let base = match opts.overlap {
-                Overlap::None => comm_done.clone(),
-                Overlap::RecvOnly => last_recv_done,
-            };
-            (
-                comm_done.iter().copied().max().unwrap_or(comp_end_max),
-                base,
-            )
+            ready.copy_from_slice(match opts.overlap {
+                Overlap::None => &comm_done,
+                Overlap::RecvOnly => &last_recv_done,
+            });
+            comm_done.iter().copied().max().unwrap_or(comp_end_max)
         };
 
-        ready = match opts.sync {
-            Synchronization::PerProcessor => next_ready,
-            Synchronization::Barrier => {
-                let max = next_ready.iter().copied().max().unwrap_or(Time::ZERO);
-                vec![max; procs]
-            }
-        };
+        if opts.sync == Synchronization::Barrier {
+            let max = ready.iter().copied().max().unwrap_or(Time::ZERO);
+            ready.fill(max);
+        }
 
         steps.push(StepRecord {
             label: step.label.clone(),
@@ -802,7 +822,7 @@ mod tests {
                 opts: &SimOptions,
                 ready: &[Time],
             ) -> SimResult {
-                DirectStepSimulator.simulate_comm(comm, opts, ready)
+                DirectStepSimulator::new().simulate_comm(comm, opts, ready)
             }
         }
         let mut prog = Program::new(2);
@@ -825,7 +845,7 @@ mod tests {
             let run = simulate_program_driven(
                 &prog,
                 &o,
-                &mut DirectStepSimulator,
+                &mut DirectStepSimulator::new(),
                 &mut NullObserver,
                 &mut IdentityShaper,
                 SimBudget::unlimited(),
@@ -847,7 +867,7 @@ mod tests {
         let run = simulate_program_driven(
             &prog,
             &opts(2),
-            &mut DirectStepSimulator,
+            &mut DirectStepSimulator::new(),
             &mut NullObserver,
             &mut IdentityShaper,
             SimBudget::steps(2),
@@ -866,7 +886,7 @@ mod tests {
         let run = simulate_program_driven(
             &prog,
             &opts(2),
-            &mut DirectStepSimulator,
+            &mut DirectStepSimulator::new(),
             &mut NullObserver,
             &mut IdentityShaper,
             SimBudget::virtual_time(Time::from_us(25.0)),
@@ -894,7 +914,7 @@ mod tests {
         let run = simulate_program_driven(
             &prog,
             &opts(2),
-            &mut DirectStepSimulator,
+            &mut DirectStepSimulator::new(),
             &mut NullObserver,
             &mut DoubleP1,
             SimBudget::unlimited(),
@@ -924,7 +944,7 @@ mod tests {
         let run = simulate_program_driven(
             &prog,
             &SimOptions::new(cfg),
-            &mut DirectStepSimulator,
+            &mut DirectStepSimulator::new(),
             &mut NullObserver,
             &mut Outage,
             SimBudget::unlimited(),

@@ -194,12 +194,20 @@ impl MemoCache {
 pub struct MemoStepSimulator<'a> {
     cache: &'a MemoCache,
     trace: Option<(&'a dyn TraceSink, u64)>,
+    /// Miss-path backend; owning it (rather than constructing one per
+    /// miss) keeps one `SimScratch` alive across the whole job, so cache
+    /// misses reuse the same arenas the direct simulator would.
+    direct: DirectStepSimulator,
 }
 
 impl<'a> MemoStepSimulator<'a> {
     /// A simulator backed by `cache`.
     pub fn new(cache: &'a MemoCache) -> Self {
-        MemoStepSimulator { cache, trace: None }
+        MemoStepSimulator {
+            cache,
+            trace: None,
+            direct: DirectStepSimulator::new(),
+        }
     }
 
     /// A simulator backed by `cache` that reports every hit and miss to
@@ -209,6 +217,7 @@ impl<'a> MemoStepSimulator<'a> {
         MemoStepSimulator {
             cache,
             trace: Some((sink, job)),
+            direct: DirectStepSimulator::new(),
         }
     }
 
@@ -231,7 +240,7 @@ impl<'a> MemoStepSimulator<'a> {
         if let Some((sink, job)) = self.trace {
             sink.emit(&TraceEvent::MemoMiss { job, step });
         }
-        let normalized = DirectStepSimulator.simulate_comm(comm, opts, &rel);
+        let normalized = self.direct.simulate_comm(comm, opts, &rel);
         let shifted = CachedStep::from_result(&normalized).materialize(base);
         self.cache.insert(key, &normalized);
         shifted
@@ -324,7 +333,7 @@ mod tests {
     fn memo_simulator_matches_direct_on_hit_and_miss() {
         let cache = MemoCache::new(2, 64);
         let mut memo = MemoStepSimulator::new(&cache);
-        let mut direct = DirectStepSimulator;
+        let mut direct = DirectStepSimulator::new();
         let p = pattern();
         for opts in [
             SimOptions::new(SimConfig::new(presets::meiko_cs2(2))),
@@ -353,7 +362,7 @@ mod tests {
         let p = pattern();
         let opts = SimOptions::new(SimConfig::new(presets::meiko_cs2(2)));
         let ready = vec![Time::ZERO, Time::from_us(1.0)];
-        let want = DirectStepSimulator.simulate_comm(&p, &opts, &ready);
+        let want = DirectStepSimulator::new().simulate_comm(&p, &opts, &ready);
 
         let mut memo = MemoStepSimulator::traced(&cache, &sink, 9);
         let miss = memo.simulate_comm_step(4, &p, &opts, &ready);

@@ -505,7 +505,7 @@ impl Engine {
             simulate_program_driven(
                 &program,
                 &spec.opts,
-                &mut DirectStepSimulator,
+                &mut DirectStepSimulator::new(),
                 &mut NullObserver,
                 &mut IdentityShaper,
                 budget,

@@ -188,7 +188,7 @@ proptest! {
         }
         let program = source.build();
 
-        let mut direct = Counting::new(DirectStepSimulator);
+        let mut direct = Counting::new(DirectStepSimulator::new());
         let direct_pred = simulate_program_with(&program, &opts, &mut direct);
 
         let cache = MemoCache::new(4, 1024);

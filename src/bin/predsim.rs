@@ -7,6 +7,7 @@
 //! predsim gantt TRACE --step N         ASCII/SVG Gantt of one step
 //! predsim trace SOURCE [options]       simulate with event tracing + horizon
 //! predsim ge-sweep [options]           block-size sweep for blocked GE
+//! predsim machine-sweep SOURCE [opts]  predict one program across machines
 //! predsim serve [options]              HTTP prediction service
 //! predsim faults explain SPEC          resolve a fault plan without running
 //! predsim fit CSV                      fit LogGP params from ping data
@@ -20,7 +21,7 @@
 
 use predsim::cli::{machine, switch, valued, Args, FlagSpec};
 use predsim::predsim_core::report::{secs, Table};
-use predsim::predsim_core::{textfmt, CommAlgo};
+use predsim::predsim_core::{record_program, textfmt, CommAlgo};
 use predsim::predsim_engine::{
     best_by_total, Engine, EngineConfig, JobResult, JobSource, JobSpec, Journal, JournalEntry,
     LayoutSpec,
@@ -94,6 +95,20 @@ USAGE:
       floor already exceeds the best observed total (incompatible with
       --faults and --checkpoint/--resume). Fault and resilience flags
       are as for 'batch'.
+
+  predsim machine-sweep SOURCE [--machines NAME,NAME,...] [--worst-case]
+                        [--barrier] [--overlap] [--classic-gap] [--verify]
+      Predict one SOURCE (as for 'batch') across several machine presets
+      using incremental re-simulation: the program is simulated once in
+      full on the first machine while the commit order of every
+      communication step is recorded; each further machine re-times the
+      recorded orders instead of re-running the simulator's hot loop,
+      falling back to a full per-step simulation only where the recorded
+      order is not provably valid under the new parameters. Results are
+      bit-identical to independent full simulations (--verify re-runs
+      them and checks). Prints per-machine totals plus how many steps
+      took the replay fast path. Default machines: meiko, paragon,
+      myrinet, ethernet, ideal.
 
   predsim batch SOURCE... [--machine NAME[,NAME...]] [--jobs N] [--no-memo]
                 [--worst-case] [--barrier] [--overlap] [--classic-gap]
@@ -726,6 +741,111 @@ fn ge_sweep_prefiltered(
     Ok(())
 }
 
+/// The `machine-sweep` command: one program, many machine presets,
+/// incremental re-simulation between them. The first machine is simulated
+/// in full (recording every communication step's commit order); the rest
+/// replay those orders under their own LogGP parameters, falling back to
+/// the full hot loop per step only where the recorded order cannot be
+/// proved valid. Predictions are bit-identical to independent full runs.
+fn cmd_machine_sweep(args: &Args) -> Result<(), String> {
+    let raw = args.positional.first().ok_or(
+        "machine-sweep: missing SOURCE (a trace file or a ge:/cannon:/stencil:/apsp: spec)",
+    )?;
+    let (name, source) = parse_source(raw)?;
+    source
+        .validate()
+        .map_err(|why| format!("source '{name}': {why}"))?;
+    let program = source.build();
+    let procs = program.procs();
+    let machines: Vec<&str> = args
+        .value("machines")
+        .unwrap_or("meiko,paragon,myrinet,ethernet,ideal")
+        .split(',')
+        .map(str::trim)
+        .collect();
+    if machines.is_empty() {
+        return Err("machine-sweep: --machines lists no machines".into());
+    }
+    let opts_for = |params| {
+        let mut opts = SimOptions::new(SimConfig::new(params));
+        if args.flag("worst-case") {
+            opts = opts.worst_case();
+        }
+        if args.flag("barrier") {
+            opts = opts.with_barrier();
+        }
+        if args.flag("overlap") {
+            opts = opts.with_overlap();
+        }
+        if args.flag("classic-gap") {
+            opts.cfg = opts.cfg.with_classic_gap_rule();
+        }
+        opts
+    };
+
+    let base_opts = opts_for(machine(machines[0], procs)?);
+    let rec_start = std::time::Instant::now();
+    let (base_pred, recording) = record_program(&program, &base_opts);
+    let rec_elapsed = rec_start.elapsed();
+    println!(
+        "{name}: P={procs}, {} step(s), {} with communication; recorded on '{}' in {:.1} ms",
+        program.len(),
+        recording.len(),
+        machines[0],
+        rec_elapsed.as_secs_f64() * 1e3,
+    );
+
+    let mut table = Table::new(["machine", "total (s)", "comp (s)", "comm (s)", "replayed"]);
+    let mut replayed_total = 0usize;
+    let mut resim_total = 0usize;
+    for (idx, mname) in machines.iter().enumerate() {
+        let opts = opts_for(machine(mname, procs)?);
+        let (pred, stats) = if idx == 0 {
+            // Already simulated while recording; replaying here would just
+            // re-derive the identical prediction.
+            (
+                base_pred.clone(),
+                predsim::predsim_core::ReplayStats {
+                    replayed: recording.len(),
+                    resimulated: 0,
+                },
+            )
+        } else {
+            recording.predict(&program, &opts)
+        };
+        if args.flag("verify") {
+            let full = simulate_program(&program, &opts);
+            if full != pred {
+                return Err(format!(
+                    "machine-sweep: incremental prediction for '{mname}' diverged from the \
+                     full simulation — this is a bug in the replay validity check"
+                ));
+            }
+        }
+        replayed_total += stats.replayed;
+        resim_total += stats.resimulated;
+        table.row([
+            mname.to_string(),
+            secs(pred.total),
+            secs(pred.comp_time),
+            secs(pred.comm_time),
+            format!("{}/{}", stats.replayed, stats.comm_steps()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "incremental replay: {replayed_total} of {} communication-step simulations \
+         took the fast path ({resim_total} full re-simulations){}",
+        replayed_total + resim_total,
+        if args.flag("verify") {
+            "; all predictions verified against full simulations"
+        } else {
+            ""
+        }
+    );
+    Ok(())
+}
+
 /// Parse a batch SOURCE argument: a generator spec (`ge:`, `cannon:`,
 /// `stencil:`, `apsp:` — the shared grammar of [`JobSource::parse_spec`])
 /// or a trace file path.
@@ -1340,6 +1460,14 @@ fn run() -> Result<ExitCode, String> {
             s.extend(BATCH_FLAGS);
             s
         }
+        "machine-sweep" => vec![
+            valued("machines"),
+            switch("worst-case"),
+            switch("barrier"),
+            switch("overlap"),
+            switch("classic-gap"),
+            switch("verify"),
+        ],
         "batch" => {
             let mut s = SIM_FLAGS.to_vec();
             s.extend(BATCH_FLAGS);
@@ -1391,6 +1519,7 @@ fn run() -> Result<ExitCode, String> {
         "gantt" => cmd_gantt(&args),
         "trace" => cmd_trace(&args),
         "ge-sweep" => cmd_ge_sweep(&args),
+        "machine-sweep" => cmd_machine_sweep(&args),
         "batch" => cmd_batch(&args),
         "serve" => cmd_serve(&args),
         "faults" => cmd_faults(&args),
