@@ -1,45 +1,53 @@
 //! Load generator for predsim-serve: drive `POST /v1/predict` from N
-//! concurrent keep-alive connections and report the latency distribution
-//! (p50/p95/p99) and sustained throughput.
+//! concurrent keep-alive connections and report goodput, the per-tier
+//! answer mix, and the latency distribution (p50/p95/p99) per tier.
 //!
 //! ```text
 //! cargo run -p bench --release --bin loadgen -- \
 //!     [--addr HOST:PORT] [--concurrency N] [--requests N] \
-//!     [--source SPEC] [--machine NAME] [--workers N] [--queue-cap N]
+//!     [--source SPEC] [--machine NAME] [--deadline-ms MS] \
+//!     [--retries N] [--backoff-ms MS] [--seed N] \
+//!     [--workers N] [--queue-cap N] [--replay-at N] [--static-at N] \
+//!     [--chaos SPEC] [--chaos-seed N]
 //! ```
 //!
-//! Without `--addr`, an in-process server is started (with `--workers`
-//! prediction threads and a `--queue-cap` admission queue) and drained at
-//! the end, so the run also exercises the full drain path. `429`
-//! responses are retried after the server's `Retry-After`; retries are
-//! counted and reported, not hidden.
+//! Without `--addr`, an in-process server is started (honouring the
+//! `--workers`/`--queue-cap`/watermark/chaos flags) and drained at the
+//! end, so the run also exercises the full drain path. Retries are
+//! **bounded** (`--retries`, exponential backoff with deterministic
+//! jitter from `--seed`) and a request that exhausts its budget is
+//! reported as given up, never hidden.
 
-use predsim_serve::{ServeConfig, Server};
-use std::io::{Read, Write};
-use std::net::TcpStream;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use bench::serveload::{percentile, run_load, LoadOptions};
+use predsim_serve::{ChaosPlan, ChaosSpec, ServeConfig, Server};
 
 struct Options {
     addr: Option<String>,
-    concurrency: usize,
-    requests: usize,
+    load: LoadOptions,
     source: String,
     machine: String,
+    deadline_ms: Option<u64>,
     workers: usize,
     queue_cap: usize,
+    replay_at: Option<usize>,
+    static_at: Option<usize>,
+    chaos: Option<String>,
+    chaos_seed: u64,
 }
 
 fn parse_options() -> Result<Options, String> {
     let mut opts = Options {
         addr: None,
-        concurrency: 8,
-        requests: 64,
+        load: LoadOptions::default(),
         source: "ge:960,32,diagonal,8".into(),
         machine: "meiko".into(),
+        deadline_ms: None,
         workers: 4,
         queue_cap: 64,
+        replay_at: None,
+        static_at: None,
+        chaos: None,
+        chaos_seed: 1,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -49,83 +57,35 @@ fn parse_options() -> Result<Options, String> {
                 .cloned()
                 .ok_or_else(|| format!("flag '{flag}' needs a value"))
         };
+        let parse = |what: &str, v: String| -> Result<usize, String> {
+            v.parse().map_err(|e| format!("bad {what}: {e}"))
+        };
         match flag.as_str() {
             "--addr" => opts.addr = Some(value()?),
-            "--concurrency" => {
-                opts.concurrency = value()?
-                    .parse()
-                    .map_err(|e| format!("bad --concurrency: {e}"))?
-            }
-            "--requests" => {
-                opts.requests = value()?
-                    .parse()
-                    .map_err(|e| format!("bad --requests: {e}"))?
-            }
+            "--concurrency" => opts.load.concurrency = parse(flag, value()?)?,
+            "--requests" => opts.load.requests = parse(flag, value()?)?,
+            "--retries" => opts.load.attempts = 1 + parse(flag, value()?)? as u32,
+            "--backoff-ms" => opts.load.backoff_ms = parse(flag, value()?)? as u64,
+            "--seed" => opts.load.seed = parse(flag, value()?)? as u64,
             "--source" => opts.source = value()?,
             "--machine" => opts.machine = value()?,
-            "--workers" => {
-                opts.workers = value()?
-                    .parse()
-                    .map_err(|e| format!("bad --workers: {e}"))?
-            }
-            "--queue-cap" => {
-                opts.queue_cap = value()?
-                    .parse()
-                    .map_err(|e| format!("bad --queue-cap: {e}"))?
-            }
+            "--deadline-ms" => opts.deadline_ms = Some(parse(flag, value()?)? as u64),
+            "--workers" => opts.workers = parse(flag, value()?)?,
+            "--queue-cap" => opts.queue_cap = parse(flag, value()?)?,
+            "--replay-at" => opts.replay_at = Some(parse(flag, value()?)?),
+            "--static-at" => opts.static_at = Some(parse(flag, value()?)?),
+            "--chaos" => opts.chaos = Some(value()?),
+            "--chaos-seed" => opts.chaos_seed = parse(flag, value()?)? as u64,
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
-    if opts.concurrency == 0 || opts.requests == 0 {
+    if opts.load.concurrency == 0 || opts.load.requests == 0 {
         return Err("--concurrency and --requests must be at least 1".into());
     }
+    if opts.addr.is_some() && opts.chaos.is_some() {
+        return Err("--chaos only applies to the in-process server (drop --addr)".into());
+    }
     Ok(opts)
-}
-
-/// Read one `Content-Length`-framed HTTP response off a keep-alive
-/// connection, returning the status code.
-fn read_response(stream: &mut TcpStream) -> Result<(u16, Option<u64>), String> {
-    let mut head = Vec::new();
-    let mut byte = [0u8; 1];
-    while !head.ends_with(b"\r\n\r\n") {
-        match stream.read(&mut byte) {
-            Ok(0) => return Err("connection closed mid-response".into()),
-            Ok(_) => head.push(byte[0]),
-            Err(e) => return Err(format!("reading response head: {e}")),
-        }
-        if head.len() > 64 * 1024 {
-            return Err("response head too large".into());
-        }
-    }
-    let head = String::from_utf8_lossy(&head);
-    let status: u16 = head
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or("malformed status line")?;
-    let mut content_length = 0usize;
-    let mut retry_after = None;
-    for line in head.lines().skip(1) {
-        if let Some((name, value)) = line.split_once(':') {
-            match name.trim().to_ascii_lowercase().as_str() {
-                "content-length" => {
-                    content_length = value.trim().parse().map_err(|_| "bad content-length")?
-                }
-                "retry-after" => retry_after = value.trim().parse().ok(),
-                _ => {}
-            }
-        }
-    }
-    let mut body = vec![0u8; content_length];
-    stream
-        .read_exact(&mut body)
-        .map_err(|e| format!("reading response body: {e}"))?;
-    Ok((status, retry_after))
-}
-
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    let idx = ((sorted.len() as f64 - 1.0) * p / 100.0).round() as usize;
-    sorted[idx]
 }
 
 fn main() {
@@ -137,6 +97,17 @@ fn main() {
         }
     };
 
+    let chaos = match &opts.chaos {
+        Some(spec) => match ChaosSpec::parse(spec) {
+            Ok(spec) => Some(ChaosPlan::new(spec, opts.chaos_seed)),
+            Err(e) => {
+                eprintln!("error: bad --chaos: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+
     // Start an in-process server unless pointed at a running one.
     let (addr, handle) = match &opts.addr {
         Some(addr) => (addr.clone(), None),
@@ -144,6 +115,9 @@ fn main() {
             let handle = Server::start(ServeConfig {
                 workers: opts.workers,
                 queue_cap: opts.queue_cap,
+                replay_at: opts.replay_at,
+                static_at: opts.static_at,
+                chaos,
                 ..ServeConfig::default()
             })
             .expect("starting in-process server");
@@ -151,101 +125,67 @@ fn main() {
         }
     };
 
+    let deadline = opts
+        .deadline_ms
+        .map(|ms| format!(",\"deadline_ms\":{ms}"))
+        .unwrap_or_default();
     let body = format!(
-        "{{\"source\":\"{}\",\"machine\":\"{}\"}}",
+        "{{\"source\":\"{}\",\"machine\":\"{}\"{deadline}}}",
         opts.source, opts.machine
     );
-    let request = format!(
-        "POST /v1/predict HTTP/1.1\r\nHost: {addr}\r\nConnection: keep-alive\r\nContent-Length: {}\r\n\r\n{body}",
-        body.len()
-    );
 
     println!(
-        "loadgen: {} requests, {} clients -> {} ({})",
-        opts.requests, opts.concurrency, addr, opts.source
+        "loadgen: {} requests, {} clients -> {} ({}{})",
+        opts.load.requests,
+        opts.load.concurrency,
+        addr,
+        opts.source,
+        opts.chaos
+            .as_deref()
+            .map(|c| format!(", chaos {c}"))
+            .unwrap_or_default()
     );
 
-    let issued = Arc::new(AtomicUsize::new(0));
-    let retried = Arc::new(AtomicUsize::new(0));
-    let started = Instant::now();
-    let clients: Vec<_> = (0..opts.concurrency)
-        .map(|_| {
-            let addr = addr.clone();
-            let request = request.clone();
-            let issued = Arc::clone(&issued);
-            let retried = Arc::clone(&retried);
-            let total = opts.requests;
-            std::thread::spawn(move || -> Result<Vec<Duration>, String> {
-                let mut stream =
-                    TcpStream::connect(&addr).map_err(|e| format!("connecting: {e}"))?;
-                stream.set_nodelay(true).ok();
-                let mut latencies = Vec::new();
-                // Claim request slots until the shared budget is spent.
-                while issued.fetch_add(1, Ordering::SeqCst) < total {
-                    loop {
-                        let sent = Instant::now();
-                        stream
-                            .write_all(request.as_bytes())
-                            .map_err(|e| format!("sending request: {e}"))?;
-                        let (status, retry_after) = read_response(&mut stream)?;
-                        match status {
-                            200 => {
-                                latencies.push(sent.elapsed());
-                                break;
-                            }
-                            429 => {
-                                retried.fetch_add(1, Ordering::SeqCst);
-                                std::thread::sleep(Duration::from_millis(
-                                    retry_after.unwrap_or(1) * 100,
-                                ));
-                            }
-                            other => return Err(format!("unexpected status {other}")),
-                        }
-                    }
-                }
-                Ok(latencies)
-            })
-        })
-        .collect();
-
-    let mut latencies = Vec::with_capacity(opts.requests);
-    for client in clients {
-        match client.join().expect("client panicked") {
-            Ok(mut l) => latencies.append(&mut l),
-            Err(e) => {
-                eprintln!("client error: {e}");
-                std::process::exit(1);
-            }
-        }
+    let report = run_load(&addr, &[body], &opts.load);
+    let ok = report.ok().count();
+    println!(
+        "done: {ok}/{} answered 200 in {:.2} s (goodput {:.1} req/s), \
+         {} retries after 429, {} reconnects, {} gave up",
+        opts.load.requests,
+        report.wall.as_secs_f64(),
+        report.goodput_milli_rps() as f64 / 1000.0,
+        report.retries_429,
+        report.reconnects,
+        report.gave_up(),
+    );
+    for (tier, count) in report.tier_counts() {
+        let ms = report.latencies_ms(Some(&tier));
+        println!(
+            "tier {tier:<7} {count:>5} answers | latency ms: p50 {:.1} | p95 {:.1} | p99 {:.1}",
+            percentile(&ms, 50.0),
+            percentile(&ms, 95.0),
+            percentile(&ms, 99.0),
+        );
     }
-    let wall = started.elapsed();
-
-    latencies.sort();
-    let ms = |d: Duration| d.as_secs_f64() * 1e3;
-    println!(
-        "done: {} predictions in {:.2} s ({:.1} req/s), {} retries after 429",
-        latencies.len(),
-        wall.as_secs_f64(),
-        latencies.len() as f64 / wall.as_secs_f64(),
-        retried.load(Ordering::SeqCst)
-    );
-    println!(
-        "latency ms: p50 {:.1} | p95 {:.1} | p99 {:.1} | min {:.1} | max {:.1}",
-        ms(percentile(&latencies, 50.0)),
-        ms(percentile(&latencies, 95.0)),
-        ms(percentile(&latencies, 99.0)),
-        ms(latencies[0]),
-        ms(*latencies.last().expect("at least one latency")),
-    );
 
     if let Some(handle) = handle {
         let report = handle.drain();
         let text = report.metrics.to_prometheus();
-        let served: u64 = text
-            .lines()
-            .filter(|l| l.starts_with("serve_requests_total"))
-            .filter_map(|l| l.rsplit(' ').next()?.parse::<u64>().ok())
-            .sum();
-        println!("server drained; {served} responses counted in final metrics");
+        let sum_of = |name: &str| -> u64 {
+            text.lines()
+                .filter(|l| l.starts_with(name) && !l.starts_with('#'))
+                .filter_map(|l| l.rsplit(' ').next()?.parse::<u64>().ok())
+                .sum()
+        };
+        println!(
+            "server drained; {} responses, {} worker restarts, {} chaos injections",
+            sum_of("serve_requests_total"),
+            sum_of("serve_worker_restarts_total"),
+            sum_of("serve_chaos_injections_total"),
+        );
+    }
+
+    if report.gave_up() > 0 {
+        std::process::exit(1);
     }
 }

@@ -1,0 +1,359 @@
+//! The chaos soak: prove the serving invariants under injected failure
+//! and record the evidence in `BENCH_RESILIENCE.json`.
+//!
+//! Two identical in-process servers run the same request mix:
+//!
+//! 1. **baseline** — fault-free, moderate concurrency;
+//! 2. **chaos** — the same server with ≥5% worker panics plus stalls,
+//!    accept hiccups and connection drops injected deterministically,
+//!    under 2× the client concurrency (overload).
+//!
+//! Checked invariants (the run exits non-zero if any fails):
+//!
+//! * **admitted ⇒ answered**: no request gives up its bounded retry
+//!   budget, and every final answer is a 200;
+//! * **replay is exact**: every full- or replay-tier total equals the
+//!   in-process ground-truth simulation of the same job;
+//! * **degraded answers bracket the truth**: every static-tier response
+//!   satisfies `lo ≤ truth ≤ hi`;
+//! * **drain terminates** on both servers with an empty queue;
+//! * **goodput under chaos ≥ 70%** of the fault-free baseline.
+//!
+//! ```text
+//! cargo run -p bench --release --bin resilience_report -- \
+//!     [--out BENCH_RESILIENCE.json] [--requests N] [--chaos-seed N]
+//! ```
+
+use bench::serveload::{run_load, Completion, LoadOptions, LoadReport};
+use predsim_engine::{Engine, EngineConfig, JobOutcome};
+use predsim_lint::json::Value;
+use predsim_serve::{api, ChaosPlan, ChaosSpec, ServeConfig, Server};
+use std::time::Duration;
+
+/// The request mix: clean generator jobs every tier can serve, plus one
+/// heavy job with a hopeless deadline so the deadline-admission path
+/// (instant static answer) is exercised whenever the cost model rates
+/// it as unmeetable.
+const BODIES: [&str; 5] = [
+    r#"{"source":"cannon:96,4"}"#,
+    r#"{"source":"stencil:96,8,3"}"#,
+    r#"{"source":"ge:240,24,diagonal,8"}"#,
+    r#"{"source":"apsp:120,24,row,6"}"#,
+    r#"{"source":"ge:960,32,diagonal,8","deadline_ms":1}"#,
+];
+
+/// The injected failure mix: ≥5% worker panics, plus stalls, accept
+/// hiccups, and mid-request connection drops.
+const CHAOS: &str = "panic:0.05,stall:0.02:150,hiccup:0.05:20,drop-conn:0.05";
+
+const WORKERS: usize = 2;
+const QUEUE_CAP: usize = 8;
+
+fn config(chaos: Option<ChaosPlan>) -> ServeConfig {
+    ServeConfig {
+        workers: WORKERS,
+        queue_cap: QUEUE_CAP,
+        request_timeout: Duration::from_secs(30),
+        // Low watermarks so the degraded tiers actually engage under
+        // this machine's load.
+        replay_at: Some(1),
+        static_at: Some(2),
+        stall_timeout: Duration::from_millis(200),
+        chaos,
+        ..ServeConfig::default()
+    }
+}
+
+/// Ground truth per body: the in-process full simulation of the job.
+fn truths() -> Vec<i64> {
+    let engine = Engine::new(EngineConfig::default().with_jobs(1));
+    BODIES
+        .iter()
+        .map(|body| {
+            let spec = api::parse_predict(body).expect("body parses").spec;
+            let result = &engine.run(std::slice::from_ref(&spec))[0];
+            match &result.outcome {
+                JobOutcome::Done { prediction, .. } => prediction.total.as_ps() as i64,
+                other => panic!("ground-truth job did not finish: {other:?}"),
+            }
+        })
+        .collect()
+}
+
+/// Check the answer invariants over one load report. Returns
+/// (all_answered_200, exact_totals_ok, brackets_ok, crashed_count).
+fn check(
+    report: &LoadReport,
+    truths: &[i64],
+    violations: &mut Vec<String>,
+) -> (bool, bool, bool, u64) {
+    let mut all_ok = report.gave_up() == 0;
+    if !all_ok {
+        violations.push(format!(
+            "{} requests gave up their retry budget",
+            report.gave_up()
+        ));
+    }
+    let mut exact = true;
+    let mut brackets = true;
+    let mut crashed = 0;
+    for completion in &report.completions {
+        let outcome = match completion {
+            Completion::Answered(o) => o,
+            Completion::GaveUp { .. } => continue,
+        };
+        if outcome.status != 200 {
+            all_ok = false;
+            violations.push(format!(
+                "body {} answered {}",
+                outcome.body_index, outcome.status
+            ));
+            continue;
+        }
+        let truth = truths[outcome.body_index];
+        match outcome.tier.as_deref() {
+            Some("full") | Some("replay") => {
+                if outcome.outcome.as_deref() == Some("crashed") {
+                    // A job whose worker died twice: answered honestly,
+                    // counted separately, carries no totals to check.
+                    crashed += 1;
+                } else if outcome.total_ps != Some(truth) {
+                    exact = false;
+                    violations.push(format!(
+                        "body {} tier {:?}: total {:?} != truth {truth}",
+                        outcome.body_index, outcome.tier, outcome.total_ps
+                    ));
+                }
+            }
+            Some("static") => {
+                let lo = outcome.static_lo_ps.unwrap_or(i64::MAX);
+                let hi = outcome.static_hi_ps.unwrap_or(i64::MIN);
+                if !(lo <= truth && truth <= hi) {
+                    brackets = false;
+                    violations.push(format!(
+                        "body {}: static bracket [{lo}, {hi}] misses truth {truth}",
+                        outcome.body_index
+                    ));
+                }
+            }
+            other => {
+                all_ok = false;
+                violations.push(format!(
+                    "body {}: unexpected tier {other:?}",
+                    outcome.body_index
+                ));
+            }
+        }
+    }
+    (all_ok, exact, brackets, crashed)
+}
+
+/// Render one load run as a strict-JSON object.
+fn run_value(report: &LoadReport, extra: Vec<(String, Value)>) -> Value {
+    let mut fields = vec![
+        (
+            "answered_200".into(),
+            Value::Int(report.ok().count() as i64),
+        ),
+        ("gave_up".into(), Value::Int(report.gave_up() as i64)),
+        ("wall_ms".into(), Value::Int(report.wall.as_millis() as i64)),
+        (
+            "goodput_milli_rps".into(),
+            Value::Int(report.goodput_milli_rps() as i64),
+        ),
+        ("retries_429".into(), Value::Int(report.retries_429 as i64)),
+        ("reconnects".into(), Value::Int(report.reconnects as i64)),
+        (
+            "tiers".into(),
+            Value::Object(
+                report
+                    .tier_counts()
+                    .into_iter()
+                    .map(|(tier, n)| (tier, Value::Int(n as i64)))
+                    .collect(),
+            ),
+        ),
+    ];
+    fields.extend(extra);
+    Value::Object(fields)
+}
+
+fn main() {
+    let mut out = "BENCH_RESILIENCE.json".to_string();
+    let mut requests = 120usize;
+    let mut chaos_seed = 42u64;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag '{flag}' needs a value"))
+        };
+        let result = match flag.as_str() {
+            "--out" => value().map(|v| out = v),
+            "--requests" => value().and_then(|v| {
+                v.parse()
+                    .map(|n| requests = n)
+                    .map_err(|e| format!("bad --requests: {e}"))
+            }),
+            "--chaos-seed" => value().and_then(|v| {
+                v.parse()
+                    .map(|n| chaos_seed = n)
+                    .map_err(|e| format!("bad --chaos-seed: {e}"))
+            }),
+            other => Err(format!("unknown flag '{other}'")),
+        };
+        if let Err(e) = result {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    eprintln!(
+        "resilience: computing ground truth for {} jobs",
+        BODIES.len()
+    );
+    let truths = truths();
+    let bodies: Vec<String> = BODIES.iter().map(|b| b.to_string()).collect();
+    let mut violations = Vec::new();
+
+    // Fault-free baseline.
+    let baseline_opts = LoadOptions {
+        concurrency: WORKERS * 2,
+        requests,
+        attempts: 10,
+        backoff_ms: 20,
+        seed: 7,
+    };
+    eprintln!(
+        "resilience: baseline run ({} requests, {} clients)",
+        requests, baseline_opts.concurrency
+    );
+    let handle = Server::start(config(None)).expect("baseline server starts");
+    let baseline = run_load(&handle.addr().to_string(), &bodies, &baseline_opts);
+    let baseline_drain = handle.drain();
+    let baseline_drained = baseline_drain.metrics.scalar("serve_queue_depth", &[]) == Some(0);
+    let (b_answered, b_exact, b_brackets, _) = check(&baseline, &truths, &mut violations);
+
+    // The same server under chaos and 2× the concurrency.
+    let chaos_opts = LoadOptions {
+        concurrency: baseline_opts.concurrency * 2,
+        ..baseline_opts.clone()
+    };
+    eprintln!(
+        "resilience: chaos run ({CHAOS} seed {chaos_seed}, {} clients)",
+        chaos_opts.concurrency
+    );
+    let plan = ChaosPlan::new(ChaosSpec::parse(CHAOS).expect("chaos spec"), chaos_seed);
+    let handle = Server::start(config(Some(plan))).expect("chaos server starts");
+    let chaos = run_load(&handle.addr().to_string(), &bodies, &chaos_opts);
+    let chaos_drain = handle.drain();
+    let chaos_drained = chaos_drain.metrics.scalar("serve_queue_depth", &[]) == Some(0);
+    let (c_answered, c_exact, c_brackets, crashed) = check(&chaos, &truths, &mut violations);
+
+    if !baseline_drained || !chaos_drained {
+        violations.push("a drain left jobs in the queue".into());
+    }
+    let goodput_permille = if baseline.goodput_milli_rps() == 0 {
+        0
+    } else {
+        chaos.goodput_milli_rps() * 1000 / baseline.goodput_milli_rps()
+    };
+    if goodput_permille < 700 {
+        violations.push(format!(
+            "chaos goodput is {goodput_permille} permille of baseline (< 700)"
+        ));
+    }
+
+    let metric = |name: &str, labels: &[(&str, &str)]| {
+        Value::Int(chaos_drain.metrics.scalar(name, labels).unwrap_or(0) as i64)
+    };
+    let doc = Value::Object(vec![
+        ("version".into(), Value::Int(1)),
+        (
+            "config".into(),
+            Value::Object(vec![
+                ("workers".into(), Value::Int(WORKERS as i64)),
+                ("queue_cap".into(), Value::Int(QUEUE_CAP as i64)),
+                ("requests".into(), Value::Int(requests as i64)),
+                ("chaos".into(), Value::Str(CHAOS.into())),
+                ("chaos_seed".into(), Value::Int(chaos_seed as i64)),
+                (
+                    "baseline_clients".into(),
+                    Value::Int(baseline_opts.concurrency as i64),
+                ),
+                (
+                    "chaos_clients".into(),
+                    Value::Int(chaos_opts.concurrency as i64),
+                ),
+            ]),
+        ),
+        ("baseline".into(), run_value(&baseline, vec![])),
+        (
+            "chaos".into(),
+            run_value(
+                &chaos,
+                vec![
+                    (
+                        "worker_restarts".into(),
+                        metric("serve_worker_restarts_total", &[]),
+                    ),
+                    ("crashed_answers".into(), Value::Int(crashed as i64)),
+                    (
+                        "injections".into(),
+                        Value::Object(
+                            ["panic", "stall", "hiccup", "drop-conn"]
+                                .iter()
+                                .map(|kind| {
+                                    (
+                                        kind.to_string(),
+                                        metric("serve_chaos_injections_total", &[("kind", kind)]),
+                                    )
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ],
+            ),
+        ),
+        (
+            "invariants".into(),
+            Value::Object(vec![
+                (
+                    "admitted_answered".into(),
+                    Value::Int(i64::from(b_answered && c_answered)),
+                ),
+                (
+                    "replay_matches_truth".into(),
+                    Value::Int(i64::from(b_exact && c_exact)),
+                ),
+                (
+                    "static_brackets_truth".into(),
+                    Value::Int(i64::from(b_brackets && c_brackets)),
+                ),
+                (
+                    "drain_clean".into(),
+                    Value::Int(i64::from(baseline_drained && chaos_drained)),
+                ),
+                (
+                    "goodput_permille".into(),
+                    Value::Int(goodput_permille as i64),
+                ),
+            ]),
+        ),
+    ]);
+    std::fs::write(&out, doc.to_pretty() + "\n").expect("writing report");
+    eprintln!("resilience: wrote {out}");
+
+    if violations.is_empty() {
+        eprintln!(
+            "resilience: all invariants hold (goodput {goodput_permille} permille of baseline)"
+        );
+    } else {
+        for v in &violations {
+            eprintln!("resilience: VIOLATION: {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -6,5 +6,6 @@
 //! experiment index and `EXPERIMENTS.md` for recorded results.
 
 pub mod ge;
+pub mod serveload;
 
 pub use ge::{sweep, sweep_with, GeRow, SweepConfig};

@@ -1,0 +1,419 @@
+//! Shared load-generation client for predsim-serve.
+//!
+//! Used by the `loadgen` and `resilience_report` binaries: N client
+//! threads drive `POST /v1/predict` over keep-alive connections with
+//! **bounded retry** — each request gets a fixed attempt budget, 429s
+//! and connection resets back off exponentially with deterministic
+//! splitmix64 jitter (same seed, same schedule), and a request that
+//! exhausts its budget is reported as given up, never silently dropped.
+//!
+//! The client records what the resilience harness needs to check the
+//! serving invariants: per-response status, `tier`, totals, static
+//! bounds, latency, and attempt counts.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Load-run parameters.
+#[derive(Clone, Debug)]
+pub struct LoadOptions {
+    /// Concurrent client threads.
+    pub concurrency: usize,
+    /// Total requests across all clients.
+    pub requests: usize,
+    /// Attempt budget per request (first try + retries). At least 1.
+    pub attempts: u32,
+    /// Base backoff in milliseconds; attempt `k` waits
+    /// `base * 2^(k-1) + jitter(seed, request, k)`, capped at 2 s.
+    pub backoff_ms: u64,
+    /// Seed for the deterministic backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions {
+            concurrency: 8,
+            requests: 64,
+            attempts: 6,
+            backoff_ms: 50,
+            seed: 1,
+        }
+    }
+}
+
+/// One answered request, with everything the invariant checks read.
+#[derive(Clone, Debug)]
+pub struct RequestOutcome {
+    /// Which request body (index into the `bodies` slice) this was.
+    pub body_index: usize,
+    /// Final HTTP status.
+    pub status: u16,
+    /// The serving tier of a 200 predict answer.
+    pub tier: Option<String>,
+    /// The `outcome` field (`done`, `estimated`, `crashed`, ...).
+    pub outcome: Option<String>,
+    /// Simulated total, when the tier carried one.
+    pub total_ps: Option<i64>,
+    /// Static bracket, when present.
+    pub static_lo_ps: Option<i64>,
+    /// Static bracket, when present.
+    pub static_hi_ps: Option<i64>,
+    /// Wall time from first attempt to the final answer.
+    pub latency: Duration,
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: u32,
+}
+
+/// How one request ended.
+#[derive(Clone, Debug)]
+pub enum Completion {
+    /// The server answered (any status).
+    Answered(RequestOutcome),
+    /// The attempt budget ran out without an answer.
+    GaveUp {
+        /// Which request body this was.
+        body_index: usize,
+        /// Attempts consumed.
+        attempts: u32,
+    },
+}
+
+/// What a whole load run produced.
+#[derive(Debug, Default)]
+pub struct LoadReport {
+    /// One entry per issued request.
+    pub completions: Vec<Completion>,
+    /// Wall time of the whole run.
+    pub wall: Duration,
+    /// 429 responses that triggered a backoff-and-retry.
+    pub retries_429: u64,
+    /// Connection errors that triggered a reconnect-and-retry.
+    pub reconnects: u64,
+}
+
+impl LoadReport {
+    /// Answered-200 outcomes.
+    pub fn ok(&self) -> impl Iterator<Item = &RequestOutcome> {
+        self.completions.iter().filter_map(|c| match c {
+            Completion::Answered(o) if o.status == 200 => Some(o),
+            _ => None,
+        })
+    }
+
+    /// Requests that exhausted their attempt budget.
+    pub fn gave_up(&self) -> usize {
+        self.completions
+            .iter()
+            .filter(|c| matches!(c, Completion::GaveUp { .. }))
+            .count()
+    }
+
+    /// Successful answers per second, ×1000 (integer-friendly goodput).
+    pub fn goodput_milli_rps(&self) -> u64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0;
+        }
+        (self.ok().count() as f64 * 1000.0 / secs) as u64
+    }
+
+    /// `(tier name, count)` over the 200 answers, `"none"` for answers
+    /// without a tier (non-predict endpoints).
+    pub fn tier_counts(&self) -> Vec<(String, usize)> {
+        let mut counts: Vec<(String, usize)> = Vec::new();
+        for outcome in self.ok() {
+            let tier = outcome.tier.clone().unwrap_or_else(|| "none".into());
+            match counts.iter_mut().find(|(t, _)| *t == tier) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((tier, 1)),
+            }
+        }
+        counts.sort();
+        counts
+    }
+
+    /// Sorted latencies (ms) of 200 answers on the given tier, or on all
+    /// tiers when `tier` is `None`.
+    pub fn latencies_ms(&self, tier: Option<&str>) -> Vec<f64> {
+        let mut ms: Vec<f64> = self
+            .ok()
+            .filter(|o| tier.is_none() || o.tier.as_deref() == tier)
+            .map(|o| o.latency.as_secs_f64() * 1e3)
+            .collect();
+        ms.sort_by(|a, b| a.total_cmp(b));
+        ms
+    }
+}
+
+/// The percentile of an already-sorted slice.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p / 100.0).round() as usize;
+    sorted[idx]
+}
+
+/// The same split-and-mix the chaos oracle uses, for jitter that is a
+/// pure function of (seed, request, attempt).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Deterministic backoff for retry `attempt` (1-based) of `request`.
+fn backoff(opts: &LoadOptions, request: u64, attempt: u32) -> Duration {
+    let base = opts.backoff_ms.max(1);
+    let exp = base.saturating_mul(1 << (attempt - 1).min(10));
+    let jitter = splitmix64(opts.seed ^ (request << 8) ^ u64::from(attempt)) % base;
+    Duration::from_millis(exp.saturating_add(jitter).min(2_000))
+}
+
+/// One `Content-Length`-framed HTTP response: status + body.
+fn read_response(stream: &mut TcpStream) -> Result<(u16, String), String> {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        match stream.read(&mut byte) {
+            Ok(0) => return Err("connection closed mid-response".into()),
+            Ok(_) => head.push(byte[0]),
+            Err(e) => return Err(format!("reading response head: {e}")),
+        }
+        if head.len() > 64 * 1024 {
+            return Err("response head too large".into());
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or("malformed status line")?;
+    let mut content_length = 0usize;
+    for line in head.lines().skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| "bad content-length")?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    stream
+        .read_exact(&mut body)
+        .map_err(|e| format!("reading response body: {e}"))?;
+    Ok((status, String::from_utf8_lossy(&body).into_owned()))
+}
+
+/// Pull the fields the invariants need out of a 200 predict body.
+fn parse_outcome(body: &str) -> (Option<String>, Option<String>, [Option<i64>; 3]) {
+    use predsim_lint::json::{self, Value};
+    let Ok(doc) = json::parse(body) else {
+        return (None, None, [None, None, None]);
+    };
+    let Some(result) = doc.get("result") else {
+        return (None, None, [None, None, None]);
+    };
+    let get_str = |k: &str| {
+        result
+            .get(k)
+            .and_then(Value::as_str)
+            .map(ToString::to_string)
+    };
+    let get_int = |k: &str| result.get(k).and_then(Value::as_int);
+    (
+        get_str("tier"),
+        get_str("outcome"),
+        [
+            get_int("total_ps"),
+            get_int("static_lo_ps"),
+            get_int("static_hi_ps"),
+        ],
+    )
+}
+
+/// Drive `bodies` (round-robin) at the server: `opts.requests` total
+/// requests from `opts.concurrency` keep-alive clients, bounded retry on
+/// 429 and on connection failure. Every issued request appears in the
+/// report exactly once.
+pub fn run_load(addr: &str, bodies: &[String], opts: &LoadOptions) -> LoadReport {
+    assert!(!bodies.is_empty(), "need at least one request body");
+    let next = Arc::new(AtomicUsize::new(0));
+    let retries_429 = Arc::new(AtomicU64::new(0));
+    let reconnects = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let clients: Vec<_> = (0..opts.concurrency.max(1))
+        .map(|_| {
+            let addr = addr.to_string();
+            let bodies = bodies.to_vec();
+            let next = Arc::clone(&next);
+            let retries_429 = Arc::clone(&retries_429);
+            let reconnects = Arc::clone(&reconnects);
+            let opts = opts.clone();
+            std::thread::spawn(move || {
+                let mut stream: Option<TcpStream> = None;
+                let mut done = Vec::new();
+                loop {
+                    let id = next.fetch_add(1, Ordering::SeqCst);
+                    if id >= opts.requests {
+                        return done;
+                    }
+                    let body_index = id % bodies.len();
+                    let body = &bodies[body_index];
+                    let request = format!(
+                        "POST /v1/predict HTTP/1.1\r\nConnection: keep-alive\r\n\
+                         Content-Length: {}\r\n\r\n{body}",
+                        body.len()
+                    );
+                    let first_try = Instant::now();
+                    let mut attempt = 0u32;
+                    done.push(loop {
+                        attempt += 1;
+                        if attempt > opts.attempts.max(1) {
+                            break Completion::GaveUp {
+                                body_index,
+                                attempts: attempt - 1,
+                            };
+                        }
+                        if attempt > 1 {
+                            std::thread::sleep(backoff(&opts, id as u64, attempt - 1));
+                        }
+                        let conn = match &mut stream {
+                            Some(s) => s,
+                            None => match TcpStream::connect(&addr) {
+                                Ok(s) => {
+                                    s.set_nodelay(true).ok();
+                                    stream.insert(s)
+                                }
+                                Err(_) => {
+                                    reconnects.fetch_add(1, Ordering::Relaxed);
+                                    continue;
+                                }
+                            },
+                        };
+                        let sent = conn.write_all(request.as_bytes());
+                        let answer = match sent {
+                            Ok(()) => read_response(conn),
+                            Err(e) => Err(format!("sending request: {e}")),
+                        };
+                        match answer {
+                            Ok((429, _)) => {
+                                retries_429.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                            Ok((status, body)) => {
+                                let (tier, outcome, [total, lo, hi]) = parse_outcome(&body);
+                                break Completion::Answered(RequestOutcome {
+                                    body_index,
+                                    status,
+                                    tier,
+                                    outcome,
+                                    total_ps: total,
+                                    static_lo_ps: lo,
+                                    static_hi_ps: hi,
+                                    latency: first_try.elapsed(),
+                                    attempts: attempt,
+                                });
+                            }
+                            Err(_) => {
+                                // Chaos connection drop or server restart:
+                                // reconnect and spend another attempt.
+                                stream = None;
+                                reconnects.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                        }
+                    });
+                }
+            })
+        })
+        .collect();
+    let mut report = LoadReport::default();
+    for client in clients {
+        report
+            .completions
+            .extend(client.join().expect("client thread panicked"));
+    }
+    report.wall = started.elapsed();
+    report.retries_429 = retries_429.load(Ordering::Relaxed);
+    report.reconnects = reconnects.load(Ordering::Relaxed);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_capped() {
+        let opts = LoadOptions {
+            backoff_ms: 50,
+            seed: 9,
+            ..LoadOptions::default()
+        };
+        let a1 = backoff(&opts, 3, 1);
+        assert_eq!(a1, backoff(&opts, 3, 1), "same inputs, same wait");
+        assert_ne!(
+            backoff(&opts, 3, 1),
+            backoff(&opts, 4, 1),
+            "jitter separates requests"
+        );
+        let a2 = backoff(&opts, 3, 2);
+        assert!(a2 >= Duration::from_millis(100), "second wait doubles");
+        assert!(backoff(&opts, 3, 10) <= Duration::from_millis(2_000), "cap");
+    }
+
+    #[test]
+    fn percentile_of_sorted_latencies() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn report_counts_tiers_goodput_and_give_ups() {
+        let mut report = LoadReport {
+            wall: Duration::from_secs(2),
+            ..LoadReport::default()
+        };
+        let answered = |tier: &str, status: u16| {
+            Completion::Answered(RequestOutcome {
+                body_index: 0,
+                status,
+                tier: Some(tier.into()),
+                outcome: None,
+                total_ps: None,
+                static_lo_ps: None,
+                static_hi_ps: None,
+                latency: Duration::from_millis(5),
+                attempts: 1,
+            })
+        };
+        report.completions = vec![
+            answered("full", 200),
+            answered("full", 200),
+            answered("static", 200),
+            answered("full", 422),
+            Completion::GaveUp {
+                body_index: 1,
+                attempts: 6,
+            },
+        ];
+        assert_eq!(report.ok().count(), 3);
+        assert_eq!(report.gave_up(), 1);
+        assert_eq!(report.goodput_milli_rps(), 1_500);
+        assert_eq!(
+            report.tier_counts(),
+            vec![("full".to_string(), 2), ("static".to_string(), 1)]
+        );
+        assert_eq!(report.latencies_ms(Some("full")).len(), 2);
+        assert_eq!(report.latencies_ms(None).len(), 3);
+    }
+}

@@ -121,11 +121,19 @@ fn ensure_parent(path: &Path) -> std::io::Result<()> {
 }
 
 impl Journal {
-    /// Start a fresh journal at `path`, truncating any previous one.
-    /// Missing parent directories are created.
+    /// Start a fresh journal at `path`. An existing journal is rotated to
+    /// `<path>.prev` (atomically, via rename) rather than truncated in
+    /// place, so a crash while the new journal is still empty cannot
+    /// destroy the only copy of the previous run's checkpoint. Missing
+    /// parent directories are created.
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<Journal> {
         let path = path.as_ref().to_path_buf();
         ensure_parent(&path)?;
+        if path.is_file() {
+            let mut prev = path.clone().into_os_string();
+            prev.push(".prev");
+            std::fs::rename(&path, &prev)?;
+        }
         let file = File::create(&path)?;
         Ok(Journal {
             path,
@@ -243,6 +251,27 @@ mod tests {
         drop(journal);
         let (_j, entries) = Journal::resume(&fresh).unwrap();
         assert_eq!(entries.len(), 1);
+    }
+
+    #[test]
+    fn create_rotates_an_existing_journal_to_prev_instead_of_truncating() {
+        let path = tmp("rotate.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(path.with_extension("jsonl.prev"));
+        {
+            let journal = Journal::create(&path).unwrap();
+            journal.record(&result(0, "first-run", done(3.0)));
+        }
+        {
+            let journal = Journal::create(&path).unwrap();
+            journal.record(&result(0, "second-run", done(4.0)));
+        }
+        // The first run's checkpoint survived the second create.
+        let prev = std::fs::read_to_string(path.with_extension("jsonl.prev")).unwrap();
+        assert!(prev.contains("first-run"), "prev = {prev}");
+        let (_j, entries) = Journal::resume(&path).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].label, "second-run");
     }
 
     #[test]

@@ -146,6 +146,30 @@ pub fn static_bounds(spec: &JobSpec) -> Option<predsim_lint::ProgramBounds> {
     predsim_lint::analyze(&predsim_lint::ProgramView::of(&program), &cfg)
 }
 
+/// Simulate one job once while recording every step, returning the
+/// prediction, the recording, and the built program.
+///
+/// The recording replays bit-identically under *any* [`SimOptions`]
+/// (`ProgramRecording::predict` verifies each step and transparently
+/// resimulates on any mismatch), so the caller may cache it keyed by the
+/// program alone and serve later requests with different machines or
+/// algorithms from it. Returns `None` for the same jobs
+/// [`static_bounds`] declines: fault-injected or infeasible specs.
+pub fn record_job(
+    spec: &JobSpec,
+) -> Option<(
+    Prediction,
+    predsim_core::ProgramRecording,
+    Arc<predsim_core::Program>,
+)> {
+    if spec.faults.is_some() || spec.source.validate().is_err() {
+        return None;
+    }
+    let program = spec.source.build();
+    let (prediction, recording) = predsim_core::record_program(&program, &spec.opts);
+    Some((prediction, recording, program))
+}
+
 /// Ranking key for batch dispatch: static ceiling (descending — the job
 /// that can run longest starts first, so it cannot become the lone
 /// straggler at the end of the batch), then a memo-affinity hash grouping

@@ -1,0 +1,295 @@
+//! Deterministic chaos injection for the serving layer.
+//!
+//! The simulation crates decide faults as pure hashes of `(seed, site)`
+//! (see [`crate::FaultPlan`]); this module applies the same discipline to
+//! *infrastructure* faults in `predsim-serve`: worker panics, worker
+//! stalls, accept-loop hiccups, and mid-request connection drops. Every
+//! decision is a splitmix64 hash of the plan seed, a four-byte domain
+//! constant, and a monotonically increasing *site* counter — never of
+//! wall-clock time — so a chaos run is exactly reproducible from
+//! `(spec, seed)` alone when the request order is deterministic.
+//!
+//! The spec grammar mirrors [`crate::FaultSpec`]:
+//!
+//! ```text
+//! panic:RATE | stall:RATE[:MILLIS] | hiccup:RATE[:MILLIS] | drop-conn:RATE
+//! ```
+//!
+//! clauses joined by commas, rates in `0..=1`, or the literal `none`.
+//!
+//! ```
+//! use predsim_faults::{ChaosPlan, ChaosSpec};
+//!
+//! let spec = ChaosSpec::parse("panic:0.05,stall:0.02:250").unwrap();
+//! let plan = ChaosPlan::new(spec, 42);
+//! // Same (seed, site) -> same decision, forever.
+//! assert_eq!(plan.worker_panic(7), plan.worker_panic(7));
+//! ```
+
+use crate::spec::{parse_rate, PPM};
+
+/// Hash domains, ASCII tags so they read in a debugger.
+const DOMAIN_PANIC: u64 = 0x43_50_41_4e; // "CPAN"
+const DOMAIN_STALL: u64 = 0x43_53_54_4c; // "CSTL"
+const DOMAIN_HICCUP: u64 = 0x43_48_49_43; // "CHIC"
+const DOMAIN_DROP: u64 = 0x43_44_52_50; // "CDRP"
+
+/// Parsed chaos specification: which infrastructure faults to inject and
+/// how often, in parts-per-million.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChaosSpec {
+    /// Probability (ppm) that a worker panics when it picks up a job.
+    pub panic_ppm: u32,
+    /// Probability (ppm) that a worker stalls (sleeps with its heartbeat
+    /// frozen) when it picks up a job.
+    pub stall_ppm: u32,
+    /// How long a stalled worker sleeps, milliseconds.
+    pub stall_ms: u64,
+    /// Probability (ppm) that the accept loop pauses before handling an
+    /// accepted connection.
+    pub hiccup_ppm: u32,
+    /// How long an accept hiccup lasts, milliseconds.
+    pub hiccup_ms: u64,
+    /// Probability (ppm) that an in-flight connection is dropped before
+    /// its request is admitted.
+    pub drop_ppm: u32,
+}
+
+impl ChaosSpec {
+    /// Whether the spec injects nothing at all.
+    pub fn is_none(&self) -> bool {
+        self.panic_ppm == 0 && self.stall_ppm == 0 && self.hiccup_ppm == 0 && self.drop_ppm == 0
+    }
+
+    /// Parse the comma-separated clause grammar; `"none"` and the empty
+    /// string yield the no-op spec.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut spec = ChaosSpec {
+            stall_ms: 250,
+            hiccup_ms: 50,
+            ..ChaosSpec::default()
+        };
+        let text = text.trim();
+        if text.is_empty() || text == "none" {
+            return Ok(spec);
+        }
+        for clause in text.split(',') {
+            let clause = clause.trim();
+            let (kind, rest) = clause
+                .split_once(':')
+                .ok_or_else(|| format!("bad chaos clause '{clause}': expected KIND:RATE"))?;
+            match kind {
+                "panic" => spec.panic_ppm = parse_rate(rest, clause)?,
+                "stall" => match rest.split_once(':') {
+                    Some((rate, ms)) => {
+                        spec.stall_ppm = parse_rate(rate, clause)?;
+                        spec.stall_ms = parse_millis(ms, clause)?;
+                    }
+                    None => spec.stall_ppm = parse_rate(rest, clause)?,
+                },
+                "hiccup" => match rest.split_once(':') {
+                    Some((rate, ms)) => {
+                        spec.hiccup_ppm = parse_rate(rate, clause)?;
+                        spec.hiccup_ms = parse_millis(ms, clause)?;
+                    }
+                    None => spec.hiccup_ppm = parse_rate(rest, clause)?,
+                },
+                "drop-conn" => spec.drop_ppm = parse_rate(rest, clause)?,
+                other => {
+                    return Err(format!(
+                        "unknown chaos kind '{other}' in '{clause}' \
+                         (expected panic, stall, hiccup, or drop-conn)"
+                    ))
+                }
+            }
+        }
+        Ok(spec)
+    }
+}
+
+impl std::fmt::Display for ChaosSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_none() {
+            return write!(f, "none");
+        }
+        let mut sep = "";
+        if self.panic_ppm > 0 {
+            write!(f, "panic:{}", ppm_rate(self.panic_ppm))?;
+            sep = ",";
+        }
+        if self.stall_ppm > 0 {
+            write!(
+                f,
+                "{sep}stall:{}:{}",
+                ppm_rate(self.stall_ppm),
+                self.stall_ms
+            )?;
+            sep = ",";
+        }
+        if self.hiccup_ppm > 0 {
+            write!(
+                f,
+                "{sep}hiccup:{}:{}",
+                ppm_rate(self.hiccup_ppm),
+                self.hiccup_ms
+            )?;
+            sep = ",";
+        }
+        if self.drop_ppm > 0 {
+            write!(f, "{sep}drop-conn:{}", ppm_rate(self.drop_ppm))?;
+        }
+        Ok(())
+    }
+}
+
+fn ppm_rate(ppm: u32) -> f64 {
+    f64::from(ppm) / f64::from(PPM)
+}
+
+fn parse_millis(text: &str, clause: &str) -> Result<u64, String> {
+    text.parse()
+        .map_err(|_| format!("bad millisecond count '{text}' in '{clause}'"))
+}
+
+/// A seeded chaos plan: the spec plus the seed that makes every decision
+/// a pure function of its site index.
+#[derive(Clone, Debug)]
+pub struct ChaosPlan {
+    spec: ChaosSpec,
+    seed: u64,
+}
+
+impl ChaosPlan {
+    /// Bind a spec to a seed.
+    pub fn new(spec: ChaosSpec, seed: u64) -> Self {
+        ChaosPlan { spec, seed }
+    }
+
+    /// The spec this plan injects.
+    pub fn spec(&self) -> &ChaosSpec {
+        &self.spec
+    }
+
+    /// The seed all decisions hash from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn hash(&self, domain: u64, site: u64) -> u64 {
+        let mut h = splitmix64(self.seed ^ domain);
+        h = splitmix64(h.wrapping_add(site));
+        h
+    }
+
+    fn hit(&self, hash: u64, ppm: u32) -> bool {
+        ppm > 0 && hash < u64::from(ppm).saturating_mul(u64::MAX / u64::from(PPM))
+    }
+
+    /// Should the worker that picked up job-site `site` panic?
+    pub fn worker_panic(&self, site: u64) -> bool {
+        self.hit(self.hash(DOMAIN_PANIC, site), self.spec.panic_ppm)
+    }
+
+    /// Should the worker at job-site `site` stall, and for how long (ms)?
+    pub fn worker_stall(&self, site: u64) -> Option<u64> {
+        self.hit(self.hash(DOMAIN_STALL, site), self.spec.stall_ppm)
+            .then_some(self.spec.stall_ms)
+    }
+
+    /// Should the accept loop pause before connection `site`, and for how
+    /// long (ms)?
+    pub fn accept_hiccup(&self, site: u64) -> Option<u64> {
+        self.hit(self.hash(DOMAIN_HICCUP, site), self.spec.hiccup_ppm)
+            .then_some(self.spec.hiccup_ms)
+    }
+
+    /// Should request `site` have its connection dropped before admission?
+    pub fn conn_drop(&self, site: u64) -> bool {
+        self.hit(self.hash(DOMAIN_DROP, site), self.spec.drop_ppm)
+    }
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_grammar_round_trips_through_display() {
+        let spec = ChaosSpec::parse("panic:0.05,stall:0.02:250,hiccup:0.1:50,drop-conn:0.5")
+            .expect("parses");
+        assert_eq!(spec.panic_ppm, 50_000);
+        assert_eq!(spec.stall_ppm, 20_000);
+        assert_eq!(spec.stall_ms, 250);
+        assert_eq!(spec.hiccup_ppm, 100_000);
+        assert_eq!(spec.hiccup_ms, 50);
+        assert_eq!(spec.drop_ppm, 500_000);
+        let reparsed = ChaosSpec::parse(&spec.to_string()).expect("display reparses");
+        assert_eq!(spec, reparsed);
+    }
+
+    #[test]
+    fn none_and_empty_parse_to_the_noop_spec() {
+        for text in ["none", "", "  "] {
+            let spec = ChaosSpec::parse(text).expect("parses");
+            assert!(spec.is_none());
+            assert_eq!(spec.to_string(), "none");
+        }
+    }
+
+    #[test]
+    fn bad_clauses_are_rejected_with_context() {
+        for text in ["panic", "panic:2.0", "explode:0.5", "stall:0.1:abc"] {
+            let err = ChaosSpec::parse(text).expect_err("rejects");
+            assert!(!err.is_empty(), "error for {text:?} should explain itself");
+        }
+    }
+
+    #[test]
+    fn decisions_are_pure_functions_of_seed_and_site() {
+        let spec = ChaosSpec::parse("panic:0.3,stall:0.3:10,hiccup:0.3:10,drop-conn:0.3").unwrap();
+        let a = ChaosPlan::new(spec.clone(), 99);
+        let b = ChaosPlan::new(spec, 99);
+        for site in 0..200 {
+            assert_eq!(a.worker_panic(site), b.worker_panic(site));
+            assert_eq!(a.worker_stall(site), b.worker_stall(site));
+            assert_eq!(a.accept_hiccup(site), b.accept_hiccup(site));
+            assert_eq!(a.conn_drop(site), b.conn_drop(site));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_decision_sequences() {
+        let spec = ChaosSpec::parse("panic:0.5").unwrap();
+        let a = ChaosPlan::new(spec.clone(), 1);
+        let b = ChaosPlan::new(spec, 2);
+        let seq = |p: &ChaosPlan| (0..64).map(|s| p.worker_panic(s)).collect::<Vec<_>>();
+        assert_ne!(seq(&a), seq(&b));
+    }
+
+    #[test]
+    fn rates_zero_and_one_are_never_and_always() {
+        let never = ChaosPlan::new(ChaosSpec::parse("none").unwrap(), 5);
+        let always = ChaosPlan::new(ChaosSpec::parse("panic:1.0,drop-conn:1.0").unwrap(), 5);
+        for site in 0..100 {
+            assert!(!never.worker_panic(site));
+            assert!(!never.conn_drop(site));
+            assert!(always.worker_panic(site));
+            assert!(always.conn_drop(site));
+        }
+    }
+
+    #[test]
+    fn hit_rate_tracks_the_requested_ppm() {
+        let plan = ChaosPlan::new(ChaosSpec::parse("panic:0.25").unwrap(), 1234);
+        let hits = (0..4000).filter(|&s| plan.worker_panic(s)).count();
+        // 25% +/- 4 points over 4000 deterministic sites.
+        assert!((840..=1160).contains(&hits), "hits = {hits}");
+    }
+}

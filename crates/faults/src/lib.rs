@@ -44,10 +44,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
 mod plan;
 mod sim;
 mod spec;
 
+pub use chaos::{ChaosPlan, ChaosSpec};
 pub use plan::FaultPlan;
 pub use sim::{
     simulate_faulted, simulate_faulted_bounded, FaultShaper, FaultedStepSimulator, StepFaultView,

@@ -67,7 +67,7 @@ impl Default for FaultSpec {
     }
 }
 
-fn parse_rate(text: &str, clause: &str) -> Result<u32, String> {
+pub(crate) fn parse_rate(text: &str, clause: &str) -> Result<u32, String> {
     let rate: f64 = text
         .parse()
         .map_err(|_| format!("bad rate '{text}' in '{clause}'"))?;

@@ -266,6 +266,14 @@ fn time_value(t: Time) -> Value {
 }
 
 impl ProgramBounds {
+    /// Whether a total lies inside the program interval. Every simulated
+    /// total — standard or worst-case — must satisfy this; the serve
+    /// layer's degraded tiers and the chaos soak use it to check that an
+    /// estimate-only answer still brackets the true prediction.
+    pub fn contains(&self, total: Time) -> bool {
+        self.lo <= total && total <= self.hi
+    }
+
     /// The interval as a JSON object (the `--bounds --json` /
     /// `/v1/estimate` wire schema; both surfaces render this same value,
     /// byte for byte).

@@ -187,6 +187,11 @@ pub fn load_file(path: &str) -> Result<Vec<NamedPreset>, String> {
 }
 
 /// Write presets to a file in the canonical format.
+///
+/// The write is atomic: the rendered file goes to a sibling temp file
+/// first and is renamed over `path` only once fully written, so a crash
+/// (or kill) mid-save can never leave a truncated registry behind — the
+/// previous contents survive untouched.
 pub fn save_file(path: &str, presets: &[NamedPreset]) -> Result<(), String> {
     for p in presets {
         check_name(&p.name)?;
@@ -194,8 +199,13 @@ pub fn save_file(path: &str, presets: &[NamedPreset]) -> Result<(), String> {
             return Err(format!("duplicate preset name '{}'", p.name));
         }
     }
-    std::fs::write(path, render_file(presets))
-        .map_err(|e| format!("cannot write preset file {path}: {e}"))
+    let tmp = format!("{path}.tmp.{}", std::process::id());
+    std::fs::write(&tmp, render_file(presets))
+        .map_err(|e| format!("cannot write preset file {tmp}: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        format!("cannot move preset file into place at {path}: {e}")
+    })
 }
 
 /// Load a preset file and register every entry in the process-wide
@@ -478,6 +488,35 @@ mod tests {
         assert!(err.contains("duplicate"), "{err}");
         let err = save_file("/dev/null", &[p.clone(), p]).unwrap_err();
         assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn a_save_killed_mid_write_cannot_truncate_the_registry_file() {
+        let dir = std::env::temp_dir().join(format!("predsim-registry-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("presets.json");
+        let path = path.to_str().unwrap();
+        let v1 = vec![NamedPreset {
+            name: "survivor".into(),
+            params: fitted(5.0),
+        }];
+        save_file(path, &v1).unwrap();
+
+        // A writer that died mid-save leaves only a partial sibling temp
+        // file — exactly what save_file would have produced up to the
+        // kill. The registry file itself must still parse as v1.
+        let abandoned = format!("{path}.tmp.99999");
+        std::fs::write(&abandoned, "{\"version\": 1, \"pres").unwrap();
+        assert_eq!(load_file(path).unwrap(), v1);
+
+        // A later complete save replaces it whole, stale temp and all.
+        let v2 = vec![NamedPreset {
+            name: "replacement".into(),
+            params: fitted(9.0),
+        }];
+        save_file(path, &v2).unwrap();
+        assert_eq!(load_file(path).unwrap(), v2);
+        let _ = std::fs::remove_file(&abandoned);
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod sink;
 pub use event::TraceEvent;
 pub use horizon::{max_queue_depths, HorizonProfile, HorizonStep};
 pub use metrics::{
-    default_ns_buckets, default_ps_buckets, exponential_buckets, Counter, Gauge, Histogram,
+    default_ns_buckets, default_ps_buckets, exponential_buckets, Counter, Ewma, Gauge, Histogram,
     MetricsSnapshot, Registry,
 };
 pub use profile::{PhaseProfile, ScopedTimer};

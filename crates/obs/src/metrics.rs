@@ -58,6 +58,70 @@ impl Gauge {
     }
 }
 
+/// A lock-free exponentially weighted moving average over `u64` samples.
+///
+/// The smoothing factor is `1 / 2^shift` (shift 3 gives the classic
+/// alpha = 1/8). State is a single `AtomicU64` updated with a CAS loop,
+/// so feeders and readers never block each other; the first sample seeds
+/// the average directly. Intended for online cost models (e.g. the serve
+/// layer's ns-per-virtual-ps calibration), not for exposition — pair it
+/// with a [`Gauge`] if the value should appear in `/metrics`.
+#[derive(Debug)]
+pub struct Ewma {
+    /// Current average, or `u64::MAX` while unseeded.
+    value: AtomicU64,
+}
+
+impl Default for Ewma {
+    /// Same as [`Ewma::new`]: unseeded (a derived default would start
+    /// the average at zero, which is a *seeded* value).
+    fn default() -> Self {
+        Ewma::new()
+    }
+}
+
+impl Ewma {
+    const EMPTY: u64 = u64::MAX;
+
+    /// A fresh, unseeded average.
+    pub fn new() -> Self {
+        Ewma {
+            value: AtomicU64::new(Self::EMPTY),
+        }
+    }
+
+    /// Fold one sample in with weight `1 / 2^shift`.
+    pub fn observe(&self, sample: u64, shift: u32) {
+        let sample = sample.min(Self::EMPTY - 1);
+        let mut cur = self.value.load(Ordering::Relaxed);
+        loop {
+            let next = if cur == Self::EMPTY {
+                sample
+            } else {
+                // cur + (sample - cur) / 2^shift, in signed space so the
+                // average can move down as well as up.
+                let delta = (sample as i128 - cur as i128) >> shift;
+                (cur as i128 + delta) as u64
+            };
+            match self
+                .value
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current average, or `None` before the first sample.
+    pub fn get(&self) -> Option<u64> {
+        match self.value.load(Ordering::Relaxed) {
+            Self::EMPTY => None,
+            v => Some(v),
+        }
+    }
+}
+
 /// A fixed-bucket histogram over `u64` observations.
 ///
 /// Bucket `i` counts observations `<= bounds[i]`; one overflow bucket
@@ -491,6 +555,24 @@ impl MetricsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ewma_seeds_on_first_sample_and_converges() {
+        let e = Ewma::new();
+        assert_eq!(e.get(), None);
+        e.observe(1_000, 3);
+        assert_eq!(e.get(), Some(1_000));
+        for _ in 0..200 {
+            e.observe(9_000, 3);
+        }
+        let v = e.get().unwrap();
+        assert!((8_900..=9_000).contains(&v), "v = {v}");
+        for _ in 0..200 {
+            e.observe(100, 3);
+        }
+        let v = e.get().unwrap();
+        assert!((100..=200).contains(&v), "v = {v}");
+    }
 
     #[test]
     fn counters_and_gauges_register_once() {

@@ -1,0 +1,179 @@
+//! Deadline-aware admission: an online wall-cost model for queued work.
+//!
+//! The static analyzer gives every clean job a virtual-time ceiling
+//! (`ProgramBounds::hi`, in simulated picoseconds). What admission needs
+//! is *wall* time: how long will this job hold a worker, and how long
+//! until a worker is free? The bridge is a calibrated ratio — host
+//! nanoseconds per virtual picosecond — learned online from the same
+//! measurement stream that feeds the `serve_request_wall_ns` histogram:
+//! every finished predict job reports `(exec_ns, hi_ps)` and the model
+//! folds `exec_ns / hi_ps` into an EWMA (alpha 1/8, fixed-point ×10⁶).
+//!
+//! From that the model answers two questions:
+//!
+//! * **drain estimate** — how many wall-ns of admitted-but-unfinished
+//!   work stand in front of a new arrival (`queued cost / workers`, plus
+//!   half a mean job for the in-flight remainder). This is the computed
+//!   `Retry-After` on 429 and the queue-wait term of the deadline check.
+//! * **job estimate** — `hi_ps × ratio` for the job itself; before any
+//!   sample has arrived both estimates are zero and admission is
+//!   optimistic (the server has no evidence the job cannot make it).
+//!
+//! Everything is relaxed atomics: admission must not contend with the
+//! workers it is modelling.
+
+use predsim_obs::Ewma;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fixed-point scale for the ns-per-virtual-ps ratio (supports ratios
+/// down to 10⁻⁶ ns/ps — far below any real simulation speed).
+const RATIO_SCALE: u64 = 1_000_000;
+
+/// EWMA smoothing shift: alpha = 1/8.
+const EWMA_SHIFT: u32 = 3;
+
+/// The serve layer's online wall-cost model.
+#[derive(Debug, Default)]
+pub struct CostModel {
+    /// ns per virtual ps, ×[`RATIO_SCALE`].
+    ratio_micro: Ewma,
+    /// Mean wall-ns of one predict job, for jobs with no static ceiling.
+    job_wall_ns: Ewma,
+    /// Estimated wall-ns of work sitting in the queue right now.
+    queued_ns: AtomicU64,
+}
+
+impl CostModel {
+    /// A fresh model with no samples.
+    pub fn new() -> Self {
+        CostModel::default()
+    }
+
+    /// Fold in one finished job: its measured execution wall time and the
+    /// static ceiling it was admitted under (0 when the job had none).
+    pub fn observe(&self, exec_ns: u64, hi_ps: u64) {
+        self.job_wall_ns.observe(exec_ns, EWMA_SHIFT);
+        if let Some(ratio) = exec_ns.saturating_mul(RATIO_SCALE).checked_div(hi_ps) {
+            self.ratio_micro.observe(ratio, EWMA_SHIFT);
+        }
+    }
+
+    /// Estimated wall-ns to run a job with static ceiling `hi_ps`.
+    /// Zero until the model has seen at least one sample: admission stays
+    /// optimistic rather than rejecting on no evidence.
+    pub fn est_job_ns(&self, hi_ps: u64) -> u64 {
+        if hi_ps > 0 {
+            if let Some(ratio) = self.ratio_micro.get() {
+                return hi_ps.saturating_mul(ratio) / RATIO_SCALE;
+            }
+        }
+        self.job_wall_ns.get().unwrap_or(0)
+    }
+
+    /// A job was admitted with estimated cost `est_ns`.
+    pub fn on_admit(&self, est_ns: u64) {
+        self.queued_ns.fetch_add(est_ns, Ordering::Relaxed);
+    }
+
+    /// A job with estimated cost `est_ns` left the queue (a worker picked
+    /// it up, or it was shed).
+    pub fn on_leave_queue(&self, est_ns: u64) {
+        // Saturating subtract via CAS: concurrent admits make a plain
+        // fetch_sub able to underflow transiently.
+        let mut cur = self.queued_ns.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(est_ns);
+            match self.queued_ns.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Estimated wall-ns until a worker could start a newly admitted job:
+    /// queued work divided across the pool, plus half a mean job for the
+    /// ones already executing.
+    pub fn drain_estimate_ns(&self, executing: usize, workers: usize) -> u64 {
+        let workers = workers.max(1) as u64;
+        let queued = self.queued_ns.load(Ordering::Relaxed);
+        let in_flight = (executing as u64).saturating_mul(self.job_wall_ns.get().unwrap_or(0)) / 2;
+        queued.saturating_add(in_flight) / workers
+    }
+
+    /// The computed `Retry-After` (whole seconds, floor 1) for a 429:
+    /// when the backlog in front of the client should have cleared.
+    pub fn retry_after_secs(&self, executing: usize, workers: usize) -> u64 {
+        let ns = self.drain_estimate_ns(executing, workers);
+        ns.div_ceil(1_000_000_000).max(1)
+    }
+
+    /// Current calibrated ratio (ns per virtual ps, ×10⁶), for metrics.
+    pub fn ratio_micro(&self) -> u64 {
+        self.ratio_micro.get().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unseeded_model_is_optimistic_and_retry_after_floors_at_one() {
+        let m = CostModel::new();
+        assert_eq!(m.est_job_ns(1_000_000), 0);
+        assert_eq!(m.drain_estimate_ns(4, 2), 0);
+        assert_eq!(m.retry_after_secs(0, 2), 1);
+    }
+
+    #[test]
+    fn ratio_learns_ns_per_virtual_ps() {
+        let m = CostModel::new();
+        // 2 ms wall for a 1 ms-virtual job: ratio 2 ns per 1000 ps.
+        for _ in 0..50 {
+            m.observe(2_000_000, 1_000_000_000);
+        }
+        let est = m.est_job_ns(2_000_000_000);
+        assert!(
+            (3_900_000..=4_100_000).contains(&est),
+            "double the virtual ceiling should cost about double the wall: {est}"
+        );
+    }
+
+    #[test]
+    fn jobs_without_a_ceiling_fall_back_to_the_mean_job_cost() {
+        let m = CostModel::new();
+        m.observe(5_000_000, 0);
+        assert_eq!(m.est_job_ns(0), 5_000_000);
+    }
+
+    #[test]
+    fn queue_accounting_drives_the_drain_estimate_and_retry_after() {
+        let m = CostModel::new();
+        for _ in 0..10 {
+            m.observe(1_000_000_000, 1_000_000_000); // 1s wall per job
+        }
+        m.on_admit(3_000_000_000);
+        m.on_admit(3_000_000_000);
+        let est = m.drain_estimate_ns(0, 2);
+        assert_eq!(est, 3_000_000_000, "6s of queue across 2 workers");
+        assert_eq!(m.retry_after_secs(0, 2), 3);
+        m.on_leave_queue(3_000_000_000);
+        m.on_leave_queue(3_000_000_000);
+        m.on_leave_queue(3_000_000_000); // over-subtraction saturates
+        assert_eq!(m.drain_estimate_ns(0, 2), 0);
+    }
+
+    #[test]
+    fn executing_jobs_add_half_a_mean_job_each() {
+        let m = CostModel::new();
+        for _ in 0..10 {
+            m.observe(2_000_000_000, 0);
+        }
+        assert_eq!(m.drain_estimate_ns(2, 1), 2_000_000_000);
+    }
+}

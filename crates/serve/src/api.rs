@@ -17,7 +17,8 @@
 //!   "label": "my job",                  // echoed in the result
 //!   "worst_case": true,                 // §4.2 step algorithm
 //!   "barrier": false, "overlap": false, "classic_gap": false,
-//!   "faults": "drop:0.1", "seed": 7     // seeded fault plan
+//!   "faults": "drop:0.1", "seed": 7,    // seeded fault plan
+//!   "deadline_ms": 2000                 // answer in 2s or 429 now
 //! }
 //! ```
 //!
@@ -71,7 +72,7 @@ pub fn error_body(message: &str) -> String {
     Value::Object(vec![("error".into(), Value::Str(message.to_string()))]).to_compact()
 }
 
-const JOB_FIELDS: [&str; 10] = [
+const JOB_FIELDS: [&str; 11] = [
     "source",
     "trace",
     "machine",
@@ -82,6 +83,7 @@ const JOB_FIELDS: [&str; 10] = [
     "classic_gap",
     "faults",
     "seed",
+    "deadline_ms",
 ];
 
 fn field_bool(v: &Value, name: &str) -> Result<bool, String> {
@@ -100,6 +102,19 @@ fn field_str<'a>(v: &'a Value, name: &str) -> Result<Option<&'a str>, String> {
             .as_str()
             .map(Some)
             .ok_or_else(|| format!("field '{name}' must be a string")),
+    }
+}
+
+fn field_deadline_ms(v: &Value) -> Result<Option<u64>, String> {
+    match v.get("deadline_ms") {
+        None => Ok(None),
+        Some(n) => {
+            let ms = n.as_int().ok_or("field 'deadline_ms' must be an integer")?;
+            if ms <= 0 {
+                return Err("field 'deadline_ms' must be positive".into());
+            }
+            Ok(Some(ms as u64))
+        }
     }
 }
 
@@ -180,13 +195,35 @@ fn job_from_value(v: &Value) -> Result<(String, JobSpec), String> {
     Ok((name, spec))
 }
 
-/// Parse a `POST /v1/predict` body: one job object.
-pub fn parse_predict(body: &str) -> Result<(String, JobSpec), ApiError> {
-    let v = json::parse(body).map_err(|e| ApiError::bad(format!("body: {e}")))?;
-    job_from_value(&v).map_err(ApiError::bad)
+/// One parsed `POST /v1/predict` request.
+#[derive(Debug)]
+pub struct PredictRequest {
+    /// The name used in diagnostics documents (the source spec, or
+    /// `"trace"` for inline traces).
+    pub name: String,
+    /// The job itself.
+    pub spec: JobSpec,
+    /// Client deadline: answer within this many milliseconds or tell me
+    /// now (`429`). `None` means the client will wait.
+    pub deadline_ms: Option<u64>,
 }
 
-/// Parse a `POST /v1/batch` body: `{"jobs": [job, ...]}`.
+/// Parse a `POST /v1/predict` body: one job object, optionally carrying
+/// a `deadline_ms`.
+pub fn parse_predict(body: &str) -> Result<PredictRequest, ApiError> {
+    let v = json::parse(body).map_err(|e| ApiError::bad(format!("body: {e}")))?;
+    let deadline_ms = field_deadline_ms(&v).map_err(ApiError::bad)?;
+    let (name, spec) = job_from_value(&v).map_err(ApiError::bad)?;
+    Ok(PredictRequest {
+        name,
+        spec,
+        deadline_ms,
+    })
+}
+
+/// Parse a `POST /v1/batch` body: `{"jobs": [job, ...]}`. Batch jobs may
+/// not carry `deadline_ms` — a batch is admitted all-or-nothing and runs
+/// to completion, so per-job deadlines have no meaning there.
 pub fn parse_batch(body: &str) -> Result<Vec<(String, JobSpec)>, ApiError> {
     let v = json::parse(body).map_err(|e| ApiError::bad(format!("body: {e}")))?;
     let Value::Object(fields) = &v else {
@@ -206,7 +243,14 @@ pub fn parse_batch(body: &str) -> Result<Vec<(String, JobSpec)>, ApiError> {
     }
     jobs.iter()
         .enumerate()
-        .map(|(i, job)| job_from_value(job).map_err(|e| ApiError::bad(format!("jobs[{i}]: {e}"))))
+        .map(|(i, job)| {
+            if job.get("deadline_ms").is_some() {
+                return Err(ApiError::bad(format!(
+                    "jobs[{i}]: 'deadline_ms' is not supported in batch jobs"
+                )));
+            }
+            job_from_value(job).map_err(|e| ApiError::bad(format!("jobs[{i}]: {e}")))
+        })
         .collect()
 }
 
@@ -228,7 +272,9 @@ pub const MAX_CALIBRATE_RUNS: usize = 64;
 pub const MAX_CALIBRATE_ROUNDS: usize = 64;
 
 /// One parsed `POST /v1/calibrate` request: everything a worker needs to
-/// measure the source on the emulator and fit a preset to it.
+/// measure the source on the emulator and fit a preset to it. `Clone` so
+/// the supervisor can re-enqueue a copy if the worker holding it dies.
+#[derive(Clone)]
 pub struct CalibrateRequest {
     /// The generator source (the server reads no files, so only specs).
     pub source: String,
@@ -465,19 +511,71 @@ pub fn result_value(result: &JobResult) -> Value {
     Value::Object(fields)
 }
 
+/// Which serving tier produced a `/v1/predict` answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tier {
+    /// A fresh full simulation ran on a worker.
+    Full,
+    /// A cached step recording replayed the prediction — bit-identical
+    /// totals, no queue wait.
+    Replay,
+    /// Only the static `[lo, hi]` interval was computed; no simulation.
+    Static,
+}
+
+impl Tier {
+    /// Wire name of the tier (the `tier` response field).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Tier::Full => "full",
+            Tier::Replay => "replay",
+            Tier::Static => "static",
+        }
+    }
+}
+
 /// Render a `POST /v1/predict` success body. When the job admitted a
 /// static analysis (clean spec, no faults), `bounds` carries the
 /// pre-computed interval and the result object gains `static_lo_ps` /
 /// `static_hi_ps`; faulted or infeasible jobs simply omit the fields.
-pub fn render_predict(result: &JobResult, bounds: Option<&predsim_lint::ProgramBounds>) -> String {
+/// Every response names the serving tier that produced it.
+pub fn render_predict(
+    result: &JobResult,
+    bounds: Option<&predsim_lint::ProgramBounds>,
+    tier: Tier,
+) -> String {
     let mut value = result_value(result);
-    if let (Value::Object(fields), Some(b)) = (&mut value, bounds) {
-        fields.push(("static_lo_ps".into(), Value::Int(b.lo.as_ps() as i64)));
-        fields.push(("static_hi_ps".into(), Value::Int(b.hi.as_ps() as i64)));
+    if let Value::Object(fields) = &mut value {
+        fields.push(("tier".into(), Value::Str(tier.as_str().into())));
+        if let Some(b) = bounds {
+            fields.push(("static_lo_ps".into(), Value::Int(b.lo.as_ps() as i64)));
+            fields.push(("static_hi_ps".into(), Value::Int(b.hi.as_ps() as i64)));
+        }
     }
     Value::Object(vec![
         ("version".into(), Value::Int(1)),
         ("result".into(), value),
+    ])
+    .to_compact()
+}
+
+/// Render a static-tier `/v1/predict` body: the degraded answer served
+/// when the queue is past its high watermark or the deadline admits no
+/// simulation. No `total_ps` — the truth is only bracketed, and the
+/// `outcome` says so explicitly.
+pub fn render_predict_static(label: &str, bounds: &predsim_lint::ProgramBounds) -> String {
+    Value::Object(vec![
+        ("version".into(), Value::Int(1)),
+        (
+            "result".into(),
+            Value::Object(vec![
+                ("label".into(), Value::Str(label.to_string())),
+                ("outcome".into(), Value::Str("estimated".into())),
+                ("tier".into(), Value::Str(Tier::Static.as_str().into())),
+                ("static_lo_ps".into(), Value::Int(bounds.lo.as_ps() as i64)),
+                ("static_hi_ps".into(), Value::Int(bounds.hi.as_ps() as i64)),
+            ]),
+        ),
     ])
     .to_compact()
 }
@@ -520,40 +618,44 @@ mod tests {
 
     #[test]
     fn parses_a_full_predict_body() {
-        let (name, spec) = parse_predict(
+        let req = parse_predict(
             r#"{"source":"ge:240,24,diagonal,8","machine":"paragon",
-                "worst_case":true,"faults":"drop:0.1","seed":7,"label":"x"}"#,
+                "worst_case":true,"faults":"drop:0.1","seed":7,"label":"x",
+                "deadline_ms":2500}"#,
         )
         .unwrap();
-        assert_eq!(name, "ge:240,24,diagonal,8");
-        assert_eq!(spec.label, "x");
-        assert_eq!(spec.opts.algo, CommAlgo::WorstCase);
+        assert_eq!(req.name, "ge:240,24,diagonal,8");
+        assert_eq!(req.spec.label, "x");
+        assert_eq!(req.spec.opts.algo, CommAlgo::WorstCase);
         assert_eq!(
-            spec.opts.cfg.params,
+            req.spec.opts.cfg.params,
             presets::intel_paragon(8),
             "machine sized to the source's processor count"
         );
-        let plan = spec.faults.expect("fault plan");
+        assert_eq!(req.deadline_ms, Some(2500));
+        let plan = req.spec.faults.expect("fault plan");
         assert_eq!(plan.seed(), 7);
     }
 
     #[test]
     fn defaults_are_meiko_standard_no_faults() {
-        let (_, spec) = parse_predict(r#"{"source":"cannon:64,4"}"#).unwrap();
+        let req = parse_predict(r#"{"source":"cannon:64,4"}"#).unwrap();
+        let spec = &req.spec;
         assert_eq!(spec.opts.algo, CommAlgo::Standard);
         assert_eq!(spec.opts.cfg.params, presets::meiko_cs2(16));
         assert!(spec.faults.is_none());
         assert_eq!(spec.label, "meiko: cannon:64,4");
+        assert_eq!(req.deadline_ms, None);
     }
 
     #[test]
     fn accepts_an_inline_trace() {
-        let (name, spec) = parse_predict(
+        let req = parse_predict(
             r#"{"trace":"program procs=2\nstep label=ring\ncomp 10 10\nmsg 0 1 800\n"}"#,
         )
         .unwrap();
-        assert_eq!(name, "trace");
-        assert_eq!(spec.source.procs(), 2);
+        assert_eq!(req.name, "trace");
+        assert_eq!(req.spec.source.procs(), 2);
     }
 
     #[test]
@@ -573,6 +675,14 @@ mod tests {
             ),
             (r#"{"source":"ge:64,16,row,4","worst_case":1}"#, "bool type"),
             (r#"{"source":"ge:64,16,row,4","faults":"zap:1"}"#, "faults"),
+            (
+                r#"{"source":"ge:64,16,row,4","deadline_ms":0}"#,
+                "zero deadline",
+            ),
+            (
+                r#"{"source":"ge:64,16,row,4","deadline_ms":"soon"}"#,
+                "deadline type",
+            ),
         ] {
             let err = parse_predict(body).expect_err(why);
             assert_eq!(err.status, 400, "{why}");
@@ -594,6 +704,10 @@ mod tests {
         // A bad job is named by its index.
         let err = parse_batch(r#"{"jobs":[{"source":"cannon:64,4"},{}]}"#).unwrap_err();
         assert!(err.body.contains("jobs[1]"), "{}", err.body);
+        // Deadlines are a single-predict concept.
+        let err =
+            parse_batch(r#"{"jobs":[{"source":"cannon:64,4","deadline_ms":100}]}"#).unwrap_err();
+        assert!(err.body.contains("deadline_ms"), "{}", err.body);
     }
 
     #[test]

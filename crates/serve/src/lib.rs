@@ -5,7 +5,21 @@
 //!
 //! - **Admission control**: a bounded queue in front of a fixed worker
 //!   pool. When the queue is full, requests are shed immediately with
-//!   `429 Too Many Requests` + `Retry-After` instead of piling up.
+//!   `429 Too Many Requests` + a *computed* `Retry-After` (from the
+//!   calibrated wall-cost model in [`admission`]) instead of piling up.
+//! - **Deadline-aware admission**: requests may carry `deadline_ms`; the
+//!   server admits them only if the cost model says they can finish in
+//!   time, shedding the newest deadline-less work first.
+//! - **Tiered degradation**: above configurable queue-depth watermarks
+//!   `/v1/predict` degrades from full simulation to a cached recording
+//!   replay (bit-identical totals) to the queue-free static `[lo, hi]`
+//!   estimate; every response names its `tier`.
+//! - **Worker supervision**: a supervisor thread respawns panicked
+//!   workers (re-enqueueing the job they held, once) and backfills
+//!   stalled ones; `serve_worker_restarts_total` counts interventions.
+//! - **Deterministic chaos**: an optional [`predsim_faults::ChaosPlan`]
+//!   injects worker panics/stalls, accept hiccups, and connection drops
+//!   as pure hashes of (seed, site), for reproducible failure drills.
 //! - **Graceful drain**: on shutdown the server stops accepting, lets
 //!   every admitted job run to completion, and only then stops the
 //!   workers — nothing accepted is ever dropped.
@@ -60,12 +74,15 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod api;
 pub mod http;
 pub mod queue;
 pub mod server;
 
-pub use api::ApiError;
+pub use admission::CostModel;
+pub use api::{ApiError, Tier};
 pub use http::{HttpReader, Request, RequestError, Response};
+pub use predsim_faults::{ChaosPlan, ChaosSpec};
 pub use queue::{BoundedQueue, PushError};
 pub use server::{DrainReport, ServeConfig, Server, ServerHandle};

@@ -106,6 +106,34 @@ impl<T> BoundedQueue<T> {
     pub fn depth(&self) -> usize {
         self.inner.lock().expect("queue poisoned").items.len()
     }
+
+    /// Whether the queue is closed *and* empty — drain has finished
+    /// handing out work.
+    pub fn is_drained(&self) -> bool {
+        let inner = self.inner.lock().expect("queue poisoned");
+        inner.closed && inner.items.is_empty()
+    }
+
+    /// Remove and return the newest item matching `pred` (shed-newest
+    /// policy: the most recently admitted victim loses its queue slot so
+    /// older work, closer to its deadline, keeps its position).
+    pub fn shed_newest_where(&self, pred: impl Fn(&T) -> bool) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        let idx = inner.items.iter().rposition(pred)?;
+        inner.items.remove(idx)
+    }
+
+    /// Put an already-admitted item back at the *front* of the queue, so
+    /// it runs next. Bypasses both capacity and the closed flag: the item
+    /// was admitted once and the admitted ⇒ answered invariant says it
+    /// must still be handed to a worker (a supervisor re-enqueueing an
+    /// orphaned job during drain relies on this).
+    pub fn requeue_front(&self, item: T) {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        inner.items.push_front(item);
+        drop(inner);
+        self.takeable.notify_one();
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +198,48 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.close();
         assert_eq!(popper.join().unwrap(), (Some(7), None));
+    }
+
+    #[test]
+    fn shed_newest_takes_the_most_recent_match_only() {
+        let q = BoundedQueue::new(8);
+        for v in [10, 21, 30, 41] {
+            q.try_push(v).unwrap();
+        }
+        // Newest odd-decade item is 41; 21 stays put.
+        assert_eq!(q.shed_newest_where(|v| v % 10 == 1), Some(41));
+        assert_eq!(q.shed_newest_where(|v| *v > 100), None);
+        assert_eq!(q.depth(), 3);
+        assert_eq!(q.pop(), Some(10), "shedding preserves FIFO of the rest");
+        assert_eq!(q.pop(), Some(21));
+        assert_eq!(q.pop(), Some(30));
+    }
+
+    #[test]
+    fn requeue_front_bypasses_capacity_and_close_and_runs_next() {
+        let q = BoundedQueue::new(1);
+        q.try_push(1).unwrap();
+        assert!(q.try_push(2).is_err());
+        q.requeue_front(0);
+        assert_eq!(q.depth(), 2, "requeue ignores capacity");
+        q.close();
+        q.requeue_front(-1);
+        assert_eq!(q.pop(), Some(-1), "requeued work pops first");
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.is_drained());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn is_drained_requires_closed_and_empty() {
+        let q = BoundedQueue::new(2);
+        assert!(!q.is_drained(), "open and empty is not drained");
+        q.try_push(5).unwrap();
+        q.close();
+        assert!(!q.is_drained(), "closed but non-empty is not drained");
+        assert_eq!(q.pop(), Some(5));
+        assert!(q.is_drained());
     }
 
     #[test]

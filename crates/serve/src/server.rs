@@ -1,31 +1,61 @@
-//! The server proper: acceptor, connection handlers, worker pool, drain.
+//! The server proper: acceptor, connection handlers, worker pool,
+//! supervisor, degradation ladder, drain.
 //!
 //! Thread layout:
 //!
 //! ```text
 //! acceptor ──spawns──▶ handler (one per connection, keep-alive loop)
-//!                         │ parse + lint, then admission:
-//!                         │   queue.try_push ──▶ 429 when full
+//!                         │ parse + lint, then the tier ladder:
+//!                         │   full  ──▶ queue.try_push ──▶ 429 when full
+//!                         │   replay ─▶ cached recording, no queue
+//!                         │   static ─▶ interval only, no simulation
 //!                         ▼
 //!                     BoundedQueue ◀──pop── worker × N ──▶ Engine::run
 //!                         ▲                      │
+//!                         │                  supervisor (heartbeats,
+//!                         │                  respawn, orphan requeue)
 //!                         └── reply slot ◀──────┘
 //! ```
 //!
-//! Every prediction goes through the one shared [`Engine`], so the memo
-//! cache, journal, and metrics registry see the server's whole lifetime.
+//! Every full prediction goes through the one shared [`Engine`], so the
+//! memo cache, journal, and metrics registry see the server's whole
+//! lifetime.
+//!
+//! **Overload behaviour** is tiered rather than binary. Above a
+//! high-watermark queue depth `/v1/predict` stops queueing and degrades:
+//! first to a cached step-recording replay (bit-identical totals, no
+//! queue wait), then to the queue-free static `[lo, hi]` estimate. Every
+//! response names its `tier`. Requests carrying a `deadline_ms` are
+//! admitted only if the calibrated cost model says they can finish in
+//! time; provably-late requests shed the newest deadline-less queue
+//! entries first (the victims get static-tier answers), then degrade or
+//! are refused with a *computed* `Retry-After`.
+//!
+//! **Worker supervision**: each worker publishes a heartbeat; a
+//! supervisor thread respawns panicked workers (re-enqueueing the job
+//! they held, once) and backfills stalled ones, so the pool never
+//! shrinks permanently. `serve_worker_restarts_total` counts its
+//! interventions.
+//!
+//! **Chaos**: an optional [`predsim_faults::ChaosPlan`] injects worker
+//! panics/stalls, accept-loop hiccups and connection drops as pure
+//! hashes of (seed, site) — deterministic, like every fault in this
+//! workspace.
+//!
 //! Drain is cooperative and loses nothing that was admitted: the
 //! acceptor stops accepting, the read half of every open connection is
 //! shut down (a handler blocked in a read sees EOF and exits; a handler
 //! waiting for a worker reply still owns a working write half), handlers
 //! are joined, then the queue is closed and workers finish whatever was
-//! queued before exiting.
+//! queued before the supervisor stands down.
 
+use crate::admission::CostModel;
 use crate::api;
 use crate::http::{HttpReader, Request, RequestError, Response};
 use crate::queue::{BoundedQueue, PushError};
-use predsim_engine::{Engine, EngineConfig, EngineObs, JobResult, JobSpec, Journal};
-use predsim_obs::{default_ns_buckets, Gauge, Histogram, MetricsSnapshot, Registry};
+use predsim_engine::{Engine, EngineConfig, EngineObs, JobOutcome, JobResult, JobSpec, Journal};
+use predsim_faults::ChaosPlan;
+use predsim_obs::{default_ns_buckets, Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 use std::collections::HashMap;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -51,6 +81,17 @@ pub struct ServeConfig {
     pub engine: EngineConfig,
     /// Append every finished job to this checkpoint journal.
     pub journal: Option<std::path::PathBuf>,
+    /// Queue depth at which `/v1/predict` degrades to recording replay.
+    /// `None` derives `max(1, queue_cap / 2)`.
+    pub replay_at: Option<usize>,
+    /// Queue depth at which `/v1/predict` degrades to the static-bounds
+    /// estimate. `None` derives `max(replay_at, 3 * queue_cap / 4)`.
+    pub static_at: Option<usize>,
+    /// How long a busy worker may go without a heartbeat before the
+    /// supervisor backfills it with a fresh thread.
+    pub stall_timeout: Duration,
+    /// Deterministic infrastructure-fault injection (`--chaos`).
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl Default for ServeConfig {
@@ -63,11 +104,17 @@ impl Default for ServeConfig {
             max_body: 1 << 20,
             engine: EngineConfig::default(),
             journal: None,
+            replay_at: None,
+            static_at: None,
+            stall_timeout: Duration::from_secs(30),
+            chaos: None,
         }
     }
 }
 
-/// What one admitted queue entry asks a worker to do.
+/// What one admitted queue entry asks a worker to do. `Clone` so the
+/// worker can park an orphan copy for the supervisor before running.
+#[derive(Clone)]
 enum Work {
     /// Run one prediction job through the engine.
     Predict(JobSpec),
@@ -77,12 +124,41 @@ enum Work {
     Calibrate(Box<api::CalibrateRequest>),
 }
 
-/// One admitted unit of work: what to do plus the slot its handler is
-/// waiting on.
+/// One admitted unit of work: what to do, the slot its handler is
+/// waiting on, and the admission metadata the cost model and the
+/// shedding policy act on.
 struct Job {
     work: Work,
     reply: Arc<ReplySlot>,
     slot: usize,
+    /// Estimated wall cost at admission (subtracted when popped).
+    est_ns: u64,
+    /// Static ceiling the estimate came from (0 when none).
+    hi_ps: u64,
+    /// Answer-by instant, for requests that carried `deadline_ms`.
+    deadline: Option<Instant>,
+    /// May a deadline admission evict this entry? (Single deadline-less
+    /// predicts only — batches and calibrations are never shed.)
+    sheddable: bool,
+    /// Already re-enqueued once by the supervisor; a second worker death
+    /// answers `crashed` instead of looping forever.
+    requeued: bool,
+}
+
+impl Job {
+    /// The copy a worker parks for the supervisor before running.
+    fn orphan_copy(&self) -> Job {
+        Job {
+            work: self.work.clone(),
+            reply: Arc::clone(&self.reply),
+            slot: self.slot,
+            est_ns: self.est_ns,
+            hi_ps: self.hi_ps,
+            deadline: self.deadline,
+            sheddable: self.sheddable,
+            requeued: self.requeued,
+        }
+    }
 }
 
 /// What one calibration produced: the fit report plus what happened to
@@ -94,8 +170,14 @@ type CalibrationOutcome =
 
 /// What a worker hands back for one unit of work.
 enum Reply {
-    Predict(JobResult),
+    /// A finished prediction and how many wall-ns the worker spent on it
+    /// (the cost model's calibration sample).
+    Predict(JobResult, u64),
     Calibrate(Box<CalibrationOutcome>),
+    /// The job was shed after admission (deadline eviction, or expired
+    /// before a worker reached it); the handler answers at a degraded
+    /// tier.
+    Shed,
 }
 
 /// Where a worker leaves results for the waiting handler. One slot per
@@ -122,7 +204,8 @@ impl ReplySlot {
 
     /// Wait until every slot is filled. Unbounded: every admitted job is
     /// guaranteed a result (the engine turns panics into `crashed`
-    /// outcomes, calibrations are run under `catch_unwind`, and drain
+    /// outcomes, calibrations run under `catch_unwind`, dead workers'
+    /// jobs are re-enqueued or answered by the supervisor, and drain
     /// never abandons the queue).
     fn wait(&self) -> Vec<Reply> {
         let mut results = self.results.lock().expect("reply slot poisoned");
@@ -141,6 +224,7 @@ struct ServeMetrics {
     queue_depth: Arc<Gauge>,
     in_flight: Arc<Gauge>,
     wall: Arc<Histogram>,
+    restarts: Arc<Counter>,
 }
 
 impl ServeMetrics {
@@ -158,11 +242,16 @@ impl ServeMetrics {
             "wall time from request parsed to response written, ns",
             &default_ns_buckets(),
         );
+        let restarts = registry.counter(
+            "serve_worker_restarts_total",
+            "worker threads respawned or backfilled by the supervisor",
+        );
         ServeMetrics {
             registry,
             queue_depth,
             in_flight,
             wall,
+            restarts,
         }
     }
 
@@ -185,14 +274,90 @@ impl ServeMetrics {
         self.wall
             .observe(wall.as_nanos().min(u128::from(u64::MAX)) as u64);
     }
+
+    /// Count one `/v1/predict` answer by serving tier.
+    fn tier(&self, tier: api::Tier) {
+        self.registry
+            .counter_with(
+                "serve_tier_total",
+                &[("tier", tier.as_str())],
+                "predict answers by serving tier",
+            )
+            .inc();
+    }
+
+    /// Count one shed decision, by reason.
+    fn shed(&self, reason: &str) {
+        self.registry
+            .counter_with(
+                "serve_sheds_total",
+                &[("reason", reason)],
+                "requests shed or downgraded by admission control",
+            )
+            .inc();
+    }
+
+    /// Count one injected chaos event, by kind.
+    fn chaos(&self, kind: &str) {
+        self.registry
+            .counter_with(
+                "serve_chaos_injections_total",
+                &[("kind", kind)],
+                "deterministic chaos events injected",
+            )
+            .inc();
+    }
 }
+
+/// Per-worker supervision state. The worker beats; the supervisor reads.
+struct WorkerState {
+    /// Milliseconds since server start at the last heartbeat.
+    beat_ms: AtomicU64,
+    /// Currently holding a job.
+    busy: AtomicBool,
+    /// The supervisor backfilled this worker after a stall; it should
+    /// exit at the next loop turn instead of popping more work.
+    superseded: AtomicBool,
+    /// Copy of the job being run, for requeue if this thread dies.
+    orphan: Mutex<Option<Job>>,
+}
+
+impl WorkerState {
+    fn new() -> Arc<WorkerState> {
+        Arc::new(WorkerState {
+            beat_ms: AtomicU64::new(0),
+            busy: AtomicBool::new(false),
+            superseded: AtomicBool::new(false),
+            orphan: Mutex::new(None),
+        })
+    }
+
+    fn beat(&self, shared: &Shared) {
+        self.beat_ms.store(
+            shared.started.elapsed().as_millis() as u64,
+            Ordering::SeqCst,
+        );
+    }
+}
+
+/// A cached step recording for the replay tier: the program it was made
+/// from plus the recording itself.
+type ReplayEntry = (
+    Arc<predsim_core::Program>,
+    Arc<predsim_core::ProgramRecording>,
+);
+
+/// Most recordings the replay tier keeps warm.
+const REPLAY_CACHE_CAP: usize = 32;
 
 struct Shared {
     engine: Engine,
     queue: BoundedQueue<Job>,
     metrics: ServeMetrics,
+    cost: CostModel,
     journal: Option<Journal>,
     draining: AtomicBool,
+    supervisor_stop: AtomicBool,
     executing: AtomicUsize,
     /// Read halves of open connections, for shutdown on drain.
     conns: Mutex<HashMap<u64, TcpStream>>,
@@ -200,6 +365,17 @@ struct Shared {
     workers: usize,
     request_timeout: Duration,
     max_body: usize,
+    replay_at: usize,
+    static_at: usize,
+    stall_timeout: Duration,
+    chaos: Option<ChaosPlan>,
+    /// Chaos site counters: each decision consumes the next site, so a
+    /// run is reproducible from (spec, seed) + request order alone.
+    chaos_pop_site: AtomicU64,
+    chaos_conn_site: AtomicU64,
+    chaos_accept_site: AtomicU64,
+    replays: Mutex<HashMap<String, ReplayEntry>>,
+    started: Instant,
 }
 
 impl Shared {
@@ -208,6 +384,34 @@ impl Shared {
         self.metrics
             .in_flight
             .set(self.executing.load(Ordering::SeqCst) as u64);
+    }
+
+    /// A ready-to-send 429 with the computed `Retry-After`: the cost
+    /// model's estimate of when the backlog in front of the client will
+    /// have cleared (whole seconds, floor 1).
+    fn too_busy(&self, message: &str) -> Response {
+        let retry = self
+            .cost
+            .retry_after_secs(self.executing.load(Ordering::SeqCst), self.workers);
+        Response::json(429, api::error_body(message)).with_header("Retry-After", &retry.to_string())
+    }
+}
+
+/// Decrement `executing` even if the worker panics on the way out.
+struct ExecGuard<'a>(&'a Shared);
+
+impl<'a> ExecGuard<'a> {
+    fn new(shared: &'a Shared) -> ExecGuard<'a> {
+        shared.executing.fetch_add(1, Ordering::SeqCst);
+        shared.sync_gauges();
+        ExecGuard(shared)
+    }
+}
+
+impl Drop for ExecGuard<'_> {
+    fn drop(&mut self) {
+        self.0.executing.fetch_sub(1, Ordering::SeqCst);
+        self.0.sync_gauges();
     }
 }
 
@@ -225,7 +429,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     registry: Arc<Registry>,
     acceptor: std::thread::JoinHandle<()>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    supervisor: std::thread::JoinHandle<()>,
 }
 
 impl ServerHandle {
@@ -254,7 +458,7 @@ impl ServerHandle {
 
     /// Stop gracefully: refuse new connections, let in-flight requests
     /// (including everything already admitted to the queue) finish, stop
-    /// the workers, and return the final metrics.
+    /// the workers and their supervisor, and return the final metrics.
     pub fn drain(self) -> DrainReport {
         self.shared.draining.store(true, Ordering::SeqCst);
         // Wake handlers blocked reading an idle keep-alive connection:
@@ -267,11 +471,11 @@ impl ServerHandle {
         // handler thread (each finishes its current request first).
         self.acceptor.join().expect("acceptor panicked");
         // No handler is left to enqueue; close the queue so workers run
-        // whatever was admitted, then exit.
+        // whatever was admitted. The supervisor keeps respawning dead
+        // workers until the queue is truly drained, then stands down.
         self.shared.queue.close();
-        for worker in self.workers {
-            worker.join().expect("worker panicked");
-        }
+        self.shared.supervisor_stop.store(true, Ordering::SeqCst);
+        self.supervisor.join().expect("supervisor panicked");
         self.shared.sync_gauges();
         DrainReport {
             // Engine::metrics_snapshot also publishes the final cache
@@ -309,29 +513,45 @@ impl Server {
             EngineObs::with_registry(Arc::clone(&registry)),
         );
         let workers = config.workers.max(1);
+        let queue_cap = config.queue_cap.max(1);
+        let replay_at = config.replay_at.unwrap_or((queue_cap / 2).max(1));
+        let static_at = config
+            .static_at
+            .unwrap_or(replay_at.max(queue_cap * 3 / 4))
+            .max(1);
         let shared = Arc::new(Shared {
             engine,
-            queue: BoundedQueue::new(config.queue_cap),
+            queue: BoundedQueue::new(queue_cap),
             metrics: ServeMetrics::new(Arc::clone(&registry)),
+            cost: CostModel::new(),
             journal,
             draining: AtomicBool::new(false),
+            supervisor_stop: AtomicBool::new(false),
             executing: AtomicUsize::new(0),
             conns: Mutex::new(HashMap::new()),
             next_conn: AtomicU64::new(0),
             workers,
             request_timeout: config.request_timeout,
             max_body: config.max_body,
+            replay_at,
+            static_at,
+            stall_timeout: config.stall_timeout,
+            chaos: config.chaos.filter(|p| !p.spec().is_none()),
+            chaos_pop_site: AtomicU64::new(0),
+            chaos_conn_site: AtomicU64::new(0),
+            chaos_accept_site: AtomicU64::new(0),
+            replays: Mutex::new(HashMap::new()),
+            started: Instant::now(),
         });
 
-        let worker_handles = (0..workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawning worker")
-            })
-            .collect();
+        let pool: Vec<_> = (0..workers).map(|i| spawn_worker(&shared, i)).collect();
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("serve-supervisor".into())
+                .spawn(move || supervisor_loop(&shared, pool, workers))
+                .expect("spawning supervisor")
+        };
         let acceptor = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -344,35 +564,184 @@ impl Server {
             shared,
             registry,
             acceptor,
-            workers: worker_handles,
+            supervisor,
         })
     }
 }
 
-fn worker_loop(shared: &Shared) {
-    while let Some(job) = shared.queue.pop() {
-        shared.executing.fetch_add(1, Ordering::SeqCst);
-        shared.sync_gauges();
-        let reply = match job.work {
-            Work::Predict(spec) => {
+fn spawn_worker(
+    shared: &Arc<Shared>,
+    id: usize,
+) -> (std::thread::JoinHandle<()>, Arc<WorkerState>) {
+    let state = WorkerState::new();
+    state.beat(shared);
+    let handle = {
+        let shared = Arc::clone(shared);
+        let state = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name(format!("serve-worker-{id}"))
+            .spawn(move || worker_loop(&shared, &state))
+            .expect("spawning worker")
+    };
+    (handle, state)
+}
+
+fn worker_loop(shared: &Shared, state: &WorkerState) {
+    loop {
+        if state.superseded.load(Ordering::SeqCst) {
+            return;
+        }
+        let Some(job) = shared.queue.pop() else {
+            return;
+        };
+        state.beat(shared);
+        state.busy.store(true, Ordering::SeqCst);
+        shared.cost.on_leave_queue(job.est_ns);
+        let guard = ExecGuard::new(shared);
+        // Park an orphan copy first, so a death anywhere past this point
+        // leaves the supervisor everything it needs to keep the
+        // admitted ⇒ answered invariant.
+        *state.orphan.lock().expect("orphan poisoned") = Some(job.orphan_copy());
+        if let Some(plan) = &shared.chaos {
+            let site = shared.chaos_pop_site.fetch_add(1, Ordering::SeqCst);
+            if plan.worker_panic(site) {
+                shared.metrics.chaos("panic");
+                panic!("chaos: injected worker panic at site {site}");
+            }
+            if let Some(ms) = plan.worker_stall(site) {
+                shared.metrics.chaos("stall");
+                // Heartbeat deliberately frozen: this is what the
+                // supervisor's stall detector looks for.
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+        }
+        let reply = match (&job.deadline, &job.work) {
+            // The deadline passed while the job sat in the queue: the
+            // handler answers at a degraded tier instead of burning a
+            // worker on an answer the client already gave up on.
+            (Some(dl), Work::Predict(_)) if Instant::now() >= *dl => {
+                shared.metrics.shed("expired");
+                Reply::Shed
+            }
+            (_, Work::Predict(_)) => {
+                let Work::Predict(spec) = job.work else {
+                    unreachable!()
+                };
+                let exec_started = Instant::now();
                 // jobs=1 runs inline on this thread; the engine's per-job
-                // catch_unwind turns panics into `crashed` results, so the
-                // reply slot is always filled.
+                // catch_unwind turns job panics into `crashed` results,
+                // so the reply slot is always filled.
                 let mut results = shared.engine.run(std::slice::from_ref(&spec));
                 let result = results.pop().expect("engine returns one result per spec");
                 if let Some(journal) = &shared.journal {
                     journal.record(&result);
                 }
-                Reply::Predict(result)
+                let exec_ns = exec_started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                Reply::Predict(result, exec_ns)
             }
-            Work::Calibrate(request) => {
+            (_, Work::Calibrate(_)) => {
+                let Work::Calibrate(request) = job.work else {
+                    unreachable!()
+                };
                 Reply::Calibrate(Box::new(run_calibration(shared, &request)))
             }
         };
         job.reply.fill(job.slot, reply);
-        shared.executing.fetch_sub(1, Ordering::SeqCst);
-        shared.sync_gauges();
+        *state.orphan.lock().expect("orphan poisoned") = None;
+        drop(guard);
+        state.busy.store(false, Ordering::SeqCst);
+        state.beat(shared);
     }
+}
+
+/// The supervisor: respawn dead workers (re-enqueueing the orphaned job
+/// once), backfill stalled ones, and during drain keep the pool alive
+/// until the queue is truly empty.
+fn supervisor_loop(
+    shared: &Arc<Shared>,
+    mut pool: Vec<(std::thread::JoinHandle<()>, Arc<WorkerState>)>,
+    mut next_id: usize,
+) {
+    loop {
+        let stopping = shared.supervisor_stop.load(Ordering::SeqCst);
+        let mut i = 0;
+        while i < pool.len() {
+            if pool[i].0.is_finished() {
+                let (handle, state) = pool.remove(i);
+                let panicked = handle.join().is_err();
+                if panicked {
+                    shared.metrics.restarts.inc();
+                    let orphan = state.orphan.lock().expect("orphan poisoned").take();
+                    if let Some(mut job) = orphan {
+                        if job.requeued {
+                            // Second death on the same job: stop retrying
+                            // and answer it, so the handler never hangs.
+                            fill_crashed(job);
+                        } else {
+                            job.requeued = true;
+                            shared.cost.on_admit(job.est_ns);
+                            shared.queue.requeue_front(job);
+                            shared.sync_gauges();
+                        }
+                    }
+                    // Respawn at full strength — even during drain the
+                    // queue may still hold admitted (or just requeued)
+                    // work that must run.
+                    if !shared.queue.is_drained() {
+                        pool.push(spawn_worker(shared, next_id));
+                        next_id += 1;
+                    }
+                }
+                // A clean exit is a drained worker: not respawned.
+            } else {
+                let state = &pool[i].1;
+                if state.busy.load(Ordering::SeqCst) && !state.superseded.load(Ordering::SeqCst) {
+                    let beat = state.beat_ms.load(Ordering::SeqCst);
+                    let now = shared.started.elapsed().as_millis() as u64;
+                    if now.saturating_sub(beat) > shared.stall_timeout.as_millis() as u64 {
+                        // Stalled (or just very slow): backfill with a
+                        // fresh thread so throughput recovers; the
+                        // stalled worker finishes its job (its reply is
+                        // still valid) and exits at its next loop turn.
+                        state.superseded.store(true, Ordering::SeqCst);
+                        shared.metrics.restarts.inc();
+                        pool.push(spawn_worker(shared, next_id));
+                        next_id += 1;
+                    }
+                }
+                i += 1;
+            }
+        }
+        if stopping && pool.is_empty() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Answer a job whose worker died twice: the handler gets the same
+/// `crashed` shape an engine-caught panic produces, so admitted work is
+/// always answered.
+fn fill_crashed(job: Job) {
+    let reply = match &job.work {
+        Work::Predict(spec) => Reply::Predict(
+            JobResult {
+                index: 0,
+                label: spec.label.clone(),
+                outcome: JobOutcome::Crashed {
+                    message: "worker thread died while running this job \
+                              (re-enqueued once, then died again)"
+                        .into(),
+                    attempts: 2,
+                },
+            },
+            0,
+        ),
+        Work::Calibrate(_) => Reply::Calibrate(Box::new(Err(
+            "worker thread died twice while calibrating".into(),
+        ))),
+    };
+    job.reply.fill(job.slot, reply);
 }
 
 /// Execute one calibration on a worker: emulate the source, fit a
@@ -410,6 +779,13 @@ fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>) {
     while !shared.draining.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
+                if let Some(plan) = &shared.chaos {
+                    let site = shared.chaos_accept_site.fetch_add(1, Ordering::SeqCst);
+                    if let Some(ms) = plan.accept_hiccup(site) {
+                        shared.metrics.chaos("hiccup");
+                        std::thread::sleep(Duration::from_millis(ms));
+                    }
+                }
                 if stream.set_nonblocking(false).is_err()
                     || stream
                         .set_read_timeout(Some(shared.request_timeout))
@@ -477,6 +853,17 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 break;
             }
         };
+        if let Some(plan) = &shared.chaos {
+            // Mid-request connection drop: the request was read but is
+            // severed before admission, so nothing is ever admitted for
+            // it — the client sees a reset and retries.
+            let site = shared.chaos_conn_site.fetch_add(1, Ordering::SeqCst);
+            if plan.conn_drop(site) {
+                shared.metrics.chaos("drop-conn");
+                let _ = writer.shutdown(Shutdown::Both);
+                break;
+            }
+        }
         let started = Instant::now();
         let keep_alive = request.wants_keep_alive() && !shared.draining.load(Ordering::SeqCst);
         let (endpoint, response) = route(&request, shared);
@@ -552,6 +939,10 @@ fn healthz(shared: &Shared) -> Response {
             Value::Int(shared.executing.load(Ordering::SeqCst) as i64),
         ),
         ("workers".into(), Value::Int(shared.workers as i64)),
+        (
+            "worker_restarts".into(),
+            Value::Int(shared.metrics.restarts.get() as i64),
+        ),
     ]);
     Response::json(200, body.to_compact())
 }
@@ -561,33 +952,120 @@ fn drain_request(shared: &Shared) -> Response {
     Response::json(200, "{\"draining\":true}")
 }
 
-/// Admit `work` (all-or-nothing), wait for the results. `Err` is the
+/// One unit of work plus its admission metadata, ready to enqueue.
+struct Admit {
+    work: Work,
+    est_ns: u64,
+    hi_ps: u64,
+    deadline: Option<Instant>,
+    sheddable: bool,
+}
+
+impl Admit {
+    fn plain(work: Work, est_ns: u64) -> Admit {
+        Admit {
+            work,
+            est_ns,
+            hi_ps: 0,
+            deadline: None,
+            sheddable: false,
+        }
+    }
+}
+
+/// Admit work (all-or-nothing), wait for the results. `Err` is the
 /// ready-to-send backpressure or shutdown response.
-fn admit_and_run(shared: &Shared, work: Vec<Work>) -> Result<Vec<Reply>, Response> {
-    let reply = ReplySlot::new(work.len());
-    let batch: Vec<Job> = work
+fn admit_and_run(shared: &Shared, admits: Vec<Admit>) -> Result<Vec<Reply>, Response> {
+    let reply = ReplySlot::new(admits.len());
+    let total_est: u64 = admits.iter().map(|a| a.est_ns).sum();
+    let batch: Vec<Job> = admits
         .into_iter()
         .enumerate()
-        .map(|(slot, work)| Job {
-            work,
+        .map(|(slot, a)| Job {
+            work: a.work,
             reply: Arc::clone(&reply),
             slot,
+            est_ns: a.est_ns,
+            hi_ps: a.hi_ps,
+            deadline: a.deadline,
+            sheddable: a.sheddable,
+            requeued: false,
         })
         .collect();
     match shared.queue.try_push_all(batch) {
         Ok(()) => {
+            shared.cost.on_admit(total_est);
             shared.sync_gauges();
             Ok(reply.wait())
         }
-        Err((_, PushError::Full)) => Err(Response::json(
-            429,
-            api::error_body("admission queue is full; retry later"),
-        )
-        .with_header("Retry-After", "1")),
+        Err((_, PushError::Full)) => {
+            shared.metrics.shed("queue-full");
+            Err(shared.too_busy("admission queue is full; retry later"))
+        }
         Err((_, PushError::Closed)) => {
             Err(Response::json(503, api::error_body("server is draining")))
         }
     }
+}
+
+/// Serve one predict from the replay tier if possible: a cached step
+/// recording (or one recorded right here, once, off the queue) replayed
+/// under the request's options. `ProgramRecording::predict` verifies
+/// every step and transparently resimulates mismatches, so the totals
+/// are bit-identical to a full simulation — only the `tier` field tells
+/// the client it skipped the queue.
+fn try_replay(shared: &Shared, name: &str, spec: &JobSpec) -> Option<Response> {
+    let o = &spec.opts;
+    let p = o.cfg.params;
+    let key = format!(
+        "{name}|{},{},{},{},{}|{:?}|{:?}|{:?}|{:?}|{}",
+        p.latency.as_ps(),
+        p.overhead.as_ps(),
+        p.gap.as_ps(),
+        p.gap_per_byte.as_ps(),
+        p.procs,
+        o.algo,
+        o.sync,
+        o.overlap,
+        o.cfg.gap_rule,
+        o.cfg.seed,
+    );
+    let cached = shared
+        .replays
+        .lock()
+        .expect("replay cache poisoned")
+        .get(&key)
+        .cloned();
+    let (program, recording) = match cached {
+        Some(entry) => entry,
+        None => {
+            // One full simulation on this handler thread, amortized over
+            // every later hit. Holds no lock while simulating.
+            let (_, recording, program) = predsim_engine::record_job(spec)?;
+            let entry = (program, Arc::new(recording));
+            let mut cache = shared.replays.lock().expect("replay cache poisoned");
+            if cache.len() >= REPLAY_CACHE_CAP {
+                cache.clear();
+            }
+            cache.insert(key, entry.clone());
+            entry
+        }
+    };
+    let (prediction, _stats) = recording.predict(&program, o);
+    let result = JobResult {
+        index: 0,
+        label: spec.label.clone(),
+        outcome: JobOutcome::Done {
+            prediction,
+            attempts: 1,
+        },
+    };
+    let bounds = predsim_engine::static_bounds(spec);
+    shared.metrics.tier(api::Tier::Replay);
+    Some(Response::json(
+        200,
+        api::render_predict(&result, bounds.as_ref(), api::Tier::Replay),
+    ))
 }
 
 fn predict(request: &Request, shared: &Shared) -> Response {
@@ -598,21 +1076,122 @@ fn predict(request: &Request, shared: &Shared) -> Response {
         Ok(b) => b,
         Err(_) => return Response::json(400, api::error_body("body is not valid UTF-8")),
     };
-    let parsed = api::parse_predict(body)
-        .and_then(|job| api::check_jobs(std::slice::from_ref(&job)).map(|()| job));
-    let (_, spec) = match parsed {
-        Ok(job) => job,
+    let req = match api::parse_predict(body) {
+        Ok(req) => req,
         Err(e) => return Response::json(e.status, e.body),
     };
-    // The static interval is computed on the request thread after the
-    // simulation returns, not before admission: it never delays the
-    // enqueue, and shed requests (429/503) never pay for it.
+    let gate = (req.name.clone(), req.spec.clone());
+    if let Err(e) = api::check_jobs(std::slice::from_ref(&gate)) {
+        return Response::json(e.status, e.body);
+    }
+    let spec = req.spec;
+    // Jobs the static analyzer can bracket are the ones the degraded
+    // tiers can serve; faulted or infeasible jobs only have the full
+    // path.
+    let degradable = spec.faults.is_none() && spec.source.validate().is_ok();
+
+    // The tier ladder: past the high watermarks, answer without queueing.
+    let depth = shared.queue.depth();
+    if depth >= shared.static_at {
+        if degradable {
+            if let Some(b) = predsim_engine::static_bounds(&spec) {
+                shared.metrics.tier(api::Tier::Static);
+                return Response::json(200, api::render_predict_static(&spec.label, &b));
+            }
+        }
+    } else if depth >= shared.replay_at && degradable && req.name != "trace" {
+        if let Some(resp) = try_replay(shared, &req.name, &spec) {
+            return resp;
+        }
+    }
+
+    // Deadline-aware admission for the full tier.
+    let mut bounds: Option<predsim_lint::ProgramBounds> = None;
+    let mut est_ns = shared.cost.est_job_ns(0);
+    let mut hi_ps = 0;
+    let mut deadline = None;
+    if let Some(ms) = req.deadline_ms {
+        if degradable {
+            bounds = predsim_engine::static_bounds(&spec);
+        }
+        hi_ps = bounds.as_ref().map_or(0, |b| b.hi.as_ps());
+        est_ns = shared.cost.est_job_ns(hi_ps);
+        let budget_ns = ms.saturating_mul(1_000_000);
+        let late = || {
+            shared
+                .cost
+                .drain_estimate_ns(shared.executing.load(Ordering::SeqCst), shared.workers)
+                .saturating_add(est_ns)
+                > budget_ns
+        };
+        if late() {
+            // Shed the newest deadline-less work first: each victim's
+            // handler answers at the static tier, freeing queue time for
+            // the deadline in front of us.
+            while late() {
+                match shared.queue.shed_newest_where(|j| j.sheddable) {
+                    Some(victim) => {
+                        shared.cost.on_leave_queue(victim.est_ns);
+                        shared.metrics.shed("deadline-victim");
+                        victim.reply.fill(victim.slot, Reply::Shed);
+                    }
+                    None => break,
+                }
+            }
+            shared.sync_gauges();
+        }
+        if late() {
+            // Provably late even after shedding: degrade now (the static
+            // answer is instant) or refuse with the computed horizon.
+            if let Some(b) = &bounds {
+                shared.metrics.tier(api::Tier::Static);
+                return Response::json(200, api::render_predict_static(&spec.label, b));
+            }
+            shared.metrics.shed("deadline-reject");
+            return shared.too_busy("deadline cannot be met; retry later");
+        }
+        deadline = Some(Instant::now() + Duration::from_millis(ms));
+    }
+
     let for_bounds = spec.clone();
-    match admit_and_run(shared, vec![Work::Predict(spec)]) {
+    let admit = Admit {
+        work: Work::Predict(spec),
+        est_ns,
+        hi_ps,
+        deadline,
+        sheddable: deadline.is_none(),
+    };
+    match admit_and_run(shared, vec![admit]) {
         Ok(mut replies) => match replies.pop() {
-            Some(Reply::Predict(result)) => {
-                let bounds = predsim_engine::static_bounds(&for_bounds);
-                Response::json(200, api::render_predict(&result, bounds.as_ref()))
+            Some(Reply::Predict(result, exec_ns)) => {
+                // The static interval is computed on the request thread
+                // after the simulation returns (unless the deadline path
+                // already needed it): it never delays the enqueue, and
+                // shed requests never pay for it.
+                let bounds = bounds.or_else(|| predsim_engine::static_bounds(&for_bounds));
+                if exec_ns > 0 {
+                    shared
+                        .cost
+                        .observe(exec_ns, bounds.as_ref().map_or(0, |b| b.hi.as_ps()));
+                }
+                shared.metrics.tier(api::Tier::Full);
+                Response::json(
+                    200,
+                    api::render_predict(&result, bounds.as_ref(), api::Tier::Full),
+                )
+            }
+            Some(Reply::Shed) => {
+                // Admitted, then evicted by a deadline admission or
+                // expired in the queue: still answered, at the static
+                // tier when the analyzer can bracket the job.
+                let bounds = bounds.or_else(|| predsim_engine::static_bounds(&for_bounds));
+                match bounds {
+                    Some(b) => {
+                        shared.metrics.tier(api::Tier::Static);
+                        Response::json(200, api::render_predict_static(&for_bounds.label, &b))
+                    }
+                    None => shared.too_busy("shed under overload; retry later"),
+                }
             }
             _ => Response::json(500, api::error_body("worker returned the wrong reply kind")),
         },
@@ -633,10 +1212,11 @@ fn estimate(request: &Request) -> Response {
         Ok(b) => b,
         Err(_) => return Response::json(400, api::error_body("body is not valid UTF-8")),
     };
-    let (name, spec) = match api::parse_predict(body) {
-        Ok(job) => job,
+    let req = match api::parse_predict(body) {
+        Ok(req) => req,
         Err(e) => return Response::json(e.status, e.body),
     };
+    let (name, spec) = (req.name, req.spec);
     let rendered = if spec.faults.is_some() {
         api::render_estimate(&name, Err("fault injection voids the static bounds"))
     } else if spec.source.validate().is_err() {
@@ -672,7 +1252,11 @@ fn calibrate(request: &Request, shared: &Shared) -> Response {
     if let Err(e) = api::check_jobs(std::slice::from_ref(&(parsed.source.clone(), gate))) {
         return Response::json(e.status, e.body);
     }
-    match admit_and_run(shared, vec![Work::Calibrate(Box::new(parsed))]) {
+    let est = shared.cost.est_job_ns(0);
+    match admit_and_run(
+        shared,
+        vec![Admit::plain(Work::Calibrate(Box::new(parsed)), est)],
+    ) {
         Ok(mut replies) => match replies.pop() {
             Some(Reply::Calibrate(outcome)) => match *outcome {
                 Ok((report, registered)) => {
@@ -698,17 +1282,23 @@ fn batch(request: &Request, shared: &Shared) -> Response {
         Ok(jobs) => jobs,
         Err(e) => return Response::json(e.status, e.body),
     };
+    let est = shared.cost.est_job_ns(0);
     let work = jobs
         .into_iter()
-        .map(|(_, spec)| Work::Predict(spec))
+        .map(|(_, spec)| Admit::plain(Work::Predict(spec), est))
         .collect();
     match admit_and_run(shared, work) {
         Ok(replies) => {
             let mut results = Vec::with_capacity(replies.len());
             for reply in replies {
                 match reply {
-                    Reply::Predict(result) => results.push(result),
-                    Reply::Calibrate(_) => {
+                    Reply::Predict(result, exec_ns) => {
+                        if exec_ns > 0 {
+                            shared.cost.observe(exec_ns, 0);
+                        }
+                        results.push(result);
+                    }
+                    _ => {
                         return Response::json(
                             500,
                             api::error_body("worker returned the wrong reply kind"),

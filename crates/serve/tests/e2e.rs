@@ -18,6 +18,10 @@ fn start(workers: usize, queue_cap: usize) -> ServerHandle {
         workers,
         queue_cap,
         request_timeout: Duration::from_secs(10),
+        // These tests exercise the full path; park the degradation
+        // watermarks out of reach so every predict simulates.
+        replay_at: Some(usize::MAX),
+        static_at: Some(usize::MAX),
         ..ServeConfig::default()
     })
     .expect("server starts")
@@ -112,9 +116,13 @@ fn concurrent_predictions_are_byte_identical_to_the_engine() {
     let expected: Vec<String> = bodies
         .iter()
         .map(|body| {
-            let (_, spec) = api::parse_predict(body).expect("body parses");
+            let spec = api::parse_predict(body).expect("body parses").spec;
             let bounds = predsim_engine::static_bounds(&spec);
-            api::render_predict(&engine.run(std::slice::from_ref(&spec))[0], bounds.as_ref())
+            api::render_predict(
+                &engine.run(std::slice::from_ref(&spec))[0],
+                bounds.as_ref(),
+                api::Tier::Full,
+            )
         })
         .collect();
 
@@ -175,13 +183,22 @@ fn queue_overflow_sheds_with_429_without_dropping_admitted_work() {
         let (depth, executing) = health(addr);
         depth >= 1 && executing >= 1
     });
-    // ...so R3 must be shed, immediately. R3 is a cheap job: its lint
-    // gate is instant, so the admission decision happens while R1 is
-    // still executing.
-    let (status, headers, body) =
-        request(addr, "POST", "/v1/predict", r#"{"source":"cannon:64,4"}"#);
+    // ...so R3 must be shed, immediately. R3 is a *faulted* job — the
+    // static analyzer cannot bracket it, so no degraded tier can answer
+    // and the only honest response is a 429. Its lint gate is instant,
+    // so the admission decision happens while R1 is still executing.
+    let (status, headers, body) = request(
+        addr,
+        "POST",
+        "/v1/predict",
+        r#"{"source":"cannon:64,4","faults":"drop:0.1","seed":7}"#,
+    );
     assert_eq!(status, 429);
-    assert_eq!(header(&headers, "retry-after"), Some("1"));
+    let retry: u64 = header(&headers, "retry-after")
+        .expect("429 carries Retry-After")
+        .parse()
+        .expect("Retry-After is a whole number of seconds");
+    assert!(retry >= 1, "computed Retry-After has a floor of 1s");
     assert!(json::parse(&body).unwrap().get("error").is_some());
 
     // The admitted requests complete normally: shedding R3 lost nothing.
@@ -215,7 +232,8 @@ fn analyzer_rejections_are_422_with_the_check_document() {
     // An infeasible spec: the response body is byte-identical to what the
     // API's own lint gate produces (the `predsim check --json` shape).
     let body = r#"{"source":"ge:64,16,row,0"}"#;
-    let jobs = vec![api::parse_predict(body).unwrap()];
+    let req = api::parse_predict(body).unwrap();
+    let jobs = vec![(req.name, req.spec)];
     let expected = api::check_jobs(&jobs).expect_err("lint must reject");
     assert_eq!(expected.status, 422);
     let (status, response) = predict(addr, body);
@@ -558,7 +576,7 @@ fn estimate_returns_the_static_interval_without_touching_the_workers() {
     let body = r#"{"source":"ge:240,24,row,8"}"#;
     let (status, _, est) = request(addr, "POST", "/v1/estimate", body);
     assert_eq!(status, 200, "{est}");
-    let (_, spec) = api::parse_predict(body).expect("body parses");
+    let spec = api::parse_predict(body).expect("body parses").spec;
     let bounds = predsim_engine::static_bounds(&spec).expect("clean spec has bounds");
     assert_eq!(
         est,

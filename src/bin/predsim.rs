@@ -30,7 +30,7 @@ use predsim::predsim_lint::{
     analyze, check_program, json, BoundsConfig, Code, Diagnostic, FaultWindow, LintOptions,
     ProgramBounds, ProgramView, Report, Severity, Span,
 };
-use predsim::predsim_serve::{ServeConfig, Server};
+use predsim::predsim_serve::{ChaosPlan, ChaosSpec, ServeConfig, Server};
 use predsim::prelude::*;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -136,7 +136,8 @@ USAGE:
   predsim serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
                 [--request-timeout SECS] [--no-memo] [--job-budget STEPS]
                 [--retries K] [--checkpoint FILE] [--metrics-out FILE]
-                [--presets FILE]
+                [--presets FILE] [--replay-at N] [--static-at N]
+                [--stall-timeout MS] [--chaos SPEC] [--chaos-seed N]
       Serve predictions over HTTP (std-only, no framework). POST
       /v1/predict takes a strict-JSON job, e.g.
         {\"source\":\"ge:960,32,diagonal,8\",\"machine\":\"paragon\"}
@@ -155,8 +156,19 @@ USAGE:
       its machine names resolve in requests. POST /v1/calibrate fits a
       LogGP preset to an emulated source (same fields as /v1/predict
       plus \"runs\", \"holdout\", \"max_rounds\", \"register\") and returns
-      the fitted parameters with the bracketing report. Default address
-      127.0.0.1:9100.
+      the fitted parameters with the bracketing report. Under load the
+      server degrades instead of failing: at queue depth --replay-at it
+      answers clean re-requests from cached recordings (tier \"replay\",
+      bit-identical), at --static-at it falls back to analyzer bounds
+      (tier \"static\", lo..hi bracket); requests may carry
+      \"deadline_ms\" — unmeetable deadlines get an instant static
+      answer or 429 with a computed Retry-After. Panicked or stalled
+      workers (stall threshold --stall-timeout, default 30000 ms) are
+      respawned and their job is re-enqueued once. --chaos injects
+      deterministic faults for testing (comma list of panic:RATE,
+      stall:RATE[:MS], hiccup:RATE[:MS], drop-conn:RATE; decisions are
+      hashes of --chaos-seed, so a seed replays the same failure
+      sequence). Default address 127.0.0.1:9100.
 
   predsim faults explain SPEC [--seed N] [--steps N] [--procs P]
       Parse a fault spec, bind it to the seed, and print the resolved
@@ -1100,6 +1112,35 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             Err(e) => return Err(format!("bad --request-timeout: {e}")),
         }
     }
+    for (flag, slot) in [
+        ("replay-at", &mut config.replay_at),
+        ("static-at", &mut config.static_at),
+    ] {
+        if let Some(v) = args.value(flag) {
+            match v.parse::<usize>() {
+                Ok(n) => *slot = Some(n),
+                Err(e) => return Err(format!("bad --{flag}: {e}")),
+            }
+        }
+    }
+    if let Some(v) = args.value("stall-timeout") {
+        match v.parse::<u64>() {
+            Ok(ms) if ms >= 1 => config.stall_timeout = Duration::from_millis(ms),
+            Ok(_) => return Err("--stall-timeout must be at least 1 ms".into()),
+            Err(e) => return Err(format!("bad --stall-timeout: {e}")),
+        }
+    }
+    if let Some(spec) = args.value("chaos") {
+        let spec = ChaosSpec::parse(spec).map_err(|e| format!("bad --chaos: {e}"))?;
+        let seed = match args.value("chaos-seed") {
+            Some(v) => v.parse().map_err(|e| format!("bad --chaos-seed: {e}"))?,
+            None => 1,
+        };
+        println!("chaos enabled: {spec} (seed {seed})");
+        config.chaos = Some(ChaosPlan::new(spec, seed));
+    } else if args.value("chaos-seed").is_some() {
+        return Err("--chaos-seed only makes sense together with --chaos".into());
+    }
     if let Some(path) = args.value("checkpoint") {
         config.journal = Some(path.into());
     }
@@ -1484,6 +1525,11 @@ fn run() -> Result<ExitCode, String> {
             valued("checkpoint"),
             valued("metrics-out"),
             valued("presets"),
+            valued("replay-at"),
+            valued("static-at"),
+            valued("stall-timeout"),
+            valued("chaos"),
+            valued("chaos-seed"),
         ],
         "faults" => vec![valued("seed"), valued("steps"), valued("procs")],
         "emulate" => vec![
