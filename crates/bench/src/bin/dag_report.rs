@@ -1,0 +1,55 @@
+//! Speedup sweep on the acceptance DAG workload: a 32-wide single-stage
+//! fork-join (1 Mflop tasks, 8 KiB edges) scheduled by HEFT on the
+//! meiko preset, swept over 1..16 processors.
+//!
+//! Writes `BENCH_DAG.json` — exactly the strict-JSON document
+//! `predsim dag-sweep --json` prints for the same workload (pretty
+//! rendered) — and prints the curve as a table.
+//!
+//! ```text
+//! cargo run -p bench --release --bin dag_report
+//! ```
+
+use loggp::MachineSpec;
+use predsim_dag::{generate, sweep, SchedulerKind};
+
+const WIDTH: usize = 32;
+const STAGES: usize = 1;
+const FLOPS: u64 = 1_000_000;
+const BYTES: usize = 8192;
+const MAX_PROCS: usize = 16;
+
+fn main() {
+    let dag = generate::fork_join(WIDTH, STAGES, FLOPS, BYTES);
+    let spec = MachineSpec::uniform(loggp::presets::meiko_cs2(MAX_PROCS));
+    let procs: Vec<usize> = (1..=MAX_PROCS).collect();
+    let report = sweep(&dag, SchedulerKind::Heft, "meiko", &spec, &procs).expect("sweep runs");
+
+    println!(
+        "== dag-sweep: forkjoin:{WIDTH},{STAGES},{FLOPS},{BYTES} ({} tasks, {} edges) ==",
+        report.tasks, report.edges
+    );
+    println!("scheduler {}  machine {}", report.scheduler, report.machine);
+    println!(
+        "{:>5} {:>12} {:>9} {:>11}",
+        "procs", "total (s)", "speedup", "efficiency"
+    );
+    for p in &report.points {
+        println!(
+            "{:>5} {:>12.6} {:>8.2}x {:>10.1}%",
+            p.procs,
+            p.total.as_secs_f64(),
+            p.speedup_permille as f64 / 1000.0,
+            p.efficiency_permille as f64 / 10.0
+        );
+    }
+    println!(
+        "T(1) = {:.6} s; knee at P={} (last point at >= 50% efficiency)",
+        report.t1.as_secs_f64(),
+        report.knee
+    );
+
+    std::fs::write("BENCH_DAG.json", report.to_value().to_pretty() + "\n")
+        .expect("write BENCH_DAG.json");
+    println!("wrote BENCH_DAG.json");
+}

@@ -60,7 +60,7 @@ impl std::error::Error for ProgramError {}
 /// One alternation of the program: a computation phase (per-processor
 /// durations) followed by a communication phase (a message pattern).
 /// Either half may be absent.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Step {
     /// Human-readable label (e.g. `"wave 7"`), used in reports.
     pub label: String,
@@ -147,7 +147,7 @@ impl StepLoad {
 }
 
 /// An oblivious parallel program: a processor count and a step sequence.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Program {
     procs: usize,
     steps: Vec<Step>,

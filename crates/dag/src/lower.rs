@@ -1,0 +1,159 @@
+//! Lowering: placement → oblivious step program.
+//!
+//! Tasks are grouped into **levels** — `level(t) = 0` for roots,
+//! otherwise `1 + max(level(pred))` — and each level becomes one
+//! [`Step`]: the step's per-processor computation is the (speed-scaled)
+//! sum of the level's tasks placed there, and its communication pattern
+//! carries one message per cross-processor edge leaving the level.
+//!
+//! **Soundness invariant**: every edge `u → v` crosses at least one step
+//! boundary, because `level(u) < level(v)` by construction. A same-
+//! processor edge needs no message (the processor's steps are serial); a
+//! cross-processor edge becomes a message in step `level(u)`, whose
+//! receive completes before the destination processor begins the
+//! computation of step `level(u) + 1 ≤ level(v)`. So no task can start
+//! before every predecessor's output has arrived — verified against the
+//! simulator's own timeline by a property test.
+
+use crate::model::TaskDag;
+use crate::sched::Placement;
+use commsim::CommPattern;
+use loggp::{MachineSpec, Time};
+use predsim_core::{Program, Step};
+
+/// A lowered DAG: the program plus the mapping that produced it.
+#[derive(Clone, Debug)]
+pub struct Lowered {
+    /// The oblivious program (one step per DAG level).
+    pub program: Program,
+    /// The placement that was lowered.
+    pub placement: Placement,
+    /// `level_of[t]` = the step index of task `t`.
+    pub level_of: Vec<usize>,
+    /// Number of levels (= steps in `program`).
+    pub levels: usize,
+}
+
+/// Lower `dag` under `placement` onto `machine`.
+///
+/// `dag` must validate, `placement` must cover its tasks with
+/// processors below `machine.procs()` — generators, schedulers, and the
+/// file parser guarantee this; the function panics otherwise.
+pub fn lower(dag: &TaskDag, placement: &Placement, machine: &MachineSpec) -> Lowered {
+    let procs = machine.procs();
+    let n = dag.tasks().len();
+    assert_eq!(placement.proc_of.len(), n, "placement covers every task");
+    let order = dag.topo_order().expect("dag validated");
+
+    let mut level_of = vec![0usize; n];
+    let mut levels = 0usize;
+    for &t in &order {
+        let mut level = 0usize;
+        for &e in dag.preds(t) {
+            level = level.max(level_of[dag.edges()[e].src] + 1);
+        }
+        level_of[t] = level;
+        levels = levels.max(level + 1);
+    }
+
+    let mut comp: Vec<Vec<Time>> = vec![vec![Time::ZERO; procs]; levels];
+    let mut pats: Vec<CommPattern> = (0..levels).map(|_| CommPattern::new(procs)).collect();
+    for t in 0..n {
+        let q = placement.proc_of[t];
+        assert!(q < procs, "placement stays in range");
+        let scaled = machine.scale_comp(q, dag.comp_ps(t));
+        comp[level_of[t]][q] = comp[level_of[t]][q].saturating_add(scaled);
+    }
+    for e in dag.edges() {
+        let (src_proc, dst_proc) = (placement.proc_of[e.src], placement.proc_of[e.dst]);
+        if src_proc != dst_proc {
+            pats[level_of[e.src]].add(src_proc, dst_proc, e.bytes);
+        }
+    }
+
+    let mut program = Program::new(procs);
+    for (level, (c, pat)) in comp.into_iter().zip(pats).enumerate() {
+        let mut step = Step::new(format!("dag level {level}")).with_comp(c);
+        if !pat.is_empty() {
+            step = step.with_comm(pat);
+        }
+        program.push(step);
+    }
+    Lowered {
+        program,
+        placement: placement.clone(),
+        level_of,
+        levels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use crate::sched::SchedulerKind;
+    use loggp::presets;
+
+    fn machine(p: usize) -> MachineSpec {
+        MachineSpec::uniform(presets::meiko_cs2(p))
+    }
+
+    #[test]
+    fn every_edge_crosses_a_step_boundary() {
+        for dag in [
+            generate::fork_join(8, 2, 50_000, 4096),
+            generate::map_reduce(6, 3, 40_000, 80_000, 2048),
+            generate::random_layered(11, 6, 5, 10_000, 4096),
+        ] {
+            let m = machine(4);
+            for kind in SchedulerKind::ALL {
+                let lowered = lower(&dag, &kind.place(&dag, &m), &m);
+                assert_eq!(lowered.program.len(), lowered.levels);
+                for e in dag.edges() {
+                    assert!(
+                        lowered.level_of[e.src] < lowered.level_of[e.dst],
+                        "{kind:?}: edge {} -> {} within one level",
+                        e.src,
+                        e.dst
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_processor_edges_become_messages_same_processor_edges_do_not() {
+        let dag = generate::fork_join(4, 1, 10_000, 1024);
+        let m = machine(2);
+        let placement = SchedulerKind::RoundRobin.place(&dag, &m);
+        let lowered = lower(&dag, &placement, &m);
+        let mut expected = 0usize;
+        for e in dag.edges() {
+            if placement.proc_of[e.src] != placement.proc_of[e.dst] {
+                expected += 1;
+            }
+        }
+        assert_eq!(lowered.program.total_messages(), expected);
+        // On one processor nothing crosses: a message-free program.
+        let m1 = machine(1);
+        let serial = lower(&dag, &SchedulerKind::Heft.place(&dag, &m1), &m1);
+        assert_eq!(serial.program.total_messages(), 0);
+    }
+
+    #[test]
+    fn speed_factors_scale_the_lowered_computation() {
+        let mut dag = crate::model::TaskDag::new("two", 500);
+        dag.add_task("a", 1000).unwrap();
+        dag.add_task("b", 1000).unwrap();
+        let mut m = machine(2);
+        m.speed_permille = vec![2000, 1000];
+        let placement = Placement {
+            scheduler: "manual",
+            proc_of: vec![0, 1],
+        };
+        let lowered = lower(&dag, &placement, &m);
+        let step = &lowered.program.steps()[0];
+        assert_eq!(step.comp[0], Time::from_ps(250_000), "2x processor");
+        assert_eq!(step.comp[1], Time::from_ps(500_000), "base processor");
+    }
+}

@@ -1,0 +1,131 @@
+//! Static bounds bracket DAG-lowered programs, and uniform machine
+//! specs predict bit-identically to the flat preset they wrap.
+
+use loggp::{presets, MachineSpec};
+use predsim_core::{simulate_program, SimOptions};
+use predsim_dag::{generate, lower, sweep, SchedulerKind};
+use predsim_lint::{analyze, BoundsConfig, ProgramView};
+
+fn shipped_generators() -> Vec<predsim_dag::TaskDag> {
+    vec![
+        generate::fork_join(8, 2, 200_000, 8192),
+        generate::map_reduce(6, 3, 150_000, 300_000, 4096),
+        generate::random_layered(42, 6, 5, 50_000, 4096),
+    ]
+}
+
+#[test]
+fn static_bounds_bracket_std_and_worst_case_on_lowered_programs() {
+    for dag in shipped_generators() {
+        for kind in SchedulerKind::ALL {
+            for procs in [1, 2, 4, 8] {
+                let machine = MachineSpec::uniform(presets::meiko_cs2(procs));
+                let lowered = lower(&dag, &kind.place(&dag, &machine), &machine);
+                let bounds = analyze(
+                    &ProgramView::of(&lowered.program),
+                    &BoundsConfig::new(machine.base),
+                )
+                .expect("lowered programs are analyzable");
+                let opts = SimOptions::new(commsim::SimConfig::new(machine.base));
+                let std = simulate_program(&lowered.program, &opts).total;
+                let wc = simulate_program(&lowered.program, &opts.worst_case()).total;
+                let ctx = format!("{} / {:?} @ {procs}", dag.name(), kind);
+                assert!(
+                    bounds.lo <= std && std <= bounds.hi,
+                    "{ctx}: std {std:?} outside [{:?}, {:?}]",
+                    bounds.lo,
+                    bounds.hi
+                );
+                assert!(
+                    bounds.lo <= wc && wc <= bounds.hi,
+                    "{ctx}: wc {wc:?} outside [{:?}, {:?}]",
+                    bounds.lo,
+                    bounds.hi
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn uniform_machine_spec_predicts_bit_identically_to_the_flat_preset() {
+    for dag in shipped_generators() {
+        for kind in SchedulerKind::ALL {
+            for procs in [1, 3, 8] {
+                let flat = presets::meiko_cs2(procs);
+                let spec = MachineSpec::uniform(flat);
+                // An explicitly uniform speed vector must behave like the
+                // empty one.
+                let mut spelled = spec.clone();
+                spelled.speed_permille = vec![1000; procs];
+
+                let a = lower(&dag, &kind.place(&dag, &spec), &spec);
+                let b = lower(&dag, &kind.place(&dag, &spelled), &spelled);
+                assert_eq!(a.program, b.program, "spelled-out uniform speeds");
+
+                let opts = SimOptions::new(commsim::SimConfig::new(flat));
+                let p1 = simulate_program(&a.program, &opts);
+                let p2 = simulate_program(&b.program, &opts);
+                assert_eq!(p1.total, p2.total);
+                assert_eq!(p1.per_proc_finish, p2.per_proc_finish);
+            }
+        }
+    }
+}
+
+#[test]
+fn a_2x_speed_factor_processor_shifts_the_predicted_schedule() {
+    // Pinned: heterogeneity must be *visible* in the prediction. The
+    // same fork-join DAG on 4 processors, uniform vs one 2x processor:
+    // min-ready piles more work onto the fast processor and the
+    // predicted total strictly improves.
+    let dag = generate::fork_join(16, 2, 1_000_000, 4096);
+    let uniform = MachineSpec::uniform(presets::meiko_cs2(4));
+    let mut het = uniform.clone();
+    het.speed_permille = vec![2000, 1000, 1000, 1000];
+    het.validate().unwrap();
+
+    let kind = SchedulerKind::MinReady;
+    let lowered_u = lower(&dag, &kind.place(&dag, &uniform), &uniform);
+    let lowered_h = lower(&dag, &kind.place(&dag, &het), &het);
+    // The network is the shared base in both runs; only computation
+    // scaling and placement differ.
+    let opts = SimOptions::new(commsim::SimConfig::new(uniform.base));
+    let total_u = simulate_program(&lowered_u.program, &opts).total;
+    let total_h = simulate_program(&lowered_h.program, &opts).total;
+    assert_ne!(total_u, total_h, "the 2x processor must shift the schedule");
+    assert!(
+        total_h < total_u,
+        "a faster processor cannot slow the DAG down: {total_h:?} vs {total_u:?}"
+    );
+    // And the fast processor attracts strictly more tasks than its
+    // uniform share.
+    let fast_tasks = lowered_h
+        .placement
+        .proc_of
+        .iter()
+        .filter(|&&q| q == 0)
+        .count();
+    let uniform_share = dag.tasks().len() / 4;
+    assert!(
+        fast_tasks > uniform_share,
+        "2x processor got {fast_tasks} of {} tasks",
+        dag.tasks().len()
+    );
+}
+
+#[test]
+fn sweeps_on_a_uniform_spec_match_the_flat_preset_at_every_point() {
+    let dag = generate::fork_join(8, 1, 500_000, 2048);
+    let spec = MachineSpec::uniform(presets::meiko_cs2(8));
+    let procs: Vec<usize> = (1..=8).collect();
+    let report = sweep(&dag, SchedulerKind::Heft, "meiko", &spec, &procs).unwrap();
+    for pt in &report.points {
+        let flat = presets::meiko_cs2(pt.procs);
+        let sub = MachineSpec::uniform(flat);
+        let lowered = lower(&dag, &SchedulerKind::Heft.place(&dag, &sub), &sub);
+        let opts = SimOptions::new(commsim::SimConfig::new(flat));
+        let total = simulate_program(&lowered.program, &opts).total;
+        assert_eq!(pt.total, total, "procs {}", pt.procs);
+    }
+}

@@ -7,9 +7,10 @@
 //! builds the common cartesian case: every source on every machine.
 
 use blockops::AnalyticCost;
-use loggp::{LogGpParams, Time};
+use loggp::{LogGpParams, MachineSpec, Time};
 use predsim_core::layout::{BlockCyclic2D, ColCyclic, Diagonal, Layout, RowCyclic};
-use predsim_core::{Prediction, Program, SimOptions};
+use predsim_core::{collectives, Prediction, Program, SimOptions};
+use predsim_dag::{SchedulerKind, TaskDag};
 use predsim_faults::FaultPlan;
 use std::sync::Arc;
 
@@ -95,6 +96,48 @@ pub enum JobSource {
         /// Data layout.
         layout: LayoutSpec,
     },
+    /// Binomial-tree broadcast from processor 0
+    /// ([`collectives::binomial_broadcast`]).
+    Bcast {
+        /// Processor count.
+        procs: usize,
+        /// Message payload per round.
+        bytes: usize,
+    },
+    /// Binomial-tree reduction to processor 0
+    /// ([`collectives::binomial_reduce`]).
+    Reduce {
+        /// Processor count.
+        procs: usize,
+        /// Message payload per round.
+        bytes: usize,
+        /// Combine time charged at each receiver per round.
+        combine: Time,
+    },
+    /// All-reduce ([`collectives::all_reduce`], or the hypercube
+    /// exchange [`collectives::all_reduce_hypercube`]).
+    AllReduce {
+        /// Processor count (a power of two when `hypercube`).
+        procs: usize,
+        /// Message payload per round.
+        bytes: usize,
+        /// Combine time charged at each receiver per round.
+        combine: Time,
+        /// Use the hypercube exchange instead of reduce-then-broadcast.
+        hypercube: bool,
+    },
+    /// A task DAG scheduled onto a machine and lowered to a step
+    /// program ([`predsim_dag::lower`]). The machine spec is carried in
+    /// the variant because scheduling and computation scaling need it
+    /// at build time, independent of the simulation options.
+    Dag {
+        /// The task graph (shared — DAGs can be large).
+        dag: Arc<TaskDag>,
+        /// The scheduling policy that places the tasks.
+        scheduler: SchedulerKind,
+        /// The machine the tasks are placed on.
+        machine: MachineSpec,
+    },
 }
 
 /// Parse a `N,BLOCK,LAYOUT,PROCS` blocked-matrix spec body (shared by
@@ -140,6 +183,14 @@ impl JobSource {
     /// cannon:N,Q                   Cannon's algorithm on a QxQ grid
     /// stencil:N,PROCS,ITERS        Jacobi stencil (500 ps/flop)
     /// apsp:N,BLOCK,LAYOUT,PROCS    blocked Floyd-Warshall shortest paths
+    /// bcast:P:BYTES                binomial-tree broadcast
+    /// reduce:P:BYTES:COMBINE_PS    binomial-tree reduction
+    /// allreduce:P:BYTES:COMBINE_PS[:hypercube]
+    ///                              all-reduce (hypercube needs P = 2^k)
+    /// dag:GENSPEC:PROCS            generated task DAG, HEFT-scheduled
+    ///                              onto PROCS Meiko processors (GENSPEC
+    ///                              as in predsim_dag::generate::from_spec,
+    ///                              e.g. dag:forkjoin:32,1,100000,8192:8)
     /// ```
     ///
     /// Returns `Ok(None)` when `raw` carries none of the known prefixes
@@ -192,6 +243,101 @@ impl JobSource {
                 iters,
                 ps_per_flop: 500,
             }))
+        } else if let Some(spec) = raw.strip_prefix("bcast:") {
+            let parts: Vec<&str> = spec.split(':').collect();
+            let [procs, bytes] = parts.as_slice() else {
+                return Err(format!("bcast spec '{raw}': expected bcast:P:BYTES"));
+            };
+            let procs: usize = procs
+                .parse()
+                .map_err(|e| format!("bcast spec '{raw}': bad P: {e}"))?;
+            let bytes: usize = bytes
+                .parse()
+                .map_err(|e| format!("bcast spec '{raw}': bad BYTES: {e}"))?;
+            if procs == 0 {
+                return Err(format!("bcast spec '{raw}': need at least one processor"));
+            }
+            Ok(Some(JobSource::Bcast { procs, bytes }))
+        } else if let Some(spec) = raw.strip_prefix("reduce:") {
+            let parts: Vec<&str> = spec.split(':').collect();
+            let [procs, bytes, combine] = parts.as_slice() else {
+                return Err(format!(
+                    "reduce spec '{raw}': expected reduce:P:BYTES:COMBINE_PS"
+                ));
+            };
+            let procs: usize = procs
+                .parse()
+                .map_err(|e| format!("reduce spec '{raw}': bad P: {e}"))?;
+            let bytes: usize = bytes
+                .parse()
+                .map_err(|e| format!("reduce spec '{raw}': bad BYTES: {e}"))?;
+            let combine: u64 = combine
+                .parse()
+                .map_err(|e| format!("reduce spec '{raw}': bad COMBINE_PS: {e}"))?;
+            if procs == 0 {
+                return Err(format!("reduce spec '{raw}': need at least one processor"));
+            }
+            Ok(Some(JobSource::Reduce {
+                procs,
+                bytes,
+                combine: Time::from_ps(combine),
+            }))
+        } else if let Some(spec) = raw.strip_prefix("allreduce:") {
+            let parts: Vec<&str> = spec.split(':').collect();
+            let (core, hypercube) = match parts.as_slice() {
+                [p, b, c] => ([*p, *b, *c], false),
+                [p, b, c, "hypercube"] => ([*p, *b, *c], true),
+                _ => {
+                    return Err(format!(
+                        "allreduce spec '{raw}': expected allreduce:P:BYTES:COMBINE_PS[:hypercube]"
+                    ));
+                }
+            };
+            let procs: usize = core[0]
+                .parse()
+                .map_err(|e| format!("allreduce spec '{raw}': bad P: {e}"))?;
+            let bytes: usize = core[1]
+                .parse()
+                .map_err(|e| format!("allreduce spec '{raw}': bad BYTES: {e}"))?;
+            let combine: u64 = core[2]
+                .parse()
+                .map_err(|e| format!("allreduce spec '{raw}': bad COMBINE_PS: {e}"))?;
+            if procs == 0 {
+                return Err(format!(
+                    "allreduce spec '{raw}': need at least one processor"
+                ));
+            }
+            if hypercube && !procs.is_power_of_two() {
+                return Err(format!(
+                    "allreduce spec '{raw}': the hypercube exchange needs a power-of-two P"
+                ));
+            }
+            Ok(Some(JobSource::AllReduce {
+                procs,
+                bytes,
+                combine: Time::from_ps(combine),
+                hypercube,
+            }))
+        } else if let Some(spec) = raw.strip_prefix("dag:") {
+            let Some((genspec, procs)) = spec.rsplit_once(':') else {
+                return Err(format!("dag spec '{raw}': expected dag:GENSPEC:PROCS"));
+            };
+            let procs: usize = procs
+                .parse()
+                .map_err(|e| format!("dag spec '{raw}': bad PROCS: {e}"))?;
+            if procs == 0 {
+                return Err(format!("dag spec '{raw}': need at least one processor"));
+            }
+            let dag = predsim_dag::generate::from_spec(genspec)
+                .map_err(|e| format!("dag spec '{raw}': {e}"))?;
+            // Spec-built DAGs default to the strongest shipped policy on
+            // the paper's uniform machine; the CLI/serve fronts build the
+            // variant directly when a scheduler or machine is chosen.
+            Ok(Some(JobSource::Dag {
+                dag: Arc::new(dag),
+                scheduler: SchedulerKind::Heft,
+                machine: MachineSpec::uniform(loggp::presets::meiko_cs2(procs)),
+            }))
         } else {
             Ok(None)
         }
@@ -218,6 +364,32 @@ impl JobSource {
             JobSource::Apsp { n, block, layout } => {
                 let cost = AnalyticCost::paper_default();
                 Arc::new(apsp::generate(*n, *block, layout.build().as_ref(), &cost).program)
+            }
+            JobSource::Bcast { procs, bytes } => {
+                Arc::new(collectives::binomial_broadcast(*procs, *bytes))
+            }
+            JobSource::Reduce {
+                procs,
+                bytes,
+                combine,
+            } => Arc::new(collectives::binomial_reduce(*procs, *bytes, *combine)),
+            JobSource::AllReduce {
+                procs,
+                bytes,
+                combine,
+                hypercube,
+            } => Arc::new(if *hypercube {
+                collectives::all_reduce_hypercube(*procs, *bytes, *combine)
+            } else {
+                collectives::all_reduce(*procs, *bytes, *combine)
+            }),
+            JobSource::Dag {
+                dag,
+                scheduler,
+                machine,
+            } => {
+                let placement = scheduler.place(dag, machine);
+                Arc::new(predsim_dag::lower(dag, &placement, machine).program)
             }
         }
     }
@@ -255,6 +427,12 @@ impl JobSource {
                 let t = apsp::generate(*n, *block, layout.build().as_ref(), &cost);
                 (Arc::new(t.program), t.loads)
             }
+            // Collective and DAG sources carry no block-visit profile:
+            // their work is fully described by the program itself.
+            JobSource::Bcast { .. } | JobSource::Reduce { .. } | JobSource::AllReduce { .. } => {
+                (self.build(), Vec::new())
+            }
+            JobSource::Dag { .. } => (self.build(), Vec::new()),
         }
     }
 
@@ -265,6 +443,10 @@ impl JobSource {
             JobSource::Gauss { layout, .. } | JobSource::Apsp { layout, .. } => layout.procs(),
             JobSource::Cannon { q, .. } => q * q,
             JobSource::Stencil { procs, .. } => *procs,
+            JobSource::Bcast { procs, .. }
+            | JobSource::Reduce { procs, .. }
+            | JobSource::AllReduce { procs, .. } => *procs,
+            JobSource::Dag { machine, .. } => machine.procs(),
         }
     }
 
@@ -297,6 +479,33 @@ impl JobSource {
                     return Err(format!("need 1..={n} bands, got {procs} for n={n}"));
                 }
                 Ok(())
+            }
+            JobSource::Bcast { procs, .. } | JobSource::Reduce { procs, .. } => {
+                if *procs == 0 {
+                    return Err("need at least one processor".into());
+                }
+                Ok(())
+            }
+            JobSource::AllReduce {
+                procs, hypercube, ..
+            } => {
+                if *procs == 0 {
+                    return Err("need at least one processor".into());
+                }
+                if *hypercube && !procs.is_power_of_two() {
+                    return Err(format!(
+                        "the hypercube exchange needs a power-of-two processor count, got {procs}"
+                    ));
+                }
+                Ok(())
+            }
+            JobSource::Dag {
+                dag,
+                scheduler: _,
+                machine,
+            } => {
+                dag.validate()?;
+                machine.validate()
             }
         }
     }
@@ -593,6 +802,99 @@ mod tests {
             "cannon:64",
             "stencil:4,8,1",
             "apsp:10,3,row,4",
+        ] {
+            assert!(JobSource::parse_spec(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn parse_spec_covers_the_collective_grammar() {
+        assert!(matches!(
+            JobSource::parse_spec("bcast:8:1024").unwrap().unwrap(),
+            JobSource::Bcast {
+                procs: 8,
+                bytes: 1024,
+            }
+        ));
+        let r = JobSource::parse_spec("reduce:8:1024:2000")
+            .unwrap()
+            .unwrap();
+        assert!(matches!(
+            r,
+            JobSource::Reduce {
+                procs: 8,
+                bytes: 1024,
+                combine,
+            } if combine == Time::from_ps(2000)
+        ));
+        assert!(matches!(
+            JobSource::parse_spec("allreduce:8:1024:2000")
+                .unwrap()
+                .unwrap(),
+            JobSource::AllReduce {
+                procs: 8,
+                hypercube: false,
+                ..
+            }
+        ));
+        assert!(matches!(
+            JobSource::parse_spec("allreduce:8:1024:2000:hypercube")
+                .unwrap()
+                .unwrap(),
+            JobSource::AllReduce {
+                procs: 8,
+                hypercube: true,
+                ..
+            }
+        ));
+        for bad in [
+            "bcast:8",
+            "bcast:0:64",
+            "bcast:8:64:9",
+            "reduce:8:64",
+            "allreduce:8:64",
+            "allreduce:6:64:0:hypercube",
+            "allreduce:8:64:0:ring",
+        ] {
+            assert!(JobSource::parse_spec(bad).is_err(), "{bad} should fail");
+        }
+        // The built collectives are runnable programs of the right size.
+        for spec in [
+            "bcast:8:1024",
+            "reduce:8:1024:2000",
+            "allreduce:8:1024:2000",
+            "allreduce:8:1024:2000:hypercube",
+        ] {
+            let src = JobSource::parse_spec(spec).unwrap().unwrap();
+            src.validate().unwrap();
+            assert_eq!(src.build().procs(), 8, "{spec}");
+            assert_eq!(src.procs(), 8, "{spec}");
+        }
+    }
+
+    #[test]
+    fn parse_spec_builds_heft_scheduled_dags() {
+        let src = JobSource::parse_spec("dag:forkjoin:8,1,100000,4096:4")
+            .unwrap()
+            .unwrap();
+        src.validate().unwrap();
+        assert_eq!(src.procs(), 4);
+        let prog = src.build();
+        assert_eq!(prog.procs(), 4);
+        assert!(prog.len() >= 3, "src level + worker level + join level");
+        let JobSource::Dag {
+            scheduler, machine, ..
+        } = &src
+        else {
+            panic!("dag spec parses to JobSource::Dag");
+        };
+        assert_eq!(*scheduler, SchedulerKind::Heft);
+        assert!(machine.is_uniform());
+        for bad in [
+            "dag:forkjoin:8,1,100000,4096",
+            "dag:forkjoin:8,1,100000,4096:0",
+            "dag:ring:8:4",
+            "dag:forkjoin:8,1:4",
         ] {
             assert!(JobSource::parse_spec(bad).is_err(), "{bad} should fail");
         }

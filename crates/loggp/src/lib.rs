@@ -17,7 +17,10 @@
 //!   Meiko CS-2 the paper evaluated on;
 //! * [`registry`] — file-backed *fitted* presets: named parameter sets
 //!   produced by calibration, persisted as small JSON files and resolvable
-//!   through [`presets::by_name`] like the built-ins.
+//!   through [`presets::by_name`] like the built-ins;
+//! * [`hetero`] — [`MachineSpec`]: per-processor speed factors and
+//!   per-link parameter overrides wrapped around a flat preset, for
+//!   scheduling task DAGs onto non-uniform machines.
 //!
 //! # Model summary
 //!
@@ -43,11 +46,13 @@
 
 pub mod fit;
 pub mod gap;
+pub mod hetero;
 pub mod params;
 pub mod presets;
 pub mod registry;
 pub mod time;
 
 pub use gap::{GapRule, OpKind, ProcClock};
+pub use hetero::{LinkOverride, MachineSpec};
 pub use params::{LogGpParams, ParamError};
 pub use time::Time;

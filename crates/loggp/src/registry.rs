@@ -24,6 +24,7 @@
 //! strings without escapes, and unsigned integers. Anything else is a
 //! hard error — same spirit as the wire format, scoped to one file kind.
 
+use crate::hetero::{LinkOverride, MachineSpec};
 use crate::params::LogGpParams;
 use crate::time::Time;
 use std::collections::HashMap;
@@ -42,6 +43,20 @@ pub struct NamedPreset {
     /// The parameters (procs included: the count the fit was made at;
     /// `by_name` re-targets it to the requested processor count).
     pub params: LogGpParams,
+}
+
+/// A named, possibly heterogeneous machine as stored in a preset file.
+///
+/// Uniform specs render byte-identically to a flat [`NamedPreset`];
+/// heterogeneous ones carry the optional `speed_permille` and `links`
+/// fields. Flat consumers ([`parse_file`], [`registered`]) see only the
+/// base parameters of a heterogeneous entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NamedSpec {
+    /// Registry name (same rules as [`NamedPreset`]).
+    pub name: String,
+    /// The machine description.
+    pub spec: MachineSpec,
 }
 
 /// Validate a registry name: non-empty, and only characters that cannot
@@ -109,9 +124,106 @@ pub fn registered_names() -> Vec<String> {
     names
 }
 
-/// Parse a preset file's contents. Duplicate names within the file are
-/// rejected; every entry's parameters must validate.
+fn spec_global() -> &'static RwLock<HashMap<String, MachineSpec>> {
+    static GLOBAL: OnceLock<RwLock<HashMap<String, MachineSpec>>> = OnceLock::new();
+    GLOBAL.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// Register a (possibly heterogeneous) machine spec under `name`.
+///
+/// The base parameters always land in the flat registry, so
+/// [`registered`] and [`presets::by_name`](crate::presets::by_name)
+/// resolve the name too (seeing the uniform base); the heterogeneity is
+/// kept alongside and surfaces through [`registered_spec`]. The same
+/// rules as [`register`] apply: re-registering an identical spec is
+/// idempotent, anything different under an existing name is an error —
+/// including adding heterogeneity to a name registered flat.
+pub fn register_spec(name: &str, spec: &MachineSpec) -> Result<(), String> {
+    check_name(name)?;
+    spec.validate()
+        .map_err(|e| format!("preset '{name}': {e}"))?;
+    {
+        let specs = spec_global()
+            .read()
+            .expect("machine-spec registry poisoned");
+        match specs.get(name) {
+            Some(existing) if existing != spec => {
+                return Err(format!(
+                    "preset '{name}' is already registered with different parameters"
+                ));
+            }
+            Some(_) => return Ok(()),
+            None => {}
+        }
+        if !spec.is_uniform() {
+            let flat = global().read().expect("preset registry poisoned");
+            if flat.contains_key(name) {
+                return Err(format!(
+                    "preset '{name}' is already registered with different parameters"
+                ));
+            }
+        }
+    }
+    register(name, spec.base)?;
+    if !spec.is_uniform() {
+        let mut specs = spec_global()
+            .write()
+            .expect("machine-spec registry poisoned");
+        specs.insert(name.to_string(), spec.clone());
+    }
+    Ok(())
+}
+
+/// Look a registered machine spec up by name, at its *registered*
+/// processor count (use [`MachineSpec::retarget`] or
+/// [`hetero::resolve`](crate::hetero::resolve) to change it). Names
+/// registered flat come back as uniform specs.
+pub fn registered_spec(name: &str) -> Option<MachineSpec> {
+    {
+        let specs = spec_global()
+            .read()
+            .expect("machine-spec registry poisoned");
+        if let Some(s) = specs.get(name) {
+            return Some(s.clone());
+        }
+    }
+    let map = global().read().expect("preset registry poisoned");
+    map.get(name).map(|p| MachineSpec::uniform(*p))
+}
+
+/// Parse a preset file's contents down to the flat view: heterogeneous
+/// entries contribute their *base* parameters. Duplicate names within
+/// the file are rejected; every entry must validate.
 pub fn parse_file(text: &str) -> Result<Vec<NamedPreset>, String> {
+    Ok(parse_file_specs(text)?
+        .into_iter()
+        .map(|s| NamedPreset {
+            name: s.name,
+            params: s.spec.base,
+        })
+        .collect())
+}
+
+fn parse_link(i: usize, j: usize, entry: Value) -> Result<LinkOverride, String> {
+    let mut l = entry.into_object(&format!("presets[{i}].links[{j}]"))?;
+    let link = LinkOverride {
+        src: usize::try_from(l.take_int("src")?)
+            .map_err(|_| format!("links[{j}]: src out of range"))?,
+        dst: usize::try_from(l.take_int("dst")?)
+            .map_err(|_| format!("links[{j}]: dst out of range"))?,
+        latency: Time::from_ps(l.take_int("latency_ps")?),
+        overhead: Time::from_ps(l.take_int("overhead_ps")?),
+        gap: Time::from_ps(l.take_int("gap_ps")?),
+        gap_per_byte: Time::from_ps(l.take_int("gap_per_byte_ps")?),
+    };
+    l.finish(&format!("links[{j}]"))?;
+    Ok(link)
+}
+
+/// Parse a preset file's contents with heterogeneity intact. Entries
+/// without `speed_permille`/`links` fields come back as uniform specs —
+/// every flat preset file is a valid spec file.
+pub fn parse_file_specs(text: &str) -> Result<Vec<NamedSpec>, String> {
     let value = Parser::new(text).document()?;
     let mut obj = value.into_object("preset file")?;
     let version = obj.take_int("version")?;
@@ -127,7 +239,7 @@ pub fn parse_file(text: &str) -> Result<Vec<NamedPreset>, String> {
         let mut e = entry.into_object(&format!("presets[{i}]"))?;
         let name = e.take_str("name")?;
         check_name(&name)?;
-        if out.iter().any(|p: &NamedPreset| p.name == name) {
+        if out.iter().any(|p: &NamedSpec| p.name == name) {
             return Err(format!("duplicate preset name '{name}' in file"));
         }
         let params = LogGpParams {
@@ -138,22 +250,67 @@ pub fn parse_file(text: &str) -> Result<Vec<NamedPreset>, String> {
             procs: usize::try_from(e.take_int("procs")?)
                 .map_err(|_| format!("preset '{name}': procs out of range"))?,
         };
-        params
-            .validate()
-            .map_err(|err| format!("preset '{name}': {err}"))?;
+        let mut speed_permille = Vec::new();
+        if let Some(v) = e.take_opt("speed_permille") {
+            let items = match v {
+                Value::Array(items) => items,
+                _ => return Err(format!("preset '{name}': speed_permille must be an array")),
+            };
+            for item in items {
+                match item {
+                    Value::Int(n) => speed_permille.push(n),
+                    _ => {
+                        return Err(format!(
+                            "preset '{name}': speed_permille entries must be unsigned integers"
+                        ));
+                    }
+                }
+            }
+        }
+        let mut links = Vec::new();
+        if let Some(v) = e.take_opt("links") {
+            let items = match v {
+                Value::Array(items) => items,
+                _ => return Err(format!("preset '{name}': links must be an array")),
+            };
+            for (j, item) in items.into_iter().enumerate() {
+                links.push(parse_link(i, j, item).map_err(|e| format!("preset '{name}': {e}"))?);
+            }
+        }
         e.finish(&name)?;
-        out.push(NamedPreset { name, params });
+        let spec = MachineSpec {
+            base: params,
+            speed_permille,
+            links,
+        };
+        spec.validate()
+            .map_err(|err| format!("preset '{name}': {err}"))?;
+        out.push(NamedSpec { name, spec });
     }
     Ok(out)
 }
 
 /// Render presets in the file format (pretty-printed, trailing newline).
 pub fn render_file(presets: &[NamedPreset]) -> String {
+    let specs: Vec<NamedSpec> = presets
+        .iter()
+        .map(|p| NamedSpec {
+            name: p.name.clone(),
+            spec: MachineSpec::uniform(p.params),
+        })
+        .collect();
+    render_file_specs(&specs)
+}
+
+/// Render machine specs in the file format. Uniform entries render
+/// byte-identically to the flat [`render_file`] output (pinned by test);
+/// heterogeneous ones append `speed_permille` and/or `links` fields.
+pub fn render_file_specs(specs: &[NamedSpec]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"version\": {FILE_VERSION},");
     s.push_str("  \"presets\": [");
-    for (i, p) in presets.iter().enumerate() {
+    for (i, p) in specs.iter().enumerate() {
         if i > 0 {
             s.push(',');
         }
@@ -163,15 +320,45 @@ pub fn render_file(presets: &[NamedPreset]) -> String {
             "\"name\": \"{}\", \"latency_ps\": {}, \"overhead_ps\": {}, \
              \"gap_ps\": {}, \"gap_per_byte_ps\": {}, \"procs\": {}",
             p.name,
-            p.params.latency.as_ps(),
-            p.params.overhead.as_ps(),
-            p.params.gap.as_ps(),
-            p.params.gap_per_byte.as_ps(),
-            p.params.procs
+            p.spec.base.latency.as_ps(),
+            p.spec.base.overhead.as_ps(),
+            p.spec.base.gap.as_ps(),
+            p.spec.base.gap_per_byte.as_ps(),
+            p.spec.base.procs
         );
+        if !p.spec.speed_permille.is_empty() {
+            s.push_str(", \"speed_permille\": [");
+            for (j, f) in p.spec.speed_permille.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "{f}");
+            }
+            s.push(']');
+        }
+        if !p.spec.links.is_empty() {
+            s.push_str(", \"links\": [");
+            for (j, l) in p.spec.links.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(
+                    s,
+                    "{{ \"src\": {}, \"dst\": {}, \"latency_ps\": {}, \"overhead_ps\": {}, \
+                     \"gap_ps\": {}, \"gap_per_byte_ps\": {} }}",
+                    l.src,
+                    l.dst,
+                    l.latency.as_ps(),
+                    l.overhead.as_ps(),
+                    l.gap.as_ps(),
+                    l.gap_per_byte.as_ps()
+                );
+            }
+            s.push(']');
+        }
         s.push_str(" }");
     }
-    if presets.is_empty() {
+    if specs.is_empty() {
         s.push_str("]\n}\n");
     } else {
         s.push_str("\n  ]\n}\n");
@@ -184,6 +371,14 @@ pub fn load_file(path: &str) -> Result<Vec<NamedPreset>, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read preset file {path}: {e}"))?;
     parse_file(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Load a preset file from disk with heterogeneity intact (parse only —
+/// nothing is registered).
+pub fn load_file_specs(path: &str) -> Result<Vec<NamedSpec>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read preset file {path}: {e}"))?;
+    parse_file_specs(&text).map_err(|e| format!("{path}: {e}"))
 }
 
 /// Write presets to a file in the canonical format.
@@ -208,13 +403,36 @@ pub fn save_file(path: &str, presets: &[NamedPreset]) -> Result<(), String> {
     })
 }
 
+/// Write machine specs to a file in the canonical format, atomically
+/// (same strategy as [`save_file`]).
+pub fn save_file_specs(path: &str, specs: &[NamedSpec]) -> Result<(), String> {
+    for p in specs {
+        check_name(&p.name)?;
+        p.spec
+            .validate()
+            .map_err(|e| format!("preset '{}': {e}", p.name))?;
+        if specs.iter().filter(|q| q.name == p.name).count() > 1 {
+            return Err(format!("duplicate preset name '{}'", p.name));
+        }
+    }
+    let tmp = format!("{path}.tmp.{}", std::process::id());
+    std::fs::write(&tmp, render_file_specs(specs))
+        .map_err(|e| format!("cannot write preset file {tmp}: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        format!("cannot move preset file into place at {path}: {e}")
+    })
+}
+
 /// Load a preset file and register every entry in the process-wide
-/// registry. Returns the names registered, in file order.
+/// registry — heterogeneity intact, so `@file:name` machine specs
+/// resolve with their speed factors and link overrides through
+/// [`registered_spec`]. Returns the names registered, in file order.
 pub fn register_file(path: &str) -> Result<Vec<String>, String> {
-    let presets = load_file(path)?;
-    let mut names = Vec::with_capacity(presets.len());
-    for p in &presets {
-        register(&p.name, p.params).map_err(|e| format!("{path}: {e}"))?;
+    let specs = load_file_specs(path)?;
+    let mut names = Vec::with_capacity(specs.len());
+    for p in &specs {
+        register_spec(&p.name, &p.spec).map_err(|e| format!("{path}: {e}"))?;
         names.push(p.name.clone());
     }
     Ok(names)
@@ -252,6 +470,11 @@ impl Fields {
             .position(|(k, _)| k == key)
             .ok_or_else(|| format!("missing field '{key}'"))?;
         Ok(self.0.remove(idx).1)
+    }
+
+    fn take_opt(&mut self, key: &str) -> Option<Value> {
+        let idx = self.0.iter().position(|(k, _)| k == key)?;
+        Some(self.0.remove(idx).1)
     }
 
     fn take_int(&mut self, key: &str) -> Result<u64, String> {
@@ -539,6 +762,105 @@ mod tests {
         assert_eq!(p.procs, 16, "re-targeted to the requested procs");
         assert_eq!(p.latency, fitted(5.0).latency);
         assert!(registered_names().contains(&"reg-test-lookup".to_string()));
+    }
+
+    fn hetero_spec() -> MachineSpec {
+        let base = fitted(7.25);
+        MachineSpec {
+            base,
+            speed_permille: vec![2000, 1000, 1000, 1000, 1000, 1000, 1000, 500],
+            links: vec![LinkOverride {
+                src: 0,
+                dst: 7,
+                latency: Time::from_ps(base.latency.as_ps() * 3),
+                overhead: base.overhead,
+                gap: base.gap,
+                gap_per_byte: base.gap_per_byte,
+            }],
+        }
+    }
+
+    #[test]
+    fn uniform_spec_files_are_byte_identical_to_flat_preset_files() {
+        let flat = vec![
+            NamedPreset {
+                name: "u1".into(),
+                params: fitted(7.25),
+            },
+            NamedPreset {
+                name: "u2".into(),
+                params: fitted(11.5),
+            },
+        ];
+        let specs: Vec<NamedSpec> = flat
+            .iter()
+            .map(|p| NamedSpec {
+                name: p.name.clone(),
+                spec: MachineSpec::uniform(p.params),
+            })
+            .collect();
+        assert_eq!(render_file_specs(&specs), render_file(&flat));
+        // And a flat file parses to uniform specs.
+        assert_eq!(parse_file_specs(&render_file(&flat)).unwrap(), specs);
+    }
+
+    #[test]
+    fn hetero_spec_files_round_trip_bit_exactly() {
+        let specs = vec![
+            NamedSpec {
+                name: "flat-entry".into(),
+                spec: MachineSpec::uniform(fitted(5.0)),
+            },
+            NamedSpec {
+                name: "het-entry".into(),
+                spec: hetero_spec(),
+            },
+        ];
+        let text = render_file_specs(&specs);
+        let back = parse_file_specs(&text).unwrap();
+        assert_eq!(back, specs);
+        assert_eq!(render_file_specs(&back), text, "render is canonical");
+        // The flat view of the same file sees the base parameters only.
+        let flat = parse_file(&text).unwrap();
+        assert_eq!(flat[1].params, specs[1].spec.base);
+    }
+
+    #[test]
+    fn spec_parse_rejects_heterogeneity_that_does_not_validate() {
+        let base = NamedSpec {
+            name: "bad-het".into(),
+            spec: MachineSpec {
+                base: fitted(5.0),
+                speed_permille: vec![1000, 1000], // wrong arity for 8 procs
+                links: Vec::new(),
+            },
+        };
+        assert!(parse_file_specs(&render_file_specs(&[base])).is_err());
+    }
+
+    #[test]
+    fn register_spec_round_trips_and_rejects_conflicts() {
+        let spec = hetero_spec();
+        register_spec("reg-test-het", &spec).unwrap();
+        register_spec("reg-test-het", &spec).unwrap(); // idempotent
+        assert_eq!(registered_spec("reg-test-het"), Some(spec.clone()));
+        // The flat view resolves too, seeing the base parameters.
+        assert_eq!(registered("reg-test-het", 8), Some(spec.base));
+        // A different spec under the same name is a conflict.
+        let mut other = spec.clone();
+        other.speed_permille[0] = 3000;
+        let err = register_spec("reg-test-het", &other).unwrap_err();
+        assert!(err.contains("different parameters"), "{err}");
+        // Adding heterogeneity to a flat-registered name is a conflict too.
+        register("reg-test-het-flat", spec.base).unwrap();
+        let mut renamed = spec.clone();
+        renamed.base = spec.base;
+        assert!(register_spec("reg-test-het-flat", &renamed).is_err());
+        // Flat-registered names come back as uniform specs.
+        assert_eq!(
+            registered_spec("reg-test-het-flat"),
+            Some(MachineSpec::uniform(spec.base))
+        );
     }
 
     #[test]

@@ -441,6 +441,100 @@ pub fn render_calibrate(
     Value::Object(fields).to_compact()
 }
 
+const SPEEDUP_FIELDS: [&str; 4] = ["dag", "scheduler", "machine", "procs"];
+
+/// Largest processor count one speedup sweep may simulate (the same
+/// ceiling `predsim dag-sweep` enforces).
+pub const MAX_SWEEP_PROCS: usize = 64;
+/// Largest task count one speedup request may carry — every swept point
+/// schedules, lowers, and simulates the whole DAG.
+pub const MAX_SWEEP_TASKS: usize = 4096;
+
+/// One parsed `POST /v1/speedup` request: a task DAG plus the scheduler,
+/// machine, and processor range to sweep. `Clone` so the supervisor can
+/// re-enqueue a copy if the worker holding it dies.
+#[derive(Clone, Debug)]
+pub struct SpeedupRequest {
+    /// The DAG to sweep (sent inline; the server reads no files).
+    pub dag: Arc<predsim_dag::TaskDag>,
+    /// Scheduling policy applied at every point.
+    pub scheduler: predsim_dag::SchedulerKind,
+    /// Machine name, echoed in the report.
+    pub machine: String,
+    /// The resolved (possibly heterogeneous) machine at the largest
+    /// swept processor count.
+    pub spec: loggp::MachineSpec,
+    /// Ascending processor counts to simulate.
+    pub procs: Vec<usize>,
+}
+
+/// Parse a `POST /v1/speedup` body:
+///
+/// ```json
+/// {
+///   "dag": "dag name=x ps_per_flop=500\ntask a 1000\n...",
+///   "scheduler": "heft",              // round-robin | min-ready | heft
+///   "machine": "meiko",               // preset or registered name
+///   "procs": "1..16"                  // or a single integer
+/// }
+/// ```
+pub fn parse_speedup(body: &str) -> Result<SpeedupRequest, ApiError> {
+    speedup_from_value(&json::parse(body).map_err(|e| ApiError::bad(format!("body: {e}")))?)
+        .map_err(ApiError::bad)
+}
+
+fn speedup_from_value(v: &Value) -> Result<SpeedupRequest, String> {
+    let Value::Object(fields) = v else {
+        return Err("body must be a JSON object".into());
+    };
+    for (key, _) in fields {
+        if !SPEEDUP_FIELDS.contains(&key.as_str()) {
+            return Err(format!("unknown field '{key}'"));
+        }
+    }
+    let text = field_str(v, "dag")?
+        .ok_or("speedup needs an inline 'dag' in the line format (the server reads no files)")?;
+    let dag = predsim_dag::format::parse(text).map_err(|e| format!("dag: {e}"))?;
+    dag.validate().map_err(|e| format!("dag: {e}"))?;
+    if dag.tasks().len() > MAX_SWEEP_TASKS {
+        return Err(format!(
+            "dag has {} tasks; the limit is {MAX_SWEEP_TASKS}",
+            dag.tasks().len()
+        ));
+    }
+    let scheduler =
+        predsim_dag::SchedulerKind::parse(field_str(v, "scheduler")?.unwrap_or("heft"))?;
+    let machine = field_str(v, "machine")?.unwrap_or("meiko").to_string();
+    let procs = match v.get("procs") {
+        None => return Err("speedup needs a 'procs' count or \"A..B\" range".into()),
+        Some(Value::Str(s)) => predsim_dag::parse_procs(s, MAX_SWEEP_PROCS)?,
+        Some(n) => {
+            let n = n
+                .as_int()
+                .ok_or("field 'procs' must be an integer or an \"A..B\" string")?;
+            let n = usize::try_from(n).map_err(|_| "field 'procs' must be positive".to_string())?;
+            predsim_dag::parse_procs(&n.to_string(), MAX_SWEEP_PROCS)?
+        }
+    };
+    let max = *procs
+        .last()
+        .expect("parse_procs never returns an empty range");
+    let spec = loggp::hetero::resolve(&machine, max)?;
+    Ok(SpeedupRequest {
+        dag: Arc::new(dag),
+        scheduler,
+        machine,
+        spec,
+        procs,
+    })
+}
+
+/// Render a `POST /v1/speedup` success body: exactly the document
+/// `predsim dag-sweep --json` prints (byte-identical by test).
+pub fn render_speedup(report: &predsim_dag::SweepReport) -> String {
+    report.to_value().to_compact()
+}
+
 /// Lint one parsed job with the engine's own pre-run gate
 /// ([`predsim_engine::lint_job`]): the spec's preconditions first (an
 /// infeasible spec is a single `PS0501` error), then the built program
@@ -724,5 +818,95 @@ mod tests {
         let report = Report::from_value(sources[0].get("report").unwrap()).unwrap();
         assert!(report.has_errors());
         assert_eq!(report.diagnostics()[0].code, Code::BadJobSpec);
+    }
+
+    const DAG: &str = "dag name=t ps_per_flop=500\ntask a 1000\ntask b 1000\nedge a b 64\n";
+
+    fn speedup_body(extra: &str) -> String {
+        format!(
+            r#"{{"dag":{},"procs":"1..4"{extra}}}"#,
+            Value::Str(DAG.into()).to_compact()
+        )
+    }
+
+    #[test]
+    fn parses_a_speedup_body_with_defaults() {
+        let req = parse_speedup(&speedup_body("")).unwrap();
+        assert_eq!(req.dag.name(), "t");
+        assert_eq!(req.scheduler, predsim_dag::SchedulerKind::Heft);
+        assert_eq!(req.machine, "meiko");
+        assert!(req.spec.is_uniform());
+        assert_eq!(req.spec.base, presets::meiko_cs2(4));
+        assert_eq!(req.procs, vec![1, 2, 3, 4]);
+
+        // Explicit fields override the defaults; procs may be one integer.
+        let req = parse_speedup(&format!(
+            r#"{{"dag":{},"scheduler":"round-robin","machine":"paragon","procs":3}}"#,
+            Value::Str(DAG.into()).to_compact()
+        ))
+        .unwrap();
+        assert_eq!(req.scheduler, predsim_dag::SchedulerKind::RoundRobin);
+        assert_eq!(req.spec.base, presets::intel_paragon(3));
+        assert_eq!(req.procs, vec![3]);
+    }
+
+    #[test]
+    fn speedup_schema_violations_get_400() {
+        let dag = Value::Str(DAG.into()).to_compact();
+        for (body, why) in [
+            ("not json".to_string(), "unparseable"),
+            (speedup_body(r#","bogus":1"#), "unknown field"),
+            (format!(r#"{{"dag":{dag}}}"#), "missing procs"),
+            (r#"{"procs":"1..4"}"#.to_string(), "missing dag"),
+            (format!(r#"{{"dag":{dag},"procs":"0..4"}}"#), "zero procs"),
+            (format!(r#"{{"dag":{dag},"procs":"4..1"}}"#), "backwards"),
+            (
+                format!(r#"{{"dag":{dag},"procs":"1..65"}}"#),
+                "over the cap",
+            ),
+            (format!(r#"{{"dag":{dag},"procs":-2}}"#), "negative procs"),
+            (
+                format!(r#"{{"dag":{dag},"procs":"1..4","scheduler":"fifo"}}"#),
+                "unknown scheduler",
+            ),
+            (
+                format!(r#"{{"dag":{dag},"procs":"1..4","machine":"cray"}}"#),
+                "unknown machine",
+            ),
+            (
+                format!(
+                    r#"{{"dag":{},"procs":"1..4"}}"#,
+                    Value::Str("dag name=t ps_per_flop=500\ntask a 1000\nedge a b 1\n".into())
+                        .to_compact()
+                ),
+                "edge to a missing task",
+            ),
+        ] {
+            let err = parse_speedup(&body).expect_err(why);
+            assert_eq!(err.status, 400, "{why}");
+            assert!(
+                json::parse(&err.body).unwrap().get("error").is_some(),
+                "{why}: error body is strict JSON"
+            );
+        }
+    }
+
+    #[test]
+    fn speedup_render_matches_the_sweep_report_document() {
+        let req = parse_speedup(&speedup_body("")).unwrap();
+        let report =
+            predsim_dag::sweep(&req.dag, req.scheduler, &req.machine, &req.spec, &req.procs)
+                .unwrap();
+        let body = render_speedup(&report);
+        let doc = json::parse(&body).unwrap();
+        assert_eq!(doc.get("version").and_then(Value::as_int), Some(1));
+        assert_eq!(doc.get("dag").and_then(Value::as_str), Some("t"));
+        let points = doc.get("points").and_then(Value::as_array).unwrap();
+        assert_eq!(points.len(), 4);
+        assert_eq!(
+            points[0].get("speedup_permille").and_then(Value::as_int),
+            Some(1000),
+            "the one-processor point is the baseline"
+        );
     }
 }

@@ -34,6 +34,7 @@
 //! | `POST /v1/predict` | Predict one job (JSON body, see [`api`])        |
 //! | `POST /v1/batch`   | Predict a batch, all-or-nothing admission       |
 //! | `POST /v1/calibrate`| Emulate a source and fit a LogGP preset to it  |
+//! | `POST /v1/speedup` | Sweep a task DAG across processor counts        |
 //! | `GET /healthz`     | Liveness + queue depth + in-flight count        |
 //! | `GET /metrics`     | Prometheus text exposition                      |
 //! | `GET /metrics.json`| The same snapshot in the strict JSON dialect    |

@@ -116,12 +116,16 @@ impl Default for ServeConfig {
 /// worker can park an orphan copy for the supervisor before running.
 #[derive(Clone)]
 enum Work {
-    /// Run one prediction job through the engine.
-    Predict(JobSpec),
+    /// Run one prediction job through the engine. Boxed so the enum
+    /// stays pointer-sized regardless of how `JobSpec` grows.
+    Predict(Box<JobSpec>),
     /// Measure a source on the emulator and fit a LogGP preset to it
     /// (`POST /v1/calibrate`). Boxed: a calibration carries its whole
     /// measured configuration and is rare next to predictions.
     Calibrate(Box<api::CalibrateRequest>),
+    /// Sweep a task DAG across processor counts (`POST /v1/speedup`).
+    /// Boxed for the same reason as calibrations.
+    Speedup(Box<api::SpeedupRequest>),
 }
 
 /// One admitted unit of work: what to do, the slot its handler is
@@ -174,6 +178,8 @@ enum Reply {
     /// (the cost model's calibration sample).
     Predict(JobResult, u64),
     Calibrate(Box<CalibrationOutcome>),
+    /// A finished speedup sweep (or why it failed).
+    Speedup(Box<Result<predsim_dag::SweepReport, String>>),
     /// The job was shed after admission (deadline eviction, or expired
     /// before a worker reached it); the handler answers at a degraded
     /// tier.
@@ -631,7 +637,7 @@ fn worker_loop(shared: &Shared, state: &WorkerState) {
                 // jobs=1 runs inline on this thread; the engine's per-job
                 // catch_unwind turns job panics into `crashed` results,
                 // so the reply slot is always filled.
-                let mut results = shared.engine.run(std::slice::from_ref(&spec));
+                let mut results = shared.engine.run(std::slice::from_ref(&*spec));
                 let result = results.pop().expect("engine returns one result per spec");
                 if let Some(journal) = &shared.journal {
                     journal.record(&result);
@@ -644,6 +650,12 @@ fn worker_loop(shared: &Shared, state: &WorkerState) {
                     unreachable!()
                 };
                 Reply::Calibrate(Box::new(run_calibration(shared, &request)))
+            }
+            (_, Work::Speedup(_)) => {
+                let Work::Speedup(request) = job.work else {
+                    unreachable!()
+                };
+                Reply::Speedup(Box::new(run_speedup(&request)))
             }
         };
         job.reply.fill(job.slot, reply);
@@ -740,6 +752,9 @@ fn fill_crashed(job: Job) {
         Work::Calibrate(_) => Reply::Calibrate(Box::new(Err(
             "worker thread died twice while calibrating".into(),
         ))),
+        Work::Speedup(_) => Reply::Speedup(Box::new(Err(
+            "worker thread died twice while sweeping".into(),
+        ))),
     };
     job.reply.fill(job.slot, reply);
 }
@@ -772,6 +787,22 @@ fn run_calibration(shared: &Shared, request: &api::CalibrateRequest) -> Calibrat
         loggp::registry::register(name, report.params).map(|()| name.clone())
     });
     Ok((report, registered))
+}
+
+/// Execute one speedup sweep on a worker. The sweep simulates the DAG
+/// once per requested processor count; panics anywhere inside become an
+/// `Err`, not a dead worker.
+fn run_speedup(request: &api::SpeedupRequest) -> Result<predsim_dag::SweepReport, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        predsim_dag::sweep(
+            &request.dag,
+            request.scheduler,
+            &request.machine,
+            &request.spec,
+            &request.procs,
+        )
+    }))
+    .unwrap_or_else(|_| Err("speedup sweep panicked".into()))
 }
 
 fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>) {
@@ -892,6 +923,7 @@ fn route(request: &Request, shared: &Shared) -> (&'static str, Response) {
         ("POST", "/v1/estimate") => ("/v1/estimate", estimate(request)),
         ("POST", "/v1/batch") => ("/v1/batch", batch(request, shared)),
         ("POST", "/v1/calibrate") => ("/v1/calibrate", calibrate(request, shared)),
+        ("POST", "/v1/speedup") => ("/v1/speedup", speedup(request, shared)),
         ("POST", "/admin/drain") => ("/admin/drain", drain_request(shared)),
         ("GET", "/healthz") => ("/healthz", healthz(shared)),
         ("GET", "/metrics") => (
@@ -904,8 +936,8 @@ fn route(request: &Request, shared: &Shared) -> (&'static str, Response) {
         ),
         (
             _,
-            "/v1/predict" | "/v1/estimate" | "/v1/batch" | "/v1/calibrate" | "/admin/drain"
-            | "/healthz" | "/metrics" | "/metrics.json",
+            "/v1/predict" | "/v1/estimate" | "/v1/batch" | "/v1/calibrate" | "/v1/speedup"
+            | "/admin/drain" | "/healthz" | "/metrics" | "/metrics.json",
         ) => (
             "other",
             Response::json(405, api::error_body("method not allowed")),
@@ -1155,7 +1187,7 @@ fn predict(request: &Request, shared: &Shared) -> Response {
 
     let for_bounds = spec.clone();
     let admit = Admit {
-        work: Work::Predict(spec),
+        work: Work::Predict(Box::new(spec)),
         est_ns,
         hi_ps,
         deadline,
@@ -1270,6 +1302,49 @@ fn calibrate(request: &Request, shared: &Shared) -> Response {
     }
 }
 
+fn speedup(request: &Request, shared: &Shared) -> Response {
+    if shared.draining.load(Ordering::SeqCst) {
+        return Response::json(503, api::error_body("server is draining"));
+    }
+    let body = match request.body_str() {
+        Ok(b) => b,
+        Err(_) => return Response::json(400, api::error_body("body is not valid UTF-8")),
+    };
+    let parsed = match api::parse_speedup(body) {
+        Ok(parsed) => parsed,
+        Err(e) => return Response::json(e.status, e.body),
+    };
+    // The same pre-run gate as /v1/predict, applied to the schedule the
+    // sweep will simulate at its largest processor count: a lowered
+    // program the engine would refuse to run is refused here, with the
+    // same 422 document.
+    let placement = parsed.scheduler.place(&parsed.dag, &parsed.spec);
+    let lowered = predsim_dag::lower(&parsed.dag, &placement, &parsed.spec);
+    let label = format!("dag:{}", parsed.dag.name());
+    let gate = JobSpec::new(
+        label.clone(),
+        predsim_engine::JobSource::Program(Arc::new(lowered.program)),
+        predsim_core::SimOptions::new(commsim::SimConfig::new(parsed.spec.base)),
+    );
+    if let Err(e) = api::check_jobs(std::slice::from_ref(&(label, gate))) {
+        return Response::json(e.status, e.body);
+    }
+    let est = shared.cost.est_job_ns(0);
+    match admit_and_run(
+        shared,
+        vec![Admit::plain(Work::Speedup(Box::new(parsed)), est)],
+    ) {
+        Ok(mut replies) => match replies.pop() {
+            Some(Reply::Speedup(outcome)) => match *outcome {
+                Ok(report) => Response::json(200, api::render_speedup(&report)),
+                Err(why) => Response::json(422, api::error_body(&why)),
+            },
+            _ => Response::json(500, api::error_body("worker returned the wrong reply kind")),
+        },
+        Err(resp) => resp,
+    }
+}
+
 fn batch(request: &Request, shared: &Shared) -> Response {
     if shared.draining.load(Ordering::SeqCst) {
         return Response::json(503, api::error_body("server is draining"));
@@ -1285,7 +1360,7 @@ fn batch(request: &Request, shared: &Shared) -> Response {
     let est = shared.cost.est_job_ns(0);
     let work = jobs
         .into_iter()
-        .map(|(_, spec)| Admit::plain(Work::Predict(spec), est))
+        .map(|(_, spec)| Admit::plain(Work::Predict(Box::new(spec)), est))
         .collect();
     match admit_and_run(shared, work) {
         Ok(replies) => {

@@ -662,3 +662,47 @@ fn estimate_returns_the_static_interval_without_touching_the_workers() {
         Some(2)
     );
 }
+
+#[test]
+fn speedup_sweeps_are_byte_identical_to_the_library() {
+    let handle = start(1, 4);
+    let addr = handle.addr();
+
+    let dag_text =
+        predsim_dag::format::dump(&predsim_dag::generate::fork_join(8, 1, 100_000, 4096));
+    let body = Value::Object(vec![
+        ("dag".into(), Value::Str(dag_text)),
+        ("scheduler".into(), Value::Str("heft".into())),
+        ("machine".into(), Value::Str("meiko".into())),
+        ("procs".into(), Value::Str("1..4".into())),
+    ])
+    .to_compact();
+
+    // What the library computes in-process, rendered through the same
+    // API layer: the wire bytes must match exactly.
+    let parsed = api::parse_speedup(&body).expect("body parses");
+    let report = predsim_dag::sweep(
+        &parsed.dag,
+        parsed.scheduler,
+        &parsed.machine,
+        &parsed.spec,
+        &parsed.procs,
+    )
+    .expect("sweep runs");
+    let expected = api::render_speedup(&report);
+
+    let (status, _, served) = request(addr, "POST", "/v1/speedup", &body);
+    assert_eq!(status, 200, "{served}");
+    assert_eq!(served, expected, "served sweep is byte-identical");
+    let doc = json::parse(&served).unwrap();
+    assert_eq!(doc.get("version").and_then(Value::as_int), Some(1));
+    assert!(doc.get("knee_procs").and_then(Value::as_int).is_some());
+
+    // Schema violations get 400, method mismatches 405.
+    let (status, _, _) = request(addr, "POST", "/v1/speedup", "{}");
+    assert_eq!(status, 400);
+    let (status, _, _) = request(addr, "GET", "/v1/speedup", "");
+    assert_eq!(status, 405);
+
+    handle.drain();
+}

@@ -8,6 +8,8 @@
 //! predsim trace SOURCE [options]       simulate with event tracing + horizon
 //! predsim ge-sweep [options]           block-size sweep for blocked GE
 //! predsim machine-sweep SOURCE [opts]  predict one program across machines
+//! predsim dag gen|check|run ...        task-DAG workloads: generate, validate, predict
+//! predsim dag-sweep DAG [options]      speedup curve for a task DAG
 //! predsim serve [options]              HTTP prediction service
 //! predsim faults explain SPEC          resolve a fault plan without running
 //! predsim fit CSV                      fit LogGP params from ping data
@@ -19,9 +21,10 @@
 //! CLI dependency; see [`predsim::cli`]); `predsim help` prints the full
 //! usage text.
 
-use predsim::cli::{machine, switch, valued, Args, FlagSpec};
+use predsim::cli::{machine, machine_spec, switch, valued, Args, FlagSpec};
 use predsim::predsim_core::report::{secs, Table};
 use predsim::predsim_core::{record_program, textfmt, CommAlgo};
+use predsim::predsim_dag::{self, SchedulerKind};
 use predsim::predsim_engine::{
     best_by_total, Engine, EngineConfig, JobResult, JobSource, JobSpec, Journal, JournalEntry,
     LayoutSpec,
@@ -110,6 +113,38 @@ USAGE:
       took the replay fast path. Default machines: meiko, paragon,
       myrinet, ethernet, ideal.
 
+  predsim dag gen SPEC [--out FILE]
+      Generate a deterministic task DAG and print it in the line-oriented
+      DAG format (or write it to --out). SPEC is one of
+        forkjoin:WIDTH,STAGES,FLOPS,BYTES
+        mapreduce:MAPS,REDUCERS,MAP_FLOPS,REDUCE_FLOPS,BYTES
+        layered:SEED,LAYERS,WIDTH,MAX_FLOPS,MAX_BYTES
+      Generation is seeded and platform-independent: the same SPEC
+      always yields the same file, byte for byte.
+
+  predsim dag check DAG
+      Parse a DAG (a file in the line format, or a gen SPEC), validate
+      it (names, edge references, acyclicity), verify the canonical
+      round-trip, and print its shape: tasks, edges, serial work, and
+      critical-path time.
+
+  predsim dag run DAG --procs P [--scheduler S] [--machine M]
+      Schedule the DAG onto P processors (schedulers: round-robin,
+      min-ready, heft; default heft), lower it to an oblivious step
+      program, and predict it with the simulator. --machine accepts the
+      built-in presets plus @FILE:NAME preset files, which may describe
+      heterogeneous machines: per-processor speed factors scale each
+      task's computation, per-link (L,o,g,G) overrides steer the
+      scheduler's placement (the network itself is simulated under the
+      uniform base parameters, as the paper's model assumes).
+
+  predsim dag-sweep DAG --procs A..B [--scheduler S] [--machine M] [--json]
+      Sweep the DAG across processor counts and report the predicted
+      speedup curve: per-count totals, speedup and parallel efficiency
+      in exact permille, and the knee — the largest swept count still at
+      >= 50% efficiency. DAG and --machine are as for 'dag run'. --json
+      emits the strict-JSON report, byte-identical to POST /v1/speedup.
+
   predsim batch SOURCE... [--machine NAME[,NAME...]] [--jobs N] [--no-memo]
                 [--worst-case] [--barrier] [--overlap] [--classic-gap]
                 [--faults SPEC] [--seed N] [--job-budget STEPS] [--retries K]
@@ -121,6 +156,11 @@ USAGE:
         cannon:N,Q                   Cannon's algorithm on a QxQ grid
         stencil:N,PROCS,ITERS        Jacobi stencil (500 ps/flop)
         apsp:N,BLOCK,LAYOUT,PROCS    blocked Floyd-Warshall shortest paths
+        bcast:P:BYTES                binomial-tree broadcast
+        reduce:P:BYTES:COMBINE_PS    binomial-tree reduction
+        allreduce:P:BYTES:COMBINE_PS[:hypercube]
+                                     reduce+broadcast (or hypercube exchange)
+        dag:GENSPEC:PROCS            task DAG ('dag gen' SPEC), HEFT-scheduled
       Jobs are pre-validated with the analyzer (invalid specs are
       rejected with diagnostics). Prints one row per job plus memo-cache
       statistics; --metrics-out writes the engine's metrics in
@@ -858,6 +898,180 @@ fn cmd_machine_sweep(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// A DAG operand: a generator spec (`forkjoin:`, `mapreduce:`,
+/// `layered:` — the grammar of `predsim dag gen`) or a DAG file path.
+fn load_dag(raw: &str) -> Result<predsim_dag::TaskDag, String> {
+    if ["forkjoin:", "mapreduce:", "layered:"]
+        .iter()
+        .any(|p| raw.starts_with(p))
+    {
+        return predsim_dag::generate::from_spec(raw);
+    }
+    let text = std::fs::read_to_string(raw).map_err(|e| format!("reading {raw}: {e}"))?;
+    predsim_dag::format::parse(&text).map_err(|e| format!("{raw}: {e}"))
+}
+
+fn cmd_dag(args: &Args) -> Result<(), String> {
+    let sub = args
+        .positional
+        .first()
+        .ok_or("dag: expected a subcommand (gen, check, or run)")?;
+    match sub.as_str() {
+        "gen" => {
+            let spec = args
+                .positional
+                .get(1)
+                .ok_or("dag gen: missing SPEC (e.g. forkjoin:32,1,1000000,8192)")?;
+            let dag = predsim_dag::generate::from_spec(spec)?;
+            let text = predsim_dag::format::dump(&dag);
+            match args.value("out") {
+                Some(file) => {
+                    std::fs::write(file, &text).map_err(|e| format!("writing {file}: {e}"))?;
+                    println!(
+                        "wrote {} task(s), {} edge(s) to {file}",
+                        dag.tasks().len(),
+                        dag.edges().len()
+                    );
+                }
+                None => print!("{text}"),
+            }
+            Ok(())
+        }
+        "check" => {
+            let raw = args
+                .positional
+                .get(1)
+                .ok_or("dag check: missing DAG (a file or a gen SPEC)")?;
+            let dag = load_dag(raw)?;
+            dag.validate()?;
+            let text = predsim_dag::format::dump(&dag);
+            let back = predsim_dag::format::parse(&text)
+                .map_err(|e| format!("canonical round-trip failed to parse: {e}"))?;
+            if predsim_dag::format::dump(&back) != text {
+                return Err("canonical round-trip is not bit-stable".into());
+            }
+            println!(
+                "{}: {} task(s), {} edge(s)",
+                dag.name(),
+                dag.tasks().len(),
+                dag.edges().len()
+            );
+            println!("serial work   : {} s", secs(dag.total_comp()));
+            println!("critical path : {} s", secs(dag.critical_path()));
+            println!("round-trip OK");
+            Ok(())
+        }
+        "run" => {
+            let raw = args
+                .positional
+                .get(1)
+                .ok_or("dag run: missing DAG (a file or a gen SPEC)")?;
+            let dag = load_dag(raw)?;
+            dag.validate()?;
+            let procs: usize = args
+                .value("procs")
+                .ok_or("dag run: missing --procs P")?
+                .parse()
+                .map_err(|e| format!("bad --procs: {e}"))?;
+            if procs == 0 {
+                return Err("--procs must be at least 1".into());
+            }
+            let kind = SchedulerKind::parse(args.value("scheduler").unwrap_or("heft"))?;
+            let spec = machine_spec(args.value("machine").unwrap_or("meiko"), procs)?;
+            let placement = kind.place(&dag, &spec);
+            let lowered = predsim_dag::lower(&dag, &placement, &spec);
+            let pred = simulate_program(
+                &lowered.program,
+                &SimOptions::new(SimConfig::new(spec.base)),
+            );
+            println!(
+                "{}: {} task(s), {} edge(s); {} scheduler on P={}",
+                dag.name(),
+                dag.tasks().len(),
+                dag.edges().len(),
+                kind.name(),
+                procs
+            );
+            println!("machine: {}", spec.base);
+            if !spec.is_uniform() {
+                let speeds: Vec<String> = (0..procs)
+                    .map(|p| format!("{:.2}x", spec.speed_of(p) as f64 / 1000.0))
+                    .collect();
+                println!(
+                    "heterogeneous: speeds [{}], {} link override(s)",
+                    speeds.join(", "),
+                    spec.links.len()
+                );
+            }
+            let mut tasks_on = vec![0usize; procs];
+            for &p in &placement.proc_of {
+                tasks_on[p] += 1;
+            }
+            println!(
+                "placement: {} per processor; lowered to {} step(s)",
+                tasks_on
+                    .iter()
+                    .map(|n| n.to_string())
+                    .collect::<Vec<_>>()
+                    .join("/"),
+                lowered.program.len()
+            );
+            println!("{}", pred.summary());
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown dag subcommand '{other}' (expected gen, check, or run)"
+        )),
+    }
+}
+
+/// Largest processor count `dag-sweep` (and `/v1/speedup`) will simulate.
+const MAX_SWEEP_PROCS: usize = 64;
+
+fn cmd_dag_sweep(args: &Args) -> Result<(), String> {
+    let raw = args
+        .positional
+        .first()
+        .ok_or("dag-sweep: missing DAG (a file or a gen SPEC)")?;
+    let dag = load_dag(raw)?;
+    let procs = predsim_dag::parse_procs(
+        args.value("procs")
+            .ok_or("dag-sweep: missing --procs N or A..B")?,
+        MAX_SWEEP_PROCS,
+    )?;
+    let kind = SchedulerKind::parse(args.value("scheduler").unwrap_or("heft"))?;
+    let mname = args.value("machine").unwrap_or("meiko");
+    let max = *procs
+        .last()
+        .expect("parse_procs never returns an empty range");
+    let spec = machine_spec(mname, max)?;
+    let report = predsim_dag::sweep(&dag, kind, mname, &spec, &procs)?;
+    if args.flag("json") {
+        println!("{}", report.to_value().to_compact());
+        return Ok(());
+    }
+    println!(
+        "{}: {} task(s), {} edge(s); {} scheduler on {}",
+        report.dag, report.tasks, report.edges, report.scheduler, report.machine
+    );
+    let mut table = Table::new(["procs", "total (s)", "speedup", "efficiency"]);
+    for p in &report.points {
+        table.row([
+            p.procs.to_string(),
+            secs(p.total),
+            format!("{:.2}x", p.speedup_permille as f64 / 1000.0),
+            format!("{:.1}%", p.efficiency_permille as f64 / 10.0),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "T(1) = {} s; knee at P={} (largest swept count at >= 50% efficiency)",
+        secs(report.t1),
+        report.knee
+    );
+    Ok(())
+}
+
 /// Parse a batch SOURCE argument: a generator spec (`ge:`, `cannon:`,
 /// `stencil:`, `apsp:` — the shared grammar of [`JobSource::parse_spec`])
 /// or a trace file path.
@@ -1509,6 +1723,18 @@ fn run() -> Result<ExitCode, String> {
             switch("classic-gap"),
             switch("verify"),
         ],
+        "dag" => vec![
+            valued("out"),
+            valued("procs"),
+            valued("scheduler"),
+            valued("machine"),
+        ],
+        "dag-sweep" => vec![
+            valued("procs"),
+            valued("scheduler"),
+            valued("machine"),
+            switch("json"),
+        ],
         "batch" => {
             let mut s = SIM_FLAGS.to_vec();
             s.extend(BATCH_FLAGS);
@@ -1566,6 +1792,8 @@ fn run() -> Result<ExitCode, String> {
         "trace" => cmd_trace(&args),
         "ge-sweep" => cmd_ge_sweep(&args),
         "machine-sweep" => cmd_machine_sweep(&args),
+        "dag" => cmd_dag(&args),
+        "dag-sweep" => cmd_dag_sweep(&args),
         "batch" => cmd_batch(&args),
         "serve" => cmd_serve(&args),
         "faults" => cmd_faults(&args),

@@ -21,7 +21,7 @@
 //! assert!(Args::parse(&raw, &[valued("machine")]).is_err(), "unknown flag");
 //! ```
 
-use loggp::{presets, LogGpParams};
+use loggp::{hetero, presets, LogGpParams, MachineSpec};
 
 /// A flag a command accepts: its name and whether it takes a value.
 #[derive(Clone, Copy)]
@@ -145,17 +145,48 @@ pub fn machine(name: &str, procs: usize) -> Result<LogGpParams, String> {
         return loggp::registry::registered(preset, procs)
             .ok_or_else(|| format!("preset file {path} has no preset named '{preset}'"));
     }
-    presets::by_name(name, procs).ok_or_else(|| {
-        let mut known = presets::SHORT_NAMES
-            .iter()
-            .map(|s| s.to_string())
-            .collect::<Vec<_>>();
-        known.extend(loggp::registry::registered_names());
-        format!(
-            "unknown machine '{name}' (expected one of: {}, or @FILE:NAME)",
-            known.join(", ")
-        )
-    })
+    presets::by_name(name, procs).ok_or_else(|| unknown_machine(name))
+}
+
+fn unknown_machine(name: &str) -> String {
+    let mut known = presets::SHORT_NAMES
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>();
+    known.extend(loggp::registry::registered_names());
+    format!(
+        "unknown machine '{name}' (expected one of: {}, or @FILE:NAME)",
+        known.join(", ")
+    )
+}
+
+/// Resolve a machine name to a possibly heterogeneous [`MachineSpec`]
+/// describing `procs` processors.
+///
+/// Accepts everything [`machine`] does — built-in presets and registered
+/// names become uniform specs — but `@FILE:NAME` additionally preserves
+/// the file's per-processor speed factors and per-link overrides when
+/// the preset file describes a heterogeneous machine. A heterogeneous
+/// spec can only shrink to `procs`, never extend past the processors it
+/// describes.
+pub fn machine_spec(name: &str, procs: usize) -> Result<MachineSpec, String> {
+    if let Some(rest) = name.strip_prefix('@') {
+        let (path, preset) = rest
+            .rsplit_once(':')
+            .ok_or_else(|| format!("bad machine reference '{name}': expected @FILE:NAME"))?;
+        loggp::registry::register_file(path)
+            .map_err(|e| format!("loading presets from {path}: {e}"))?;
+        let spec = loggp::registry::registered_spec(preset)
+            .ok_or_else(|| format!("preset file {path} has no preset named '{preset}'"))?;
+        return spec
+            .retarget(procs)
+            .map_err(|e| format!("machine '{preset}': {e}"));
+    }
+    match hetero::resolve(name, procs) {
+        Ok(spec) => Ok(spec),
+        Err(e) if e.starts_with("unknown machine") => Err(unknown_machine(name)),
+        Err(e) => Err(e),
+    }
 }
 
 #[cfg(test)]
@@ -233,5 +264,40 @@ mod tests {
         assert!(machine("@no-colon", 4).is_err(), "missing :NAME");
         let err = machine(&format!("@{}:absent", path.display()), 4).unwrap_err();
         assert!(err.contains("absent"), "{err}");
+    }
+
+    #[test]
+    fn machine_spec_resolves_heterogeneous_preset_files() {
+        // Built-ins resolve as uniform specs.
+        let spec = machine_spec("meiko", 8).unwrap();
+        assert!(spec.is_uniform());
+        assert_eq!(spec.base, presets::meiko_cs2(8));
+        assert!(machine_spec("cray", 8).is_err());
+
+        // A heterogeneous preset file keeps its speed factors.
+        let dir = std::env::temp_dir().join("predsim-cli-machine-spec-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hetero.json");
+        let het = MachineSpec {
+            base: presets::meiko_cs2(4),
+            speed_permille: vec![2000, 1000, 1000, 1000],
+            links: Vec::new(),
+        };
+        loggp::registry::save_file_specs(
+            path.to_str().unwrap(),
+            &[loggp::registry::NamedSpec {
+                name: "cli-test-hetero".into(),
+                spec: het.clone(),
+            }],
+        )
+        .unwrap();
+
+        let reference = format!("@{}:cli-test-hetero", path.display());
+        assert_eq!(machine_spec(&reference, 4).unwrap(), het);
+        // Shrinking keeps the described prefix; extending is refused.
+        let small = machine_spec(&reference, 2).unwrap();
+        assert_eq!(small.speed_permille, vec![2000, 1000]);
+        let err = machine_spec(&reference, 8).unwrap_err();
+        assert!(err.contains("cannot extend"), "{err}");
     }
 }

@@ -19,6 +19,7 @@
 //! | [`cannon`] | Cannon's matrix multiplication: trace generator + real execution |
 //! | [`stencil`] | Jacobi stencil: trace generator + real execution |
 //! | [`apsp`] | blocked Floyd–Warshall all-pairs shortest paths (the class's graph member) |
+//! | [`predsim_dag`] | task-DAG workloads: schedulers, lowering to step programs, speedup sweeps |
 //! | [`predsim_engine`] | parallel batch-prediction engine with step-pattern memoization |
 //! | [`predsim_faults`] | deterministic fault injection: message drop/retransmission, slowdown, fail-stop |
 //! | [`predsim_lint`] | static program analyzer: deadlock, well-formedness and LogGP-bound lints |
@@ -55,6 +56,7 @@ pub use loggp;
 pub use machine;
 pub use predsim_calib;
 pub use predsim_core;
+pub use predsim_dag;
 pub use predsim_engine;
 pub use predsim_faults;
 pub use predsim_lint;
@@ -69,13 +71,14 @@ pub mod prelude {
     pub use blockops::{AnalyticCost, CostModel, Matrix, MeasuredCost, OpClass};
     pub use commsim::{patterns, standard, worstcase, CommPattern, SimConfig, Timeline};
     pub use gauss;
-    pub use loggp::{presets, LogGpParams, Time};
+    pub use loggp::{presets, LogGpParams, MachineSpec, Time};
     pub use machine::{emulate, EmulatorConfig};
     pub use predsim_calib::{calibrate, measure, FitConfig, FitReport, MeasureConfig, MeasuredSet};
     pub use predsim_core::{
         simulate_program, BlockCyclic2D, ColCyclic, Diagonal, Layout, Prediction, Program,
         RowCyclic, SimOptions, Step,
     };
+    pub use predsim_dag::{SchedulerKind, TaskDag};
     pub use predsim_engine::{
         Engine, EngineConfig, EngineObs, Grid, JobSource, JobSpec, LayoutSpec,
     };

@@ -1278,3 +1278,67 @@ fn serve_presets_flag_round_trips_fitted_machines() {
     assert_eq!(status, 200);
     assert!(child.wait_with_output().unwrap().status.success());
 }
+
+#[test]
+fn dag_workflow_generates_checks_runs_and_sweeps() {
+    // gen writes the line format.
+    let out = bin()
+        .args(["dag", "gen", "forkjoin:4,1,100000,1024"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.starts_with("dag name=forkjoin"), "{text}");
+
+    // check round-trips the generated file.
+    let path = tmp_file("forkjoin.dag", &text);
+    let out = bin()
+        .args(["dag", "check", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let check = String::from_utf8_lossy(&out.stdout);
+    assert!(check.contains("round-trip OK"), "{check}");
+
+    // run schedules, lowers, and simulates.
+    let out = bin()
+        .args(["dag", "run", path.to_str().unwrap(), "--procs", "4"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let run = String::from_utf8_lossy(&out.stdout);
+    assert!(run.contains("heft scheduler"), "{run}");
+
+    // dag-sweep --json emits the strict report document; a gen spec
+    // works directly as the operand.
+    let out = bin()
+        .args([
+            "dag-sweep",
+            "forkjoin:4,1,100000,1024",
+            "--procs",
+            "1..4",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"version\":1"), "{json}");
+    assert!(json.contains("\"knee_procs\":"), "{json}");
+
+    // A malformed DAG file is refused.
+    let bad = tmp_file("bad.dag", "dag name=x ps_per_flop=500\nedge a b 1\n");
+    let out = bin()
+        .args(["dag", "check", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
